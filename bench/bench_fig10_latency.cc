@@ -1,0 +1,47 @@
+// Figure 10: effect of the latency constraint L (number of rounds) on
+// Synthetic with a fixed budget.
+//
+// Expected shape (paper): neither machine time nor F1 is very sensitive
+// to L — the budget fixes the number of affordable tasks, L only splits
+// them into batches. (BayesCrowd can therefore meet a requester's
+// latency demand for free.)
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace bayescrowd::bench {
+namespace {
+
+void BM_Fig10_Synthetic(benchmark::State& state) {
+  BayesCrowdOptions options = SyntheticDefaults();
+  options.strategy.kind = static_cast<StrategyKind>(state.range(0));
+  options.latency = static_cast<std::size_t>(state.range(1));
+  const Table& complete = SyntheticComplete();
+  const Table incomplete = WithMissingRate(complete, 0.1);
+  const auto& net = LearnedNetwork(incomplete, "syn@0.1");
+  PipelineOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunPipeline(complete, incomplete, net, options);
+  }
+  state.counters["latency"] = static_cast<double>(options.latency);
+  state.counters["rounds_used"] = static_cast<double>(outcome.rounds);
+  state.counters["f1"] = outcome.f1;
+  state.counters["tasks"] = static_cast<double>(outcome.tasks);
+}
+
+void SweepArgs(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t strategy : {0, 1, 2}) {
+    for (std::int64_t latency : {2, 5, 10, 20, 40}) {
+      bench->Args({strategy, latency});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig10_Synthetic)->Apply(SweepArgs);
+
+}  // namespace
+}  // namespace bayescrowd::bench
+
+BENCHMARK_MAIN();

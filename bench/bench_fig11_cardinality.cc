@@ -1,0 +1,66 @@
+// Figure 11: effect of Synthetic cardinality (paper: 25k-125k; here
+// 25%-125% of the configured Synthetic size, scaled via
+// BAYESCROWD_BENCH_SCALE).
+//
+// Expected shape (paper): machine time climbs with the cardinality
+// (larger dominator sets, more probability computations); F1 declines
+// gradually because the budget is fixed while the candidate set grows.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "data/generators.h"
+
+namespace bayescrowd::bench {
+namespace {
+
+const Table& CompleteOf(std::size_t cardinality) {
+  static auto* cache = new std::map<std::size_t, Table>();
+  auto it = cache->find(cardinality);
+  if (it == cache->end()) {
+    it = cache->emplace(cardinality, MakeAdultLike(cardinality, 1996))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_Fig11_Synthetic(benchmark::State& state) {
+  const auto cardinality = static_cast<std::size_t>(state.range(1));
+  const Table& complete = CompleteOf(cardinality);
+  const Table incomplete = WithMissingRate(complete, 0.1);
+  const auto& net = LearnedNetwork(
+      incomplete, "fig11-" + std::to_string(cardinality));
+
+  BayesCrowdOptions options = SyntheticDefaults();
+  options.strategy.kind = static_cast<StrategyKind>(state.range(0));
+  // Fixed budget across cardinalities (the paper's setting: accuracy
+  // declines because the budget does not grow with the data).
+  options.budget = std::max<std::size_t>(50, SyntheticCardinality() / 100);
+
+  PipelineOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunPipeline(complete, incomplete, net, options);
+  }
+  state.counters["cardinality"] = static_cast<double>(cardinality);
+  state.counters["f1"] = outcome.f1;
+  state.counters["tasks"] = static_cast<double>(outcome.tasks);
+}
+
+void SweepArgs(benchmark::internal::Benchmark* bench) {
+  const auto base = static_cast<std::int64_t>(SyntheticCardinality());
+  for (std::int64_t strategy : {0, 1, 2}) {
+    for (std::int64_t share = 1; share <= 5; ++share) {
+      bench->Args({strategy, base * share / 4});  // 25% .. 125%.
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig11_Synthetic)->Apply(SweepArgs);
+
+}  // namespace
+}  // namespace bayescrowd::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Figure 3: probability-computation time vs missing rate, ADPLL vs
+// Naive.
+//
+// Measures the total time to compute Pr(φ(o)) for the conditions of the
+// initial c-table. Naive enumeration is exponential in the variable
+// count, so both methods are timed over the subset of conditions with at
+// most kNaiveVarCap variables (the `conditions` counter reports how many
+// that is); ADPLL additionally gets an "_All" series over every
+// undecided condition.
+//
+// Expected shape (paper): ADPLL consistently faster than Naive; the gap
+// widens as the missing rate grows (more variables per condition).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "ctable/builder.h"
+#include "probability/adpll.h"
+#include "probability/naive.h"
+
+namespace bayescrowd::bench {
+namespace {
+
+constexpr std::int64_t kRates[] = {50, 100, 150, 200};
+constexpr std::size_t kNaiveVarCap = 6;
+
+struct PreparedCase {
+  Table incomplete;
+  CTable ctable;
+  DistributionMap dists;
+  std::vector<std::size_t> small_conditions;  // <= kNaiveVarCap variables.
+  std::vector<std::size_t> all_conditions;    // Every undecided condition.
+};
+
+const PreparedCase& Prepare(const Table& complete, double alpha,
+                            std::int64_t rate_pm, const char* tag) {
+  static auto* cache = new std::map<std::string, PreparedCase>();
+  const std::string key = std::string(tag) + ":" + std::to_string(rate_pm);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+
+  PreparedCase c;
+  c.incomplete = WithMissingRate(complete, rate_pm / 1000.0);
+  auto ctable = BuildCTable(c.incomplete, {.alpha = alpha});
+  BAYESCROWD_CHECK_OK(ctable.status());
+  c.ctable = std::move(ctable).value();
+
+  const auto& net = LearnedNetwork(c.incomplete, key);
+  BnPosteriorProvider posteriors(net, c.incomplete);
+  for (const CellRef& var : c.ctable.AllVariables()) {
+    auto dist = posteriors.Posterior(var);
+    BAYESCROWD_CHECK_OK(dist.status());
+    BAYESCROWD_CHECK_OK(c.dists.Set(var, std::move(dist).value()));
+  }
+  for (std::size_t i : c.ctable.UndecidedObjects()) {
+    c.all_conditions.push_back(i);
+    if (c.ctable.condition(i).Variables().size() <= kNaiveVarCap) {
+      c.small_conditions.push_back(i);
+    }
+  }
+  return cache->emplace(key, std::move(c)).first->second;
+}
+
+enum class Method { kAdpll, kNaive, kAdpllAll };
+
+void RunProbability(benchmark::State& state, const Table& complete,
+                    double alpha, const char* tag, Method method) {
+  const PreparedCase& c = Prepare(complete, alpha, state.range(0), tag);
+  const auto& subset = (method == Method::kAdpllAll) ? c.all_conditions
+                                                     : c.small_conditions;
+  double checksum = 0.0;
+  for (auto _ : state) {
+    checksum = 0.0;
+    for (std::size_t i : subset) {
+      Result<double> p = (method == Method::kNaive)
+                             ? NaiveProbability(c.ctable.condition(i),
+                                                c.dists)
+                             : AdpllProbability(c.ctable.condition(i),
+                                                c.dists);
+      BAYESCROWD_CHECK_OK(p.status());
+      checksum += p.value();
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["missing_rate"] =
+      static_cast<double>(state.range(0)) / 1000.0;
+  state.counters["conditions"] = static_cast<double>(subset.size());
+}
+
+void BM_Fig3_Nba_Adpll(benchmark::State& state) {
+  RunProbability(state, NbaComplete(), 0.003, "nba", Method::kAdpll);
+}
+void BM_Fig3_Nba_Naive(benchmark::State& state) {
+  RunProbability(state, NbaComplete(), 0.003, "nba", Method::kNaive);
+}
+void BM_Fig3_Nba_Adpll_All(benchmark::State& state) {
+  RunProbability(state, NbaComplete(), 0.003, "nba", Method::kAdpllAll);
+}
+void BM_Fig3_Synthetic_Adpll(benchmark::State& state) {
+  RunProbability(state, SyntheticComplete(), 0.01, "syn", Method::kAdpll);
+}
+void BM_Fig3_Synthetic_Naive(benchmark::State& state) {
+  RunProbability(state, SyntheticComplete(), 0.01, "syn", Method::kNaive);
+}
+void BM_Fig3_Synthetic_Adpll_All(benchmark::State& state) {
+  RunProbability(state, SyntheticComplete(), 0.01, "syn",
+                 Method::kAdpllAll);
+}
+
+void RateArgs(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t rate : kRates) bench->Arg(rate);
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig3_Nba_Adpll)->Apply(RateArgs);
+BENCHMARK(BM_Fig3_Nba_Naive)->Apply(RateArgs);
+BENCHMARK(BM_Fig3_Nba_Adpll_All)->Apply(RateArgs);
+BENCHMARK(BM_Fig3_Synthetic_Adpll)->Apply(RateArgs);
+BENCHMARK(BM_Fig3_Synthetic_Naive)->Apply(RateArgs);
+BENCHMARK(BM_Fig3_Synthetic_Adpll_All)->Apply(RateArgs);
+
+}  // namespace
+}  // namespace bayescrowd::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Figure 5: BayesCrowd cost and accuracy vs budget B.
+//
+// Series: FBS / UBS / HHS on NBA (B = 10..120, paper default 50) and
+// Synthetic (B scaled with cardinality, paper used up to 1000 at 100k).
+//
+// Expected shape (paper): F1 climbs with budget while machine time
+// grows; FBS fastest, UBS most accurate, HHS between.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace bayescrowd::bench {
+namespace {
+
+void RunBudget(benchmark::State& state, const Table& complete,
+               BayesCrowdOptions options, const char* tag) {
+  options.strategy.kind = static_cast<StrategyKind>(state.range(0));
+  options.budget = static_cast<std::size_t>(state.range(1));
+  const Table incomplete = WithMissingRate(complete, 0.1);
+  const auto& net = LearnedNetwork(incomplete, std::string(tag) + "@0.1");
+  PipelineOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunPipeline(complete, incomplete, net, options);
+  }
+  state.counters["budget"] = static_cast<double>(options.budget);
+  state.counters["f1"] = outcome.f1;
+  state.counters["tasks"] = static_cast<double>(outcome.tasks);
+  state.counters["rounds"] = static_cast<double>(outcome.rounds);
+}
+
+void BM_Fig5_Nba(benchmark::State& state) {
+  RunBudget(state, NbaComplete(), NbaDefaults(), "nba");
+}
+void BM_Fig5_Synthetic(benchmark::State& state) {
+  RunBudget(state, SyntheticComplete(), SyntheticDefaults(), "syn");
+}
+
+void NbaArgs(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t strategy : {0, 1, 2}) {       // FBS, UBS, HHS.
+    for (std::int64_t budget : {10, 30, 50, 80, 120}) {
+      bench->Args({strategy, budget});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void SyntheticArgs(benchmark::internal::Benchmark* bench) {
+  const auto base = static_cast<std::int64_t>(SyntheticCardinality());
+  for (std::int64_t strategy : {0, 1, 2}) {
+    for (std::int64_t budget :
+         {base / 400, base / 200, base / 100, base / 50, base / 25}) {
+      bench->Args({strategy, budget});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig5_Nba)->Apply(NbaArgs);
+BENCHMARK(BM_Fig5_Synthetic)->Apply(SyntheticArgs);
+
+}  // namespace
+}  // namespace bayescrowd::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Figure 6: BayesCrowd cost and accuracy vs missing rate (0.05-0.20).
+//
+// Expected shape (paper): machine time increases with the missing rate
+// (more expressions and variables per condition) while F1 decreases
+// (fixed budget, more uncertainty); UBS most accurate, FBS fastest, HHS
+// between.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace bayescrowd::bench {
+namespace {
+
+void RunMissingRate(benchmark::State& state, const Table& complete,
+                    BayesCrowdOptions options, const char* tag) {
+  options.strategy.kind = static_cast<StrategyKind>(state.range(0));
+  const double rate = static_cast<double>(state.range(1)) / 1000.0;
+  // Average F1 over three independent missing-cell draws: a single draw
+  // adds enough variance to blur the rate trend.
+  constexpr std::uint64_t kSalts[] = {0, 1, 2};
+  double f1_total = 0.0;
+  std::size_t tasks = 0;
+  for (auto _ : state) {
+    f1_total = 0.0;
+    for (std::uint64_t salt : kSalts) {
+      const Table incomplete = WithMissingRate(complete, rate, salt);
+      const auto& net = LearnedNetwork(
+          incomplete, std::string(tag) + "@" +
+                          std::to_string(state.range(1)) + "#" +
+                          std::to_string(salt));
+      const PipelineOutcome outcome =
+          RunPipeline(complete, incomplete, net, options);
+      f1_total += outcome.f1;
+      tasks = outcome.tasks;
+    }
+  }
+  state.counters["missing_rate"] = rate;
+  state.counters["f1"] = f1_total / static_cast<double>(std::size(kSalts));
+  state.counters["tasks"] = static_cast<double>(tasks);
+}
+
+void BM_Fig6_Nba(benchmark::State& state) {
+  RunMissingRate(state, NbaComplete(), NbaDefaults(), "nba");
+}
+void BM_Fig6_Synthetic(benchmark::State& state) {
+  RunMissingRate(state, SyntheticComplete(), SyntheticDefaults(), "syn");
+}
+
+void SweepArgs(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t strategy : {0, 1, 2}) {
+    for (std::int64_t rate : {50, 100, 150, 200}) {
+      bench->Args({strategy, rate});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig6_Nba)->Apply(SweepArgs);
+BENCHMARK(BM_Fig6_Synthetic)->Apply(SweepArgs);
+
+}  // namespace
+}  // namespace bayescrowd::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Figure 7: effect of HHS's stopping parameter m.
+//
+// Series: HHS with m in {1, 2, 5, 15, 50}, bracketed by FBS (m
+// irrelevant, cheapest) and UBS (exhaustive utility search, the m->inf
+// limit).
+//
+// Expected shape (paper): HHS accuracy approaches UBS as m grows while
+// its machine time climbs toward UBS's; with small m it behaves more
+// like FBS.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace bayescrowd::bench {
+namespace {
+
+void RunM(benchmark::State& state, const Table& complete,
+          BayesCrowdOptions options, const char* tag) {
+  options.strategy.kind = static_cast<StrategyKind>(state.range(0));
+  options.strategy.m = static_cast<std::size_t>(state.range(1));
+  const Table incomplete = WithMissingRate(complete, 0.1);
+  const auto& net = LearnedNetwork(incomplete, std::string(tag) + "@0.1");
+  PipelineOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunPipeline(complete, incomplete, net, options);
+  }
+  state.counters["m"] = static_cast<double>(options.strategy.m);
+  state.counters["f1"] = outcome.f1;
+}
+
+void BM_Fig7_Nba(benchmark::State& state) {
+  RunM(state, NbaComplete(), NbaDefaults(), "nba");
+}
+void BM_Fig7_Synthetic(benchmark::State& state) {
+  RunM(state, SyntheticComplete(), SyntheticDefaults(), "syn");
+}
+
+void SweepArgs(benchmark::internal::Benchmark* bench) {
+  // HHS across m values.
+  for (std::int64_t m : {1, 2, 5, 15, 50}) {
+    bench->Args({static_cast<std::int64_t>(StrategyKind::kHhs), m});
+  }
+  // FBS / UBS reference points (m unused).
+  bench->Args({static_cast<std::int64_t>(StrategyKind::kFbs), 15});
+  bench->Args({static_cast<std::int64_t>(StrategyKind::kUbs), 15});
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig7_Nba)->Apply(SweepArgs);
+BENCHMARK(BM_Fig7_Synthetic)->Apply(SweepArgs);
+
+}  // namespace
+}  // namespace bayescrowd::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Figure 8: effect of the pruning threshold α (0.001 - 0.01).
+//
+// Expected shape (paper): larger α keeps more (and more complex)
+// conditions alive, so machine time rises and accuracy improves
+// slightly; a small α already suffices.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace bayescrowd::bench {
+namespace {
+
+void RunAlpha(benchmark::State& state, const Table& complete,
+              BayesCrowdOptions options, const char* tag) {
+  options.ctable.alpha = static_cast<double>(state.range(0)) / 100000.0;
+  constexpr std::uint64_t kSalts[] = {0, 1, 2};
+  double f1_total = 0.0;
+  for (auto _ : state) {
+    f1_total = 0.0;
+    for (std::uint64_t salt : kSalts) {
+      const Table incomplete = WithMissingRate(complete, 0.1, salt);
+      const auto& net = LearnedNetwork(
+          incomplete, std::string(tag) + "@0.1#" + std::to_string(salt));
+      f1_total += RunPipeline(complete, incomplete, net, options).f1;
+    }
+  }
+  state.counters["alpha"] = options.ctable.alpha;
+  state.counters["f1"] = f1_total / static_cast<double>(std::size(kSalts));
+}
+
+void BM_Fig8_Nba(benchmark::State& state) {
+  RunAlpha(state, NbaComplete(), NbaDefaults(), "nba");
+}
+void BM_Fig8_Synthetic(benchmark::State& state) {
+  RunAlpha(state, SyntheticComplete(), SyntheticDefaults(), "syn");
+}
+
+void SweepArgs(benchmark::internal::Benchmark* bench) {
+  // Arg unit: alpha * 1e5.
+  for (std::int64_t alpha : {100, 300, 500, 1000}) bench->Arg(alpha);
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig8_Nba)->Apply(SweepArgs);
+BENCHMARK(BM_Fig8_Synthetic)->Apply(SweepArgs);
+
+}  // namespace
+}  // namespace bayescrowd::bench
+
+BENCHMARK_MAIN();

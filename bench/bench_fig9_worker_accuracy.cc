@@ -1,0 +1,59 @@
+// Figure 9: effect of worker accuracy (0.7 - 1.0) under 3-worker
+// majority voting.
+//
+// Expected shape (paper): machine time barely moves; F1 climbs with
+// worker accuracy (NBA gains more than Synthetic).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace bayescrowd::bench {
+namespace {
+
+void RunAccuracy(benchmark::State& state, const Table& complete,
+                 BayesCrowdOptions options, const char* tag) {
+  options.strategy.kind = static_cast<StrategyKind>(state.range(0));
+  const double accuracy = static_cast<double>(state.range(1)) / 100.0;
+  const Table incomplete = WithMissingRate(complete, 0.1);
+  const auto& net = LearnedNetwork(incomplete, std::string(tag) + "@0.1");
+
+  // Average F1 across three platform seeds: imperfect-worker runs are
+  // stochastic.
+  double f1_total = 0.0;
+  int samples = 0;
+  for (auto _ : state) {
+    for (std::uint64_t seed : {11u, 22u, 33u}) {
+      const PipelineOutcome outcome = RunPipeline(
+          complete, incomplete, net, options, accuracy, seed);
+      f1_total += outcome.f1;
+      ++samples;
+    }
+  }
+  state.counters["worker_accuracy"] = accuracy;
+  state.counters["f1"] = f1_total / static_cast<double>(samples);
+}
+
+void BM_Fig9_Nba(benchmark::State& state) {
+  RunAccuracy(state, NbaComplete(), NbaDefaults(), "nba");
+}
+void BM_Fig9_Synthetic(benchmark::State& state) {
+  RunAccuracy(state, SyntheticComplete(), SyntheticDefaults(), "syn");
+}
+
+void SweepArgs(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t strategy : {0, 1, 2}) {
+    for (std::int64_t accuracy : {70, 80, 90, 100}) {
+      bench->Args({strategy, accuracy});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig9_Nba)->Apply(SweepArgs);
+BENCHMARK(BM_Fig9_Synthetic)->Apply(SweepArgs);
+
+}  // namespace
+}  // namespace bayescrowd::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Movie recommendation: the paper's motivating scenario at scale.
+//
+// A catalogue of movies is rated by audiences; many ratings are missing
+// because nobody watches everything. We want the skyline of movies —
+// those not dominated on every rating dimension — and we may pay a crowd
+// (here: simulated audience members who did watch the movie) to fill
+// the decisive gaps.
+//
+// The example compares the three task-selection strategies (FBS, UBS,
+// HHS) under one budget, reporting machine time, tasks, rounds and F1.
+//
+//   ./build/examples/movie_recommendation [num_movies] [missing_rate]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bayesnet/imputation.h"
+#include "bayesnet/network.h"
+#include "bayesnet/structure_learning.h"
+#include "common/random.h"
+#include "core/framework.h"
+#include "crowd/platform.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "skyline/algorithms.h"
+#include "skyline/metrics.h"
+
+using namespace bayescrowd;  // Example code; the library never does this.
+
+int main(int argc, char** argv) {
+  const std::size_t num_movies =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 800;
+  const double missing_rate = argc > 2 ? std::atof(argv[2]) : 0.1;
+
+  // Audience ratings correlate (a good movie is rated well by most
+  // audiences), which is exactly what the Bayesian network exploits.
+  // 16 rating levels: fine enough that exact ties across all six
+  // audiences (which Definition 1 cannot break) stay rare; noise 2.0
+  // keeps correlation mild so the skyline has real contenders.
+  const Table complete = MakeCorrelated(num_movies, /*d=*/6,
+                                        /*levels=*/16, /*seed=*/2020,
+                                        /*noise_scale=*/2.0);
+  Rng rng(7);
+  const Table incomplete =
+      InjectMissingUniform(complete, missing_rate, rng);
+  std::printf("catalogue: %zu movies x %zu audiences, %.0f%% ratings "
+              "missing\n\n",
+              incomplete.num_objects(), incomplete.num_attributes(),
+              100.0 * incomplete.MissingRate());
+
+  // Preprocessing: learn the Bayesian network from the incomplete data.
+  StructureLearningOptions slo;
+  slo.max_parents = 2;
+  const auto dag = HillClimbStructure(incomplete, slo);
+  BAYESCROWD_CHECK_OK(dag.status());
+  auto net = BayesianNetwork::Create(incomplete.schema(), dag.value());
+  BAYESCROWD_CHECK_OK(net.status());
+  BAYESCROWD_CHECK_OK(net->FitParameters(incomplete));
+  std::printf("learned Bayesian network: %zu edges\n\n",
+              net->structure().num_edges());
+
+  const auto truth = SkylineBnl(complete);
+  BAYESCROWD_CHECK_OK(truth.status());
+  std::printf("ground-truth skyline size: %zu\n\n", truth->size());
+
+  std::printf("%-6s %10s %8s %8s %10s %10s %10s\n", "strat", "time(ms)",
+              "tasks", "rounds", "precision", "recall", "F1");
+  for (const StrategyKind kind :
+       {StrategyKind::kFbs, StrategyKind::kUbs, StrategyKind::kHhs}) {
+    BayesCrowdOptions options;
+    options.ctable.alpha = 0.02;
+    options.strategy.kind = kind;
+    options.strategy.m = 15;
+    options.budget = 100;
+    options.latency = 5;
+    BayesCrowd framework(options);
+
+    BnPosteriorProvider posteriors(net.value(), incomplete);
+    SimulatedCrowdPlatform platform(complete, {});
+    const auto result = framework.Run(incomplete, posteriors, platform);
+    BAYESCROWD_CHECK_OK(result.status());
+    const auto metrics =
+        EvaluateResultSet(result->result_objects, truth.value());
+    std::printf("%-6s %10.1f %8zu %8zu %10.3f %10.3f %10.3f\n",
+                StrategyKindToString(kind), result->total_seconds * 1e3,
+                result->tasks_posted, result->rounds, metrics.precision,
+                metrics.recall, metrics.f1);
+  }
+
+  std::printf("\nexpected shape: FBS fastest, UBS most accurate, HHS "
+              "close to UBS at a fraction of the time.\n");
+  return 0;
+}

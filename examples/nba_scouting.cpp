@@ -1,0 +1,100 @@
+// NBA scouting: BayesCrowd vs the CrowdSky baseline.
+//
+// A scout wants the skyline of player seasons over eleven stat
+// categories. Two categories ("intangibles") are not in the box scores
+// at all — every value must come from expert crowd judgement. This is
+// exactly the CrowdSky setting (observed vs crowd attributes), so both
+// systems can run head-to-head, reproducing the shape of the paper's
+// Figure 4: BayesCrowd needs several times fewer tasks and rounds, with
+// the gap widening as the roster grows (bench_fig4_crowdsky sweeps it).
+//
+//   ./build/examples/nba_scouting [num_players]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bayesnet/imputation.h"
+#include "bayesnet/network.h"
+#include "bayesnet/structure_learning.h"
+#include "core/framework.h"
+#include "crowd/platform.h"
+#include "crowdsky/crowdsky.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "skyline/algorithms.h"
+#include "skyline/metrics.h"
+
+using namespace bayescrowd;  // Example code; the library never does this.
+
+int main(int argc, char** argv) {
+  const std::size_t num_players =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 600;
+
+  const Table complete = MakeNbaLike(num_players, /*seed=*/1994);
+  // The last two attributes become the crowd attributes.
+  const std::size_t d = complete.num_attributes();
+  std::vector<std::size_t> observed;
+  for (std::size_t j = 0; j + 2 < d; ++j) observed.push_back(j);
+  const std::vector<std::size_t> crowd = {d - 2, d - 1};
+  const Table incomplete = InjectMissingAttributes(complete, crowd);
+
+  std::printf("scouting %zu player seasons; attributes %zu observed + "
+              "%zu crowd-only\n\n",
+              num_players, observed.size(), crowd.size());
+
+  const auto truth = SkylineBnl(complete);
+  BAYESCROWD_CHECK_OK(truth.status());
+  std::printf("true skyline size: %zu players\n\n", truth->size());
+
+  std::printf("%-12s %10s %8s %8s %8s\n", "system", "time(ms)", "tasks",
+              "rounds", "F1");
+
+  // --- BayesCrowd (HHS) --------------------------------------------- //
+  {
+    StructureLearningOptions slo;
+    slo.max_parents = 2;
+    const auto dag = HillClimbStructure(incomplete, slo);
+    BAYESCROWD_CHECK_OK(dag.status());
+    auto net = BayesianNetwork::Create(incomplete.schema(), dag.value());
+    BAYESCROWD_CHECK_OK(net.status());
+    BAYESCROWD_CHECK_OK(net->FitParameters(incomplete));
+
+    BayesCrowdOptions options;
+    // With two fully-missing attributes dominator sets are large, so α
+    // must allow a few dozen candidate dominators per object (the paper
+    // notes large-|D| settings fit a larger α; here α·n = 30 as in the
+    // paper's NBA default of 0.003 at 10,000 records).
+    options.ctable.alpha = 0.05;
+    options.strategy.kind = StrategyKind::kHhs;
+    options.budget = 100000;  // Effectively unconstrained (Figure 4).
+    options.latency = options.budget / 20;  // 20 tasks per round.
+    BayesCrowd framework(options);
+    BnPosteriorProvider posteriors(net.value(), incomplete);
+    SimulatedCrowdPlatform platform(complete, {});
+    const auto result = framework.Run(incomplete, posteriors, platform);
+    BAYESCROWD_CHECK_OK(result.status());
+    const auto metrics =
+        EvaluateResultSet(result->result_objects, truth.value());
+    std::printf("%-12s %10.1f %8zu %8zu %8.3f\n", "BayesCrowd",
+                result->total_seconds * 1e3, result->tasks_posted,
+                result->rounds, metrics.f1);
+  }
+
+  // --- CrowdSky ------------------------------------------------------ //
+  {
+    SimulatedCrowdPlatform platform(complete, {});
+    const auto result =
+        RunCrowdSky(incomplete, observed, crowd, platform,
+                    {.tasks_per_round = 20});
+    BAYESCROWD_CHECK_OK(result.status());
+    const auto metrics = EvaluateResultSet(result->skyline, truth.value());
+    std::printf("%-12s %10.1f %8zu %8zu %8.3f\n", "CrowdSky",
+                result->seconds * 1e3, result->tasks_posted,
+                result->rounds, metrics.f1);
+  }
+
+  std::printf("\nexpected shape: comparable F1, but CrowdSky buys "
+              "several times more tasks and rounds (the gap grows "
+              "with --num_players; see bench_fig4_crowdsky).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Sensor-network monitoring: the value of modeling data correlation.
+//
+// A fleet of environmental stations reports correlated readings
+// (upstream temperature predicts downstream temperature, etc.), but
+// unstable radio links drop a fraction of the values — one of the
+// paper's motivating sources of incompleteness. Operators can call a
+// station crew (the "crowd") to read instruments on site, at a cost.
+//
+// The example runs BayesCrowd twice with the same budget: once with the
+// learned Bayesian-network posteriors and once with the zero-knowledge
+// uniform prior, showing how correlation awareness improves both the
+// machine answer and the value bought per task.
+//
+//   ./build/examples/sensor_monitoring [num_stations] [missing_rate]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bayesnet/imputation.h"
+#include "bayesnet/network.h"
+#include "bayesnet/structure_learning.h"
+#include "common/random.h"
+#include "core/framework.h"
+#include "crowd/platform.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "skyline/algorithms.h"
+#include "skyline/metrics.h"
+
+using namespace bayescrowd;  // Example code; the library never does this.
+
+int main(int argc, char** argv) {
+  const std::size_t num_stations =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500;
+  const double missing_rate = argc > 2 ? std::atof(argv[2]) : 0.15;
+
+  // Correlated station profile: 9 attributes generated from a chain-like
+  // dependency structure (the Adult-like generator's hand-built BN).
+  const Table complete = MakeAdultLike(num_stations, /*seed=*/808);
+  Rng rng(17);
+  const Table incomplete =
+      InjectMissingUniform(complete, missing_rate, rng);
+  std::printf("%zu stations x %zu channels, %.0f%% readings lost\n\n",
+              incomplete.num_objects(), incomplete.num_attributes(),
+              100.0 * incomplete.MissingRate());
+
+  const auto truth = SkylineBnl(complete);
+  BAYESCROWD_CHECK_OK(truth.status());
+  std::printf("true skyline (best stations): %zu\n\n", truth->size());
+
+  // Learn the correlation model from the incomplete data itself.
+  const auto dag = ChowLiuStructure(incomplete);
+  BAYESCROWD_CHECK_OK(dag.status());
+  auto net = BayesianNetwork::Create(incomplete.schema(), dag.value());
+  BAYESCROWD_CHECK_OK(net.status());
+  BAYESCROWD_CHECK_OK(net->FitParameters(incomplete));
+
+  std::printf("%-18s %8s %8s %10s %10s %10s\n", "prior", "tasks",
+              "rounds", "precision", "recall", "F1");
+  for (const bool use_bn : {true, false}) {
+    BayesCrowdOptions options;
+    options.ctable.alpha = 0.05;
+    options.strategy.kind = StrategyKind::kHhs;
+    options.budget = 60;
+    options.latency = 4;
+    BayesCrowd framework(options);
+
+    BnPosteriorProvider bn_posteriors(net.value(), incomplete);
+    UniformPosteriorProvider uniform_posteriors(incomplete.schema());
+    PosteriorProvider& posteriors =
+        use_bn ? static_cast<PosteriorProvider&>(bn_posteriors)
+               : static_cast<PosteriorProvider&>(uniform_posteriors);
+
+    SimulatedCrowdPlatform platform(complete, {});
+    const auto result = framework.Run(incomplete, posteriors, platform);
+    BAYESCROWD_CHECK_OK(result.status());
+    const auto metrics =
+        EvaluateResultSet(result->result_objects, truth.value());
+    std::printf("%-18s %8zu %8zu %10.3f %10.3f %10.3f\n",
+                use_bn ? "bayesian-network" : "uniform",
+                result->tasks_posted, result->rounds, metrics.precision,
+                metrics.recall, metrics.f1);
+  }
+
+  std::printf("\nexpected shape: the Bayesian-network prior spends the "
+              "same budget on better-chosen tasks and scores a higher "
+              "F1.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "bayesnet/dag.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+
+bool Dag::HasEdge(std::size_t from, std::size_t to) const {
+  const auto& ch = children_[from];
+  return std::find(ch.begin(), ch.end(), to) != ch.end();
+}
+
+bool Dag::Reaches(std::size_t start, std::size_t target) const {
+  if (start == target) return true;
+  std::vector<bool> visited(num_nodes(), false);
+  std::vector<std::size_t> stack = {start};
+  visited[start] = true;
+  while (!stack.empty()) {
+    const std::size_t node = stack.back();
+    stack.pop_back();
+    for (std::size_t child : children_[node]) {
+      if (child == target) return true;
+      if (!visited[child]) {
+        visited[child] = true;
+        stack.push_back(child);
+      }
+    }
+  }
+  return false;
+}
+
+bool Dag::CanAddEdge(std::size_t from, std::size_t to) const {
+  if (from == to || HasEdge(from, to)) return false;
+  // from -> to creates a cycle iff to already reaches from.
+  return !Reaches(to, from);
+}
+
+Status Dag::AddEdge(std::size_t from, std::size_t to) {
+  if (from >= num_nodes() || to >= num_nodes()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (from == to) return Status::InvalidArgument("self-loop");
+  if (HasEdge(from, to)) {
+    return Status::AlreadyExists(
+        StrFormat("edge %zu->%zu already present", from, to));
+  }
+  if (Reaches(to, from)) {
+    return Status::FailedPrecondition(
+        StrFormat("edge %zu->%zu would create a cycle", from, to));
+  }
+  children_[from].push_back(to);
+  parents_[to].push_back(from);
+  return Status::OK();
+}
+
+Status Dag::RemoveEdge(std::size_t from, std::size_t to) {
+  auto& ch = children_[from];
+  const auto cit = std::find(ch.begin(), ch.end(), to);
+  if (cit == ch.end()) {
+    return Status::NotFound(StrFormat("edge %zu->%zu absent", from, to));
+  }
+  ch.erase(cit);
+  auto& pa = parents_[to];
+  pa.erase(std::find(pa.begin(), pa.end(), from));
+  return Status::OK();
+}
+
+std::size_t Dag::num_edges() const {
+  std::size_t total = 0;
+  for (const auto& ch : children_) total += ch.size();
+  return total;
+}
+
+std::vector<std::size_t> Dag::TopologicalOrder() const {
+  std::vector<std::size_t> in_degree(num_nodes());
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    in_degree[v] = parents_[v].size();
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    if (in_degree[v] == 0) ready.push_back(v);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(num_nodes());
+  while (!ready.empty()) {
+    const std::size_t node = ready.back();
+    ready.pop_back();
+    order.push_back(node);
+    for (std::size_t child : children_[node]) {
+      if (--in_degree[child] == 0) ready.push_back(child);
+    }
+  }
+  return order;  // Size == num_nodes() by the acyclicity invariant.
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Dag::Edges() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(num_edges());
+  for (std::size_t from = 0; from < num_nodes(); ++from) {
+    for (std::size_t to : children_[from]) out.emplace_back(from, to);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,63 @@
+// Directed acyclic graph over attribute indices, the structural half of
+// a Bayesian network.
+
+#ifndef BAYESCROWD_BAYESNET_DAG_H_
+#define BAYESCROWD_BAYESNET_DAG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bayescrowd {
+
+/// A simple adjacency-list DAG. Edges are parent -> child. All mutating
+/// operations preserve acyclicity (AddEdge fails rather than creating a
+/// cycle).
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(std::size_t num_nodes)
+      : parents_(num_nodes), children_(num_nodes) {}
+
+  std::size_t num_nodes() const { return parents_.size(); }
+
+  const std::vector<std::size_t>& parents(std::size_t node) const {
+    return parents_[node];
+  }
+  const std::vector<std::size_t>& children(std::size_t node) const {
+    return children_[node];
+  }
+
+  bool HasEdge(std::size_t from, std::size_t to) const;
+
+  /// Adds from -> to; fails if it already exists or would create a cycle
+  /// (including self-loops).
+  Status AddEdge(std::size_t from, std::size_t to);
+
+  /// Removes from -> to; fails if absent.
+  Status RemoveEdge(std::size_t from, std::size_t to);
+
+  /// True if adding from -> to keeps the graph acyclic (edge absent).
+  bool CanAddEdge(std::size_t from, std::size_t to) const;
+
+  std::size_t num_edges() const;
+
+  /// Nodes in an order where every parent precedes its children.
+  std::vector<std::size_t> TopologicalOrder() const;
+
+  /// All (from, to) edges, lexicographic.
+  std::vector<std::pair<std::size_t, std::size_t>> Edges() const;
+
+ private:
+  // True if `target` is reachable from `start` by directed edges.
+  bool Reaches(std::size_t start, std::size_t target) const;
+
+  std::vector<std::vector<std::size_t>> parents_;
+  std::vector<std::vector<std::size_t>> children_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_BAYESNET_DAG_H_

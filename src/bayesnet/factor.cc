@@ -1,0 +1,152 @@
+#include "bayesnet/factor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bayescrowd {
+
+Factor::Factor(std::vector<std::size_t> variables,
+               std::vector<Level> cardinalities)
+    : variables_(std::move(variables)), cards_(std::move(cardinalities)) {
+  assert(variables_.size() == cards_.size());
+  assert(std::is_sorted(variables_.begin(), variables_.end()));
+  std::size_t total = 1;
+  for (Level c : cards_) total *= static_cast<std::size_t>(c);
+  values_.assign(total, 0.0);
+}
+
+std::size_t Factor::IndexOf(const std::vector<Level>& assignment) const {
+  assert(assignment.size() == variables_.size());
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    index = index * static_cast<std::size_t>(cards_[i]) +
+            static_cast<std::size_t>(assignment[i]);
+  }
+  return index;
+}
+
+std::vector<Level> Factor::AssignmentOf(std::size_t flat_index) const {
+  std::vector<Level> assignment(variables_.size());
+  for (std::size_t i = variables_.size(); i-- > 0;) {
+    const auto card = static_cast<std::size_t>(cards_[i]);
+    assignment[i] = static_cast<Level>(flat_index % card);
+    flat_index /= card;
+  }
+  return assignment;
+}
+
+bool Factor::ContainsVariable(std::size_t variable) const {
+  return std::binary_search(variables_.begin(), variables_.end(), variable);
+}
+
+Factor Factor::Product(const Factor& a, const Factor& b) {
+  // Union scope, sorted.
+  std::vector<std::size_t> vars;
+  std::vector<Level> cards;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.variables_.size() || ib < b.variables_.size()) {
+    if (ib == b.variables_.size() ||
+        (ia < a.variables_.size() && a.variables_[ia] < b.variables_[ib])) {
+      vars.push_back(a.variables_[ia]);
+      cards.push_back(a.cards_[ia]);
+      ++ia;
+    } else if (ia == a.variables_.size() ||
+               b.variables_[ib] < a.variables_[ia]) {
+      vars.push_back(b.variables_[ib]);
+      cards.push_back(b.cards_[ib]);
+      ++ib;
+    } else {
+      assert(a.cards_[ia] == b.cards_[ib]);
+      vars.push_back(a.variables_[ia]);
+      cards.push_back(a.cards_[ia]);
+      ++ia;
+      ++ib;
+    }
+  }
+  Factor out(vars, cards);
+
+  // Position of each output variable inside a's and b's scopes (or npos).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> a_pos(vars.size(), kNone);
+  std::vector<std::size_t> b_pos(vars.size(), kNone);
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    const auto ait =
+        std::lower_bound(a.variables_.begin(), a.variables_.end(), vars[i]);
+    if (ait != a.variables_.end() && *ait == vars[i]) {
+      a_pos[i] = static_cast<std::size_t>(ait - a.variables_.begin());
+    }
+    const auto bit =
+        std::lower_bound(b.variables_.begin(), b.variables_.end(), vars[i]);
+    if (bit != b.variables_.end() && *bit == vars[i]) {
+      b_pos[i] = static_cast<std::size_t>(bit - b.variables_.begin());
+    }
+  }
+
+  std::vector<Level> assignment(vars.size(), 0);
+  std::vector<Level> a_assign(a.variables_.size());
+  std::vector<Level> b_assign(b.variables_.size());
+  for (std::size_t flat = 0; flat < out.values_.size(); ++flat) {
+    const std::vector<Level> asg = out.AssignmentOf(flat);
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (a_pos[i] != kNone) a_assign[a_pos[i]] = asg[i];
+      if (b_pos[i] != kNone) b_assign[b_pos[i]] = asg[i];
+    }
+    out.values_[flat] = a.values_[a.IndexOf(a_assign)] *
+                        b.values_[b.IndexOf(b_assign)];
+  }
+  return out;
+}
+
+Factor Factor::Marginalize(std::size_t variable) const {
+  const auto it =
+      std::lower_bound(variables_.begin(), variables_.end(), variable);
+  assert(it != variables_.end() && *it == variable);
+  const auto pos = static_cast<std::size_t>(it - variables_.begin());
+
+  std::vector<std::size_t> vars = variables_;
+  std::vector<Level> cards = cards_;
+  vars.erase(vars.begin() + static_cast<std::ptrdiff_t>(pos));
+  cards.erase(cards.begin() + static_cast<std::ptrdiff_t>(pos));
+  Factor out(vars, cards);
+
+  for (std::size_t flat = 0; flat < values_.size(); ++flat) {
+    std::vector<Level> asg = AssignmentOf(flat);
+    asg.erase(asg.begin() + static_cast<std::ptrdiff_t>(pos));
+    out.values_[out.IndexOf(asg)] += values_[flat];
+  }
+  return out;
+}
+
+Factor Factor::Reduce(std::size_t variable, Level value) const {
+  const auto it =
+      std::lower_bound(variables_.begin(), variables_.end(), variable);
+  assert(it != variables_.end() && *it == variable);
+  const auto pos = static_cast<std::size_t>(it - variables_.begin());
+
+  std::vector<std::size_t> vars = variables_;
+  std::vector<Level> cards = cards_;
+  vars.erase(vars.begin() + static_cast<std::ptrdiff_t>(pos));
+  cards.erase(cards.begin() + static_cast<std::ptrdiff_t>(pos));
+  Factor out(vars, cards);
+
+  for (std::size_t flat = 0; flat < out.values_.size(); ++flat) {
+    std::vector<Level> asg = out.AssignmentOf(flat);
+    asg.insert(asg.begin() + static_cast<std::ptrdiff_t>(pos), value);
+    out.values_[flat] = values_[IndexOf(asg)];
+  }
+  return out;
+}
+
+void Factor::Normalize() {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  if (total <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(values_.size());
+    for (double& v : values_) v = uniform;
+    return;
+  }
+  for (double& v : values_) v /= total;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,63 @@
+// Factor: a non-negative function over an ordered subset of discrete
+// variables, the workhorse of variable-elimination inference.
+
+#ifndef BAYESCROWD_BAYESNET_FACTOR_H_
+#define BAYESCROWD_BAYESNET_FACTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/value.h"
+
+namespace bayescrowd {
+
+/// Dense tabular factor. Variables are identified by node index and kept
+/// sorted ascending; values are stored with the *last* variable varying
+/// fastest (row-major in variable order).
+class Factor {
+ public:
+  Factor() = default;
+
+  /// `cardinalities[i]` is the domain size of variables[i]. `variables`
+  /// must be sorted ascending and duplicate-free. Values start at zero.
+  Factor(std::vector<std::size_t> variables,
+         std::vector<Level> cardinalities);
+
+  const std::vector<std::size_t>& variables() const { return variables_; }
+  const std::vector<Level>& cardinalities() const { return cards_; }
+  std::size_t size() const { return values_.size(); }
+
+  double& At(std::size_t flat_index) { return values_[flat_index]; }
+  double At(std::size_t flat_index) const { return values_[flat_index]; }
+
+  /// Flat index of an assignment (one level per variable, in variable
+  /// order).
+  std::size_t IndexOf(const std::vector<Level>& assignment) const;
+
+  /// Decodes a flat index into per-variable levels.
+  std::vector<Level> AssignmentOf(std::size_t flat_index) const;
+
+  /// Pointwise product. The result's scope is the union of scopes.
+  static Factor Product(const Factor& a, const Factor& b);
+
+  /// Sums out `variable` (which must be in scope).
+  Factor Marginalize(std::size_t variable) const;
+
+  /// Restricts `variable` to `value` and drops it from the scope.
+  Factor Reduce(std::size_t variable, Level value) const;
+
+  /// Scales so entries sum to one; a uniform factor results if the total
+  /// is zero (degenerate evidence).
+  void Normalize();
+
+  bool ContainsVariable(std::size_t variable) const;
+
+ private:
+  std::vector<std::size_t> variables_;  // sorted ascending
+  std::vector<Level> cards_;
+  std::vector<double> values_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_BAYESNET_FACTOR_H_

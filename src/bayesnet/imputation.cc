@@ -1,0 +1,53 @@
+#include "bayesnet/imputation.h"
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+
+Result<std::vector<double>> BnPosteriorProvider::Posterior(
+    const CellRef& cell) {
+  const auto it = cache_.find(cell);
+  if (it != cache_.end()) return it->second;
+
+  if (cell.object >= table_.num_objects() ||
+      cell.attribute >= table_.num_attributes()) {
+    return Status::OutOfRange("cell outside table");
+  }
+  if (!table_.IsMissing(cell.object, cell.attribute)) {
+    return Status::InvalidArgument(StrFormat(
+        "cell (%zu, %zu) is observed, not missing", cell.object,
+        cell.attribute));
+  }
+
+  Evidence evidence;
+  for (std::size_t j = 0; j < table_.num_attributes(); ++j) {
+    if (j == cell.attribute) continue;
+    const Level v = table_.At(cell.object, j);
+    if (!IsMissingLevel(v)) evidence[j] = v;
+  }
+  BAYESCROWD_ASSIGN_OR_RETURN(
+      std::vector<double> posterior,
+      VariableElimination(network_, evidence, cell.attribute));
+  cache_.emplace(cell, posterior);
+  return posterior;
+}
+
+Result<std::vector<double>> FixedMarginalsProvider::Posterior(
+    const CellRef& cell) {
+  if (cell.attribute >= marginals_.size()) {
+    return Status::OutOfRange("attribute outside marginals");
+  }
+  return marginals_[cell.attribute];
+}
+
+Result<std::vector<double>> UniformPosteriorProvider::Posterior(
+    const CellRef& cell) {
+  if (cell.attribute >= schema_.num_attributes()) {
+    return Status::OutOfRange("attribute outside schema");
+  }
+  const auto card =
+      static_cast<std::size_t>(schema_.domain_size(cell.attribute));
+  return std::vector<double>(card, 1.0 / static_cast<double>(card));
+}
+
+}  // namespace bayescrowd

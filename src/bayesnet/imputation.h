@@ -1,0 +1,79 @@
+// Per-cell posterior distributions for missing values.
+//
+// This is the output of BayesCrowd's preprocessing step: for each missing
+// cell Var(o, a), the distribution P(a | observed attributes of o) under
+// the learned Bayesian network. The PosteriorProvider interface decouples
+// consumers (the probability evaluator, task-utility computation) from
+// how the distribution is obtained, so tests can plug in the fixed
+// marginals of the paper's Example 3.
+
+#ifndef BAYESCROWD_BAYESNET_IMPUTATION_H_
+#define BAYESCROWD_BAYESNET_IMPUTATION_H_
+
+#include <map>
+#include <vector>
+
+#include "bayesnet/inference.h"
+#include "bayesnet/network.h"
+#include "common/result.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+
+/// Source of value distributions for missing cells.
+class PosteriorProvider {
+ public:
+  virtual ~PosteriorProvider() = default;
+
+  /// Normalized distribution over the attribute domain of `cell`.
+  virtual Result<std::vector<double>> Posterior(const CellRef& cell) = 0;
+};
+
+/// Bayesian-network-backed provider: P(attribute | row's observed cells),
+/// computed by exact variable elimination and memoized per cell.
+class BnPosteriorProvider : public PosteriorProvider {
+ public:
+  /// Both references must outlive the provider. `incomplete` is the
+  /// queried table whose missing cells will be asked about.
+  BnPosteriorProvider(const BayesianNetwork& network, const Table& incomplete)
+      : network_(network), table_(incomplete) {}
+
+  Result<std::vector<double>> Posterior(const CellRef& cell) override;
+
+ private:
+  const BayesianNetwork& network_;
+  const Table& table_;
+  std::map<CellRef, std::vector<double>> cache_;
+};
+
+/// Fixed per-attribute marginals, independent of the object (used by
+/// tests and the paper's worked examples).
+class FixedMarginalsProvider : public PosteriorProvider {
+ public:
+  /// `marginals[j]` is the distribution of attribute j; must be
+  /// normalized and sized to the attribute domain.
+  explicit FixedMarginalsProvider(std::vector<std::vector<double>> marginals)
+      : marginals_(std::move(marginals)) {}
+
+  Result<std::vector<double>> Posterior(const CellRef& cell) override;
+
+ private:
+  std::vector<std::vector<double>> marginals_;
+};
+
+/// Uniform distributions over each attribute domain (the zero-knowledge
+/// baseline: "no prior knowledge on the missing values").
+class UniformPosteriorProvider : public PosteriorProvider {
+ public:
+  explicit UniformPosteriorProvider(const Schema& schema)
+      : schema_(schema) {}
+
+  Result<std::vector<double>> Posterior(const CellRef& cell) override;
+
+ private:
+  Schema schema_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_BAYESNET_IMPUTATION_H_

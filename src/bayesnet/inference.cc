@@ -1,0 +1,258 @@
+#include "bayesnet/inference.h"
+
+#include <algorithm>
+#include <set>
+
+#include "bayesnet/factor.h"
+#include "common/string_util.h"
+
+namespace bayescrowd {
+namespace {
+
+// Builds the CPT of `node` as a factor over {node} ∪ parents(node).
+Factor CptFactor(const BayesianNetwork& net, std::size_t node) {
+  const Cpt& cpt = net.cpt(node);
+  std::vector<std::size_t> vars = cpt.parents();
+  vars.push_back(node);
+  std::sort(vars.begin(), vars.end());
+  std::vector<Level> cards;
+  cards.reserve(vars.size());
+  for (std::size_t v : vars) cards.push_back(net.schema().domain_size(v));
+  Factor factor(vars, cards);
+
+  // Enumerate all assignments of the factor scope and fill from the CPT.
+  std::vector<Level> parent_values(cpt.parents().size());
+  for (std::size_t flat = 0; flat < factor.size(); ++flat) {
+    const std::vector<Level> asg = factor.AssignmentOf(flat);
+    Level node_value = 0;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == node) {
+        node_value = asg[i];
+        continue;
+      }
+      // Position of vars[i] in the CPT's parent order.
+      for (std::size_t p = 0; p < cpt.parents().size(); ++p) {
+        if (cpt.parents()[p] == vars[i]) {
+          parent_values[p] = asg[i];
+          break;
+        }
+      }
+    }
+    factor.At(flat) = cpt.Prob(node_value, cpt.ConfigIndex(parent_values));
+  }
+  return factor;
+}
+
+Status ValidateQuery(const BayesianNetwork& net, const Evidence& evidence,
+                     std::size_t query) {
+  if (query >= net.num_nodes()) {
+    return Status::OutOfRange("query node out of range");
+  }
+  if (evidence.count(query) > 0) {
+    return Status::InvalidArgument("query node is also evidence");
+  }
+  for (const auto& [node, value] : evidence) {
+    if (node >= net.num_nodes()) {
+      return Status::OutOfRange("evidence node out of range");
+    }
+    if (value < 0 || value >= net.schema().domain_size(node)) {
+      return Status::OutOfRange(StrFormat(
+          "evidence value %d outside domain of node %zu", value, node));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<double>> VariableElimination(const BayesianNetwork& net,
+                                                const Evidence& evidence,
+                                                std::size_t query) {
+  BAYESCROWD_RETURN_NOT_OK(ValidateQuery(net, evidence, query));
+
+  // Build reduced CPT factors.
+  std::vector<Factor> factors;
+  factors.reserve(net.num_nodes());
+  for (std::size_t node = 0; node < net.num_nodes(); ++node) {
+    Factor f = CptFactor(net, node);
+    for (const auto& [ev_node, ev_value] : evidence) {
+      if (f.ContainsVariable(ev_node)) f = f.Reduce(ev_node, ev_value);
+    }
+    factors.push_back(std::move(f));
+  }
+
+  // Hidden variables to eliminate (everything but query and evidence).
+  std::set<std::size_t> hidden;
+  for (std::size_t v = 0; v < net.num_nodes(); ++v) {
+    if (v != query && evidence.count(v) == 0) hidden.insert(v);
+  }
+
+  while (!hidden.empty()) {
+    // Min-degree heuristic: eliminate the variable whose combined factor
+    // scope is smallest.
+    std::size_t best_var = 0;
+    std::size_t best_scope = static_cast<std::size_t>(-1);
+    for (std::size_t var : hidden) {
+      std::set<std::size_t> scope;
+      for (const Factor& f : factors) {
+        if (!f.ContainsVariable(var)) continue;
+        scope.insert(f.variables().begin(), f.variables().end());
+      }
+      if (scope.size() < best_scope) {
+        best_scope = scope.size();
+        best_var = var;
+      }
+    }
+
+    // Multiply the factors mentioning best_var, sum it out.
+    Factor combined;
+    bool have = false;
+    std::vector<Factor> remaining;
+    remaining.reserve(factors.size());
+    for (Factor& f : factors) {
+      if (f.ContainsVariable(best_var)) {
+        combined = have ? Factor::Product(combined, f) : std::move(f);
+        have = true;
+      } else {
+        remaining.push_back(std::move(f));
+      }
+    }
+    if (have) remaining.push_back(combined.Marginalize(best_var));
+    factors = std::move(remaining);
+    hidden.erase(best_var);
+  }
+
+  // Multiply what is left; everything is now over {query} (or empty).
+  Factor result({query}, {net.schema().domain_size(query)});
+  for (std::size_t i = 0; i < result.size(); ++i) result.At(i) = 1.0;
+  for (const Factor& f : factors) {
+    if (f.variables().empty()) continue;  // Constant from evidence.
+    result = Factor::Product(result, f);
+  }
+  result.Normalize();
+
+  std::vector<double> out(
+      static_cast<std::size_t>(net.schema().domain_size(query)));
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = result.At(v);
+  }
+  return out;
+}
+
+Result<std::vector<double>> LikelihoodWeighting(const BayesianNetwork& net,
+                                                const Evidence& evidence,
+                                                std::size_t query,
+                                                std::size_t num_samples,
+                                                Rng& rng) {
+  BAYESCROWD_RETURN_NOT_OK(ValidateQuery(net, evidence, query));
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be > 0");
+  }
+
+  const auto order = net.structure().TopologicalOrder();
+  std::vector<double> accum(
+      static_cast<std::size_t>(net.schema().domain_size(query)), 0.0);
+  std::vector<Level> row(net.num_nodes(), kMissingLevel);
+  std::vector<Level> parent_values;
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    double weight = 1.0;
+    for (std::size_t node : order) {
+      const Cpt& cpt = net.cpt(node);
+      parent_values.clear();
+      for (std::size_t p : cpt.parents()) parent_values.push_back(row[p]);
+      const std::size_t config = cpt.ConfigIndex(parent_values);
+      const auto ev = evidence.find(node);
+      if (ev != evidence.end()) {
+        row[node] = ev->second;
+        weight *= cpt.Prob(ev->second, config);
+      } else {
+        row[node] = cpt.Sample(config, rng);
+      }
+    }
+    accum[static_cast<std::size_t>(row[query])] += weight;
+  }
+  double total = 0.0;
+  for (double v : accum) total += v;
+  if (total <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(accum.size());
+    for (double& v : accum) v = uniform;
+    return accum;
+  }
+  for (double& v : accum) v /= total;
+  return accum;
+}
+
+Result<std::vector<double>> GibbsSampling(const BayesianNetwork& net,
+                                          const Evidence& evidence,
+                                          std::size_t query,
+                                          std::size_t num_samples,
+                                          std::size_t burn_in, Rng& rng) {
+  BAYESCROWD_RETURN_NOT_OK(ValidateQuery(net, evidence, query));
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be > 0");
+  }
+
+  const std::size_t d = net.num_nodes();
+  std::vector<std::size_t> hidden;
+  for (std::size_t v = 0; v < d; ++v) {
+    if (evidence.count(v) == 0) hidden.push_back(v);
+  }
+
+  // Initialize: evidence fixed, hidden variables forward-sampled.
+  std::vector<Level> row(d, kMissingLevel);
+  std::vector<Level> parent_values;
+  for (std::size_t node : net.structure().TopologicalOrder()) {
+    const auto ev = evidence.find(node);
+    if (ev != evidence.end()) {
+      row[node] = ev->second;
+      continue;
+    }
+    const Cpt& cpt = net.cpt(node);
+    parent_values.clear();
+    for (std::size_t p : cpt.parents()) parent_values.push_back(row[p]);
+    row[node] = cpt.Sample(cpt.ConfigIndex(parent_values), rng);
+  }
+
+  // Full conditional of `node`: P(node = v | rest) ∝
+  // P(node = v | parents) * Π_{children c} P(c | parents(c) with node=v).
+  const auto resample = [&](std::size_t node) {
+    const Cpt& cpt = net.cpt(node);
+    const auto card = static_cast<std::size_t>(cpt.cardinality());
+    std::vector<double> weights(card, 1.0);
+    parent_values.clear();
+    for (std::size_t p : cpt.parents()) parent_values.push_back(row[p]);
+    const std::size_t config = cpt.ConfigIndex(parent_values);
+    for (std::size_t v = 0; v < card; ++v) {
+      weights[v] = cpt.Prob(static_cast<Level>(v), config);
+    }
+    for (std::size_t child : net.structure().children(node)) {
+      const Cpt& child_cpt = net.cpt(child);
+      const Level saved = row[node];
+      for (std::size_t v = 0; v < card; ++v) {
+        row[node] = static_cast<Level>(v);
+        std::vector<Level> child_parents;
+        child_parents.reserve(child_cpt.parents().size());
+        for (std::size_t p : child_cpt.parents()) {
+          child_parents.push_back(row[p]);
+        }
+        weights[v] *= child_cpt.Prob(
+            row[child], child_cpt.ConfigIndex(child_parents));
+      }
+      row[node] = saved;
+    }
+    row[node] = static_cast<Level>(rng.NextDiscrete(weights));
+  };
+
+  std::vector<double> accum(
+      static_cast<std::size_t>(net.schema().domain_size(query)), 0.0);
+  for (std::size_t sweep = 0; sweep < burn_in + num_samples; ++sweep) {
+    for (std::size_t node : hidden) resample(node);
+    if (sweep >= burn_in) {
+      accum[static_cast<std::size_t>(row[query])] += 1.0;
+    }
+  }
+  for (double& p : accum) p /= static_cast<double>(num_samples);
+  return accum;
+}
+
+}  // namespace bayescrowd

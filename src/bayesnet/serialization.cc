@@ -1,0 +1,148 @@
+#include "bayesnet/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+
+std::string SerializeNetwork(const BayesianNetwork& network) {
+  std::ostringstream out;
+  out << "bayesnet v1\n";
+  out << "nodes " << network.num_nodes() << "\n";
+  for (std::size_t v = 0; v < network.num_nodes(); ++v) {
+    out << "node " << v << " " << network.schema().attribute(v).name
+        << " " << network.schema().domain_size(v) << "\n";
+  }
+  const auto edges = network.structure().Edges();
+  out << "edges " << edges.size() << "\n";
+  for (const auto& [from, to] : edges) {
+    out << "edge " << from << " " << to << "\n";
+  }
+  out.precision(17);
+  for (std::size_t v = 0; v < network.num_nodes(); ++v) {
+    const Cpt& cpt = network.cpt(v);
+    out << "cpt " << v;
+    for (std::size_t c = 0; c < cpt.num_parent_configs(); ++c) {
+      for (Level value = 0; value < cpt.cardinality(); ++value) {
+        out << " " << cpt.Prob(value, c);
+      }
+    }
+    out << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<BayesianNetwork> DeserializeNetwork(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  const auto next_line = [&in, &line]() {
+    while (std::getline(in, line)) {
+      const auto trimmed = Trim(line);
+      if (!trimmed.empty() && trimmed[0] != '#') {
+        line = std::string(trimmed);
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto malformed = [](const std::string& what) {
+    return Status::InvalidArgument("bayesnet parse error: " + what);
+  };
+
+  if (!next_line() || line != "bayesnet v1") {
+    return malformed("missing 'bayesnet v1' header");
+  }
+  if (!next_line()) return malformed("missing 'nodes'");
+  std::istringstream nodes_line(line);
+  std::string keyword;
+  std::size_t d = 0;
+  if (!(nodes_line >> keyword >> d) || keyword != "nodes" || d == 0) {
+    return malformed("bad 'nodes' line");
+  }
+
+  Schema schema;
+  std::vector<std::string> names(d);
+  std::vector<Level> cards(d, 0);
+  for (std::size_t i = 0; i < d; ++i) {
+    if (!next_line()) return malformed("missing 'node' line");
+    std::istringstream node_line(line);
+    std::size_t index = 0;
+    std::string name;
+    int card = 0;
+    if (!(node_line >> keyword >> index >> name >> card) ||
+        keyword != "node" || index >= d || card <= 0) {
+      return malformed("bad 'node' line: " + line);
+    }
+    names[index] = name;
+    cards[index] = static_cast<Level>(card);
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    schema.AddAttribute(names[i], cards[i]);
+  }
+
+  if (!next_line()) return malformed("missing 'edges'");
+  std::istringstream edges_line(line);
+  std::size_t m = 0;
+  if (!(edges_line >> keyword >> m) || keyword != "edges") {
+    return malformed("bad 'edges' line");
+  }
+  Dag dag(d);
+  for (std::size_t e = 0; e < m; ++e) {
+    if (!next_line()) return malformed("missing 'edge' line");
+    std::istringstream edge_line(line);
+    std::size_t from = 0;
+    std::size_t to = 0;
+    if (!(edge_line >> keyword >> from >> to) || keyword != "edge") {
+      return malformed("bad 'edge' line: " + line);
+    }
+    BAYESCROWD_RETURN_NOT_OK(dag.AddEdge(from, to));
+  }
+
+  BAYESCROWD_ASSIGN_OR_RETURN(BayesianNetwork network,
+                              BayesianNetwork::Create(schema, dag));
+  for (std::size_t v = 0; v < d; ++v) {
+    if (!next_line()) return malformed("missing 'cpt' line");
+    std::istringstream cpt_line(line);
+    std::size_t node = 0;
+    if (!(cpt_line >> keyword >> node) || keyword != "cpt" || node >= d) {
+      return malformed("bad 'cpt' line: " + line);
+    }
+    auto& cpt = const_cast<Cpt&>(network.cpt(node));
+    const auto card = static_cast<std::size_t>(cpt.cardinality());
+    std::vector<double> dist(card);
+    for (std::size_t c = 0; c < cpt.num_parent_configs(); ++c) {
+      for (std::size_t value = 0; value < card; ++value) {
+        if (!(cpt_line >> dist[value])) {
+          return malformed("truncated cpt for node " +
+                           std::to_string(node));
+        }
+      }
+      BAYESCROWD_RETURN_NOT_OK(cpt.SetDistribution(c, dist));
+    }
+  }
+  if (!next_line() || line != "end") return malformed("missing 'end'");
+  return network;
+}
+
+Status SaveNetwork(const BayesianNetwork& network,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SerializeNetwork(network);
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<BayesianNetwork> LoadNetwork(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeNetwork(buffer.str());
+}
+
+}  // namespace bayescrowd

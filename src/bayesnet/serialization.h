@@ -1,0 +1,36 @@
+// Bayesian-network persistence: a plain-text format so a trained
+// network (the expensive preprocessing output) can be reused across
+// query sessions.
+//
+// Format (line-oriented, '#' comments allowed):
+//   bayesnet v1
+//   nodes <d>
+//   node <index> <name> <cardinality>
+//   edges <m>
+//   edge <from> <to>
+//   cpt <node> <num_configs * cardinality probabilities...>
+//   end
+
+#ifndef BAYESCROWD_BAYESNET_SERIALIZATION_H_
+#define BAYESCROWD_BAYESNET_SERIALIZATION_H_
+
+#include <string>
+
+#include "bayesnet/network.h"
+#include "common/result.h"
+
+namespace bayescrowd {
+
+/// Serializes `network` to the text format above.
+std::string SerializeNetwork(const BayesianNetwork& network);
+
+/// Parses a network previously produced by SerializeNetwork.
+Result<BayesianNetwork> DeserializeNetwork(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveNetwork(const BayesianNetwork& network, const std::string& path);
+Result<BayesianNetwork> LoadNetwork(const std::string& path);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_BAYESNET_SERIALIZATION_H_

@@ -1,0 +1,95 @@
+#include "common/bitset.h"
+
+#include <cassert>
+
+namespace bayescrowd {
+
+DynamicBitset::DynamicBitset(std::size_t num_bits, bool initial_value)
+    : num_bits_(num_bits),
+      words_((num_bits + 63) / 64,
+             initial_value ? ~std::uint64_t{0} : std::uint64_t{0}) {
+  if (initial_value) ClearPadding();
+}
+
+void DynamicBitset::Set(std::size_t index) {
+  assert(index < num_bits_);
+  words_[index / 64] |= std::uint64_t{1} << (index % 64);
+}
+
+void DynamicBitset::Reset(std::size_t index) {
+  assert(index < num_bits_);
+  words_[index / 64] &= ~(std::uint64_t{1} << (index % 64));
+}
+
+bool DynamicBitset::Test(std::size_t index) const {
+  assert(index < num_bits_);
+  return (words_[index / 64] >> (index % 64)) & 1;
+}
+
+void DynamicBitset::Fill(bool value) {
+  const std::uint64_t fill = value ? ~std::uint64_t{0} : std::uint64_t{0};
+  for (auto& w : words_) w = fill;
+  if (value) ClearPadding();
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
+bool DynamicBitset::None() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+void DynamicBitset::SetRange(std::size_t begin, std::size_t end) {
+  assert(begin <= end && end <= num_bits_);
+  if (begin >= end) return;
+  const std::size_t first_word = begin / 64;
+  const std::size_t last_word = (end - 1) / 64;
+  const std::uint64_t first_mask = ~std::uint64_t{0} << (begin % 64);
+  const std::uint64_t last_mask =
+      ~std::uint64_t{0} >> (63 - ((end - 1) % 64));
+  if (first_word == last_word) {
+    words_[first_word] |= first_mask & last_mask;
+    return;
+  }
+  words_[first_word] |= first_mask;
+  for (std::size_t w = first_word + 1; w < last_word; ++w) {
+    words_[w] = ~std::uint64_t{0};
+  }
+  words_[last_word] |= last_mask;
+}
+
+std::vector<std::size_t> DynamicBitset::ToIndices() const {
+  std::vector<std::size_t> out;
+  out.reserve(Count());
+  ForEachSetBit([&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+void DynamicBitset::ClearPadding() {
+  const std::size_t tail = num_bits_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (~std::uint64_t{0}) >> (64 - tail);
+  }
+}
+
+}  // namespace bayescrowd

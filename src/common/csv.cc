@@ -1,0 +1,138 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+namespace {
+
+// Parses one logical CSV record starting at `pos`; advances `pos` past
+// the record terminator. Returns false (without error) at end of input.
+bool ParseRecord(const std::string& text, std::size_t& pos,
+                 std::vector<std::string>* fields, Status* error) {
+  if (pos >= text.size()) return false;
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field.push_back('"');
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field.push_back(c);
+        ++pos;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          *error = Status::InvalidArgument(
+              "CSV: quote in the middle of an unquoted field");
+          return false;
+        }
+        in_quotes = true;
+        ++pos;
+        break;
+      case ',':
+        fields->push_back(std::move(field));
+        field.clear();
+        ++pos;
+        break;
+      case '\r':
+        if (pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
+        [[fallthrough]];
+      case '\n':
+        ++pos;
+        fields->push_back(std::move(field));
+        return true;
+      default:
+        field.push_back(c);
+        ++pos;
+    }
+  }
+  if (in_quotes) {
+    *error = Status::InvalidArgument("CSV: unterminated quoted field");
+    return false;
+  }
+  fields->push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(const std::string& text, bool has_header) {
+  CsvDocument doc;
+  std::size_t pos = 0;
+  std::vector<std::string> fields;
+  Status error;
+  std::size_t expected_width = 0;
+  bool first = true;
+  while (ParseRecord(text, pos, &fields, &error)) {
+    if (first) {
+      expected_width = fields.size();
+      first = false;
+      if (has_header) {
+        doc.header = std::move(fields);
+        continue;
+      }
+    }
+    if (fields.size() != expected_width) {
+      return Status::InvalidArgument(StrFormat(
+          "CSV: row %zu has %zu fields, expected %zu", doc.rows.size() + 1,
+          fields.size(), expected_width));
+    }
+    doc.rows.push_back(std::move(fields));
+  }
+  if (!error.ok()) return error;
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), has_header);
+}
+
+std::string FormatCsvRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& f = fields[i];
+    const bool needs_quotes = f.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+      out += f;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : f) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  out.push_back('\n');
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  if (!doc.header.empty()) out << FormatCsvRow(doc.header);
+  for (const auto& row : doc.rows) out << FormatCsvRow(row);
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,40 @@
+// CSV reading and writing, used for dataset import/export and for
+// dumping benchmark series to files.
+//
+// The dialect is deliberately simple: comma-separated, optional
+// double-quote quoting with "" escapes, '\n' or '\r\n' record
+// terminators, first record optionally a header.
+
+#ifndef BAYESCROWD_COMMON_CSV_H_
+#define BAYESCROWD_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bayescrowd {
+
+/// A fully-parsed CSV document.
+struct CsvDocument {
+  std::vector<std::string> header;              // Empty when has_header=false.
+  std::vector<std::vector<std::string>> rows;   // Data records.
+};
+
+/// Parses CSV text. When `has_header` is true the first record is moved
+/// into `header`. Rows with differing field counts are an error.
+Result<CsvDocument> ParseCsv(const std::string& text, bool has_header);
+
+/// Reads and parses a CSV file.
+Result<CsvDocument> ReadCsvFile(const std::string& path, bool has_header);
+
+/// Serializes fields with quoting where needed.
+std::string FormatCsvRow(const std::vector<std::string>& fields);
+
+/// Writes a document (header first when non-empty) to `path`.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_COMMON_CSV_H_

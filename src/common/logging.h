@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr. Intended for library diagnostics;
+// benchmarks and examples print their own structured output to stdout.
+//
+//   BAYESCROWD_LOG(Warning) << "pruned " << n << " conditions";
+
+#ifndef BAYESCROWD_COMMON_LOGGING_H_
+#define BAYESCROWD_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace bayescrowd {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the minimum level that is emitted (default: kWarning, so library
+/// internals stay quiet unless something is off).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (if enabled) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace bayescrowd
+
+#define BAYESCROWD_LOG(level)                               \
+  ::bayescrowd::internal_logging::LogMessage(               \
+      ::bayescrowd::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+#endif  // BAYESCROWD_COMMON_LOGGING_H_

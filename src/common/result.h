@@ -1,0 +1,99 @@
+// Result<T>: a value-or-Status holder, the companion of Status for
+// functions that produce a value on success.
+//
+//   Result<CTable> BuildCTable(...);
+//
+//   BAYESCROWD_ASSIGN_OR_RETURN(CTable table, BuildCTable(...));
+
+#ifndef BAYESCROWD_COMMON_RESULT_H_
+#define BAYESCROWD_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace bayescrowd {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of an errored Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a bug and is converted to an Internal
+  /// error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T value_or(T fallback) && {
+    if (ok()) return std::move(*value_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (value_.has_value()) return;
+    std::fprintf(stderr, "Result::value() on errored Result: %s\n",
+                 status_.ToString().c_str());
+    std::abort();
+  }
+
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+}  // namespace bayescrowd
+
+#define BAYESCROWD_CONCAT_IMPL_(x, y) x##y
+#define BAYESCROWD_CONCAT_(x, y) BAYESCROWD_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its Status on error,
+/// otherwise binding the value to `lhs`.
+#define BAYESCROWD_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  BAYESCROWD_ASSIGN_OR_RETURN_IMPL_(                                       \
+      BAYESCROWD_CONCAT_(_bc_result_, __LINE__), lhs, rexpr)
+
+#define BAYESCROWD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                      \
+  if (!tmp.ok()) return tmp.status();                      \
+  lhs = std::move(tmp).value()
+
+#endif  // BAYESCROWD_COMMON_RESULT_H_

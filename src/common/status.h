@@ -1,0 +1,131 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Library code in bayescrowd never throws; fallible operations return a
+// Status (or Result<T>, see result.h). The idiom follows RocksDB/Arrow:
+//
+//   Status DoThing() {
+//     BAYESCROWD_RETURN_NOT_OK(Step1());
+//     if (bad) return Status::InvalidArgument("step2 needs a frob");
+//     return Status::OK();
+//   }
+
+#ifndef BAYESCROWD_COMMON_STATUS_H_
+#define BAYESCROWD_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace bayescrowd {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kIOError = 7,
+  kNotImplemented = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value type describing the outcome of a fallible operation.
+///
+/// A Status is either OK (the default) or carries a code plus a message.
+/// It is cheap to copy in the OK case and cheap to move always.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace bayescrowd
+
+/// Propagates a non-OK Status to the caller.
+#define BAYESCROWD_RETURN_NOT_OK(expr)             \
+  do {                                             \
+    ::bayescrowd::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// Aborts the process if `expr` is not OK. For use in tests, examples and
+/// benchmarks where an error is a programming bug.
+#define BAYESCROWD_CHECK_OK(expr) \
+  ::bayescrowd::internal_status::CheckOk((expr), __FILE__, __LINE__)
+
+namespace bayescrowd::internal_status {
+void CheckOk(const Status& status, const char* file, int line);
+}  // namespace bayescrowd::internal_status
+
+#endif  // BAYESCROWD_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by experiments and run statistics.
+
+#ifndef BAYESCROWD_COMMON_STOPWATCH_H_
+#define BAYESCROWD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace bayescrowd {
+
+/// Measures elapsed wall-clock time. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_COMMON_STOPWATCH_H_

@@ -1,0 +1,12 @@
+#include "core/entropy.h"
+
+#include <cmath>
+
+namespace bayescrowd {
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+}  // namespace bayescrowd

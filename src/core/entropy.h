@@ -1,0 +1,13 @@
+// Shannon entropy of "is o a query answer" (Eq. 3).
+
+#ifndef BAYESCROWD_CORE_ENTROPY_H_
+#define BAYESCROWD_CORE_ENTROPY_H_
+
+namespace bayescrowd {
+
+/// H(p) = -(p log2 p + (1-p) log2 (1-p)), with H(0) = H(1) = 0.
+double BinaryEntropy(double p);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CORE_ENTROPY_H_

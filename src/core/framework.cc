@@ -1,0 +1,207 @@
+#include "core/framework.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/entropy.h"
+#include "core/update.h"
+
+namespace bayescrowd {
+
+Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
+                                         PosteriorProvider& posteriors,
+                                         CrowdPlatform& platform) {
+  if (options_.latency == 0) {
+    return Status::InvalidArgument("latency must be >= 1 round");
+  }
+
+  BayesCrowdResult out;
+  Stopwatch total_watch;
+
+  // ---------------------------------------------------------------- //
+  // Modeling phase (Algorithm 1, line 1).
+  // ---------------------------------------------------------------- //
+  Stopwatch modeling_watch;
+  BAYESCROWD_ASSIGN_OR_RETURN(CTable ctable,
+                              BuildCTable(incomplete, options_.ctable));
+
+  // Attach distributions for every variable the c-table mentions. The
+  // framework-level fallback switch feeds every probability call,
+  // including the marginal-utility computations inside task selection.
+  ProbabilityOptions probability_options = options_.probability;
+  probability_options.sampling_fallback =
+      probability_options.sampling_fallback || options_.sampling_fallback;
+  ProbabilityEvaluator evaluator(probability_options);
+  std::map<CellRef, std::vector<double>> raw_posteriors;
+  for (const CellRef& var : ctable.AllVariables()) {
+    BAYESCROWD_ASSIGN_OR_RETURN(std::vector<double> dist,
+                                posteriors.Posterior(var));
+    raw_posteriors[var] = dist;
+    BAYESCROWD_RETURN_NOT_OK(
+        evaluator.distributions().Set(var, std::move(dist)));
+  }
+  out.modeling_seconds = modeling_watch.ElapsedSeconds();
+  out.initial_true = ctable.NumTrue();
+  out.initial_false = ctable.NumFalse();
+  out.initial_undecided = ctable.NumUndecided();
+
+  // ---------------------------------------------------------------- //
+  // Crowdsourcing phase (Algorithm 4).
+  // ---------------------------------------------------------------- //
+  Stopwatch crowd_watch;
+  KnowledgeBase knowledge(incomplete.schema());
+
+  const std::size_t mu = (options_.budget + options_.latency - 1) /
+                         options_.latency;  // ceil(B / L)
+  const UniformCostModel unit_cost;
+  const TaskCostModel& cost_model =
+      options_.cost_model != nullptr ? *options_.cost_model : unit_cost;
+  double budget_left = static_cast<double>(options_.budget);
+
+  // Per-object probability cache, invalidated when a condition changes.
+  std::vector<std::optional<double>> prob_cache(ctable.num_objects());
+
+  while (budget_left > 1e-9) {
+    Stopwatch round_watch;
+
+    // Rank undecided objects by entropy (Eq. 3).
+    std::vector<ObjectEntropy> ranked;
+    for (std::size_t i : ctable.UndecidedObjects()) {
+      if (ctable.condition(i).NumExpressions() == 0) continue;
+      if (!prob_cache[i].has_value()) {
+        BAYESCROWD_ASSIGN_OR_RETURN(
+            const double p, evaluator.Probability(ctable.condition(i)));
+        prob_cache[i] = p;
+      }
+      ObjectEntropy entry;
+      entry.object = i;
+      entry.probability = *prob_cache[i];
+      entry.entropy = BinaryEntropy(entry.probability);
+      ranked.push_back(entry);
+    }
+    if (ranked.empty()) break;  // No expression left to crowdsource.
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const ObjectEntropy& a, const ObjectEntropy& b) {
+                       if (a.entropy != b.entropy) {
+                         return a.entropy > b.entropy;
+                       }
+                       return a.object < b.object;
+                     });
+    if (options_.confidence_stop_entropy > 0.0 &&
+        ranked.front().entropy < options_.confidence_stop_entropy) {
+      out.stopped_confident = true;  // Every object is near-certain.
+      break;
+    }
+
+    // Per-round size: latency splits the budget into ceil(B/L) task
+    // slots; variable costs additionally trim the batch to what the
+    // remaining budget affords.
+    const std::size_t k = std::min(
+        mu, static_cast<std::size_t>(budget_left) + 1);
+    BAYESCROWD_ASSIGN_OR_RETURN(
+        std::vector<Task> batch,
+        SelectTasks(ctable, ranked, k, evaluator, options_.strategy));
+    double batch_cost = 0.0;
+    std::size_t affordable = 0;
+    for (const Task& task : batch) {
+      const double cost = cost_model.Cost(task);
+      if (cost <= 0.0) {
+        return Status::InvalidArgument("task cost must be positive");
+      }
+      if (batch_cost + cost > budget_left + 1e-9) break;
+      batch_cost += cost;
+      ++affordable;
+    }
+    batch.resize(affordable);
+    if (batch.empty()) break;
+
+    BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<TaskAnswer> answers,
+                                platform.PostBatch(batch));
+    if (answers.size() != batch.size()) {
+      return Status::Internal("platform returned misaligned answers");
+    }
+    budget_left -= batch_cost;
+    out.cost_spent += batch_cost;
+
+    // Fold answers into the knowledge base.
+    std::set<CellRef> touched;
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      BAYESCROWD_RETURN_NOT_OK(
+          ApplyAnswer(batch[t], answers[t], &knowledge));
+      for (const CellRef& var : batch[t].expression.Variables()) {
+        touched.insert(var);
+      }
+    }
+
+    // Re-condition the distributions of touched variables.
+    for (const CellRef& var : touched) {
+      const auto raw = raw_posteriors.find(var);
+      if (raw == raw_posteriors.end()) continue;
+      BAYESCROWD_RETURN_NOT_OK(evaluator.distributions().Set(
+          var, knowledge.ConditionDistribution(var, raw->second)));
+    }
+
+    // Re-simplify every undecided condition against the knowledge base;
+    // invalidate probability caches of conditions that changed.
+    for (std::size_t i : ctable.UndecidedObjects()) {
+      Condition simplified = ctable.condition(i).SimplifyWith(
+          [&knowledge](const Expression& e) {
+            return knowledge.Evaluate(e);
+          });
+      if (!(simplified == ctable.condition(i))) {
+        ctable.SetCondition(i, std::move(simplified));
+        prob_cache[i].reset();
+      } else {
+        // The condition text is unchanged, but a touched variable's
+        // distribution may have shifted.
+        for (const CellRef& var : ctable.condition(i).Variables()) {
+          if (touched.count(var) > 0) {
+            prob_cache[i].reset();
+            break;
+          }
+        }
+      }
+    }
+
+    RoundLog log;
+    log.round = out.rounds + 1;
+    log.tasks = batch.size();
+    log.seconds = round_watch.ElapsedSeconds();
+    out.round_logs.push_back(log);
+    out.tasks_posted += batch.size();
+    ++out.rounds;
+  }
+  out.crowdsourcing_seconds = crowd_watch.ElapsedSeconds();
+
+  // ---------------------------------------------------------------- //
+  // Answer inference (Algorithm 1, line 5).
+  // ---------------------------------------------------------------- //
+  out.probabilities.assign(ctable.num_objects(), 0.0);
+  for (std::size_t i = 0; i < ctable.num_objects(); ++i) {
+    const Condition& cond = ctable.condition(i);
+    if (cond.IsTrue()) {
+      out.probabilities[i] = 1.0;
+      out.result_objects.push_back(i);
+      continue;
+    }
+    if (cond.IsFalse()) continue;
+    double p;
+    if (prob_cache[i].has_value()) {
+      p = *prob_cache[i];
+    } else {
+      BAYESCROWD_ASSIGN_OR_RETURN(p, evaluator.Probability(cond));
+    }
+    out.probabilities[i] = p;
+    if (p > options_.answer_threshold) out.result_objects.push_back(i);
+  }
+  out.final_ctable = std::move(ctable);
+  out.total_seconds = total_watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,129 @@
+// BayesCrowd: the full crowd skyline query framework (Algorithms 1 & 4).
+//
+// Modeling phase: build the c-table (Get-CTable) and attach per-variable
+// value distributions (Bayesian-network posteriors, or any
+// PosteriorProvider). Crowdsourcing phase: iteratively select
+// conflict-free task batches under budget B and latency L, post them to
+// a CrowdPlatform, fold answers into the knowledge base, re-simplify
+// conditions and re-condition distributions, and finally return the
+// objects whose condition is true or whose probability exceeds 0.5.
+
+#ifndef BAYESCROWD_CORE_FRAMEWORK_H_
+#define BAYESCROWD_CORE_FRAMEWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bayesnet/imputation.h"
+#include "common/result.h"
+#include "core/strategy.h"
+#include "crowd/cost.h"
+#include "crowd/platform.h"
+#include "ctable/builder.h"
+#include "ctable/ctable.h"
+#include "ctable/knowledge.h"
+#include "data/table.h"
+#include "probability/evaluator.h"
+
+namespace bayescrowd {
+
+struct BayesCrowdOptions {
+  /// Modeling-phase options (α pruning, dominator algorithm).
+  CTableOptions ctable;
+
+  /// Probability computation (ADPLL by default).
+  ProbabilityOptions probability;
+
+  /// Task selection strategy and its HHS parameter m.
+  StrategyOptions strategy;
+
+  /// Budget B, in cost units. With the default (uniform, cost-1) model
+  /// this is the number of affordable tasks, the paper's reading.
+  std::size_t budget = 50;
+
+  /// Optional variable-task-difficulty pricing (Section 6.1's
+  /// extension). Non-owning; must outlive the framework. nullptr means
+  /// every task costs 1.
+  const TaskCostModel* cost_model = nullptr;
+
+  /// Latency constraint L: the number of task-selection rounds. The
+  /// per-round batch size is ceil(B / L).
+  std::size_t latency = 5;
+
+  /// Result threshold: an undecided object is returned when
+  /// Pr(φ(o)) > answer_threshold (paper: 0.5).
+  double answer_threshold = 0.5;
+
+  /// When exact ADPLL exhausts its recursion budget on a pathological
+  /// condition, fall back to sampling instead of failing the query.
+  bool sampling_fallback = true;
+
+  /// Early stop: end the crowdsourcing phase (possibly under budget)
+  /// once every undecided object's entropy falls below this threshold —
+  /// i.e. every remaining probability is within
+  /// BinaryEntropy^-1(threshold) of 0 or 1 and further tasks buy little
+  /// information. 0 disables (the paper always spends the budget).
+  double confidence_stop_entropy = 0.0;
+};
+
+/// One crowd round's bookkeeping.
+struct RoundLog {
+  std::size_t round = 0;
+  std::size_t tasks = 0;
+  double seconds = 0.0;  // Selection + update time (machine side).
+};
+
+/// Everything a Run() produces.
+struct BayesCrowdResult {
+  /// Object ids answered as skyline members.
+  std::vector<std::size_t> result_objects;
+
+  /// Cost/latency actually spent.
+  std::size_t tasks_posted = 0;
+  std::size_t rounds = 0;
+  double cost_spent = 0.0;  // == tasks_posted under the uniform model.
+
+  /// Machine-side wall-clock (excludes simulated worker time).
+  double modeling_seconds = 0.0;
+  double crowdsourcing_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Final per-object probabilities (1/0 for decided conditions).
+  std::vector<double> probabilities;
+
+  /// State of the c-table after all updates.
+  CTable final_ctable;
+
+  std::vector<RoundLog> round_logs;
+
+  /// True when the confidence stop ended the run before the budget.
+  bool stopped_confident = false;
+
+  /// Modeling-phase statistics.
+  std::size_t initial_true = 0;
+  std::size_t initial_false = 0;
+  std::size_t initial_undecided = 0;
+};
+
+/// The framework. Construct once per query; Run() drives both phases.
+class BayesCrowd {
+ public:
+  explicit BayesCrowd(BayesCrowdOptions options = {})
+      : options_(std::move(options)) {}
+
+  const BayesCrowdOptions& options() const { return options_; }
+
+  /// Executes the full pipeline on `incomplete`. `posteriors` supplies
+  /// missing-value distributions (preprocessing output); `platform`
+  /// answers tasks.
+  Result<BayesCrowdResult> Run(const Table& incomplete,
+                               PosteriorProvider& posteriors,
+                               CrowdPlatform& platform);
+
+ private:
+  BayesCrowdOptions options_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CORE_FRAMEWORK_H_

@@ -1,0 +1,60 @@
+#include "core/report.h"
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+
+std::string FormatRunReport(const BayesCrowdResult& result,
+                            const Table& table,
+                            const ReportOptions& options) {
+  std::string out;
+  out += StrFormat(
+      "BayesCrowd run: %zu objects -> %zu answers\n",
+      table.num_objects(), result.result_objects.size());
+  out += StrFormat(
+      "  modeling: %zu certain-in, %zu certain-out, %zu undecided "
+      "(%.1f ms)\n",
+      result.initial_true, result.initial_false, result.initial_undecided,
+      result.modeling_seconds * 1e3);
+  out += StrFormat(
+      "  crowdsourcing: %zu tasks over %zu rounds, cost %.2f (%.1f ms)%s\n",
+      result.tasks_posted, result.rounds, result.cost_spent,
+      result.crowdsourcing_seconds * 1e3,
+      result.stopped_confident ? ", stopped confident" : "");
+  out += StrFormat("  total machine time: %.1f ms\n",
+                   result.total_seconds * 1e3);
+
+  if (options.show_rounds) {
+    for (const RoundLog& log : result.round_logs) {
+      out += StrFormat("    round %zu: %zu task(s), %.1f ms\n", log.round,
+                       log.tasks, log.seconds * 1e3);
+    }
+  }
+
+  out += "  answers:\n";
+  std::size_t listed = 0;
+  for (std::size_t id : result.result_objects) {
+    if (options.max_objects != 0 && listed >= options.max_objects) {
+      out += StrFormat("    ... and %zu more\n",
+                       result.result_objects.size() - listed);
+      break;
+    }
+    out += StrFormat("    %-24s Pr=%.3f\n", table.object_name(id).c_str(),
+                     result.probabilities[id]);
+    ++listed;
+  }
+
+  if (options.show_conditions) {
+    out += "  final conditions:\n";
+    for (std::size_t i = 0; i < table.num_objects(); ++i) {
+      const Condition& cond = result.final_ctable.condition(i);
+      if (cond.IsFalse()) continue;
+      out += StrFormat("    phi(%s) = %s\n",
+                       table.object_name(i).c_str(),
+                       cond.ToString(table).c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,32 @@
+// Human-readable run reports for BayesCrowdResult, shared by the CLI
+// and the examples.
+
+#ifndef BAYESCROWD_CORE_REPORT_H_
+#define BAYESCROWD_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/framework.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+
+struct ReportOptions {
+  /// Include the final condition of every undecided/true object.
+  bool show_conditions = false;
+
+  /// Include the per-round task/time trace.
+  bool show_rounds = false;
+
+  /// Cap on listed result objects (0 = unlimited).
+  std::size_t max_objects = 0;
+};
+
+/// Formats a multi-line summary of `result` for the query over `table`.
+std::string FormatRunReport(const BayesCrowdResult& result,
+                            const Table& table,
+                            const ReportOptions& options = {});
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CORE_REPORT_H_

@@ -1,0 +1,22 @@
+// Applying crowd answers to the knowledge base.
+
+#ifndef BAYESCROWD_CORE_UPDATE_H_
+#define BAYESCROWD_CORE_UPDATE_H_
+
+#include "common/status.h"
+#include "crowd/task.h"
+#include "ctable/knowledge.h"
+
+namespace bayescrowd {
+
+/// Records one aggregated answer. Var-const answers narrow the
+/// variable's interval; var-var answers record an order fact. Answers
+/// that are impossible within the domain (only producible by erroneous
+/// workers, e.g. "greater than the domain maximum") are degraded to the
+/// nearest consistent fact (equality with the bound).
+Status ApplyAnswer(const Task& task, const TaskAnswer& answer,
+                   KnowledgeBase* knowledge);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CORE_UPDATE_H_

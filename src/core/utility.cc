@@ -1,0 +1,32 @@
+#include "core/utility.h"
+
+#include "core/entropy.h"
+
+namespace bayescrowd {
+
+Condition FixExpression(const Condition& condition, const Expression& e,
+                        bool value) {
+  return condition.SimplifyWith([&e, value](const Expression& candidate) {
+    if (candidate == e) return TruthOf(value);
+    return Truth::kUnknown;
+  });
+}
+
+Result<double> MarginalUtility(const Condition& condition, double p_o,
+                               const Expression& e,
+                               ProbabilityEvaluator& evaluator) {
+  BAYESCROWD_ASSIGN_OR_RETURN(const double p_e, evaluator.Probability(e));
+
+  const Condition if_true = FixExpression(condition, e, true);
+  const Condition if_false = FixExpression(condition, e, false);
+  BAYESCROWD_ASSIGN_OR_RETURN(const double p_true,
+                              evaluator.Probability(if_true));
+  BAYESCROWD_ASSIGN_OR_RETURN(const double p_false,
+                              evaluator.Probability(if_false));
+
+  const double expected = p_e * BinaryEntropy(p_true) +
+                          (1.0 - p_e) * BinaryEntropy(p_false);
+  return BinaryEntropy(p_o) - expected;
+}
+
+}  // namespace bayescrowd

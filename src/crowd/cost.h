@@ -1,0 +1,55 @@
+// Task cost models.
+//
+// The paper prices every task equally ("for a group of similar tasks,
+// crowdsourcing each of those tasks is assumed to spend a fixed amount
+// of money") and notes that variable task difficulties can be handled
+// by accumulating per-task costs. This module supplies both: the
+// framework charges each posted task against the budget through a
+// TaskCostModel.
+
+#ifndef BAYESCROWD_CROWD_COST_H_
+#define BAYESCROWD_CROWD_COST_H_
+
+#include "crowd/task.h"
+
+namespace bayescrowd {
+
+/// Prices one task in budget units.
+class TaskCostModel {
+ public:
+  virtual ~TaskCostModel() = default;
+
+  /// Must be positive.
+  virtual double Cost(const Task& task) const = 0;
+};
+
+/// Every task costs the same (the paper's default; budget == #tasks).
+class UniformCostModel : public TaskCostModel {
+ public:
+  explicit UniformCostModel(double cost = 1.0) : cost_(cost) {}
+  double Cost(const Task&) const override { return cost_; }
+
+ private:
+  double cost_;
+};
+
+/// Variable-vs-variable questions are harder for workers than
+/// variable-vs-constant ones (two objects to inspect instead of one),
+/// so they cost more.
+class OperandCountCostModel : public TaskCostModel {
+ public:
+  OperandCountCostModel(double var_const_cost, double var_var_cost)
+      : var_const_cost_(var_const_cost), var_var_cost_(var_var_cost) {}
+
+  double Cost(const Task& task) const override {
+    return task.expression.rhs_is_var ? var_var_cost_ : var_const_cost_;
+  }
+
+ private:
+  double var_const_cost_;
+  double var_var_cost_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CROWD_COST_H_

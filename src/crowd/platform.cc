@@ -1,0 +1,154 @@
+#include "crowd/platform.h"
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+
+SimulatedCrowdPlatform::SimulatedCrowdPlatform(
+    const Table& ground_truth, SimulatedPlatformOptions options)
+    : ground_truth_(ground_truth), options_(options), rng_(options.seed) {
+  if (options_.worker_pool_size > 0) {
+    pool_accuracies_.resize(options_.worker_pool_size);
+    for (std::size_t w = 0; w < options_.worker_pool_size; ++w) {
+      pool_accuracies_[w] =
+          options_.accuracy_pool.empty()
+              ? options_.worker_accuracy
+              : options_.accuracy_pool[w % options_.accuracy_pool.size()];
+    }
+    tracker_.emplace(options_.worker_pool_size);
+  }
+}
+
+Result<Ordering> SimulatedCrowdPlatform::TrueRelation(
+    const Expression& expression) const {
+  const Level lhs =
+      ground_truth_.At(expression.lhs.object, expression.lhs.attribute);
+  if (IsMissingLevel(lhs)) {
+    return Status::FailedPrecondition(
+        "ground-truth table is missing the asked cell");
+  }
+  Level rhs = expression.rhs_const;
+  if (expression.rhs_is_var) {
+    rhs = ground_truth_.At(expression.rhs_var.object,
+                           expression.rhs_var.attribute);
+    if (IsMissingLevel(rhs)) {
+      return Status::FailedPrecondition(
+          "ground-truth table is missing the asked cell");
+    }
+  }
+  if (lhs < rhs) return Ordering::kLess;
+  if (lhs > rhs) return Ordering::kGreater;
+  return Ordering::kEqual;
+}
+
+Ordering SimulatedCrowdPlatform::VoteWithAccuracy(Ordering truth,
+                                                  double accuracy) {
+  if (rng_.NextBool(accuracy)) return truth;
+  // Uniform over the two wrong choices.
+  constexpr Ordering kAll[] = {Ordering::kLess, Ordering::kEqual,
+                               Ordering::kGreater};
+  Ordering wrong[2];
+  int w = 0;
+  for (Ordering o : kAll) {
+    if (o != truth) wrong[w++] = o;
+  }
+  return wrong[rng_.NextBelow(2)];
+}
+
+Ordering SimulatedCrowdPlatform::WorkerVote(Ordering truth) {
+  double accuracy = options_.worker_accuracy;
+  if (!options_.accuracy_pool.empty()) {
+    accuracy = options_.accuracy_pool[rng_.NextBelow(
+        options_.accuracy_pool.size())];
+  }
+  return VoteWithAccuracy(truth, accuracy);
+}
+
+Result<Ordering> SimulatedCrowdPlatform::PoolAnswer(Ordering truth) {
+  // Draw distinct workers for this task.
+  const std::size_t pool = pool_accuracies_.size();
+  const auto k = std::min<std::size_t>(
+      static_cast<std::size_t>(options_.workers_per_task), pool);
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  while (chosen.size() < k) {
+    const std::size_t w = rng_.NextBelow(pool);
+    bool duplicate = false;
+    for (std::size_t c : chosen) duplicate |= (c == w);
+    if (!duplicate) chosen.push_back(w);
+  }
+
+  std::vector<Ordering> votes(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    votes[i] = VoteWithAccuracy(truth, pool_accuracies_[chosen[i]]);
+  }
+
+  // Gold bookkeeping for the estimated-weight mode.
+  if (options_.aggregation == AggregationMethod::kWeightedEstimated &&
+      rng_.NextBool(options_.gold_fraction)) {
+    for (std::size_t i = 0; i < k; ++i) {
+      tracker_->Record(chosen[i], votes[i] == truth);
+    }
+  }
+
+  switch (options_.aggregation) {
+    case AggregationMethod::kMajority:
+      return MajorityVote(votes);
+    case AggregationMethod::kWeightedTrue: {
+      std::vector<double> weights(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        weights[i] = pool_accuracies_[chosen[i]];
+      }
+      return WeightedVote(votes, weights);
+    }
+    case AggregationMethod::kWeightedEstimated: {
+      std::vector<double> weights(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        weights[i] = tracker_->Accuracy(chosen[i]);
+      }
+      return WeightedVote(votes, weights);
+    }
+  }
+  return Status::Internal("unknown aggregation method");
+}
+
+Result<std::vector<TaskAnswer>> SimulatedCrowdPlatform::PostBatch(
+    const std::vector<Task>& tasks) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("empty batch");
+  }
+  if (options_.worker_pool_size == 0 &&
+      options_.aggregation != AggregationMethod::kMajority) {
+    return Status::FailedPrecondition(
+        "weighted aggregation needs a persistent worker pool");
+  }
+  std::vector<TaskAnswer> answers;
+  answers.reserve(tasks.size());
+  for (const Task& task : tasks) {
+    BAYESCROWD_ASSIGN_OR_RETURN(const Ordering truth,
+                                TrueRelation(task.expression));
+    if (options_.worker_pool_size > 0) {
+      BAYESCROWD_ASSIGN_OR_RETURN(const Ordering answer, PoolAnswer(truth));
+      answers.push_back({answer});
+      continue;
+    }
+    // Anonymous mode: majority with random tie-break (paper behaviour).
+    int votes[3] = {0, 0, 0};
+    for (int w = 0; w < options_.workers_per_task; ++w) {
+      votes[static_cast<int>(WorkerVote(truth))] += 1;
+    }
+    int best = 0;
+    for (int o = 1; o < 3; ++o) {
+      if (votes[o] > votes[best] ||
+          (votes[o] == votes[best] && rng_.NextBool(0.5))) {
+        best = o;
+      }
+    }
+    answers.push_back({static_cast<Ordering>(best)});
+  }
+  total_tasks_ += tasks.size();
+  ++total_rounds_;
+  return answers;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,120 @@
+// Crowdsourcing platform abstraction and the simulated implementation
+// used in the offline experiments (Section 7: per-task majority voting
+// over three workers with configurable accuracy; worker accuracy 1.0 by
+// default).
+
+#ifndef BAYESCROWD_CROWD_PLATFORM_H_
+#define BAYESCROWD_CROWD_PLATFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <optional>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "crowd/quality.h"
+#include "crowd/task.h"
+#include "ctable/knowledge.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+
+/// Where tasks get answered. One PostBatch call is one latency round.
+class CrowdPlatform {
+ public:
+  virtual ~CrowdPlatform() = default;
+
+  /// Posts one round of tasks; returns one aggregated answer per task
+  /// (aligned by index).
+  virtual Result<std::vector<TaskAnswer>> PostBatch(
+      const std::vector<Task>& tasks) = 0;
+
+  /// Total individual tasks posted so far (monetary cost proxy).
+  virtual std::size_t total_tasks() const = 0;
+
+  /// Total rounds so far (latency proxy).
+  virtual std::size_t total_rounds() const = 0;
+};
+
+/// How the per-task votes are combined into one answer.
+enum class AggregationMethod : std::uint8_t {
+  kMajority,           // Plain majority, random tie-break (the paper).
+  kWeightedTrue,       // Accuracy-weighted vote with true accuracies.
+  kWeightedEstimated,  // Weighted with gold-task accuracy estimates.
+};
+
+struct SimulatedPlatformOptions {
+  /// Probability that an individual worker returns the true relation;
+  /// wrong answers are uniform over the other two choices.
+  double worker_accuracy = 1.0;
+
+  /// Majority voting pool per task (the paper assigns each task to
+  /// three workers).
+  int workers_per_task = 3;
+
+  /// When non-empty, worker accuracies are drawn from this pool
+  /// (uniformly per vote in anonymous mode, round-robin per worker in
+  /// pool mode), overriding `worker_accuracy`. Models a heterogeneous
+  /// marketplace (the Table 6 "live AMT" simulation).
+  std::vector<double> accuracy_pool;
+
+  /// 0 = anonymous mode: every vote comes from a fresh worker. >0 = a
+  /// persistent pool of this many workers with fixed (hidden)
+  /// accuracies, enabling the weighted aggregation methods.
+  std::size_t worker_pool_size = 0;
+
+  /// Vote aggregation. The weighted methods require a worker pool.
+  AggregationMethod aggregation = AggregationMethod::kMajority;
+
+  /// kWeightedEstimated: fraction of tasks doubling as gold checks that
+  /// update the per-worker accuracy tracker.
+  double gold_fraction = 0.15;
+
+  std::uint64_t seed = 99;
+};
+
+/// Simulated workers answering from a hidden complete ground-truth
+/// table.
+class SimulatedCrowdPlatform : public CrowdPlatform {
+ public:
+  /// `ground_truth` must be complete and outlive the platform.
+  SimulatedCrowdPlatform(const Table& ground_truth,
+                         SimulatedPlatformOptions options);
+
+  Result<std::vector<TaskAnswer>> PostBatch(
+      const std::vector<Task>& tasks) override;
+
+  std::size_t total_tasks() const override { return total_tasks_; }
+  std::size_t total_rounds() const override { return total_rounds_; }
+
+  /// The true relation of a task's operands (exposed for tests).
+  Result<Ordering> TrueRelation(const Expression& expression) const;
+
+  /// True accuracy of a pooled worker (pool mode only; for tests).
+  double pool_accuracy(std::size_t worker) const {
+    return pool_accuracies_[worker];
+  }
+
+ private:
+  // One vote with the given accuracy.
+  Ordering VoteWithAccuracy(Ordering truth, double accuracy);
+  // Anonymous-mode vote (fresh worker, accuracy per options).
+  Ordering WorkerVote(Ordering truth);
+  // Aggregates one task in pool mode.
+  Result<Ordering> PoolAnswer(Ordering truth);
+
+  const Table& ground_truth_;
+  SimulatedPlatformOptions options_;
+  Rng rng_;
+  std::size_t total_tasks_ = 0;
+  std::size_t total_rounds_ = 0;
+
+  // Pool mode state.
+  std::vector<double> pool_accuracies_;
+  std::optional<WorkerQualityTracker> tracker_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CROWD_PLATFORM_H_

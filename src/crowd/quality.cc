@@ -1,0 +1,113 @@
+#include "crowd/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bayescrowd {
+namespace {
+
+constexpr int kNumChoices = 3;
+
+double ClampAccuracy(double accuracy) {
+  return std::clamp(accuracy, 0.34, 0.999);
+}
+
+// Log-odds weight of one worker under the symmetric 3-choice error
+// model: correct with probability p, each wrong option with (1-p)/2.
+double LogOddsWeight(double accuracy) {
+  const double p = ClampAccuracy(accuracy);
+  return std::log(p / ((1.0 - p) / 2.0));
+}
+
+}  // namespace
+
+Ordering MajorityVote(const std::vector<Ordering>& votes) {
+  int counts[kNumChoices] = {0, 0, 0};
+  for (Ordering v : votes) counts[static_cast<int>(v)] += 1;
+  int best = 0;
+  for (int o = 1; o < kNumChoices; ++o) {
+    if (counts[o] > counts[best]) best = o;
+  }
+  return static_cast<Ordering>(best);
+}
+
+Result<Ordering> WeightedVote(const std::vector<Ordering>& votes,
+                              const std::vector<double>& accuracies) {
+  if (votes.empty()) return Status::InvalidArgument("no votes");
+  if (votes.size() != accuracies.size()) {
+    return Status::InvalidArgument("votes/accuracies size mismatch");
+  }
+  double scores[kNumChoices] = {0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    scores[static_cast<int>(votes[i])] += LogOddsWeight(accuracies[i]);
+  }
+  int best = 0;
+  for (int o = 1; o < kNumChoices; ++o) {
+    if (scores[o] > scores[best]) best = o;
+  }
+  return static_cast<Ordering>(best);
+}
+
+void WorkerQualityTracker::Record(std::size_t worker, bool correct) {
+  hits_[worker] += correct ? 1.0 : 0.0;
+  totals_[worker] += 1.0;
+}
+
+double WorkerQualityTracker::Accuracy(std::size_t worker) const {
+  // Beta(2, 1) prior: mean (hits + 2) / (total + 3).
+  return (hits_[worker] + 2.0) / (totals_[worker] + 3.0);
+}
+
+std::vector<double> WorkerQualityTracker::Accuracies() const {
+  std::vector<double> out(hits_.size());
+  for (std::size_t w = 0; w < hits_.size(); ++w) out[w] = Accuracy(w);
+  return out;
+}
+
+Result<std::vector<double>> EstimateAccuraciesByConsensus(
+    const std::vector<std::vector<Vote>>& task_votes,
+    std::size_t num_workers, int iterations) {
+  if (num_workers == 0) return Status::InvalidArgument("no workers");
+  if (iterations < 1) return Status::InvalidArgument("iterations < 1");
+  for (const auto& votes : task_votes) {
+    for (const Vote& vote : votes) {
+      if (vote.worker >= num_workers) {
+        return Status::OutOfRange("vote from unknown worker");
+      }
+    }
+  }
+
+  std::vector<double> accuracies(num_workers, 0.7);  // Neutral start.
+  std::vector<Ordering> consensus(task_votes.size(), Ordering::kEqual);
+  for (int iter = 0; iter < iterations; ++iter) {
+    // E-step: consensus via weighted voting.
+    for (std::size_t t = 0; t < task_votes.size(); ++t) {
+      if (task_votes[t].empty()) continue;
+      std::vector<Ordering> votes;
+      std::vector<double> weights;
+      votes.reserve(task_votes[t].size());
+      weights.reserve(task_votes[t].size());
+      for (const Vote& vote : task_votes[t]) {
+        votes.push_back(vote.answer);
+        weights.push_back(accuracies[vote.worker]);
+      }
+      BAYESCROWD_ASSIGN_OR_RETURN(consensus[t],
+                                  WeightedVote(votes, weights));
+    }
+    // M-step: accuracy = smoothed agreement with the consensus.
+    std::vector<double> agree(num_workers, 0.0);
+    std::vector<double> total(num_workers, 0.0);
+    for (std::size_t t = 0; t < task_votes.size(); ++t) {
+      for (const Vote& vote : task_votes[t]) {
+        agree[vote.worker] += vote.answer == consensus[t] ? 1.0 : 0.0;
+        total[vote.worker] += 1.0;
+      }
+    }
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      accuracies[w] = (agree[w] + 1.0) / (total[w] + 2.0);
+    }
+  }
+  return accuracies;
+}
+
+}  // namespace bayescrowd

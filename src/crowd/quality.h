@@ -1,0 +1,72 @@
+// Worker-quality modeling and answer aggregation.
+//
+// The paper aggregates with plain 3-worker majority voting and notes
+// that real marketplaces support recruiting workers above an accuracy
+// bar. This module provides the quality toolkit such a deployment
+// needs: accuracy-weighted voting, gold-task accuracy tracking, and an
+// unsupervised consensus (Dawid-Skene-style EM) estimator.
+
+#ifndef BAYESCROWD_CROWD_QUALITY_H_
+#define BAYESCROWD_CROWD_QUALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ctable/knowledge.h"
+
+namespace bayescrowd {
+
+/// Plain majority over triple-choice votes; ties broken toward the
+/// first-listed tied option (deterministic).
+Ordering MajorityVote(const std::vector<Ordering>& votes);
+
+/// Accuracy-weighted vote: each worker contributes the log-odds of their
+/// accuracy under the symmetric 3-choice error model (wrong answers
+/// uniform over the other two options). Accuracies are clamped to
+/// [0.34, 0.999]; weights and votes must align.
+Result<Ordering> WeightedVote(const std::vector<Ordering>& votes,
+                              const std::vector<double>& accuracies);
+
+/// Tracks per-worker accuracy from gold tasks (tasks with known
+/// answers), with a Beta(2, 1) prior so new workers start optimistic but
+/// uncertain.
+class WorkerQualityTracker {
+ public:
+  explicit WorkerQualityTracker(std::size_t num_workers)
+      : hits_(num_workers, 0.0), totals_(num_workers, 0.0) {}
+
+  std::size_t num_workers() const { return hits_.size(); }
+
+  /// Records one gold observation for `worker`.
+  void Record(std::size_t worker, bool correct);
+
+  /// Posterior-mean accuracy estimate of `worker`.
+  double Accuracy(std::size_t worker) const;
+
+  /// Estimates for all workers.
+  std::vector<double> Accuracies() const;
+
+ private:
+  std::vector<double> hits_;
+  std::vector<double> totals_;
+};
+
+/// One worker's vote on one task.
+struct Vote {
+  std::size_t worker = 0;
+  Ordering answer = Ordering::kEqual;
+};
+
+/// Unsupervised accuracy estimation from redundant votes (simplified
+/// Dawid-Skene): iterate between (i) consensus answers via
+/// accuracy-weighted voting and (ii) per-worker accuracy as smoothed
+/// agreement with the consensus. `task_votes[t]` holds the votes on task
+/// t. Returns per-worker accuracies (workers indexed 0..num_workers-1).
+Result<std::vector<double>> EstimateAccuraciesByConsensus(
+    const std::vector<std::vector<Vote>>& task_votes,
+    std::size_t num_workers, int iterations = 10);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CROWD_QUALITY_H_

@@ -1,0 +1,173 @@
+#include "crowd/record_replay.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+namespace {
+
+char RelationChar(Ordering o) {
+  switch (o) {
+    case Ordering::kLess:
+      return 'l';
+    case Ordering::kEqual:
+      return 'e';
+    case Ordering::kGreater:
+      return 'g';
+  }
+  return '?';
+}
+
+bool ParseRelation(const std::string& text, Ordering* out) {
+  if (text == "l") {
+    *out = Ordering::kLess;
+  } else if (text == "e") {
+    *out = Ordering::kEqual;
+  } else if (text == "g") {
+    *out = Ordering::kGreater;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeAnswerLog(const AnswerLog& log) {
+  std::ostringstream out;
+  out << "# bayescrowd answer log v1\n";
+  for (const AnswerLogEntry& entry : log.entries) {
+    const Expression& e = entry.expression;
+    const char op = e.op == CmpOp::kGreater ? '>' : '<';
+    if (e.rhs_is_var) {
+      out << "vv " << e.lhs.object << " " << e.lhs.attribute << " " << op
+          << " " << e.rhs_var.object << " " << e.rhs_var.attribute;
+    } else {
+      out << "vc " << e.lhs.object << " " << e.lhs.attribute << " " << op
+          << " " << e.rhs_const;
+    }
+    out << " " << RelationChar(entry.relation) << " " << entry.round
+        << "\n";
+  }
+  return out.str();
+}
+
+Result<AnswerLog> ParseAnswerLog(const std::string& text) {
+  AnswerLog log;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    std::string kind;
+    fields >> kind;
+    AnswerLogEntry entry;
+    std::string op;
+    std::string relation;
+    bool parsed = false;
+    if (kind == "vc") {
+      Level constant = 0;
+      parsed = static_cast<bool>(
+          fields >> entry.expression.lhs.object >>
+          entry.expression.lhs.attribute >> op >> constant >> relation >>
+          entry.round);
+      entry.expression.rhs_is_var = false;
+      entry.expression.rhs_const = constant;
+    } else if (kind == "vv") {
+      parsed = static_cast<bool>(
+          fields >> entry.expression.lhs.object >>
+          entry.expression.lhs.attribute >> op >>
+          entry.expression.rhs_var.object >>
+          entry.expression.rhs_var.attribute >> relation >> entry.round);
+      entry.expression.rhs_is_var = true;
+    } else {
+      return Status::InvalidArgument("answer log: unknown entry '" +
+                                     std::string(trimmed) + "'");
+    }
+    if (!parsed || (op != "<" && op != ">") ||
+        !ParseRelation(relation, &entry.relation)) {
+      return Status::InvalidArgument("answer log: malformed line '" +
+                                     std::string(trimmed) + "'");
+    }
+    entry.expression.op = op == ">" ? CmpOp::kGreater : CmpOp::kLess;
+    log.entries.push_back(entry);
+  }
+  return log;
+}
+
+Status SaveAnswerLog(const AnswerLog& log, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SerializeAnswerLog(log);
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<AnswerLog> LoadAnswerLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseAnswerLog(buffer.str());
+}
+
+Result<std::vector<TaskAnswer>> RecordingPlatform::PostBatch(
+    const std::vector<Task>& tasks) {
+  BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<TaskAnswer> answers,
+                              inner_.PostBatch(tasks));
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    AnswerLogEntry entry;
+    entry.expression = tasks[t].expression;
+    entry.relation = answers[t].relation;
+    entry.round = inner_.total_rounds();
+    log_.entries.push_back(entry);
+  }
+  return answers;
+}
+
+Result<std::vector<TaskAnswer>> ReplayingPlatform::PostBatch(
+    const std::vector<Task>& tasks) {
+  if (tasks.empty()) return Status::InvalidArgument("empty batch");
+
+  // Replay prefix: serve from the transcript while it matches. A batch
+  // may straddle the log boundary (the recorded session's final round
+  // was trimmed by its smaller budget), in which case the matching
+  // prefix comes from the log and the rest goes live.
+  std::vector<TaskAnswer> answers;
+  answers.reserve(tasks.size());
+  std::size_t served = 0;
+  while (served < tasks.size() && cursor_ < log_.entries.size()) {
+    const AnswerLogEntry& entry = log_.entries[cursor_];
+    if (!(entry.expression == tasks[served].expression)) {
+      return Status::FailedPrecondition(StrFormat(
+          "resumed query diverged from the recorded transcript at "
+          "entry %zu",
+          cursor_));
+    }
+    answers.push_back({entry.relation});
+    ++cursor_;
+    ++served;
+  }
+
+  if (served < tasks.size()) {
+    // Live tail.
+    if (fallback_ == nullptr) {
+      return Status::FailedPrecondition(
+          "answer log exhausted and no live platform attached");
+    }
+    const std::vector<Task> tail(tasks.begin() +
+                                     static_cast<std::ptrdiff_t>(served),
+                                 tasks.end());
+    BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<TaskAnswer> live,
+                                fallback_->PostBatch(tail));
+    answers.insert(answers.end(), live.begin(), live.end());
+  }
+  total_tasks_ += tasks.size();
+  ++total_rounds_;
+  return answers;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,100 @@
+// Recording and replaying crowd answers: pause/resume for crowd
+// queries.
+//
+// BayesCrowd is deterministic given its options, so re-running a query
+// over a replay of the already-bought answers reconstructs the session
+// state exactly, after which a live platform takes over. This gives
+// resumable (even across-process) crowdsourcing without any framework
+// state serialization — particularly useful with the interactive
+// platform, where a human may walk away mid-query.
+//
+//   RecordingPlatform rec(live);            // First session.
+//   framework.Run(data, posteriors, rec);
+//   SaveAnswerLog(rec.log(), "answers.log");
+//
+//   auto log = LoadAnswerLog("answers.log");  // Later session.
+//   ReplayingPlatform replay(log.value(), &live);
+//   framework.Run(data, posteriors, replay);  // Replays, then continues.
+
+#ifndef BAYESCROWD_CROWD_RECORD_REPLAY_H_
+#define BAYESCROWD_CROWD_RECORD_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crowd/platform.h"
+
+namespace bayescrowd {
+
+/// One bought answer.
+struct AnswerLogEntry {
+  Expression expression;
+  Ordering relation = Ordering::kEqual;
+  std::size_t round = 0;  // 1-based round the answer arrived in.
+};
+
+/// The transcript of a crowdsourcing phase.
+struct AnswerLog {
+  std::vector<AnswerLogEntry> entries;
+};
+
+/// Text (de)serialization. Format, one entry per line:
+///   vc <obj> <attr> <op: < or >> <const> <relation: l|e|g> <round>
+///   vv <obj> <attr> <op> <obj2> <attr2> <relation> <round>
+std::string SerializeAnswerLog(const AnswerLog& log);
+Result<AnswerLog> ParseAnswerLog(const std::string& text);
+Status SaveAnswerLog(const AnswerLog& log, const std::string& path);
+Result<AnswerLog> LoadAnswerLog(const std::string& path);
+
+/// Wraps a live platform and transcribes everything it answers.
+class RecordingPlatform : public CrowdPlatform {
+ public:
+  explicit RecordingPlatform(CrowdPlatform& inner) : inner_(inner) {}
+
+  Result<std::vector<TaskAnswer>> PostBatch(
+      const std::vector<Task>& tasks) override;
+
+  std::size_t total_tasks() const override { return inner_.total_tasks(); }
+  std::size_t total_rounds() const override {
+    return inner_.total_rounds();
+  }
+
+  const AnswerLog& log() const { return log_; }
+
+ private:
+  CrowdPlatform& inner_;
+  AnswerLog log_;
+};
+
+/// Serves answers from a log as long as the asked tasks match the
+/// transcript in order; once the log is exhausted, delegates to
+/// `fallback` (if null, live tasks fail with FailedPrecondition). A
+/// batch may straddle the boundary — matching prefix from the log, the
+/// rest live. A task that diverges from the transcript mid-log is an
+/// error: the query being resumed differs from the recorded one.
+class ReplayingPlatform : public CrowdPlatform {
+ public:
+  ReplayingPlatform(AnswerLog log, CrowdPlatform* fallback)
+      : log_(std::move(log)), fallback_(fallback) {}
+
+  Result<std::vector<TaskAnswer>> PostBatch(
+      const std::vector<Task>& tasks) override;
+
+  std::size_t total_tasks() const override { return total_tasks_; }
+  std::size_t total_rounds() const override { return total_rounds_; }
+
+  /// Entries served from the log so far.
+  std::size_t replayed() const { return cursor_; }
+
+ private:
+  AnswerLog log_;
+  CrowdPlatform* fallback_;
+  std::size_t cursor_ = 0;
+  std::size_t total_tasks_ = 0;
+  std::size_t total_rounds_ = 0;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CROWD_RECORD_REPLAY_H_

@@ -1,0 +1,48 @@
+// Crowd tasks: triple-choice questions about one expression.
+//
+// "For an expression Var(o5,a2) < 2, the corresponding task is to ask:
+// is the variable Var(o5,a2) larger than, or smaller than, or equal
+// to 2?" The answer is therefore an Ordering of the expression's left
+// operand relative to its right operand — strictly more informative
+// than a boolean for the expression itself.
+
+#ifndef BAYESCROWD_CROWD_TASK_H_
+#define BAYESCROWD_CROWD_TASK_H_
+
+#include <string>
+#include <vector>
+
+#include "ctable/expression.h"
+#include "ctable/knowledge.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+
+/// One unit of crowd work.
+struct Task {
+  Expression expression;
+
+  /// The object whose condition this task was selected from (for
+  /// bookkeeping/diagnostics; not used by the platform).
+  std::size_t source_object = 0;
+
+  /// Human-readable question text.
+  std::string QuestionText(const Table& table) const;
+};
+
+/// The aggregated (majority-vote) answer to one task.
+struct TaskAnswer {
+  /// Relation of the expression's left operand to its right operand.
+  Ordering relation = Ordering::kEqual;
+};
+
+/// True when two tasks share a variable — such tasks may conflict and
+/// must not be posted in the same round (Section 6.1).
+bool TasksConflict(const Task& a, const Task& b);
+
+/// True when `task` shares a variable with any task in `batch`.
+bool ConflictsWithBatch(const Task& task, const std::vector<Task>& batch);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CROWD_TASK_H_

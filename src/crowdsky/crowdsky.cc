@@ -1,0 +1,262 @@
+#include "crowdsky/crowdsky.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "ctable/expression.h"
+#include "ctable/knowledge.h"
+
+namespace bayescrowd {
+namespace {
+
+// Cache of answered pairwise comparisons: (attribute, i, j) with i < j
+// maps to the relation of i's value to j's value.
+class RelationCache {
+ public:
+  bool Lookup(std::size_t attr, std::size_t i, std::size_t j,
+              Ordering* out) const {
+    const bool flip = j < i;
+    const auto it = map_.find(KeyOf(attr, i, j));
+    if (it == map_.end()) return false;
+    *out = flip ? Flip(it->second) : it->second;
+    return true;
+  }
+
+  void Store(std::size_t attr, std::size_t i, std::size_t j, Ordering rel) {
+    map_[KeyOf(attr, i, j)] = (j < i) ? Flip(rel) : rel;
+  }
+
+ private:
+  static Ordering Flip(Ordering o) {
+    if (o == Ordering::kLess) return Ordering::kGreater;
+    if (o == Ordering::kGreater) return Ordering::kLess;
+    return o;
+  }
+  static std::tuple<std::size_t, std::size_t, std::size_t> KeyOf(
+      std::size_t attr, std::size_t i, std::size_t j) {
+    return {attr, std::min(i, j), std::max(i, j)};
+  }
+
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>, Ordering>
+      map_;
+};
+
+Status Validate(const Table& table,
+                const std::vector<std::size_t>& observed,
+                const std::vector<std::size_t>& crowd) {
+  std::vector<bool> seen(table.num_attributes(), false);
+  for (std::size_t j : observed) {
+    if (j >= table.num_attributes() || seen[j]) {
+      return Status::InvalidArgument("bad observed attribute list");
+    }
+    seen[j] = true;
+    for (std::size_t i = 0; i < table.num_objects(); ++i) {
+      if (table.IsMissing(i, j)) {
+        return Status::FailedPrecondition(StrFormat(
+            "observed attribute %zu has a missing value (row %zu)", j, i));
+      }
+    }
+  }
+  for (std::size_t j : crowd) {
+    if (j >= table.num_attributes() || seen[j]) {
+      return Status::InvalidArgument("bad crowd attribute list");
+    }
+    seen[j] = true;
+    for (std::size_t i = 0; i < table.num_objects(); ++i) {
+      if (!table.IsMissing(i, j)) {
+        return Status::FailedPrecondition(StrFormat(
+            "crowd attribute %zu has an observed value (row %zu)", j, i));
+      }
+    }
+  }
+  for (bool s : seen) {
+    if (!s) {
+      return Status::InvalidArgument(
+          "observed+crowd attributes must cover the schema");
+    }
+  }
+  return Status::OK();
+}
+
+// True when p >= o on every observed attribute (p may dominate o).
+bool CandidateOnObserved(const Table& t, std::size_t p, std::size_t o,
+                         const std::vector<std::size_t>& observed) {
+  for (std::size_t j : observed) {
+    if (t.At(p, j) < t.At(o, j)) return false;
+  }
+  return true;
+}
+
+// True when p > o strictly somewhere on the observed attributes.
+bool StrictOnObserved(const Table& t, std::size_t p, std::size_t o,
+                      const std::vector<std::size_t>& observed) {
+  for (std::size_t j : observed) {
+    if (t.At(p, j) > t.At(o, j)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<CrowdSkyResult> RunCrowdSky(
+    const Table& incomplete, const std::vector<std::size_t>& observed_attrs,
+    const std::vector<std::size_t>& crowd_attrs, CrowdPlatform& platform,
+    const CrowdSkyOptions& options) {
+  BAYESCROWD_RETURN_NOT_OK(
+      Validate(incomplete, observed_attrs, crowd_attrs));
+  if (options.tasks_per_round == 0) {
+    return Status::InvalidArgument("tasks_per_round must be >= 1");
+  }
+
+  Stopwatch watch;
+  const std::size_t n = incomplete.num_objects();
+  const std::size_t tasks_before = platform.total_tasks();
+  const std::size_t rounds_before = platform.total_rounds();
+
+  // Global candidate probing order: descending observed-attribute sum
+  // (the most dominant objects first — the layer idea of CrowdSky).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<long long> sums(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j : observed_attrs) sums[i] += incomplete.At(i, j);
+  }
+  std::sort(order.begin(), order.end(),
+            [&sums](std::size_t a, std::size_t b) {
+              return sums[a] != sums[b] ? sums[a] > sums[b] : a < b;
+            });
+
+  std::vector<bool> dominated(n, false);
+  // cursor[o]: index into `order` of the next candidate to probe.
+  std::vector<std::size_t> cursor(n, 0);
+  RelationCache cache;
+
+  // Decides whether candidate p dominates o given fully-cached crowd
+  // relations. Returns kUnknown truth via `decided=false` if a relation
+  // is missing (the caller then buys the tasks).
+  const auto try_decide = [&](std::size_t p, std::size_t o, bool* decided,
+                              std::vector<Expression>* needed) -> bool {
+    bool all_ge = true;
+    bool strict = StrictOnObserved(incomplete, p, o, observed_attrs);
+    needed->clear();
+    for (std::size_t a : crowd_attrs) {
+      Ordering rel;
+      if (!cache.Lookup(a, p, o, &rel)) {
+        needed->push_back(Expression::VarVar({p, a}, CmpOp::kGreater,
+                                             {o, a}));
+        continue;
+      }
+      if (rel == Ordering::kLess) {
+        all_ge = false;
+        break;
+      }
+      if (rel == Ordering::kGreater) strict = true;
+    }
+    if (!all_ge) {
+      *decided = true;
+      return false;  // p does not dominate o.
+    }
+    if (!needed->empty()) {
+      *decided = false;
+      return false;
+    }
+    *decided = true;
+    return strict;  // Dominates iff strictly better somewhere.
+  };
+
+  while (true) {
+    std::vector<Task> batch;
+    std::set<std::string> batch_keys;
+    // Pairs whose verdict is waiting on this round's answers.
+    std::vector<std::pair<std::size_t, std::size_t>> pending;  // (p, o)
+    bool everything_settled = true;
+
+    for (std::size_t o = 0; o < n; ++o) {
+      if (dominated[o]) continue;
+      // Advance through candidates decidable from cache; stop at the
+      // first one needing crowd work (or the end).
+      bool waiting = false;
+      while (cursor[o] < n) {
+        const std::size_t p = order[cursor[o]];
+        if (p == o ||
+            !CandidateOnObserved(incomplete, p, o, observed_attrs)) {
+          ++cursor[o];
+          continue;
+        }
+        bool decided = false;
+        std::vector<Expression> needed;
+        const bool dom = try_decide(p, o, &decided, &needed);
+        if (decided) {
+          if (dom) {
+            dominated[o] = true;
+            break;
+          }
+          ++cursor[o];
+          continue;
+        }
+        // Need crowd answers for this pair.
+        if (batch.size() + needed.size() > options.tasks_per_round &&
+            !batch.empty()) {
+          waiting = true;  // Defer to a later round.
+          break;
+        }
+        for (const Expression& e : needed) {
+          const std::string key = e.Key();
+          if (batch_keys.insert(key).second) {
+            Task task;
+            task.expression = e;
+            task.source_object = o;
+            batch.push_back(task);
+          }
+        }
+        pending.emplace_back(p, o);
+        waiting = true;
+        break;
+      }
+      if (!dominated[o] && (waiting || cursor[o] < n)) {
+        everything_settled = false;
+      }
+      if (batch.size() >= options.tasks_per_round) break;
+    }
+
+    if (batch.empty()) {
+      if (everything_settled || pending.empty()) break;
+      continue;  // Pure cache progress; loop again.
+    }
+
+    BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<TaskAnswer> answers,
+                                platform.PostBatch(batch));
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      const Expression& e = batch[t].expression;
+      cache.Store(e.lhs.attribute, e.lhs.object, e.rhs_var.object,
+                  answers[t].relation);
+    }
+    for (const auto& [p, o] : pending) {
+      if (dominated[o]) continue;
+      bool decided = false;
+      std::vector<Expression> needed;
+      const bool dom = try_decide(p, o, &decided, &needed);
+      if (!decided) continue;  // Tasks were deferred; retried next pass.
+      if (dom) {
+        dominated[o] = true;
+      } else {
+        ++cursor[o];
+      }
+    }
+  }
+
+  CrowdSkyResult result;
+  for (std::size_t o = 0; o < n; ++o) {
+    if (!dominated[o]) result.skyline.push_back(o);
+  }
+  result.tasks_posted = platform.total_tasks() - tasks_before;
+  result.rounds = platform.total_rounds() - rounds_before;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace bayescrowd

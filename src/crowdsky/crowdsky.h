@@ -1,0 +1,56 @@
+// CrowdSky (Lee, Lee & Kim, EDBT 2016) — the state-of-the-art crowd
+// skyline baseline the paper compares against (Figure 4).
+//
+// Setting: attributes are partitioned into *observed* attributes
+// (complete) and *crowd* attributes (all values missing). CrowdSky
+// resolves dominance by crowdsourcing pairwise preference comparisons on
+// the crowd attributes:
+//
+//  * objects are organized into skyline layers on the observed
+//    attributes; an object can only be dominated by a candidate that is
+//    >= it on every observed attribute (dominating-set pruning);
+//  * per object, candidates are probed best-first; once one dominator is
+//    confirmed the object is settled (early termination);
+//  * comparisons are posted in parallel batches of `tasks_per_round`
+//    (the partitioning/parallelization of the original paper), and
+//    answered pairs are cached so no comparison is ever bought twice;
+//  * answers are collected *without any probabilistic inference* — the
+//    key difference from BayesCrowd that the evaluation quantifies.
+
+#ifndef BAYESCROWD_CROWDSKY_CROWDSKY_H_
+#define BAYESCROWD_CROWDSKY_CROWDSKY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "crowd/platform.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+
+struct CrowdSkyOptions {
+  /// Comparisons posted per round (the paper's comparison fixes 20 for
+  /// both systems).
+  std::size_t tasks_per_round = 20;
+};
+
+struct CrowdSkyResult {
+  std::vector<std::size_t> skyline;
+  std::size_t tasks_posted = 0;
+  std::size_t rounds = 0;
+  double seconds = 0.0;  // Machine-side execution time.
+};
+
+/// Runs CrowdSky over `incomplete`, whose attributes must be complete on
+/// `observed_attrs` and entirely missing on `crowd_attrs` (together
+/// covering the schema).
+Result<CrowdSkyResult> RunCrowdSky(const Table& incomplete,
+                                   const std::vector<std::size_t>& observed_attrs,
+                                   const std::vector<std::size_t>& crowd_attrs,
+                                   CrowdPlatform& platform,
+                                   const CrowdSkyOptions& options = {});
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CROWDSKY_CROWDSKY_H_

@@ -1,0 +1,100 @@
+#include "ctable/builder.h"
+
+namespace bayescrowd {
+
+Condition BuildCondition(const Table& table, std::size_t object,
+                         const std::vector<std::uint32_t>& dominators) {
+  if (dominators.empty()) return Condition::True();
+  const std::size_t d = table.num_attributes();
+  std::vector<Conjunct> conjuncts;
+  conjuncts.reserve(dominators.size());
+  for (std::uint32_t dominator : dominators) {
+    // Conjunct "dominator ⊀ object": disjunction of "object beats
+    // dominator in attribute j" over all j (Section 4.1).
+    Conjunct conjunct;
+    for (std::size_t j = 0; j < d; ++j) {
+      const Level ov = table.At(object, j);
+      const Level pv = table.At(dominator, j);
+      const bool o_missing = IsMissingLevel(ov);
+      const bool p_missing = IsMissingLevel(pv);
+      if (!o_missing && !p_missing) {
+        // Constant comparison. Membership in D(o) implies pv >= ov, so
+        // "ov > pv" is false and the disjunct is dropped. (Kept general
+        // for direct calls with arbitrary dominator lists.)
+        if (ov > pv) {
+          conjunct.clear();  // Tautology: conjunct certainly true.
+          break;
+        }
+        continue;
+      }
+      if (!o_missing) {
+        // ov > Var(dominator, j)  <=>  Var(dominator, j) < ov.
+        if (ov == 0) continue;  // Var < 0 impossible in [0, L).
+        conjunct.push_back(Expression::VarConst(
+            {dominator, j}, CmpOp::kLess, ov));
+        continue;
+      }
+      if (!p_missing) {
+        // Var(object, j) > pv; impossible when pv is the domain maximum.
+        if (pv >= table.schema().domain_size(j) - 1) continue;
+        conjunct.push_back(Expression::VarConst(
+            {object, j}, CmpOp::kGreater, pv));
+        continue;
+      }
+      // Var(object, j) > Var(dominator, j).
+      conjunct.push_back(Expression::VarVar({object, j}, CmpOp::kGreater,
+                                            {dominator, j}));
+    }
+    if (conjunct.empty()) {
+      // Either a tautology break (skip the conjunct) or no disjunct
+      // survived (the dominator certainly dominates: condition false).
+      // Distinguish via re-check: a tautology happens only when object
+      // strictly beats the dominator on some fully-observed attribute.
+      bool tautology = false;
+      bool all_equal_observed = true;
+      for (std::size_t j = 0; j < d; ++j) {
+        const Level ov = table.At(object, j);
+        const Level pv = table.At(dominator, j);
+        if (IsMissingLevel(ov) || IsMissingLevel(pv)) {
+          all_equal_observed = false;
+          continue;
+        }
+        if (ov > pv) {
+          tautology = true;
+          break;
+        }
+        if (ov != pv) all_equal_observed = false;
+      }
+      if (tautology) continue;
+      // A fully-observed exact duplicate can never *strictly* dominate
+      // (Definition 1 requires a strictly better attribute), so it
+      // cannot falsify the condition either. The paper's CNF sketch
+      // elides this corner case; real data has ties.
+      if (all_equal_observed) continue;
+      return Condition::False();
+    }
+    conjuncts.push_back(std::move(conjunct));
+  }
+  return Condition::Cnf(std::move(conjuncts));
+}
+
+Result<CTable> BuildCTable(const Table& table, const CTableOptions& options) {
+  BAYESCROWD_ASSIGN_OR_RETURN(
+      DominatorSets sets,
+      options.use_fast_dominators
+          ? ComputeDominatorSets(table, options.alpha)
+          : ComputeDominatorSetsBaseline(table, options.alpha));
+
+  const std::size_t n = table.num_objects();
+  CTable ctable(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sets.pruned[i]) {
+      ctable.SetCondition(i, Condition::False());  // Algorithm 2, line 7.
+      continue;
+    }
+    ctable.SetCondition(i, BuildCondition(table, i, sets.dominators[i]));
+  }
+  return ctable;
+}
+
+}  // namespace bayescrowd

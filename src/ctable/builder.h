@@ -1,0 +1,40 @@
+// Get-CTable (Algorithm 2): builds the c-table of a skyline query over
+// an incomplete table.
+//
+// For every object o:
+//   |D(o)| == 0            -> φ(o) = true   (certain skyline object)
+//   |D(o)| > α|O|          -> φ(o) = false  (pruned: too likely dominated)
+//   ∃ complete o' ≺ o      -> φ(o) = false
+//   otherwise              -> φ(o) = CNF over D(o) (Section 4.1)
+
+#ifndef BAYESCROWD_CTABLE_BUILDER_H_
+#define BAYESCROWD_CTABLE_BUILDER_H_
+
+#include "common/result.h"
+#include "ctable/ctable.h"
+#include "ctable/dominator.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+
+struct CTableOptions {
+  /// Pruning threshold α of Algorithm 2. Negative disables pruning.
+  double alpha = 0.01;
+
+  /// Use the bitset-based dominator derivation (true) or the pairwise
+  /// Baseline (false). Output is identical; speed is not (Figure 2).
+  bool use_fast_dominators = true;
+};
+
+/// Builds the condition of one object given its dominator set (exposed
+/// for tests; BuildCTable drives it for all objects).
+Condition BuildCondition(const Table& table, std::size_t object,
+                         const std::vector<std::uint32_t>& dominators);
+
+/// Algorithm 2 over the whole table.
+Result<CTable> BuildCTable(const Table& table,
+                           const CTableOptions& options = {});
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CTABLE_BUILDER_H_

@@ -1,0 +1,51 @@
+// CTable: the conditional table C — one condition φ(o) per object
+// (Definition 3).
+
+#ifndef BAYESCROWD_CTABLE_CTABLE_H_
+#define BAYESCROWD_CTABLE_CTABLE_H_
+
+#include <vector>
+
+#include "ctable/condition.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+
+/// Conditions aligned with the object indices of the source table.
+class CTable {
+ public:
+  CTable() = default;
+  explicit CTable(std::size_t num_objects) : conditions_(num_objects) {}
+
+  std::size_t num_objects() const { return conditions_.size(); }
+
+  const Condition& condition(std::size_t object) const {
+    return conditions_[object];
+  }
+  Condition& condition(std::size_t object) { return conditions_[object]; }
+
+  void SetCondition(std::size_t object, Condition condition) {
+    conditions_[object] = std::move(condition);
+  }
+
+  std::size_t NumTrue() const;
+  std::size_t NumFalse() const;
+  std::size_t NumUndecided() const;
+
+  /// Distinct variables across all undecided conditions, in
+  /// first-appearance order.
+  std::vector<CellRef> AllVariables() const;
+
+  /// Total number of expressions across undecided conditions.
+  std::size_t TotalExpressions() const;
+
+  /// Object ids whose conditions are still undecided.
+  std::vector<std::size_t> UndecidedObjects() const;
+
+ private:
+  std::vector<Condition> conditions_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_CTABLE_CTABLE_H_

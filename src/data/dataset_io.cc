@@ -1,0 +1,70 @@
+#include "data/dataset_io.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace bayescrowd {
+
+Status SaveTableCsv(const Table& table, const std::string& path) {
+  CsvDocument doc;
+  doc.header.push_back("name");
+  const Schema& schema = table.schema();
+  for (std::size_t j = 0; j < schema.num_attributes(); ++j) {
+    doc.header.push_back(StrFormat("%s:%d",
+                                   schema.attribute(j).name.c_str(),
+                                   schema.domain_size(j)));
+  }
+  doc.rows.reserve(table.num_objects());
+  for (std::size_t i = 0; i < table.num_objects(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(schema.num_attributes() + 1);
+    row.push_back(table.object_name(i));
+    for (std::size_t j = 0; j < schema.num_attributes(); ++j) {
+      const Level v = table.At(i, j);
+      row.push_back(IsMissingLevel(v) ? "?" : StrFormat("%d", v));
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, doc);
+}
+
+Result<Table> LoadTableCsv(const std::string& path) {
+  BAYESCROWD_ASSIGN_OR_RETURN(CsvDocument doc,
+                              ReadCsvFile(path, /*has_header=*/true));
+  if (doc.header.empty() || doc.header[0] != "name") {
+    return Status::InvalidArgument(
+        path + ": expected header starting with 'name'");
+  }
+  Schema schema;
+  for (std::size_t j = 1; j < doc.header.size(); ++j) {
+    const auto parts = Split(doc.header[j], ':');
+    int domain = 0;
+    if (parts.size() != 2 || !ParseInt(parts[1], &domain) || domain <= 0) {
+      return Status::InvalidArgument(
+          path + ": malformed header field '" + doc.header[j] +
+          "', expected <attr>:<domain>");
+    }
+    schema.AddAttribute(parts[0], static_cast<Level>(domain));
+  }
+  Table table(schema);
+  table.Reserve(doc.rows.size());
+  std::vector<Level> values(schema.num_attributes());
+  for (const auto& row : doc.rows) {
+    for (std::size_t j = 0; j < schema.num_attributes(); ++j) {
+      const std::string& field = row[j + 1];
+      if (field == "?") {
+        values[j] = kMissingLevel;
+        continue;
+      }
+      int v = 0;
+      if (!ParseInt(field, &v)) {
+        return Status::InvalidArgument(path + ": bad cell '" + field + "'");
+      }
+      values[j] = static_cast<Level>(v);
+    }
+    BAYESCROWD_RETURN_NOT_OK(table.AppendRow(row[0], values));
+  }
+  return table;
+}
+
+}  // namespace bayescrowd

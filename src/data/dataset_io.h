@@ -1,0 +1,24 @@
+// Table <-> CSV persistence.
+//
+// File layout: header "name,<attr>:<domain>,...", one row per object,
+// '?' marks a missing cell.
+
+#ifndef BAYESCROWD_DATA_DATASET_IO_H_
+#define BAYESCROWD_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+
+/// Writes `table` to `path` in the format described above.
+Status SaveTableCsv(const Table& table, const std::string& path);
+
+/// Reads a table previously written by SaveTableCsv.
+Result<Table> LoadTableCsv(const std::string& path);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_DATA_DATASET_IO_H_

@@ -1,0 +1,104 @@
+#include "data/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+
+Result<Discretizer> Discretizer::Fit(
+    const std::vector<std::vector<double>>& columns, Level num_levels,
+    BinningMethod method) {
+  if (num_levels < 2) {
+    return Status::InvalidArgument("num_levels must be >= 2");
+  }
+  Discretizer disc;
+  disc.num_levels_ = num_levels;
+  disc.edges_.reserve(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const auto& col = columns[c];
+    if (col.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("column %zu is empty", c));
+    }
+    for (double v : col) {
+      if (std::isnan(v)) {
+        return Status::InvalidArgument(
+            StrFormat("column %zu contains NaN", c));
+      }
+    }
+    std::vector<double> edges;
+    edges.reserve(static_cast<std::size_t>(num_levels) - 1);
+    if (method == BinningMethod::kEqualWidth) {
+      const auto [min_it, max_it] = std::minmax_element(col.begin(),
+                                                        col.end());
+      const double lo = *min_it;
+      const double hi = *max_it;
+      const double width = (hi - lo) / static_cast<double>(num_levels);
+      for (Level k = 1; k < num_levels; ++k) {
+        edges.push_back(lo + width * static_cast<double>(k));
+      }
+    } else {
+      std::vector<double> sorted = col;
+      std::sort(sorted.begin(), sorted.end());
+      for (Level k = 1; k < num_levels; ++k) {
+        const double q = static_cast<double>(k) /
+                         static_cast<double>(num_levels);
+        const auto idx = static_cast<std::size_t>(
+            q * static_cast<double>(sorted.size() - 1));
+        edges.push_back(sorted[idx]);
+      }
+    }
+    disc.edges_.push_back(std::move(edges));
+  }
+  return disc;
+}
+
+Level Discretizer::Map(std::size_t attribute, double value) const {
+  const auto& edges = edges_[attribute];
+  // First edge strictly greater than value -> bin index.
+  const auto it = std::upper_bound(edges.begin(), edges.end(), value);
+  return static_cast<Level>(it - edges.begin());
+}
+
+Result<Table> Discretizer::DiscretizeTable(
+    const std::vector<std::string>& attribute_names,
+    const std::vector<std::vector<double>>& columns, Level num_levels,
+    BinningMethod method, const std::vector<std::string>& object_names) {
+  if (attribute_names.size() != columns.size()) {
+    return Status::InvalidArgument(
+        "attribute_names and columns sizes differ");
+  }
+  if (columns.empty()) return Status::InvalidArgument("no columns");
+  const std::size_t n = columns[0].size();
+  for (const auto& col : columns) {
+    if (col.size() != n) {
+      return Status::InvalidArgument("columns have differing lengths");
+    }
+  }
+  if (!object_names.empty() && object_names.size() != n) {
+    return Status::InvalidArgument(
+        "object_names length does not match rows");
+  }
+  BAYESCROWD_ASSIGN_OR_RETURN(Discretizer disc,
+                              Fit(columns, num_levels, method));
+  Schema schema;
+  for (const auto& name : attribute_names) {
+    schema.AddAttribute(name, num_levels);
+  }
+  Table table(schema);
+  table.Reserve(n);
+  std::vector<Level> row(columns.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      row[j] = disc.Map(j, columns[j][i]);
+    }
+    std::string name = object_names.empty() ? StrFormat("o%zu", i + 1)
+                                            : object_names[i];
+    BAYESCROWD_RETURN_NOT_OK(table.AppendRow(std::move(name), row));
+  }
+  return table;
+}
+
+}  // namespace bayescrowd

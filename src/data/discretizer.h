@@ -1,0 +1,62 @@
+// Discretization of continuous attributes (paper Section 3: "For
+// continuous values, we partition the whole domain into a series of
+// value ranges ... and treat each range as a discrete value").
+//
+// A fitted Discretizer stores per-attribute bin edges so that new raw
+// values can be mapped to levels consistently.
+
+#ifndef BAYESCROWD_DATA_DISCRETIZER_H_
+#define BAYESCROWD_DATA_DISCRETIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+
+enum class BinningMethod {
+  kEqualWidth,      // Bins of equal numeric width over [min, max].
+  kEqualFrequency,  // Bins holding (approximately) equal record counts.
+};
+
+/// Maps raw continuous columns to discrete levels.
+class Discretizer {
+ public:
+  /// Fits one binning per column. Each column must be non-empty; NaNs are
+  /// rejected. `num_levels` >= 2.
+  static Result<Discretizer> Fit(
+      const std::vector<std::vector<double>>& columns, Level num_levels,
+      BinningMethod method);
+
+  /// Level of `value` for attribute `attribute` — the index of the first
+  /// internal edge greater than `value` (clamped to the last bin).
+  Level Map(std::size_t attribute, double value) const;
+
+  std::size_t num_attributes() const { return edges_.size(); }
+  Level num_levels() const { return num_levels_; }
+
+  /// Ascending internal edges of `attribute` (num_levels-1 of them;
+  /// duplicates possible for equal-frequency bins of skewed data).
+  const std::vector<double>& edges(std::size_t attribute) const {
+    return edges_[attribute];
+  }
+
+  /// Convenience: fits on `columns` and materializes the discretized
+  /// table with the given attribute names (and optional object names;
+  /// default "o<i>").
+  static Result<Table> DiscretizeTable(
+      const std::vector<std::string>& attribute_names,
+      const std::vector<std::vector<double>>& columns, Level num_levels,
+      BinningMethod method,
+      const std::vector<std::string>& object_names = {});
+
+ private:
+  std::vector<std::vector<double>> edges_;
+  Level num_levels_ = 0;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_DATA_DISCRETIZER_H_

@@ -1,0 +1,108 @@
+#include "data/missing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace bayescrowd {
+
+Table InjectMissingUniform(const Table& complete, double rate, Rng& rng) {
+  Table out = complete;
+  const std::size_t n = out.num_objects();
+  const std::size_t d = out.num_attributes();
+  const std::size_t total = n * d;
+  auto target = static_cast<std::size_t>(
+      std::llround(rate * static_cast<double>(total)));
+  if (target > total) target = total;
+  if (target == 0) return out;
+
+  // Partial Fisher-Yates over cell indices: pick `target` distinct cells.
+  std::vector<std::size_t> cells(total);
+  for (std::size_t i = 0; i < total; ++i) cells[i] = i;
+  for (std::size_t k = 0; k < target; ++k) {
+    const std::size_t j =
+        k + static_cast<std::size_t>(rng.NextBelow(total - k));
+    std::swap(cells[k], cells[j]);
+    out.SetCell(cells[k] / d, cells[k] % d, kMissingLevel);
+  }
+  return out;
+}
+
+namespace {
+
+// Bernoulli-per-cell injection with per-cell weights scaled so that the
+// expected number of missing cells is rate * (number of eligible cells).
+Table InjectWeighted(const Table& complete, double rate,
+                     const std::function<double(std::size_t, std::size_t)>&
+                         weight_of,
+                     Rng& rng) {
+  Table out = complete;
+  const std::size_t n = out.num_objects();
+  const std::size_t d = out.num_attributes();
+  double total_weight = 0.0;
+  std::size_t eligible = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double w = weight_of(i, j);
+      if (w > 0.0) {
+        total_weight += w;
+        ++eligible;
+      }
+    }
+  }
+  if (total_weight <= 0.0 || rate <= 0.0) return out;
+  const double scale =
+      rate * static_cast<double>(eligible) / total_weight;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double p = std::min(1.0, weight_of(i, j) * scale);
+      if (p > 0.0 && rng.NextBool(p)) {
+        out.SetCell(i, j, kMissingLevel);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Table InjectMissingMar(const Table& complete, double rate,
+                       std::size_t driver_attribute, Rng& rng) {
+  const double driver_max = static_cast<double>(
+      complete.schema().domain_size(driver_attribute) - 1);
+  return InjectWeighted(
+      complete, rate,
+      [&complete, driver_attribute, driver_max](std::size_t i,
+                                                std::size_t j) {
+        if (j == driver_attribute) return 0.0;  // Driver stays observed.
+        const double driver =
+            static_cast<double>(complete.At(i, driver_attribute));
+        return 0.25 + (driver_max > 0.0 ? driver / driver_max : 0.0);
+      },
+      rng);
+}
+
+Table InjectMissingMnar(const Table& complete, double rate, Rng& rng) {
+  return InjectWeighted(
+      complete, rate,
+      [&complete](std::size_t i, std::size_t j) {
+        const double max = static_cast<double>(
+            complete.schema().domain_size(j) - 1);
+        const double value = static_cast<double>(complete.At(i, j));
+        return 0.25 + (max > 0.0 ? value / max : 0.0);
+      },
+      rng);
+}
+
+Table InjectMissingAttributes(const Table& complete,
+                              const std::vector<std::size_t>& attributes) {
+  Table out = complete;
+  for (std::size_t attr : attributes) {
+    for (std::size_t i = 0; i < out.num_objects(); ++i) {
+      out.SetCell(i, attr, kMissingLevel);
+    }
+  }
+  return out;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,43 @@
+// Missing-value injection, following the evaluation protocol of the
+// paper (Section 7): "we delete attribute values randomly to simulate
+// incomplete datasets". The CrowdSky comparison instead misses *all*
+// values of designated attributes.
+
+#ifndef BAYESCROWD_DATA_MISSING_H_
+#define BAYESCROWD_DATA_MISSING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+
+/// Returns a copy of `complete` with round(rate * n * d) uniformly chosen
+/// distinct cells replaced by kMissingLevel. `rate` in [0, 1].
+Table InjectMissingUniform(const Table& complete, double rate, Rng& rng);
+
+/// Returns a copy of `complete` where every value of each attribute in
+/// `attributes` is missing (the CrowdSky setting: attributes are split
+/// into observed and crowd attributes).
+Table InjectMissingAttributes(const Table& complete,
+                              const std::vector<std::size_t>& attributes);
+
+/// Missing-at-random (MAR) injection: a cell's missingness probability
+/// scales with the row's *observed* value on `driver_attribute` (which
+/// itself never goes missing) — e.g. heavily-used sensors drop more
+/// readings. The expected overall missing rate is `rate`.
+Table InjectMissingMar(const Table& complete, double rate,
+                       std::size_t driver_attribute, Rng& rng);
+
+/// Missing-not-at-random (MNAR) injection: a cell's missingness
+/// probability scales with its *own* value — e.g. high values are
+/// withheld. Expected overall missing rate `rate`. This violates the
+/// assumptions of available-case Bayesian-network training, which is
+/// exactly what the robustness ablation measures.
+Table InjectMissingMnar(const Table& complete, double rate, Rng& rng);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_DATA_MISSING_H_

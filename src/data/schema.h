@@ -1,0 +1,70 @@
+// Schema: the ordered attribute list of a dataset, with per-attribute
+// discrete domain sizes.
+
+#ifndef BAYESCROWD_DATA_SCHEMA_H_
+#define BAYESCROWD_DATA_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/value.h"
+
+namespace bayescrowd {
+
+/// One attribute: its name and the size of its discrete domain
+/// {0, 1, ..., domain_size-1}.
+struct AttributeInfo {
+  std::string name;
+  Level domain_size = 0;
+};
+
+/// Ordered attribute list shared by all rows of a table.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Convenience constructor from (name, domain) pairs.
+  explicit Schema(std::vector<AttributeInfo> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  void AddAttribute(std::string name, Level domain_size) {
+    attributes_.push_back({std::move(name), domain_size});
+  }
+
+  std::size_t num_attributes() const { return attributes_.size(); }
+
+  const AttributeInfo& attribute(std::size_t index) const {
+    return attributes_[index];
+  }
+
+  Level domain_size(std::size_t index) const {
+    return attributes_[index].domain_size;
+  }
+
+  /// Index of the attribute called `name`, or -1 if absent.
+  int AttributeIndex(std::string_view name) const {
+    for (std::size_t i = 0; i < attributes_.size(); ++i) {
+      if (attributes_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    if (a.attributes_.size() != b.attributes_.size()) return false;
+    for (std::size_t i = 0; i < a.attributes_.size(); ++i) {
+      if (a.attributes_[i].name != b.attributes_[i].name ||
+          a.attributes_[i].domain_size != b.attributes_[i].domain_size) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<AttributeInfo> attributes_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_DATA_SCHEMA_H_

@@ -1,0 +1,78 @@
+#include "data/table.h"
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+
+Status Table::AppendRow(std::string name, const std::vector<Level>& values) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(StrFormat(
+        "row '%s' has %zu values, schema has %zu attributes", name.c_str(),
+        values.size(), schema_.num_attributes()));
+  }
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    const Level v = values[j];
+    if (v != kMissingLevel && (v < 0 || v >= schema_.domain_size(j))) {
+      return Status::OutOfRange(StrFormat(
+          "row '%s' attribute '%s': value %d outside domain [0, %d)",
+          name.c_str(), schema_.attribute(j).name.c_str(), v,
+          schema_.domain_size(j)));
+    }
+  }
+  names_.push_back(std::move(name));
+  cells_.insert(cells_.end(), values.begin(), values.end());
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::AppendEmptyRow(std::string name) {
+  names_.push_back(std::move(name));
+  cells_.insert(cells_.end(), schema_.num_attributes(), kMissingLevel);
+  ++num_rows_;
+}
+
+bool Table::IsRowComplete(std::size_t object) const {
+  for (std::size_t j = 0; j < schema_.num_attributes(); ++j) {
+    if (IsMissing(object, j)) return false;
+  }
+  return true;
+}
+
+bool Table::IsComplete() const {
+  for (Level v : cells_) {
+    if (IsMissingLevel(v)) return false;
+  }
+  return true;
+}
+
+double Table::MissingRate() const {
+  if (cells_.empty()) return 0.0;
+  std::size_t missing = 0;
+  for (Level v : cells_) {
+    if (IsMissingLevel(v)) ++missing;
+  }
+  return static_cast<double>(missing) / static_cast<double>(cells_.size());
+}
+
+std::vector<CellRef> Table::MissingCells() const {
+  std::vector<CellRef> out;
+  const std::size_t d = schema_.num_attributes();
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      if (IsMissing(i, j)) out.push_back({i, j});
+    }
+  }
+  return out;
+}
+
+Table Table::Prefix(std::size_t count) const {
+  Table out(schema_);
+  if (count > num_rows_) count = num_rows_;
+  out.names_.assign(names_.begin(), names_.begin() + count);
+  out.cells_.assign(cells_.begin(),
+                    cells_.begin() + count * schema_.num_attributes());
+  out.num_rows_ = count;
+  return out;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,100 @@
+// Table: a (possibly incomplete) discrete dataset O.
+//
+// Rows are objects o_i, columns are attributes a_j. Cells hold discrete
+// levels; kMissingLevel marks an unknown value Var(o_i, a_j). The same
+// type represents both complete (ground-truth) tables and the incomplete
+// tables queries run over.
+
+#ifndef BAYESCROWD_DATA_TABLE_H_
+#define BAYESCROWD_DATA_TABLE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace bayescrowd {
+
+/// Identifies one missing cell Var(object, attribute).
+struct CellRef {
+  std::size_t object = 0;
+  std::size_t attribute = 0;
+
+  friend bool operator==(const CellRef& a, const CellRef& b) {
+    return a.object == b.object && a.attribute == b.attribute;
+  }
+  friend auto operator<=>(const CellRef& a, const CellRef& b) = default;
+};
+
+/// Row-major discrete data table. Cheap to copy-construct row views are
+/// not provided; use indices.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_objects() const { return num_rows_; }
+  std::size_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// Appends a row. The value count must match the schema and every
+  /// non-missing value must lie inside its attribute domain.
+  Status AppendRow(std::string name, const std::vector<Level>& values);
+
+  /// Appends an all-missing row of the correct width (for incremental
+  /// construction).
+  void AppendEmptyRow(std::string name);
+
+  Level At(std::size_t object, std::size_t attribute) const {
+    assert(object < num_rows_ && attribute < schema_.num_attributes());
+    return cells_[object * schema_.num_attributes() + attribute];
+  }
+
+  void SetCell(std::size_t object, std::size_t attribute, Level value) {
+    assert(object < num_rows_ && attribute < schema_.num_attributes());
+    cells_[object * schema_.num_attributes() + attribute] = value;
+  }
+
+  bool IsMissing(std::size_t object, std::size_t attribute) const {
+    return IsMissingLevel(At(object, attribute));
+  }
+
+  bool IsRowComplete(std::size_t object) const;
+
+  /// True when no cell is missing.
+  bool IsComplete() const;
+
+  /// Fraction of missing cells over all n*d cells.
+  double MissingRate() const;
+
+  /// All missing cells, row-major order.
+  std::vector<CellRef> MissingCells() const;
+
+  const std::string& object_name(std::size_t object) const {
+    return names_[object];
+  }
+
+  /// Copies rows [0, count) into a new table (for cardinality sweeps).
+  Table Prefix(std::size_t count) const;
+
+  void Reserve(std::size_t rows) {
+    names_.reserve(rows);
+    cells_.reserve(rows * schema_.num_attributes());
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::string> names_;
+  std::vector<Level> cells_;  // row-major, num_rows_ x num_attributes
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_DATA_TABLE_H_

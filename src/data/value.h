@@ -1,0 +1,26 @@
+// Discrete attribute values.
+//
+// BayesCrowd operates on discretized data (paper Section 3: continuous
+// domains are partitioned into ranges and each range is treated as a
+// discrete value). An attribute value is therefore a small non-negative
+// integer "level" in [0, domain_size), with larger levels preferred
+// (Definition 1). A missing cell is kMissingLevel.
+
+#ifndef BAYESCROWD_DATA_VALUE_H_
+#define BAYESCROWD_DATA_VALUE_H_
+
+#include <cstdint>
+
+namespace bayescrowd {
+
+/// A discretized attribute value ("level"). Larger is better.
+using Level = std::int32_t;
+
+/// Sentinel marking a missing cell in an incomplete table.
+inline constexpr Level kMissingLevel = -1;
+
+inline bool IsMissingLevel(Level v) { return v == kMissingLevel; }
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_DATA_VALUE_H_

@@ -1,0 +1,360 @@
+#include "probability/adpll.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "probability/naive.h"
+
+namespace bayescrowd {
+namespace {
+
+// One expression, compiled for hub enumeration (see StarProbability).
+struct CompiledExpr {
+  enum class Kind : std::uint8_t {
+    kConstant,    // No hub variable: fixed probability.
+    kDecided,     // Both operands hub/const: truth decided per h.
+    kTablePrime,  // One hub variable: probability = table[hub value].
+  } kind = Kind::kConstant;
+
+  double probability = 0.0;          // kConstant.
+  // kDecided: comparison of hub slots/constant.
+  int lhs_slot = -1;                 // Hub slot of lhs (-1: lhs private).
+  int rhs_slot = -1;                 // Hub slot of rhs var (-1: const/private).
+  CmpOp op = CmpOp::kGreater;
+  Level rhs_const = 0;
+  bool rhs_is_var = false;
+  std::vector<double> table;         // kTablePrime, indexed by hub value.
+};
+
+class AdpllSearch {
+ public:
+  AdpllSearch(const DistributionMap& dists, const AdpllOptions& options,
+              AdpllStats* stats)
+      : dists_(dists), options_(options), stats_(stats),
+        rng_(options.seed) {}
+
+  Result<double> Run(const Condition& condition) {
+    return Recurse(condition);
+  }
+
+ private:
+  // Exact probability of one disjunction. When its expressions touch
+  // distinct variables (the structural common case: one expression per
+  // attribute), the general disjunctive rule applies:
+  //   Pr(e1 ∨ ... ∨ ek) = 1 - Π (1 - Pr(ei)).
+  // Otherwise falls back to exact enumeration over the conjunct's own
+  // (few) variables.
+  Result<double> ConjunctProbability(const Conjunct& conjunct) {
+    // Conjuncts are small (at most one expression per attribute), so a
+    // linear scan beats any map.
+    bool distinct = true;
+    seen_vars_.clear();
+    const auto note = [this](const CellRef& var) {
+      for (const CellRef& v : seen_vars_) {
+        if (v == var) return false;
+      }
+      seen_vars_.push_back(var);
+      return true;
+    };
+    for (const Expression& e : conjunct) {
+      if (!note(e.lhs) || (e.rhs_is_var && !note(e.rhs_var))) {
+        distinct = false;
+        break;
+      }
+    }
+    if (distinct) {
+      double miss_all = 1.0;
+      for (const Expression& e : conjunct) {
+        BAYESCROWD_ASSIGN_OR_RETURN(const double pe,
+                                    ExpressionProbability(e, dists_));
+        miss_all *= 1.0 - pe;
+      }
+      return 1.0 - miss_all;
+    }
+    return NaiveProbability(Condition::Cnf({conjunct}), dists_);
+  }
+
+  Result<double> IndependentProduct(const Condition& condition) {
+    if (stats_ != nullptr) ++stats_->direct_evals;
+    double product = 1.0;
+    for (const Conjunct& conjunct : condition.conjuncts()) {
+      BAYESCROWD_ASSIGN_OR_RETURN(const double pc,
+                                  ConjunctProbability(conjunct));
+      product *= pc;
+      if (product == 0.0) break;
+    }
+    return product;
+  }
+
+  // Star fast path: let H be the variables occurring more than once in
+  // the condition (every other variable appears in exactly one
+  // expression). Then
+  //   Pr(φ) = Σ_h p(h) Π_conjuncts Pr(conjunct | H = h),
+  // and given h every conjunct's surviving expressions touch distinct
+  // single-occurrence variables, so the disjunctive rule applies with
+  // probabilities that are either constants or lookups in per-expression
+  // tables indexed by one hub value. Exact, allocation-light, and it
+  // covers the dominant c-table shape (all conjuncts of φ(o) share o's
+  // own missing attributes). Returns false when H's joint domain is too
+  // large; the caller then branches normally (which shrinks H by one).
+  bool TryStarProbability(const Condition& condition, Result<double>* out) {
+    // Hub discovery.
+    std::unordered_map<PackedVar, int> occurrences;
+    occurrences.reserve(condition.conjuncts().size() * 2);
+    std::vector<CellRef> order;
+    for (const Conjunct& conj : condition.conjuncts()) {
+      for (const Expression& e : conj) {
+        if (++occurrences[PackVar(e.lhs)] == 1) order.push_back(e.lhs);
+        if (e.rhs_is_var &&
+            ++occurrences[PackVar(e.rhs_var)] == 1) {
+          order.push_back(e.rhs_var);
+        }
+      }
+    }
+    std::vector<CellRef> hub;
+    std::unordered_map<PackedVar, int> hub_slot;
+    for (const CellRef& var : order) {
+      if (occurrences[PackVar(var)] >= 2) {
+        hub_slot[PackVar(var)] = static_cast<int>(hub.size());
+        hub.push_back(var);
+      }
+    }
+    if (hub.empty() || hub.size() > 16) return false;
+
+    // Hub distributions and joint-domain bound.
+    std::vector<const std::vector<double>*> hub_dists(hub.size());
+    std::size_t space = 1;
+    for (std::size_t i = 0; i < hub.size(); ++i) {
+      hub_dists[i] = dists_.Find(hub[i]);
+      if (hub_dists[i] == nullptr) {
+        *out = Status::NotFound(
+            StrFormat("no distribution for Var(%zu,%zu)", hub[i].object,
+                      hub[i].attribute));
+        return true;  // Applicable, but errored.
+      }
+      if (space > options_.max_hub_space / hub_dists[i]->size()) {
+        return false;
+      }
+      space *= hub_dists[i]->size();
+    }
+
+    // Compile expressions.
+    std::vector<std::vector<CompiledExpr>> compiled;
+    compiled.reserve(condition.conjuncts().size());
+    for (const Conjunct& conj : condition.conjuncts()) {
+      std::vector<CompiledExpr> cc;
+      cc.reserve(conj.size());
+      for (const Expression& e : conj) {
+        CompiledExpr ce;
+        const auto lhs_it = hub_slot.find(PackVar(e.lhs));
+        const int lslot =
+            lhs_it == hub_slot.end() ? -1 : lhs_it->second;
+        int rslot = -1;
+        if (e.rhs_is_var) {
+          const auto rhs_it = hub_slot.find(PackVar(e.rhs_var));
+          rslot = rhs_it == hub_slot.end() ? -1 : rhs_it->second;
+        }
+        if (lslot < 0 && rslot < 0) {
+          // Private-only: constant probability.
+          const auto p = ExpressionProbability(e, dists_);
+          if (!p.ok()) {
+            *out = p.status();
+            return true;
+          }
+          ce.kind = CompiledExpr::Kind::kConstant;
+          ce.probability = p.value();
+        } else if (lslot >= 0 && (!e.rhs_is_var || rslot >= 0)) {
+          // Fully decided per hub assignment.
+          ce.kind = CompiledExpr::Kind::kDecided;
+          ce.lhs_slot = lslot;
+          ce.rhs_slot = rslot;
+          ce.op = e.op;
+          ce.rhs_is_var = e.rhs_is_var;
+          ce.rhs_const = e.rhs_const;
+        } else {
+          // Exactly one hub variable: tabulate over its values.
+          ce.kind = CompiledExpr::Kind::kTablePrime;
+          const bool hub_is_lhs = lslot >= 0;
+          const CellRef hub_var = hub_is_lhs ? e.lhs : e.rhs_var;
+          const CellRef private_var = hub_is_lhs ? e.rhs_var : e.lhs;
+          ce.lhs_slot = hub_is_lhs ? lslot : rslot;  // Table slot.
+          const std::vector<double>* hub_dist = dists_.Find(hub_var);
+          const std::vector<double>* priv_dist = dists_.Find(private_var);
+          if (hub_dist == nullptr || priv_dist == nullptr) {
+            *out = Status::NotFound("no distribution for variable");
+            return true;
+          }
+          ce.table.resize(hub_dist->size());
+          for (std::size_t v = 0; v < hub_dist->size(); ++v) {
+            // Truth probability of the expression given hub value v.
+            double p = 0.0;
+            for (std::size_t w = 0; w < priv_dist->size(); ++w) {
+              const Level lhs_val =
+                  hub_is_lhs ? static_cast<Level>(v)
+                             : static_cast<Level>(w);
+              const Level rhs_val =
+                  hub_is_lhs ? static_cast<Level>(w)
+                             : static_cast<Level>(v);
+              const bool truth = (e.op == CmpOp::kGreater)
+                                     ? lhs_val > rhs_val
+                                     : lhs_val < rhs_val;
+              if (truth) p += (*priv_dist)[w];
+            }
+            ce.table[v] = p;
+          }
+        }
+        cc.push_back(std::move(ce));
+      }
+      compiled.push_back(std::move(cc));
+    }
+
+    // Enumerate hub assignments.
+    std::vector<Level> h(hub.size(), 0);
+    double total = 0.0;
+    for (std::size_t step = 0; step < space; ++step) {
+      double weight = 1.0;
+      for (std::size_t i = 0; i < hub.size(); ++i) {
+        weight *= (*hub_dists[i])[static_cast<std::size_t>(h[i])];
+      }
+      if (weight > 0.0) {
+        double product = 1.0;
+        for (const auto& conjunct : compiled) {
+          bool satisfied = false;
+          double miss = 1.0;
+          for (const CompiledExpr& ce : conjunct) {
+            switch (ce.kind) {
+              case CompiledExpr::Kind::kConstant:
+                miss *= 1.0 - ce.probability;
+                break;
+              case CompiledExpr::Kind::kDecided: {
+                const Level lhs = h[static_cast<std::size_t>(ce.lhs_slot)];
+                const Level rhs =
+                    ce.rhs_slot >= 0
+                        ? h[static_cast<std::size_t>(ce.rhs_slot)]
+                        : ce.rhs_const;
+                const bool truth = (ce.op == CmpOp::kGreater)
+                                       ? lhs > rhs
+                                       : lhs < rhs;
+                if (truth) satisfied = true;
+                break;
+              }
+              case CompiledExpr::Kind::kTablePrime:
+                miss *= 1.0 -
+                        ce.table[static_cast<std::size_t>(
+                            h[static_cast<std::size_t>(ce.lhs_slot)])];
+                break;
+            }
+            if (satisfied) break;
+          }
+          product *= satisfied ? 1.0 : 1.0 - miss;
+          if (product == 0.0) break;
+        }
+        total += weight * product;
+      }
+      // Advance the odometer.
+      for (std::size_t i = 0; i < hub.size(); ++i) {
+        if (++h[i] < static_cast<Level>(hub_dists[i]->size())) break;
+        h[i] = 0;
+      }
+    }
+    if (stats_ != nullptr) ++stats_->direct_evals;
+    *out = total;
+    return true;
+  }
+
+  CellRef PickVariable(const Condition& condition) {
+    switch (options_.heuristic) {
+      case BranchHeuristic::kMostFrequent:
+        return condition.MostFrequentVariable();
+      case BranchHeuristic::kFirst:
+        return condition.Variables().front();
+      case BranchHeuristic::kRandom: {
+        const auto vars = condition.Variables();
+        return vars[rng_.NextBelow(vars.size())];
+      }
+    }
+    return condition.MostFrequentVariable();
+  }
+
+  Result<double> Recurse(const Condition& condition) {
+    if (stats_ != nullptr) ++stats_->calls;
+    if (++calls_ > options_.max_calls) {
+      return Status::ResourceExhausted(StrFormat(
+          "ADPLL exceeded %llu recursive calls",
+          static_cast<unsigned long long>(options_.max_calls)));
+    }
+    if (condition.IsTrue()) return 1.0;
+    if (condition.IsFalse()) return 0.0;
+
+    // Special conjunctive rule: variable-disjoint conjuncts multiply.
+    if (condition.ConjunctsAreIndependent()) {
+      return IndependentProduct(condition);
+    }
+
+    // Star fast path (see TryStarProbability).
+    if (options_.star_fast_path) {
+      Result<double> star = 0.0;
+      if (TryStarProbability(condition, &star)) return star;
+    }
+
+    // Refinement: split variable-disjoint *groups* of conjuncts.
+    if (options_.component_decomposition) {
+      const auto components = condition.ConjunctComponents();
+      if (components.size() > 1) {
+        double product = 1.0;
+        for (const auto& indices : components) {
+          std::vector<Conjunct> sub;
+          sub.reserve(indices.size());
+          for (std::size_t c : indices) {
+            sub.push_back(condition.conjuncts()[c]);
+          }
+          BAYESCROWD_ASSIGN_OR_RETURN(
+              const double pc, Recurse(Condition::Cnf(std::move(sub))));
+          product *= pc;
+          if (product == 0.0) return 0.0;
+        }
+        return product;
+      }
+    }
+
+    // Branch on a variable; correlation weakens with every substitution.
+    const CellRef var = PickVariable(condition);
+    const std::vector<double>* dist = dists_.Find(var);
+    if (dist == nullptr) {
+      return Status::NotFound(StrFormat("no distribution for Var(%zu,%zu)",
+                                        var.object, var.attribute));
+    }
+    double total = 0.0;
+    for (std::size_t value = 0; value < dist->size(); ++value) {
+      const double p = (*dist)[value];
+      if (p <= 0.0) continue;
+      if (stats_ != nullptr) ++stats_->branches;
+      BAYESCROWD_ASSIGN_OR_RETURN(
+          const double sub,
+          Recurse(condition.SubstituteVariable(
+              var, static_cast<Level>(value))));
+      total += p * sub;
+    }
+    return total;
+  }
+
+  const DistributionMap& dists_;
+  const AdpllOptions& options_;
+  AdpllStats* stats_;
+  Rng rng_;
+  std::uint64_t calls_ = 0;
+  std::vector<CellRef> seen_vars_;  // Scratch for ConjunctProbability.
+};
+
+}  // namespace
+
+Result<double> AdpllProbability(const Condition& condition,
+                                const DistributionMap& dists,
+                                const AdpllOptions& options,
+                                AdpllStats* stats) {
+  AdpllSearch search(dists, options, stats);
+  return search.Run(condition);
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,102 @@
+#include "probability/distributions.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+
+Status DistributionMap::Set(const CellRef& var,
+                            std::vector<double> distribution) {
+  if (distribution.empty()) {
+    return Status::InvalidArgument("empty distribution");
+  }
+  double total = 0.0;
+  for (double p : distribution) {
+    if (p < 0.0 || std::isnan(p)) {
+      return Status::InvalidArgument("negative or NaN probability");
+    }
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        StrFormat("distribution sums to %f, expected 1", total));
+  }
+  map_[var] = std::move(distribution);
+  return Status::OK();
+}
+
+Result<std::vector<double>> DistributionMap::Get(const CellRef& var) const {
+  const auto it = map_.find(var);
+  if (it == map_.end()) {
+    return Status::NotFound(StrFormat("no distribution for Var(%zu,%zu)",
+                                      var.object, var.attribute));
+  }
+  return it->second;
+}
+
+const std::vector<double>* DistributionMap::Find(const CellRef& var) const {
+  const auto it = map_.find(var);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+Result<double> DistributionMap::ProbGreater(const CellRef& var,
+                                            Level bound) const {
+  const std::vector<double>* dist = Find(var);
+  if (dist == nullptr) {
+    return Status::NotFound("unregistered variable");
+  }
+  double p = 0.0;
+  for (std::size_t v = 0; v < dist->size(); ++v) {
+    if (static_cast<Level>(v) > bound) p += (*dist)[v];
+  }
+  return p;
+}
+
+Result<double> DistributionMap::ProbLess(const CellRef& var,
+                                         Level bound) const {
+  const std::vector<double>* dist = Find(var);
+  if (dist == nullptr) {
+    return Status::NotFound("unregistered variable");
+  }
+  double p = 0.0;
+  for (std::size_t v = 0; v < dist->size(); ++v) {
+    if (static_cast<Level>(v) < bound) p += (*dist)[v];
+  }
+  return p;
+}
+
+Result<double> ExpressionProbability(const Expression& expression,
+                                     const DistributionMap& dists) {
+  if (!expression.rhs_is_var) {
+    return expression.op == CmpOp::kGreater
+               ? dists.ProbGreater(expression.lhs, expression.rhs_const)
+               : dists.ProbLess(expression.lhs, expression.rhs_const);
+  }
+  const std::vector<double>* lhs = dists.Find(expression.lhs);
+  const std::vector<double>* rhs = dists.Find(expression.rhs_var);
+  if (lhs == nullptr || rhs == nullptr) {
+    return Status::NotFound("unregistered variable in var-var expression");
+  }
+  // Integrate P(lhs op rhs) with a suffix/prefix sum over rhs.
+  double p = 0.0;
+  if (expression.op == CmpOp::kGreater) {
+    // P(lhs > rhs) = sum_a p_l(a) * P(rhs < a).
+    double rhs_prefix = 0.0;  // P(rhs < a), built incrementally.
+    for (std::size_t a = 0; a < lhs->size(); ++a) {
+      if (a > 0 && a - 1 < rhs->size()) rhs_prefix += (*rhs)[a - 1];
+      p += (*lhs)[a] * rhs_prefix;
+    }
+  } else {
+    // P(lhs < rhs) = sum_a p_l(a) * P(rhs > a).
+    double rhs_suffix = 0.0;
+    for (std::size_t b = 1; b < rhs->size(); ++b) rhs_suffix += (*rhs)[b];
+    for (std::size_t a = 0; a < lhs->size(); ++a) {
+      p += (*lhs)[a] * rhs_suffix;
+      if (a + 1 < rhs->size()) rhs_suffix -= (*rhs)[a + 1];
+    }
+  }
+  return p;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,44 @@
+#include "probability/evaluator.h"
+
+namespace bayescrowd {
+
+const char* ProbabilityMethodToString(ProbabilityMethod method) {
+  switch (method) {
+    case ProbabilityMethod::kAdpll:
+      return "adpll";
+    case ProbabilityMethod::kNaive:
+      return "naive";
+    case ProbabilityMethod::kSampled:
+      return "sampled";
+    case ProbabilityMethod::kSampledRaoBlackwell:
+      return "sampled-rb";
+  }
+  return "?";
+}
+
+Result<double> ProbabilityEvaluator::Probability(const Condition& condition) {
+  Result<double> result = Status::Internal("unknown probability method");
+  switch (options_.method) {
+    case ProbabilityMethod::kAdpll:
+      result = AdpllProbability(condition, dists_, options_.adpll,
+                                &adpll_stats_);
+      break;
+    case ProbabilityMethod::kNaive:
+      result = NaiveProbability(condition, dists_, options_.naive);
+      break;
+    case ProbabilityMethod::kSampled:
+      return SampledProbability(condition, dists_, options_.sampling, rng_);
+    case ProbabilityMethod::kSampledRaoBlackwell:
+      return SampledProbabilityRaoBlackwell(condition, dists_,
+                                            options_.sampling, rng_);
+  }
+  if (!result.ok() && options_.sampling_fallback &&
+      result.status().code() == StatusCode::kResourceExhausted) {
+    SamplingOptions fallback;
+    fallback.num_samples = options_.fallback_samples;
+    return SampledProbability(condition, dists_, fallback, rng_);
+  }
+  return result;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,71 @@
+// ProbabilityEvaluator: a method-dispatching facade over the exact and
+// approximate Pr(φ) algorithms, holding the variable distributions.
+
+#ifndef BAYESCROWD_PROBABILITY_EVALUATOR_H_
+#define BAYESCROWD_PROBABILITY_EVALUATOR_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "ctable/condition.h"
+#include "probability/adpll.h"
+#include "probability/distributions.h"
+#include "probability/naive.h"
+#include "probability/sampling.h"
+
+namespace bayescrowd {
+
+enum class ProbabilityMethod : std::uint8_t {
+  kAdpll,
+  kNaive,
+  kSampled,
+  kSampledRaoBlackwell,
+};
+
+const char* ProbabilityMethodToString(ProbabilityMethod method);
+
+struct ProbabilityOptions {
+  ProbabilityMethod method = ProbabilityMethod::kAdpll;
+  AdpllOptions adpll;
+  NaiveOptions naive;
+  SamplingOptions sampling;
+  std::uint64_t sampling_seed = 1234;
+
+  /// When an exact method exhausts its resource budget on a
+  /// pathological condition, estimate by Monte-Carlo sampling instead
+  /// of failing.
+  bool sampling_fallback = false;
+  std::size_t fallback_samples = 20'000;
+};
+
+/// Owns the distributions and dispatches Pr(φ) to the selected method.
+class ProbabilityEvaluator {
+ public:
+  explicit ProbabilityEvaluator(ProbabilityOptions options = {})
+      : options_(std::move(options)), rng_(options_.sampling_seed) {}
+
+  DistributionMap& distributions() { return dists_; }
+  const DistributionMap& distributions() const { return dists_; }
+
+  const ProbabilityOptions& options() const { return options_; }
+  ProbabilityOptions& options() { return options_; }
+
+  /// Pr(φ) by the configured method.
+  Result<double> Probability(const Condition& condition);
+
+  /// Pr(e) of one expression.
+  Result<double> Probability(const Expression& expression) const {
+    return ExpressionProbability(expression, dists_);
+  }
+
+  const AdpllStats& adpll_stats() const { return adpll_stats_; }
+
+ private:
+  ProbabilityOptions options_;
+  DistributionMap dists_;
+  AdpllStats adpll_stats_;
+  Rng rng_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_PROBABILITY_EVALUATOR_H_

@@ -1,0 +1,84 @@
+#include "probability/naive.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+
+bool EvaluateConditionComplete(
+    const Condition& condition,
+    const std::function<Level(const CellRef&)>& value_of) {
+  if (condition.IsTrue()) return true;
+  if (condition.IsFalse()) return false;
+  for (const Conjunct& conjunct : condition.conjuncts()) {
+    bool satisfied = false;
+    for (const Expression& expr : conjunct) {
+      const Level lhs = value_of(expr.lhs);
+      const Level rhs =
+          expr.rhs_is_var ? value_of(expr.rhs_var) : expr.rhs_const;
+      if (expr.EvaluateComplete(lhs, rhs) == Truth::kTrue) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+Result<double> NaiveProbability(const Condition& condition,
+                                const DistributionMap& dists,
+                                const NaiveOptions& options) {
+  if (condition.IsTrue()) return 1.0;
+  if (condition.IsFalse()) return 0.0;
+
+  const std::vector<CellRef> vars = condition.Variables();
+  std::vector<const std::vector<double>*> var_dists(vars.size());
+  std::uint64_t space = 1;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    var_dists[i] = dists.Find(vars[i]);
+    if (var_dists[i] == nullptr) {
+      return Status::NotFound(
+          StrFormat("no distribution for Var(%zu,%zu)", vars[i].object,
+                    vars[i].attribute));
+    }
+    const auto card = static_cast<std::uint64_t>(var_dists[i]->size());
+    if (space > options.max_assignments / card) {
+      return Status::ResourceExhausted(StrFormat(
+          "assignment space exceeds limit of %llu",
+          static_cast<unsigned long long>(options.max_assignments)));
+    }
+    space *= card;
+  }
+
+  // Odometer over assignments.
+  std::vector<Level> assignment(vars.size(), 0);
+  std::map<CellRef, std::size_t> var_index;
+  for (std::size_t i = 0; i < vars.size(); ++i) var_index[vars[i]] = i;
+  const auto value_of = [&](const CellRef& var) {
+    return assignment[var_index.at(var)];
+  };
+
+  double total = 0.0;
+  for (std::uint64_t step = 0; step < space; ++step) {
+    double weight = 1.0;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      weight *= (*var_dists[i])[static_cast<std::size_t>(assignment[i])];
+    }
+    if (weight > 0.0 && EvaluateConditionComplete(condition, value_of)) {
+      total += weight;
+    }
+    // Advance the odometer.
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (++assignment[i] <
+          static_cast<Level>(var_dists[i]->size())) {
+        break;
+      }
+      assignment[i] = 0;
+    }
+  }
+  return total;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,35 @@
+// Naive probability computation: full enumeration of the variable
+// assignment space (the brute-force comparison point of Figure 3).
+
+#ifndef BAYESCROWD_PROBABILITY_NAIVE_H_
+#define BAYESCROWD_PROBABILITY_NAIVE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "ctable/condition.h"
+#include "probability/distributions.h"
+
+namespace bayescrowd {
+
+struct NaiveOptions {
+  /// Enumeration is aborted with ResourceExhausted beyond this many
+  /// assignments (the space is N^(#vars)).
+  std::uint64_t max_assignments = 200'000'000;
+};
+
+/// Pr(φ) by summing the probabilities of all satisfying assignments.
+/// Exact; exponential in the number of variables.
+Result<double> NaiveProbability(const Condition& condition,
+                                const DistributionMap& dists,
+                                const NaiveOptions& options = {});
+
+/// Truth of `condition` under a full assignment of its variables.
+/// Exposed for tests and for the sampling estimator.
+bool EvaluateConditionComplete(
+    const Condition& condition,
+    const std::function<Level(const CellRef&)>& value_of);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_PROBABILITY_NAIVE_H_

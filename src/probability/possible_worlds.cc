@@ -1,0 +1,117 @@
+#include "probability/possible_worlds.h"
+
+#include "common/string_util.h"
+
+namespace bayescrowd {
+namespace {
+
+// True when rows a and b of `world` are identical.
+bool RowsEqual(const Table& world, std::size_t a, std::size_t b) {
+  for (std::size_t j = 0; j < world.num_attributes(); ++j) {
+    if (world.At(a, j) != world.At(b, j)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<double>> SkylineMembershipByEnumeration(
+    const Table& incomplete, const DistributionMap& dists,
+    const PossibleWorldOptions& options) {
+  const std::size_t n = incomplete.num_objects();
+  const std::size_t d = incomplete.num_attributes();
+  const std::vector<CellRef> cells = incomplete.MissingCells();
+
+  // Validate distributions and bound the world count.
+  std::vector<const std::vector<double>*> cell_dists(cells.size());
+  std::uint64_t worlds = 1;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    cell_dists[c] = dists.Find(cells[c]);
+    if (cell_dists[c] == nullptr) {
+      return Status::NotFound(
+          StrFormat("no distribution for Var(%zu,%zu)", cells[c].object,
+                    cells[c].attribute));
+    }
+    const auto card = static_cast<std::uint64_t>(cell_dists[c]->size());
+    if (worlds > options.max_worlds / card) {
+      return Status::ResourceExhausted(StrFormat(
+          "world count exceeds limit of %llu",
+          static_cast<unsigned long long>(options.max_worlds)));
+    }
+    worlds *= card;
+  }
+
+  // Which fully-observed pairs are exact duplicates (the c-table
+  // semantics' carve-out). Precomputed once.
+  std::vector<bool> row_complete(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    row_complete[i] = incomplete.IsRowComplete(i);
+  }
+
+  Table world = incomplete;  // Mutated in place per world.
+  std::vector<Level> assignment(cells.size(), 0);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    world.SetCell(cells[c].object, cells[c].attribute, 0);
+  }
+
+  std::vector<double> membership(n, 0.0);
+  for (std::uint64_t step = 0; step < worlds; ++step) {
+    double weight = 1.0;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      weight *= (*cell_dists[c])[static_cast<std::size_t>(assignment[c])];
+    }
+    if (weight > 0.0) {
+      for (std::size_t o = 0; o < n; ++o) {
+        bool answer = true;
+        for (std::size_t p = 0; p < n && answer; ++p) {
+          if (p == o) continue;
+          if (options.semantics == WorldSemantics::kStrictSkyline) {
+            // p eliminates o iff p dominates o (Definition 1).
+            bool ge_everywhere = true;
+            bool gt_somewhere = false;
+            for (std::size_t j = 0; j < d; ++j) {
+              const Level pv = world.At(p, j);
+              const Level ov = world.At(o, j);
+              if (pv < ov) {
+                ge_everywhere = false;
+                break;
+              }
+              if (pv > ov) gt_somewhere = true;
+            }
+            if (ge_everywhere && gt_somewhere) answer = false;
+          } else {
+            // C-table reading: o must strictly beat p somewhere —
+            // unless p is a fully-observed duplicate of a
+            // fully-observed o (can never strictly dominate).
+            if (row_complete[o] && row_complete[p] &&
+                RowsEqual(incomplete, o, p)) {
+              continue;
+            }
+            bool beats = false;
+            for (std::size_t j = 0; j < d; ++j) {
+              if (world.At(o, j) > world.At(p, j)) {
+                beats = true;
+                break;
+              }
+            }
+            if (!beats) answer = false;
+          }
+        }
+        if (answer) membership[o] += weight;
+      }
+    }
+    // Advance the odometer, updating the world in place.
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (++assignment[c] <
+          static_cast<Level>(cell_dists[c]->size())) {
+        world.SetCell(cells[c].object, cells[c].attribute, assignment[c]);
+        break;
+      }
+      assignment[c] = 0;
+      world.SetCell(cells[c].object, cells[c].attribute, 0);
+    }
+  }
+  return membership;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,206 @@
+#include "skyline/algorithms.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "skyline/dominance.h"
+
+namespace bayescrowd {
+namespace {
+
+Status RequireComplete(const Table& table) {
+  if (!table.IsComplete()) {
+    return Status::FailedPrecondition(
+        "skyline over complete data requires a complete table");
+  }
+  return Status::OK();
+}
+
+// Dominance restricted to an attribute subset.
+bool DominatesOn(const Table& table, std::size_t a, std::size_t b,
+                 const std::vector<std::size_t>& attrs) {
+  bool strictly_better = false;
+  for (std::size_t j : attrs) {
+    const Level av = table.At(a, j);
+    const Level bv = table.At(b, j);
+    if (av < bv) return false;
+    if (av > bv) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+}  // namespace
+
+Result<std::vector<std::size_t>> SkylineBnl(const Table& table) {
+  BAYESCROWD_RETURN_NOT_OK(RequireComplete(table));
+  std::vector<std::size_t> window;
+  for (std::size_t i = 0; i < table.num_objects(); ++i) {
+    bool dominated = false;
+    std::size_t kept = 0;
+    for (std::size_t w = 0; w < window.size(); ++w) {
+      if (Dominates(table, window[w], i)) {
+        dominated = true;
+        // Keep the remaining window as is.
+        for (; w < window.size(); ++w) window[kept++] = window[w];
+        break;
+      }
+      if (!Dominates(table, i, window[w])) window[kept++] = window[w];
+    }
+    window.resize(kept);
+    if (!dominated) window.push_back(i);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+Result<std::vector<std::size_t>> SkylineSfs(const Table& table) {
+  BAYESCROWD_RETURN_NOT_OK(RequireComplete(table));
+  const std::size_t n = table.num_objects();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<long long> sums(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < table.num_attributes(); ++j) {
+      sums[i] += table.At(i, j);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [&sums](std::size_t a, std::size_t b) {
+              return sums[a] != sums[b] ? sums[a] > sums[b] : a < b;
+            });
+
+  // After sorting by descending sum, an object can only be dominated by
+  // an *earlier* object, so one window pass is enough.
+  std::vector<std::size_t> skyline;
+  for (std::size_t idx : order) {
+    bool dominated = false;
+    for (std::size_t s : skyline) {
+      if (Dominates(table, s, idx)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(idx);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+namespace {
+
+// Recursive worker for SkylineDivideConquer over the object-id slice
+// `ids`. Returns the slice's skyline ids.
+std::vector<std::size_t> DivideConquer(const Table& table,
+                                       std::vector<std::size_t> ids) {
+  if (ids.size() <= 16) {
+    // Base case: window scan.
+    std::vector<std::size_t> skyline;
+    for (std::size_t candidate : ids) {
+      bool dominated = false;
+      for (std::size_t other : ids) {
+        if (other != candidate && Dominates(table, other, candidate)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) skyline.push_back(candidate);
+    }
+    return skyline;
+  }
+
+  // Split at the median of attribute 0 (ties resolved by id to keep the
+  // halves balanced even on tie-heavy data).
+  std::vector<std::size_t> order = ids;
+  std::sort(order.begin(), order.end(),
+            [&table](std::size_t a, std::size_t b) {
+              const Level av = table.At(a, 0);
+              const Level bv = table.At(b, 0);
+              return av != bv ? av > bv : a < b;
+            });
+  const std::size_t half = order.size() / 2;
+  std::vector<std::size_t> high(order.begin(),
+                                order.begin() +
+                                    static_cast<std::ptrdiff_t>(half));
+  std::vector<std::size_t> low(order.begin() +
+                                   static_cast<std::ptrdiff_t>(half),
+                               order.end());
+
+  std::vector<std::size_t> high_skyline =
+      DivideConquer(table, std::move(high));
+  const std::vector<std::size_t> low_skyline =
+      DivideConquer(table, std::move(low));
+
+  // Merge: each half's survivors must also escape the other half's
+  // survivors. (Attribute-0 ties can straddle the split, so the check
+  // runs in both directions; transitivity makes checking against
+  // survivors sufficient.)
+  std::vector<std::size_t> merged;
+  const auto survives = [&table](std::size_t candidate,
+                                 const std::vector<std::size_t>& rivals) {
+    for (std::size_t rival : rivals) {
+      if (Dominates(table, rival, candidate)) return false;
+    }
+    return true;
+  };
+  for (std::size_t h : high_skyline) {
+    if (survives(h, low_skyline)) merged.push_back(h);
+  }
+  for (std::size_t l : low_skyline) {
+    if (survives(l, high_skyline)) merged.push_back(l);
+  }
+  return merged;
+}
+
+}  // namespace
+
+Result<std::vector<std::size_t>> SkylineDivideConquer(const Table& table) {
+  BAYESCROWD_RETURN_NOT_OK(RequireComplete(table));
+  std::vector<std::size_t> ids(table.num_objects());
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  std::vector<std::size_t> skyline = DivideConquer(table, std::move(ids));
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+Result<std::vector<std::vector<std::size_t>>> SkylineLayers(
+    const Table& table, const std::vector<std::size_t>& attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("attribute subset is empty");
+  }
+  for (std::size_t j : attributes) {
+    if (j >= table.num_attributes()) {
+      return Status::OutOfRange("attribute index outside schema");
+    }
+    for (std::size_t i = 0; i < table.num_objects(); ++i) {
+      if (table.IsMissing(i, j)) {
+        return Status::FailedPrecondition(
+            "layer computation needs complete values on chosen attributes");
+      }
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> layers;
+  std::vector<bool> assigned(table.num_objects(), false);
+  std::size_t remaining = table.num_objects();
+  while (remaining > 0) {
+    std::vector<std::size_t> layer;
+    for (std::size_t i = 0; i < table.num_objects(); ++i) {
+      if (assigned[i]) continue;
+      bool dominated = false;
+      for (std::size_t p = 0; p < table.num_objects(); ++p) {
+        if (p == i || assigned[p]) continue;
+        if (DominatesOn(table, p, i, attributes)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) layer.push_back(i);
+    }
+    for (std::size_t i : layer) assigned[i] = true;
+    remaining -= layer.size();
+    layers.push_back(std::move(layer));
+  }
+  return layers;
+}
+
+}  // namespace bayescrowd

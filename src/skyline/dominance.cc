@@ -1,0 +1,29 @@
+#include "skyline/dominance.h"
+
+#include <cassert>
+
+namespace bayescrowd {
+
+bool Dominates(const Table& table, std::size_t a, std::size_t b) {
+  bool strictly_better = false;
+  for (std::size_t j = 0; j < table.num_attributes(); ++j) {
+    const Level av = table.At(a, j);
+    const Level bv = table.At(b, j);
+    assert(!IsMissingLevel(av) && !IsMissingLevel(bv));
+    if (av < bv) return false;
+    if (av > bv) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool Dominates(const std::vector<Level>& a, const std::vector<Level>& b) {
+  assert(a.size() == b.size());
+  bool strictly_better = false;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    if (a[j] < b[j]) return false;
+    if (a[j] > b[j]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,23 @@
+// Dominance relationship on complete data (Definition 1): o1 ≺ o2 iff
+// o1 is >= o2 on every attribute and > on at least one (larger is
+// better).
+
+#ifndef BAYESCROWD_SKYLINE_DOMINANCE_H_
+#define BAYESCROWD_SKYLINE_DOMINANCE_H_
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace bayescrowd {
+
+/// True when row `a` of `table` dominates row `b`. Both rows must be
+/// complete.
+bool Dominates(const Table& table, std::size_t a, std::size_t b);
+
+/// Dominance over raw value vectors (same semantics).
+bool Dominates(const std::vector<Level>& a, const std::vector<Level>& b);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_SKYLINE_DOMINANCE_H_

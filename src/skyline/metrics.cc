@@ -1,0 +1,39 @@
+#include "skyline/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace bayescrowd {
+
+SetMetrics EvaluateResultSet(const std::vector<std::size_t>& returned,
+                             const std::vector<std::size_t>& ground_truth) {
+  const std::set<std::size_t> ret(returned.begin(), returned.end());
+  const std::set<std::size_t> truth(ground_truth.begin(),
+                                    ground_truth.end());
+  SetMetrics m;
+  for (std::size_t id : ret) {
+    if (truth.count(id) > 0) {
+      ++m.true_positives;
+    } else {
+      ++m.false_positives;
+    }
+  }
+  m.false_negatives = truth.size() - m.true_positives;
+
+  if (ret.empty() && truth.empty()) {
+    m.precision = m.recall = m.f1 = 1.0;
+    return m;
+  }
+  m.precision = ret.empty() ? 0.0
+                            : static_cast<double>(m.true_positives) /
+                                  static_cast<double>(ret.size());
+  m.recall = truth.empty() ? 0.0
+                           : static_cast<double>(m.true_positives) /
+                                 static_cast<double>(truth.size());
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,30 @@
+// Result-set quality metrics: precision, recall, F1 against the
+// complete-data ground truth (Section 7's accuracy measure).
+
+#ifndef BAYESCROWD_SKYLINE_METRICS_H_
+#define BAYESCROWD_SKYLINE_METRICS_H_
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace bayescrowd {
+
+struct SetMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+};
+
+/// Compares a returned object-id set to the ground-truth set (both need
+/// not be sorted; duplicates are ignored). A perfect match of two empty
+/// sets scores 1.0 across the board.
+SetMetrics EvaluateResultSet(const std::vector<std::size_t>& returned,
+                             const std::vector<std::size_t>& ground_truth);
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_SKYLINE_METRICS_H_

@@ -1,0 +1,328 @@
+// Tests for the common substrate: Status/Result, string utilities, RNG,
+// dynamic bitset and CSV.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitset.h"
+#include "common/csv.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace bayescrowd {
+namespace {
+
+// ------------------------------------------------------------------ //
+// Status / Result
+// ------------------------------------------------------------------ //
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status st = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad alpha");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x) {
+  BAYESCROWD_RETURN_NOT_OK(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_TRUE(UsesReturnNotOk(-1).IsOutOfRange());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  auto good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  auto bad = ParsePositive(-3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+Result<int> ChainsAssignOrReturn(int x) {
+  BAYESCROWD_ASSIGN_OR_RETURN(const int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(ChainsAssignOrReturn(5).value(), 11);
+  EXPECT_FALSE(ChainsAssignOrReturn(0).ok());
+}
+
+// ------------------------------------------------------------------ //
+// String utilities
+// ------------------------------------------------------------------ //
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, ParseIntHandlesEdges) {
+  int v = 0;
+  EXPECT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt("4x", &v));
+  EXPECT_FALSE(ParseInt("", &v));
+}
+
+TEST(StringUtilTest, ParseDoubleHandlesEdges) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("-1e-3", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+TEST(StringUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d/%s", 3, "x"), "3/x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+// ------------------------------------------------------------------ //
+// Rng
+// ------------------------------------------------------------------ //
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(5);
+  Rng b(6);
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(7), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(2);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextDiscreteFollowsWeights) {
+  Rng rng(4);
+  const std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 20000; ++i) {
+    ones += rng.NextDiscrete(weights) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(ones / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(6);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(8);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+// ------------------------------------------------------------------ //
+// DynamicBitset
+// ------------------------------------------------------------------ //
+
+TEST(BitsetTest, SetTestResetCount) {
+  DynamicBitset bits(130);
+  EXPECT_EQ(bits.Count(), 0u);
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.Reset(64);
+  EXPECT_EQ(bits.Count(), 2u);
+}
+
+TEST(BitsetTest, FillTrueClearsPadding) {
+  DynamicBitset bits(70, true);
+  EXPECT_EQ(bits.Count(), 70u);
+  bits.Fill(false);
+  EXPECT_TRUE(bits.None());
+  bits.Fill(true);
+  EXPECT_EQ(bits.Count(), 70u);
+}
+
+TEST(BitsetTest, AndOrOperate) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.Set(3);
+  a.Set(70);
+  b.Set(70);
+  b.Set(99);
+  DynamicBitset c = a;
+  c &= b;
+  EXPECT_EQ(c.Count(), 1u);
+  EXPECT_TRUE(c.Test(70));
+  DynamicBitset d = a;
+  d |= b;
+  EXPECT_EQ(d.Count(), 3u);
+}
+
+TEST(BitsetTest, SetRangeWordBoundaries) {
+  DynamicBitset bits(200);
+  bits.SetRange(60, 70);
+  EXPECT_EQ(bits.Count(), 10u);
+  EXPECT_TRUE(bits.Test(60));
+  EXPECT_TRUE(bits.Test(69));
+  EXPECT_FALSE(bits.Test(59));
+  EXPECT_FALSE(bits.Test(70));
+  bits.SetRange(0, 0);
+  EXPECT_EQ(bits.Count(), 10u);
+  bits.SetRange(128, 200);
+  EXPECT_EQ(bits.Count(), 82u);
+}
+
+TEST(BitsetTest, ForEachSetBitAscending) {
+  DynamicBitset bits(150);
+  bits.Set(5);
+  bits.Set(64);
+  bits.Set(149);
+  EXPECT_EQ(bits.ToIndices(),
+            (std::vector<std::size_t>{5, 64, 149}));
+}
+
+// ------------------------------------------------------------------ //
+// CSV
+// ------------------------------------------------------------------ //
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  const auto doc = ParseCsv("a,b\n1,2\n3,4\n", /*has_header=*/true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1][1], "4");
+}
+
+TEST(CsvTest, HandlesQuotesAndEscapes) {
+  const auto doc =
+      ParseCsv("\"x,y\",\"he said \"\"hi\"\"\"\nplain,2\n", false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "x,y");
+  EXPECT_EQ(doc->rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n", true).ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("\"abc\n", false).ok());
+}
+
+TEST(CsvTest, FormatQuotesWhenNeeded) {
+  EXPECT_EQ(FormatCsvRow({"a", "b,c", "d\"e"}), "a,\"b,c\",\"d\"\"e\"\n");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvDocument doc;
+  doc.header = {"name", "value"};
+  doc.rows = {{"x", "1"}, {"y, z", "2"}};
+  const std::string path = ::testing::TempDir() + "/bc_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  const auto loaded = ReadCsvFile(path, true);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->header, doc.header);
+  EXPECT_EQ(loaded->rows, doc.rows);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch watch;
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  watch.Restart();
+  EXPECT_GE(watch.ElapsedMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace bayescrowd

@@ -1,0 +1,115 @@
+// Tests for the CrowdSky baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "crowd/platform.h"
+#include "crowdsky/crowdsky.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "skyline/algorithms.h"
+#include "skyline/metrics.h"
+
+namespace bayescrowd {
+namespace {
+
+struct CrowdSkySetup {
+  Table complete;
+  Table incomplete;
+  std::vector<std::size_t> observed;
+  std::vector<std::size_t> crowd;
+};
+
+CrowdSkySetup MakeSetup(std::size_t n, std::size_t d, std::uint64_t seed) {
+  CrowdSkySetup setup;
+  setup.complete = MakeCorrelated(n, d, 8, seed);
+  // Last two attributes are the crowd attributes (fully missing).
+  for (std::size_t j = 0; j + 2 < d; ++j) setup.observed.push_back(j);
+  setup.crowd = {d - 2, d - 1};
+  setup.incomplete = InjectMissingAttributes(setup.complete, setup.crowd);
+  return setup;
+}
+
+TEST(CrowdSkyTest, PerfectWorkersRecoverExactSkyline) {
+  const CrowdSkySetup setup = MakeSetup(120, 5, 42);
+  SimulatedCrowdPlatform platform(setup.complete, {});
+  const auto result =
+      RunCrowdSky(setup.incomplete, setup.observed, setup.crowd, platform);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto truth = SkylineBnl(setup.complete);
+  ASSERT_TRUE(truth.ok());
+  const auto metrics = EvaluateResultSet(result->skyline, truth.value());
+  EXPECT_DOUBLE_EQ(metrics.f1, 1.0);
+  EXPECT_GT(result->tasks_posted, 0u);
+  EXPECT_GT(result->rounds, 0u);
+}
+
+TEST(CrowdSkyTest, DeterministicAcrossSeedsOfSameData) {
+  const CrowdSkySetup setup = MakeSetup(80, 4, 7);
+  SimulatedCrowdPlatform p1(setup.complete, {});
+  SimulatedCrowdPlatform p2(setup.complete, {});
+  const auto r1 =
+      RunCrowdSky(setup.incomplete, setup.observed, setup.crowd, p1);
+  const auto r2 =
+      RunCrowdSky(setup.incomplete, setup.observed, setup.crowd, p2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->skyline, r2->skyline);
+  EXPECT_EQ(r1->tasks_posted, r2->tasks_posted);
+}
+
+TEST(CrowdSkyTest, RoundsRespectTasksPerRound) {
+  const CrowdSkySetup setup = MakeSetup(100, 5, 13);
+  SimulatedCrowdPlatform platform(setup.complete, {});
+  CrowdSkyOptions options;
+  options.tasks_per_round = 20;
+  const auto result = RunCrowdSky(setup.incomplete, setup.observed,
+                                  setup.crowd, platform, options);
+  ASSERT_TRUE(result.ok());
+  // Each round posts at most tasks_per_round tasks.
+  EXPECT_GE(result->rounds * options.tasks_per_round,
+            result->tasks_posted);
+}
+
+TEST(CrowdSkyTest, NeverBuysTheSameComparisonTwice) {
+  const CrowdSkySetup setup = MakeSetup(60, 4, 3);
+  SimulatedCrowdPlatform platform(setup.complete, {});
+  const auto result =
+      RunCrowdSky(setup.incomplete, setup.observed, setup.crowd, platform);
+  ASSERT_TRUE(result.ok());
+  // Upper bound: one task per (pair, crowd attribute).
+  const std::size_t n = setup.incomplete.num_objects();
+  EXPECT_LE(result->tasks_posted, n * (n - 1) / 2 * setup.crowd.size());
+}
+
+TEST(CrowdSkyTest, ValidatesAttributePartition) {
+  const CrowdSkySetup setup = MakeSetup(30, 4, 5);
+  SimulatedCrowdPlatform platform(setup.complete, {});
+  // Missing coverage.
+  EXPECT_FALSE(
+      RunCrowdSky(setup.incomplete, {0}, setup.crowd, platform).ok());
+  // Crowd attribute that actually has values.
+  EXPECT_FALSE(
+      RunCrowdSky(setup.incomplete, {0, 1}, {1, 2, 3}, platform).ok());
+  // Observed attribute that has missing values.
+  EXPECT_FALSE(RunCrowdSky(setup.incomplete, {0, 1, 3}, {2}, platform).ok());
+}
+
+TEST(CrowdSkyTest, ImperfectWorkersDegradeGracefully) {
+  const CrowdSkySetup setup = MakeSetup(100, 5, 17);
+  SimulatedPlatformOptions options;
+  options.worker_accuracy = 0.85;
+  SimulatedCrowdPlatform platform(setup.complete, options);
+  const auto result =
+      RunCrowdSky(setup.incomplete, setup.observed, setup.crowd, platform);
+  ASSERT_TRUE(result.ok());
+  const auto truth = SkylineBnl(setup.complete);
+  ASSERT_TRUE(truth.ok());
+  const auto metrics = EvaluateResultSet(result->skyline, truth.value());
+  EXPECT_GT(metrics.f1, 0.5);  // Still works, just noisier.
+}
+
+}  // namespace
+}  // namespace bayescrowd

@@ -1,0 +1,278 @@
+// Tests for the data substrate: schema, tables, missing injection,
+// discretization, generators and CSV persistence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/csv.h"
+#include "common/random.h"
+#include "data/dataset_io.h"
+#include "data/discretizer.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace bayescrowd {
+namespace {
+
+Schema TwoAttrSchema() {
+  Schema s;
+  s.AddAttribute("a", 5);
+  s.AddAttribute("b", 3);
+  return s;
+}
+
+TEST(SchemaTest, LookupByName) {
+  const Schema s = TwoAttrSchema();
+  EXPECT_EQ(s.num_attributes(), 2u);
+  EXPECT_EQ(s.AttributeIndex("b"), 1);
+  EXPECT_EQ(s.AttributeIndex("zzz"), -1);
+  EXPECT_EQ(s.domain_size(0), 5);
+}
+
+TEST(TableTest, AppendValidatesWidthAndDomain) {
+  Table t(TwoAttrSchema());
+  EXPECT_TRUE(t.AppendRow("ok", {4, 2}).ok());
+  EXPECT_FALSE(t.AppendRow("short", {1}).ok());
+  EXPECT_FALSE(t.AppendRow("oob", {5, 0}).ok());
+  EXPECT_FALSE(t.AppendRow("neg", {-2, 0}).ok());
+  EXPECT_TRUE(t.AppendRow("missing", {kMissingLevel, 1}).ok());
+  EXPECT_EQ(t.num_objects(), 2u);
+}
+
+TEST(TableTest, MissingAccounting) {
+  Table t(TwoAttrSchema());
+  ASSERT_TRUE(t.AppendRow("r1", {1, kMissingLevel}).ok());
+  ASSERT_TRUE(t.AppendRow("r2", {kMissingLevel, 2}).ok());
+  ASSERT_TRUE(t.AppendRow("r3", {0, 0}).ok());
+  EXPECT_FALSE(t.IsComplete());
+  EXPECT_TRUE(t.IsRowComplete(2));
+  EXPECT_FALSE(t.IsRowComplete(0));
+  EXPECT_NEAR(t.MissingRate(), 2.0 / 6.0, 1e-12);
+  const auto cells = t.MissingCells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], (CellRef{0, 1}));
+  EXPECT_EQ(cells[1], (CellRef{1, 0}));
+}
+
+TEST(TableTest, PrefixCopiesLeadingRows) {
+  Table t(TwoAttrSchema());
+  ASSERT_TRUE(t.AppendRow("r1", {1, 1}).ok());
+  ASSERT_TRUE(t.AppendRow("r2", {2, 2}).ok());
+  ASSERT_TRUE(t.AppendRow("r3", {3, 0}).ok());
+  const Table p = t.Prefix(2);
+  EXPECT_EQ(p.num_objects(), 2u);
+  EXPECT_EQ(p.At(1, 0), 2);
+  EXPECT_EQ(p.object_name(1), "r2");
+  EXPECT_EQ(t.Prefix(99).num_objects(), 3u);
+}
+
+TEST(MissingTest, UniformInjectionHitsExactRate) {
+  const Table complete = MakeIndependent(100, 5, 8, 1);
+  Rng rng(2);
+  const Table injected = InjectMissingUniform(complete, 0.1, rng);
+  EXPECT_NEAR(injected.MissingRate(), 0.1, 1e-9);
+  EXPECT_EQ(injected.MissingCells().size(), 50u);
+}
+
+TEST(MissingTest, ZeroAndFullRates) {
+  const Table complete = MakeIndependent(20, 3, 4, 3);
+  Rng rng(4);
+  EXPECT_TRUE(InjectMissingUniform(complete, 0.0, rng).IsComplete());
+  const Table all = InjectMissingUniform(complete, 1.0, rng);
+  EXPECT_EQ(all.MissingCells().size(), 60u);
+}
+
+TEST(MissingTest, AttributeInjectionBlanksColumns) {
+  const Table complete = MakeIndependent(10, 4, 5, 5);
+  const Table injected = InjectMissingAttributes(complete, {1, 3});
+  for (std::size_t i = 0; i < injected.num_objects(); ++i) {
+    EXPECT_TRUE(injected.IsMissing(i, 1));
+    EXPECT_TRUE(injected.IsMissing(i, 3));
+    EXPECT_FALSE(injected.IsMissing(i, 0));
+    EXPECT_FALSE(injected.IsMissing(i, 2));
+  }
+}
+
+TEST(DiscretizerTest, EqualWidthEdges) {
+  const std::vector<std::vector<double>> cols = {{0.0, 10.0, 5.0, 2.5}};
+  const auto disc = Discretizer::Fit(cols, 4, BinningMethod::kEqualWidth);
+  ASSERT_TRUE(disc.ok());
+  EXPECT_EQ(disc->Map(0, 0.0), 0);
+  EXPECT_EQ(disc->Map(0, 2.6), 1);
+  EXPECT_EQ(disc->Map(0, 5.1), 2);
+  EXPECT_EQ(disc->Map(0, 10.0), 3);
+  EXPECT_EQ(disc->Map(0, 999.0), 3);   // Clamped.
+  EXPECT_EQ(disc->Map(0, -999.0), 0);  // Clamped.
+}
+
+TEST(DiscretizerTest, EqualFrequencyBalances) {
+  std::vector<double> col(1000);
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    col[i] = static_cast<double>(i * i);  // Skewed.
+  }
+  const auto table = Discretizer::DiscretizeTable(
+      {"x"}, {col}, 10, BinningMethod::kEqualFrequency);
+  ASSERT_TRUE(table.ok());
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < table->num_objects(); ++i) {
+    counts[static_cast<std::size_t>(table->At(i, 0))] += 1;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 100, 15);
+}
+
+TEST(DiscretizerTest, RejectsBadInput) {
+  EXPECT_FALSE(Discretizer::Fit({{1.0}}, 1, BinningMethod::kEqualWidth).ok());
+  EXPECT_FALSE(Discretizer::Fit({{}}, 4, BinningMethod::kEqualWidth).ok());
+  EXPECT_FALSE(
+      Discretizer::Fit({{std::nan("")}}, 4, BinningMethod::kEqualWidth).ok());
+}
+
+TEST(GeneratorsTest, SampleMovieDatasetMatchesPaperTable1) {
+  const Table t = MakeSampleMovieDataset();
+  EXPECT_EQ(t.num_objects(), 5u);
+  EXPECT_EQ(t.num_attributes(), 5u);
+  EXPECT_EQ(t.At(0, 0), 5);
+  EXPECT_EQ(t.At(1, 0), 6);
+  EXPECT_TRUE(t.IsMissing(1, 1));
+  EXPECT_TRUE(t.IsMissing(2, 2));
+  EXPECT_TRUE(t.IsMissing(4, 1));
+  EXPECT_TRUE(t.IsMissing(4, 2));
+  EXPECT_TRUE(t.IsMissing(4, 3));
+  EXPECT_EQ(t.MissingCells().size(), 5u);
+  EXPECT_EQ(t.object_name(4), "Star Wars");
+}
+
+TEST(GeneratorsTest, GroundTruthIsCompleteAndConsistent) {
+  const Table gt = MakeSampleMovieGroundTruth();
+  EXPECT_TRUE(gt.IsComplete());
+  // Consistent with Example 4's crowd answers.
+  EXPECT_GT(gt.At(1, 1), 3);
+  EXPECT_GT(gt.At(4, 1), 2);
+  EXPECT_EQ(gt.At(4, 2), 3);
+  EXPECT_LT(gt.At(4, 3), 4);
+  // Observed cells unchanged.
+  const Table sample = MakeSampleMovieDataset();
+  for (std::size_t i = 0; i < sample.num_objects(); ++i) {
+    for (std::size_t j = 0; j < sample.num_attributes(); ++j) {
+      if (!sample.IsMissing(i, j)) {
+        EXPECT_EQ(gt.At(i, j), sample.At(i, j));
+      }
+    }
+  }
+}
+
+TEST(GeneratorsTest, SampleDistributionsNormalized) {
+  for (const auto& dist : SampleMovieDistributions()) {
+    double total = 0.0;
+    for (double p : dist) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(GeneratorsTest, NbaLikeShapeAndDeterminism) {
+  const Table a = MakeNbaLike(500, 42);
+  EXPECT_EQ(a.num_objects(), 500u);
+  EXPECT_EQ(a.num_attributes(), 11u);
+  EXPECT_TRUE(a.IsComplete());
+  const Table b = MakeNbaLike(500, 42);
+  for (std::size_t j = 0; j < a.num_attributes(); ++j) {
+    EXPECT_EQ(a.At(123, j), b.At(123, j));
+  }
+  const Table c = MakeNbaLike(500, 43);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.num_objects() && !differs; ++i) {
+    for (std::size_t j = 0; j < a.num_attributes(); ++j) {
+      if (a.At(i, j) != c.At(i, j)) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorsTest, NbaLikeIsCorrelated) {
+  // Minutes and points should co-vary strongly.
+  const Table t = MakeNbaLike(2000, 7);
+  const int jm = t.schema().AttributeIndex("minutes");
+  const int jp = t.schema().AttributeIndex("points");
+  ASSERT_GE(jm, 0);
+  ASSERT_GE(jp, 0);
+  double sm = 0;
+  double sp = 0;
+  double smp = 0;
+  double sm2 = 0;
+  double sp2 = 0;
+  const double n = static_cast<double>(t.num_objects());
+  for (std::size_t i = 0; i < t.num_objects(); ++i) {
+    const double m = t.At(i, static_cast<std::size_t>(jm));
+    const double p = t.At(i, static_cast<std::size_t>(jp));
+    sm += m;
+    sp += p;
+    smp += m * p;
+    sm2 += m * m;
+    sp2 += p * p;
+  }
+  const double cov = smp / n - (sm / n) * (sp / n);
+  const double corr = cov / std::sqrt((sm2 / n - (sm / n) * (sm / n)) *
+                                      (sp2 / n - (sp / n) * (sp / n)));
+  EXPECT_GT(corr, 0.4);
+}
+
+TEST(GeneratorsTest, AdultLikeShape) {
+  const Table t = MakeAdultLike(1000, 11);
+  EXPECT_EQ(t.num_objects(), 1000u);
+  EXPECT_EQ(t.num_attributes(), 9u);
+  EXPECT_TRUE(t.IsComplete());
+  EXPECT_EQ(t.schema().AttributeIndex("income"), 4);
+}
+
+TEST(GeneratorsTest, StandardWorkloadsInDomain) {
+  for (const Table& t :
+       {MakeIndependent(200, 4, 10, 1), MakeCorrelated(200, 4, 10, 2),
+        MakeAnticorrelated(200, 4, 10, 3)}) {
+    EXPECT_TRUE(t.IsComplete());
+    for (std::size_t i = 0; i < t.num_objects(); ++i) {
+      for (std::size_t j = 0; j < t.num_attributes(); ++j) {
+        EXPECT_GE(t.At(i, j), 0);
+        EXPECT_LT(t.At(i, j), 10);
+      }
+    }
+  }
+}
+
+TEST(DatasetIoTest, RoundTripWithMissing) {
+  const Table complete = MakeIndependent(30, 3, 6, 17);
+  Rng rng(18);
+  const Table table = InjectMissingUniform(complete, 0.2, rng);
+  const std::string path = ::testing::TempDir() + "/bc_table.csv";
+  ASSERT_TRUE(SaveTableCsv(table, path).ok());
+  const auto loaded = LoadTableCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->schema() == table.schema());
+  ASSERT_EQ(loaded->num_objects(), table.num_objects());
+  for (std::size_t i = 0; i < table.num_objects(); ++i) {
+    EXPECT_EQ(loaded->object_name(i), table.object_name(i));
+    for (std::size_t j = 0; j < table.num_attributes(); ++j) {
+      EXPECT_EQ(loaded->At(i, j), table.At(i, j));
+    }
+  }
+}
+
+TEST(DatasetIoTest, LoadRejectsMalformedHeader) {
+  const std::string path = ::testing::TempDir() + "/bc_bad.csv";
+  {
+    CsvDocument doc;
+    doc.header = {"name", "a"};  // Missing ":domain".
+    doc.rows = {{"r", "1"}};
+    ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  }
+  EXPECT_FALSE(LoadTableCsv(path).ok());
+}
+
+}  // namespace
+}  // namespace bayescrowd

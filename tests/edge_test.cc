@@ -1,0 +1,238 @@
+// Edge cases across modules that the mainline tests do not reach:
+// degenerate tables, conflict-saturated task selection, CrowdSky corner
+// configurations, text rendering.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/entropy.h"
+#include "core/framework.h"
+#include "core/strategy.h"
+#include "crowd/platform.h"
+#include "crowdsky/crowdsky.h"
+#include "ctable/builder.h"
+#include "ctable/dominator.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "probability/evaluator.h"
+#include "skyline/algorithms.h"
+#include "skyline/metrics.h"
+
+namespace bayescrowd {
+namespace {
+
+CellRef V(std::size_t o, std::size_t a) { return {o, a}; }
+
+// ------------------------------------------------------------------ //
+// Degenerate tables
+// ------------------------------------------------------------------ //
+
+TEST(EdgeTest, SingleObjectIsAlwaysSkyline) {
+  Schema schema;
+  schema.AddAttribute("a", 5);
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow("only", {kMissingLevel}).ok());
+  const auto ctable = BuildCTable(t, {.alpha = -1.0});
+  ASSERT_TRUE(ctable.ok());
+  EXPECT_TRUE(ctable->condition(0).IsTrue());
+}
+
+TEST(EdgeTest, AllMissingRowsProduceVarVarConditions) {
+  Schema schema;
+  schema.AddAttribute("a", 4);
+  schema.AddAttribute("b", 4);
+  Table t(schema);
+  ASSERT_TRUE(
+      t.AppendRow("x", {kMissingLevel, kMissingLevel}).ok());
+  ASSERT_TRUE(
+      t.AppendRow("y", {kMissingLevel, kMissingLevel}).ok());
+  const auto ctable = BuildCTable(t, {.alpha = -1.0});
+  ASSERT_TRUE(ctable.ok());
+  for (std::size_t o = 0; o < 2; ++o) {
+    const Condition& c = ctable->condition(o);
+    ASSERT_FALSE(c.IsDecided());
+    for (const Conjunct& conj : c.conjuncts()) {
+      for (const Expression& e : conj) EXPECT_TRUE(e.rhs_is_var);
+    }
+  }
+}
+
+TEST(EdgeTest, EmptyTableRejectedByDominators) {
+  Schema schema;
+  schema.AddAttribute("a", 4);
+  const Table t(schema);
+  EXPECT_FALSE(ComputeDominatorSets(t, -1.0).ok());
+  EXPECT_FALSE(ComputeDominatorSetsBaseline(t, -1.0).ok());
+}
+
+TEST(EdgeTest, AppendEmptyRowIsAllMissing) {
+  Schema schema;
+  schema.AddAttribute("a", 4);
+  schema.AddAttribute("b", 4);
+  Table t(schema);
+  t.AppendEmptyRow("ghost");
+  EXPECT_EQ(t.num_objects(), 1u);
+  EXPECT_TRUE(t.IsMissing(0, 0));
+  EXPECT_TRUE(t.IsMissing(0, 1));
+  EXPECT_EQ(t.object_name(0), "ghost");
+}
+
+TEST(EdgeTest, IdenticalIncompleteRowsShareFate) {
+  // Two identical partially-missing rows: their conditions must be
+  // structurally symmetric (same sizes, mirrored variables).
+  Schema schema;
+  schema.AddAttribute("a", 4);
+  schema.AddAttribute("b", 4);
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow("p", {2, kMissingLevel}).ok());
+  ASSERT_TRUE(t.AppendRow("q", {2, kMissingLevel}).ok());
+  const auto ctable = BuildCTable(t, {.alpha = -1.0});
+  ASSERT_TRUE(ctable.ok());
+  EXPECT_EQ(ctable->condition(0).IsDecided(),
+            ctable->condition(1).IsDecided());
+  EXPECT_EQ(ctable->condition(0).NumExpressions(),
+            ctable->condition(1).NumExpressions());
+}
+
+// ------------------------------------------------------------------ //
+// Expression / condition rendering
+// ------------------------------------------------------------------ //
+
+TEST(EdgeTest, ExpressionToStringFormats) {
+  const Table t = MakeSampleMovieDataset();
+  EXPECT_EQ(Expression::VarConst(V(4, 1), CmpOp::kLess, 2).ToString(t),
+            "Var(Star Wars,a2) < 2");
+  EXPECT_EQ(
+      Expression::VarVar(V(4, 1), CmpOp::kGreater, V(1, 1)).ToString(t),
+      "Var(Star Wars,a2) > Var(Se7en,a2)");
+}
+
+TEST(EdgeTest, ConditionToStringConstants) {
+  const Table t = MakeSampleMovieDataset();
+  EXPECT_EQ(Condition::True().ToString(t), "true");
+  EXPECT_EQ(Condition::False().ToString(t), "false");
+}
+
+// ------------------------------------------------------------------ //
+// Conflict-saturated task selection
+// ------------------------------------------------------------------ //
+
+TEST(EdgeTest, ConflictSaturationLimitsBatch) {
+  // Three objects whose conditions all hinge on the same variable: only
+  // one task per round can be selected.
+  // hub possibly dominates r1 and r2 (mutually incomparable); every
+  // candidate expression is over Var(hub, a).
+  Schema schema;
+  schema.AddAttribute("a", 6);
+  schema.AddAttribute("b", 6);
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow("hub", {kMissingLevel, 5}).ok());
+  ASSERT_TRUE(t.AppendRow("r1", {4, 4}).ok());
+  ASSERT_TRUE(t.AppendRow("r2", {5, 3}).ok());
+  const auto ctable = BuildCTable(t, {.alpha = -1.0});
+  ASSERT_TRUE(ctable.ok());
+
+  ProbabilityEvaluator evaluator;
+  BAYESCROWD_CHECK_OK(evaluator.distributions().Set(
+      V(0, 0), std::vector<double>(6, 1.0 / 6.0)));
+
+  std::vector<ObjectEntropy> ranked;
+  for (std::size_t i : ctable->UndecidedObjects()) {
+    ObjectEntropy entry;
+    entry.object = i;
+    entry.probability =
+        evaluator.Probability(ctable->condition(i)).value();
+    entry.entropy = BinaryEntropy(entry.probability);
+    ranked.push_back(entry);
+  }
+  ASSERT_GE(ranked.size(), 2u);
+
+  StrategyOptions options;
+  options.kind = StrategyKind::kFbs;
+  const auto tasks = SelectTasks(*ctable, ranked, 3, evaluator, options);
+  ASSERT_TRUE(tasks.ok());
+  // Every candidate expression involves Var(hub, a); only one
+  // conflict-free task exists.
+  EXPECT_EQ(tasks->size(), 1u);
+}
+
+// ------------------------------------------------------------------ //
+// CrowdSky corners
+// ------------------------------------------------------------------ //
+
+TEST(EdgeTest, CrowdSkyOneTaskPerRound) {
+  const Table complete = MakeCorrelated(40, 4, 8, 77);
+  const std::vector<std::size_t> crowd = {2, 3};
+  const Table incomplete = InjectMissingAttributes(complete, crowd);
+  SimulatedCrowdPlatform platform(complete, {});
+  const auto result = RunCrowdSky(incomplete, {0, 1}, crowd, platform,
+                                  {.tasks_per_round = 1});
+  ASSERT_TRUE(result.ok()) << result.status();
+  // A pair's comparisons are indivisible, so a round may carry up to
+  // one pair's worth (two crowd attributes) even at tasks_per_round=1.
+  EXPECT_LE(result->tasks_posted, 2 * result->rounds);
+  EXPECT_GE(result->tasks_posted, result->rounds);
+  const auto truth = SkylineBnl(complete);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_DOUBLE_EQ(
+      EvaluateResultSet(result->skyline, truth.value()).f1, 1.0);
+}
+
+TEST(EdgeTest, CrowdSkyThreeCrowdAttributes) {
+  const Table complete = MakeCorrelated(60, 5, 8, 78);
+  const std::vector<std::size_t> crowd = {2, 3, 4};
+  const Table incomplete = InjectMissingAttributes(complete, crowd);
+  SimulatedCrowdPlatform platform(complete, {});
+  const auto result =
+      RunCrowdSky(incomplete, {0, 1}, crowd, platform, {});
+  ASSERT_TRUE(result.ok());
+  const auto truth = SkylineBnl(complete);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_DOUBLE_EQ(
+      EvaluateResultSet(result->skyline, truth.value()).f1, 1.0);
+}
+
+TEST(EdgeTest, CrowdSkyRejectsZeroTasksPerRound) {
+  const Table complete = MakeCorrelated(20, 4, 8, 79);
+  const Table incomplete = InjectMissingAttributes(complete, {2, 3});
+  SimulatedCrowdPlatform platform(complete, {});
+  EXPECT_FALSE(RunCrowdSky(incomplete, {0, 1}, {2, 3}, platform,
+                           {.tasks_per_round = 0})
+                   .ok());
+}
+
+// ------------------------------------------------------------------ //
+// Framework corners
+// ------------------------------------------------------------------ //
+
+TEST(EdgeTest, BudgetLargerThanAvailableWorkTerminates) {
+  const Table incomplete = MakeSampleMovieDataset();
+  BayesCrowdOptions options;
+  options.ctable.alpha = -1.0;
+  options.budget = 10'000;  // Only a handful of variables exist.
+  options.latency = 100;
+  BayesCrowd framework(options);
+  FixedMarginalsProvider posteriors(SampleMovieDistributions());
+  SimulatedCrowdPlatform platform(MakeSampleMovieGroundTruth(), {});
+  const auto result = framework.Run(incomplete, posteriors, platform);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->tasks_posted, 20u);  // Terminated by exhaustion.
+}
+
+TEST(EdgeTest, ThresholdZeroReturnsAllPossibleObjects) {
+  const Table incomplete = MakeSampleMovieDataset();
+  BayesCrowdOptions options;
+  options.ctable.alpha = -1.0;
+  options.budget = 0;
+  options.answer_threshold = 0.0;  // Any nonzero probability qualifies.
+  BayesCrowd framework(options);
+  FixedMarginalsProvider posteriors(SampleMovieDistributions());
+  SimulatedCrowdPlatform platform(MakeSampleMovieGroundTruth(), {});
+  const auto result = framework.Run(incomplete, posteriors, platform);
+  ASSERT_TRUE(result.ok());
+  // All five objects have positive probability.
+  EXPECT_EQ(result->result_objects.size(), 5u);
+}
+
+}  // namespace
+}  // namespace bayescrowd

@@ -1,0 +1,139 @@
+// Fuzz-style robustness tests: random and adversarial inputs must never
+// crash — they either parse or fail with a clean Status.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "bayesnet/serialization.h"
+#include "common/csv.h"
+#include "common/random.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+#include "data/missing.h"
+
+namespace bayescrowd {
+namespace {
+
+std::string RandomBytes(Rng& rng, std::size_t length,
+                        const std::string& alphabet) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(alphabet[rng.NextBelow(alphabet.size())]);
+  }
+  return out;
+}
+
+TEST(FuzzTest, CsvParserNeverCrashesOnNoise) {
+  Rng rng(0xF00D);
+  const std::string alphabet = "abc,\"\n\r 0123\\;|\t";
+  for (int round = 0; round < 500; ++round) {
+    const std::string noise =
+        RandomBytes(rng, rng.NextBelow(200), alphabet);
+    for (const bool header : {true, false}) {
+      const auto doc = ParseCsv(noise, header);
+      if (doc.ok()) {
+        // Whatever parsed must re-serialize without crashing.
+        for (const auto& row : doc->rows) {
+          (void)FormatCsvRow(row);
+        }
+      } else {
+        EXPECT_FALSE(doc.status().message().empty());
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, CsvQuotedRoundTripOnRandomFields) {
+  Rng rng(0xBEEF);
+  const std::string alphabet = "ab,\"\n\r x";
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::string> fields;
+    const std::size_t width = 1 + rng.NextBelow(5);
+    for (std::size_t f = 0; f < width; ++f) {
+      fields.push_back(RandomBytes(rng, rng.NextBelow(12), alphabet));
+    }
+    const std::string serialized = FormatCsvRow(fields);
+    const auto doc = ParseCsv(serialized, /*has_header=*/false);
+    ASSERT_TRUE(doc.ok()) << "round " << round;
+    // CRLF-vs-LF normalization aside, a single serialized row must
+    // parse back to exactly the same fields.
+    ASSERT_EQ(doc->rows.size(), 1u);
+    EXPECT_EQ(doc->rows[0], fields) << "round " << round;
+  }
+}
+
+TEST(FuzzTest, TableLoaderNeverCrashesOnNoise) {
+  Rng rng(0xABBA);
+  const std::string alphabet = "name:,a1?\n-0123456789 x";
+  const std::string path = ::testing::TempDir() + "/bc_fuzz_table.csv";
+  for (int round = 0; round < 300; ++round) {
+    CsvDocument doc;
+    doc.header = {"name", "a:4"};
+    // Write raw noise instead of a valid document half the time.
+    if (rng.NextBool(0.5)) {
+      std::ofstream out(path, std::ios::binary);
+      out << RandomBytes(rng, rng.NextBelow(150), alphabet);
+    } else {
+      doc.rows = {{RandomBytes(rng, 3, alphabet),
+                   RandomBytes(rng, 2, alphabet)}};
+      (void)WriteCsvFile(path, doc);
+    }
+    const auto loaded = LoadTableCsv(path);
+    if (loaded.ok()) {
+      EXPECT_LE(loaded->num_objects(), 10u);
+    }
+  }
+}
+
+TEST(FuzzTest, NetworkDeserializerNeverCrashesOnNoise) {
+  Rng rng(0xD00F);
+  const std::string alphabet =
+      "bayesnet v1\nnodes edge cpt 0123456789 .end#";
+  for (int round = 0; round < 500; ++round) {
+    const std::string noise =
+        RandomBytes(rng, rng.NextBelow(250), alphabet);
+    const auto net = DeserializeNetwork(noise);
+    if (!net.ok()) {
+      EXPECT_FALSE(net.status().message().empty());
+    }
+  }
+}
+
+TEST(FuzzTest, NetworkDeserializerSurvivesMutatedValidInput) {
+  // Take a valid serialization and flip random characters.
+  const Table data = MakeAdultLike(200, 3);
+  Dag dag(data.num_attributes());
+  BAYESCROWD_CHECK_OK(dag.AddEdge(0, 1));
+  auto net = BayesianNetwork::Create(data.schema(), dag);
+  BAYESCROWD_CHECK_OK(net.status());
+  BAYESCROWD_CHECK_OK(net->FitParameters(data));
+  const std::string valid = SerializeNetwork(net.value());
+
+  Rng rng(0xFEED);
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = valid;
+    const std::size_t flips = 1 + rng.NextBelow(5);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBelow(mutated.size())] =
+          static_cast<char>('0' + rng.NextBelow(75));
+    }
+    (void)DeserializeNetwork(mutated);  // Must not crash or hang.
+  }
+}
+
+TEST(FuzzTest, InjectorsTolerateExtremeRates) {
+  const Table complete = MakeIndependent(50, 3, 4, 1);
+  Rng rng(2);
+  EXPECT_TRUE(InjectMissingUniform(complete, 0.0, rng).IsComplete());
+  EXPECT_EQ(InjectMissingUniform(complete, 1.0, rng).MissingCells().size(),
+            150u);
+  (void)InjectMissingMnar(complete, 0.0, rng);
+  (void)InjectMissingMnar(complete, 0.99, rng);
+  (void)InjectMissingMar(complete, 0.99, 0, rng);
+}
+
+}  // namespace
+}  // namespace bayescrowd

@@ -1,0 +1,182 @@
+// Property tests for Bayesian-network inference: on random small
+// networks, variable elimination must match brute-force enumeration
+// exactly, and the samplers must converge to it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "bayesnet/inference.h"
+#include "bayesnet/network.h"
+#include "bayesnet/structure_learning.h"
+#include "common/random.h"
+#include "data/generators.h"
+#include "skyline/algorithms.h"
+
+namespace bayescrowd {
+namespace {
+
+// Random DAG + random CPTs over `d` nodes with mixed cardinalities.
+BayesianNetwork RandomNetwork(std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Schema schema;
+  for (std::size_t v = 0; v < d; ++v) {
+    schema.AddAttribute("x" + std::to_string(v),
+                        static_cast<Level>(2 + rng.NextBelow(3)));
+  }
+  Dag dag(d);
+  // Random edges respecting the identity order (i -> j only if i < j).
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      if (rng.NextBool(0.4) && dag.parents(j).size() < 3) {
+        BAYESCROWD_CHECK_OK(dag.AddEdge(i, j));
+      }
+    }
+  }
+  auto net = BayesianNetwork::Create(schema, dag);
+  BAYESCROWD_CHECK_OK(net.status());
+  // Random parameters via random counts.
+  for (std::size_t v = 0; v < d; ++v) {
+    auto& cpt = const_cast<Cpt&>(net->cpt(v));
+    cpt.ClearCounts();
+    for (std::size_t c = 0; c < cpt.num_parent_configs(); ++c) {
+      for (Level value = 0; value < cpt.cardinality(); ++value) {
+        cpt.AddCount(value, c, 0.5 + 10.0 * rng.NextDouble());
+      }
+    }
+    cpt.NormalizeWithPrior(0.01);
+  }
+  return std::move(net).value();
+}
+
+std::vector<double> BruteForce(const BayesianNetwork& net,
+                               const Evidence& evidence,
+                               std::size_t query) {
+  const std::size_t d = net.num_nodes();
+  std::vector<double> posterior(
+      static_cast<std::size_t>(net.schema().domain_size(query)), 0.0);
+  std::vector<Level> row(d, 0);
+  const std::function<void(std::size_t)> enumerate = [&](std::size_t v) {
+    if (v == d) {
+      for (const auto& [node, value] : evidence) {
+        if (row[node] != value) return;
+      }
+      posterior[static_cast<std::size_t>(row[query])] +=
+          std::exp(net.LogJointProbability(row));
+      return;
+    }
+    for (Level value = 0; value < net.schema().domain_size(v); ++value) {
+      row[v] = value;
+      enumerate(v + 1);
+    }
+  };
+  enumerate(0);
+  double total = 0.0;
+  for (double p : posterior) total += p;
+  for (double& p : posterior) p /= total;
+  return posterior;
+}
+
+class RandomNetworkTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNetworkTest, VariableEliminationIsExact) {
+  const BayesianNetwork net = RandomNetwork(5, GetParam());
+  Rng rng(GetParam() ^ 0x7777);
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t query = rng.NextBelow(net.num_nodes());
+    Evidence evidence;
+    for (std::size_t v = 0; v < net.num_nodes(); ++v) {
+      if (v != query && rng.NextBool(0.4)) {
+        evidence[v] = static_cast<Level>(rng.NextBelow(
+            static_cast<std::uint64_t>(net.schema().domain_size(v))));
+      }
+    }
+    const auto ve = VariableElimination(net, evidence, query);
+    ASSERT_TRUE(ve.ok()) << ve.status();
+    const auto brute = BruteForce(net, evidence, query);
+    for (std::size_t v = 0; v < brute.size(); ++v) {
+      EXPECT_NEAR(ve.value()[v], brute[v], 1e-9)
+          << "seed=" << GetParam() << " round=" << round << " v=" << v;
+    }
+  }
+}
+
+TEST_P(RandomNetworkTest, SamplersConvergeToExact) {
+  const BayesianNetwork net = RandomNetwork(4, GetParam());
+  const std::size_t query = 0;
+  Evidence evidence;
+  evidence[net.num_nodes() - 1] = 0;
+  const auto exact = VariableElimination(net, evidence, query);
+  ASSERT_TRUE(exact.ok());
+
+  Rng lw_rng(GetParam() ^ 0xAA);
+  const auto lw =
+      LikelihoodWeighting(net, evidence, query, 40000, lw_rng);
+  ASSERT_TRUE(lw.ok());
+  Rng gibbs_rng(GetParam() ^ 0xBB);
+  const auto gibbs =
+      GibbsSampling(net, evidence, query, 40000, 2000, gibbs_rng);
+  ASSERT_TRUE(gibbs.ok());
+  for (std::size_t v = 0; v < exact->size(); ++v) {
+    EXPECT_NEAR(lw.value()[v], exact.value()[v], 0.03) << "lw v=" << v;
+    EXPECT_NEAR(gibbs.value()[v], exact.value()[v], 0.03)
+        << "gibbs v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GibbsTest, ValidatesInput) {
+  const BayesianNetwork net = RandomNetwork(3, 9);
+  Rng rng(1);
+  EXPECT_FALSE(GibbsSampling(net, {}, 99, 10, 0, rng).ok());
+  EXPECT_FALSE(GibbsSampling(net, {{0, 0}}, 0, 10, 0, rng).ok());
+  EXPECT_FALSE(GibbsSampling(net, {{0, 0}}, 1, 0, 0, rng).ok());
+}
+
+// ------------------------------------------------------------------ //
+// Divide-and-conquer skyline cross-check (three algorithms agree).
+// ------------------------------------------------------------------ //
+
+TEST(DivideConquerTest, AgreesWithBnlAcrossWorkloads) {
+  for (int round = 0; round < 6; ++round) {
+    for (const Table& t :
+         {MakeIndependent(500, 4, 8, 400 + round),
+          MakeCorrelated(500, 4, 8, 500 + round),
+          MakeAnticorrelated(500, 4, 8, 600 + round)}) {
+      const auto bnl = SkylineBnl(t);
+      const auto dc = SkylineDivideConquer(t);
+      ASSERT_TRUE(bnl.ok());
+      ASSERT_TRUE(dc.ok()) << dc.status();
+      EXPECT_EQ(bnl.value(), dc.value());
+    }
+  }
+}
+
+TEST(DivideConquerTest, HandlesTieHeavyData) {
+  // Constant first attribute: the split degenerates to id order.
+  Schema schema;
+  schema.AddAttribute("a", 4);
+  schema.AddAttribute("b", 4);
+  Table t(schema);
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    BAYESCROWD_CHECK_OK(t.AppendRow(
+        "o" + std::to_string(i),
+        {1, static_cast<Level>(rng.NextBelow(4))}));
+  }
+  const auto bnl = SkylineBnl(t);
+  const auto dc = SkylineDivideConquer(t);
+  ASSERT_TRUE(bnl.ok());
+  ASSERT_TRUE(dc.ok());
+  EXPECT_EQ(bnl.value(), dc.value());
+}
+
+TEST(DivideConquerTest, RejectsIncompleteTable) {
+  EXPECT_FALSE(SkylineDivideConquer(MakeSampleMovieDataset()).ok());
+}
+
+}  // namespace
+}  // namespace bayescrowd

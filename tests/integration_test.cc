@@ -1,0 +1,183 @@
+// End-to-end integration tests: the full preprocessing -> modeling ->
+// crowdsourcing pipeline on generated datasets, exactly as the benchmark
+// harness runs it.
+
+#include <gtest/gtest.h>
+
+#include "bayesnet/imputation.h"
+#include "bayesnet/network.h"
+#include "bayesnet/structure_learning.h"
+#include "common/random.h"
+#include "core/framework.h"
+#include "crowd/platform.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "skyline/algorithms.h"
+#include "skyline/metrics.h"
+
+namespace bayescrowd {
+namespace {
+
+struct Pipeline {
+  Table complete;
+  Table incomplete;
+  BayesianNetwork network;
+  std::vector<std::size_t> ground_truth;
+};
+
+Pipeline MakePipeline(std::size_t n, double missing_rate,
+                      std::uint64_t seed) {
+  Pipeline p;
+  p.complete = MakeNbaLike(n, seed, /*levels=*/8);
+  Rng rng(seed ^ 0xfeed);
+  p.incomplete = InjectMissingUniform(p.complete, missing_rate, rng);
+
+  // Learn structure and parameters from the incomplete table itself
+  // (available-case), as the preprocessing step prescribes.
+  StructureLearningOptions slo;
+  slo.max_parents = 2;
+  const auto dag = HillClimbStructure(p.incomplete, slo);
+  BAYESCROWD_CHECK_OK(dag.status());
+  auto net = BayesianNetwork::Create(p.incomplete.schema(), dag.value());
+  BAYESCROWD_CHECK_OK(net.status());
+  BAYESCROWD_CHECK_OK(net->FitParameters(p.incomplete));
+  p.network = std::move(net).value();
+
+  const auto truth = SkylineBnl(p.complete);
+  BAYESCROWD_CHECK_OK(truth.status());
+  p.ground_truth = truth.value();
+  return p;
+}
+
+TEST(IntegrationTest, PerfectWorkersHighBudgetReachHighF1) {
+  Pipeline p = MakePipeline(300, 0.1, 2027);
+  BnPosteriorProvider posteriors(p.network, p.incomplete);
+  SimulatedCrowdPlatform platform(p.complete, {});
+
+  BayesCrowdOptions options;
+  options.ctable.alpha = 0.05;
+  options.strategy.kind = StrategyKind::kHhs;
+  options.strategy.m = 15;
+  options.budget = 120;
+  options.latency = 6;
+  BayesCrowd framework(options);
+  const auto result = framework.Run(p.incomplete, posteriors, platform);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const auto metrics =
+      EvaluateResultSet(result->result_objects, p.ground_truth);
+  EXPECT_GT(metrics.f1, 0.9) << "precision=" << metrics.precision
+                             << " recall=" << metrics.recall;
+}
+
+TEST(IntegrationTest, MoreBudgetNeverHurtsMuch) {
+  Pipeline p = MakePipeline(250, 0.15, 11);
+  double f1_small = 0.0;
+  double f1_large = 0.0;
+  for (const std::size_t budget : {std::size_t{10}, std::size_t{150}}) {
+    BnPosteriorProvider posteriors(p.network, p.incomplete);
+    SimulatedCrowdPlatform platform(p.complete, {});
+    BayesCrowdOptions options;
+    options.ctable.alpha = 0.05;
+    options.budget = budget;
+    options.latency = 5;
+    BayesCrowd framework(options);
+    const auto result = framework.Run(p.incomplete, posteriors, platform);
+    ASSERT_TRUE(result.ok());
+    const double f1 =
+        EvaluateResultSet(result->result_objects, p.ground_truth).f1;
+    if (budget == 10) {
+      f1_small = f1;
+    } else {
+      f1_large = f1;
+    }
+  }
+  EXPECT_GE(f1_large, f1_small - 0.02);
+}
+
+TEST(IntegrationTest, DeterministicGivenSeeds) {
+  Pipeline p = MakePipeline(150, 0.1, 77);
+  std::vector<std::size_t> first;
+  for (int run = 0; run < 2; ++run) {
+    BnPosteriorProvider posteriors(p.network, p.incomplete);
+    SimulatedCrowdPlatform platform(p.complete, {});
+    BayesCrowdOptions options;
+    options.ctable.alpha = 0.05;
+    options.budget = 40;
+    options.latency = 4;
+    BayesCrowd framework(options);
+    const auto result = framework.Run(p.incomplete, posteriors, platform);
+    ASSERT_TRUE(result.ok());
+    if (run == 0) {
+      first = result->result_objects;
+    } else {
+      EXPECT_EQ(result->result_objects, first);
+    }
+  }
+}
+
+TEST(IntegrationTest, StrategiesOrderedByCostAndQuality) {
+  // FBS must be the cheapest machine-side; UBS computes the most
+  // utilities. All should be reasonably accurate with perfect workers.
+  Pipeline p = MakePipeline(250, 0.1, 5150);
+  for (const StrategyKind kind :
+       {StrategyKind::kFbs, StrategyKind::kUbs, StrategyKind::kHhs}) {
+    BnPosteriorProvider posteriors(p.network, p.incomplete);
+    SimulatedCrowdPlatform platform(p.complete, {});
+    BayesCrowdOptions options;
+    options.ctable.alpha = 0.05;
+    options.strategy.kind = kind;
+    options.budget = 80;
+    options.latency = 4;
+    BayesCrowd framework(options);
+    const auto result = framework.Run(p.incomplete, posteriors, platform);
+    ASSERT_TRUE(result.ok()) << StrategyKindToString(kind);
+    const double f1 =
+        EvaluateResultSet(result->result_objects, p.ground_truth).f1;
+    EXPECT_GT(f1, 0.85) << StrategyKindToString(kind);
+  }
+}
+
+TEST(IntegrationTest, UniformPriorStillWorks) {
+  // Without the Bayesian network (zero-knowledge uniform prior) the
+  // pipeline must still run end to end.
+  Pipeline p = MakePipeline(200, 0.1, 31337);
+  UniformPosteriorProvider posteriors(p.incomplete.schema());
+  SimulatedCrowdPlatform platform(p.complete, {});
+  BayesCrowdOptions options;
+  options.ctable.alpha = 0.05;
+  options.budget = 60;
+  options.latency = 3;
+  BayesCrowd framework(options);
+  const auto result = framework.Run(p.incomplete, posteriors, platform);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(EvaluateResultSet(result->result_objects, p.ground_truth).f1,
+            0.8);
+}
+
+TEST(IntegrationTest, AdultLikePipelineRuns) {
+  const Table complete = MakeAdultLike(300, 9);
+  Rng rng(10);
+  const Table incomplete = InjectMissingUniform(complete, 0.1, rng);
+  const auto dag = ChowLiuStructure(incomplete);
+  ASSERT_TRUE(dag.ok());
+  auto net = BayesianNetwork::Create(incomplete.schema(), dag.value());
+  ASSERT_TRUE(net.ok());
+  ASSERT_TRUE(net->FitParameters(incomplete).ok());
+  BnPosteriorProvider posteriors(net.value(), incomplete);
+  SimulatedCrowdPlatform platform(complete, {});
+  BayesCrowdOptions options;
+  options.ctable.alpha = 0.1;
+  options.budget = 50;
+  options.latency = 5;
+  BayesCrowd framework(options);
+  const auto result = framework.Run(incomplete, posteriors, platform);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto truth = SkylineBnl(complete);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_GT(EvaluateResultSet(result->result_objects, truth.value()).f1,
+            0.7);
+}
+
+}  // namespace
+}  // namespace bayescrowd

@@ -1,0 +1,93 @@
+// Tests for the interactive (human-answered) crowd platform.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "crowd/interactive.h"
+#include "data/generators.h"
+
+namespace bayescrowd {
+namespace {
+
+CellRef V(std::size_t o, std::size_t a) { return {o, a}; }
+
+std::vector<Task> TwoTasks() {
+  std::vector<Task> tasks(2);
+  tasks[0].expression = Expression::VarConst(V(4, 3), CmpOp::kLess, 4);
+  tasks[1].expression = Expression::VarVar(V(4, 1), CmpOp::kGreater,
+                                           V(1, 1));
+  return tasks;
+}
+
+TEST(InteractiveTest, ParsesShortAndLongAnswers) {
+  const Table table = MakeSampleMovieDataset();
+  std::istringstream in("s\nlarger\n");
+  std::ostringstream out;
+  InteractiveCrowdPlatform platform(table, in, out);
+  const auto answers = platform.PostBatch(TwoTasks());
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(answers.value()[0].relation, Ordering::kLess);
+  EXPECT_EQ(answers.value()[1].relation, Ordering::kGreater);
+  EXPECT_EQ(platform.total_tasks(), 2u);
+  EXPECT_EQ(platform.total_rounds(), 1u);
+}
+
+TEST(InteractiveTest, ParsesSymbolAnswers) {
+  const Table table = MakeSampleMovieDataset();
+  std::istringstream in("=\n<\n");
+  std::ostringstream out;
+  InteractiveCrowdPlatform platform(table, in, out);
+  const auto answers = platform.PostBatch(TwoTasks());
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers.value()[0].relation, Ordering::kEqual);
+  EXPECT_EQ(answers.value()[1].relation, Ordering::kLess);
+}
+
+TEST(InteractiveTest, ReasksOnGarbageThenSucceeds) {
+  const Table table = MakeSampleMovieDataset();
+  std::istringstream in("banana\n42\ne\ns\n");
+  std::ostringstream out;
+  InteractiveCrowdPlatform platform(table, in, out);
+  const auto answers = platform.PostBatch(TwoTasks());
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers.value()[0].relation, Ordering::kEqual);
+  EXPECT_NE(out.str().find("could not parse"), std::string::npos);
+}
+
+TEST(InteractiveTest, ThreeGarbageAnswersFail) {
+  const Table table = MakeSampleMovieDataset();
+  std::istringstream in("a\nb\nc\n");
+  std::ostringstream out;
+  InteractiveCrowdPlatform platform(table, in, out);
+  EXPECT_TRUE(platform.PostBatch(TwoTasks()).status().IsInvalidArgument());
+}
+
+TEST(InteractiveTest, EofFailsWithIOError) {
+  const Table table = MakeSampleMovieDataset();
+  std::istringstream in("s\n");  // Second task gets no answer.
+  std::ostringstream out;
+  InteractiveCrowdPlatform platform(table, in, out);
+  EXPECT_TRUE(platform.PostBatch(TwoTasks()).status().IsIOError());
+}
+
+TEST(InteractiveTest, QuestionsMentionObjectNames) {
+  const Table table = MakeSampleMovieDataset();
+  std::istringstream in("s\ne\n");
+  std::ostringstream out;
+  InteractiveCrowdPlatform platform(table, in, out);
+  ASSERT_TRUE(platform.PostBatch(TwoTasks()).ok());
+  EXPECT_NE(out.str().find("Star Wars"), std::string::npos);
+  EXPECT_NE(out.str().find("Se7en"), std::string::npos);
+}
+
+TEST(InteractiveTest, EmptyBatchRejected) {
+  const Table table = MakeSampleMovieDataset();
+  std::istringstream in("");
+  std::ostringstream out;
+  InteractiveCrowdPlatform platform(table, in, out);
+  EXPECT_FALSE(platform.PostBatch({}).ok());
+}
+
+}  // namespace
+}  // namespace bayescrowd

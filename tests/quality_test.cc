@@ -1,0 +1,300 @@
+// Tests for worker-quality modeling: voting rules, gold-task tracking,
+// consensus estimation, the pooled platform modes, MAR/MNAR missingness
+// and the framework's confidence stop.
+
+#include <gtest/gtest.h>
+
+#include "bayesnet/imputation.h"
+#include "common/random.h"
+#include "core/framework.h"
+#include "crowd/platform.h"
+#include "crowd/quality.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "skyline/algorithms.h"
+#include "skyline/metrics.h"
+
+namespace bayescrowd {
+namespace {
+
+CellRef V(std::size_t o, std::size_t a) { return {o, a}; }
+
+// ------------------------------------------------------------------ //
+// Voting rules
+// ------------------------------------------------------------------ //
+
+TEST(VotingTest, MajorityPicksMode) {
+  EXPECT_EQ(MajorityVote({Ordering::kLess, Ordering::kLess,
+                          Ordering::kGreater}),
+            Ordering::kLess);
+  EXPECT_EQ(MajorityVote({Ordering::kEqual}), Ordering::kEqual);
+}
+
+TEST(VotingTest, WeightedVoteTrustsAccurateWorker) {
+  // One 0.95 worker outvotes two 0.5 workers.
+  const auto result = WeightedVote(
+      {Ordering::kGreater, Ordering::kLess, Ordering::kLess},
+      {0.95, 0.5, 0.5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), Ordering::kGreater);
+}
+
+TEST(VotingTest, WeightedVoteEqualWeightsIsMajority) {
+  const auto result = WeightedVote(
+      {Ordering::kEqual, Ordering::kEqual, Ordering::kGreater},
+      {0.8, 0.8, 0.8});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), Ordering::kEqual);
+}
+
+TEST(VotingTest, WeightedVoteValidatesInput) {
+  EXPECT_FALSE(WeightedVote({}, {}).ok());
+  EXPECT_FALSE(WeightedVote({Ordering::kLess}, {0.8, 0.9}).ok());
+}
+
+// ------------------------------------------------------------------ //
+// WorkerQualityTracker
+// ------------------------------------------------------------------ //
+
+TEST(TrackerTest, PriorIsOptimisticButUncertain) {
+  WorkerQualityTracker tracker(2);
+  EXPECT_NEAR(tracker.Accuracy(0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TrackerTest, ConvergesToObservedRate) {
+  WorkerQualityTracker tracker(1);
+  for (int i = 0; i < 90; ++i) tracker.Record(0, true);
+  for (int i = 0; i < 10; ++i) tracker.Record(0, false);
+  EXPECT_NEAR(tracker.Accuracy(0), 0.9, 0.02);
+  EXPECT_EQ(tracker.Accuracies().size(), 1u);
+}
+
+// ------------------------------------------------------------------ //
+// Consensus (Dawid-Skene-style) estimation
+// ------------------------------------------------------------------ //
+
+TEST(ConsensusTest, SeparatesGoodFromBadWorkers) {
+  // 3 workers: two accurate (0.95), one adversarially noisy (0.4), over
+  // 200 simulated tasks.
+  Rng rng(515);
+  const double true_acc[3] = {0.95, 0.95, 0.4};
+  std::vector<std::vector<Vote>> tasks(200);
+  for (auto& votes : tasks) {
+    const auto truth = static_cast<Ordering>(rng.NextBelow(3));
+    for (std::size_t w = 0; w < 3; ++w) {
+      Ordering answer = truth;
+      if (!rng.NextBool(true_acc[w])) {
+        answer = static_cast<Ordering>(
+            (static_cast<int>(truth) + 1 + rng.NextBelow(2)) % 3);
+      }
+      votes.push_back({w, answer});
+    }
+  }
+  const auto est = EstimateAccuraciesByConsensus(tasks, 3);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est.value()[0], 0.85);
+  EXPECT_GT(est.value()[1], 0.85);
+  EXPECT_LT(est.value()[2], 0.6);
+}
+
+TEST(ConsensusTest, ValidatesInput) {
+  EXPECT_FALSE(EstimateAccuraciesByConsensus({}, 0).ok());
+  EXPECT_FALSE(EstimateAccuraciesByConsensus({{{5, Ordering::kLess}}}, 2)
+                   .ok());
+  EXPECT_FALSE(
+      EstimateAccuraciesByConsensus({{{0, Ordering::kLess}}}, 1, 0).ok());
+}
+
+// ------------------------------------------------------------------ //
+// Pooled platform modes
+// ------------------------------------------------------------------ //
+
+std::vector<Task> OneTask() {
+  std::vector<Task> tasks(1);
+  tasks[0].expression = Expression::VarConst(V(4, 3), CmpOp::kLess, 4);
+  return tasks;
+}
+
+double AnswerAccuracy(SimulatedPlatformOptions options, int trials) {
+  const Table gt = MakeSampleMovieGroundTruth();
+  SimulatedCrowdPlatform platform(gt, options);
+  int correct = 0;
+  for (int i = 0; i < trials; ++i) {
+    const auto answers = platform.PostBatch(OneTask());
+    BAYESCROWD_CHECK_OK(answers.status());
+    correct += answers.value()[0].relation == Ordering::kLess ? 1 : 0;
+  }
+  return static_cast<double>(correct) / trials;
+}
+
+TEST(PooledPlatformTest, WeightedAggregationNeedsPool) {
+  const Table gt = MakeSampleMovieGroundTruth();
+  SimulatedPlatformOptions options;
+  options.aggregation = AggregationMethod::kWeightedTrue;
+  SimulatedCrowdPlatform platform(gt, options);
+  EXPECT_TRUE(platform.PostBatch(OneTask()).status().code() ==
+              StatusCode::kFailedPrecondition);
+}
+
+TEST(PooledPlatformTest, PoolAccuraciesAssignedRoundRobin) {
+  const Table gt = MakeSampleMovieGroundTruth();
+  SimulatedPlatformOptions options;
+  options.worker_pool_size = 4;
+  options.accuracy_pool = {0.6, 0.9};
+  SimulatedCrowdPlatform platform(gt, options);
+  EXPECT_DOUBLE_EQ(platform.pool_accuracy(0), 0.6);
+  EXPECT_DOUBLE_EQ(platform.pool_accuracy(1), 0.9);
+  EXPECT_DOUBLE_EQ(platform.pool_accuracy(2), 0.6);
+  EXPECT_DOUBLE_EQ(platform.pool_accuracy(3), 0.9);
+}
+
+TEST(PooledPlatformTest, WeightedTrueBeatsMajorityWithMixedPool) {
+  // Pool: one excellent worker among mediocre ones. Weighted voting
+  // should exploit the good worker; majority cannot.
+  SimulatedPlatformOptions base;
+  base.worker_pool_size = 3;
+  base.accuracy_pool = {0.98, 0.45, 0.45};
+  base.workers_per_task = 3;
+  base.seed = 77;
+
+  SimulatedPlatformOptions majority = base;
+  majority.aggregation = AggregationMethod::kMajority;
+  SimulatedPlatformOptions weighted = base;
+  weighted.aggregation = AggregationMethod::kWeightedTrue;
+
+  const double acc_majority = AnswerAccuracy(majority, 3000);
+  const double acc_weighted = AnswerAccuracy(weighted, 3000);
+  EXPECT_GT(acc_weighted, acc_majority + 0.05);
+  EXPECT_GT(acc_weighted, 0.9);
+}
+
+TEST(PooledPlatformTest, EstimatedWeightsApproachTrueWeights) {
+  SimulatedPlatformOptions base;
+  base.worker_pool_size = 3;
+  base.accuracy_pool = {0.98, 0.45, 0.45};
+  base.workers_per_task = 3;
+  base.gold_fraction = 0.3;
+  base.seed = 99;
+
+  SimulatedPlatformOptions estimated = base;
+  estimated.aggregation = AggregationMethod::kWeightedEstimated;
+  SimulatedPlatformOptions majority = base;
+  majority.aggregation = AggregationMethod::kMajority;
+
+  // After enough gold observations the estimated weights should clearly
+  // beat majority voting.
+  const double acc_estimated = AnswerAccuracy(estimated, 4000);
+  const double acc_majority = AnswerAccuracy(majority, 4000);
+  EXPECT_GT(acc_estimated, acc_majority + 0.03);
+}
+
+// ------------------------------------------------------------------ //
+// MAR / MNAR injection
+// ------------------------------------------------------------------ //
+
+TEST(MissingnessTest, MarHitsExpectedRateAndSparesDriver) {
+  const Table complete = MakeAdultLike(3000, 5);
+  Rng rng(6);
+  const Table injected = InjectMissingMar(complete, 0.15, 0, rng);
+  EXPECT_NEAR(injected.MissingRate(), 0.15, 0.02);
+  for (std::size_t i = 0; i < injected.num_objects(); ++i) {
+    EXPECT_FALSE(injected.IsMissing(i, 0));
+  }
+}
+
+TEST(MissingnessTest, MarCorrelatesWithDriver) {
+  const Table complete = MakeAdultLike(5000, 7);
+  Rng rng(8);
+  const Table injected = InjectMissingMar(complete, 0.15, 0, rng);
+  // Split rows by driver level; high-driver rows must lose more cells.
+  const Level mid = complete.schema().domain_size(0) / 2;
+  double low_missing = 0.0;
+  double low_rows = 0.0;
+  double high_missing = 0.0;
+  double high_rows = 0.0;
+  for (std::size_t i = 0; i < injected.num_objects(); ++i) {
+    std::size_t missing = 0;
+    for (std::size_t j = 1; j < injected.num_attributes(); ++j) {
+      missing += injected.IsMissing(i, j) ? 1 : 0;
+    }
+    if (complete.At(i, 0) >= mid) {
+      high_missing += static_cast<double>(missing);
+      high_rows += 1.0;
+    } else {
+      low_missing += static_cast<double>(missing);
+      low_rows += 1.0;
+    }
+  }
+  EXPECT_GT(high_missing / high_rows, low_missing / low_rows);
+}
+
+TEST(MissingnessTest, MnarHidesHighValues) {
+  const Table complete = MakeAdultLike(5000, 9);
+  Rng rng(10);
+  const Table injected = InjectMissingMnar(complete, 0.15, rng);
+  EXPECT_NEAR(injected.MissingRate(), 0.15, 0.02);
+  // The mean *observed* value must drop below the complete mean.
+  double complete_sum = 0.0;
+  double observed_sum = 0.0;
+  double observed_count = 0.0;
+  const double total = static_cast<double>(complete.num_objects() *
+                                           complete.num_attributes());
+  for (std::size_t i = 0; i < complete.num_objects(); ++i) {
+    for (std::size_t j = 0; j < complete.num_attributes(); ++j) {
+      complete_sum += complete.At(i, j);
+      if (!injected.IsMissing(i, j)) {
+        observed_sum += injected.At(i, j);
+        observed_count += 1.0;
+      }
+    }
+  }
+  EXPECT_LT(observed_sum / observed_count, complete_sum / total);
+}
+
+// ------------------------------------------------------------------ //
+// Confidence stop
+// ------------------------------------------------------------------ //
+
+TEST(ConfidenceStopTest, StopsEarlyWhenProbabilitiesAreExtreme) {
+  const Table complete = MakeNbaLike(300, 404, 8);
+  Rng rng(11);
+  const Table incomplete = InjectMissingUniform(complete, 0.08, rng);
+
+  BayesCrowdOptions options;
+  options.ctable.alpha = 0.1;
+  options.budget = 500;  // Far more than needed.
+  options.latency = 50;
+  options.confidence_stop_entropy = 0.35;
+  BayesCrowd framework(options);
+  UniformPosteriorProvider posteriors(incomplete.schema());
+  SimulatedCrowdPlatform platform(complete, {});
+  const auto result = framework.Run(incomplete, posteriors, platform);
+  ASSERT_TRUE(result.ok());
+
+  // With the stop enabled, either the run ends confident with unspent
+  // budget, or every expression was exhausted before confidence hit.
+  if (result->stopped_confident) {
+    EXPECT_LT(result->tasks_posted, options.budget);
+  }
+
+  // And accuracy should not collapse versus the full-budget run.
+  BayesCrowdOptions full = options;
+  full.confidence_stop_entropy = 0.0;
+  BayesCrowd full_framework(full);
+  UniformPosteriorProvider posteriors2(incomplete.schema());
+  SimulatedCrowdPlatform platform2(complete, {});
+  const auto full_result =
+      full_framework.Run(incomplete, posteriors2, platform2);
+  ASSERT_TRUE(full_result.ok());
+  const auto truth = SkylineBnl(complete);
+  ASSERT_TRUE(truth.ok());
+  const double f1_stop =
+      EvaluateResultSet(result->result_objects, truth.value()).f1;
+  const double f1_full =
+      EvaluateResultSet(full_result->result_objects, truth.value()).f1;
+  EXPECT_GT(f1_stop, f1_full - 0.1);
+  EXPECT_LE(result->tasks_posted, full_result->tasks_posted);
+}
+
+}  // namespace
+}  // namespace bayescrowd

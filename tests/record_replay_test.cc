@@ -1,0 +1,159 @@
+// Tests for crowd answer recording/replay — pause/resume of a
+// deterministic crowd query.
+
+#include <gtest/gtest.h>
+
+#include "bayesnet/imputation.h"
+#include "common/random.h"
+#include "core/framework.h"
+#include "crowd/platform.h"
+#include "crowd/record_replay.h"
+#include "data/generators.h"
+#include "data/missing.h"
+
+namespace bayescrowd {
+namespace {
+
+CellRef V(std::size_t o, std::size_t a) { return {o, a}; }
+
+AnswerLog SampleLog() {
+  AnswerLog log;
+  AnswerLogEntry a;
+  a.expression = Expression::VarConst(V(4, 3), CmpOp::kLess, 4);
+  a.relation = Ordering::kLess;
+  a.round = 1;
+  AnswerLogEntry b;
+  b.expression = Expression::VarVar(V(4, 1), CmpOp::kGreater, V(1, 1));
+  b.relation = Ordering::kGreater;
+  b.round = 1;
+  log.entries = {a, b};
+  return log;
+}
+
+TEST(AnswerLogTest, SerializationRoundTrip) {
+  const AnswerLog log = SampleLog();
+  const auto parsed = ParseAnswerLog(SerializeAnswerLog(log));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->entries.size(), log.entries.size());
+  for (std::size_t i = 0; i < log.entries.size(); ++i) {
+    EXPECT_TRUE(parsed->entries[i].expression == log.entries[i].expression);
+    EXPECT_EQ(parsed->entries[i].relation, log.entries[i].relation);
+    EXPECT_EQ(parsed->entries[i].round, log.entries[i].round);
+  }
+}
+
+TEST(AnswerLogTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bc_answers.log";
+  ASSERT_TRUE(SaveAnswerLog(SampleLog(), path).ok());
+  const auto loaded = LoadAnswerLog(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->entries.size(), 2u);
+}
+
+TEST(AnswerLogTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseAnswerLog("vc 1 2\n").ok());           // Truncated.
+  EXPECT_FALSE(ParseAnswerLog("vx 1 2 < 3 l 1\n").ok());   // Bad kind.
+  EXPECT_FALSE(ParseAnswerLog("vc 1 2 = 3 l 1\n").ok());   // Bad op.
+  EXPECT_FALSE(ParseAnswerLog("vc 1 2 < 3 q 1\n").ok());   // Bad relation.
+  EXPECT_TRUE(ParseAnswerLog("# comment\n\n").ok());       // Empty ok.
+}
+
+TEST(RecordReplayTest, RecordingCapturesTranscript) {
+  const Table gt = MakeSampleMovieGroundTruth();
+  SimulatedCrowdPlatform live(gt, {});
+  RecordingPlatform recorder(live);
+
+  std::vector<Task> batch(2);
+  batch[0].expression = Expression::VarConst(V(4, 3), CmpOp::kLess, 4);
+  batch[1].expression = Expression::VarConst(V(4, 1), CmpOp::kGreater, 2);
+  ASSERT_TRUE(recorder.PostBatch(batch).ok());
+  ASSERT_EQ(recorder.log().entries.size(), 2u);
+  EXPECT_EQ(recorder.log().entries[0].relation, Ordering::kLess);
+  EXPECT_EQ(recorder.log().entries[0].round, 1u);
+}
+
+TEST(RecordReplayTest, ReplayServesWithoutLivePlatform) {
+  ReplayingPlatform replay(SampleLog(), /*fallback=*/nullptr);
+  std::vector<Task> batch(2);
+  batch[0].expression = Expression::VarConst(V(4, 3), CmpOp::kLess, 4);
+  batch[1].expression = Expression::VarVar(V(4, 1), CmpOp::kGreater,
+                                           V(1, 1));
+  const auto answers = replay.PostBatch(batch);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(answers.value()[0].relation, Ordering::kLess);
+  EXPECT_EQ(answers.value()[1].relation, Ordering::kGreater);
+  EXPECT_EQ(replay.replayed(), 2u);
+  // Log exhausted, no fallback: next batch fails.
+  EXPECT_EQ(replay.PostBatch(batch).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RecordReplayTest, DivergentBatchDetected) {
+  ReplayingPlatform replay(SampleLog(), nullptr);
+  std::vector<Task> batch(1);
+  batch[0].expression = Expression::VarConst(V(0, 0), CmpOp::kLess, 1);
+  EXPECT_EQ(replay.PostBatch(batch).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RecordReplayTest, ResumedQueryMatchesUninterruptedRun) {
+  // Run the same query (i) straight with budget 60, and (ii) in two
+  // sessions: budget 24 recorded, then budget 60 resuming from the log.
+  // The deterministic framework must produce identical results and the
+  // live platform must only be asked for the post-resume tasks.
+  const Table complete = MakeNbaLike(250, 404, 8);
+  Rng rng(9);
+  const Table incomplete = InjectMissingUniform(complete, 0.1, rng);
+
+  BayesCrowdOptions base;
+  base.ctable.alpha = 0.1;
+  base.latency = 12;  // ceil(B/L) = 5 tasks per round for B=60.
+  UniformPosteriorProvider posteriors(incomplete.schema());
+
+  // (i) Uninterrupted reference run.
+  base.budget = 60;
+  std::vector<std::size_t> reference;
+  std::size_t reference_tasks = 0;
+  {
+    SimulatedCrowdPlatform live(complete, {});
+    BayesCrowd framework(base);
+    const auto result = framework.Run(incomplete, posteriors, live);
+    ASSERT_TRUE(result.ok());
+    reference = result->result_objects;
+    reference_tasks = result->tasks_posted;
+  }
+
+  // (ii-a) First session: budget 24, recorded.
+  AnswerLog log;
+  {
+    BayesCrowdOptions first = base;
+    first.budget = 24;
+    // Keep the same per-round batch size as the reference run, so the
+    // replayed batch boundaries line up: ceil(24/L)=5 needs L=5.
+    first.latency = 5;
+    SimulatedCrowdPlatform live(complete, {});
+    RecordingPlatform recorder(live);
+    BayesCrowd framework(first);
+    const auto result = framework.Run(incomplete, posteriors, recorder);
+    ASSERT_TRUE(result.ok());
+    log = recorder.log();
+  }
+  ASSERT_FALSE(log.entries.empty());
+
+  // (ii-b) Second session: full budget, replaying then going live.
+  {
+    SimulatedCrowdPlatform live(complete, {});
+    ReplayingPlatform replay(log, &live);
+    BayesCrowd framework(base);
+    const auto result = framework.Run(incomplete, posteriors, replay);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->result_objects, reference);
+    EXPECT_EQ(result->tasks_posted, reference_tasks);
+    EXPECT_EQ(replay.replayed(), log.entries.size());
+    EXPECT_EQ(live.total_tasks(),
+              reference_tasks - log.entries.size());
+  }
+}
+
+}  // namespace
+}  // namespace bayescrowd

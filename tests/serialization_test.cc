@@ -1,0 +1,166 @@
+// Tests for Bayesian-network persistence and the variable-cost budget
+// extension.
+
+#include <gtest/gtest.h>
+
+#include "bayesnet/imputation.h"
+#include "bayesnet/inference.h"
+#include "bayesnet/serialization.h"
+#include "bayesnet/structure_learning.h"
+#include "common/random.h"
+#include "core/framework.h"
+#include "crowd/cost.h"
+#include "crowd/platform.h"
+#include "data/generators.h"
+#include "data/missing.h"
+
+namespace bayescrowd {
+namespace {
+
+BayesianNetwork TrainedNetwork() {
+  const Table data = MakeAdultLike(1500, 21);
+  auto dag = HillClimbStructure(data);
+  BAYESCROWD_CHECK_OK(dag.status());
+  auto net = BayesianNetwork::Create(data.schema(), dag.value());
+  BAYESCROWD_CHECK_OK(net.status());
+  BAYESCROWD_CHECK_OK(net->FitParameters(data));
+  return std::move(net).value();
+}
+
+TEST(SerializationTest, RoundTripPreservesStructureAndParameters) {
+  const BayesianNetwork original = TrainedNetwork();
+  const std::string text = SerializeNetwork(original);
+  const auto loaded = DeserializeNetwork(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_TRUE(loaded->schema() == original.schema());
+  EXPECT_EQ(loaded->structure().Edges(), original.structure().Edges());
+  for (std::size_t v = 0; v < original.num_nodes(); ++v) {
+    const Cpt& a = original.cpt(v);
+    const Cpt& b = loaded->cpt(v);
+    ASSERT_EQ(a.num_parent_configs(), b.num_parent_configs());
+    for (std::size_t c = 0; c < a.num_parent_configs(); ++c) {
+      for (Level value = 0; value < a.cardinality(); ++value) {
+        EXPECT_NEAR(a.Prob(value, c), b.Prob(value, c), 1e-15);
+      }
+    }
+  }
+}
+
+TEST(SerializationTest, RoundTripPreservesInference) {
+  const BayesianNetwork original = TrainedNetwork();
+  const auto loaded = DeserializeNetwork(SerializeNetwork(original));
+  ASSERT_TRUE(loaded.ok());
+  const Evidence evidence = {{0, 3}, {2, 1}};
+  const auto p1 = VariableElimination(original, evidence, 4);
+  const auto p2 = VariableElimination(loaded.value(), evidence, 4);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  for (std::size_t v = 0; v < p1->size(); ++v) {
+    EXPECT_NEAR(p1.value()[v], p2.value()[v], 1e-12);
+  }
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const BayesianNetwork original = TrainedNetwork();
+  const std::string path = ::testing::TempDir() + "/bc_net.txt";
+  ASSERT_TRUE(SaveNetwork(original, path).ok());
+  const auto loaded = LoadNetwork(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->structure().num_edges(),
+            original.structure().num_edges());
+}
+
+TEST(SerializationTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DeserializeNetwork("").ok());
+  EXPECT_FALSE(DeserializeNetwork("bayesnet v2\n").ok());
+  EXPECT_FALSE(DeserializeNetwork("bayesnet v1\nnodes 0\n").ok());
+  EXPECT_FALSE(
+      DeserializeNetwork("bayesnet v1\nnodes 1\nnode 0 a 2\nedges 1\n"
+                         "edge 0 0\n")
+          .ok());  // Self-loop.
+  EXPECT_FALSE(
+      DeserializeNetwork("bayesnet v1\nnodes 1\nnode 0 a 2\nedges 0\n"
+                         "cpt 0 0.5 0.4\nend\n")
+          .ok());  // Unnormalized CPT.
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(
+      DeserializeNetwork("# trained model\nbayesnet v1\n\nnodes 1\n"
+                         "node 0 a 2\nedges 0\ncpt 0 0.5 0.5\nend\n")
+          .ok());
+}
+
+// ------------------------------------------------------------------ //
+// Variable task costs
+// ------------------------------------------------------------------ //
+
+TEST(CostModelTest, UniformAndOperandCosts) {
+  Task var_const;
+  var_const.expression =
+      Expression::VarConst({4, 3}, CmpOp::kLess, 4);
+  Task var_var;
+  var_var.expression =
+      Expression::VarVar({4, 1}, CmpOp::kGreater, {1, 1});
+  const UniformCostModel uniform(2.0);
+  EXPECT_DOUBLE_EQ(uniform.Cost(var_const), 2.0);
+  EXPECT_DOUBLE_EQ(uniform.Cost(var_var), 2.0);
+  const OperandCountCostModel operand(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(operand.Cost(var_const), 1.0);
+  EXPECT_DOUBLE_EQ(operand.Cost(var_var), 3.0);
+}
+
+TEST(CostModelTest, FrameworkChargesVariableCosts) {
+  const Table incomplete = MakeSampleMovieDataset();
+  const Table ground_truth = MakeSampleMovieGroundTruth();
+  const OperandCountCostModel cost_model(1.0, 2.5);
+
+  BayesCrowdOptions options;
+  options.ctable.alpha = -1.0;
+  options.budget = 8;
+  options.latency = 4;
+  options.cost_model = &cost_model;
+  BayesCrowd framework(options);
+  FixedMarginalsProvider posteriors(SampleMovieDistributions());
+  SimulatedCrowdPlatform platform(ground_truth, {});
+  const auto result = framework.Run(incomplete, posteriors, platform);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(result->cost_spent, 8.0 + 1e-9);
+  EXPECT_GE(result->cost_spent,
+            static_cast<double>(result->tasks_posted));  // >= 1 each.
+}
+
+TEST(CostModelTest, DefaultCostEqualsTaskCount) {
+  const Table incomplete = MakeSampleMovieDataset();
+  BayesCrowdOptions options;
+  options.ctable.alpha = -1.0;
+  options.budget = 6;
+  options.latency = 3;
+  BayesCrowd framework(options);
+  FixedMarginalsProvider posteriors(SampleMovieDistributions());
+  SimulatedCrowdPlatform platform(MakeSampleMovieGroundTruth(), {});
+  const auto result = framework.Run(incomplete, posteriors, platform);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost_spent,
+                   static_cast<double>(result->tasks_posted));
+}
+
+TEST(CostModelTest, ExpensiveTasksShrinkTheBatch) {
+  // Every task costs 3; budget 7 affords at most 2 tasks in total.
+  const Table incomplete = MakeSampleMovieDataset();
+  const UniformCostModel expensive(3.0);
+  BayesCrowdOptions options;
+  options.ctable.alpha = -1.0;
+  options.budget = 7;
+  options.latency = 1;
+  options.cost_model = &expensive;
+  BayesCrowd framework(options);
+  FixedMarginalsProvider posteriors(SampleMovieDistributions());
+  SimulatedCrowdPlatform platform(MakeSampleMovieGroundTruth(), {});
+  const auto result = framework.Run(incomplete, posteriors, platform);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->tasks_posted, 2u);
+  EXPECT_LE(result->cost_spent, 7.0);
+}
+
+}  // namespace
+}  // namespace bayescrowd

@@ -1,0 +1,361 @@
+// bayescrowd_cli: command-line front end for the library.
+//
+//   bayescrowd_cli generate --dataset nba --n 1000 --out complete.csv
+//   bayescrowd_cli inject --in complete.csv --rate 0.1 --out holes.csv
+//   bayescrowd_cli skyline --in complete.csv
+//   bayescrowd_cli ctable --data holes.csv --alpha 0.01
+//   bayescrowd_cli run --data holes.csv --truth complete.csv
+//       --strategy hhs --budget 50 --latency 5 [--accuracy 0.95]
+//   bayescrowd_cli run --data holes.csv --interactive
+//
+// `run` executes the full BayesCrowd pipeline. With --truth the crowd is
+// simulated from the complete table (and F1 is reported); with
+// --interactive *you* are the crowd, answering on stdin.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bayesnet/imputation.h"
+#include "bayesnet/network.h"
+#include "bayesnet/serialization.h"
+#include "bayesnet/structure_learning.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/framework.h"
+#include "core/report.h"
+#include "crowd/interactive.h"
+#include "crowd/platform.h"
+#include "crowd/record_replay.h"
+#include "ctable/builder.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "skyline/algorithms.h"
+#include "skyline/metrics.h"
+
+namespace bayescrowd {
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    double v = fallback;
+    ParseDouble(it->second, &v);
+    return v;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    const auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    int v = fallback;
+    ParseInt(it->second, &v);
+    return v;
+  }
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bayescrowd_cli <command> [flags]\n"
+      "  generate --dataset nba|adult|indep|corr|anti --n N --out F\n"
+      "           [--seed S] [--d D] [--levels L]\n"
+      "  inject   --in F --out F (--rate R | --attrs i,j,...) [--seed S]\n"
+      "  skyline  --in F\n"
+      "  ctable   --data F [--alpha A]\n"
+      "  run      --data F (--truth F | --interactive)\n"
+      "           [--strategy fbs|ubs|hhs] [--budget B] [--latency L]\n"
+      "           [--alpha A] [--m M] [--accuracy P] [--seed S]\n"
+      "           [--structure hillclimb|chowliu|none]\n"
+      "           [--save-model F] [--load-model F]\n"
+      "           [--record F] [--replay-from F] [--tasks-per-round K]\n"
+      "           [--verbose]\n"
+      "  (pause/resume: run --interactive --record log --tasks-per-round K,\n"
+      "   stop anytime; rerun with --replay-from log and the same K and\n"
+      "   data to continue where you left off)\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string kind = flags.Get("dataset", "nba");
+  const auto n = static_cast<std::size_t>(flags.GetInt("n", 1000));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const auto d = static_cast<std::size_t>(flags.GetInt("d", 6));
+  const auto levels = static_cast<Level>(flags.GetInt("levels", 10));
+  Table table;
+  if (kind == "nba") {
+    table = MakeNbaLike(n, seed);
+  } else if (kind == "adult") {
+    table = MakeAdultLike(n, seed);
+  } else if (kind == "indep") {
+    table = MakeIndependent(n, d, levels, seed);
+  } else if (kind == "corr") {
+    table = MakeCorrelated(n, d, levels, seed);
+  } else if (kind == "anti") {
+    table = MakeAnticorrelated(n, d, levels, seed);
+  } else {
+    std::fprintf(stderr, "unknown --dataset '%s'\n", kind.c_str());
+    return 2;
+  }
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) return Usage();
+  const Status st = SaveTableCsv(table, out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu x %zu table to %s\n", table.num_objects(),
+              table.num_attributes(), out.c_str());
+  return 0;
+}
+
+int CmdInject(const Flags& flags) {
+  auto loaded = LoadTableCsv(flags.Get("in", ""));
+  if (!loaded.ok()) return Fail(loaded.status());
+  Table result;
+  if (flags.Has("attrs")) {
+    std::vector<std::size_t> attrs;
+    for (const std::string& part : Split(flags.Get("attrs", ""), ',')) {
+      int v = -1;
+      if (!ParseInt(part, &v) || v < 0) {
+        std::fprintf(stderr, "bad --attrs entry '%s'\n", part.c_str());
+        return 2;
+      }
+      attrs.push_back(static_cast<std::size_t>(v));
+    }
+    result = InjectMissingAttributes(*loaded, attrs);
+  } else {
+    Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 7)));
+    result =
+        InjectMissingUniform(*loaded, flags.GetDouble("rate", 0.1), rng);
+  }
+  const Status st = SaveTableCsv(result, flags.Get("out", ""));
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote table with missing rate %.3f\n", result.MissingRate());
+  return 0;
+}
+
+int CmdSkyline(const Flags& flags) {
+  auto loaded = LoadTableCsv(flags.Get("in", ""));
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto skyline = SkylineSfs(*loaded);
+  if (!skyline.ok()) return Fail(skyline.status());
+  std::printf("skyline (%zu objects):\n", skyline->size());
+  for (std::size_t id : skyline.value()) {
+    std::printf("  %s\n", loaded->object_name(id).c_str());
+  }
+  return 0;
+}
+
+int CmdCTable(const Flags& flags) {
+  auto loaded = LoadTableCsv(flags.Get("data", ""));
+  if (!loaded.ok()) return Fail(loaded.status());
+  CTableOptions options;
+  options.alpha = flags.GetDouble("alpha", 0.01);
+  auto ctable = BuildCTable(*loaded, options);
+  if (!ctable.ok()) return Fail(ctable.status());
+  std::printf("c-table: %zu true, %zu false, %zu undecided\n",
+              ctable->NumTrue(), ctable->NumFalse(),
+              ctable->NumUndecided());
+  for (std::size_t i = 0; i < loaded->num_objects(); ++i) {
+    const Condition& cond = ctable->condition(i);
+    if (cond.IsFalse()) continue;  // Keep the dump readable.
+    std::printf("  phi(%s) = %s\n", loaded->object_name(i).c_str(),
+                cond.ToString(*loaded).c_str());
+  }
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  auto loaded = LoadTableCsv(flags.Get("data", ""));
+  if (!loaded.ok()) return Fail(loaded.status());
+  const Table& incomplete = *loaded;
+
+  // Preprocessing: Bayesian network from the incomplete data (or a
+  // previously saved model via --load-model).
+  const std::string structure = flags.Get("structure", "hillclimb");
+  std::unique_ptr<PosteriorProvider> posteriors;
+  BayesianNetwork network;
+  if (flags.Has("load-model")) {
+    auto net = LoadNetwork(flags.Get("load-model", ""));
+    if (!net.ok()) return Fail(net.status());
+    if (!(net->schema() == incomplete.schema())) {
+      return Fail(Status::InvalidArgument(
+          "loaded model schema does not match the data"));
+    }
+    network = std::move(net).value();
+    posteriors =
+        std::make_unique<BnPosteriorProvider>(network, incomplete);
+  } else if (structure == "none") {
+    posteriors =
+        std::make_unique<UniformPosteriorProvider>(incomplete.schema());
+  } else {
+    auto dag = structure == "chowliu"
+                   ? ChowLiuStructure(incomplete)
+                   : HillClimbStructure(incomplete);
+    if (!dag.ok()) return Fail(dag.status());
+    auto net = BayesianNetwork::Create(incomplete.schema(), dag.value());
+    if (!net.ok()) return Fail(net.status());
+    const Status fit = net->FitParameters(incomplete);
+    if (!fit.ok()) return Fail(fit);
+    network = std::move(net).value();
+    posteriors =
+        std::make_unique<BnPosteriorProvider>(network, incomplete);
+    if (flags.Has("save-model")) {
+      const Status saved =
+          SaveNetwork(network, flags.Get("save-model", ""));
+      if (!saved.ok()) return Fail(saved);
+    }
+  }
+
+  BayesCrowdOptions options;
+  options.ctable.alpha = flags.GetDouble("alpha", 0.01);
+  options.budget = static_cast<std::size_t>(flags.GetInt("budget", 50));
+  options.latency = static_cast<std::size_t>(flags.GetInt("latency", 5));
+  if (flags.Has("tasks-per-round")) {
+    // Fixes the batch size directly; required to stay constant across a
+    // --record / --replay-from pause-resume pair, because task selection
+    // adapts to the answers of each batch.
+    const auto per_round = static_cast<std::size_t>(
+        flags.GetInt("tasks-per-round", 5));
+    if (per_round == 0) {
+      std::fprintf(stderr, "--tasks-per-round must be >= 1\n");
+      return 2;
+    }
+    options.latency =
+        std::max<std::size_t>(1, (options.budget + per_round - 1) /
+                                      per_round);
+  }
+  options.strategy.m = static_cast<std::size_t>(flags.GetInt("m", 15));
+  const std::string strategy = flags.Get("strategy", "hhs");
+  if (strategy == "fbs") {
+    options.strategy.kind = StrategyKind::kFbs;
+  } else if (strategy == "ubs") {
+    options.strategy.kind = StrategyKind::kUbs;
+  } else if (strategy == "hhs") {
+    options.strategy.kind = StrategyKind::kHhs;
+  } else {
+    std::fprintf(stderr, "unknown --strategy '%s'\n", strategy.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<CrowdPlatform> platform;
+  Table truth;
+  const bool have_truth = flags.Has("truth");
+  if (flags.Has("interactive")) {
+    platform = std::make_unique<InteractiveCrowdPlatform>(
+        incomplete, std::cin, std::cout);
+  } else if (have_truth) {
+    auto loaded_truth = LoadTableCsv(flags.Get("truth", ""));
+    if (!loaded_truth.ok()) return Fail(loaded_truth.status());
+    truth = std::move(loaded_truth).value();
+    SimulatedPlatformOptions platform_options;
+    platform_options.worker_accuracy = flags.GetDouble("accuracy", 1.0);
+    platform_options.seed =
+        static_cast<std::uint64_t>(flags.GetInt("seed", 99));
+    platform =
+        std::make_unique<SimulatedCrowdPlatform>(truth, platform_options);
+  } else {
+    std::fprintf(stderr, "run needs --truth <csv> or --interactive\n");
+    return 2;
+  }
+
+  // Optional pause/resume: --replay-from serves previously bought
+  // answers before going live; --record transcribes this session.
+  std::unique_ptr<ReplayingPlatform> replayer;
+  CrowdPlatform* effective = platform.get();
+  if (flags.Has("replay-from")) {
+    auto log = LoadAnswerLog(flags.Get("replay-from", ""));
+    if (!log.ok()) return Fail(log.status());
+    replayer = std::make_unique<ReplayingPlatform>(
+        std::move(log).value(), platform.get());
+    effective = replayer.get();
+  }
+  std::unique_ptr<RecordingPlatform> recorder;
+  if (flags.Has("record")) {
+    recorder = std::make_unique<RecordingPlatform>(*effective);
+    effective = recorder.get();
+  }
+
+  BayesCrowd framework(options);
+  auto result = framework.Run(incomplete, *posteriors, *effective);
+  if (recorder != nullptr) {
+    // Save even when the run failed (e.g. the human walked away from an
+    // interactive session): the bought answers are what makes resuming
+    // with --replay-from possible.
+    const Status saved =
+        SaveAnswerLog(recorder->log(), flags.Get("record", ""));
+    if (!saved.ok()) return Fail(saved);
+    if (!result.ok()) {
+      std::fprintf(stderr,
+                   "run interrupted (%s); %zu answers saved, resume with "
+                   "--replay-from %s\n",
+                   result.status().ToString().c_str(),
+                   recorder->log().entries.size(),
+                   flags.Get("record", "").c_str());
+      return 1;
+    }
+  }
+  if (!result.ok()) return Fail(result.status());
+
+  ReportOptions report;
+  report.show_rounds = flags.Has("verbose");
+  report.show_conditions = flags.Has("verbose");
+  report.max_objects = 50;
+  std::printf("\n%s", FormatRunReport(*result, incomplete, report).c_str());
+  if (have_truth) {
+    auto skyline = SkylineSfs(truth);
+    if (!skyline.ok()) return Fail(skyline.status());
+    const auto metrics =
+        EvaluateResultSet(result->result_objects, skyline.value());
+    std::printf("vs ground truth: precision=%.3f recall=%.3f F1=%.3f\n",
+                metrics.precision, metrics.recall, metrics.f1);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values[arg] = argv[++i];
+    } else {
+      flags.values[arg] = "";  // Boolean flag.
+    }
+  }
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "inject") return CmdInject(flags);
+  if (command == "skyline") return CmdSkyline(flags);
+  if (command == "ctable") return CmdCTable(flags);
+  if (command == "run") return CmdRun(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace bayescrowd
+
+int main(int argc, char** argv) { return bayescrowd::Main(argc, argv); }
