@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/bc_bench_util.dir/bench_util.cc.o.d"
+  "libbc_bench_util.a"
+  "libbc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_probability.dir/bench_ablation_probability.cc.o"
+  "CMakeFiles/bench_ablation_probability.dir/bench_ablation_probability.cc.o.d"
+  "bench_ablation_probability"
+  "bench_ablation_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

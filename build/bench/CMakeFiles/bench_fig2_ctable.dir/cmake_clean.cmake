@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ctable.dir/bench_fig2_ctable.cc.o"
+  "CMakeFiles/bench_fig2_ctable.dir/bench_fig2_ctable.cc.o.d"
+  "bench_fig2_ctable"
+  "bench_fig2_ctable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ctable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_crowdsky.dir/bench_fig4_crowdsky.cc.o"
+  "CMakeFiles/bench_fig4_crowdsky.dir/bench_fig4_crowdsky.cc.o.d"
+  "bench_fig4_crowdsky"
+  "bench_fig4_crowdsky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_crowdsky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

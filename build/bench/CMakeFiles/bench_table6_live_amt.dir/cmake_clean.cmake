@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_live_amt.dir/bench_table6_live_amt.cc.o"
+  "CMakeFiles/bench_table6_live_amt.dir/bench_table6_live_amt.cc.o.d"
+  "bench_table6_live_amt"
+  "bench_table6_live_amt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_live_amt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resumable_session.dir/resumable_session.cpp.o"
+  "CMakeFiles/resumable_session.dir/resumable_session.cpp.o.d"
+  "resumable_session"
+  "resumable_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resumable_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bayesnet/cpt.cc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/cpt.cc.o" "gcc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/cpt.cc.o.d"
+  "/root/repo/src/bayesnet/dag.cc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/dag.cc.o" "gcc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/dag.cc.o.d"
+  "/root/repo/src/bayesnet/factor.cc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/factor.cc.o" "gcc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/factor.cc.o.d"
+  "/root/repo/src/bayesnet/imputation.cc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/imputation.cc.o" "gcc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/imputation.cc.o.d"
+  "/root/repo/src/bayesnet/inference.cc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/inference.cc.o" "gcc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/inference.cc.o.d"
+  "/root/repo/src/bayesnet/network.cc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/network.cc.o" "gcc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/network.cc.o.d"
+  "/root/repo/src/bayesnet/serialization.cc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/serialization.cc.o" "gcc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/serialization.cc.o.d"
+  "/root/repo/src/bayesnet/structure_learning.cc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/structure_learning.cc.o" "gcc" "src/bayesnet/CMakeFiles/bc_bayesnet.dir/structure_learning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

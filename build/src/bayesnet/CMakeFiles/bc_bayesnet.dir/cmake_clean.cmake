@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_bayesnet.dir/cpt.cc.o"
+  "CMakeFiles/bc_bayesnet.dir/cpt.cc.o.d"
+  "CMakeFiles/bc_bayesnet.dir/dag.cc.o"
+  "CMakeFiles/bc_bayesnet.dir/dag.cc.o.d"
+  "CMakeFiles/bc_bayesnet.dir/factor.cc.o"
+  "CMakeFiles/bc_bayesnet.dir/factor.cc.o.d"
+  "CMakeFiles/bc_bayesnet.dir/imputation.cc.o"
+  "CMakeFiles/bc_bayesnet.dir/imputation.cc.o.d"
+  "CMakeFiles/bc_bayesnet.dir/inference.cc.o"
+  "CMakeFiles/bc_bayesnet.dir/inference.cc.o.d"
+  "CMakeFiles/bc_bayesnet.dir/network.cc.o"
+  "CMakeFiles/bc_bayesnet.dir/network.cc.o.d"
+  "CMakeFiles/bc_bayesnet.dir/serialization.cc.o"
+  "CMakeFiles/bc_bayesnet.dir/serialization.cc.o.d"
+  "CMakeFiles/bc_bayesnet.dir/structure_learning.cc.o"
+  "CMakeFiles/bc_bayesnet.dir/structure_learning.cc.o.d"
+  "libbc_bayesnet.a"
+  "libbc_bayesnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_bayesnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

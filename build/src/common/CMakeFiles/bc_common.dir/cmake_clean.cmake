@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_common.dir/bitset.cc.o"
+  "CMakeFiles/bc_common.dir/bitset.cc.o.d"
+  "CMakeFiles/bc_common.dir/csv.cc.o"
+  "CMakeFiles/bc_common.dir/csv.cc.o.d"
+  "CMakeFiles/bc_common.dir/logging.cc.o"
+  "CMakeFiles/bc_common.dir/logging.cc.o.d"
+  "CMakeFiles/bc_common.dir/random.cc.o"
+  "CMakeFiles/bc_common.dir/random.cc.o.d"
+  "CMakeFiles/bc_common.dir/status.cc.o"
+  "CMakeFiles/bc_common.dir/status.cc.o.d"
+  "CMakeFiles/bc_common.dir/string_util.cc.o"
+  "CMakeFiles/bc_common.dir/string_util.cc.o.d"
+  "libbc_common.a"
+  "libbc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

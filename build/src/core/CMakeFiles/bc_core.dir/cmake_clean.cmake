@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_core.dir/entropy.cc.o"
+  "CMakeFiles/bc_core.dir/entropy.cc.o.d"
+  "CMakeFiles/bc_core.dir/framework.cc.o"
+  "CMakeFiles/bc_core.dir/framework.cc.o.d"
+  "CMakeFiles/bc_core.dir/report.cc.o"
+  "CMakeFiles/bc_core.dir/report.cc.o.d"
+  "CMakeFiles/bc_core.dir/strategy.cc.o"
+  "CMakeFiles/bc_core.dir/strategy.cc.o.d"
+  "CMakeFiles/bc_core.dir/update.cc.o"
+  "CMakeFiles/bc_core.dir/update.cc.o.d"
+  "CMakeFiles/bc_core.dir/utility.cc.o"
+  "CMakeFiles/bc_core.dir/utility.cc.o.d"
+  "libbc_core.a"
+  "libbc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

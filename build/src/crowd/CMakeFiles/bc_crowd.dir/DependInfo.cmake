@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/interactive.cc" "src/crowd/CMakeFiles/bc_crowd.dir/interactive.cc.o" "gcc" "src/crowd/CMakeFiles/bc_crowd.dir/interactive.cc.o.d"
+  "/root/repo/src/crowd/platform.cc" "src/crowd/CMakeFiles/bc_crowd.dir/platform.cc.o" "gcc" "src/crowd/CMakeFiles/bc_crowd.dir/platform.cc.o.d"
+  "/root/repo/src/crowd/quality.cc" "src/crowd/CMakeFiles/bc_crowd.dir/quality.cc.o" "gcc" "src/crowd/CMakeFiles/bc_crowd.dir/quality.cc.o.d"
+  "/root/repo/src/crowd/record_replay.cc" "src/crowd/CMakeFiles/bc_crowd.dir/record_replay.cc.o" "gcc" "src/crowd/CMakeFiles/bc_crowd.dir/record_replay.cc.o.d"
+  "/root/repo/src/crowd/task.cc" "src/crowd/CMakeFiles/bc_crowd.dir/task.cc.o" "gcc" "src/crowd/CMakeFiles/bc_crowd.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctable/CMakeFiles/bc_ctable.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_crowd.dir/interactive.cc.o"
+  "CMakeFiles/bc_crowd.dir/interactive.cc.o.d"
+  "CMakeFiles/bc_crowd.dir/platform.cc.o"
+  "CMakeFiles/bc_crowd.dir/platform.cc.o.d"
+  "CMakeFiles/bc_crowd.dir/quality.cc.o"
+  "CMakeFiles/bc_crowd.dir/quality.cc.o.d"
+  "CMakeFiles/bc_crowd.dir/record_replay.cc.o"
+  "CMakeFiles/bc_crowd.dir/record_replay.cc.o.d"
+  "CMakeFiles/bc_crowd.dir/task.cc.o"
+  "CMakeFiles/bc_crowd.dir/task.cc.o.d"
+  "libbc_crowd.a"
+  "libbc_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowdsky/crowdsky.cc" "src/crowdsky/CMakeFiles/bc_crowdsky.dir/crowdsky.cc.o" "gcc" "src/crowdsky/CMakeFiles/bc_crowdsky.dir/crowdsky.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctable/CMakeFiles/bc_ctable.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/bc_crowd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

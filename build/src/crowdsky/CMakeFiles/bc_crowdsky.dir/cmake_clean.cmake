@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_crowdsky.dir/crowdsky.cc.o"
+  "CMakeFiles/bc_crowdsky.dir/crowdsky.cc.o.d"
+  "libbc_crowdsky.a"
+  "libbc_crowdsky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_crowdsky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

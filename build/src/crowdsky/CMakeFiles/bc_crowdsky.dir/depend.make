@@ -1,0 +1,2 @@
+# Empty dependencies file for bc_crowdsky.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctable/builder.cc" "src/ctable/CMakeFiles/bc_ctable.dir/builder.cc.o" "gcc" "src/ctable/CMakeFiles/bc_ctable.dir/builder.cc.o.d"
+  "/root/repo/src/ctable/condition.cc" "src/ctable/CMakeFiles/bc_ctable.dir/condition.cc.o" "gcc" "src/ctable/CMakeFiles/bc_ctable.dir/condition.cc.o.d"
+  "/root/repo/src/ctable/ctable.cc" "src/ctable/CMakeFiles/bc_ctable.dir/ctable.cc.o" "gcc" "src/ctable/CMakeFiles/bc_ctable.dir/ctable.cc.o.d"
+  "/root/repo/src/ctable/dominator.cc" "src/ctable/CMakeFiles/bc_ctable.dir/dominator.cc.o" "gcc" "src/ctable/CMakeFiles/bc_ctable.dir/dominator.cc.o.d"
+  "/root/repo/src/ctable/expression.cc" "src/ctable/CMakeFiles/bc_ctable.dir/expression.cc.o" "gcc" "src/ctable/CMakeFiles/bc_ctable.dir/expression.cc.o.d"
+  "/root/repo/src/ctable/knowledge.cc" "src/ctable/CMakeFiles/bc_ctable.dir/knowledge.cc.o" "gcc" "src/ctable/CMakeFiles/bc_ctable.dir/knowledge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_ctable.dir/builder.cc.o"
+  "CMakeFiles/bc_ctable.dir/builder.cc.o.d"
+  "CMakeFiles/bc_ctable.dir/condition.cc.o"
+  "CMakeFiles/bc_ctable.dir/condition.cc.o.d"
+  "CMakeFiles/bc_ctable.dir/ctable.cc.o"
+  "CMakeFiles/bc_ctable.dir/ctable.cc.o.d"
+  "CMakeFiles/bc_ctable.dir/dominator.cc.o"
+  "CMakeFiles/bc_ctable.dir/dominator.cc.o.d"
+  "CMakeFiles/bc_ctable.dir/expression.cc.o"
+  "CMakeFiles/bc_ctable.dir/expression.cc.o.d"
+  "CMakeFiles/bc_ctable.dir/knowledge.cc.o"
+  "CMakeFiles/bc_ctable.dir/knowledge.cc.o.d"
+  "libbc_ctable.a"
+  "libbc_ctable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_ctable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset_io.cc" "src/data/CMakeFiles/bc_data.dir/dataset_io.cc.o" "gcc" "src/data/CMakeFiles/bc_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/data/discretizer.cc" "src/data/CMakeFiles/bc_data.dir/discretizer.cc.o" "gcc" "src/data/CMakeFiles/bc_data.dir/discretizer.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/bc_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/bc_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/missing.cc" "src/data/CMakeFiles/bc_data.dir/missing.cc.o" "gcc" "src/data/CMakeFiles/bc_data.dir/missing.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/data/CMakeFiles/bc_data.dir/table.cc.o" "gcc" "src/data/CMakeFiles/bc_data.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

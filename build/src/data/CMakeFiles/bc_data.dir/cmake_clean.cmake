@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_data.dir/dataset_io.cc.o"
+  "CMakeFiles/bc_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/bc_data.dir/discretizer.cc.o"
+  "CMakeFiles/bc_data.dir/discretizer.cc.o.d"
+  "CMakeFiles/bc_data.dir/generators.cc.o"
+  "CMakeFiles/bc_data.dir/generators.cc.o.d"
+  "CMakeFiles/bc_data.dir/missing.cc.o"
+  "CMakeFiles/bc_data.dir/missing.cc.o.d"
+  "CMakeFiles/bc_data.dir/table.cc.o"
+  "CMakeFiles/bc_data.dir/table.cc.o.d"
+  "libbc_data.a"
+  "libbc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

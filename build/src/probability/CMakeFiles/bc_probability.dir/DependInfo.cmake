@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probability/adpll.cc" "src/probability/CMakeFiles/bc_probability.dir/adpll.cc.o" "gcc" "src/probability/CMakeFiles/bc_probability.dir/adpll.cc.o.d"
+  "/root/repo/src/probability/distributions.cc" "src/probability/CMakeFiles/bc_probability.dir/distributions.cc.o" "gcc" "src/probability/CMakeFiles/bc_probability.dir/distributions.cc.o.d"
+  "/root/repo/src/probability/evaluator.cc" "src/probability/CMakeFiles/bc_probability.dir/evaluator.cc.o" "gcc" "src/probability/CMakeFiles/bc_probability.dir/evaluator.cc.o.d"
+  "/root/repo/src/probability/naive.cc" "src/probability/CMakeFiles/bc_probability.dir/naive.cc.o" "gcc" "src/probability/CMakeFiles/bc_probability.dir/naive.cc.o.d"
+  "/root/repo/src/probability/possible_worlds.cc" "src/probability/CMakeFiles/bc_probability.dir/possible_worlds.cc.o" "gcc" "src/probability/CMakeFiles/bc_probability.dir/possible_worlds.cc.o.d"
+  "/root/repo/src/probability/sampling.cc" "src/probability/CMakeFiles/bc_probability.dir/sampling.cc.o" "gcc" "src/probability/CMakeFiles/bc_probability.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctable/CMakeFiles/bc_ctable.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_probability.dir/adpll.cc.o"
+  "CMakeFiles/bc_probability.dir/adpll.cc.o.d"
+  "CMakeFiles/bc_probability.dir/distributions.cc.o"
+  "CMakeFiles/bc_probability.dir/distributions.cc.o.d"
+  "CMakeFiles/bc_probability.dir/evaluator.cc.o"
+  "CMakeFiles/bc_probability.dir/evaluator.cc.o.d"
+  "CMakeFiles/bc_probability.dir/naive.cc.o"
+  "CMakeFiles/bc_probability.dir/naive.cc.o.d"
+  "CMakeFiles/bc_probability.dir/possible_worlds.cc.o"
+  "CMakeFiles/bc_probability.dir/possible_worlds.cc.o.d"
+  "CMakeFiles/bc_probability.dir/sampling.cc.o"
+  "CMakeFiles/bc_probability.dir/sampling.cc.o.d"
+  "libbc_probability.a"
+  "libbc_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

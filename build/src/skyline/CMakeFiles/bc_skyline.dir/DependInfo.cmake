@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skyline/algorithms.cc" "src/skyline/CMakeFiles/bc_skyline.dir/algorithms.cc.o" "gcc" "src/skyline/CMakeFiles/bc_skyline.dir/algorithms.cc.o.d"
+  "/root/repo/src/skyline/dominance.cc" "src/skyline/CMakeFiles/bc_skyline.dir/dominance.cc.o" "gcc" "src/skyline/CMakeFiles/bc_skyline.dir/dominance.cc.o.d"
+  "/root/repo/src/skyline/metrics.cc" "src/skyline/CMakeFiles/bc_skyline.dir/metrics.cc.o" "gcc" "src/skyline/CMakeFiles/bc_skyline.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_skyline.dir/algorithms.cc.o"
+  "CMakeFiles/bc_skyline.dir/algorithms.cc.o.d"
+  "CMakeFiles/bc_skyline.dir/dominance.cc.o"
+  "CMakeFiles/bc_skyline.dir/dominance.cc.o.d"
+  "CMakeFiles/bc_skyline.dir/metrics.cc.o"
+  "CMakeFiles/bc_skyline.dir/metrics.cc.o.d"
+  "libbc_skyline.a"
+  "libbc_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

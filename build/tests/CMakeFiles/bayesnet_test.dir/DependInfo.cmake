@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bayesnet_test.cc" "tests/CMakeFiles/bayesnet_test.dir/bayesnet_test.cc.o" "gcc" "tests/CMakeFiles/bayesnet_test.dir/bayesnet_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowdsky/CMakeFiles/bc_crowdsky.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayesnet/CMakeFiles/bc_bayesnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/probability/CMakeFiles/bc_probability.dir/DependInfo.cmake"
+  "/root/repo/build/src/skyline/CMakeFiles/bc_skyline.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/bc_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctable/CMakeFiles/bc_ctable.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

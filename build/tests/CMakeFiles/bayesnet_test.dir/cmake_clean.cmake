@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayesnet_test.dir/bayesnet_test.cc.o"
+  "CMakeFiles/bayesnet_test.dir/bayesnet_test.cc.o.d"
+  "bayesnet_test"
+  "bayesnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayesnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsky_test.dir/crowdsky_test.cc.o"
+  "CMakeFiles/crowdsky_test.dir/crowdsky_test.cc.o.d"
+  "crowdsky_test"
+  "crowdsky_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

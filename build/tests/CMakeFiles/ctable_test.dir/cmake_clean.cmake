@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctable_test.dir/ctable_test.cc.o"
+  "CMakeFiles/ctable_test.dir/ctable_test.cc.o.d"
+  "ctable_test"
+  "ctable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_property_test.dir/inference_property_test.cc.o"
+  "CMakeFiles/inference_property_test.dir/inference_property_test.cc.o.d"
+  "inference_property_test"
+  "inference_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayescrowd_cli.dir/bayescrowd_cli.cc.o"
+  "CMakeFiles/bayescrowd_cli.dir/bayescrowd_cli.cc.o.d"
+  "bayescrowd_cli"
+  "bayescrowd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayescrowd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
