@@ -1,0 +1,91 @@
+// Parallel + memoized evaluation: crowdsourcing-phase wall clock on one
+// fixed synthetic workload, swept over 1/2/4/8 evaluation threads with
+// the Pr(φ) memo cache on and off.
+//
+// Series: (threads, cache). The (1, off) point is the pre-optimization
+// baseline — strictly sequential, every probability recomputed. The
+// headline comparison for the perf trajectory is (8, on) vs (1, off) on
+// crowd_seconds; select/update splits and the cache hit rate explain
+// where the win comes from. Probabilities and selected tasks are
+// bit-identical across every configuration (asserted by
+// parallel_test.cc), so the series differ in time only.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "bayesnet/imputation.h"
+#include "crowd/platform.h"
+#include "data/generators.h"
+#include "skyline/metrics.h"
+
+namespace bayescrowd::bench {
+namespace {
+
+void BM_ParallelScaling(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const bool cache = state.range(1) != 0;
+
+  // The shared NBA-like workload at 15% missing puts the c-table in the
+  // ADPLL-heavy regime (tens of microseconds per condition), so the
+  // crowd phase is dominated by Pr(φ) evaluation rather than bookkeeping.
+  const Table& complete = NbaComplete();
+  const Table incomplete = WithMissingRate(complete, 0.15);
+  const auto& network = LearnedNetwork(incomplete, "scaling@0.15");
+
+  // Many small rounds (ceil(B/L) = 1 task each): the regime the memo
+  // cache targets, where each round re-ranks mostly-unchanged conditions.
+  BayesCrowdOptions options;
+  options.ctable.alpha = 0.003;
+  options.strategy.kind = StrategyKind::kHhs;
+  options.strategy.m = 15;
+  options.budget = 60;
+  options.latency = 60;
+  options.threads = threads;
+  options.probability.memoize = cache;
+
+  BayesCrowdResult result;
+  for (auto _ : state) {
+    BayesCrowd framework(options);
+    BnPosteriorProvider posteriors(network, incomplete);
+    SimulatedCrowdPlatform platform(complete, {});
+    auto run = framework.Run(incomplete, posteriors, platform);
+    BAYESCROWD_CHECK_OK(run.status());
+    result = std::move(run).value();
+  }
+
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["cache"] = cache ? 1.0 : 0.0;
+  state.counters["crowd_seconds"] = result.crowdsourcing_seconds;
+  state.counters["select_seconds"] = result.select_seconds;
+  state.counters["update_seconds"] = result.update_seconds;
+  state.counters["cache_hits"] = static_cast<double>(result.cache_hits);
+  state.counters["cache_misses"] =
+      static_cast<double>(result.cache_misses);
+  const double lookups =
+      static_cast<double>(result.cache_hits + result.cache_misses);
+  state.counters["cache_hit_rate"] =
+      lookups == 0.0 ? 0.0
+                     : static_cast<double>(result.cache_hits) / lookups;
+  state.counters["tasks"] = static_cast<double>(result.tasks_posted);
+  state.counters["rounds"] = static_cast<double>(result.rounds);
+  state.counters["f1"] =
+      EvaluateResultSet(result.result_objects,
+                        GroundTruthSkyline(complete))
+          .f1;
+}
+
+void ScalingArgs(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t cache : {0, 1}) {
+    for (std::int64_t threads : {1, 2, 4, 8}) {
+      bench->Args({threads, cache});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_ParallelScaling)->Apply(ScalingArgs);
+
+}  // namespace
+}  // namespace bayescrowd::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace bayescrowd {
+
+std::size_t ThreadPool::ResolveThreads(std::size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t lanes = ResolveThreads(threads);
+  workers_.reserve(lanes - 1);
+  for (std::size_t i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+bool ThreadPool::RunOne(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  ++in_flight_;
+  lock.unlock();
+  task();
+  lock.lock();
+  --in_flight_;
+  if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (RunOne(lock)) continue;
+    if (stopping_) return;
+    task_ready_.wait(
+        lock, [this] { return stopping_ || !queue_.empty(); });
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (RunOne(lock)) continue;
+    if (in_flight_ == 0) return;
+    all_done_.wait(
+        lock, [this] { return !queue_.empty() || in_flight_ == 0; });
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t lane, std::size_t index)>& fn) {
+  if (count == 0) return;
+  const std::size_t lanes = std::min(size(), count);
+  if (lanes <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  // One shared cursor; every lane pulls the next unclaimed index. The
+  // body outlives every Submit because Wait() below is a barrier.
+  std::atomic<std::size_t> next{0};
+  const auto body = [&next, count, &fn](std::size_t lane) {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(lane, i);
+    }
+  };
+  for (std::size_t lane = 1; lane < lanes; ++lane) {
+    Submit([&body, lane] { body(lane); });
+  }
+  body(0);
+  Wait();
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,79 @@
+// ThreadPool: a fixed-size worker pool with a submit/wait and a
+// parallel-for API, shared by the batch probability evaluator and the
+// benchmark harness.
+//
+// Design constraints (see DESIGN.md, "Concurrency & caching model"):
+//  * The calling thread participates as lane 0, so a pool of size 1
+//    never spawns a thread and ParallelFor degenerates to a plain loop —
+//    the single-threaded path stays bit-identical to the pre-pool code.
+//  * Work items receive (lane, index). Writing results into
+//    per-index slots (and accumulating statistics per lane, merged after
+//    the barrier) keeps outputs deterministic for any pool size: the
+//    schedule may vary, the values may not.
+//  * Tasks must not throw; error handling in this codebase flows through
+//    Status/Result values stored into per-index slots.
+
+#ifndef BAYESCROWD_COMMON_THREAD_POOL_H_
+#define BAYESCROWD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bayescrowd {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total number of execution lanes including the
+  /// caller; 0 resolves to the hardware concurrency. A pool of size 1
+  /// spawns no threads at all.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (worker threads + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Resolves a thread-count knob the way the pool constructor does.
+  static std::size_t ResolveThreads(std::size_t threads);
+
+  /// Enqueues one task for the worker threads. Pair with Wait().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished; the calling thread
+  /// helps drain the queue while waiting.
+  void Wait();
+
+  /// Runs fn(lane, index) for every index in [0, count), spreading
+  /// indices over the lanes via a shared atomic counter, and returns
+  /// after all indices completed. lane is in [0, size()); the caller
+  /// executes as one of the lanes.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t lane,
+                                            std::size_t index)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs one task if available. `lock` must hold mu_; it is
+  /// released while the task runs and re-acquired after. Returns false
+  /// when the queue was empty.
+  bool RunOne(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;  // Popped but not yet finished.
+  bool stopping_ = false;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_COMMON_THREAD_POOL_H_

@@ -1,12 +1,19 @@
 #include "core/entropy.h"
 
 #include <cmath>
+#include <cstddef>
 
 namespace bayescrowd {
 
 double BinaryEntropy(double p) {
   if (p <= 0.0 || p >= 1.0) return 0.0;
   return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+std::vector<double> BinaryEntropies(const std::vector<double>& ps) {
+  std::vector<double> out(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) out[i] = BinaryEntropy(ps[i]);
+  return out;
 }
 
 }  // namespace bayescrowd

@@ -3,10 +3,16 @@
 #ifndef BAYESCROWD_CORE_ENTROPY_H_
 #define BAYESCROWD_CORE_ENTROPY_H_
 
+#include <vector>
+
 namespace bayescrowd {
 
 /// H(p) = -(p log2 p + (1-p) log2 (1-p)), with H(0) = H(1) = 0.
 double BinaryEntropy(double p);
+
+/// Element-wise BinaryEntropy over a batch of probabilities (the shape
+/// the batch evaluator produces for one round's entropy ranking).
+std::vector<double> BinaryEntropies(const std::vector<double>& ps);
 
 }  // namespace bayescrowd
 

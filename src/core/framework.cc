@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <optional>
 #include <set>
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/entropy.h"
 #include "core/update.h"
 
@@ -43,7 +43,7 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
                                 posteriors.Posterior(var));
     raw_posteriors[var] = dist;
     BAYESCROWD_RETURN_NOT_OK(
-        evaluator.distributions().Set(var, std::move(dist)));
+        evaluator.SetDistribution(var, std::move(dist)));
   }
   out.modeling_seconds = modeling_watch.ElapsedSeconds();
   out.initial_true = ctable.NumTrue();
@@ -56,6 +56,12 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   Stopwatch crowd_watch;
   KnowledgeBase knowledge(incomplete.schema());
 
+  // One pool for the whole phase; every probability batch (entropy
+  // ranking here, counterfactual scoring inside SelectTasks) fans out
+  // over it through the evaluator.
+  ThreadPool pool(options_.threads);
+  evaluator.set_thread_pool(&pool);
+
   const std::size_t mu = (options_.budget + options_.latency - 1) /
                          options_.latency;  // ceil(B / L)
   const UniformCostModel unit_cost;
@@ -63,25 +69,26 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       options_.cost_model != nullptr ? *options_.cost_model : unit_cost;
   double budget_left = static_cast<double>(options_.budget);
 
-  // Per-object probability cache, invalidated when a condition changes.
-  std::vector<std::optional<double>> prob_cache(ctable.num_objects());
-
   while (budget_left > 1e-9) {
-    Stopwatch round_watch;
+    Stopwatch select_watch;
+    const EvaluatorCacheStats cache_before = evaluator.cache_stats();
 
-    // Rank undecided objects by entropy (Eq. 3).
-    std::vector<ObjectEntropy> ranked;
+    // Rank undecided objects by entropy (Eq. 3). Unchanged conditions
+    // hit the evaluator's memo cache; the rest evaluate in parallel.
+    std::vector<std::size_t> undecided;
     for (std::size_t i : ctable.UndecidedObjects()) {
-      if (ctable.condition(i).NumExpressions() == 0) continue;
-      if (!prob_cache[i].has_value()) {
-        BAYESCROWD_ASSIGN_OR_RETURN(
-            const double p, evaluator.Probability(ctable.condition(i)));
-        prob_cache[i] = p;
-      }
+      if (ctable.condition(i).NumExpressions() > 0) undecided.push_back(i);
+    }
+    BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<double> probabilities,
+                                evaluator.EvaluateAll(ctable, undecided));
+    const std::vector<double> entropies = BinaryEntropies(probabilities);
+    std::vector<ObjectEntropy> ranked;
+    ranked.reserve(undecided.size());
+    for (std::size_t u = 0; u < undecided.size(); ++u) {
       ObjectEntropy entry;
-      entry.object = i;
-      entry.probability = *prob_cache[i];
-      entry.entropy = BinaryEntropy(entry.probability);
+      entry.object = undecided[u];
+      entry.probability = probabilities[u];
+      entry.entropy = entropies[u];
       ranked.push_back(entry);
     }
     if (ranked.empty()) break;  // No expression left to crowdsource.
@@ -119,7 +126,10 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     }
     batch.resize(affordable);
     if (batch.empty()) break;
+    const double select_seconds = select_watch.ElapsedSeconds();
 
+    // Worker latency (simulated or real) is deliberately outside both
+    // phase timers.
     BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<TaskAnswer> answers,
                                 platform.PostBatch(batch));
     if (answers.size() != batch.size()) {
@@ -129,6 +139,7 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     out.cost_spent += batch_cost;
 
     // Fold answers into the knowledge base.
+    Stopwatch update_watch;
     std::set<CellRef> touched;
     for (std::size_t t = 0; t < batch.size(); ++t) {
       BAYESCROWD_RETURN_NOT_OK(
@@ -138,16 +149,19 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       }
     }
 
-    // Re-condition the distributions of touched variables.
+    // Re-condition the distributions of touched variables. Each
+    // SetDistribution evicts exactly the cached conditions mentioning
+    // that variable; everything else keeps serving hits next round.
     for (const CellRef& var : touched) {
       const auto raw = raw_posteriors.find(var);
       if (raw == raw_posteriors.end()) continue;
-      BAYESCROWD_RETURN_NOT_OK(evaluator.distributions().Set(
+      BAYESCROWD_RETURN_NOT_OK(evaluator.SetDistribution(
           var, knowledge.ConditionDistribution(var, raw->second)));
     }
 
-    // Re-simplify every undecided condition against the knowledge base;
-    // invalidate probability caches of conditions that changed.
+    // Re-simplify every undecided condition against the knowledge base.
+    // Changed conditions get new fingerprints; their old cache entries
+    // were just evicted through the answered variables.
     for (std::size_t i : ctable.UndecidedObjects()) {
       Condition simplified = ctable.condition(i).SimplifyWith(
           [&knowledge](const Expression& e) {
@@ -155,23 +169,20 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
           });
       if (!(simplified == ctable.condition(i))) {
         ctable.SetCondition(i, std::move(simplified));
-        prob_cache[i].reset();
-      } else {
-        // The condition text is unchanged, but a touched variable's
-        // distribution may have shifted.
-        for (const CellRef& var : ctable.condition(i).Variables()) {
-          if (touched.count(var) > 0) {
-            prob_cache[i].reset();
-            break;
-          }
-        }
       }
     }
 
     RoundLog log;
     log.round = out.rounds + 1;
     log.tasks = batch.size();
-    log.seconds = round_watch.ElapsedSeconds();
+    log.select_seconds = select_seconds;
+    log.update_seconds = update_watch.ElapsedSeconds();
+    log.seconds = log.select_seconds + log.update_seconds;
+    const EvaluatorCacheStats& cache_after = evaluator.cache_stats();
+    log.cache_hits = cache_after.hits - cache_before.hits;
+    log.cache_misses = cache_after.misses - cache_before.misses;
+    out.select_seconds += log.select_seconds;
+    out.update_seconds += log.update_seconds;
     out.round_logs.push_back(log);
     out.tasks_posted += batch.size();
     ++out.rounds;
@@ -181,24 +192,20 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   // ---------------------------------------------------------------- //
   // Answer inference (Algorithm 1, line 5).
   // ---------------------------------------------------------------- //
-  out.probabilities.assign(ctable.num_objects(), 0.0);
+  std::vector<std::size_t> all_objects(ctable.num_objects());
+  for (std::size_t i = 0; i < ctable.num_objects(); ++i) all_objects[i] = i;
+  BAYESCROWD_ASSIGN_OR_RETURN(out.probabilities,
+                              evaluator.EvaluateAll(ctable, all_objects));
   for (std::size_t i = 0; i < ctable.num_objects(); ++i) {
-    const Condition& cond = ctable.condition(i);
-    if (cond.IsTrue()) {
-      out.probabilities[i] = 1.0;
+    if (out.probabilities[i] > options_.answer_threshold ||
+        ctable.condition(i).IsTrue()) {
       out.result_objects.push_back(i);
-      continue;
     }
-    if (cond.IsFalse()) continue;
-    double p;
-    if (prob_cache[i].has_value()) {
-      p = *prob_cache[i];
-    } else {
-      BAYESCROWD_ASSIGN_OR_RETURN(p, evaluator.Probability(cond));
-    }
-    out.probabilities[i] = p;
-    if (p > options_.answer_threshold) out.result_objects.push_back(i);
   }
+  const EvaluatorCacheStats& cache_stats = evaluator.cache_stats();
+  out.cache_hits = cache_stats.hits;
+  out.cache_misses = cache_stats.misses;
+  out.cache_evictions = cache_stats.evictions;
   out.final_ctable = std::move(ctable);
   out.total_seconds = total_watch.ElapsedSeconds();
   return out;

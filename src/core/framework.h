@@ -64,13 +64,31 @@ struct BayesCrowdOptions {
   /// BinaryEntropy^-1(threshold) of 0 or 1 and further tasks buy little
   /// information. 0 disables (the paper always spends the budget).
   double confidence_stop_entropy = 0.0;
+
+  /// Worker lanes for probability evaluation (entropy ranking and
+  /// UBS/HHS counterfactual scoring). 0 = hardware concurrency; 1 runs
+  /// everything on the calling thread. Results are bit-identical for
+  /// any value (see DESIGN.md, "Concurrency & caching model").
+  std::size_t threads = 0;
 };
 
 /// One crowd round's bookkeeping.
 struct RoundLog {
   std::size_t round = 0;
   std::size_t tasks = 0;
-  double seconds = 0.0;  // Selection + update time (machine side).
+  double seconds = 0.0;         // select_seconds + update_seconds.
+  double select_seconds = 0.0;  // Entropy ranking + task selection.
+  double update_seconds = 0.0;  // Answer folding + re-simplification.
+
+  /// Evaluator memo-cache traffic attributable to this round.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double CacheHitRate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
 };
 
 /// Everything a Run() produces.
@@ -87,6 +105,15 @@ struct BayesCrowdResult {
   double modeling_seconds = 0.0;
   double crowdsourcing_seconds = 0.0;
   double total_seconds = 0.0;
+
+  /// Per-phase totals across rounds (machine side).
+  double select_seconds = 0.0;
+  double update_seconds = 0.0;
+
+  /// Evaluator memo-cache totals for the whole run.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
 
   /// Final per-object probabilities (1/0 for decided conditions).
   std::vector<double> probabilities;

@@ -21,13 +21,23 @@ std::string FormatRunReport(const BayesCrowdResult& result,
       result.tasks_posted, result.rounds, result.cost_spent,
       result.crowdsourcing_seconds * 1e3,
       result.stopped_confident ? ", stopped confident" : "");
+  out += StrFormat(
+      "    select %.1f ms, update %.1f ms; evaluator cache %llu hits / "
+      "%llu misses / %llu evictions\n",
+      result.select_seconds * 1e3, result.update_seconds * 1e3,
+      static_cast<unsigned long long>(result.cache_hits),
+      static_cast<unsigned long long>(result.cache_misses),
+      static_cast<unsigned long long>(result.cache_evictions));
   out += StrFormat("  total machine time: %.1f ms\n",
                    result.total_seconds * 1e3);
 
   if (options.show_rounds) {
     for (const RoundLog& log : result.round_logs) {
-      out += StrFormat("    round %zu: %zu task(s), %.1f ms\n", log.round,
-                       log.tasks, log.seconds * 1e3);
+      out += StrFormat(
+          "    round %zu: %zu task(s), select %.1f ms + update %.1f ms, "
+          "cache hit rate %.0f%%\n",
+          log.round, log.tasks, log.select_seconds * 1e3,
+          log.update_seconds * 1e3, log.CacheHitRate() * 100.0);
     }
   }
 

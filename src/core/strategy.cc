@@ -1,6 +1,7 @@
 #include "core/strategy.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -38,6 +39,21 @@ FrequencyMap ExpressionFrequencies(const CTable& ctable,
     }
   }
   return freq;
+}
+
+// Candidates that would not share a variable with the batch selected so
+// far, in their original (frequency) order.
+std::vector<Expression> ConflictFreeCandidates(
+    const std::vector<Expression>& candidates,
+    const std::vector<Task>& batch) {
+  std::vector<Expression> eligible;
+  eligible.reserve(candidates.size());
+  for (const Expression& e : candidates) {
+    Task probe;
+    probe.expression = e;
+    if (!ConflictsWithBatch(probe, batch)) eligible.push_back(e);
+  }
+  return eligible;
 }
 
 // Sorts expressions by descending frequency (stable on ties).
@@ -111,17 +127,22 @@ Result<std::vector<Task>> SelectTasks(const CTable& ctable,
         break;
       }
       case StrategyKind::kUbs: {
+        // Utility scoring is the hot loop: the counterfactual conditions
+        // of all conflict-free candidates evaluate as one batch
+        // (memoized + parallel), then the original sequential argmax is
+        // replayed over the gains — the selected task is identical to
+        // the one-call-at-a-time code for any thread count.
+        const std::vector<Expression> eligible =
+            ConflictFreeCandidates(candidates, batch);
+        BAYESCROWD_ASSIGN_OR_RETURN(
+            const std::vector<double> gains,
+            MarginalUtilities(cond, entry.probability, eligible,
+                              evaluator));
         double best_gain = -1.0;
-        for (const Expression& e : candidates) {
-          Task probe;
-          probe.expression = e;
-          if (ConflictsWithBatch(probe, batch)) continue;
-          BAYESCROWD_ASSIGN_OR_RETURN(
-              const double gain,
-              MarginalUtility(cond, entry.probability, e, evaluator));
-          if (gain > best_gain) {
-            best_gain = gain;
-            task.expression = e;
+        for (std::size_t i = 0; i < eligible.size(); ++i) {
+          if (gains[i] > best_gain) {
+            best_gain = gains[i];
+            task.expression = eligible[i];
             selected = true;
           }
         }
@@ -129,25 +150,45 @@ Result<std::vector<Task>> SelectTasks(const CTable& ctable,
       }
       case StrategyKind::kHhs: {
         // Algorithm 4, lines 10-22: frequency order, stop after m
-        // consecutive expressions without utility improvement.
+        // consecutive expressions without utility improvement. Gains are
+        // computed in waves sized to the evaluator's pool; the stopping
+        // scan replays in order, so the selection matches the sequential
+        // code exactly (a wave may merely score a few candidates past
+        // the stop point).
+        const std::vector<Expression> eligible =
+            ConflictFreeCandidates(candidates, batch);
+        ThreadPool* pool = evaluator.thread_pool();
+        const std::size_t wave =
+            std::max<std::size_t>(pool == nullptr ? 1 : pool->size(), 1);
         double best_gain = -1.0;
         std::size_t since_improvement = 0;
-        for (const Expression& e : candidates) {
-          Task probe;
-          probe.expression = e;
-          if (ConflictsWithBatch(probe, batch)) continue;
+        for (std::size_t start = 0; start < eligible.size();
+             start += wave) {
+          const std::size_t end =
+              std::min(start + wave, eligible.size());
+          const std::vector<Expression> chunk(
+              eligible.begin() + static_cast<std::ptrdiff_t>(start),
+              eligible.begin() + static_cast<std::ptrdiff_t>(end));
           BAYESCROWD_ASSIGN_OR_RETURN(
-              const double gain,
-              MarginalUtility(cond, entry.probability, e, evaluator));
-          if (gain > best_gain) {
-            best_gain = gain;
-            task.expression = e;
-            selected = true;
-            since_improvement = 0;
-          } else {
-            ++since_improvement;
-            if (since_improvement >= options.m) break;
+              const std::vector<double> gains,
+              MarginalUtilities(cond, entry.probability, chunk,
+                                evaluator));
+          bool stopped = false;
+          for (std::size_t i = 0; i < chunk.size(); ++i) {
+            if (gains[i] > best_gain) {
+              best_gain = gains[i];
+              task.expression = chunk[i];
+              selected = true;
+              since_improvement = 0;
+            } else {
+              ++since_improvement;
+              if (since_improvement >= options.m) {
+                stopped = true;
+                break;
+              }
+            }
           }
+          if (stopped) break;
         }
         break;
       }

@@ -29,4 +29,32 @@ Result<double> MarginalUtility(const Condition& condition, double p_o,
   return BinaryEntropy(p_o) - expected;
 }
 
+Result<std::vector<double>> MarginalUtilities(
+    const Condition& condition, double p_o,
+    const std::vector<Expression>& candidates,
+    ProbabilityEvaluator& evaluator) {
+  const std::size_t n = candidates.size();
+  std::vector<Condition> counterfactuals;
+  counterfactuals.reserve(2 * n);
+  for (const Expression& e : candidates) {
+    counterfactuals.push_back(FixExpression(condition, e, true));
+    counterfactuals.push_back(FixExpression(condition, e, false));
+  }
+  std::vector<const Condition*> pointers;
+  pointers.reserve(counterfactuals.size());
+  for (const Condition& c : counterfactuals) pointers.push_back(&c);
+  BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<double> probabilities,
+                              evaluator.EvaluateBatch(pointers));
+
+  const double h_o = BinaryEntropy(p_o);
+  std::vector<double> gains(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    BAYESCROWD_ASSIGN_OR_RETURN(const double p_e,
+                                evaluator.Probability(candidates[i]));
+    gains[i] = h_o - (p_e * BinaryEntropy(probabilities[2 * i]) +
+                      (1.0 - p_e) * BinaryEntropy(probabilities[2 * i + 1]));
+  }
+  return gains;
+}
+
 }  // namespace bayescrowd

@@ -9,6 +9,8 @@
 #ifndef BAYESCROWD_CORE_UTILITY_H_
 #define BAYESCROWD_CORE_UTILITY_H_
 
+#include <vector>
+
 #include "common/result.h"
 #include "ctable/condition.h"
 #include "probability/evaluator.h"
@@ -25,6 +27,16 @@ Condition FixExpression(const Condition& condition, const Expression& e,
 Result<double> MarginalUtility(const Condition& condition, double p_o,
                                const Expression& e,
                                ProbabilityEvaluator& evaluator);
+
+/// G(o, e) for every candidate expression at once: the 2·n
+/// counterfactual conditions (e fixed true / fixed false) go through the
+/// evaluator's batch API, so they are memoized across rounds and fanned
+/// over its thread pool. gains[i] aligns with candidates[i]; identical
+/// to calling MarginalUtility per candidate, for any thread count.
+Result<std::vector<double>> MarginalUtilities(
+    const Condition& condition, double p_o,
+    const std::vector<Expression>& candidates,
+    ProbabilityEvaluator& evaluator);
 
 }  // namespace bayescrowd
 

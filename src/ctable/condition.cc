@@ -37,6 +37,30 @@ std::vector<CellRef> Condition::Variables() const {
   return out;
 }
 
+ConditionFingerprint Condition::Fingerprint() const {
+  // Ordered two-lane mixing over (state, conjunct boundaries, canonical
+  // expression keys); the order sensitivity matches operator==, which
+  // compares conjunct vectors positionally.
+  std::uint64_t lo = 0x9E3779B97F4A7C15ULL ^
+                     static_cast<std::uint64_t>(state_);
+  std::uint64_t hi = 0xC2B2AE3D27D4EB4FULL +
+                     static_cast<std::uint64_t>(conjuncts_.size());
+  const auto mix = [&lo, &hi](std::uint64_t word) {
+    lo = (lo ^ word) * 0x100000001B3ULL;
+    hi = (hi + word) * 0x9E3779B97F4A7C15ULL;
+    hi ^= hi >> 29;
+  };
+  for (const auto& conj : conjuncts_) {
+    mix(0xD6E8FEB86659FD93ULL ^ conj.size());  // Conjunct boundary.
+    for (const auto& expr : conj) {
+      const PackedExpr key = expr.PackedKey();
+      mix(key.first);
+      mix(key.second);
+    }
+  }
+  return {lo, hi};
+}
+
 std::size_t Condition::VariableFrequency(const CellRef& var) const {
   std::size_t count = 0;
   for (const auto& conj : conjuncts_) {

@@ -7,8 +7,10 @@
 #ifndef BAYESCROWD_CTABLE_CONDITION_H_
 #define BAYESCROWD_CTABLE_CONDITION_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ctable/expression.h"
@@ -18,6 +20,14 @@ namespace bayescrowd {
 
 /// One disjunction of expressions.
 using Conjunct = std::vector<Expression>;
+
+/// 128-bit structural fingerprint of a condition. Conditions that
+/// compare equal share a fingerprint; the probability evaluator uses it
+/// as its memo-cache key (two words keep accidental collisions
+/// negligible at cache scale).
+using ConditionFingerprint = std::pair<std::uint64_t, std::uint64_t>;
+
+using ConditionFingerprintHash = PackedExprHash;
 
 /// CNF condition with three-valued overall state.
 class Condition {
@@ -48,6 +58,10 @@ class Condition {
 
   /// Distinct variables, in first-appearance order.
   std::vector<CellRef> Variables() const;
+
+  /// Structural fingerprint consistent with operator== (equal
+  /// conditions share it). O(total expressions).
+  ConditionFingerprint Fingerprint() const;
 
   /// Occurrence count of `var` across all expressions.
   std::size_t VariableFrequency(const CellRef& var) const;

@@ -1,6 +1,19 @@
 #include "probability/evaluator.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace bayescrowd {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 const char* ProbabilityMethodToString(ProbabilityMethod method) {
   switch (method) {
@@ -16,29 +29,196 @@ const char* ProbabilityMethodToString(ProbabilityMethod method) {
   return "?";
 }
 
-Result<double> ProbabilityEvaluator::Probability(const Condition& condition) {
+std::uint64_t ProbabilityEvaluator::DistStamp(
+    const Condition& condition) const {
+  // Sum of per-occurrence digests: order-insensitive, and equal
+  // conditions produce equal multisets of occurrences, so the stamp
+  // matches iff no mentioned variable's epoch moved since insertion.
+  std::uint64_t stamp = 0;
+  const auto add = [this, &stamp](const CellRef& var) {
+    const PackedVar packed = PackVar(var);
+    const auto it = var_epoch_.find(packed);
+    const std::uint64_t epoch = it == var_epoch_.end() ? 0 : it->second;
+    stamp += SplitMix64(packed ^ (epoch * 0xD6E8FEB86659FD93ULL));
+  };
+  for (const Conjunct& conjunct : condition.conjuncts()) {
+    for (const Expression& e : conjunct) {
+      add(e.lhs);
+      if (e.rhs_is_var) add(e.rhs_var);
+    }
+  }
+  return stamp;
+}
+
+Status ProbabilityEvaluator::SetDistribution(const CellRef& var,
+                                             std::vector<double> dist) {
+  BAYESCROWD_RETURN_NOT_OK(dists_.Set(var, std::move(dist)));
+  InvalidateVariable(var);
+  return Status::OK();
+}
+
+void ProbabilityEvaluator::InvalidateVariable(const CellRef& var) {
+  const PackedVar packed = PackVar(var);
+  ++var_epoch_[packed];
+  const auto it = var_index_.find(packed);
+  if (it == var_index_.end()) return;
+  for (const ConditionFingerprint& fingerprint : it->second) {
+    cache_stats_.evictions += cache_.erase(fingerprint);
+  }
+  var_index_.erase(it);
+}
+
+void ProbabilityEvaluator::ClearCache() {
+  cache_stats_.evictions += cache_.size();
+  cache_.clear();
+  var_index_.clear();
+}
+
+bool ProbabilityEvaluator::IsCached(const Condition& condition) const {
+  if (condition.IsDecided()) return false;
+  const auto it = cache_.find(condition.Fingerprint());
+  return it != cache_.end() && it->second.stamp == DistStamp(condition);
+}
+
+Rng ProbabilityEvaluator::ConditionRng(
+    const ConditionFingerprint& fingerprint) const {
+  return Rng(options_.sampling_seed ^ SplitMix64(fingerprint.first) ^
+             SplitMix64(fingerprint.second ^ 0xC2B2AE3D27D4EB4FULL));
+}
+
+void ProbabilityEvaluator::Insert(const ConditionFingerprint& fingerprint,
+                                  const Condition& condition,
+                                  double probability) {
+  cache_[fingerprint] = CacheEntry{probability, DistStamp(condition)};
+  for (const CellRef& var : condition.Variables()) {
+    var_index_[PackVar(var)].push_back(fingerprint);
+  }
+}
+
+Result<double> ProbabilityEvaluator::Compute(const Condition& condition,
+                                             Rng& rng, AdpllStats* stats) {
   Result<double> result = Status::Internal("unknown probability method");
   switch (options_.method) {
     case ProbabilityMethod::kAdpll:
-      result = AdpllProbability(condition, dists_, options_.adpll,
-                                &adpll_stats_);
+      result = AdpllProbability(condition, dists_, options_.adpll, stats);
       break;
     case ProbabilityMethod::kNaive:
       result = NaiveProbability(condition, dists_, options_.naive);
       break;
     case ProbabilityMethod::kSampled:
-      return SampledProbability(condition, dists_, options_.sampling, rng_);
+      return SampledProbability(condition, dists_, options_.sampling, rng);
     case ProbabilityMethod::kSampledRaoBlackwell:
       return SampledProbabilityRaoBlackwell(condition, dists_,
-                                            options_.sampling, rng_);
+                                            options_.sampling, rng);
   }
   if (!result.ok() && options_.sampling_fallback &&
       result.status().code() == StatusCode::kResourceExhausted) {
     SamplingOptions fallback;
     fallback.num_samples = options_.fallback_samples;
-    return SampledProbability(condition, dists_, fallback, rng_);
+    return SampledProbability(condition, dists_, fallback, rng);
   }
   return result;
+}
+
+Result<double> ProbabilityEvaluator::Probability(const Condition& condition) {
+  if (condition.IsTrue()) return 1.0;
+  if (condition.IsFalse()) return 0.0;
+  if (!Memoizable()) return Compute(condition, rng_, &adpll_stats_);
+
+  const ConditionFingerprint fingerprint = condition.Fingerprint();
+  const auto it = cache_.find(fingerprint);
+  if (it != cache_.end() && it->second.stamp == DistStamp(condition)) {
+    ++cache_stats_.hits;
+    return it->second.probability;
+  }
+  ++cache_stats_.misses;
+  BAYESCROWD_ASSIGN_OR_RETURN(const double p,
+                              Compute(condition, rng_, &adpll_stats_));
+  Insert(fingerprint, condition, p);
+  return p;
+}
+
+Result<std::vector<double>> ProbabilityEvaluator::EvaluateBatch(
+    const std::vector<const Condition*>& conditions) {
+  const std::size_t n = conditions.size();
+  std::vector<double> probabilities(n, 0.0);
+
+  // Sequential pass: constants and memo hits; collect the rest. The
+  // cache maps are touched on this thread only.
+  const bool memoizable = Memoizable();
+  std::vector<std::size_t> misses;
+  std::vector<ConditionFingerprint> fingerprints(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Condition& cond = *conditions[i];
+    if (cond.IsTrue()) {
+      probabilities[i] = 1.0;
+      continue;
+    }
+    if (cond.IsFalse()) continue;
+    fingerprints[i] = cond.Fingerprint();
+    if (memoizable) {
+      const auto it = cache_.find(fingerprints[i]);
+      if (it != cache_.end() && it->second.stamp == DistStamp(cond)) {
+        ++cache_stats_.hits;
+        probabilities[i] = it->second.probability;
+        continue;
+      }
+      ++cache_stats_.misses;
+    }
+    misses.push_back(i);
+  }
+
+  // Parallel pass: each miss is an independent model-counting call that
+  // only reads dists_. Results land in per-index slots, ADPLL counters
+  // in per-lane accumulators, and sampling draws come from
+  // per-condition generators — so any lane count computes the same
+  // numbers.
+  const std::size_t lanes = pool_ == nullptr ? 1 : pool_->size();
+  std::vector<AdpllStats> lane_stats(std::max<std::size_t>(lanes, 1));
+  std::vector<Status> errors(misses.size(), Status::OK());
+  const auto evaluate_one = [this, &conditions, &fingerprints, &misses,
+                             &probabilities, &errors,
+                             &lane_stats](std::size_t lane,
+                                          std::size_t m) {
+    const std::size_t i = misses[m];
+    Rng rng = ConditionRng(fingerprints[i]);
+    Result<double> p = Compute(*conditions[i], rng, &lane_stats[lane]);
+    if (p.ok()) {
+      probabilities[i] = p.value();
+    } else {
+      errors[m] = p.status();
+    }
+  };
+  if (pool_ != nullptr && misses.size() > 1) {
+    pool_->ParallelFor(misses.size(), evaluate_one);
+  } else {
+    for (std::size_t m = 0; m < misses.size(); ++m) evaluate_one(0, m);
+  }
+
+  for (const AdpllStats& stats : lane_stats) {
+    adpll_stats_.calls += stats.calls;
+    adpll_stats_.branches += stats.branches;
+    adpll_stats_.direct_evals += stats.direct_evals;
+  }
+  for (const Status& status : errors) {
+    BAYESCROWD_RETURN_NOT_OK(status);
+  }
+  if (memoizable) {
+    for (const std::size_t i : misses) {
+      Insert(fingerprints[i], *conditions[i], probabilities[i]);
+    }
+  }
+  return probabilities;
+}
+
+Result<std::vector<double>> ProbabilityEvaluator::EvaluateAll(
+    const CTable& ctable, const std::vector<std::size_t>& ids) {
+  std::vector<const Condition*> conditions;
+  conditions.reserve(ids.size());
+  for (const std::size_t id : ids) {
+    conditions.push_back(&ctable.condition(id));
+  }
+  return EvaluateBatch(conditions);
 }
 
 }  // namespace bayescrowd

@@ -1,12 +1,33 @@
 // ProbabilityEvaluator: a method-dispatching facade over the exact and
 // approximate Pr(φ) algorithms, holding the variable distributions.
+//
+// Beyond dispatch, the evaluator owns the two optimizations that carry
+// the crowdsourcing loop (see DESIGN.md, "Concurrency & caching model"):
+//
+//  * a memo cache keyed by condition fingerprint, stamped with the
+//    distribution epochs of the variables the condition mentions.
+//    Folding a crowd answer only re-conditions the answered variable's
+//    distribution, so SetDistribution() evicts exactly the cached
+//    conditions that mention it (variable-indexed invalidation) and
+//    every other entry keeps serving hits across rounds;
+//  * a batch API (EvaluateAll / EvaluateBatch) that fans the independent
+//    model-counting calls of one round across an optional ThreadPool,
+//    with per-lane AdpllStats merged after the barrier. Results are
+//    written into per-index slots and sampling draws use per-condition
+//    seeds, so outputs are bit-identical for any thread count.
 
 #ifndef BAYESCROWD_PROBABILITY_EVALUATOR_H_
 #define BAYESCROWD_PROBABILITY_EVALUATOR_H_
 
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "ctable/condition.h"
+#include "ctable/ctable.h"
 #include "probability/adpll.h"
 #include "probability/distributions.h"
 #include "probability/naive.h"
@@ -35,6 +56,18 @@ struct ProbabilityOptions {
   /// of failing.
   bool sampling_fallback = false;
   std::size_t fallback_samples = 20'000;
+
+  /// Memoize Pr(φ) per condition fingerprint (exact methods only;
+  /// sampled estimates are never cached). Disable for ablations.
+  bool memoize = true;
+};
+
+/// Cumulative memo-cache counters (never reset by the evaluator; take
+/// before/after snapshots for per-phase rates).
+struct EvaluatorCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;    // Lookups that had to compute.
+  std::uint64_t evictions = 0; // Entries dropped by invalidation.
 };
 
 /// Owns the distributions and dispatches Pr(φ) to the selected method.
@@ -43,27 +76,106 @@ class ProbabilityEvaluator {
   explicit ProbabilityEvaluator(ProbabilityOptions options = {})
       : options_(std::move(options)), rng_(options_.sampling_seed) {}
 
-  DistributionMap& distributions() { return dists_; }
+  /// Mutable access for bulk setup. Mutating distributions through this
+  /// handle bypasses variable-indexed invalidation, so it conservatively
+  /// drops the whole memo cache; use SetDistribution() on hot paths.
+  DistributionMap& distributions() {
+    ClearCache();
+    return dists_;
+  }
   const DistributionMap& distributions() const { return dists_; }
+
+  /// Registers or replaces one variable's distribution and evicts
+  /// exactly the cached conditions that mention it.
+  Status SetDistribution(const CellRef& var, std::vector<double> dist);
 
   const ProbabilityOptions& options() const { return options_; }
   ProbabilityOptions& options() { return options_; }
 
-  /// Pr(φ) by the configured method.
+  /// Optional worker pool for the batch APIs (non-owning; nullptr means
+  /// evaluate sequentially on the calling thread).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
+  /// Pr(φ) by the configured method (memoized).
   Result<double> Probability(const Condition& condition);
+
+  /// Pr(φ) for a batch of conditions, fanned across the thread pool.
+  /// results[i] corresponds to conditions[i]; decided conditions cost
+  /// nothing. Deterministic for any pool size.
+  Result<std::vector<double>> EvaluateBatch(
+      const std::vector<const Condition*>& conditions);
+
+  /// Pr(φ(o)) for every object id in `ids` (batch over a c-table).
+  Result<std::vector<double>> EvaluateAll(const CTable& ctable,
+                                          const std::vector<std::size_t>& ids);
 
   /// Pr(e) of one expression.
   Result<double> Probability(const Expression& expression) const {
     return ExpressionProbability(expression, dists_);
   }
 
+  /// Evicts every cached condition mentioning `var` and bumps its
+  /// distribution epoch (also done by SetDistribution).
+  void InvalidateVariable(const CellRef& var);
+
+  /// Drops the entire memo cache.
+  void ClearCache();
+
+  /// True when Pr(condition) would be served from the memo cache.
+  bool IsCached(const Condition& condition) const;
+
+  std::size_t CacheSize() const { return cache_.size(); }
+  const EvaluatorCacheStats& cache_stats() const { return cache_stats_; }
+
   const AdpllStats& adpll_stats() const { return adpll_stats_; }
 
  private:
+  struct CacheEntry {
+    double probability = 0.0;
+    std::uint64_t stamp = 0;  // Distribution-epoch stamp at insertion.
+  };
+
+  /// Order-insensitive digest of the distribution epochs of every
+  /// variable occurrence in `condition`; changes whenever any mentioned
+  /// variable's distribution is replaced.
+  std::uint64_t DistStamp(const Condition& condition) const;
+
+  bool Memoizable() const {
+    return options_.memoize &&
+           (options_.method == ProbabilityMethod::kAdpll ||
+            options_.method == ProbabilityMethod::kNaive);
+  }
+
+  /// One uncached evaluation. `rng` supplies sampling draws (batch mode
+  /// passes a per-condition generator so parallel order cannot leak into
+  /// results); `stats` receives ADPLL counters.
+  Result<double> Compute(const Condition& condition, Rng& rng,
+                         AdpllStats* stats);
+
+  /// Deterministic per-condition sampling stream.
+  Rng ConditionRng(const ConditionFingerprint& fingerprint) const;
+
+  void Insert(const ConditionFingerprint& fingerprint,
+              const Condition& condition, double probability);
+
   ProbabilityOptions options_;
   DistributionMap dists_;
   AdpllStats adpll_stats_;
   Rng rng_;
+
+  ThreadPool* pool_ = nullptr;
+
+  std::unordered_map<ConditionFingerprint, CacheEntry,
+                     ConditionFingerprintHash>
+      cache_;
+  /// Fingerprints of cached conditions per mentioned variable (may hold
+  /// stale fingerprints; eviction tolerates them).
+  std::unordered_map<PackedVar, std::vector<ConditionFingerprint>>
+      var_index_;
+  /// Times each variable's distribution has been replaced.
+  std::unordered_map<PackedVar, std::uint64_t> var_epoch_;
+  EvaluatorCacheStats cache_stats_;
 };
 
 }  // namespace bayescrowd

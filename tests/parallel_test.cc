@@ -1,0 +1,288 @@
+// Tests for the parallel + incremental evaluation layer: the ThreadPool
+// itself, determinism of Run() across thread counts, and the evaluator's
+// variable-indexed memo-cache invalidation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "bayesnet/imputation.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/framework.h"
+#include "crowd/platform.h"
+#include "crowd/record_replay.h"
+#include "ctable/builder.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "probability/evaluator.h"
+
+namespace bayescrowd {
+namespace {
+
+CellRef V(std::size_t o, std::size_t a) { return {o, a}; }
+
+// ------------------------------------------------------------------ //
+// ThreadPool
+// ------------------------------------------------------------------ //
+
+TEST(ThreadPoolTest, SizeOneSpawnsNoWorkersAndRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> seen;
+  pool.ParallelFor(5, [&seen](std::size_t lane, std::size_t i) {
+    EXPECT_EQ(lane, 0u);
+    seen.push_back(i);  // Inline execution: no synchronization needed.
+  });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    static constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> visits(kCount);
+    pool.ParallelFor(kCount, [&visits](std::size_t lane, std::size_t i) {
+      ASSERT_LT(i, kCount);
+      visits[i].fetch_add(static_cast<int>(lane) + 1);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_GE(visits[i].load(), 1) << "index " << i;
+    }
+    long long total = 0;
+    std::atomic<long long> sum{0};
+    pool.ParallelFor(kCount, [&sum](std::size_t, std::size_t i) {
+      sum.fetch_add(static_cast<long long>(i));
+    });
+    total = static_cast<long long>(kCount) * (kCount - 1) / 2;
+    EXPECT_EQ(sum.load(), total);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitWaitDrainsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 64);
+  // The pool is reusable after a Wait().
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 65);
+}
+
+TEST(ThreadPoolTest, ZeroResolvesToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(3), 3u);
+}
+
+// ------------------------------------------------------------------ //
+// Batch evaluation determinism
+// ------------------------------------------------------------------ //
+
+// A mid-sized incomplete dataset with enough undecided objects that
+// every phase (entropy ranking, HHS counterfactual scoring, final
+// inference) exercises multi-item batches.
+Table DeterminismDataset() {
+  Rng rng(0xD15EA5E);
+  return InjectMissingUniform(MakeNbaLike(120, /*seed=*/5), 0.15, rng);
+}
+
+BayesCrowdResult RunWithThreads(std::size_t threads, AnswerLog* log,
+                                bool memoize = true) {
+  const Table incomplete = DeterminismDataset();
+  BayesCrowdOptions options;
+  options.ctable.alpha = 0.01;
+  options.budget = 24;
+  options.latency = 4;
+  options.strategy.kind = StrategyKind::kHhs;
+  options.strategy.m = 5;
+  options.threads = threads;
+  options.probability.memoize = memoize;
+  BayesCrowd framework(options);
+  UniformPosteriorProvider posteriors(incomplete.schema());
+  const Table truth = MakeNbaLike(120, /*seed=*/5);
+  SimulatedCrowdPlatform inner(truth, {});
+  RecordingPlatform recorder(inner);
+  auto result = framework.Run(incomplete, posteriors, recorder);
+  BAYESCROWD_CHECK_OK(result.status());
+  if (log != nullptr) *log = recorder.log();
+  return std::move(result).value();
+}
+
+TEST(ParallelDeterminismTest, OneVsEightThreadsBitIdentical) {
+  AnswerLog log1, log8;
+  const BayesCrowdResult r1 = RunWithThreads(1, &log1);
+  const BayesCrowdResult r8 = RunWithThreads(8, &log8);
+
+  // Same crowdsourcing transcript: every selected task, in order.
+  ASSERT_EQ(log1.entries.size(), log8.entries.size());
+  ASSERT_GT(log1.entries.size(), 0u);
+  for (std::size_t i = 0; i < log1.entries.size(); ++i) {
+    EXPECT_TRUE(log1.entries[i].expression == log8.entries[i].expression)
+        << "task " << i;
+    EXPECT_EQ(log1.entries[i].relation, log8.entries[i].relation);
+    EXPECT_EQ(log1.entries[i].round, log8.entries[i].round);
+  }
+
+  // Same result set and bit-identical probabilities.
+  EXPECT_EQ(r1.result_objects, r8.result_objects);
+  ASSERT_EQ(r1.probabilities.size(), r8.probabilities.size());
+  for (std::size_t i = 0; i < r1.probabilities.size(); ++i) {
+    EXPECT_EQ(r1.probabilities[i], r8.probabilities[i]) << "object " << i;
+  }
+  EXPECT_EQ(r1.rounds, r8.rounds);
+  EXPECT_EQ(r1.tasks_posted, r8.tasks_posted);
+}
+
+TEST(ParallelDeterminismTest, CacheOnOffBitIdentical) {
+  // Memoization must never change an exact method's numbers, only skip
+  // recomputation.
+  AnswerLog log_on, log_off;
+  const BayesCrowdResult on = RunWithThreads(4, &log_on, /*memoize=*/true);
+  const BayesCrowdResult off =
+      RunWithThreads(4, &log_off, /*memoize=*/false);
+  EXPECT_GT(on.cache_hits, 0u);
+  EXPECT_EQ(off.cache_hits, 0u);
+  EXPECT_EQ(log_on.entries.size(), log_off.entries.size());
+  EXPECT_EQ(on.result_objects, off.result_objects);
+  ASSERT_EQ(on.probabilities.size(), off.probabilities.size());
+  for (std::size_t i = 0; i < on.probabilities.size(); ++i) {
+    EXPECT_EQ(on.probabilities[i], off.probabilities[i]) << "object " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, RoundLogsSplitPhasesAndCountCacheTraffic) {
+  const BayesCrowdResult result = RunWithThreads(2, nullptr);
+  ASSERT_GT(result.round_logs.size(), 0u);
+  double select = 0.0, update = 0.0;
+  for (const RoundLog& log : result.round_logs) {
+    EXPECT_GE(log.select_seconds, 0.0);
+    EXPECT_GE(log.update_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(log.seconds, log.select_seconds + log.update_seconds);
+    EXPECT_GE(log.CacheHitRate(), 0.0);
+    EXPECT_LE(log.CacheHitRate(), 1.0);
+    select += log.select_seconds;
+    update += log.update_seconds;
+  }
+  EXPECT_DOUBLE_EQ(result.select_seconds, select);
+  EXPECT_DOUBLE_EQ(result.update_seconds, update);
+  std::uint64_t round_hits = 0, round_misses = 0;
+  for (const RoundLog& log : result.round_logs) {
+    round_hits += log.cache_hits;
+    round_misses += log.cache_misses;
+  }
+  // Run totals also cover the final inference pass, so they dominate
+  // the per-round sums.
+  EXPECT_GE(result.cache_hits, round_hits);
+  EXPECT_GE(result.cache_misses, round_misses);
+  EXPECT_GT(result.cache_misses, 0u);
+}
+
+// ------------------------------------------------------------------ //
+// Memo-cache invalidation
+// ------------------------------------------------------------------ //
+
+// Two-level distributions keep the arithmetic easy to follow.
+ProbabilityEvaluator TwoLevelEvaluator() {
+  ProbabilityEvaluator evaluator;
+  for (std::size_t object : {0u, 1u, 2u}) {
+    BAYESCROWD_CHECK_OK(evaluator.SetDistribution(
+        V(object, 0), std::vector<double>{0.5, 0.5}));
+  }
+  return evaluator;
+}
+
+Condition SingleVarCondition(const CellRef& var) {
+  return Condition::Cnf(
+      {{Expression::VarConst(var, CmpOp::kGreater, 0)}});
+}
+
+TEST(EvaluatorCacheTest, AnsweringAVariableEvictsExactlyItsConditions) {
+  ProbabilityEvaluator evaluator = TwoLevelEvaluator();
+  // c01 mentions vars 0 and 1; c2 mentions var 2 only.
+  const Condition c01 =
+      Condition::Cnf({{Expression::VarVar(V(0, 0), CmpOp::kGreater,
+                                          V(1, 0))}});
+  const Condition c2 = SingleVarCondition(V(2, 0));
+
+  ASSERT_TRUE(evaluator.Probability(c01).ok());
+  ASSERT_TRUE(evaluator.Probability(c2).ok());
+  EXPECT_TRUE(evaluator.IsCached(c01));
+  EXPECT_TRUE(evaluator.IsCached(c2));
+  EXPECT_EQ(evaluator.CacheSize(), 2u);
+
+  // Fold a crowd answer about Var(1,0): its distribution collapses.
+  BAYESCROWD_CHECK_OK(
+      evaluator.SetDistribution(V(1, 0), std::vector<double>{1.0, 0.0}));
+
+  EXPECT_FALSE(evaluator.IsCached(c01));  // Mentions the answered var.
+  EXPECT_TRUE(evaluator.IsCached(c2));    // Untouched: still cached.
+  EXPECT_EQ(evaluator.cache_stats().evictions, 1u);
+
+  // Re-evaluation reflects the new distribution: Var(0,0) > Var(1,0)
+  // with Var(1,0) pinned to level 0 is P(Var(0,0) = 1) = 0.5.
+  const auto p = evaluator.Probability(c01);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value(), 0.5);
+}
+
+TEST(EvaluatorCacheTest, HitsAndMissesAreCounted) {
+  ProbabilityEvaluator evaluator = TwoLevelEvaluator();
+  const Condition c = SingleVarCondition(V(0, 0));
+  ASSERT_TRUE(evaluator.Probability(c).ok());
+  ASSERT_TRUE(evaluator.Probability(c).ok());
+  ASSERT_TRUE(evaluator.Probability(c).ok());
+  EXPECT_EQ(evaluator.cache_stats().misses, 1u);
+  EXPECT_EQ(evaluator.cache_stats().hits, 2u);
+}
+
+TEST(EvaluatorCacheTest, BatchServesHitsWithoutRecomputing) {
+  ProbabilityEvaluator evaluator = TwoLevelEvaluator();
+  const Condition a = SingleVarCondition(V(0, 0));
+  const Condition b = SingleVarCondition(V(1, 0));
+  const std::vector<const Condition*> batch{&a, &b, &a};
+  const auto first = evaluator.EvaluateBatch(batch);
+  ASSERT_TRUE(first.ok());
+  // Duplicate within the batch misses twice (parallel lanes do not
+  // share in-flight work) but both land on one cache entry.
+  EXPECT_EQ(evaluator.CacheSize(), 2u);
+  const auto second = evaluator.EvaluateBatch(batch);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());
+  EXPECT_EQ(evaluator.cache_stats().hits, 3u);
+}
+
+TEST(EvaluatorCacheTest, MutableDistributionsHandleDropsWholeCache) {
+  ProbabilityEvaluator evaluator = TwoLevelEvaluator();
+  const Condition c = SingleVarCondition(V(0, 0));
+  ASSERT_TRUE(evaluator.Probability(c).ok());
+  EXPECT_EQ(evaluator.CacheSize(), 1u);
+  // Bypassing SetDistribution cannot track which vars changed, so the
+  // accessor conservatively clears everything.
+  evaluator.distributions();
+  EXPECT_EQ(evaluator.CacheSize(), 0u);
+  EXPECT_FALSE(evaluator.IsCached(c));
+}
+
+TEST(EvaluatorCacheTest, SampledMethodsBypassTheCache) {
+  ProbabilityOptions options;
+  options.method = ProbabilityMethod::kSampled;
+  options.sampling.num_samples = 500;
+  ProbabilityEvaluator evaluator(options);
+  BAYESCROWD_CHECK_OK(
+      evaluator.SetDistribution(V(0, 0), std::vector<double>{0.5, 0.5}));
+  const Condition c = SingleVarCondition(V(0, 0));
+  ASSERT_TRUE(evaluator.Probability(c).ok());
+  EXPECT_EQ(evaluator.CacheSize(), 0u);
+  EXPECT_EQ(evaluator.cache_stats().hits, 0u);
+  EXPECT_EQ(evaluator.cache_stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace bayescrowd

@@ -77,6 +77,7 @@ int Usage() {
       "  run      --data F (--truth F | --interactive)\n"
       "           [--strategy fbs|ubs|hhs] [--budget B] [--latency L]\n"
       "           [--alpha A] [--m M] [--accuracy P] [--seed S]\n"
+      "           [--threads N] [--no-cache]\n"
       "           [--structure hillclimb|chowliu|none]\n"
       "           [--save-model F] [--load-model F]\n"
       "           [--record F] [--replay-from F] [--tasks-per-round K]\n"
@@ -240,6 +241,10 @@ int CmdRun(const Flags& flags) {
                                       per_round);
   }
   options.strategy.m = static_cast<std::size_t>(flags.GetInt("m", 15));
+  // Evaluation lanes: 0 (default) resolves to the hardware concurrency.
+  options.threads =
+      static_cast<std::size_t>(std::max(0, flags.GetInt("threads", 0)));
+  if (flags.Has("no-cache")) options.probability.memoize = false;
   const std::string strategy = flags.Get("strategy", "hhs");
   if (strategy == "fbs") {
     options.strategy.kind = StrategyKind::kFbs;

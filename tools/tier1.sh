@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the regular build + full ctest suite, then the
+# parallel-evaluation determinism test rebuilt and re-run under
+# ThreadSanitizer (BC_SANITIZE=thread) to catch data races the plain
+# build cannot see.
+#
+# Usage: tools/tier1.sh [jobs]   (run from the repo root)
+
+set -euo pipefail
+
+JOBS="${1:-$(nproc)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== tier-1: regular build + tests =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+echo "== tier-1: determinism test under ThreadSanitizer =="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" \
+  -DBC_SANITIZE=thread \
+  -DBAYESCROWD_BUILD_BENCHMARKS=OFF \
+  -DBAYESCROWD_BUILD_EXAMPLES=OFF
+cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -R parallel_test
+
+echo "tier-1 OK"
