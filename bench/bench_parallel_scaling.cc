@@ -10,7 +10,14 @@
 // bit-identical across every configuration (asserted by
 // parallel_test.cc), so the series differ in time only.
 
+// In addition to the console/JSON output of the benchmark library, this
+// binary writes BENCH_parallel_scaling.json (telemetry envelope, one row
+// per configuration) via the observability layer, so the scaling series
+// can be diffed across commits without scraping console output.
+
 #include <benchmark/benchmark.h>
+
+#include <utility>
 
 #include "bench_util.h"
 #include "bayesnet/imputation.h"
@@ -20,6 +27,11 @@
 
 namespace bayescrowd::bench {
 namespace {
+
+BenchArtifact& Artifact() {
+  static auto* artifact = new BenchArtifact("parallel_scaling");
+  return *artifact;
+}
 
 void BM_ParallelScaling(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
@@ -68,10 +80,33 @@ void BM_ParallelScaling(benchmark::State& state) {
                      : static_cast<double>(result.cache_hits) / lookups;
   state.counters["tasks"] = static_cast<double>(result.tasks_posted);
   state.counters["rounds"] = static_cast<double>(result.rounds);
-  state.counters["f1"] =
-      EvaluateResultSet(result.result_objects,
-                        GroundTruthSkyline(complete))
-          .f1;
+  const double f1 = EvaluateResultSet(result.result_objects,
+                                      GroundTruthSkyline(complete))
+                        .f1;
+  state.counters["f1"] = f1;
+
+  obs::JsonValue row = obs::JsonValue::Object();
+  row["threads"] = threads;
+  row["cache"] = cache;
+  row["crowd_seconds"] = result.crowdsourcing_seconds;
+  row["select_seconds"] = result.select_seconds;
+  row["update_seconds"] = result.update_seconds;
+  row["cache_hits"] = result.cache_hits;
+  row["cache_misses"] = result.cache_misses;
+  row["tasks"] = result.tasks_posted;
+  row["rounds"] = result.rounds;
+  row["adpll_calls"] = result.adpll.calls;
+  row["adpll_branches"] = result.adpll.branches;
+  row["f1"] = f1;
+  obs::JsonValue lanes = obs::JsonValue::Array();
+  for (const ThreadPool::LaneStats& lane : result.lane_usage) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry["tasks"] = lane.tasks;
+    entry["busy_seconds"] = lane.busy_seconds;
+    lanes.Append(std::move(entry));
+  }
+  row["lanes"] = std::move(lanes);
+  Artifact().AddRow(std::move(row));
 }
 
 void ScalingArgs(benchmark::internal::Benchmark* bench) {
@@ -88,4 +123,10 @@ BENCHMARK(BM_ParallelScaling)->Apply(ScalingArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return bayescrowd::bench::Artifact().Write() ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -152,6 +153,20 @@ BayesCrowdOptions SyntheticDefaults() {
       50, SyntheticCardinality() / 100);
   options.latency = 10;
   return options;
+}
+
+bool BenchArtifact::Write() {
+  obs::JsonValue payload = obs::JsonValue::Array();
+  for (obs::JsonValue& row : rows_) payload.Append(std::move(row));
+  rows_.clear();
+  const Status st = obs::WriteBenchArtifact(name_, std::move(payload));
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to write BENCH_%s.json: %s\n",
+                 name_.c_str(), st.ToString().c_str());
+    return false;
+  }
+  std::printf("wrote BENCH_%s.json\n", name_.c_str());
+  return true;
 }
 
 }  // namespace bayescrowd::bench

@@ -21,6 +21,7 @@
 #include "bayesnet/network.h"
 #include "core/framework.h"
 #include "data/table.h"
+#include "obs/telemetry.h"
 
 namespace bayescrowd::bench {
 
@@ -70,6 +71,26 @@ const std::vector<std::size_t>& GroundTruthSkyline(const Table& complete);
 /// dataset).
 BayesCrowdOptions NbaDefaults();
 BayesCrowdOptions SyntheticDefaults();
+
+/// Accumulates one JSON row per measured configuration and writes them
+/// as BENCH_<name>.json (telemetry envelope) from the benchmark's
+/// main(). Rows survive across benchmark repetitions; a bench binary
+/// keeps one collector at namespace scope, appends from the benchmark
+/// body, and calls Write() after RunSpecifiedBenchmarks().
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name) : name_(std::move(name)) {}
+
+  void AddRow(obs::JsonValue row) { rows_.push_back(std::move(row)); }
+
+  /// Writes BENCH_<name>.json into the working directory. Returns
+  /// false (after printing to stderr) on I/O failure.
+  bool Write();
+
+ private:
+  std::string name_;
+  std::vector<obs::JsonValue> rows_;
+};
 
 }  // namespace bayescrowd::bench
 

@@ -5,9 +5,44 @@
 
 #include "bayesnet/factor.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace bayescrowd {
 namespace {
+
+// Inference sits below the framework layer, so its counters live in the
+// process-wide registry. Handles are resolved once per process; the
+// per-event cost is one relaxed atomic add.
+obs::Counter* FactorProducts() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Default().GetCounter("bayesnet.factor_products");
+  return counter;
+}
+
+obs::Counter* Marginalizations() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Default().GetCounter(
+          "bayesnet.marginalizations");
+  return counter;
+}
+
+obs::Counter* VeQueries() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Default().GetCounter("bayesnet.ve_queries");
+  return counter;
+}
+
+obs::Counter* LwSamples() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Default().GetCounter("bayesnet.lw_samples");
+  return counter;
+}
+
+obs::Counter* GibbsSweeps() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Default().GetCounter("bayesnet.gibbs_sweeps");
+  return counter;
+}
 
 // Builds the CPT of `node` as a factor over {node} ∪ parents(node).
 Factor CptFactor(const BayesianNetwork& net, std::size_t node) {
@@ -69,6 +104,7 @@ Result<std::vector<double>> VariableElimination(const BayesianNetwork& net,
                                                 const Evidence& evidence,
                                                 std::size_t query) {
   BAYESCROWD_RETURN_NOT_OK(ValidateQuery(net, evidence, query));
+  VeQueries()->Increment();
 
   // Build reduced CPT factors.
   std::vector<Factor> factors;
@@ -111,13 +147,21 @@ Result<std::vector<double>> VariableElimination(const BayesianNetwork& net,
     remaining.reserve(factors.size());
     for (Factor& f : factors) {
       if (f.ContainsVariable(best_var)) {
-        combined = have ? Factor::Product(combined, f) : std::move(f);
+        if (have) {
+          combined = Factor::Product(combined, f);
+          FactorProducts()->Increment();
+        } else {
+          combined = std::move(f);
+        }
         have = true;
       } else {
         remaining.push_back(std::move(f));
       }
     }
-    if (have) remaining.push_back(combined.Marginalize(best_var));
+    if (have) {
+      remaining.push_back(combined.Marginalize(best_var));
+      Marginalizations()->Increment();
+    }
     factors = std::move(remaining);
     hidden.erase(best_var);
   }
@@ -128,6 +172,7 @@ Result<std::vector<double>> VariableElimination(const BayesianNetwork& net,
   for (const Factor& f : factors) {
     if (f.variables().empty()) continue;  // Constant from evidence.
     result = Factor::Product(result, f);
+    FactorProducts()->Increment();
   }
   result.Normalize();
 
@@ -148,6 +193,7 @@ Result<std::vector<double>> LikelihoodWeighting(const BayesianNetwork& net,
   if (num_samples == 0) {
     return Status::InvalidArgument("num_samples must be > 0");
   }
+  LwSamples()->Increment(num_samples);
 
   const auto order = net.structure().TopologicalOrder();
   std::vector<double> accum(
@@ -191,6 +237,7 @@ Result<std::vector<double>> GibbsSampling(const BayesianNetwork& net,
   if (num_samples == 0) {
     return Status::InvalidArgument("num_samples must be > 0");
   }
+  GibbsSweeps()->Increment(burn_in + num_samples);
 
   const std::size_t d = net.num_nodes();
   std::vector<std::size_t> hidden;

@@ -6,9 +6,25 @@
 #include <unordered_map>
 
 #include "common/random.h"
+#include "obs/metrics.h"
 
 namespace bayescrowd {
 namespace {
+
+// Process-wide counters (structure learning runs below the framework
+// layer; see obs/metrics.h on registry scoping).
+obs::Counter* ScoreEvals() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Default().GetCounter("bayesnet.score_evals");
+  return counter;
+}
+
+obs::Counter* ScoreCacheHits() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Default().GetCounter(
+          "bayesnet.score_cache_hits");
+  return counter;
+}
 
 // Computes the BIC family score of `node` with parent set `parents`
 // (sorted): available-case log-likelihood minus the BIC complexity
@@ -68,7 +84,11 @@ class ScoreCache {
     std::sort(parents.begin(), parents.end());
     const auto key = std::make_pair(node, std::move(parents));
     const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      ScoreCacheHits()->Increment();
+      return it->second;
+    }
+    ScoreEvals()->Increment();
     const double score = FamilyScore(data_, key.first, key.second);
     cache_.emplace(key, score);
     return score;

@@ -1,8 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 namespace bayescrowd {
 namespace {
@@ -38,6 +40,32 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal_logging {

@@ -7,6 +7,7 @@
 #define BAYESCROWD_COMMON_LOGGING_H_
 
 #include <sstream>
+#include <string_view>
 
 namespace bayescrowd {
 
@@ -19,9 +20,22 @@ enum class LogLevel : int {
 };
 
 /// Sets the minimum level that is emitted (default: kWarning, so library
-/// internals stay quiet unless something is off).
+/// internals stay quiet unless something is off). The level is a single
+/// atomic: SetLogLevel may race with logging from pool lanes, and each
+/// emitted line is written with one stdio call, so concurrent lines never
+/// interleave mid-line.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// True when a statement at `level` would be emitted. The BAYESCROWD_LOG
+/// macro checks this before constructing the message, so disabled log
+/// statements cost one relaxed atomic load — no ostringstream.
+bool LogLevelEnabled(LogLevel level);
+
+/// Parses "debug" / "info" / "warning" (or "warn") / "error" / "off",
+/// case-insensitively. Returns false on unknown names, leaving *out
+/// untouched.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
 
 namespace internal_logging {
 
@@ -41,12 +55,22 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Makes the enabled/disabled ternary branches agree on type void.
+/// operator& binds looser than operator<<, so the whole chained message
+/// expression is swallowed.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal_logging
 }  // namespace bayescrowd
 
-#define BAYESCROWD_LOG(level)                               \
-  ::bayescrowd::internal_logging::LogMessage(               \
-      ::bayescrowd::LogLevel::k##level, __FILE__, __LINE__) \
-      .stream()
+#define BAYESCROWD_LOG(level)                                          \
+  !::bayescrowd::LogLevelEnabled(::bayescrowd::LogLevel::k##level)     \
+      ? (void)0                                                        \
+      : ::bayescrowd::internal_logging::Voidify() &                    \
+            ::bayescrowd::internal_logging::LogMessage(                \
+                ::bayescrowd::LogLevel::k##level, __FILE__, __LINE__)  \
+                .stream()
 
 #endif  // BAYESCROWD_COMMON_LOGGING_H_

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 
 namespace bayescrowd {
 
@@ -10,8 +11,9 @@ std::size_t ThreadPool::ResolveThreads(std::size_t threads) {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  const std::size_t lanes = ResolveThreads(threads);
+ThreadPool::ThreadPool(std::size_t threads)
+    : lane_accum_(ResolveThreads(threads)) {
+  const std::size_t lanes = lane_accum_.size();
   workers_.reserve(lanes - 1);
   for (std::size_t i = 0; i + 1 < lanes; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -73,25 +75,49 @@ void ThreadPool::ParallelFor(
     const std::function<void(std::size_t lane, std::size_t index)>& fn) {
   if (count == 0) return;
   const std::size_t lanes = std::min(size(), count);
-  if (lanes <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(0, i);
-    return;
-  }
   // One shared cursor; every lane pulls the next unclaimed index. The
-  // body outlives every Submit because Wait() below is a barrier.
+  // body outlives every Submit because Wait() below is a barrier. Each
+  // lane accounts its item count and body wall-clock once per call.
   std::atomic<std::size_t> next{0};
-  const auto body = [&next, count, &fn](std::size_t lane) {
+  const auto body = [this, &next, count, &fn](std::size_t lane) {
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t executed = 0;
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < count;
          i = next.fetch_add(1, std::memory_order_relaxed)) {
       fn(lane, i);
+      ++executed;
     }
+    const auto busy = std::chrono::steady_clock::now() - start;
+    lane_accum_[lane].tasks.fetch_add(executed, std::memory_order_relaxed);
+    lane_accum_[lane].busy_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(busy)
+                .count()),
+        std::memory_order_relaxed);
   };
+  if (lanes <= 1) {
+    body(0);
+    return;
+  }
   for (std::size_t lane = 1; lane < lanes; ++lane) {
     Submit([&body, lane] { body(lane); });
   }
   body(0);
   Wait();
+}
+
+std::vector<ThreadPool::LaneStats> ThreadPool::lane_stats() const {
+  std::vector<LaneStats> out(lane_accum_.size());
+  for (std::size_t lane = 0; lane < lane_accum_.size(); ++lane) {
+    out[lane].tasks =
+        lane_accum_[lane].tasks.load(std::memory_order_relaxed);
+    out[lane].busy_seconds =
+        static_cast<double>(
+            lane_accum_[lane].busy_ns.load(std::memory_order_relaxed)) /
+        1e9;
+  }
+  return out;
 }
 
 }  // namespace bayescrowd

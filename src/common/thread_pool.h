@@ -16,8 +16,10 @@
 #ifndef BAYESCROWD_COMMON_THREAD_POOL_H_
 #define BAYESCROWD_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -58,6 +60,17 @@ class ThreadPool {
                    const std::function<void(std::size_t lane,
                                             std::size_t index)>& fn);
 
+  /// Cumulative per-lane utilization across every ParallelFor on this
+  /// pool: work items executed and wall-clock spent inside the loop
+  /// body, attributed to the *logical* lane (the caller is lane 0).
+  /// Cheap to record — one clock pair and two relaxed atomic adds per
+  /// lane per ParallelFor call, nothing per index.
+  struct LaneStats {
+    std::uint64_t tasks = 0;       // Work items executed by the lane.
+    double busy_seconds = 0.0;     // Time inside ParallelFor bodies.
+  };
+  std::vector<LaneStats> lane_stats() const;
+
  private:
   void WorkerLoop();
   /// Pops and runs one task if available. `lock` must hold mu_; it is
@@ -65,7 +78,13 @@ class ThreadPool {
   /// when the queue was empty.
   bool RunOne(std::unique_lock<std::mutex>& lock);
 
+  struct LaneAccum {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
   std::vector<std::thread> workers_;
+  std::vector<LaneAccum> lane_accum_;  // size() entries, fixed at ctor.
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable task_ready_;

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "core/entropy.h"
 #include "core/update.h"
+#include "obs/trace.h"
 
 namespace bayescrowd {
 
@@ -22,10 +23,19 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
 
   BayesCrowdResult out;
   Stopwatch total_watch;
+  BAYESCROWD_TRACE_SPAN("bayescrowd.run");
+
+  // Per-run registry unless the caller injected one: repeated runs in
+  // one process start from zeroed counters either way the caller set it
+  // up, and the snapshot still lands in the result.
+  obs::MetricsRegistry local_metrics;
+  obs::MetricsRegistry* const metrics =
+      options_.metrics != nullptr ? options_.metrics : &local_metrics;
 
   // ---------------------------------------------------------------- //
   // Modeling phase (Algorithm 1, line 1).
   // ---------------------------------------------------------------- //
+  obs::TraceSpan modeling_span("modeling");
   Stopwatch modeling_watch;
   BAYESCROWD_ASSIGN_OR_RETURN(CTable ctable,
                               BuildCTable(incomplete, options_.ctable));
@@ -37,6 +47,7 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   probability_options.sampling_fallback =
       probability_options.sampling_fallback || options_.sampling_fallback;
   ProbabilityEvaluator evaluator(probability_options);
+  evaluator.BindMetrics(metrics);
   std::map<CellRef, std::vector<double>> raw_posteriors;
   for (const CellRef& var : ctable.AllVariables()) {
     BAYESCROWD_ASSIGN_OR_RETURN(std::vector<double> dist,
@@ -46,9 +57,16 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
         evaluator.SetDistribution(var, std::move(dist)));
   }
   out.modeling_seconds = modeling_watch.ElapsedSeconds();
+  modeling_span.End();
   out.initial_true = ctable.NumTrue();
   out.initial_false = ctable.NumFalse();
   out.initial_undecided = ctable.NumUndecided();
+
+  obs::Counter* const rounds_counter =
+      metrics->GetCounter("framework.rounds");
+  obs::Counter* const tasks_counter = metrics->GetCounter(
+      std::string("framework.tasks_posted.") +
+      StrategyKindToString(options_.strategy.kind));
 
   // ---------------------------------------------------------------- //
   // Crowdsourcing phase (Algorithm 4).
@@ -70,6 +88,7 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   double budget_left = static_cast<double>(options_.budget);
 
   while (budget_left > 1e-9) {
+    obs::TraceSpan select_span("round.select");
     Stopwatch select_watch;
     const EvaluatorCacheStats cache_before = evaluator.cache_stats();
 
@@ -127,6 +146,7 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     batch.resize(affordable);
     if (batch.empty()) break;
     const double select_seconds = select_watch.ElapsedSeconds();
+    select_span.End();
 
     // Worker latency (simulated or real) is deliberately outside both
     // phase timers.
@@ -139,6 +159,7 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     out.cost_spent += batch_cost;
 
     // Fold answers into the knowledge base.
+    obs::TraceSpan update_span("round.update");
     Stopwatch update_watch;
     std::set<CellRef> touched;
     for (std::size_t t = 0; t < batch.size(); ++t) {
@@ -177,8 +198,9 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     log.tasks = batch.size();
     log.select_seconds = select_seconds;
     log.update_seconds = update_watch.ElapsedSeconds();
+    update_span.End();
     log.seconds = log.select_seconds + log.update_seconds;
-    const EvaluatorCacheStats& cache_after = evaluator.cache_stats();
+    const EvaluatorCacheStats cache_after = evaluator.cache_stats();
     log.cache_hits = cache_after.hits - cache_before.hits;
     log.cache_misses = cache_after.misses - cache_before.misses;
     out.select_seconds += log.select_seconds;
@@ -186,6 +208,8 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     out.round_logs.push_back(log);
     out.tasks_posted += batch.size();
     ++out.rounds;
+    rounds_counter->Increment();
+    tasks_counter->Increment(batch.size());
   }
   out.crowdsourcing_seconds = crowd_watch.ElapsedSeconds();
 
@@ -202,12 +226,25 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       out.result_objects.push_back(i);
     }
   }
-  const EvaluatorCacheStats& cache_stats = evaluator.cache_stats();
+  const EvaluatorCacheStats cache_stats = evaluator.cache_stats();
   out.cache_hits = cache_stats.hits;
   out.cache_misses = cache_stats.misses;
   out.cache_evictions = cache_stats.evictions;
+  out.adpll = evaluator.adpll_stats();
   out.final_ctable = std::move(ctable);
   out.total_seconds = total_watch.ElapsedSeconds();
+
+  // Per-lane pool utilization, both on the result and as gauges so the
+  // metrics rendering is self-contained.
+  out.lane_usage = pool.lane_stats();
+  for (std::size_t lane = 0; lane < out.lane_usage.size(); ++lane) {
+    metrics
+        ->GetGauge(StrFormat("pool.lane%zu.busy_seconds", lane))
+        ->Set(out.lane_usage[lane].busy_seconds);
+    metrics->GetGauge(StrFormat("pool.lane%zu.tasks", lane))
+        ->Set(static_cast<double>(out.lane_usage[lane].tasks));
+  }
+  out.metrics = metrics->Snapshot();
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include "ctable/ctable.h"
 #include "ctable/knowledge.h"
 #include "data/table.h"
+#include "obs/metrics.h"
 #include "probability/evaluator.h"
 
 namespace bayescrowd {
@@ -70,6 +71,13 @@ struct BayesCrowdOptions {
   /// everything on the calling thread. Results are bit-identical for
   /// any value (see DESIGN.md, "Concurrency & caching model").
   std::size_t threads = 0;
+
+  /// Metrics sink for the run ("evaluator.cache.*", "adpll.*",
+  /// "framework.*"). Non-owning; must outlive Run(). nullptr means Run
+  /// uses a private registry (its final state still lands in
+  /// BayesCrowdResult::metrics), so repeated runs never see each
+  /// other's counts. Inject a registry to aggregate across runs.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One crowd round's bookkeeping.
@@ -114,6 +122,15 @@ struct BayesCrowdResult {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+
+  /// ADPLL search totals for the whole run.
+  AdpllStats adpll;
+
+  /// Per-lane thread-pool utilization (lane 0 is the calling thread).
+  std::vector<ThreadPool::LaneStats> lane_usage;
+
+  /// Final state of every instrument in the run's metrics registry.
+  obs::MetricsSnapshot metrics;
 
   /// Final per-object probabilities (1/0 for decided conditions).
   std::vector<double> probabilities;

@@ -28,8 +28,40 @@ std::string FormatRunReport(const BayesCrowdResult& result,
       static_cast<unsigned long long>(result.cache_hits),
       static_cast<unsigned long long>(result.cache_misses),
       static_cast<unsigned long long>(result.cache_evictions));
+  out += StrFormat(
+      "    adpll: %llu calls, %llu branches, %llu direct evals, "
+      "%llu component splits, %llu star evals\n",
+      static_cast<unsigned long long>(result.adpll.calls),
+      static_cast<unsigned long long>(result.adpll.branches),
+      static_cast<unsigned long long>(result.adpll.direct_evals),
+      static_cast<unsigned long long>(result.adpll.component_splits),
+      static_cast<unsigned long long>(result.adpll.star_evals));
+  if (!result.lane_usage.empty()) {
+    std::uint64_t lane_tasks = 0;
+    double busy = 0.0;
+    for (const ThreadPool::LaneStats& lane : result.lane_usage) {
+      lane_tasks += lane.tasks;
+      busy += lane.busy_seconds;
+    }
+    out += StrFormat(
+        "    pool: %zu lane(s), %llu work item(s), %.1f ms busy\n",
+        result.lane_usage.size(),
+        static_cast<unsigned long long>(lane_tasks), busy * 1e3);
+  }
   out += StrFormat("  total machine time: %.1f ms\n",
                    result.total_seconds * 1e3);
+
+  if (options.show_metrics) {
+    out += "  metrics:\n";
+    const std::string text = result.metrics.ToText();
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      out += "    " + text.substr(start, end - start) + "\n";
+      start = end + 1;
+    }
+  }
 
   if (options.show_rounds) {
     for (const RoundLog& log : result.round_logs) {

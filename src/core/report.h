@@ -18,6 +18,10 @@ struct ReportOptions {
   /// Include the per-round task/time trace.
   bool show_rounds = false;
 
+  /// Include the full metrics-registry snapshot (one line per
+  /// instrument; the ADPLL/lane summary is always printed).
+  bool show_metrics = false;
+
   /// Cap on listed result objects (0 = unlimited).
   std::size_t max_objects = 0;
 };

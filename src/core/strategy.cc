@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "core/utility.h"
+#include "obs/trace.h"
 
 namespace bayescrowd {
 namespace {
@@ -97,6 +98,7 @@ Result<std::vector<Task>> SelectTasks(const CTable& ctable,
                                       std::size_t k,
                                       ProbabilityEvaluator& evaluator,
                                       const StrategyOptions& options) {
+  BAYESCROWD_TRACE_SPAN("strategy.select_tasks");
   std::vector<Task> batch;
   if (k == 0) return batch;
   const auto freq = ExpressionFrequencies(ctable, ranked, k);

@@ -1,0 +1,113 @@
+#include "core/telemetry.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "obs/telemetry.h"
+
+namespace bayescrowd {
+namespace {
+
+obs::JsonValue OptionsJson(const BayesCrowdOptions& options) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out["budget"] = options.budget;
+  out["latency"] = options.latency;
+  out["strategy"] = StrategyKindToString(options.strategy.kind);
+  out["method"] = ProbabilityMethodToString(options.probability.method);
+  out["threads"] = options.threads;
+  out["answer_threshold"] = options.answer_threshold;
+  out["confidence_stop_entropy"] = options.confidence_stop_entropy;
+  return out;
+}
+
+obs::JsonValue AdpllJson(const AdpllStats& stats) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out["calls"] = stats.calls;
+  out["branches"] = stats.branches;
+  out["direct_evals"] = stats.direct_evals;
+  out["component_splits"] = stats.component_splits;
+  out["star_evals"] = stats.star_evals;
+  return out;
+}
+
+obs::JsonValue RoundJson(const RoundLog& log) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out["round"] = log.round;
+  out["tasks"] = log.tasks;
+  out["seconds"] = log.seconds;
+  out["select_seconds"] = log.select_seconds;
+  out["update_seconds"] = log.update_seconds;
+  out["cache_hits"] = log.cache_hits;
+  out["cache_misses"] = log.cache_misses;
+  out["cache_hit_rate"] = log.CacheHitRate();
+  return out;
+}
+
+}  // namespace
+
+obs::JsonValue RunTelemetryJson(const std::string& name,
+                                const BayesCrowdOptions& options,
+                                const BayesCrowdResult& result) {
+  obs::JsonValue payload = obs::JsonValue::Object();
+  payload["options"] = OptionsJson(options);
+
+  obs::JsonValue res = obs::JsonValue::Object();
+  obs::JsonValue objects = obs::JsonValue::Array();
+  for (const std::size_t id : result.result_objects) objects.Append(id);
+  res["result_objects"] = std::move(objects);
+  obs::JsonValue probabilities = obs::JsonValue::Array();
+  for (const double p : result.probabilities) probabilities.Append(p);
+  res["probabilities"] = std::move(probabilities);
+  res["tasks_posted"] = result.tasks_posted;
+  res["rounds"] = result.rounds;
+  res["cost_spent"] = result.cost_spent;
+  res["stopped_confident"] = result.stopped_confident;
+  res["initial_true"] = result.initial_true;
+  res["initial_false"] = result.initial_false;
+  res["initial_undecided"] = result.initial_undecided;
+  res["modeling_seconds"] = result.modeling_seconds;
+  res["crowdsourcing_seconds"] = result.crowdsourcing_seconds;
+  res["select_seconds"] = result.select_seconds;
+  res["update_seconds"] = result.update_seconds;
+  res["total_seconds"] = result.total_seconds;
+  payload["result"] = std::move(res);
+
+  obs::JsonValue cache = obs::JsonValue::Object();
+  cache["hits"] = result.cache_hits;
+  cache["misses"] = result.cache_misses;
+  cache["evictions"] = result.cache_evictions;
+  payload["cache"] = std::move(cache);
+
+  payload["adpll"] = AdpllJson(result.adpll);
+
+  obs::JsonValue rounds = obs::JsonValue::Array();
+  for (const RoundLog& log : result.round_logs) {
+    rounds.Append(RoundJson(log));
+  }
+  payload["rounds"] = std::move(rounds);
+
+  obs::JsonValue lanes = obs::JsonValue::Array();
+  for (std::size_t lane = 0; lane < result.lane_usage.size(); ++lane) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry["lane"] = lane;
+    entry["tasks"] = result.lane_usage[lane].tasks;
+    entry["busy_seconds"] = result.lane_usage[lane].busy_seconds;
+    lanes.Append(std::move(entry));
+  }
+  payload["lanes"] = std::move(lanes);
+
+  payload["metrics"] = result.metrics.ToJson();
+
+  return obs::TelemetryEnvelope("run", name, std::move(payload));
+}
+
+Status WriteRunTelemetry(const std::string& name,
+                         const BayesCrowdOptions& options,
+                         const BayesCrowdResult& result,
+                         const std::string& path) {
+  return obs::WriteJsonFile(RunTelemetryJson(name, options, result),
+                            path);
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,378 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace bayescrowd::obs {
+namespace {
+
+void AppendEscaped(std::string_view text, std::string* out) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    *out += "null";  // JSON has no NaN/Inf; null keeps the document valid.
+    return;
+  }
+  std::string repr = StrFormat("%.17g", value);
+  // Guarantee the value re-parses as a double, not an integer.
+  if (repr.find_first_of(".eE") == std::string::npos) repr += ".0";
+  *out += repr;
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+// ---------------------------------------------------------------- //
+// Recursive-descent parser.
+// ---------------------------------------------------------------- //
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    BAYESCROWD_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogates pass through as
+          // replacement; trace/metrics content is ASCII in practice).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string repr(text_.substr(start, pos_ - start));
+    if (repr.empty() || repr == "-") return Error("malformed number");
+    if (repr.find_first_of(".eE") == std::string::npos) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(repr.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return JsonValue(static_cast<std::int64_t>(v));
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    char* end = nullptr;
+    const double v = std::strtod(repr.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    return JsonValue(v);
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      JsonValue obj = JsonValue::Object();
+      SkipSpace();
+      if (Consume('}')) return obj;
+      while (true) {
+        SkipSpace();
+        BAYESCROWD_ASSIGN_OR_RETURN(std::string key, ParseString());
+        SkipSpace();
+        if (!Consume(':')) return Error("expected ':'");
+        BAYESCROWD_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+        obj[key] = std::move(value);
+        SkipSpace();
+        if (Consume(',')) continue;
+        if (Consume('}')) return obj;
+        return Error("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      JsonValue arr = JsonValue::Array();
+      SkipSpace();
+      if (Consume(']')) return arr;
+      while (true) {
+        BAYESCROWD_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+        arr.Append(std::move(value));
+        SkipSpace();
+        if (Consume(',')) continue;
+        if (Consume(']')) return arr;
+        return Error("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      BAYESCROWD_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeWord("true")) return JsonValue(true);
+    if (ConsumeWord("false")) return JsonValue(false);
+    if (ConsumeWord("null")) return JsonValue();
+    return ParseNumber();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void JsonValue::Append(JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  items_.push_back(std::move(value));
+}
+
+std::size_t JsonValue::size() const {
+  return kind_ == Kind::kObject ? members_.size() : items_.size();
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [name, value] : members_) {
+    if (name == key) return value;
+  }
+  members_.emplace_back(key, JsonValue());
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt:
+      *out += StrFormat("%lld", static_cast<long long>(int_));
+      return;
+    case Kind::kDouble:
+      AppendNumber(double_, out);
+      return;
+    case Kind::kString:
+      AppendEscaped(string_, out);
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (indent > 0) Indent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0) Indent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (indent > 0) Indent(out, indent, depth + 1);
+        AppendEscaped(members_[i].first, out);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0) Indent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+Status WriteJsonFile(const JsonValue& value, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  const std::string text = value.Dump(/*indent=*/2) + "\n";
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int closed = std::fclose(f);
+  if (written != text.size() || closed != 0) {
+    return Status::IOError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<JsonValue> ReadJsonFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::string text;
+  char buffer[1 << 14];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return JsonValue::Parse(text);
+}
+
+}  // namespace bayescrowd::obs

@@ -1,0 +1,112 @@
+// Minimal JSON document model shared by the observability layer: the
+// metrics snapshot renderer, the Chrome-trace writer, the run-telemetry
+// emitter, and the CLI's `jsoncheck` validator all speak this type.
+//
+// Deliberately small: ordered objects (stable, diffable output), int64 /
+// double split preserved on parse, no external dependencies.
+
+#ifndef BAYESCROWD_OBS_JSON_H_
+#define BAYESCROWD_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bayescrowd::obs {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;  // null
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  JsonValue(T value)
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(value)) {}
+  JsonValue(double value) : kind_(Kind::kDouble), double_(value) {}
+  JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : kind_(Kind::kString), string_(value) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  bool AsBool() const { return bool_; }
+  std::int64_t AsInt() const {
+    return kind_ == Kind::kDouble ? static_cast<std::int64_t>(double_)
+                                  : int_;
+  }
+  double AsDouble() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Array access. Append converts a null value into an array.
+  void Append(JsonValue value);
+  std::size_t size() const;
+  const JsonValue& at(std::size_t i) const { return items_[i]; }
+
+  /// Object access. operator[] inserts a null member on first use (and
+  /// converts a null value into an object); insertion order is kept.
+  JsonValue& operator[](const std::string& key);
+  const JsonValue* Find(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Serializes; indent 0 is compact, > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  /// Strict parse of one JSON document (trailing garbage is an error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;   // kObject
+};
+
+/// Writes `value` (compact) to `path`, replacing any existing file.
+Status WriteJsonFile(const JsonValue& value, const std::string& path);
+
+/// Reads and parses `path`.
+Result<JsonValue> ReadJsonFile(const std::string& path);
+
+}  // namespace bayescrowd::obs
+
+#endif  // BAYESCROWD_OBS_JSON_H_

@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace bayescrowd::obs {
+
+std::uint64_t Gauge::Pack(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double Gauge::Unpack(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_([&bounds] {
+        std::sort(bounds.begin(), bounds.end());
+        return std::move(bounds);
+      }()),
+      buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  std::size_t bucket = bounds_.size();  // Overflow by default.
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t updated = Gauge::Pack(Gauge::Unpack(observed) + value);
+    if (sum_bits_.compare_exchange_weak(observed, updated,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  return Gauge::Unpack(sum_bits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += StrFormat("%s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    out += StrFormat("%s %g\n", name.c_str(), value);
+  }
+  for (const auto& [name, hist] : histograms) {
+    out += StrFormat("%s count=%llu sum=%g buckets=[", name.c_str(),
+                     static_cast<unsigned long long>(hist.count), hist.sum);
+    for (std::size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (i < hist.bounds.size()) {
+        out += StrFormat("<=%g: %llu", hist.bounds[i],
+                         static_cast<unsigned long long>(
+                             hist.bucket_counts[i]));
+      } else {
+        out += StrFormat(">%g: %llu",
+                         hist.bounds.empty() ? 0.0 : hist.bounds.back(),
+                         static_cast<unsigned long long>(
+                             hist.bucket_counts[i]));
+      }
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  JsonValue& counter_obj = out["counters"];
+  counter_obj = JsonValue::Object();
+  for (const auto& [name, value] : counters) counter_obj[name] = value;
+  JsonValue& gauge_obj = out["gauges"];
+  gauge_obj = JsonValue::Object();
+  for (const auto& [name, value] : gauges) gauge_obj[name] = value;
+  JsonValue& hist_obj = out["histograms"];
+  hist_obj = JsonValue::Object();
+  for (const auto& [name, hist] : histograms) {
+    JsonValue entry = JsonValue::Object();
+    JsonValue bounds = JsonValue::Array();
+    for (const double b : hist.bounds) bounds.Append(b);
+    JsonValue buckets = JsonValue::Array();
+    for (const std::uint64_t c : hist.bucket_counts) buckets.Append(c);
+    entry["bounds"] = std::move(bounds);
+    entry["bucket_counts"] = std::move(buckets);
+    entry["count"] = hist.count;
+    entry["sum"] = hist.sum;
+    hist_obj[name] = std::move(entry);
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = hist->bounds();
+    h.bucket_counts.resize(h.bounds.size() + 1);
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      h.bucket_counts[i] = hist->bucket_count(i);
+    }
+    h.count = hist->count();
+    h.sum = hist->sum();
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace bayescrowd::obs

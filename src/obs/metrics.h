@@ -1,0 +1,146 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket histograms
+// shared by every subsystem (evaluator cache, ADPLL, thread pool,
+// Bayes-net inference, the framework round loop).
+//
+// Hot-path contract: instrument handles are resolved once (registry
+// lookup takes a mutex) and then incremented lock-free with relaxed
+// atomics — safe from any pool lane. Snapshot() and Reset() may run
+// concurrently with increments; a snapshot is a point-in-time read, not
+// a consistent cut across instruments.
+//
+// Determinism: instruments only record; nothing in the query pipeline
+// reads them back, so results are bit-identical with metrics on or off
+// (asserted by obs_test).
+
+#ifndef BAYESCROWD_OBS_METRICS_H_
+#define BAYESCROWD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace bayescrowd::obs {
+
+/// Monotone event count. Increment is one relaxed atomic add.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. per-lane busy seconds, pool size).
+class Gauge {
+ public:
+  void Set(double value) {
+    bits_.store(Pack(value), std::memory_order_relaxed);
+  }
+  double value() const {
+    return Unpack(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { Set(0.0); }
+
+  /// Bit-cast helpers, shared with Histogram's CAS-accumulated sum.
+  static std::uint64_t Pack(double v);
+  static double Unpack(std::uint64_t bits);
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-boundary histogram: bucket i counts observations <= bounds[i];
+/// one overflow bucket catches the rest. Observe is a bucket scan plus
+/// one relaxed atomic add (bucket lists are short, single digits).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const;
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;  // Ascending upper bounds.
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds + overflow.
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // double, CAS-accumulated.
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1 entries.
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every instrument, sorted by name (stable,
+/// diffable rendering).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// "name value" lines, histograms as count/sum/buckets.
+  std::string ToText() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  JsonValue ToJson() const;
+};
+
+/// Thread-safe instrument registry. Instruments are created on first
+/// lookup and live as long as the registry; returned pointers are
+/// stable. Registries are cheap — the framework creates one per run
+/// unless the caller injects a longer-lived one.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be ascending; it is fixed on first creation (later
+  /// lookups of the same name ignore the argument).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument, keeping registrations (and pointers) alive.
+  void Reset();
+
+  /// Process-wide registry for instruments below the framework layer
+  /// (Bayes-net inference, structure learning). Counts accumulate for
+  /// the process lifetime; use Snapshot() deltas for per-phase rates.
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bayescrowd::obs
+
+#endif  // BAYESCROWD_OBS_METRICS_H_

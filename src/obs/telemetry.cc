@@ -1,0 +1,24 @@
+#include "obs/telemetry.h"
+
+#include <utility>
+
+namespace bayescrowd::obs {
+
+JsonValue TelemetryEnvelope(const std::string& kind,
+                            const std::string& name, JsonValue payload) {
+  JsonValue doc = JsonValue::Object();
+  doc["schema_version"] = kTelemetrySchemaVersion;
+  doc["kind"] = kind;
+  doc["name"] = name;
+  doc["payload"] = std::move(payload);
+  return doc;
+}
+
+Status WriteBenchArtifact(const std::string& name, JsonValue payload,
+                          const std::string& dir) {
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  return WriteJsonFile(TelemetryEnvelope("bench", name, std::move(payload)),
+                       path);
+}
+
+}  // namespace bayescrowd::obs

@@ -1,0 +1,31 @@
+// Structured telemetry file conventions shared by the CLI and the
+// benchmark harness: one machine-readable JSON document per run (or per
+// benchmark), wrapped in a versioned envelope so downstream tooling can
+// evolve without guessing.
+
+#ifndef BAYESCROWD_OBS_TELEMETRY_H_
+#define BAYESCROWD_OBS_TELEMETRY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace bayescrowd::obs {
+
+/// Telemetry envelope format version; bump on breaking layout changes.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/// Wraps `payload` in {"schema_version", "kind", "name", "payload"}.
+JsonValue TelemetryEnvelope(const std::string& kind,
+                            const std::string& name, JsonValue payload);
+
+/// Writes `BENCH_<name>.json` into `dir` (default: the working
+/// directory), seeding the repo's benchmark-artifact trajectory. The
+/// payload is whatever measurement rows the benchmark collected.
+Status WriteBenchArtifact(const std::string& name, JsonValue payload,
+                          const std::string& dir = ".");
+
+}  // namespace bayescrowd::obs
+
+#endif  // BAYESCROWD_OBS_TELEMETRY_H_

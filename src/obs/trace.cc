@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace bayescrowd::obs {
+
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// Per-thread event buffer. Appends are lock-free (the buffer is only
+// touched by its own thread); the destructor hands the events to the
+// tracer under its mutex, so worker threads that exit before the trace
+// is written lose nothing.
+struct Tracer::ThreadBuffer {
+  explicit ThreadBuffer(Tracer* tracer)
+      : owner(tracer),
+        tid(tracer->next_tid_.fetch_add(1, std::memory_order_relaxed)) {}
+
+  ~ThreadBuffer() {
+    std::lock_guard<std::mutex> lock(owner->mu_);
+    owner->FlushLocked(*this);
+  }
+
+  Tracer* owner;
+  std::uint32_t tid;
+  std::vector<TraceEvent> events;
+};
+
+Tracer& Tracer::Global() {
+  static auto* tracer = new Tracer();  // Leaked: outlives every thread.
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  thread_local ThreadBuffer buffer(this);
+  return buffer;
+}
+
+void Tracer::FlushLocked(ThreadBuffer& buffer) {
+  flushed_.insert(flushed_.end(), buffer.events.begin(),
+                  buffer.events.end());
+  buffer.events.clear();
+}
+
+std::uint64_t Tracer::NowNs() const {
+  return SteadyNowNs() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+void Tracer::Enable() {
+  epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Clear() {
+  ThreadBuffer& local = LocalBuffer();
+  std::lock_guard<std::mutex> lock(mu_);
+  local.events.clear();
+  flushed_.clear();
+}
+
+JsonValue Tracer::ChromeTraceJson() {
+  ThreadBuffer& local = LocalBuffer();
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked(local);
+  // Deterministic rendering regardless of which thread flushed first.
+  std::stable_sort(flushed_.begin(), flushed_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns) {
+                       return a.start_ns < b.start_ns;
+                     }
+                     return a.tid < b.tid;
+                   });
+
+  JsonValue events = JsonValue::Array();
+  for (const TraceEvent& event : flushed_) {
+    JsonValue entry = JsonValue::Object();
+    entry["name"] = event.name;
+    entry["cat"] = "bayescrowd";
+    entry["ph"] = "X";
+    entry["ts"] = static_cast<double>(event.start_ns) / 1e3;  // µs.
+    entry["dur"] = static_cast<double>(event.dur_ns) / 1e3;
+    entry["pid"] = 1;
+    entry["tid"] = static_cast<std::uint64_t>(event.tid);
+    events.Append(std::move(entry));
+  }
+  JsonValue doc = JsonValue::Object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) {
+  return WriteJsonFile(ChromeTraceJson(), path);
+}
+
+std::size_t Tracer::EventCountForTesting() {
+  ThreadBuffer& local = LocalBuffer();
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked(local);
+  return flushed_.size();
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(nullptr) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  name_ = name;
+  start_ns_ = tracer.NowNs();
+}
+
+void TraceSpan::End() {
+  if (name_ == nullptr) return;
+  Tracer& tracer = Tracer::Global();
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns = tracer.NowNs() - start_ns_;
+  Tracer::ThreadBuffer& buffer = tracer.LocalBuffer();
+  event.tid = buffer.tid;
+  buffer.events.push_back(event);
+  name_ = nullptr;
+}
+
+}  // namespace bayescrowd::obs

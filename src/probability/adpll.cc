@@ -258,7 +258,10 @@ class AdpllSearch {
         h[i] = 0;
       }
     }
-    if (stats_ != nullptr) ++stats_->direct_evals;
+    if (stats_ != nullptr) {
+      ++stats_->direct_evals;
+      ++stats_->star_evals;
+    }
     *out = total;
     return true;
   }
@@ -302,6 +305,7 @@ class AdpllSearch {
     if (options_.component_decomposition) {
       const auto components = condition.ConjunctComponents();
       if (components.size() > 1) {
+        if (stats_ != nullptr) ++stats_->component_splits;
         double product = 1.0;
         for (const auto& indices : components) {
           std::vector<Conjunct> sub;

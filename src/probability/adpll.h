@@ -62,6 +62,17 @@ struct AdpllStats {
   std::uint64_t calls = 0;        // Recursive invocations.
   std::uint64_t branches = 0;     // Value branches taken.
   std::uint64_t direct_evals = 0; // Conditions resolved by independence.
+  std::uint64_t component_splits = 0;  // Variable-disjoint group splits.
+  std::uint64_t star_evals = 0;        // Star fast-path enumerations.
+
+  AdpllStats& operator+=(const AdpllStats& other) {
+    calls += other.calls;
+    branches += other.branches;
+    direct_evals += other.direct_evals;
+    component_splits += other.component_splits;
+    star_evals += other.star_evals;
+    return *this;
+  }
 };
 
 /// Exact Pr(φ) via adaptive DPLL search. `stats`, if non-null, is

@@ -1,7 +1,10 @@
 #include "probability/evaluator.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace bayescrowd {
 namespace {
@@ -27,6 +30,55 @@ const char* ProbabilityMethodToString(ProbabilityMethod method) {
       return "sampled-rb";
   }
   return "?";
+}
+
+void ProbabilityEvaluator::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    if (owned_metrics_ == nullptr) {
+      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+    registry = owned_metrics_.get();
+  }
+  metrics_ = registry;
+  ins_.cache_hits = registry->GetCounter("evaluator.cache.hits");
+  ins_.cache_misses = registry->GetCounter("evaluator.cache.misses");
+  ins_.cache_evictions = registry->GetCounter("evaluator.cache.evictions");
+  ins_.adpll_calls = registry->GetCounter("adpll.calls");
+  ins_.adpll_branches = registry->GetCounter("adpll.branches");
+  ins_.adpll_direct_evals = registry->GetCounter("adpll.direct_evals");
+  ins_.adpll_component_splits =
+      registry->GetCounter("adpll.component_splits");
+  ins_.adpll_star_evals = registry->GetCounter("adpll.star_evals");
+  ins_.batch_size = registry->GetHistogram(
+      "evaluator.batch.size", {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0});
+  ins_.batch_misses = registry->GetHistogram(
+      "evaluator.batch.misses", {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0});
+}
+
+EvaluatorCacheStats ProbabilityEvaluator::cache_stats() const {
+  EvaluatorCacheStats out;
+  out.hits = ins_.cache_hits->value();
+  out.misses = ins_.cache_misses->value();
+  out.evictions = ins_.cache_evictions->value();
+  return out;
+}
+
+AdpllStats ProbabilityEvaluator::adpll_stats() const {
+  AdpllStats out;
+  out.calls = ins_.adpll_calls->value();
+  out.branches = ins_.adpll_branches->value();
+  out.direct_evals = ins_.adpll_direct_evals->value();
+  out.component_splits = ins_.adpll_component_splits->value();
+  out.star_evals = ins_.adpll_star_evals->value();
+  return out;
+}
+
+void ProbabilityEvaluator::AddAdpllStats(const AdpllStats& stats) {
+  ins_.adpll_calls->Increment(stats.calls);
+  ins_.adpll_branches->Increment(stats.branches);
+  ins_.adpll_direct_evals->Increment(stats.direct_evals);
+  ins_.adpll_component_splits->Increment(stats.component_splits);
+  ins_.adpll_star_evals->Increment(stats.star_evals);
 }
 
 std::uint64_t ProbabilityEvaluator::DistStamp(
@@ -63,13 +115,13 @@ void ProbabilityEvaluator::InvalidateVariable(const CellRef& var) {
   const auto it = var_index_.find(packed);
   if (it == var_index_.end()) return;
   for (const ConditionFingerprint& fingerprint : it->second) {
-    cache_stats_.evictions += cache_.erase(fingerprint);
+    ins_.cache_evictions->Increment(cache_.erase(fingerprint));
   }
   var_index_.erase(it);
 }
 
 void ProbabilityEvaluator::ClearCache() {
-  cache_stats_.evictions += cache_.size();
+  ins_.cache_evictions->Increment(cache_.size());
   cache_.clear();
   var_index_.clear();
 }
@@ -99,9 +151,11 @@ Result<double> ProbabilityEvaluator::Compute(const Condition& condition,
                                              Rng& rng, AdpllStats* stats) {
   Result<double> result = Status::Internal("unknown probability method");
   switch (options_.method) {
-    case ProbabilityMethod::kAdpll:
+    case ProbabilityMethod::kAdpll: {
+      BAYESCROWD_TRACE_SPAN("adpll.solve");
       result = AdpllProbability(condition, dists_, options_.adpll, stats);
       break;
+    }
     case ProbabilityMethod::kNaive:
       result = NaiveProbability(condition, dists_, options_.naive);
       break;
@@ -123,25 +177,33 @@ Result<double> ProbabilityEvaluator::Compute(const Condition& condition,
 Result<double> ProbabilityEvaluator::Probability(const Condition& condition) {
   if (condition.IsTrue()) return 1.0;
   if (condition.IsFalse()) return 0.0;
-  if (!Memoizable()) return Compute(condition, rng_, &adpll_stats_);
+  AdpllStats tally;
+  if (!Memoizable()) {
+    Result<double> p = Compute(condition, rng_, &tally);
+    AddAdpllStats(tally);
+    return p;
+  }
 
   const ConditionFingerprint fingerprint = condition.Fingerprint();
   const auto it = cache_.find(fingerprint);
   if (it != cache_.end() && it->second.stamp == DistStamp(condition)) {
-    ++cache_stats_.hits;
+    ins_.cache_hits->Increment();
     return it->second.probability;
   }
-  ++cache_stats_.misses;
-  BAYESCROWD_ASSIGN_OR_RETURN(const double p,
-                              Compute(condition, rng_, &adpll_stats_));
+  ins_.cache_misses->Increment();
+  Result<double> computed = Compute(condition, rng_, &tally);
+  AddAdpllStats(tally);
+  BAYESCROWD_ASSIGN_OR_RETURN(const double p, std::move(computed));
   Insert(fingerprint, condition, p);
   return p;
 }
 
 Result<std::vector<double>> ProbabilityEvaluator::EvaluateBatch(
     const std::vector<const Condition*>& conditions) {
+  BAYESCROWD_TRACE_SPAN("evaluator.batch");
   const std::size_t n = conditions.size();
   std::vector<double> probabilities(n, 0.0);
+  ins_.batch_size->Observe(static_cast<double>(n));
 
   // Sequential pass: constants and memo hits; collect the rest. The
   // cache maps are touched on this thread only.
@@ -159,14 +221,15 @@ Result<std::vector<double>> ProbabilityEvaluator::EvaluateBatch(
     if (memoizable) {
       const auto it = cache_.find(fingerprints[i]);
       if (it != cache_.end() && it->second.stamp == DistStamp(cond)) {
-        ++cache_stats_.hits;
+        ins_.cache_hits->Increment();
         probabilities[i] = it->second.probability;
         continue;
       }
-      ++cache_stats_.misses;
+      ins_.cache_misses->Increment();
     }
     misses.push_back(i);
   }
+  ins_.batch_misses->Observe(static_cast<double>(misses.size()));
 
   // Parallel pass: each miss is an independent model-counting call that
   // only reads dists_. Results land in per-index slots, ADPLL counters
@@ -195,11 +258,11 @@ Result<std::vector<double>> ProbabilityEvaluator::EvaluateBatch(
     for (std::size_t m = 0; m < misses.size(); ++m) evaluate_one(0, m);
   }
 
-  for (const AdpllStats& stats : lane_stats) {
-    adpll_stats_.calls += stats.calls;
-    adpll_stats_.branches += stats.branches;
-    adpll_stats_.direct_evals += stats.direct_evals;
-  }
+  // Merge per-lane tallies after the barrier: deterministic totals, and
+  // one counter increment per lane instead of one per condition.
+  AdpllStats merged;
+  for (const AdpllStats& stats : lane_stats) merged += stats;
+  AddAdpllStats(merged);
   for (const Status& status : errors) {
     BAYESCROWD_RETURN_NOT_OK(status);
   }

@@ -23,11 +23,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "common/random.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "ctable/condition.h"
 #include "ctable/ctable.h"
+#include "obs/metrics.h"
 #include "probability/adpll.h"
 #include "probability/distributions.h"
 #include "probability/naive.h"
@@ -74,7 +77,9 @@ struct EvaluatorCacheStats {
 class ProbabilityEvaluator {
  public:
   explicit ProbabilityEvaluator(ProbabilityOptions options = {})
-      : options_(std::move(options)), rng_(options_.sampling_seed) {}
+      : options_(std::move(options)), rng_(options_.sampling_seed) {
+    BindMetrics(nullptr);
+  }
 
   /// Mutable access for bulk setup. Mutating distributions through this
   /// handle bypasses variable-indexed invalidation, so it conservatively
@@ -126,9 +131,19 @@ class ProbabilityEvaluator {
   bool IsCached(const Condition& condition) const;
 
   std::size_t CacheSize() const { return cache_.size(); }
-  const EvaluatorCacheStats& cache_stats() const { return cache_stats_; }
 
-  const AdpllStats& adpll_stats() const { return adpll_stats_; }
+  /// Cache and ADPLL counters, read back from the bound metrics
+  /// registry (by value: the registry is the single source of truth).
+  EvaluatorCacheStats cache_stats() const;
+  AdpllStats adpll_stats() const;
+
+  /// Points the evaluator's instruments ("evaluator.cache.*",
+  /// "adpll.*", "evaluator.batch.*") at `registry`. nullptr (the
+  /// constructor default) binds a private registry, so fresh evaluators
+  /// always start from zeroed counters; the framework rebinds to its
+  /// per-run registry. Not thread-safe against concurrent evaluation.
+  void BindMetrics(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   struct CacheEntry {
@@ -159,9 +174,11 @@ class ProbabilityEvaluator {
   void Insert(const ConditionFingerprint& fingerprint,
               const Condition& condition, double probability);
 
+  /// Folds one (per-call or per-lane) ADPLL tally into the counters.
+  void AddAdpllStats(const AdpllStats& stats);
+
   ProbabilityOptions options_;
   DistributionMap dists_;
-  AdpllStats adpll_stats_;
   Rng rng_;
 
   ThreadPool* pool_ = nullptr;
@@ -175,7 +192,23 @@ class ProbabilityEvaluator {
       var_index_;
   /// Times each variable's distribution has been replaced.
   std::unordered_map<PackedVar, std::uint64_t> var_epoch_;
-  EvaluatorCacheStats cache_stats_;
+
+  /// Metrics sink (never null after construction) and resolved
+  /// instrument handles — lock-free increments on the hot paths.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct Instruments {
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_evictions = nullptr;
+    obs::Counter* adpll_calls = nullptr;
+    obs::Counter* adpll_branches = nullptr;
+    obs::Counter* adpll_direct_evals = nullptr;
+    obs::Counter* adpll_component_splits = nullptr;
+    obs::Counter* adpll_star_evals = nullptr;
+    obs::Histogram* batch_size = nullptr;
+    obs::Histogram* batch_misses = nullptr;
+  } ins_;
 };
 
 }  // namespace bayescrowd

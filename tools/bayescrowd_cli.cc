@@ -24,10 +24,16 @@
 #include "bayesnet/network.h"
 #include "bayesnet/serialization.h"
 #include "bayesnet/structure_learning.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "core/framework.h"
 #include "core/report.h"
+#include "core/telemetry.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "crowd/interactive.h"
 #include "crowd/platform.h"
 #include "crowd/record_replay.h"
@@ -82,9 +88,15 @@ int Usage() {
       "           [--save-model F] [--load-model F]\n"
       "           [--record F] [--replay-from F] [--tasks-per-round K]\n"
       "           [--verbose]\n"
+      "           [--metrics-out F] [--trace-out F] [--telemetry-out F]\n"
+      "  jsoncheck --in F\n"
       "  (pause/resume: run --interactive --record log --tasks-per-round K,\n"
       "   stop anytime; rerun with --replay-from log and the same K and\n"
-      "   data to continue where you left off)\n");
+      "   data to continue where you left off)\n"
+      "  global: --log-level debug|info|warning|error|off\n"
+      "  --metrics-out: counters/gauges/histograms as JSON;\n"
+      "  --trace-out: Chrome trace-event JSON (chrome://tracing, Perfetto);\n"
+      "  --telemetry-out: full machine-readable run document\n");
   return 2;
 }
 
@@ -180,10 +192,28 @@ int CmdCTable(const Flags& flags) {
   return 0;
 }
 
+int CmdJsonCheck(const Flags& flags) {
+  const std::string path = flags.Get("in", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "jsoncheck needs --in <file>\n");
+    return 2;
+  }
+  const auto parsed = obs::ReadJsonFile(path);
+  if (!parsed.ok()) return Fail(parsed.status());
+  std::printf("%s: valid JSON\n", path.c_str());
+  return 0;
+}
+
 int CmdRun(const Flags& flags) {
   auto loaded = LoadTableCsv(flags.Get("data", ""));
   if (!loaded.ok()) return Fail(loaded.status());
   const Table& incomplete = *loaded;
+
+  // Tracing must be live before the run so modeling / per-round /
+  // ADPLL spans record; the file is written after the pipeline (the
+  // pool joins inside Run, so every lane's buffer is flushed by then).
+  const std::string trace_out = flags.Get("trace-out", "");
+  if (!trace_out.empty()) obs::Tracer::Global().Enable();
 
   // Preprocessing: Bayesian network from the incomplete data (or a
   // previously saved model via --load-model).
@@ -223,6 +253,8 @@ int CmdRun(const Flags& flags) {
   }
 
   BayesCrowdOptions options;
+  obs::MetricsRegistry run_metrics;
+  options.metrics = &run_metrics;
   options.ctable.alpha = flags.GetDouble("alpha", 0.01);
   options.budget = static_cast<std::size_t>(flags.GetInt("budget", 50));
   options.latency = static_cast<std::size_t>(flags.GetInt("latency", 5));
@@ -316,9 +348,37 @@ int CmdRun(const Flags& flags) {
   }
   if (!result.ok()) return Fail(result.status());
 
+  // Observability artifacts (each flag independent; all opt-in).
+  if (!trace_out.empty()) {
+    const Status st = obs::Tracer::Global().WriteChromeTrace(trace_out);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote trace to %s\n", trace_out.c_str());
+  }
+  if (flags.Has("metrics-out")) {
+    obs::JsonValue payload = obs::JsonValue::Object();
+    payload["run"] = run_metrics.Snapshot().ToJson();
+    payload["process"] = obs::MetricsRegistry::Default().Snapshot().ToJson();
+    const Status st = obs::WriteJsonFile(
+        obs::TelemetryEnvelope("metrics", flags.Get("data", ""),
+                               std::move(payload)),
+        flags.Get("metrics-out", ""));
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote metrics to %s\n",
+                flags.Get("metrics-out", "").c_str());
+  }
+  if (flags.Has("telemetry-out")) {
+    const Status st =
+        WriteRunTelemetry(flags.Get("data", ""), options, *result,
+                          flags.Get("telemetry-out", ""));
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote telemetry to %s\n",
+                flags.Get("telemetry-out", "").c_str());
+  }
+
   ReportOptions report;
   report.show_rounds = flags.Has("verbose");
   report.show_conditions = flags.Has("verbose");
+  report.show_metrics = flags.Has("verbose");
   report.max_objects = 50;
   std::printf("\n%s", FormatRunReport(*result, incomplete, report).c_str());
   if (have_truth) {
@@ -352,11 +412,21 @@ int Main(int argc, char** argv) {
       flags.values[arg] = "";  // Boolean flag.
     }
   }
+  if (flags.Has("log-level")) {
+    LogLevel level = LogLevel::kWarning;
+    if (!ParseLogLevel(flags.Get("log-level", ""), &level)) {
+      std::fprintf(stderr, "unknown --log-level '%s'\n",
+                   flags.Get("log-level", "").c_str());
+      return 2;
+    }
+    SetLogLevel(level);
+  }
   if (command == "generate") return CmdGenerate(flags);
   if (command == "inject") return CmdInject(flags);
   if (command == "skyline") return CmdSkyline(flags);
   if (command == "ctable") return CmdCTable(flags);
   if (command == "run") return CmdRun(flags);
+  if (command == "jsoncheck") return CmdJsonCheck(flags);
   return Usage();
 }
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the regular build + full ctest suite, then the
-# parallel-evaluation determinism test rebuilt and re-run under
-# ThreadSanitizer (BC_SANITIZE=thread) to catch data races the plain
-# build cannot see.
+# Tier-1 verification: the regular build + full ctest suite, an
+# end-to-end observability smoke run of the CLI (metrics / trace /
+# telemetry artifacts must all be valid JSON), then the concurrency
+# tests rebuilt and re-run under ThreadSanitizer (BC_SANITIZE=thread)
+# to catch data races the plain build cannot see.
 #
 # Usage: tools/tier1.sh [jobs]   (run from the repo root)
 
@@ -16,12 +17,39 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-echo "== tier-1: determinism test under ThreadSanitizer =="
+echo "== tier-1: observability smoke run =="
+CLI="$ROOT/build/tools/bayescrowd_cli"
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+"$CLI" generate --dataset corr --n 50 --d 5 --levels 8 --seed 3 \
+  --out "$SMOKE/complete.csv"
+"$CLI" inject --in "$SMOKE/complete.csv" --rate 0.15 --seed 3 \
+  --out "$SMOKE/holes.csv"
+# --alpha -1 disables modeling-phase pruning so undecided objects survive
+# into the crowdsourcing rounds (the default alpha can settle everything
+# during modeling, leaving the round spans / ADPLL counters unexercised).
+"$CLI" run --data "$SMOKE/holes.csv" --truth "$SMOKE/complete.csv" \
+  --strategy hhs --budget 20 --latency 4 --threads 4 --alpha -1 \
+  --log-level warning \
+  --metrics-out "$SMOKE/metrics.json" \
+  --trace-out "$SMOKE/trace.json" \
+  --telemetry-out "$SMOKE/telemetry.json" > /dev/null
+for doc in metrics trace telemetry; do
+  "$CLI" jsoncheck --in "$SMOKE/$doc.json"
+done
+# The trace must actually contain the round-loop spans.
+grep -q '"round.select"' "$SMOKE/trace.json"
+grep -q '"adpll.solve"' "$SMOKE/trace.json"
+grep -q 'adpll.calls' "$SMOKE/metrics.json"
+
+echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DBC_SANITIZE=thread \
   -DBAYESCROWD_BUILD_BENCHMARKS=OFF \
   -DBAYESCROWD_BUILD_EXAMPLES=OFF
-cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test
-ctest --test-dir "$ROOT/build-tsan" --output-on-failure -R parallel_test
+cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
+  --target obs_test
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
+  -R '(parallel_test|obs_test)'
 
 echo "tier-1 OK"
