@@ -1,0 +1,129 @@
+// Fault tolerance: result quality and recovery cost as the crowd
+// platform degrades. One fixed workload, swept over the mixed-fault
+// profile rate {0, 0.1, 0.3, 0.5} of FaultInjectingPlatform.
+//
+// The rate-0 row is the healthy baseline; higher rates show how much of
+// the budget the retry layer still converts into answers (tasks vs
+// refunds, rounds vs abandoned rounds, simulated backoff burned) and
+// what that buys in F1 against the ground-truth skyline. Every row is
+// deterministic: the fault schedule depends only on the seed and the
+// batch sequence, so the series is diffable across commits.
+//
+// Writes BENCH_fault_sweep.json (telemetry envelope, one row per rate).
+
+#include <benchmark/benchmark.h>
+
+#include <utility>
+
+#include "bench_util.h"
+#include "bayesnet/imputation.h"
+#include "crowd/fault_injection.h"
+#include "crowd/platform.h"
+#include "data/generators.h"
+#include "skyline/metrics.h"
+
+namespace bayescrowd::bench {
+namespace {
+
+constexpr std::uint64_t kFaultSeed = 11;
+
+BenchArtifact& Artifact() {
+  static auto* artifact = new BenchArtifact("fault_sweep");
+  return *artifact;
+}
+
+void BM_FaultSweep(benchmark::State& state) {
+  // state.range(0) is the fault rate in percent.
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+
+  const Table& complete = NbaComplete();
+  const Table incomplete = WithMissingRate(complete, 0.15);
+  const auto& network = LearnedNetwork(incomplete, "fault_sweep@0.15");
+
+  BayesCrowdOptions options;
+  options.ctable.alpha = 0.003;
+  options.strategy.kind = StrategyKind::kHhs;
+  options.strategy.m = 15;
+  options.budget = 60;
+  options.latency = 12;
+  options.retry.max_attempts = 3;
+  options.retry.round_deadline_seconds = 30.0;
+
+  BayesCrowdResult result;
+  FaultStats stats;
+  for (auto _ : state) {
+    BayesCrowd framework(options);
+    BnPosteriorProvider posteriors(network, incomplete);
+    SimulatedCrowdPlatform platform(complete, {});
+    FaultInjectingPlatform faulter(platform,
+                                   FaultOptions::Profile(rate, kFaultSeed));
+    auto run = framework.Run(incomplete, posteriors, faulter);
+    BAYESCROWD_CHECK_OK(run.status());
+    result = std::move(run).value();
+    stats = faulter.stats();
+  }
+
+  const double f1 = EvaluateResultSet(result.result_objects,
+                                      GroundTruthSkyline(complete))
+                        .f1;
+  state.counters["fault_rate"] = rate;
+  state.counters["f1"] = f1;
+  state.counters["tasks"] = static_cast<double>(result.tasks_posted);
+  state.counters["unanswered"] =
+      static_cast<double>(result.tasks_unanswered);
+  state.counters["rounds"] = static_cast<double>(result.rounds);
+  state.counters["abandoned"] =
+      static_cast<double>(result.rounds_abandoned);
+  state.counters["retries"] = static_cast<double>(result.retries);
+  state.counters["cost_spent"] = result.cost_spent;
+  state.counters["cost_refunded"] = result.cost_refunded;
+  state.counters["backoff_sim_seconds"] = result.backoff_seconds;
+  state.counters["degraded"] = result.degraded ? 1.0 : 0.0;
+
+  obs::JsonValue row = obs::JsonValue::Object();
+  row["fault_rate"] = rate;
+  row["fault_seed"] = kFaultSeed;
+  row["f1"] = f1;
+  row["tasks"] = result.tasks_posted;
+  row["tasks_unanswered"] = result.tasks_unanswered;
+  row["rounds"] = result.rounds;
+  row["rounds_abandoned"] = result.rounds_abandoned;
+  row["retries"] = result.retries;
+  row["transient_failures"] = result.transient_failures;
+  row["cost_spent"] = result.cost_spent;
+  row["cost_refunded"] = result.cost_refunded;
+  row["backoff_sim_seconds"] = result.backoff_seconds;
+  row["platform_sim_seconds"] = result.simulated_seconds;
+  row["degraded"] = result.degraded;
+  row["stopped_confident"] = result.stopped_confident;
+  obs::JsonValue injected = obs::JsonValue::Object();
+  injected["transient_failures"] = stats.transient_failures;
+  injected["timeouts"] = stats.timeouts;
+  injected["abstained_tasks"] = stats.abstained_tasks;
+  injected["partial_batches"] = stats.partial_batches;
+  injected["dropped_tail_tasks"] = stats.dropped_tail_tasks;
+  injected["batches_attempted"] = stats.batches_attempted;
+  injected["batches_delivered"] = stats.batches_delivered;
+  row["injected"] = std::move(injected);
+  Artifact().AddRow(std::move(row));
+}
+
+void SweepArgs(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t percent : {0, 10, 30, 50}) {
+    bench->Args({percent});
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_FaultSweep)->Apply(SweepArgs);
+
+}  // namespace
+}  // namespace bayescrowd::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return bayescrowd::bench::Artifact().Write() ? 0 : 1;
+}

@@ -30,6 +30,7 @@ enum class StatusCode : std::uint8_t {
   kIOError = 7,
   kNotImplemented = 8,
   kInternal = 9,
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -81,6 +82,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Transient failure of an external dependency (crowd platform down,
+  /// batch timed out). The only code the framework's retry layer treats
+  /// as retryable; everything else stays fatal.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -95,6 +102,7 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

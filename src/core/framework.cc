@@ -20,6 +20,19 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   if (options_.latency == 0) {
     return Status::InvalidArgument("latency must be >= 1 round");
   }
+  if (options_.retry.max_attempts == 0) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+  }
+  if (options_.retry.max_barren_rounds == 0) {
+    return Status::InvalidArgument("retry.max_barren_rounds must be >= 1");
+  }
+  if (options_.retry.attempt_seconds < 0.0 ||
+      options_.retry.backoff_initial_seconds < 0.0 ||
+      options_.retry.backoff_multiplier < 1.0 ||
+      options_.retry.round_deadline_seconds < 0.0) {
+    return Status::InvalidArgument("retry policy times must be >= 0 and "
+                                   "the backoff multiplier >= 1");
+  }
 
   BayesCrowdResult out;
   Stopwatch total_watch;
@@ -67,6 +80,14 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   obs::Counter* const tasks_counter = metrics->GetCounter(
       std::string("framework.tasks_posted.") +
       StrategyKindToString(options_.strategy.kind));
+  obs::Counter* const retries_counter =
+      metrics->GetCounter("framework.retries");
+  obs::Counter* const transient_counter =
+      metrics->GetCounter("framework.transient_failures");
+  obs::Counter* const abandoned_counter =
+      metrics->GetCounter("framework.rounds_abandoned");
+  obs::Counter* const unanswered_counter =
+      metrics->GetCounter("framework.tasks_unanswered");
 
   // ---------------------------------------------------------------- //
   // Crowdsourcing phase (Algorithm 4).
@@ -86,6 +107,8 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   const TaskCostModel& cost_model =
       options_.cost_model != nullptr ? *options_.cost_model : unit_cost;
   double budget_left = static_cast<double>(options_.budget);
+  const RetryPolicy& retry = options_.retry;
+  std::size_t consecutive_barren = 0;  // Rounds with zero applied answers.
 
   while (budget_left > 1e-9) {
     obs::TraceSpan select_span("round.select");
@@ -149,20 +172,104 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     select_span.End();
 
     // Worker latency (simulated or real) is deliberately outside both
-    // phase timers.
-    BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<TaskAnswer> answers,
-                                platform.PostBatch(batch));
+    // phase timers. Transient platform failures are retried with
+    // deterministic exponential backoff on a simulated clock; the
+    // per-round deadline caps how much simulated time one round may
+    // burn on attempts and waits (see RetryPolicy).
+    const double deadline = retry.round_deadline_seconds;
+    std::vector<TaskAnswer> answers;
+    bool delivered = false;
+    std::size_t attempts = 0;
+    double round_clock = 0.0;
+    double round_backoff = 0.0;
+    while (attempts < retry.max_attempts) {
+      if (deadline > 0.0 &&
+          round_clock + retry.attempt_seconds > deadline + 1e-12) {
+        break;  // No time left for another attempt: abandon the round.
+      }
+      ++attempts;
+      round_clock += retry.attempt_seconds;
+      auto posted = platform.PostBatch(batch);
+      if (posted.ok()) {
+        answers = std::move(posted).value();
+        delivered = true;
+        break;
+      }
+      if (!posted.status().IsUnavailable()) {
+        return posted.status();  // Fatal: not a transient platform error.
+      }
+      ++out.transient_failures;
+      transient_counter->Increment();
+      if (attempts >= retry.max_attempts) break;
+      const double backoff =
+          retry.backoff_initial_seconds *
+          std::pow(retry.backoff_multiplier,
+                   static_cast<double>(attempts - 1));
+      if (deadline > 0.0 &&
+          round_clock + backoff + retry.attempt_seconds > deadline + 1e-12) {
+        break;  // Waiting out the backoff would blow the deadline.
+      }
+      round_clock += backoff;
+      round_backoff += backoff;
+      ++out.retries;
+      retries_counter->Increment();
+    }
+    out.backoff_seconds += round_backoff;
+    out.simulated_seconds += round_clock;
+
+    if (!delivered) {
+      // Round abandoned: nothing was bought, nothing is charged, and
+      // the batch's tasks stay in the candidate pool for later rounds.
+      RoundLog log;
+      log.round = out.rounds + 1;
+      log.select_seconds = select_seconds;
+      log.seconds = select_seconds;
+      log.attempts = attempts;
+      log.backoff_seconds = round_backoff;
+      log.simulated_seconds = round_clock;
+      log.abandoned = true;
+      out.select_seconds += select_seconds;
+      out.round_logs.push_back(log);
+      ++out.rounds;
+      ++out.rounds_abandoned;
+      rounds_counter->Increment();
+      abandoned_counter->Increment();
+      if (++consecutive_barren >= retry.max_barren_rounds) {
+        out.degraded = true;  // Platform presumed down; degrade.
+        break;
+      }
+      continue;
+    }
     if (answers.size() != batch.size()) {
       return Status::Internal("platform returned misaligned answers");
     }
-    budget_left -= batch_cost;
-    out.cost_spent += batch_cost;
 
-    // Fold answers into the knowledge base.
+    // Budget accounting: only answered tasks are charged; abstained or
+    // dropped tasks are refunded and fall back into the pool.
+    double charged = 0.0;
+    double refunded = 0.0;
+    std::size_t answered = 0;
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      const double cost = cost_model.Cost(batch[t]);
+      if (answers[t].answered) {
+        charged += cost;
+        ++answered;
+      } else {
+        refunded += cost;
+      }
+    }
+    budget_left -= charged;
+    out.cost_spent += charged;
+    out.cost_refunded += refunded;
+    out.tasks_unanswered += batch.size() - answered;
+    unanswered_counter->Increment(batch.size() - answered);
+
+    // Fold the answers that arrived into the knowledge base.
     obs::TraceSpan update_span("round.update");
     Stopwatch update_watch;
     std::set<CellRef> touched;
     for (std::size_t t = 0; t < batch.size(); ++t) {
+      if (!answers[t].answered) continue;
       BAYESCROWD_RETURN_NOT_OK(
           ApplyAnswer(batch[t], answers[t], &knowledge));
       for (const CellRef& var : batch[t].expression.Variables()) {
@@ -200,6 +307,12 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     log.update_seconds = update_watch.ElapsedSeconds();
     update_span.End();
     log.seconds = log.select_seconds + log.update_seconds;
+    log.attempts = attempts;
+    log.answered = answered;
+    log.unanswered = batch.size() - answered;
+    log.cost_refunded = refunded;
+    log.backoff_seconds = round_backoff;
+    log.simulated_seconds = round_clock;
     const EvaluatorCacheStats cache_after = evaluator.cache_stats();
     log.cache_hits = cache_after.hits - cache_before.hits;
     log.cache_misses = cache_after.misses - cache_before.misses;
@@ -210,6 +323,17 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     ++out.rounds;
     rounds_counter->Increment();
     tasks_counter->Increment(batch.size());
+
+    // A delivered round that applied nothing still counts as barren:
+    // with every worker abstaining, more rounds buy no information.
+    if (answered == 0) {
+      if (++consecutive_barren >= retry.max_barren_rounds) {
+        out.degraded = true;
+        break;
+      }
+    } else {
+      consecutive_barren = 0;
+    }
   }
   out.crowdsourcing_seconds = crowd_watch.ElapsedSeconds();
 

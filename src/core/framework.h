@@ -28,6 +28,41 @@
 
 namespace bayescrowd {
 
+/// How the round loop survives a flaky platform. A PostBatch returning
+/// Status::Unavailable (transient failure, timeout) is retried with
+/// deterministic exponential backoff on a *simulated* clock; when the
+/// attempts or the per-round deadline run out, the round is abandoned
+/// and its tasks fall back into the candidate pool. Unanswered tasks
+/// (`TaskAnswer::answered == false`) are refunded, so the budget only
+/// pays for answers actually bought. All of it is driven from the
+/// single-threaded round loop, so recovery is bit-identical at any
+/// thread count.
+struct RetryPolicy {
+  /// PostBatch attempts per round (first try + retries). Transient
+  /// failures beyond this abandon the round.
+  std::size_t max_attempts = 3;
+
+  /// Simulated seconds charged per PostBatch attempt.
+  double attempt_seconds = 1.0;
+
+  /// First retry waits this many simulated seconds; each further retry
+  /// multiplies by `backoff_multiplier`.
+  double backoff_initial_seconds = 1.0;
+  double backoff_multiplier = 2.0;
+
+  /// Per-round deadline on the simulated clock (attempts + backoff).
+  /// An attempt that cannot finish before the deadline is not made and
+  /// the round is abandoned. 0 disables the deadline.
+  double round_deadline_seconds = 0.0;
+
+  /// Give up on the crowdsourcing phase after this many consecutive
+  /// rounds that applied zero answers (all attempts failed, or every
+  /// task came back unanswered): the platform is presumed down and the
+  /// query degrades to the current probabilistic state. Guarantees
+  /// termination even at fault rate 1.0.
+  std::size_t max_barren_rounds = 3;
+};
+
 struct BayesCrowdOptions {
   /// Modeling-phase options (α pruning, dominator algorithm).
   CTableOptions ctable;
@@ -66,6 +101,11 @@ struct BayesCrowdOptions {
   /// information. 0 disables (the paper always spends the budget).
   double confidence_stop_entropy = 0.0;
 
+  /// Fault tolerance for the crowdsourcing rounds. The defaults are
+  /// inert on a healthy platform: one attempt per round, nothing
+  /// refunded, behavior bit-identical to the pre-retry framework.
+  RetryPolicy retry;
+
   /// Worker lanes for probability evaluation (entropy ranking and
   /// UBS/HHS counterfactual scoring). 0 = hardware concurrency; 1 runs
   /// everything on the calling thread. Results are bit-identical for
@@ -83,10 +123,19 @@ struct BayesCrowdOptions {
 /// One crowd round's bookkeeping.
 struct RoundLog {
   std::size_t round = 0;
-  std::size_t tasks = 0;
+  std::size_t tasks = 0;        // Tasks posted (answered + unanswered).
   double seconds = 0.0;         // select_seconds + update_seconds.
   double select_seconds = 0.0;  // Entropy ranking + task selection.
   double update_seconds = 0.0;  // Answer folding + re-simplification.
+
+  /// Recovery bookkeeping (all zero / false on a healthy platform).
+  std::size_t attempts = 1;       // PostBatch attempts this round.
+  std::size_t answered = 0;       // Tasks whose answer was applied.
+  std::size_t unanswered = 0;     // Abstained/dropped tasks (refunded).
+  double cost_refunded = 0.0;     // Budget returned for unanswered tasks.
+  double backoff_seconds = 0.0;   // Simulated backoff spent this round.
+  double simulated_seconds = 0.0; // Attempts + backoff, simulated clock.
+  bool abandoned = false;         // Every attempt failed; nothing posted.
 
   /// Evaluator memo-cache traffic attributable to this round.
   std::uint64_t cache_hits = 0;
@@ -106,8 +155,24 @@ struct BayesCrowdResult {
 
   /// Cost/latency actually spent.
   std::size_t tasks_posted = 0;
-  std::size_t rounds = 0;
-  double cost_spent = 0.0;  // == tasks_posted under the uniform model.
+  std::size_t rounds = 0;   // All rounds attempted, abandoned included.
+  double cost_spent = 0.0;  // Answered tasks only; refunds excluded.
+
+  /// Fault-recovery totals (all zero on a healthy platform).
+  std::size_t tasks_unanswered = 0;   // Abstained/dropped, refunded.
+  std::size_t retries = 0;            // Re-posts after transient failures.
+  std::size_t transient_failures = 0; // Unavailable PostBatch attempts.
+  std::size_t rounds_abandoned = 0;   // Rounds where no attempt landed.
+  double cost_refunded = 0.0;         // Budget refunded for unanswered.
+  double backoff_seconds = 0.0;       // Total simulated backoff.
+  double simulated_seconds = 0.0;     // Total simulated platform time.
+
+  /// True when the barren-round stop ended the phase early (the
+  /// platform stopped delivering answers before the budget ran out).
+  /// The result set is still well-defined — undecided objects answer by
+  /// their current probability — just computed from less evidence than
+  /// budgeted, so the probabilistic skyline may be wider.
+  bool degraded = false;
 
   /// Machine-side wall-clock (excludes simulated worker time).
   double modeling_seconds = 0.0;

@@ -17,10 +17,21 @@ std::string FormatRunReport(const BayesCrowdResult& result,
       result.initial_true, result.initial_false, result.initial_undecided,
       result.modeling_seconds * 1e3);
   out += StrFormat(
-      "  crowdsourcing: %zu tasks over %zu rounds, cost %.2f (%.1f ms)%s\n",
+      "  crowdsourcing: %zu tasks over %zu rounds, cost %.2f (%.1f ms)%s%s\n",
       result.tasks_posted, result.rounds, result.cost_spent,
       result.crowdsourcing_seconds * 1e3,
-      result.stopped_confident ? ", stopped confident" : "");
+      result.stopped_confident ? ", stopped confident" : "",
+      result.degraded ? ", degraded (platform stopped answering)" : "");
+  if (result.transient_failures > 0 || result.tasks_unanswered > 0 ||
+      result.rounds_abandoned > 0) {
+    out += StrFormat(
+        "    recovery: %zu transient failure(s), %zu retrie(s), %zu "
+        "round(s) abandoned, %zu task(s) unanswered, %.2f refunded, "
+        "%.1f s simulated backoff\n",
+        result.transient_failures, result.retries, result.rounds_abandoned,
+        result.tasks_unanswered, result.cost_refunded,
+        result.backoff_seconds);
+  }
   out += StrFormat(
       "    select %.1f ms, update %.1f ms; evaluator cache %llu hits / "
       "%llu misses / %llu evictions\n",

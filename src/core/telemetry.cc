@@ -18,6 +18,14 @@ obs::JsonValue OptionsJson(const BayesCrowdOptions& options) {
   out["threads"] = options.threads;
   out["answer_threshold"] = options.answer_threshold;
   out["confidence_stop_entropy"] = options.confidence_stop_entropy;
+  obs::JsonValue retry = obs::JsonValue::Object();
+  retry["max_attempts"] = options.retry.max_attempts;
+  retry["attempt_seconds"] = options.retry.attempt_seconds;
+  retry["backoff_initial_seconds"] = options.retry.backoff_initial_seconds;
+  retry["backoff_multiplier"] = options.retry.backoff_multiplier;
+  retry["round_deadline_seconds"] = options.retry.round_deadline_seconds;
+  retry["max_barren_rounds"] = options.retry.max_barren_rounds;
+  out["retry"] = std::move(retry);
   return out;
 }
 
@@ -41,6 +49,13 @@ obs::JsonValue RoundJson(const RoundLog& log) {
   out["cache_hits"] = log.cache_hits;
   out["cache_misses"] = log.cache_misses;
   out["cache_hit_rate"] = log.CacheHitRate();
+  out["attempts"] = log.attempts;
+  out["answered"] = log.answered;
+  out["unanswered"] = log.unanswered;
+  out["cost_refunded"] = log.cost_refunded;
+  out["backoff_sim_seconds"] = log.backoff_seconds;
+  out["round_sim_seconds"] = log.simulated_seconds;
+  out["abandoned"] = log.abandoned;
   return out;
 }
 
@@ -63,6 +78,7 @@ obs::JsonValue RunTelemetryJson(const std::string& name,
   res["rounds"] = result.rounds;
   res["cost_spent"] = result.cost_spent;
   res["stopped_confident"] = result.stopped_confident;
+  res["degraded"] = result.degraded;
   res["initial_true"] = result.initial_true;
   res["initial_false"] = result.initial_false;
   res["initial_undecided"] = result.initial_undecided;
@@ -80,6 +96,18 @@ obs::JsonValue RunTelemetryJson(const std::string& name,
   payload["cache"] = std::move(cache);
 
   payload["adpll"] = AdpllJson(result.adpll);
+
+  // Recovery totals. Simulated clocks (backoff/platform time) are
+  // deterministic given the fault seed, unlike the wall-clock fields.
+  obs::JsonValue recovery = obs::JsonValue::Object();
+  recovery["tasks_unanswered"] = result.tasks_unanswered;
+  recovery["retries"] = result.retries;
+  recovery["transient_failures"] = result.transient_failures;
+  recovery["rounds_abandoned"] = result.rounds_abandoned;
+  recovery["cost_refunded"] = result.cost_refunded;
+  recovery["backoff_sim_seconds"] = result.backoff_seconds;
+  recovery["platform_sim_seconds"] = result.simulated_seconds;
+  payload["recovery"] = std::move(recovery);
 
   obs::JsonValue rounds = obs::JsonValue::Array();
   for (const RoundLog& log : result.round_logs) {

@@ -37,8 +37,12 @@ bool ParseRelation(const std::string& text, Ordering* out) {
 
 std::string SerializeAnswerLog(const AnswerLog& log) {
   std::ostringstream out;
-  out << "# bayescrowd answer log v1\n";
+  out << "# bayescrowd answer log v2\n";
   for (const AnswerLogEntry& entry : log.entries) {
+    if (entry.kind == AnswerLogEntry::Kind::kFailure) {
+      out << "fail " << entry.round << "\n";
+      continue;
+    }
     const Expression& e = entry.expression;
     const char op = e.op == CmpOp::kGreater ? '>' : '<';
     if (e.rhs_is_var) {
@@ -48,8 +52,10 @@ std::string SerializeAnswerLog(const AnswerLog& log) {
       out << "vc " << e.lhs.object << " " << e.lhs.attribute << " " << op
           << " " << e.rhs_const;
     }
-    out << " " << RelationChar(entry.relation) << " " << entry.round
-        << "\n";
+    const char relation = entry.kind == AnswerLogEntry::Kind::kAbstain
+                              ? 'a'
+                              : RelationChar(entry.relation);
+    out << " " << relation << " " << entry.round << "\n";
   }
   return out.str();
 }
@@ -68,6 +74,15 @@ Result<AnswerLog> ParseAnswerLog(const std::string& text) {
     std::string op;
     std::string relation;
     bool parsed = false;
+    if (kind == "fail") {
+      if (!(fields >> entry.round)) {
+        return Status::InvalidArgument("answer log: malformed line '" +
+                                       std::string(trimmed) + "'");
+      }
+      entry.kind = AnswerLogEntry::Kind::kFailure;
+      log.entries.push_back(entry);
+      continue;
+    }
     if (kind == "vc") {
       Level constant = 0;
       parsed = static_cast<bool>(
@@ -87,8 +102,13 @@ Result<AnswerLog> ParseAnswerLog(const std::string& text) {
       return Status::InvalidArgument("answer log: unknown entry '" +
                                      std::string(trimmed) + "'");
     }
-    if (!parsed || (op != "<" && op != ">") ||
-        !ParseRelation(relation, &entry.relation)) {
+    if (!parsed || (op != "<" && op != ">")) {
+      return Status::InvalidArgument("answer log: malformed line '" +
+                                     std::string(trimmed) + "'");
+    }
+    if (relation == "a") {
+      entry.kind = AnswerLogEntry::Kind::kAbstain;
+    } else if (!ParseRelation(relation, &entry.relation)) {
       return Status::InvalidArgument("answer log: malformed line '" +
                                      std::string(trimmed) + "'");
     }
@@ -116,21 +136,44 @@ Result<AnswerLog> LoadAnswerLog(const std::string& path) {
 
 Result<std::vector<TaskAnswer>> RecordingPlatform::PostBatch(
     const std::vector<Task>& tasks) {
-  BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<TaskAnswer> answers,
-                              inner_.PostBatch(tasks));
+  auto posted = inner_.PostBatch(tasks);
+  if (!posted.ok()) {
+    // Transient failures are part of the transcript: replaying them
+    // drives the framework through the identical retry/backoff path.
+    // Fatal errors are not recorded — a resumed query re-hits them.
+    if (posted.status().IsUnavailable()) {
+      AnswerLogEntry entry;
+      entry.kind = AnswerLogEntry::Kind::kFailure;
+      entry.round = inner_.total_rounds() + 1;  // The round being retried.
+      log_.entries.push_back(entry);
+    }
+    return posted.status();
+  }
+  const std::vector<TaskAnswer>& answers = posted.value();
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     AnswerLogEntry entry;
+    entry.kind = answers[t].answered ? AnswerLogEntry::Kind::kAnswer
+                                     : AnswerLogEntry::Kind::kAbstain;
     entry.expression = tasks[t].expression;
     entry.relation = answers[t].relation;
     entry.round = inner_.total_rounds();
     log_.entries.push_back(entry);
   }
-  return answers;
+  return posted;
 }
 
 Result<std::vector<TaskAnswer>> ReplayingPlatform::PostBatch(
     const std::vector<Task>& tasks) {
   if (tasks.empty()) return Status::InvalidArgument("empty batch");
+
+  // A failure marker at the batch boundary replays a whole-batch
+  // transient error: the framework retried this batch in the recorded
+  // session and will retry it again now.
+  if (cursor_ < log_.entries.size() &&
+      log_.entries[cursor_].kind == AnswerLogEntry::Kind::kFailure) {
+    ++cursor_;
+    return Status::Unavailable("replayed transient platform failure");
+  }
 
   // Replay prefix: serve from the transcript while it matches. A batch
   // may straddle the log boundary (the recorded session's final round
@@ -141,13 +184,24 @@ Result<std::vector<TaskAnswer>> ReplayingPlatform::PostBatch(
   std::size_t served = 0;
   while (served < tasks.size() && cursor_ < log_.entries.size()) {
     const AnswerLogEntry& entry = log_.entries[cursor_];
+    if (entry.kind == AnswerLogEntry::Kind::kFailure) {
+      // Attempts are whole batches, so a marker can only sit between
+      // them; hitting one mid-batch means the resumed query's batching
+      // diverged from the recorded session.
+      return Status::FailedPrecondition(StrFormat(
+          "resumed query hit a mid-batch failure marker at entry %zu",
+          cursor_));
+    }
     if (!(entry.expression == tasks[served].expression)) {
       return Status::FailedPrecondition(StrFormat(
           "resumed query diverged from the recorded transcript at "
           "entry %zu",
           cursor_));
     }
-    answers.push_back({entry.relation});
+    TaskAnswer answer;
+    answer.relation = entry.relation;
+    answer.answered = entry.kind == AnswerLogEntry::Kind::kAnswer;
+    answers.push_back(answer);
     ++cursor_;
     ++served;
   }

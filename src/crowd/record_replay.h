@@ -27,11 +27,21 @@
 
 namespace bayescrowd {
 
-/// One bought answer.
+/// One crowd event: a bought answer, an abstained (unanswered) task, or
+/// a whole-batch transient failure. Abstains and failures are recorded
+/// so a replayed faulted run walks the exact recovery path of the
+/// original — retries, refunds, degradation and all.
 struct AnswerLogEntry {
+  enum class Kind : std::uint8_t {
+    kAnswer,   // expression + relation are meaningful.
+    kAbstain,  // expression is meaningful; the task came back unanswered.
+    kFailure,  // whole-batch transient failure; only `round` is set.
+  };
+
+  Kind kind = Kind::kAnswer;
   Expression expression;
   Ordering relation = Ordering::kEqual;
-  std::size_t round = 0;  // 1-based round the answer arrived in.
+  std::size_t round = 0;  // 1-based round the event arrived in.
 };
 
 /// The transcript of a crowdsourcing phase.
@@ -40,8 +50,12 @@ struct AnswerLog {
 };
 
 /// Text (de)serialization. Format, one entry per line:
-///   vc <obj> <attr> <op: < or >> <const> <relation: l|e|g> <round>
+///   vc <obj> <attr> <op: < or >> <const> <relation: l|e|g|a> <round>
 ///   vv <obj> <attr> <op> <obj2> <attr2> <relation> <round>
+///   fail <round>
+/// Relation `a` marks an abstained (unanswered) task; a `fail` line
+/// marks a transient whole-batch failure. v1 logs (answers only) parse
+/// unchanged.
 std::string SerializeAnswerLog(const AnswerLog& log);
 Result<AnswerLog> ParseAnswerLog(const std::string& text);
 Status SaveAnswerLog(const AnswerLog& log, const std::string& path);

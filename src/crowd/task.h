@@ -34,6 +34,12 @@ struct Task {
 struct TaskAnswer {
   /// Relation of the expression's left operand to its right operand.
   Ordering relation = Ordering::kEqual;
+
+  /// False when the task came back unanswered (worker timeout, abstain,
+  /// dropped from a partial batch). `relation` is then meaningless; the
+  /// framework refunds the task's cost and returns it to the candidate
+  /// pool.
+  bool answered = true;
 };
 
 /// True when two tasks share a variable — such tasks may conflict and

@@ -50,6 +50,35 @@ TEST(AnswerLogTest, FileRoundTrip) {
   EXPECT_EQ(loaded->entries.size(), 2u);
 }
 
+TEST(AnswerLogTest, V2EventsSurviveSerialization) {
+  // Abstains and whole-batch failure markers (log format v2) must
+  // round-trip: replaying a faulted session depends on them.
+  AnswerLog log = SampleLog();
+  AnswerLogEntry abstain;
+  abstain.kind = AnswerLogEntry::Kind::kAbstain;
+  abstain.expression = Expression::VarConst(V(2, 0), CmpOp::kGreater, 1);
+  abstain.round = 2;
+  AnswerLogEntry failure;
+  failure.kind = AnswerLogEntry::Kind::kFailure;
+  failure.round = 3;
+  log.entries.push_back(abstain);
+  log.entries.push_back(failure);
+
+  const std::string text = SerializeAnswerLog(log);
+  EXPECT_NE(text.find(" a 2\n"), std::string::npos);
+  EXPECT_NE(text.find("fail 3\n"), std::string::npos);
+
+  const auto parsed = ParseAnswerLog(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->entries.size(), 4u);
+  EXPECT_EQ(parsed->entries[0].kind, AnswerLogEntry::Kind::kAnswer);
+  EXPECT_EQ(parsed->entries[2].kind, AnswerLogEntry::Kind::kAbstain);
+  EXPECT_TRUE(parsed->entries[2].expression == abstain.expression);
+  EXPECT_EQ(parsed->entries[2].round, 2u);
+  EXPECT_EQ(parsed->entries[3].kind, AnswerLogEntry::Kind::kFailure);
+  EXPECT_EQ(parsed->entries[3].round, 3u);
+}
+
 TEST(AnswerLogTest, RejectsMalformedLines) {
   EXPECT_FALSE(ParseAnswerLog("vc 1 2\n").ok());           // Truncated.
   EXPECT_FALSE(ParseAnswerLog("vx 1 2 < 3 l 1\n").ok());   // Bad kind.

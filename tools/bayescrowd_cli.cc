@@ -34,6 +34,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "crowd/fault_injection.h"
 #include "crowd/interactive.h"
 #include "crowd/platform.h"
 #include "crowd/record_replay.h"
@@ -46,6 +47,13 @@
 
 namespace bayescrowd {
 namespace {
+
+/// One documented default for every data-shaping seed (`generate
+/// --seed`, `inject --seed`). Historically generate used 42 and inject
+/// used 7; unified so a pipeline built from defaults is reproducible
+/// from a single number. The `run --seed` default (99) is a separate
+/// knob — it seeds the simulated workers, not the data.
+constexpr int kDefaultDataSeed = 42;
 
 struct Flags {
   std::map<std::string, std::string> values;
@@ -76,8 +84,9 @@ int Usage() {
       stderr,
       "usage: bayescrowd_cli <command> [flags]\n"
       "  generate --dataset nba|adult|indep|corr|anti --n N --out F\n"
-      "           [--seed S] [--d D] [--levels L]\n"
-      "  inject   --in F --out F (--rate R | --attrs i,j,...) [--seed S]\n"
+      "           [--seed S (default 42)] [--d D] [--levels L]\n"
+      "  inject   --in F --out F (--rate R | --attrs i,j,...)\n"
+      "           [--seed S (default 42)]\n"
       "  skyline  --in F\n"
       "  ctable   --data F [--alpha A]\n"
       "  run      --data F (--truth F | --interactive)\n"
@@ -87,12 +96,18 @@ int Usage() {
       "           [--structure hillclimb|chowliu|none]\n"
       "           [--save-model F] [--load-model F]\n"
       "           [--record F] [--replay-from F] [--tasks-per-round K]\n"
+      "           [--fault-rate R] [--fault-seed S] [--max-retries N]\n"
+      "           [--round-deadline D]\n"
       "           [--verbose]\n"
       "           [--metrics-out F] [--trace-out F] [--telemetry-out F]\n"
       "  jsoncheck --in F\n"
       "  (pause/resume: run --interactive --record log --tasks-per-round K,\n"
       "   stop anytime; rerun with --replay-from log and the same K and\n"
       "   data to continue where you left off)\n"
+      "  --fault-rate: inject crowd faults (timeouts, abstains, partial\n"
+      "  batches, transient errors) at this rate, deterministically from\n"
+      "  --fault-seed; --max-retries and --round-deadline (simulated\n"
+      "  seconds) bound the recovery effort per round\n"
       "  global: --log-level debug|info|warning|error|off\n"
       "  --metrics-out: counters/gauges/histograms as JSON;\n"
       "  --trace-out: Chrome trace-event JSON (chrome://tracing, Perfetto);\n"
@@ -108,7 +123,8 @@ int Fail(const Status& status) {
 int CmdGenerate(const Flags& flags) {
   const std::string kind = flags.Get("dataset", "nba");
   const auto n = static_cast<std::size_t>(flags.GetInt("n", 1000));
-  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", kDefaultDataSeed));
   const auto d = static_cast<std::size_t>(flags.GetInt("d", 6));
   const auto levels = static_cast<Level>(flags.GetInt("levels", 10));
   Table table;
@@ -151,7 +167,8 @@ int CmdInject(const Flags& flags) {
     }
     result = InjectMissingAttributes(*loaded, attrs);
   } else {
-    Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 7)));
+    Rng rng(
+        static_cast<std::uint64_t>(flags.GetInt("seed", kDefaultDataSeed)));
     result =
         InjectMissingUniform(*loaded, flags.GetDouble("rate", 0.1), rng);
   }
@@ -273,6 +290,16 @@ int CmdRun(const Flags& flags) {
                                       per_round);
   }
   options.strategy.m = static_cast<std::size_t>(flags.GetInt("m", 15));
+  // Recovery policy: --max-retries counts retries after the first
+  // attempt; --round-deadline is in simulated seconds (see DESIGN.md §8).
+  const int max_retries = flags.GetInt("max-retries", 2);
+  if (max_retries < 0) {
+    std::fprintf(stderr, "--max-retries must be >= 0\n");
+    return 2;
+  }
+  options.retry.max_attempts = static_cast<std::size_t>(max_retries) + 1;
+  options.retry.round_deadline_seconds =
+      flags.GetDouble("round-deadline", 0.0);
   // Evaluation lanes: 0 (default) resolves to the hardware concurrency.
   options.threads =
       static_cast<std::size_t>(std::max(0, flags.GetInt("threads", 0)));
@@ -310,15 +337,33 @@ int CmdRun(const Flags& flags) {
     return 2;
   }
 
+  // Optional deterministic fault injection between the live platform
+  // and everything above it, so a recorded faulted session transcribes
+  // (and replays) the exact recovery path.
+  std::unique_ptr<FaultInjectingPlatform> faulter;
+  CrowdPlatform* effective = platform.get();
+  const double fault_rate = flags.GetDouble("fault-rate", 0.0);
+  if (fault_rate < 0.0 || fault_rate > 1.0) {
+    std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
+    return 2;
+  }
+  if (fault_rate > 0.0) {
+    const auto fault_seed =
+        static_cast<std::uint64_t>(flags.GetInt("fault-seed", 13));
+    faulter = std::make_unique<FaultInjectingPlatform>(
+        *effective, FaultOptions::Profile(fault_rate, fault_seed));
+    faulter->BindMetrics(&run_metrics);
+    effective = faulter.get();
+  }
+
   // Optional pause/resume: --replay-from serves previously bought
   // answers before going live; --record transcribes this session.
   std::unique_ptr<ReplayingPlatform> replayer;
-  CrowdPlatform* effective = platform.get();
   if (flags.Has("replay-from")) {
     auto log = LoadAnswerLog(flags.Get("replay-from", ""));
     if (!log.ok()) return Fail(log.status());
     replayer = std::make_unique<ReplayingPlatform>(
-        std::move(log).value(), platform.get());
+        std::move(log).value(), effective);  // Live tail stays faulted.
     effective = replayer.get();
   }
   std::unique_ptr<RecordingPlatform> recorder;
@@ -381,6 +426,18 @@ int CmdRun(const Flags& flags) {
   report.show_metrics = flags.Has("verbose");
   report.max_objects = 50;
   std::printf("\n%s", FormatRunReport(*result, incomplete, report).c_str());
+  if (faulter != nullptr) {
+    const FaultStats& faults = faulter->stats();
+    std::printf(
+        "fault injection: %llu/%llu batches delivered; %llu transient, "
+        "%llu timeout, %llu abstained task(s), %llu partial batch(es)\n",
+        static_cast<unsigned long long>(faults.batches_delivered),
+        static_cast<unsigned long long>(faults.batches_attempted),
+        static_cast<unsigned long long>(faults.transient_failures),
+        static_cast<unsigned long long>(faults.timeouts),
+        static_cast<unsigned long long>(faults.abstained_tasks),
+        static_cast<unsigned long long>(faults.partial_batches));
+  }
   if (have_truth) {
     auto skyline = SkylineSfs(truth);
     if (!skyline.ok()) return Fail(skyline.status());

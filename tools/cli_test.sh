@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# CLI contract test, registered with ctest as `cli_test`.
+#
+# Pins the unified data-seed default: `generate` and `inject` both
+# default to --seed 42 (historically generate used 42 but inject used
+# 7), and the seed flag actually steers the output. Also checks the
+# fault-flag validation the run command grew with the retry layer.
+#
+# Usage: cli_test.sh <path-to-bayescrowd_cli>
+
+set -euo pipefail
+
+CLI="${1:?usage: cli_test.sh <path-to-bayescrowd_cli>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# ------------------------------------------------------------------ #
+# generate: implicit seed == --seed 42, and the seed matters.
+# ------------------------------------------------------------------ #
+"${CLI}" generate --dataset indep --n 40 --d 3 --out "${WORK}/gen_default.csv" >/dev/null
+"${CLI}" generate --dataset indep --n 40 --d 3 --seed 42 --out "${WORK}/gen_42.csv" >/dev/null
+"${CLI}" generate --dataset indep --n 40 --d 3 --seed 7 --out "${WORK}/gen_7.csv" >/dev/null
+
+cmp -s "${WORK}/gen_default.csv" "${WORK}/gen_42.csv" \
+  || fail "generate without --seed must equal generate --seed 42"
+cmp -s "${WORK}/gen_default.csv" "${WORK}/gen_7.csv" \
+  && fail "generate --seed 7 must differ from the default seed"
+
+# ------------------------------------------------------------------ #
+# inject: same unified default (the historical 7 is gone).
+# ------------------------------------------------------------------ #
+"${CLI}" inject --in "${WORK}/gen_42.csv" --rate 0.2 --out "${WORK}/inj_default.csv" >/dev/null
+"${CLI}" inject --in "${WORK}/gen_42.csv" --rate 0.2 --seed 42 --out "${WORK}/inj_42.csv" >/dev/null
+"${CLI}" inject --in "${WORK}/gen_42.csv" --rate 0.2 --seed 7 --out "${WORK}/inj_7.csv" >/dev/null
+
+cmp -s "${WORK}/inj_default.csv" "${WORK}/inj_42.csv" \
+  || fail "inject without --seed must equal inject --seed 42"
+cmp -s "${WORK}/inj_default.csv" "${WORK}/inj_7.csv" \
+  && fail "inject --seed 7 must differ from the default seed"
+
+# ------------------------------------------------------------------ #
+# run: fault flags validate, and a faulted run is seed-reproducible.
+# ------------------------------------------------------------------ #
+if "${CLI}" run --data "${WORK}/inj_42.csv" --truth "${WORK}/gen_42.csv" \
+    --fault-rate 1.5 >/dev/null 2>&1; then
+  fail "run must reject --fault-rate outside [0, 1]"
+fi
+if "${CLI}" run --data "${WORK}/inj_42.csv" --truth "${WORK}/gen_42.csv" \
+    --max-retries -1 >/dev/null 2>&1; then
+  fail "run must reject a negative --max-retries"
+fi
+
+run_faulted() {
+  "${CLI}" run --data "${WORK}/inj_42.csv" --truth "${WORK}/gen_42.csv" \
+    --budget 12 --latency 3 \
+    --fault-rate 0.3 --fault-seed 11 --max-retries 3 --round-deadline 30 \
+    --telemetry-out "$1" >/dev/null
+}
+run_faulted "${WORK}/telemetry_a.json"
+run_faulted "${WORK}/telemetry_b.json"
+
+# The deterministic recovery block must be present and identical across
+# the two runs (wall-clock fields differ; the recovery totals may not).
+extract_recovery() {
+  python3 - "$1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+print(json.dumps(doc["payload"]["recovery"], sort_keys=True))
+EOF
+}
+rec_a="$(extract_recovery "${WORK}/telemetry_a.json")"
+rec_b="$(extract_recovery "${WORK}/telemetry_b.json")"
+[ "${rec_a}" = "${rec_b}" ] \
+  || fail "faulted runs with the same --fault-seed diverged: ${rec_a} vs ${rec_b}"
+echo "${rec_a}" | grep -q '"retries"' \
+  || fail "telemetry recovery block is missing retry counters"
+
+echo "cli_test: all checks passed"

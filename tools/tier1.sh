@@ -42,14 +42,32 @@ grep -q '"round.select"' "$SMOKE/trace.json"
 grep -q '"adpll.solve"' "$SMOKE/trace.json"
 grep -q 'adpll.calls' "$SMOKE/metrics.json"
 
+echo "== tier-1: faulted smoke run =="
+# The same query through the deterministic fault injector: the run must
+# terminate despite timeouts/abstains/partial batches and surface the
+# recovery path in both artifacts.
+"$CLI" run --data "$SMOKE/holes.csv" --truth "$SMOKE/complete.csv" \
+  --strategy hhs --budget 20 --latency 4 --threads 4 --alpha -1 \
+  --fault-rate 0.3 --fault-seed 11 --max-retries 3 --round-deadline 30 \
+  --log-level warning \
+  --metrics-out "$SMOKE/metrics_fault.json" \
+  --telemetry-out "$SMOKE/telemetry_fault.json" > "$SMOKE/report_fault.txt"
+"$CLI" jsoncheck --in "$SMOKE/metrics_fault.json"
+"$CLI" jsoncheck --in "$SMOKE/telemetry_fault.json"
+grep -q 'fault injection:' "$SMOKE/report_fault.txt"
+grep -q 'fault.transient_failures' "$SMOKE/metrics_fault.json"
+grep -q '"recovery"' "$SMOKE/telemetry_fault.json"
+grep -q '"retries"' "$SMOKE/telemetry_fault.json"
+
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DBC_SANITIZE=thread \
   -DBAYESCROWD_BUILD_BENCHMARKS=OFF \
   -DBAYESCROWD_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
-  --target obs_test
+  --target obs_test --target differential_test --target fault_test \
+  --target record_replay_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
-  -R '(parallel_test|obs_test)'
+  -R '(parallel_test|obs_test|differential_test|fault_test|record_replay_test)'
 
 echo "tier-1 OK"
