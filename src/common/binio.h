@@ -1,0 +1,166 @@
+// Bounds-checked little-endian binary encoding for checkpoint payloads.
+//
+// BinWriter appends fixed-width integers, doubles, and length-prefixed
+// strings to a std::string. BinReader walks the same layout and returns
+// Status::OutOfRange instead of reading past the buffer, so a truncated
+// or corrupt payload can never produce out-of-bounds access — the
+// checkpoint loader relies on this as its second line of defence after
+// the CRC.
+//
+// All multi-byte values are serialized little-endian byte-by-byte, so
+// the format is independent of host endianness.
+
+#ifndef BAYESCROWD_COMMON_BINIO_H_
+#define BAYESCROWD_COMMON_BINIO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace bayescrowd {
+
+class BinWriter {
+ public:
+  explicit BinWriter(std::string* out) : out_(out) {}
+
+  void WriteU8(std::uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void WriteU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  void WriteU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  void WriteI32(std::int32_t v) { WriteU32(static_cast<std::uint32_t>(v)); }
+  void WriteI64(std::int64_t v) { WriteU64(static_cast<std::uint64_t>(v)); }
+
+  void WriteDouble(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    WriteU64(bits);
+  }
+
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  /// u64 length prefix + raw bytes.
+  void WriteString(std::string_view s) {
+    WriteU64(s.size());
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  std::string* out_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Status ReadU8(std::uint8_t* v) {
+    BAYESCROWD_RETURN_NOT_OK(Need(1));
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadU32(std::uint32_t* v) {
+    BAYESCROWD_RETURN_NOT_OK(Need(4));
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadU64(std::uint64_t* v) {
+    BAYESCROWD_RETURN_NOT_OK(Need(8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  Status ReadI32(std::int32_t* v) {
+    std::uint32_t u = 0;
+    BAYESCROWD_RETURN_NOT_OK(ReadU32(&u));
+    *v = static_cast<std::int32_t>(u);
+    return Status::OK();
+  }
+
+  Status ReadI64(std::int64_t* v) {
+    std::uint64_t u = 0;
+    BAYESCROWD_RETURN_NOT_OK(ReadU64(&u));
+    *v = static_cast<std::int64_t>(u);
+    return Status::OK();
+  }
+
+  Status ReadDouble(double* v) {
+    std::uint64_t bits = 0;
+    BAYESCROWD_RETURN_NOT_OK(ReadU64(&bits));
+    std::memcpy(v, &bits, sizeof bits);
+    return Status::OK();
+  }
+
+  Status ReadBool(bool* v) {
+    std::uint8_t b = 0;
+    BAYESCROWD_RETURN_NOT_OK(ReadU8(&b));
+    *v = b != 0;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* s) {
+    std::uint64_t len = 0;
+    BAYESCROWD_RETURN_NOT_OK(ReadU64(&len));
+    if (len > remaining()) {
+      return Status::OutOfRange("binio: string length exceeds payload");
+    }
+    s->assign(data_.data() + pos_, static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return Status::OK();
+  }
+
+  /// Reads a u64 element count and rejects counts that cannot possibly
+  /// fit in the remaining bytes (each element occupies >= min_elem_size
+  /// bytes), so a corrupt count cannot trigger a huge allocation.
+  Status ReadCount(std::uint64_t* count, std::size_t min_elem_size) {
+    BAYESCROWD_RETURN_NOT_OK(ReadU64(count));
+    if (min_elem_size > 0 && *count > remaining() / min_elem_size) {
+      return Status::OutOfRange("binio: element count exceeds payload");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(std::size_t n) {
+    if (remaining() < n) {
+      return Status::OutOfRange("binio: truncated payload");
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_COMMON_BINIO_H_

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte buffers.
+//
+// Used by the checkpoint subsystem to detect truncated or bit-rotted
+// snapshot files before any field is trusted. Not cryptographic.
+
+#ifndef BAYESCROWD_COMMON_CRC32_H_
+#define BAYESCROWD_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bayescrowd {
+
+/// Extends a running CRC-32 with `size` bytes. Start from `crc == 0`.
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t size);
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t Crc32(std::string_view data) {
+  return Crc32Update(0, data.data(), data.size());
+}
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_COMMON_CRC32_H_

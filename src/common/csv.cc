@@ -11,9 +11,11 @@ namespace {
 // Parses one logical CSV record starting at `pos`; advances `pos` past
 // the record terminator. Returns false (without error) at end of input.
 bool ParseRecord(const std::string& text, std::size_t& pos,
-                 std::vector<std::string>* fields, Status* error) {
+                 std::vector<std::string>* fields, bool* any_quotes,
+                 Status* error) {
   if (pos >= text.size()) return false;
   fields->clear();
+  *any_quotes = false;
   std::string field;
   bool in_quotes = false;
   while (pos < text.size()) {
@@ -41,6 +43,7 @@ bool ParseRecord(const std::string& text, std::size_t& pos,
           return false;
         }
         in_quotes = true;
+        *any_quotes = true;
         ++pos;
         break;
       case ',':
@@ -76,8 +79,16 @@ Result<CsvDocument> ParseCsv(const std::string& text, bool has_header) {
   std::vector<std::string> fields;
   Status error;
   std::size_t expected_width = 0;
+  std::size_t record = 0;  // 1-based physical record, for messages.
   bool first = true;
-  while (ParseRecord(text, pos, &fields, &error)) {
+  bool any_quotes = false;
+  while (ParseRecord(text, pos, &fields, &any_quotes, &error)) {
+    ++record;
+    // A blank line parses as one empty field; tolerate it anywhere (a
+    // trailing blank line is the most common hand-edit artifact) rather
+    // than reporting a confusing arity error. A quoted empty field
+    // ("") is an intentional value, not a blank line, and is kept.
+    if (fields.size() == 1 && fields[0].empty() && !any_quotes) continue;
     if (first) {
       expected_width = fields.size();
       first = false;
@@ -88,7 +99,7 @@ Result<CsvDocument> ParseCsv(const std::string& text, bool has_header) {
     }
     if (fields.size() != expected_width) {
       return Status::InvalidArgument(StrFormat(
-          "CSV: row %zu has %zu fields, expected %zu", doc.rows.size() + 1,
+          "CSV: record %zu has %zu fields, expected %zu", record,
           fields.size(), expected_width));
     }
     doc.rows.push_back(std::move(fields));
@@ -106,6 +117,9 @@ Result<CsvDocument> ReadCsvFile(const std::string& path, bool has_header) {
 }
 
 std::string FormatCsvRow(const std::vector<std::string>& fields) {
+  // A row that is one empty field would serialize as a blank line,
+  // which the parser skips; quote it so the row round-trips.
+  if (fields.size() == 1 && fields[0].empty()) return "\"\"\n";
   std::string out;
   for (std::size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) out.push_back(',');

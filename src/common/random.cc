@@ -89,4 +89,12 @@ std::size_t Rng::NextDiscrete(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+std::array<std::uint64_t, 4> Rng::SaveState() const {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::LoadState(const std::array<std::uint64_t, 4>& state) {
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+}
+
 }  // namespace bayescrowd

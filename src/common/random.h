@@ -7,6 +7,7 @@
 #ifndef BAYESCROWD_COMMON_RANDOM_H_
 #define BAYESCROWD_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +54,11 @@ class Rng {
 
   /// Derives an independent child generator (for parallel streams).
   Rng Fork();
+
+  /// Raw xoshiro256** state, for checkpointing. LoadState restores the
+  /// exact stream position a SaveState captured.
+  std::array<std::uint64_t, 4> SaveState() const;
+  void LoadState(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t state_[4];

@@ -1,0 +1,493 @@
+#include "core/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/string_util.h"
+
+namespace bayescrowd {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------------ //
+// Component serializers. Each Read* validates enum domains and element
+// counts; BinReader bounds-checks every access, so corrupt payloads
+// fail with a Status instead of undefined behavior.
+// ------------------------------------------------------------------ //
+
+void WriteExpression(BinWriter* w, const Expression& e) {
+  w->WriteU64(e.lhs.object);
+  w->WriteU64(e.lhs.attribute);
+  w->WriteU8(static_cast<std::uint8_t>(e.op));
+  w->WriteBool(e.rhs_is_var);
+  if (e.rhs_is_var) {
+    w->WriteU64(e.rhs_var.object);
+    w->WriteU64(e.rhs_var.attribute);
+  } else {
+    w->WriteI32(e.rhs_const);
+  }
+}
+
+Status ReadExpression(BinReader* r, Expression* e) {
+  std::uint64_t object = 0;
+  std::uint64_t attribute = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&object));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&attribute));
+  e->lhs.object = static_cast<std::size_t>(object);
+  e->lhs.attribute = static_cast<std::size_t>(attribute);
+  std::uint8_t op = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU8(&op));
+  if (op > static_cast<std::uint8_t>(CmpOp::kLess)) {
+    return Status::OutOfRange("checkpoint: bad comparison operator");
+  }
+  e->op = static_cast<CmpOp>(op);
+  BAYESCROWD_RETURN_NOT_OK(r->ReadBool(&e->rhs_is_var));
+  if (e->rhs_is_var) {
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&object));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&attribute));
+    e->rhs_var.object = static_cast<std::size_t>(object);
+    e->rhs_var.attribute = static_cast<std::size_t>(attribute);
+  } else {
+    BAYESCROWD_RETURN_NOT_OK(r->ReadI32(&e->rhs_const));
+  }
+  return Status::OK();
+}
+
+// Minimum serialized expression: 2 u64 + op + flag + i32 = 22 bytes.
+constexpr std::size_t kMinExpressionBytes = 22;
+
+void WriteCondition(BinWriter* w, const Condition& c) {
+  Truth state = Truth::kUnknown;
+  if (c.IsTrue()) state = Truth::kTrue;
+  if (c.IsFalse()) state = Truth::kFalse;
+  w->WriteU8(static_cast<std::uint8_t>(state));
+  w->WriteU64(c.conjuncts().size());
+  for (const Conjunct& conj : c.conjuncts()) {
+    w->WriteU64(conj.size());
+    for (const Expression& e : conj) WriteExpression(w, e);
+  }
+}
+
+Status ReadCondition(BinReader* r, Condition* out) {
+  std::uint8_t state = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU8(&state));
+  if (state > static_cast<std::uint8_t>(Truth::kUnknown)) {
+    return Status::OutOfRange("checkpoint: bad condition state");
+  }
+  std::uint64_t num_conjuncts = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&num_conjuncts, 8));
+  std::vector<Conjunct> conjuncts;
+  conjuncts.reserve(num_conjuncts);
+  for (std::uint64_t c = 0; c < num_conjuncts; ++c) {
+    std::uint64_t num_exprs = 0;
+    BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&num_exprs, kMinExpressionBytes));
+    Conjunct conj(num_exprs);
+    for (Expression& e : conj) {
+      BAYESCROWD_RETURN_NOT_OK(ReadExpression(r, &e));
+    }
+    conjuncts.push_back(std::move(conj));
+  }
+  // Decided conditions always serialize with zero conjuncts (the
+  // simplifier clears them), so the three cases rebuild exactly.
+  switch (static_cast<Truth>(state)) {
+    case Truth::kTrue:
+      *out = Condition::True();
+      break;
+    case Truth::kFalse:
+      *out = Condition::False();
+      break;
+    case Truth::kUnknown:
+      if (conjuncts.empty()) {
+        return Status::OutOfRange(
+            "checkpoint: undecided condition without conjuncts");
+      }
+      *out = Condition::Cnf(std::move(conjuncts));
+      break;
+  }
+  return Status::OK();
+}
+
+void WriteRoundLog(BinWriter* w, const RoundLog& log) {
+  w->WriteU64(log.round);
+  w->WriteU64(log.tasks);
+  w->WriteDouble(log.seconds);
+  w->WriteDouble(log.select_seconds);
+  w->WriteDouble(log.update_seconds);
+  w->WriteU64(log.attempts);
+  w->WriteU64(log.answered);
+  w->WriteU64(log.unanswered);
+  w->WriteDouble(log.cost_refunded);
+  w->WriteDouble(log.backoff_seconds);
+  w->WriteDouble(log.simulated_seconds);
+  w->WriteBool(log.abandoned);
+  w->WriteU64(log.cache_hits);
+  w->WriteU64(log.cache_misses);
+}
+
+Status ReadRoundLog(BinReader* r, RoundLog* log) {
+  std::uint64_t u = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&u));
+  log->round = static_cast<std::size_t>(u);
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&u));
+  log->tasks = static_cast<std::size_t>(u);
+  BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&log->seconds));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&log->select_seconds));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&log->update_seconds));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&u));
+  log->attempts = static_cast<std::size_t>(u);
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&u));
+  log->answered = static_cast<std::size_t>(u);
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&u));
+  log->unanswered = static_cast<std::size_t>(u);
+  BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&log->cost_refunded));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&log->backoff_seconds));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&log->simulated_seconds));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadBool(&log->abandoned));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&log->cache_hits));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&log->cache_misses));
+  return Status::OK();
+}
+
+// Minimum serialized round log: 7 u64 + 6 double + bool = 105 bytes.
+constexpr std::size_t kMinRoundLogBytes = 105;
+
+void WriteMetricsSnapshot(BinWriter* w, const obs::MetricsSnapshot& m) {
+  w->WriteU64(m.counters.size());
+  for (const auto& [name, value] : m.counters) {
+    w->WriteString(name);
+    w->WriteU64(value);
+  }
+  w->WriteU64(m.gauges.size());
+  for (const auto& [name, value] : m.gauges) {
+    w->WriteString(name);
+    w->WriteDouble(value);
+  }
+  w->WriteU64(m.histograms.size());
+  for (const auto& [name, hist] : m.histograms) {
+    w->WriteString(name);
+    w->WriteU64(hist.bounds.size());
+    for (const double b : hist.bounds) w->WriteDouble(b);
+    w->WriteU64(hist.bucket_counts.size());
+    for (const std::uint64_t c : hist.bucket_counts) w->WriteU64(c);
+    w->WriteU64(hist.count);
+    w->WriteDouble(hist.sum);
+  }
+}
+
+Status ReadMetricsSnapshot(BinReader* r, obs::MetricsSnapshot* m) {
+  std::uint64_t n = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 16));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t value = 0;
+    BAYESCROWD_RETURN_NOT_OK(r->ReadString(&name));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&value));
+    m->counters[std::move(name)] = value;
+  }
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 16));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    double value = 0.0;
+    BAYESCROWD_RETURN_NOT_OK(r->ReadString(&name));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&value));
+    m->gauges[std::move(name)] = value;
+  }
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 40));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    BAYESCROWD_RETURN_NOT_OK(r->ReadString(&name));
+    obs::HistogramSnapshot hist;
+    std::uint64_t count = 0;
+    BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&count, 8));
+    hist.bounds.resize(count);
+    for (double& b : hist.bounds) {
+      BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&b));
+    }
+    BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&count, 8));
+    hist.bucket_counts.resize(count);
+    for (std::uint64_t& c : hist.bucket_counts) {
+      BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&c));
+    }
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&hist.count));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&hist.sum));
+    m->histograms[std::move(name)] = std::move(hist);
+  }
+  return Status::OK();
+}
+
+Status ReadSize(BinReader* r, std::size_t* out) {
+  std::uint64_t u = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&u));
+  *out = static_cast<std::size_t>(u);
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ //
+// File helpers.
+// ------------------------------------------------------------------ //
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("cannot read " + path);
+  return std::move(buffer).str();
+}
+
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IOError("cannot open directory " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("cannot fsync directory " + dir);
+  return Status::OK();
+}
+
+/// Parses "ckpt-NNNNNNNN.bin"; returns false for anything else
+/// (including tmp files left by a killed write).
+bool ParseGenerationName(const std::string& name, std::size_t* rounds) {
+  constexpr std::string_view kPrefix = "ckpt-";
+  constexpr std::string_view kSuffix = ".bin";
+  if (name.size() != kPrefix.size() + 8 + kSuffix.size()) return false;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                   kSuffix) != 0) {
+    return false;
+  }
+  std::size_t value = 0;
+  for (std::size_t i = kPrefix.size(); i < kPrefix.size() + 8; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *rounds = value;
+  return true;
+}
+
+}  // namespace
+
+void SerializeSessionState(const SessionState& state, std::string* out) {
+  BinWriter w(out);
+  w.WriteDouble(state.budget_left);
+  w.WriteU64(state.consecutive_barren);
+  w.WriteU64(state.rounds);
+  w.WriteU64(state.tasks_posted);
+  w.WriteDouble(state.cost_spent);
+  w.WriteDouble(state.cost_refunded);
+  w.WriteU64(state.tasks_unanswered);
+  w.WriteU64(state.retries);
+  w.WriteU64(state.transient_failures);
+  w.WriteU64(state.rounds_abandoned);
+  w.WriteU64(state.order_conflicts);
+  w.WriteDouble(state.backoff_seconds);
+  w.WriteDouble(state.simulated_seconds);
+  w.WriteU64(state.initial_true);
+  w.WriteU64(state.initial_false);
+  w.WriteU64(state.initial_undecided);
+  w.WriteU64(state.round_logs.size());
+  for (const RoundLog& log : state.round_logs) WriteRoundLog(&w, log);
+  w.WriteU64(state.conditions.size());
+  for (const Condition& c : state.conditions) WriteCondition(&w, c);
+  w.WriteString(state.knowledge_blob);
+  w.WriteString(state.evaluator_blob);
+  WriteMetricsSnapshot(&w, state.metrics);
+  w.WriteString(state.platform_state);
+  w.WriteU64(state.platform_tasks);
+  w.WriteU64(state.platform_rounds);
+  w.WriteU64(state.answer_log_offset);
+  w.WriteString(state.network_blob);
+  w.WriteU64(state.config_fingerprint);
+}
+
+Status DeserializeSessionState(BinReader* reader, SessionState* out) {
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&out->budget_left));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->consecutive_barren));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->rounds));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->tasks_posted));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&out->cost_spent));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&out->cost_refunded));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->tasks_unanswered));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->retries));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->transient_failures));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->rounds_abandoned));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->order_conflicts));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&out->backoff_seconds));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&out->simulated_seconds));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->initial_true));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->initial_false));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->initial_undecided));
+  std::uint64_t count = 0;
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&count, kMinRoundLogBytes));
+  out->round_logs.resize(count);
+  for (RoundLog& log : out->round_logs) {
+    BAYESCROWD_RETURN_NOT_OK(ReadRoundLog(reader, &log));
+  }
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&count, 9));
+  out->conditions.resize(count);
+  for (Condition& c : out->conditions) {
+    BAYESCROWD_RETURN_NOT_OK(ReadCondition(reader, &c));
+  }
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadString(&out->knowledge_blob));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadString(&out->evaluator_blob));
+  BAYESCROWD_RETURN_NOT_OK(ReadMetricsSnapshot(reader, &out->metrics));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadString(&out->platform_state));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->platform_tasks));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->platform_rounds));
+  BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->answer_log_offset));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadString(&out->network_blob));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&out->config_fingerprint));
+  if (!reader->AtEnd()) {
+    return Status::OutOfRange(
+        "checkpoint: trailing bytes after session state");
+  }
+  return Status::OK();
+}
+
+std::string WrapCheckpoint(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 20);
+  out.append("BCKP", 4);
+  BinWriter w(&out);
+  w.WriteU32(kCheckpointVersion);
+  w.WriteU64(payload.size());
+  out.append(payload);
+  w.WriteU32(Crc32(payload));
+  return out;
+}
+
+Result<std::string> UnwrapCheckpoint(const std::string& file_bytes) {
+  constexpr std::size_t kHeaderBytes = 4 + 4 + 8;  // magic+version+size.
+  if (file_bytes.size() < kHeaderBytes + 4) {
+    return Status::IOError("checkpoint corrupt: file too short");
+  }
+  if (file_bytes.compare(0, 4, "BCKP") != 0) {
+    return Status::IOError("checkpoint corrupt: bad magic");
+  }
+  BinReader r(std::string_view(file_bytes).substr(4));
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  BAYESCROWD_RETURN_NOT_OK(r.ReadU32(&version));
+  BAYESCROWD_RETURN_NOT_OK(r.ReadU64(&payload_size));
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint version %u is %s than this build supports (%u)",
+        static_cast<unsigned>(version),
+        version > kCheckpointVersion ? "newer" : "older",
+        static_cast<unsigned>(kCheckpointVersion)));
+  }
+  if (file_bytes.size() != kHeaderBytes + payload_size + 4) {
+    return Status::IOError("checkpoint corrupt: truncated payload");
+  }
+  const std::string payload =
+      file_bytes.substr(kHeaderBytes, static_cast<std::size_t>(payload_size));
+  std::uint32_t stored_crc = 0;
+  BinReader tail(
+      std::string_view(file_bytes).substr(kHeaderBytes + payload_size));
+  BAYESCROWD_RETURN_NOT_OK(tail.ReadU32(&stored_crc));
+  if (Crc32(payload) != stored_crc) {
+    return Status::IOError("checkpoint corrupt: CRC mismatch");
+  }
+  return payload;
+}
+
+CheckpointStore::CheckpointStore(Options options)
+    : options_(std::move(options)) {
+  if (options_.keep == 0) options_.keep = 1;
+}
+
+std::vector<std::string> CheckpointStore::ListGenerations() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    std::size_t rounds = 0;
+    const std::string name = entry.path().filename().string();
+    if (ParseGenerationName(name, &rounds)) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status CheckpointStore::Write(const SessionState& state) {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint directory " +
+                           options_.dir + ": " + ec.message());
+  }
+  std::string payload;
+  SerializeSessionState(state, &payload);
+  const std::string file = WrapCheckpoint(payload);
+
+  const std::string name = StrFormat("ckpt-%08zu.bin", state.rounds);
+  const std::string final_path = options_.dir + "/" + name;
+  const std::string tmp_path = final_path + ".tmp";
+
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + tmp_path);
+  const bool wrote =
+      std::fwrite(file.data(), 1, file.size(), f) == file.size() &&
+      std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot write " + tmp_path);
+  }
+  if (options_.pre_rename_hook) {
+    BAYESCROWD_RETURN_NOT_OK(options_.pre_rename_hook(tmp_path));
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename " + tmp_path);
+  }
+  BAYESCROWD_RETURN_NOT_OK(SyncDirectory(options_.dir));
+
+  // Prune beyond `keep`, oldest first. A failed unlink is not fatal —
+  // extra generations only cost disk.
+  std::vector<std::string> names = ListGenerations();
+  while (names.size() > options_.keep) {
+    std::remove((options_.dir + "/" + names.front()).c_str());
+    names.erase(names.begin());
+  }
+  return Status::OK();
+}
+
+Result<SessionState> CheckpointStore::LoadLatest(
+    std::size_t max_valid_log_entries, std::size_t* fallbacks) const {
+  if (fallbacks != nullptr) *fallbacks = 0;
+  const std::vector<std::string> names = ListGenerations();
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    const std::string path = options_.dir + "/" + *it;
+    const auto attempt = [&]() -> Result<SessionState> {
+      BAYESCROWD_ASSIGN_OR_RETURN(const std::string bytes,
+                                  ReadWholeFile(path));
+      BAYESCROWD_ASSIGN_OR_RETURN(const std::string payload,
+                                  UnwrapCheckpoint(bytes));
+      SessionState state;
+      BinReader reader(payload);
+      BAYESCROWD_RETURN_NOT_OK(DeserializeSessionState(&reader, &state));
+      if (state.answer_log_offset > max_valid_log_entries) {
+        return Status::FailedPrecondition(StrFormat(
+            "checkpoint %s references %zu answer-log entries but only "
+            "%zu survived",
+            it->c_str(), state.answer_log_offset, max_valid_log_entries));
+      }
+      return state;
+    }();
+    if (attempt.ok()) return attempt;
+    if (fallbacks != nullptr) ++*fallbacks;
+  }
+  return Status::NotFound("no usable checkpoint generation in " +
+                          options_.dir);
+}
+
+}  // namespace bayescrowd

@@ -5,9 +5,11 @@
 #include <map>
 #include <set>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/checkpoint.h"
 #include "core/entropy.h"
 #include "core/update.h"
 #include "obs/trace.h"
@@ -88,6 +90,8 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       metrics->GetCounter("framework.rounds_abandoned");
   obs::Counter* const unanswered_counter =
       metrics->GetCounter("framework.tasks_unanswered");
+  obs::Counter* const conflicts_counter =
+      metrics->GetCounter("framework.order_conflicts");
 
   // ---------------------------------------------------------------- //
   // Crowdsourcing phase (Algorithm 4).
@@ -109,6 +113,102 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   double budget_left = static_cast<double>(options_.budget);
   const RetryPolicy& retry = options_.retry;
   std::size_t consecutive_barren = 0;  // Rounds with zero applied answers.
+
+  // ---------------------------------------------------------------- //
+  // Resume from a checkpoint snapshot. The modeling phase above rebuilt
+  // the pristine c-table and raw posteriors (deterministic from the
+  // inputs); everything the crowd rounds changed is overwritten from
+  // the snapshot, in dependency order: conditions and knowledge first,
+  // then the re-conditioned distributions (whose cache evictions land
+  // on an empty cache), then the memo cache keyed by those conditions,
+  // then the platform stack, and the metrics snapshot last so setup-
+  // time increments are reset to the checkpointed counts.
+  // ---------------------------------------------------------------- //
+  if (options_.resume != nullptr) {
+    const SessionState& st = *options_.resume;
+    if (st.conditions.size() != ctable.num_objects()) {
+      return Status::InvalidArgument(StrFormat(
+          "resume: checkpoint holds %zu conditions but the dataset has "
+          "%zu objects",
+          st.conditions.size(), ctable.num_objects()));
+    }
+    for (std::size_t i = 0; i < st.conditions.size(); ++i) {
+      if (!(st.conditions[i] == ctable.condition(i))) {
+        ctable.SetCondition(i, st.conditions[i]);
+      }
+    }
+    BinReader knowledge_reader(st.knowledge_blob);
+    BAYESCROWD_RETURN_NOT_OK(knowledge.RestoreFacts(&knowledge_reader));
+    for (const auto& [var, raw] : raw_posteriors) {
+      BAYESCROWD_RETURN_NOT_OK(evaluator.SetDistribution(
+          var, knowledge.ConditionDistribution(var, raw)));
+    }
+    BinReader memo_reader(st.evaluator_blob);
+    BAYESCROWD_RETURN_NOT_OK(evaluator.RestoreMemoState(&memo_reader));
+    if (!st.platform_state.empty()) {
+      BinReader platform_reader(st.platform_state);
+      BAYESCROWD_RETURN_NOT_OK(platform.LoadState(&platform_reader));
+    }
+    metrics->Restore(st.metrics);
+    budget_left = st.budget_left;
+    consecutive_barren = st.consecutive_barren;
+    out.rounds = st.rounds;
+    out.tasks_posted = st.tasks_posted;
+    out.cost_spent = st.cost_spent;
+    out.cost_refunded = st.cost_refunded;
+    out.tasks_unanswered = st.tasks_unanswered;
+    out.retries = st.retries;
+    out.transient_failures = st.transient_failures;
+    out.rounds_abandoned = st.rounds_abandoned;
+    out.order_conflicts = st.order_conflicts;
+    out.backoff_seconds = st.backoff_seconds;
+    out.simulated_seconds = st.simulated_seconds;
+    out.initial_true = st.initial_true;
+    out.initial_false = st.initial_false;
+    out.initial_undecided = st.initial_undecided;
+    out.round_logs = st.round_logs;
+    out.resumed = true;
+  }
+
+  // Snapshots the full session at a round boundary and hands it to the
+  // checkpoint sink. `out.rounds` names the generation.
+  CheckpointSink* const checkpoint_sink = options_.checkpoint_sink;
+  const std::size_t checkpoint_every =
+      checkpoint_sink != nullptr ? options_.checkpoint_every : 0;
+  const auto maybe_checkpoint = [&]() -> Status {
+    if (checkpoint_every == 0 || out.rounds % checkpoint_every != 0) {
+      return Status::OK();
+    }
+    SessionState state;
+    state.budget_left = budget_left;
+    state.consecutive_barren = consecutive_barren;
+    state.rounds = out.rounds;
+    state.tasks_posted = out.tasks_posted;
+    state.cost_spent = out.cost_spent;
+    state.cost_refunded = out.cost_refunded;
+    state.tasks_unanswered = out.tasks_unanswered;
+    state.retries = out.retries;
+    state.transient_failures = out.transient_failures;
+    state.rounds_abandoned = out.rounds_abandoned;
+    state.order_conflicts = out.order_conflicts;
+    state.backoff_seconds = out.backoff_seconds;
+    state.simulated_seconds = out.simulated_seconds;
+    state.initial_true = out.initial_true;
+    state.initial_false = out.initial_false;
+    state.initial_undecided = out.initial_undecided;
+    state.round_logs = out.round_logs;
+    state.conditions.reserve(ctable.num_objects());
+    for (std::size_t i = 0; i < ctable.num_objects(); ++i) {
+      state.conditions.push_back(ctable.condition(i));
+    }
+    knowledge.SerializeFacts(&state.knowledge_blob);
+    evaluator.SerializeMemoState(&state.evaluator_blob);
+    state.metrics = metrics->Snapshot();
+    platform.SaveState(&state.platform_state);
+    state.platform_tasks = platform.total_tasks();
+    state.platform_rounds = platform.total_rounds();
+    return checkpoint_sink->Write(state);
+  };
 
   while (budget_left > 1e-9) {
     obs::TraceSpan select_span("round.select");
@@ -234,6 +334,7 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       ++out.rounds_abandoned;
       rounds_counter->Increment();
       abandoned_counter->Increment();
+      BAYESCROWD_RETURN_NOT_OK(maybe_checkpoint());
       if (++consecutive_barren >= retry.max_barren_rounds) {
         out.degraded = true;  // Platform presumed down; degrade.
         break;
@@ -270,8 +371,22 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     std::set<CellRef> touched;
     for (std::size_t t = 0; t < batch.size(); ++t) {
       if (!answers[t].answered) continue;
-      BAYESCROWD_RETURN_NOT_OK(
-          ApplyAnswer(batch[t], answers[t], &knowledge));
+      const Status applied = ApplyAnswer(batch[t], answers[t], &knowledge);
+      if (!applied.ok()) {
+        // A noisy crowd can answer the same ordering both ways. Keep
+        // the first recorded fact, drop the contradiction (its cost
+        // stays spent — the marketplace doesn't refund wrong answers),
+        // and keep the session alive. Anything else is fatal.
+        if (applied.IsInvalidArgument() &&
+            StartsWith(applied.message(), "contradictory var-var fact")) {
+          ++out.order_conflicts;
+          conflicts_counter->Increment();
+          BAYESCROWD_LOG(Warning)
+              << "dropping conflicting crowd answer: " << applied.message();
+          continue;
+        }
+        return applied;
+      }
       for (const CellRef& var : batch[t].expression.Variables()) {
         touched.insert(var);
       }
@@ -323,6 +438,7 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     ++out.rounds;
     rounds_counter->Increment();
     tasks_counter->Increment(batch.size());
+    BAYESCROWD_RETURN_NOT_OK(maybe_checkpoint());
 
     // A delivered round that applied nothing still counts as barren:
     // with every worker abstaining, more rounds buy no information.

@@ -28,6 +28,9 @@
 
 namespace bayescrowd {
 
+struct SessionState;   // core/checkpoint.h
+class CheckpointSink;  // core/checkpoint.h
+
 /// How the round loop survives a flaky platform. A PostBatch returning
 /// Status::Unavailable (transient failure, timeout) is retried with
 /// deterministic exponential backoff on a *simulated* clock; when the
@@ -118,6 +121,20 @@ struct BayesCrowdOptions {
   /// BayesCrowdResult::metrics), so repeated runs never see each
   /// other's counts. Inject a registry to aggregate across runs.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Crash safety: snapshot the session into `checkpoint_sink` every
+  /// this many finished rounds (abandoned rounds included). 0 disables
+  /// checkpointing; a sink failure fails the run.
+  std::size_t checkpoint_every = 0;
+  CheckpointSink* checkpoint_sink = nullptr;  // Non-owning.
+
+  /// Resume a checkpointed session: after the modeling phase the round
+  /// loop's state is overwritten from this snapshot and the loop
+  /// continues from the checkpointed round. The caller is responsible
+  /// for platform alignment (replaying the answer-log tail past the
+  /// snapshot, LoadState on the platform stack). Non-owning; must
+  /// outlive Run().
+  const SessionState* resume = nullptr;
 };
 
 /// One crowd round's bookkeeping.
@@ -207,6 +224,14 @@ struct BayesCrowdResult {
 
   /// True when the confidence stop ended the run before the budget.
   bool stopped_confident = false;
+
+  /// True when this run continued from a checkpoint snapshot.
+  bool resumed = false;
+
+  /// Crowd answers skipped because they contradicted an earlier
+  /// recorded ordering (the knowledge base keeps the first answer; the
+  /// conflicting one is dropped, its cost stays spent).
+  std::size_t order_conflicts = 0;
 
   /// Modeling-phase statistics.
   std::size_t initial_true = 0;

@@ -79,6 +79,8 @@ obs::JsonValue RunTelemetryJson(const std::string& name,
   res["cost_spent"] = result.cost_spent;
   res["stopped_confident"] = result.stopped_confident;
   res["degraded"] = result.degraded;
+  res["resumed"] = result.resumed;
+  res["order_conflicts"] = result.order_conflicts;
   res["initial_true"] = result.initial_true;
   res["initial_false"] = result.initial_false;
   res["initial_undecided"] = result.initial_undecided;

@@ -51,6 +51,13 @@ struct FaultOptions {
   /// uniformly-drawn non-empty tail of the batch is dropped.
   double partial_batch_rate = 0.0;
 
+  /// Per-vote probability that a virtual worker reports a wrong
+  /// relation (uniform over the two wrong choices). When > 0, every
+  /// delivered answer is re-voted by three virtual workers and
+  /// re-aggregated through WeightedVote, so the content itself becomes
+  /// noisy — not just the delivery.
+  double answer_noise = 0.0;
+
   /// Drives the entire schedule; same seed = same faults.
   std::uint64_t seed = 42;
 
@@ -70,6 +77,8 @@ struct FaultStats {
   std::uint64_t dropped_tail_tasks = 0;  // Tasks lost to partial batches.
   std::uint64_t batches_attempted = 0;   // Every PostBatch call seen.
   std::uint64_t batches_delivered = 0;   // Calls that returned answers.
+  std::uint64_t flipped_votes = 0;       // Wrong virtual-worker votes.
+  std::uint64_t noisy_answers_changed = 0;  // Aggregates that flipped.
 };
 
 /// The decorator. Non-owning: `inner` must outlive it.
@@ -93,11 +102,42 @@ class FaultInjectingPlatform : public CrowdPlatform {
   /// detaches). Non-owning; must outlive the platform.
   void BindMetrics(obs::MetricsRegistry* registry);
 
+  /// Chunk: own RNG + stats + virtual-worker votes, then the inner
+  /// platform's chunk.
+  void SaveState(std::string* out) const override;
+  Status LoadState(BinReader* reader) override;
+
+  /// Replay sync = post and discard: reproduces this layer's entire
+  /// draw schedule (failure/noise/partial/abstain) plus the inner
+  /// platform's, keeping both streams aligned with the recorded run.
+  void SyncReplayed(const std::vector<Task>& tasks,
+                    bool delivered) override {
+    (void)delivered;
+    if (tasks.empty()) return;
+    (void)PostBatch(tasks);
+  }
+
+  /// Unsupervised (Dawid-Skene-style) accuracy estimates for the three
+  /// virtual noise workers, from the votes accumulated so far. Only
+  /// meaningful when answer_noise > 0 and batches were delivered.
+  Result<std::vector<double>> EstimateVirtualWorkerAccuracies(
+      int iterations = 10) const;
+
+  /// Virtual workers re-voting each answer when answer_noise > 0.
+  static constexpr std::size_t kNoiseWorkers = 3;
+
  private:
+  /// Re-votes every answer through the virtual noise workers and
+  /// re-aggregates with WeightedVote.
+  void ApplyAnswerNoise(std::vector<TaskAnswer>* answers);
+
   CrowdPlatform& inner_;
   FaultOptions options_;
   Rng rng_;
   FaultStats stats_;
+  /// Votes per delivered task (answer_noise > 0 only), consumed by the
+  /// consensus accuracy estimator.
+  std::vector<std::vector<Vote>> task_votes_;
 
   struct Instruments {
     obs::Counter* transient_failures = nullptr;
@@ -105,6 +145,8 @@ class FaultInjectingPlatform : public CrowdPlatform {
     obs::Counter* abstained_tasks = nullptr;
     obs::Counter* partial_batches = nullptr;
     obs::Counter* dropped_tail_tasks = nullptr;
+    obs::Counter* flipped_votes = nullptr;
+    obs::Counter* noisy_answers_changed = nullptr;
   } ins_;
 };
 

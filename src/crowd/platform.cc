@@ -1,12 +1,16 @@
 #include "crowd/platform.h"
 
+#include <utility>
+
 #include "common/string_util.h"
 
 namespace bayescrowd {
 
 SimulatedCrowdPlatform::SimulatedCrowdPlatform(
-    const Table& ground_truth, SimulatedPlatformOptions options)
-    : ground_truth_(ground_truth), options_(options), rng_(options.seed) {
+    Table ground_truth, SimulatedPlatformOptions options)
+    : ground_truth_(std::move(ground_truth)),
+      options_(options),
+      rng_(options.seed) {
   if (options_.worker_pool_size > 0) {
     pool_accuracies_.resize(options_.worker_pool_size);
     for (std::size_t w = 0; w < options_.worker_pool_size; ++w) {
@@ -17,6 +21,65 @@ SimulatedCrowdPlatform::SimulatedCrowdPlatform(
     }
     tracker_.emplace(options_.worker_pool_size);
   }
+}
+
+void SimulatedCrowdPlatform::SaveState(std::string* out) const {
+  BinWriter w(out);
+  w.WriteU8('S');
+  for (const std::uint64_t word : rng_.SaveState()) w.WriteU64(word);
+  w.WriteU64(total_tasks_);
+  w.WriteU64(total_rounds_);
+  w.WriteBool(tracker_.has_value());
+  if (tracker_.has_value()) {
+    w.WriteU64(tracker_->num_workers());
+    for (const double h : tracker_->hits()) w.WriteDouble(h);
+    for (const double t : tracker_->totals()) w.WriteDouble(t);
+  }
+}
+
+Status SimulatedCrowdPlatform::LoadState(BinReader* reader) {
+  std::uint8_t tag = 0;
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadU8(&tag));
+  if (tag != 'S') {
+    return Status::InvalidArgument(
+        "platform state: expected simulated-platform chunk");
+  }
+  std::array<std::uint64_t, 4> rng_state{};
+  for (std::uint64_t& word : rng_state) {
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&word));
+  }
+  std::uint64_t tasks = 0;
+  std::uint64_t rounds = 0;
+  bool has_tracker = false;
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&tasks));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&rounds));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadBool(&has_tracker));
+  if (has_tracker != tracker_.has_value()) {
+    return Status::InvalidArgument(
+        "platform state: worker-pool configuration changed since the "
+        "checkpoint was written");
+  }
+  if (has_tracker) {
+    std::uint64_t workers = 0;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&workers, 16));
+    if (workers != tracker_->num_workers()) {
+      return Status::InvalidArgument(
+          "platform state: worker pool size changed since the checkpoint "
+          "was written");
+    }
+    std::vector<double> hits(workers);
+    std::vector<double> totals(workers);
+    for (double& h : hits) BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&h));
+    for (double& t : totals) {
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&t));
+    }
+    BAYESCROWD_RETURN_NOT_OK(
+        tracker_->RestoreCounts(std::move(hits), std::move(totals)));
+  }
+  rng_.LoadState(rng_state);
+  total_tasks_ = static_cast<std::size_t>(tasks);
+  total_rounds_ = static_cast<std::size_t>(rounds);
+  return Status::OK();
 }
 
 Result<Ordering> SimulatedCrowdPlatform::TrueRelation(

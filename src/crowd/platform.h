@@ -11,6 +11,7 @@
 
 #include <optional>
 
+#include "common/binio.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "crowd/quality.h"
@@ -35,6 +36,29 @@ class CrowdPlatform {
 
   /// Total rounds so far (latency proxy).
   virtual std::size_t total_rounds() const = 0;
+
+  /// Appends the platform's internal state (RNG position, totals,
+  /// quality trackers) to `out` for checkpointing. Decorators append
+  /// their own chunk and forward. Default: stateless, writes nothing.
+  virtual void SaveState(std::string* out) const { (void)out; }
+
+  /// Restores state written by SaveState (same platform stack shape).
+  virtual Status LoadState(BinReader* reader) {
+    (void)reader;
+    return Status::OK();
+  }
+
+  /// Notifies the platform that a batch was served from a recorded
+  /// answer log instead of being posted live (`delivered` false = a
+  /// replayed transient failure). Stateful simulators mirror the draws
+  /// a live call would have made, so their RNG streams stay aligned
+  /// with the recorded session once the replay catches up. Default:
+  /// ignore (an interactive platform must never re-prompt).
+  virtual void SyncReplayed(const std::vector<Task>& tasks,
+                            bool delivered) {
+    (void)tasks;
+    (void)delivered;
+  }
 };
 
 /// How the per-task votes are combined into one answer.
@@ -78,8 +102,9 @@ struct SimulatedPlatformOptions {
 /// table.
 class SimulatedCrowdPlatform : public CrowdPlatform {
  public:
-  /// `ground_truth` must be complete and outlive the platform.
-  SimulatedCrowdPlatform(const Table& ground_truth,
+  /// `ground_truth` must be complete. Held by value: binding a
+  /// temporary is safe (tests routinely pass a freshly built table).
+  SimulatedCrowdPlatform(Table ground_truth,
                          SimulatedPlatformOptions options);
 
   Result<std::vector<TaskAnswer>> PostBatch(
@@ -87,6 +112,17 @@ class SimulatedCrowdPlatform : public CrowdPlatform {
 
   std::size_t total_tasks() const override { return total_tasks_; }
   std::size_t total_rounds() const override { return total_rounds_; }
+
+  void SaveState(std::string* out) const override;
+  Status LoadState(BinReader* reader) override;
+
+  /// Replay sync = post and discard: the simulated workers make the
+  /// exact draws of the recorded session and the totals advance.
+  void SyncReplayed(const std::vector<Task>& tasks,
+                    bool delivered) override {
+    if (!delivered || tasks.empty()) return;
+    (void)PostBatch(tasks);
+  }
 
   /// The true relation of a task's operands (exposed for tests).
   Result<Ordering> TrueRelation(const Expression& expression) const;
@@ -104,7 +140,7 @@ class SimulatedCrowdPlatform : public CrowdPlatform {
   // Aggregates one task in pool mode.
   Result<Ordering> PoolAnswer(Ordering truth);
 
-  const Table& ground_truth_;
+  const Table ground_truth_;
   SimulatedPlatformOptions options_;
   Rng rng_;
   std::size_t total_tasks_ = 0;

@@ -47,6 +47,22 @@ class WorkerQualityTracker {
   /// Estimates for all workers.
   std::vector<double> Accuracies() const;
 
+  /// Raw gold counters, for checkpointing.
+  const std::vector<double>& hits() const { return hits_; }
+  const std::vector<double>& totals() const { return totals_; }
+
+  /// Overwrites the counters with checkpointed values.
+  Status RestoreCounts(std::vector<double> hits,
+                       std::vector<double> totals) {
+    if (hits.size() != hits_.size() || totals.size() != totals_.size()) {
+      return Status::InvalidArgument(
+          "quality tracker: checkpointed worker count mismatch");
+    }
+    hits_ = std::move(hits);
+    totals_ = std::move(totals);
+    return Status::OK();
+  }
+
  private:
   std::vector<double> hits_;
   std::vector<double> totals_;

@@ -1,6 +1,10 @@
 #include "crowd/record_replay.h"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -35,29 +39,34 @@ bool ParseRelation(const std::string& text, Ordering* out) {
 
 }  // namespace
 
-std::string SerializeAnswerLog(const AnswerLog& log) {
+std::string SerializeAnswerLogEntry(const AnswerLogEntry& entry) {
   std::ostringstream out;
-  out << "# bayescrowd answer log v2\n";
-  for (const AnswerLogEntry& entry : log.entries) {
-    if (entry.kind == AnswerLogEntry::Kind::kFailure) {
-      out << "fail " << entry.round << "\n";
-      continue;
-    }
-    const Expression& e = entry.expression;
-    const char op = e.op == CmpOp::kGreater ? '>' : '<';
-    if (e.rhs_is_var) {
-      out << "vv " << e.lhs.object << " " << e.lhs.attribute << " " << op
-          << " " << e.rhs_var.object << " " << e.rhs_var.attribute;
-    } else {
-      out << "vc " << e.lhs.object << " " << e.lhs.attribute << " " << op
-          << " " << e.rhs_const;
-    }
-    const char relation = entry.kind == AnswerLogEntry::Kind::kAbstain
-                              ? 'a'
-                              : RelationChar(entry.relation);
-    out << " " << relation << " " << entry.round << "\n";
+  if (entry.kind == AnswerLogEntry::Kind::kFailure) {
+    out << "fail " << entry.round << "\n";
+    return out.str();
   }
+  const Expression& e = entry.expression;
+  const char op = e.op == CmpOp::kGreater ? '>' : '<';
+  if (e.rhs_is_var) {
+    out << "vv " << e.lhs.object << " " << e.lhs.attribute << " " << op
+        << " " << e.rhs_var.object << " " << e.rhs_var.attribute;
+  } else {
+    out << "vc " << e.lhs.object << " " << e.lhs.attribute << " " << op
+        << " " << e.rhs_const;
+  }
+  const char relation = entry.kind == AnswerLogEntry::Kind::kAbstain
+                            ? 'a'
+                            : RelationChar(entry.relation);
+  out << " " << relation << " " << entry.round << "\n";
   return out.str();
+}
+
+std::string SerializeAnswerLog(const AnswerLog& log) {
+  std::string out = "# bayescrowd answer log v2\n";
+  for (const AnswerLogEntry& entry : log.entries) {
+    out += SerializeAnswerLogEntry(entry);
+  }
+  return out;
 }
 
 Result<AnswerLog> ParseAnswerLog(const std::string& text) {
@@ -134,6 +143,82 @@ Result<AnswerLog> LoadAnswerLog(const std::string& path) {
   return ParseAnswerLog(buffer.str());
 }
 
+Result<AnswerLog> LoadAnswerLogTolerant(const std::string& path,
+                                        bool* dropped_torn_tail) {
+  *dropped_torn_tail = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  // A crash mid-append leaves a final line without its newline (or with
+  // garbage after the last complete line). Everything up to the last
+  // newline was durably flushed in whole-batch units.
+  if (!text.empty() && text.back() != '\n') {
+    const std::size_t last_newline = text.rfind('\n');
+    text.resize(last_newline == std::string::npos ? 0 : last_newline + 1);
+    *dropped_torn_tail = true;
+  }
+  Result<AnswerLog> parsed = ParseAnswerLog(text);
+  if (parsed.ok()) return parsed;
+
+  // A torn write can also leave a complete-looking but truncated final
+  // line. Retry once without it; corruption anywhere else stays fatal.
+  const std::size_t cut = text.find_last_of('\n', text.size() - 2);
+  std::string trimmed =
+      text.substr(0, cut == std::string::npos ? 0 : cut + 1);
+  Result<AnswerLog> retried = ParseAnswerLog(trimmed);
+  if (!retried.ok()) return parsed.status();
+  *dropped_torn_tail = true;
+  return retried;
+}
+
+Result<std::unique_ptr<FileAnswerLogSink>> FileAnswerLogSink::Open(
+    const std::string& path, std::size_t already_durable, bool truncate) {
+  std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file == nullptr) {
+    return Status::IOError("cannot open answer log " + path);
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IOError("cannot seek answer log " + path);
+  }
+  if (std::ftell(file) == 0) {
+    std::fputs("# bayescrowd answer log v2\n", file);
+    if (std::fflush(file) != 0) {
+      std::fclose(file);
+      return Status::IOError("cannot write answer log header to " + path);
+    }
+  }
+  return std::unique_ptr<FileAnswerLogSink>(
+      new FileAnswerLogSink(file, path, already_durable));
+}
+
+FileAnswerLogSink::~FileAnswerLogSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileAnswerLogSink::Append(
+    const std::vector<AnswerLogEntry>& entries) {
+  std::string block;
+  for (const AnswerLogEntry& entry : entries) {
+    if (skip_remaining_ > 0) {
+      --skip_remaining_;
+      continue;
+    }
+    block += SerializeAnswerLogEntry(entry);
+  }
+  if (block.empty()) return Status::OK();
+  if (std::fwrite(block.data(), 1, block.size(), file_) != block.size()) {
+    return Status::IOError("short write to answer log " + path_);
+  }
+  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+    return Status::IOError("cannot flush answer log " + path_);
+  }
+  return Status::OK();
+}
+
 Result<std::vector<TaskAnswer>> RecordingPlatform::PostBatch(
     const std::vector<Task>& tasks) {
   auto posted = inner_.PostBatch(tasks);
@@ -146,10 +231,15 @@ Result<std::vector<TaskAnswer>> RecordingPlatform::PostBatch(
       entry.kind = AnswerLogEntry::Kind::kFailure;
       entry.round = inner_.total_rounds() + 1;  // The round being retried.
       log_.entries.push_back(entry);
+      if (sink_ != nullptr) {
+        BAYESCROWD_RETURN_NOT_OK(sink_->Append({entry}));
+      }
     }
     return posted.status();
   }
   const std::vector<TaskAnswer>& answers = posted.value();
+  std::vector<AnswerLogEntry> batch;
+  batch.reserve(tasks.size());
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     AnswerLogEntry entry;
     entry.kind = answers[t].answered ? AnswerLogEntry::Kind::kAnswer
@@ -158,6 +248,10 @@ Result<std::vector<TaskAnswer>> RecordingPlatform::PostBatch(
     entry.relation = answers[t].relation;
     entry.round = inner_.total_rounds();
     log_.entries.push_back(entry);
+    batch.push_back(entry);
+  }
+  if (sink_ != nullptr) {
+    BAYESCROWD_RETURN_NOT_OK(sink_->Append(batch));
   }
   return posted;
 }
@@ -172,6 +266,9 @@ Result<std::vector<TaskAnswer>> ReplayingPlatform::PostBatch(
   if (cursor_ < log_.entries.size() &&
       log_.entries[cursor_].kind == AnswerLogEntry::Kind::kFailure) {
     ++cursor_;
+    // Keep the live platform's schedule aligned: the recorded session
+    // drew this failure from its fault stream.
+    if (fallback_ != nullptr) fallback_->SyncReplayed(tasks, false);
     return Status::Unavailable("replayed transient platform failure");
   }
 
@@ -204,6 +301,21 @@ Result<std::vector<TaskAnswer>> ReplayingPlatform::PostBatch(
     answers.push_back(answer);
     ++cursor_;
     ++served;
+  }
+
+  // Mirror the replayed prefix's draws on the live platform so its RNG
+  // streams reach the recorded session's position by the time the log
+  // is exhausted. (If a torn log splits a batch, the prefix sync plus
+  // the live tail below draw two batch-level schedules where the
+  // recorded run drew one — accepted: the resumed session is
+  // self-consistent from here on, just not bit-identical to the
+  // uninterrupted one. Whole-batch appends make this unreachable
+  // outside deliberate mid-batch log corruption.)
+  if (served > 0 && fallback_ != nullptr) {
+    const std::vector<Task> prefix(
+        tasks.begin(),
+        tasks.begin() + static_cast<std::ptrdiff_t>(served));
+    fallback_->SyncReplayed(prefix, true);
   }
 
   if (served < tasks.size()) {

@@ -19,6 +19,8 @@
 #ifndef BAYESCROWD_CROWD_RECORD_REPLAY_H_
 #define BAYESCROWD_CROWD_RECORD_REPLAY_H_
 
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,15 +58,66 @@ struct AnswerLog {
 /// Relation `a` marks an abstained (unanswered) task; a `fail` line
 /// marks a transient whole-batch failure. v1 logs (answers only) parse
 /// unchanged.
+std::string SerializeAnswerLogEntry(const AnswerLogEntry& entry);
 std::string SerializeAnswerLog(const AnswerLog& log);
 Result<AnswerLog> ParseAnswerLog(const std::string& text);
 Status SaveAnswerLog(const AnswerLog& log, const std::string& path);
 Result<AnswerLog> LoadAnswerLog(const std::string& path);
 
+/// Like LoadAnswerLog, but tolerates the one corruption an interrupted
+/// append can produce: a torn final line. The torn line is dropped and
+/// reported through `dropped_torn_tail` (never null); malformed lines
+/// anywhere else remain hard errors.
+Result<AnswerLog> LoadAnswerLogTolerant(const std::string& path,
+                                        bool* dropped_torn_tail);
+
+/// Receives every recorded entry for durable storage as it is bought,
+/// so the answer log on disk is always current up to the last delivered
+/// batch — the checkpoint subsystem's replay source.
+class AnswerLogSink {
+ public:
+  virtual ~AnswerLogSink() = default;
+
+  /// Appends one batch's entries durably (flushed before returning).
+  virtual Status Append(const std::vector<AnswerLogEntry>& entries) = 0;
+};
+
+/// Appends entries to a v2 answer-log file, fflush+fsync per batch. The
+/// first `already_durable` entries offered are skipped — on resume the
+/// recorder re-records the replayed transcript, which is already in the
+/// file.
+class FileAnswerLogSink : public AnswerLogSink {
+ public:
+  /// Opens `path` for appending (`truncate` starts a fresh log). The
+  /// header line is written if the file is new or truncated.
+  static Result<std::unique_ptr<FileAnswerLogSink>> Open(
+      const std::string& path, std::size_t already_durable, bool truncate);
+
+  ~FileAnswerLogSink() override;
+  FileAnswerLogSink(const FileAnswerLogSink&) = delete;
+  FileAnswerLogSink& operator=(const FileAnswerLogSink&) = delete;
+
+  Status Append(const std::vector<AnswerLogEntry>& entries) override;
+
+ private:
+  FileAnswerLogSink(std::FILE* file, std::string path,
+                    std::size_t skip_remaining)
+      : file_(file), path_(std::move(path)),
+        skip_remaining_(skip_remaining) {}
+
+  std::FILE* file_;
+  std::string path_;
+  std::size_t skip_remaining_;
+};
+
 /// Wraps a live platform and transcribes everything it answers.
 class RecordingPlatform : public CrowdPlatform {
  public:
-  explicit RecordingPlatform(CrowdPlatform& inner) : inner_(inner) {}
+  /// `sink` (optional, non-owning) durably persists every entry as it
+  /// is recorded; a sink failure fails the PostBatch.
+  explicit RecordingPlatform(CrowdPlatform& inner,
+                             AnswerLogSink* sink = nullptr)
+      : inner_(inner), sink_(sink) {}
 
   Result<std::vector<TaskAnswer>> PostBatch(
       const std::vector<Task>& tasks) override;
@@ -74,10 +127,22 @@ class RecordingPlatform : public CrowdPlatform {
     return inner_.total_rounds();
   }
 
+  void SaveState(std::string* out) const override {
+    inner_.SaveState(out);
+  }
+  Status LoadState(BinReader* reader) override {
+    return inner_.LoadState(reader);
+  }
+  void SyncReplayed(const std::vector<Task>& tasks,
+                    bool delivered) override {
+    inner_.SyncReplayed(tasks, delivered);
+  }
+
   const AnswerLog& log() const { return log_; }
 
  private:
   CrowdPlatform& inner_;
+  AnswerLogSink* sink_;
   AnswerLog log_;
 };
 
@@ -97,6 +162,22 @@ class ReplayingPlatform : public CrowdPlatform {
 
   std::size_t total_tasks() const override { return total_tasks_; }
   std::size_t total_rounds() const override { return total_rounds_; }
+
+  void SaveState(std::string* out) const override {
+    if (fallback_ != nullptr) fallback_->SaveState(out);
+  }
+  Status LoadState(BinReader* reader) override {
+    return fallback_ != nullptr ? fallback_->LoadState(reader)
+                                : Status::OK();
+  }
+
+  /// Seeds the totals with the checkpointed session's counts, so
+  /// replayed and live rounds continue the recorded numbering (the
+  /// recorder stamps entries with these rounds).
+  void SetBaseTotals(std::size_t tasks, std::size_t rounds) {
+    total_tasks_ = tasks;
+    total_rounds_ = rounds;
+  }
 
   /// Entries served from the log so far.
   std::size_t replayed() const { return cursor_; }

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/binio.h"
 #include "common/status.h"
 #include "ctable/expression.h"
 #include "data/schema.h"
@@ -43,7 +44,10 @@ class KnowledgeBase {
   Status RestrictEqual(const CellRef& var, Level value);
 
   /// Records the relation between two variables ("a `ordering` b").
-  /// Newest fact wins on conflict.
+  /// Re-recording the same ordering is idempotent; a fact that
+  /// contradicts the stored one (a>b after b>a) is rejected with
+  /// InvalidArgument — the stored fact is kept and the caller decides
+  /// how to arbitrate (the framework counts and skips the answer).
   Status RecordVarOrder(const CellRef& a, const CellRef& b,
                         Ordering ordering);
 
@@ -64,6 +68,15 @@ class KnowledgeBase {
 
   std::size_t num_interval_facts() const { return intervals_.size(); }
   std::size_t num_order_facts() const { return orders_.size(); }
+
+  /// Appends every interval and order fact to `out` in canonical
+  /// (std::map) order, for checkpointing.
+  void SerializeFacts(std::string* out) const;
+
+  /// Replaces all facts with the ones written by SerializeFacts. The
+  /// schema is not serialized; the caller must construct the knowledge
+  /// base against the same schema.
+  Status RestoreFacts(BinReader* reader);
 
  private:
   // Applies [lo, hi] as a new constraint with newest-wins conflict

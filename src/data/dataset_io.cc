@@ -1,5 +1,7 @@
 #include "data/dataset_io.h"
 
+#include <cmath>
+
 #include "common/csv.h"
 #include "common/string_util.h"
 
@@ -49,7 +51,8 @@ Result<Table> LoadTableCsv(const std::string& path) {
   Table table(schema);
   table.Reserve(doc.rows.size());
   std::vector<Level> values(schema.num_attributes());
-  for (const auto& row : doc.rows) {
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
     for (std::size_t j = 0; j < schema.num_attributes(); ++j) {
       const std::string& field = row[j + 1];
       if (field == "?") {
@@ -58,7 +61,27 @@ Result<Table> LoadTableCsv(const std::string& path) {
       }
       int v = 0;
       if (!ParseInt(field, &v)) {
-        return Status::InvalidArgument(path + ": bad cell '" + field + "'");
+        // Distinguish the float-ish failure modes: a NaN/Inf or
+        // fractional cell is a corrupted export, not a typo.
+        double d = 0.0;
+        const char* reason = "not an integer level";
+        if (ParseDouble(field, &d)) {
+          reason = std::isnan(d)   ? "NaN is not a level"
+                   : std::isinf(d) ? "Inf is not a level"
+                                   : "fractional levels are not allowed";
+        }
+        return Status::InvalidArgument(StrFormat(
+            "%s: row %zu ('%s'), attribute '%s': bad cell '%s' (%s)",
+            path.c_str(), r + 1, row[0].c_str(),
+            schema.attribute(j).name.c_str(), field.c_str(), reason));
+      }
+      if (v < 0 || v >= static_cast<int>(schema.domain_size(j))) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: row %zu ('%s'), attribute '%s': level %d outside "
+            "domain [0, %d)",
+            path.c_str(), r + 1, row[0].c_str(),
+            schema.attribute(j).name.c_str(), v,
+            static_cast<int>(schema.domain_size(j))));
       }
       values[j] = static_cast<Level>(v);
     }

@@ -59,6 +59,17 @@ void Histogram::Reset() {
   sum_bits_.store(0, std::memory_order_relaxed);
 }
 
+void Histogram::Restore(const HistogramSnapshot& snapshot) {
+  Reset();
+  const std::size_t n =
+      std::min(buckets_.size(), snapshot.bucket_counts.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets_[i].store(snapshot.bucket_counts[i], std::memory_order_relaxed);
+  }
+  count_.store(snapshot.count, std::memory_order_relaxed);
+  sum_bits_.store(Gauge::Pack(snapshot.sum), std::memory_order_relaxed);
+}
+
 std::string MetricsSnapshot::ToText() const {
   std::string out;
   for (const auto& [name, value] : counters) {
@@ -166,6 +177,25 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+void MetricsRegistry::Restore(const MetricsSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : snapshot.counters) {
+    auto& slot = counters_[name];
+    if (slot == nullptr) slot = std::make_unique<Counter>();
+    slot->Set(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    auto& slot = gauges_[name];
+    if (slot == nullptr) slot = std::make_unique<Gauge>();
+    slot->Set(value);
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    auto& slot = histograms_[name];
+    if (slot == nullptr) slot = std::make_unique<Histogram>(hist.bounds);
+    slot->Restore(hist);
+  }
 }
 
 MetricsRegistry& MetricsRegistry::Default() {

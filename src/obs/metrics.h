@@ -37,6 +37,10 @@ class Counter {
     return value_.load(std::memory_order_relaxed);
   }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
+  /// Overwrites the count; used when restoring a checkpointed snapshot.
+  void Set(std::uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -61,6 +65,8 @@ class Gauge {
   std::atomic<std::uint64_t> bits_{0};
 };
 
+struct HistogramSnapshot;
+
 /// Fixed-boundary histogram: bucket i counts observations <= bounds[i];
 /// one overflow bucket catches the rest. Observe is a bucket scan plus
 /// one relaxed atomic add (bucket lists are short, single digits).
@@ -79,6 +85,10 @@ class Histogram {
   }
   double sum() const;
   void Reset();
+  /// Overwrites bucket counts / count / sum from a snapshot whose bounds
+  /// match this histogram's (extra or missing snapshot buckets are
+  /// ignored / left at zero).
+  void Restore(const HistogramSnapshot& snapshot);
 
  private:
   const std::vector<double> bounds_;  // Ascending upper bounds.
@@ -128,6 +138,12 @@ class MetricsRegistry {
 
   /// Zeroes every instrument, keeping registrations (and pointers) alive.
   void Reset();
+
+  /// Restores every instrument in `snapshot`, creating missing ones, so
+  /// a resumed session continues its counters where the checkpointed
+  /// process left off. Instruments absent from the snapshot are left
+  /// untouched.
+  void Restore(const MetricsSnapshot& snapshot);
 
   /// Process-wide registry for instruments below the framework layer
   /// (Bayes-net inference, structure learning). Counts accumulate for

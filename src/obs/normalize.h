@@ -1,0 +1,42 @@
+// Telemetry normalization for differential tests: strips the fields
+// that legitimately differ between two runs of the same query so
+// everything else can be compared byte-for-byte.
+//
+// Three classes of noise, each behind its own switch:
+//   - wall-clock durations (machine-dependent),
+//   - thread-pool lane usage (scheduling-dependent, and a resumed
+//     process only worked the post-resume rounds),
+//   - resume markers (a recovered run says so; the reference doesn't).
+// Simulated clocks ("*_sim_seconds") are deterministic and always
+// survive untouched.
+
+#ifndef BAYESCROWD_OBS_NORMALIZE_H_
+#define BAYESCROWD_OBS_NORMALIZE_H_
+
+#include "obs/json.h"
+
+namespace bayescrowd::obs {
+
+struct NormalizeOptions {
+  /// Zero numeric members whose key ends in "seconds" and does not
+  /// mention "sim" (modeling_seconds, busy_seconds, ...).
+  bool zero_wall_clock = true;
+
+  /// Drop the "lanes" array and "pool.lane*" metric keys: per-lane
+  /// task counts depend on scheduling and on where a resumed process
+  /// picked up, not on the query.
+  bool strip_lane_usage = false;
+
+  /// Zero the "resumed" flag and drop "recovery."-prefixed metric keys
+  /// (recovery.fallback, recovery.resumed, ...), so a recovered run
+  /// diffs clean against its uninterrupted reference.
+  bool strip_resume_markers = false;
+};
+
+/// Recursively copies `v` with the configured noise removed.
+JsonValue NormalizeTelemetry(const JsonValue& v,
+                             const NormalizeOptions& options = {});
+
+}  // namespace bayescrowd::obs
+
+#endif  // BAYESCROWD_OBS_NORMALIZE_H_

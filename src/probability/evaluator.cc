@@ -147,6 +147,101 @@ void ProbabilityEvaluator::Insert(const ConditionFingerprint& fingerprint,
   }
 }
 
+void ProbabilityEvaluator::SerializeMemoState(std::string* out) const {
+  BinWriter w(out);
+  for (const std::uint64_t word : rng_.SaveState()) w.WriteU64(word);
+
+  // Sort every map before writing so the blob is canonical: two
+  // processes that reached the same logical state emit identical bytes
+  // regardless of hash-table iteration order.
+  std::vector<std::pair<ConditionFingerprint, CacheEntry>> entries(
+      cache_.begin(), cache_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.WriteU64(entries.size());
+  for (const auto& [fingerprint, entry] : entries) {
+    w.WriteU64(fingerprint.first);
+    w.WriteU64(fingerprint.second);
+    w.WriteDouble(entry.probability);
+    w.WriteU64(entry.stamp);
+  }
+
+  std::vector<std::pair<PackedVar, std::vector<ConditionFingerprint>>> index(
+      var_index_.begin(), var_index_.end());
+  std::sort(index.begin(), index.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.WriteU64(index.size());
+  for (auto& [var, fingerprints] : index) {
+    std::sort(fingerprints.begin(), fingerprints.end());
+    w.WriteU64(var);
+    w.WriteU64(fingerprints.size());
+    for (const ConditionFingerprint& fingerprint : fingerprints) {
+      w.WriteU64(fingerprint.first);
+      w.WriteU64(fingerprint.second);
+    }
+  }
+
+  std::vector<std::pair<PackedVar, std::uint64_t>> epochs(var_epoch_.begin(),
+                                                          var_epoch_.end());
+  std::sort(epochs.begin(), epochs.end());
+  w.WriteU64(epochs.size());
+  for (const auto& [var, epoch] : epochs) {
+    w.WriteU64(var);
+    w.WriteU64(epoch);
+  }
+}
+
+Status ProbabilityEvaluator::RestoreMemoState(BinReader* reader) {
+  std::array<std::uint64_t, 4> rng_state{};
+  for (std::uint64_t& word : rng_state) {
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&word));
+  }
+  rng_.LoadState(rng_state);
+
+  cache_.clear();
+  var_index_.clear();
+  var_epoch_.clear();
+
+  std::uint64_t n = 0;
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 32));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ConditionFingerprint fingerprint;
+    CacheEntry entry;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.first));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.second));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&entry.probability));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&entry.stamp));
+    cache_.emplace(fingerprint, entry);
+  }
+
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 16));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t var = 0;
+    std::uint64_t count = 0;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&var));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&count, 16));
+    std::vector<ConditionFingerprint> fingerprints;
+    fingerprints.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      ConditionFingerprint fingerprint;
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.first));
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.second));
+      fingerprints.push_back(fingerprint);
+    }
+    var_index_.emplace(var, std::move(fingerprints));
+  }
+
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 16));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t var = 0;
+    std::uint64_t epoch = 0;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&var));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&epoch));
+    var_epoch_.emplace(var, epoch);
+  }
+  return Status::OK();
+}
+
 Result<double> ProbabilityEvaluator::Compute(const Condition& condition,
                                              Rng& rng, AdpllStats* stats) {
   Result<double> result = Status::Internal("unknown probability method");

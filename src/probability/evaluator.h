@@ -25,6 +25,7 @@
 
 #include <memory>
 
+#include "common/binio.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -144,6 +145,18 @@ class ProbabilityEvaluator {
   /// per-run registry. Not thread-safe against concurrent evaluation.
   void BindMetrics(obs::MetricsRegistry* registry);
   obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Appends the memo state (sampling RNG position, cache entries with
+  /// their stamps, variable index, distribution epochs) to `out` in a
+  /// canonical binary form, so a resumed session replays the exact
+  /// hit/miss sequence of the uninterrupted run. Distributions are NOT
+  /// included — the caller re-derives them from checkpointed knowledge.
+  void SerializeMemoState(std::string* out) const;
+
+  /// Restores state written by SerializeMemoState. Call after the
+  /// post-resume SetDistribution pass: the imported epochs overwrite the
+  /// setup-time ones, keeping the saved stamps valid.
+  Status RestoreMemoState(BinReader* reader);
 
  private:
   struct CacheEntry {

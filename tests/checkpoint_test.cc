@@ -1,0 +1,453 @@
+// Checkpoint format and store tests: envelope integrity, payload
+// round-trips, generation management, corruption fallback, and the
+// committed v1 golden fixture (forward-compat contract).
+
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "core/session.h"
+#include "crowd/record_replay.h"
+#include "obs/metrics.h"
+
+namespace bayescrowd {
+namespace {
+
+CellRef V(std::size_t o, std::size_t a) { return {o, a}; }
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// A deterministic, richly-populated state: every field class exercised
+/// (decided + CNF conditions, round logs with recovery data, metrics of
+/// all three kinds, binary blobs, session-layer stamps). Also the
+/// generator of the committed golden fixture — see GoldenV1Fixture.
+SessionState MakeGoldenState() {
+  SessionState state;
+  state.budget_left = 12.5;
+  state.consecutive_barren = 1;
+  state.rounds = 3;
+  state.tasks_posted = 9;
+  state.cost_spent = 11.5;
+  state.cost_refunded = 2.0;
+  state.tasks_unanswered = 2;
+  state.retries = 4;
+  state.transient_failures = 3;
+  state.rounds_abandoned = 1;
+  state.order_conflicts = 1;
+  state.backoff_seconds = 1.75;
+  state.simulated_seconds = 21.25;
+  state.initial_true = 2;
+  state.initial_false = 5;
+  state.initial_undecided = 3;
+
+  RoundLog log;
+  log.round = 3;
+  log.tasks = 4;
+  log.seconds = 0.0;  // Wall clock is not part of determinism.
+  log.attempts = 2;
+  log.answered = 3;
+  log.unanswered = 1;
+  log.cost_refunded = 1.0;
+  log.backoff_seconds = 0.5;
+  log.simulated_seconds = 7.5;
+  log.abandoned = false;
+  log.cache_hits = 17;
+  log.cache_misses = 5;
+  state.round_logs = {log};
+
+  state.conditions.push_back(Condition::True());
+  state.conditions.push_back(Condition::False());
+  state.conditions.push_back(Condition::Cnf(
+      {{Expression::VarConst(V(2, 1), CmpOp::kGreater, 3)},
+       {Expression::VarVar(V(2, 0), CmpOp::kLess, V(0, 0)),
+        Expression::VarConst(V(2, 1), CmpOp::kLess, 7)}}));
+
+  state.knowledge_blob = std::string("kb\x00\x01\x7f", 5);
+  state.evaluator_blob = std::string("memo\xff", 5);
+
+  obs::MetricsRegistry registry;
+  registry.GetCounter("framework.tasks_posted")->Increment(9);
+  registry.GetGauge("framework.budget_left")->Set(12.5);
+  registry.GetHistogram("round.entropy", {0.5, 1.0, 2.0})->Observe(0.75);
+  state.metrics = registry.Snapshot();
+
+  state.platform_state = std::string("\x01\x02\x03", 3);
+  state.platform_tasks = 9;
+  state.platform_rounds = 3;
+  state.answer_log_offset = 7;
+  state.network_blob = "bayesnet v1\n";
+  state.config_fingerprint = 0x1234abcd5678ef90ULL;
+  return state;
+}
+
+std::string SerializeState(const SessionState& state) {
+  std::string payload;
+  SerializeSessionState(state, &payload);
+  return payload;
+}
+
+TEST(CheckpointEnvelopeTest, RoundTrips) {
+  const std::string payload = "some payload bytes";
+  const std::string wrapped = WrapCheckpoint(payload);
+  const auto unwrapped = UnwrapCheckpoint(wrapped);
+  ASSERT_TRUE(unwrapped.ok()) << unwrapped.status().ToString();
+  EXPECT_EQ(unwrapped.value(), payload);
+}
+
+TEST(CheckpointEnvelopeTest, DetectsPayloadCorruption) {
+  std::string wrapped = WrapCheckpoint("the payload under test");
+  // Flip one payload byte; the CRC must catch it.
+  wrapped[20] = static_cast<char>(wrapped[20] ^ 0x40);
+  const auto unwrapped = UnwrapCheckpoint(wrapped);
+  ASSERT_FALSE(unwrapped.ok());
+  EXPECT_TRUE(unwrapped.status().IsIOError())
+      << unwrapped.status().ToString();
+}
+
+TEST(CheckpointEnvelopeTest, DetectsCrcCorruption) {
+  std::string wrapped = WrapCheckpoint("another payload");
+  wrapped.back() = static_cast<char>(wrapped.back() ^ 0x01);
+  EXPECT_TRUE(UnwrapCheckpoint(wrapped).status().IsIOError());
+}
+
+TEST(CheckpointEnvelopeTest, DetectsTruncationAtEveryLength) {
+  const std::string wrapped = WrapCheckpoint("payload that gets cut");
+  for (std::size_t len = 0; len < wrapped.size(); ++len) {
+    const auto unwrapped = UnwrapCheckpoint(wrapped.substr(0, len));
+    ASSERT_FALSE(unwrapped.ok()) << "length " << len;
+    EXPECT_TRUE(unwrapped.status().IsIOError()) << "length " << len;
+  }
+}
+
+TEST(CheckpointEnvelopeTest, RejectsBadMagic) {
+  std::string wrapped = WrapCheckpoint("payload");
+  wrapped[0] = 'X';
+  EXPECT_TRUE(UnwrapCheckpoint(wrapped).status().IsIOError());
+}
+
+TEST(CheckpointEnvelopeTest, RejectsFutureVersionWithClearError) {
+  std::string wrapped = WrapCheckpoint("payload");
+  // Version is the little-endian u32 after the 4-byte magic.
+  wrapped[4] = static_cast<char>(kCheckpointVersion + 1);
+  const auto unwrapped = UnwrapCheckpoint(wrapped);
+  ASSERT_FALSE(unwrapped.ok());
+  EXPECT_TRUE(unwrapped.status().IsInvalidArgument())
+      << unwrapped.status().ToString();
+  EXPECT_NE(unwrapped.status().message().find("newer"), std::string::npos)
+      << unwrapped.status().message();
+}
+
+TEST(SessionStateTest, RoundTripsByteExact) {
+  const SessionState original = MakeGoldenState();
+  const std::string payload = SerializeState(original);
+
+  BinReader reader(payload);
+  SessionState restored;
+  ASSERT_TRUE(DeserializeSessionState(&reader, &restored).ok());
+
+  // Byte-exact re-serialization covers every field, including the
+  // metrics snapshot, without a field-by-field comparison.
+  EXPECT_EQ(SerializeState(restored), payload);
+  EXPECT_EQ(restored.rounds, original.rounds);
+  EXPECT_EQ(restored.budget_left, original.budget_left);
+  ASSERT_EQ(restored.conditions.size(), 3u);
+  EXPECT_TRUE(restored.conditions[0].IsTrue());
+  EXPECT_TRUE(restored.conditions[1].IsFalse());
+  EXPECT_FALSE(restored.conditions[2].IsDecided());
+  EXPECT_EQ(restored.knowledge_blob, original.knowledge_blob);
+  EXPECT_EQ(restored.config_fingerprint, original.config_fingerprint);
+}
+
+TEST(SessionStateTest, RejectsTrailingBytes) {
+  std::string payload = SerializeState(MakeGoldenState());
+  payload += "extra";
+  BinReader reader(payload);
+  SessionState restored;
+  EXPECT_FALSE(DeserializeSessionState(&reader, &restored).ok());
+}
+
+TEST(SessionStateTest, RejectsTruncatedPayload) {
+  const std::string payload = SerializeState(MakeGoldenState());
+  // Sample a few truncation points; every one must fail cleanly.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{9}, payload.size() / 3,
+        payload.size() / 2, payload.size() - 1}) {
+    const std::string cut = payload.substr(0, len);
+    BinReader reader(cut);
+    SessionState restored;
+    EXPECT_FALSE(DeserializeSessionState(&reader, &restored).ok())
+        << "length " << len;
+  }
+}
+
+TEST(CheckpointStoreTest, WritesPrunesAndLoadsNewest) {
+  CheckpointStore::Options options;
+  options.dir = FreshDir("bc_ckpt_store");
+  options.keep = 2;
+  CheckpointStore store(options);
+
+  SessionState state = MakeGoldenState();
+  for (std::size_t round = 1; round <= 4; ++round) {
+    state.rounds = round;
+    state.answer_log_offset = round;
+    ASSERT_TRUE(store.Write(state).ok()) << "round " << round;
+  }
+  const auto generations = store.ListGenerations();
+  ASSERT_EQ(generations.size(), 2u);  // Pruned to keep.
+  EXPECT_EQ(generations.front(), "ckpt-00000003.bin");
+  EXPECT_EQ(generations.back(), "ckpt-00000004.bin");
+
+  std::size_t fallbacks = 99;
+  const auto loaded = store.LoadLatest(100, &fallbacks);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rounds, 4u);
+  EXPECT_EQ(fallbacks, 0u);
+}
+
+TEST(CheckpointStoreTest, FallsBackPastCorruptNewestGeneration) {
+  CheckpointStore::Options options;
+  options.dir = FreshDir("bc_ckpt_fallback");
+  CheckpointStore store(options);
+
+  SessionState state = MakeGoldenState();
+  state.answer_log_offset = 0;
+  for (std::size_t round = 1; round <= 3; ++round) {
+    state.rounds = round;
+    ASSERT_TRUE(store.Write(state).ok());
+  }
+  // Corrupt the newest generation in the middle of the payload.
+  const std::string newest = options.dir + "/ckpt-00000003.bin";
+  std::string bytes = ReadFileBytes(newest);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  WriteFileBytes(newest, bytes);
+
+  std::size_t fallbacks = 0;
+  const auto loaded = store.LoadLatest(100, &fallbacks);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rounds, 2u);
+  EXPECT_EQ(fallbacks, 1u);
+}
+
+TEST(CheckpointStoreTest, SkipsSnapshotAheadOfAnswerLog) {
+  CheckpointStore::Options options;
+  options.dir = FreshDir("bc_ckpt_ahead");
+  CheckpointStore store(options);
+
+  SessionState state = MakeGoldenState();
+  state.rounds = 1;
+  state.answer_log_offset = 2;
+  ASSERT_TRUE(store.Write(state).ok());
+  state.rounds = 2;
+  state.answer_log_offset = 10;  // More than the log will hold.
+  ASSERT_TRUE(store.Write(state).ok());
+
+  std::size_t fallbacks = 0;
+  const auto loaded = store.LoadLatest(/*max_valid_log_entries=*/5,
+                                       &fallbacks);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rounds, 1u);
+  EXPECT_EQ(fallbacks, 1u);
+}
+
+TEST(CheckpointStoreTest, NoUsableGenerationIsNotFound) {
+  CheckpointStore::Options options;
+  options.dir = FreshDir("bc_ckpt_empty");
+  const CheckpointStore store(options);
+  std::size_t fallbacks = 0;
+  EXPECT_TRUE(store.LoadLatest(0, &fallbacks).status().IsNotFound());
+}
+
+TEST(CheckpointStoreTest, AbortedWriteLeavesPreviousGenerationsIntact) {
+  CheckpointStore::Options options;
+  options.dir = FreshDir("bc_ckpt_abort");
+  CheckpointStore store(options);
+  SessionState state = MakeGoldenState();
+  state.rounds = 1;
+  state.answer_log_offset = 0;
+  ASSERT_TRUE(store.Write(state).ok());
+
+  // A kill before the rename: the tmp file never becomes a generation.
+  CheckpointStore::Options failing = options;
+  failing.pre_rename_hook = [](const std::string&) {
+    return Status::IOError("simulated kill before rename");
+  };
+  CheckpointStore failing_store(failing);
+  state.rounds = 2;
+  EXPECT_FALSE(failing_store.Write(state).ok());
+
+  EXPECT_EQ(store.ListGenerations(),
+            std::vector<std::string>{"ckpt-00000001.bin"});
+  std::size_t fallbacks = 0;
+  const auto loaded = store.LoadLatest(100, &fallbacks);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rounds, 1u);
+  EXPECT_EQ(fallbacks, 0u);
+}
+
+TEST(CheckpointStoreTest, TornTmpWritePromotedByRenameFallsBack) {
+  // The hook truncates the tmp file *and lets the rename happen*: the
+  // worst realistic torn-write outcome. The loader must fall back.
+  CheckpointStore::Options options;
+  options.dir = FreshDir("bc_ckpt_torn");
+  CheckpointStore store(options);
+  SessionState state = MakeGoldenState();
+  state.rounds = 1;
+  state.answer_log_offset = 0;
+  ASSERT_TRUE(store.Write(state).ok());
+
+  CheckpointStore::Options tearing = options;
+  tearing.pre_rename_hook = [](const std::string& tmp_path) {
+    std::error_code ec;
+    std::filesystem::resize_file(
+        tmp_path, std::filesystem::file_size(tmp_path) / 2, ec);
+    return ec ? Status::IOError(ec.message()) : Status::OK();
+  };
+  CheckpointStore tearing_store(tearing);
+  state.rounds = 2;
+  ASSERT_TRUE(tearing_store.Write(state).ok());
+
+  std::size_t fallbacks = 0;
+  const auto loaded = store.LoadLatest(100, &fallbacks);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rounds, 1u);
+  EXPECT_EQ(fallbacks, 1u);
+}
+
+// ------------------------------------------------------------------- //
+// Golden fixture: a v1 checkpoint committed to the repo. HEAD must load
+// it forever (or bump kCheckpointVersion and keep a migration path).
+// Regenerate with: BC_REGEN_GOLDEN=1 ./checkpoint_test
+// ------------------------------------------------------------------- //
+
+TEST(GoldenV1FixtureTest, CommittedFixtureLoadsOnHead) {
+  const std::string path = std::string(BC_TESTDATA_DIR) + "/golden_v1.ckpt";
+  const SessionState expected = MakeGoldenState();
+  if (std::getenv("BC_REGEN_GOLDEN") != nullptr) {
+    WriteFileBytes(path, WrapCheckpoint(SerializeState(expected)));
+  }
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_FALSE(bytes.empty()) << "missing fixture " << path;
+
+  const auto payload = UnwrapCheckpoint(bytes);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  BinReader reader(payload.value());
+  SessionState restored;
+  ASSERT_TRUE(DeserializeSessionState(&reader, &restored).ok());
+
+  // The fixture must match today's serialization of the same state
+  // byte-for-byte — any drift means v1 files no longer parse as v1.
+  EXPECT_EQ(payload.value(), SerializeState(expected));
+  EXPECT_EQ(restored.rounds, 3u);
+  EXPECT_EQ(restored.answer_log_offset, 7u);
+  EXPECT_EQ(restored.config_fingerprint, 0x1234abcd5678ef90ULL);
+  ASSERT_EQ(restored.conditions.size(), 3u);
+  EXPECT_FALSE(restored.conditions[2].IsDecided());
+}
+
+// ------------------------------------------------------------------- //
+// Session layer: fingerprints and answer-log-aware recovery.
+// ------------------------------------------------------------------- //
+
+TEST(SessionTest, FingerprintSensitivity) {
+  BayesCrowdOptions options;
+  const std::uint64_t base = ConfigFingerprint(options, "data", "platform");
+  EXPECT_EQ(base, ConfigFingerprint(options, "data", "platform"));
+  EXPECT_NE(base, ConfigFingerprint(options, "data2", "platform"));
+  EXPECT_NE(base, ConfigFingerprint(options, "data", "platform2"));
+
+  BayesCrowdOptions changed = options;
+  changed.budget += 1;
+  EXPECT_NE(base, ConfigFingerprint(changed, "data", "platform"));
+
+  // Thread count is excluded by design: results are bit-identical at
+  // any thread count, so a resume may change it.
+  BayesCrowdOptions threaded = options;
+  threaded.threads = 8;
+  EXPECT_EQ(base, ConfigFingerprint(threaded, "data", "platform"));
+}
+
+TEST(SessionTest, RecoverReplaysTailAndDropsTornLine) {
+  const std::string dir = FreshDir("bc_session_recover");
+  std::filesystem::create_directories(dir);
+  const std::string log_path = dir + "/answers.log";
+
+  // Three durable entries plus a torn final line (killed mid-append).
+  WriteFileBytes(log_path,
+                 "# bayescrowd answer log v2\n"
+                 "vc 0 1 > 3 g 1\n"
+                 "vc 1 0 < 5 l 1\n"
+                 "vv 2 1 > 0 1 g 2\n"
+                 "vc 2 0 > 4");  // Torn: no relation/round/newline.
+
+  CheckpointStore::Options options;
+  options.dir = dir;
+  CheckpointStore store(options);
+  SessionState state = MakeGoldenState();
+  state.rounds = 1;
+  state.answer_log_offset = 1;
+  state.config_fingerprint = 42;
+  ASSERT_TRUE(store.Write(state).ok());
+
+  const auto recovered = RecoverSession(dir, log_path, 42);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->dropped_torn_tail);
+  EXPECT_EQ(recovered->durable_entries, 3u);
+  EXPECT_EQ(recovered->state.rounds, 1u);
+  ASSERT_EQ(recovered->replay_tail.entries.size(), 2u);
+  EXPECT_EQ(recovered->replay_tail.entries[1].round, 2u);
+
+  // The torn line was scrubbed from disk: a plain strict load succeeds
+  // and sees exactly the three durable entries.
+  const auto reloaded = LoadAnswerLog(log_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->entries.size(), 3u);
+}
+
+TEST(SessionTest, RecoverRefusesFingerprintMismatch) {
+  const std::string dir = FreshDir("bc_session_fpr");
+  CheckpointStore::Options options;
+  options.dir = dir;
+  CheckpointStore store(options);
+  SessionState state = MakeGoldenState();
+  state.rounds = 1;
+  state.answer_log_offset = 0;
+  state.config_fingerprint = 7;
+  ASSERT_TRUE(store.Write(state).ok());
+
+  const auto recovered = RecoverSession(dir, dir + "/answers.log", 8);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_TRUE(recovered.status().IsFailedPrecondition())
+      << recovered.status().ToString();
+
+  // Fingerprint 0 skips the check (caller opted out).
+  EXPECT_TRUE(RecoverSession(dir, dir + "/answers.log", 0).ok());
+}
+
+}  // namespace
+}  // namespace bayescrowd

@@ -479,6 +479,42 @@ TEST_F(KnowledgeTest, EvaluateVarVarFromDisjointIntervals) {
             Truth::kTrue);
 }
 
+TEST_F(KnowledgeTest, ReRecordingSameOrderIsIdempotent) {
+  ASSERT_TRUE(kb_.RecordVarOrder(V(4, 1), V(1, 1), Ordering::kGreater).ok());
+  EXPECT_TRUE(kb_.RecordVarOrder(V(4, 1), V(1, 1), Ordering::kGreater).ok());
+  // The mirrored statement of the same fact is also idempotent.
+  EXPECT_TRUE(kb_.RecordVarOrder(V(1, 1), V(4, 1), Ordering::kLess).ok());
+  EXPECT_EQ(kb_.num_order_facts(), 1u);
+}
+
+TEST_F(KnowledgeTest, ContradictoryOrderRejectedAndStoredFactKept) {
+  ASSERT_TRUE(kb_.RecordVarOrder(V(4, 1), V(1, 1), Ordering::kGreater).ok());
+  const Status direct =
+      kb_.RecordVarOrder(V(4, 1), V(1, 1), Ordering::kLess);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_TRUE(direct.IsInvalidArgument());
+  // The framework arbitrates on this exact prefix (counts the conflict
+  // and keeps going instead of aborting the query).
+  EXPECT_EQ(direct.message().rfind("contradictory var-var fact", 0), 0u)
+      << direct.message();
+
+  // The mirrored contradiction (b > a after a > b) is caught too.
+  const Status mirrored =
+      kb_.RecordVarOrder(V(1, 1), V(4, 1), Ordering::kGreater);
+  ASSERT_FALSE(mirrored.ok());
+  EXPECT_TRUE(mirrored.IsInvalidArgument());
+
+  const Status equal = kb_.RecordVarOrder(V(4, 1), V(1, 1), Ordering::kEqual);
+  ASSERT_FALSE(equal.ok());
+  EXPECT_TRUE(equal.IsInvalidArgument());
+
+  // Stored fact survives every rejected update.
+  EXPECT_EQ(kb_.num_order_facts(), 1u);
+  EXPECT_EQ(kb_.Evaluate(Expression::VarVar(V(4, 1), CmpOp::kGreater,
+                                            V(1, 1))),
+            Truth::kTrue);
+}
+
 TEST_F(KnowledgeTest, ConditionDistributionRenormalizes) {
   ASSERT_TRUE(kb_.RestrictLess(V(4, 3), 4).ok());  // a4 in [0,3]
   const std::vector<double> raw = {0.1, 0.1, 0.2, 0.2, 0.3, 0.1};

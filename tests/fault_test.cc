@@ -21,6 +21,7 @@
 #include "data/generators.h"
 #include "data/missing.h"
 #include "obs/json.h"
+#include "obs/normalize.h"
 
 namespace bayescrowd {
 namespace {
@@ -256,41 +257,10 @@ TEST(FaultRecoveryTest, DeadlineCapsAttemptsPerRound) {
 // Golden replay
 // ------------------------------------------------------------------ //
 
-// Recursively copies `v`, zeroing numeric members whose key names a
-// wall-clock duration: ending in "seconds" without "sim" in the name.
-// Simulated clocks (backoff_sim_seconds, platform_sim_seconds, ...) are
-// deterministic and must survive the diff untouched.
-bool IsWallClockKey(const std::string& key) {
-  const std::string suffix = "seconds";
-  return key.size() >= suffix.size() &&
-         key.compare(key.size() - suffix.size(), suffix.size(), suffix) ==
-             0 &&
-         key.find("sim") == std::string::npos;
-}
-
-obs::JsonValue NormalizeWallClock(const obs::JsonValue& v,
-                                  const std::string& key) {
-  using obs::JsonValue;
-  switch (v.kind()) {
-    case JsonValue::Kind::kObject: {
-      JsonValue out = JsonValue::Object();
-      for (const auto& [k, member] : v.members()) {
-        out[k] = NormalizeWallClock(member, k);
-      }
-      return out;
-    }
-    case JsonValue::Kind::kArray: {
-      JsonValue out = JsonValue::Array();
-      for (std::size_t i = 0; i < v.size(); ++i) {
-        out.Append(NormalizeWallClock(v.at(i), key));
-      }
-      return out;
-    }
-    default:
-      if (v.is_number() && IsWallClockKey(key)) return JsonValue(0.0);
-      return v;
-  }
-}
+// Telemetry normalization lives in obs/normalize.h; the default
+// options zero exactly the wall-clock durations (keys ending in
+// "seconds" without "sim" in the name). Simulated clocks are
+// deterministic and survive the diff untouched.
 
 TEST(FaultRecoveryTest, GoldenReplayReproducesRecoveryPathAndTelemetry) {
   // Record a faulted run. threads = 1 keeps the lane bookkeeping (the
@@ -326,10 +296,10 @@ TEST(FaultRecoveryTest, GoldenReplayReproducesRecoveryPathAndTelemetry) {
             SerializeAnswerLog(rerecorder.log()));
 
   // Full telemetry envelopes agree modulo wall-clock timings.
-  const obs::JsonValue golden = NormalizeWallClock(
-      RunTelemetryJson("golden", options, recorded.value()), "");
-  const obs::JsonValue again = NormalizeWallClock(
-      RunTelemetryJson("golden", options, replayed.value()), "");
+  const obs::JsonValue golden = obs::NormalizeTelemetry(
+      RunTelemetryJson("golden", options, recorded.value()));
+  const obs::JsonValue again = obs::NormalizeTelemetry(
+      RunTelemetryJson("golden", options, replayed.value()));
   EXPECT_EQ(golden.Dump(2), again.Dump(2));
 }
 

@@ -88,6 +88,65 @@ TEST(FuzzTest, TableLoaderNeverCrashesOnNoise) {
   }
 }
 
+// Deterministic malformed fixtures: each rejection must be a clean
+// InvalidArgument whose message names the offending row/cell, and each
+// tolerated quirk must load.
+TEST(FuzzTest, TableLoaderRejectsMalformedRowsWithContext) {
+  const std::string path = ::testing::TempDir() + "/bc_malformed.csv";
+  const auto write = [&](const std::string& text) {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  };
+
+  struct Fixture {
+    const char* name;
+    const char* text;
+    const char* expect_in_message;  // nullptr = must load cleanly.
+  };
+  const Fixture fixtures[] = {
+      {"bad arity", "name,a:4\no1,1,7\n", "expected 2"},
+      {"non-numeric cell", "name,a:4\no1,1\no2,zap\n",
+       "not an integer level"},
+      {"NaN cell", "name,a:4\no1,NaN\n", "NaN is not a level"},
+      {"Inf cell", "name,a:4\no1,-inf\n", "Inf is not a level"},
+      {"fractional cell", "name,a:4\no1,2.5\n",
+       "fractional levels are not allowed"},
+      {"level above domain", "name,a:4\no1,4\n", "outside domain"},
+      {"negative level", "name,a:4\no1,-2\n", "outside domain"},
+      {"bad header domain", "name,a:zero\no1,1\n", "malformed header"},
+      {"header missing name", "id,a:4\no1,1\n", "expected header"},
+      {"unterminated quote", "name,a:4\n\"o1,1\n", "unterminated"},
+      {"blank lines tolerated", "name,a:4\n\no1,1\n\no2,?\n\n", nullptr},
+      {"missing cells tolerated", "name,a:4\no1,?\n", nullptr},
+  };
+  for (const Fixture& fixture : fixtures) {
+    write(fixture.text);
+    const auto loaded = LoadTableCsv(path);
+    if (fixture.expect_in_message == nullptr) {
+      EXPECT_TRUE(loaded.ok()) << fixture.name << ": "
+                               << loaded.status().ToString();
+      continue;
+    }
+    ASSERT_FALSE(loaded.ok()) << fixture.name;
+    EXPECT_TRUE(loaded.status().IsInvalidArgument()) << fixture.name;
+    EXPECT_NE(loaded.status().message().find(fixture.expect_in_message),
+              std::string::npos)
+        << fixture.name << ": got '" << loaded.status().message() << "'";
+  }
+
+  // Row context makes the message actionable: the second data row and
+  // the attribute name must both appear.
+  write("name,points:4\nok,1\nbroken,NaN\n");
+  const auto loaded = LoadTableCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("row 2"), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("'points'"), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("'broken'"), std::string::npos)
+      << loaded.status().message();
+}
+
 TEST(FuzzTest, NetworkDeserializerNeverCrashesOnNoise) {
   Rng rng(0xD00F);
   const std::string alphabet =

@@ -1,0 +1,374 @@
+// Kill-point harness: a seeded, faulted, checkpointed query session is
+// killed at every checkpoint boundary (before the write, after the
+// write, and mid-write with a torn tmp file), then resumed in a fresh
+// platform stack. The resumed run's telemetry envelope must diff clean
+// against the uninterrupted reference modulo wall-clock fields, lane
+// usage, and resume markers — the headline guarantee of the
+// crash-safety subsystem.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bayesnet/imputation.h"
+#include "common/random.h"
+#include "core/checkpoint.h"
+#include "core/framework.h"
+#include "core/session.h"
+#include "core/telemetry.h"
+#include "crowd/fault_injection.h"
+#include "crowd/platform.h"
+#include "crowd/record_replay.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/normalize.h"
+
+namespace bayescrowd {
+namespace {
+
+constexpr std::uint64_t kWorkerSeed = 5;
+constexpr char kSessionConfig[] = "killpoint-fixture|sim";
+
+Table KillDataset() {
+  Rng rng(0xD15EA5E);
+  return InjectMissingUniform(MakeNbaLike(120, kWorkerSeed), 0.15, rng);
+}
+
+Table KillTruth() { return MakeNbaLike(120, kWorkerSeed); }
+
+FaultOptions KillFaults() {
+  FaultOptions faults = FaultOptions::Profile(0.15, 77);
+  faults.answer_noise = 0.1;  // Noisy virtual workers too.
+  return faults;
+}
+
+BayesCrowdOptions KillOptions(std::size_t threads,
+                              obs::MetricsRegistry* metrics) {
+  BayesCrowdOptions options;
+  options.ctable.alpha = 0.01;
+  options.budget = 18;
+  options.latency = 6;
+  options.strategy.kind = StrategyKind::kHhs;
+  options.strategy.m = 5;
+  options.threads = threads;
+  options.metrics = metrics;
+  return options;
+}
+
+std::uint64_t Fingerprint(const BayesCrowdOptions& options) {
+  return ConfigFingerprint(options, "killpoint-data", kSessionConfig);
+}
+
+std::string NormalizedEnvelope(const BayesCrowdOptions& options,
+                               const BayesCrowdResult& result) {
+  obs::NormalizeOptions normalize;
+  normalize.strip_lane_usage = true;
+  normalize.strip_resume_markers = true;
+  return obs::NormalizeTelemetry(
+             RunTelemetryJson("killpoint", options, result), normalize)
+      .Dump(2);
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Forwards `kill_after` writes to the store, then fails the next one —
+/// the framework propagates the failure out of Run(), which is the
+/// in-process stand-in for SIGKILL at a checkpoint boundary. With
+/// `write_before_kill`, the fatal boundary's snapshot still lands on
+/// disk first (kill between rename and return).
+class KillingSink : public CheckpointSink {
+ public:
+  KillingSink(CheckpointSink* inner, std::size_t kill_after,
+              bool write_before_kill)
+      : inner_(inner),
+        kill_after_(kill_after),
+        write_before_kill_(write_before_kill) {}
+
+  Status Write(const SessionState& state) override {
+    if (writes_ == kill_after_) {
+      if (write_before_kill_) {
+        const Status written = inner_->Write(state);
+        if (!written.ok()) return written;
+      }
+      return Status::Unavailable("simulated kill at checkpoint boundary");
+    }
+    ++writes_;
+    return inner_->Write(state);
+  }
+
+ private:
+  CheckpointSink* inner_;
+  std::size_t kill_after_;
+  bool write_before_kill_;
+  std::size_t writes_ = 0;
+};
+
+/// The uninterrupted reference: same seeds, same fault schedule, no
+/// checkpoint machinery at all (also proves checkpointing is
+/// behavior-neutral when compared against the checkpointed runs).
+struct Reference {
+  BayesCrowdResult result;
+  std::string envelope;
+};
+
+Reference RunReference(std::size_t threads) {
+  const Table incomplete = KillDataset();
+  const Table truth = KillTruth();
+  UniformPosteriorProvider posteriors(incomplete.schema());
+  obs::MetricsRegistry metrics;
+  const BayesCrowdOptions options = KillOptions(threads, &metrics);
+  SimulatedCrowdPlatform sim(truth, {.worker_accuracy = 0.95,
+                                     .seed = kWorkerSeed});
+  FaultInjectingPlatform faulter(sim, KillFaults());
+  faulter.BindMetrics(&metrics);
+  BayesCrowd framework(options);
+  auto result = framework.Run(incomplete, posteriors, faulter);
+  BAYESCROWD_CHECK_OK(result.status());
+  Reference out;
+  out.envelope = NormalizedEnvelope(options, result.value());
+  out.result = std::move(result).value();
+  return out;
+}
+
+/// One checkpointed session (fresh or resumed) against the durable
+/// state in `dir`. Returns Run()'s status; on success fills `result`
+/// and `envelope`.
+Status RunSession(std::size_t threads, const std::string& dir,
+                  bool resume, CheckpointSink* sink_override,
+                  CheckpointStore* store, BayesCrowdResult* result,
+                  std::string* envelope, std::size_t* fallbacks) {
+  const Table incomplete = KillDataset();
+  const Table truth = KillTruth();
+  UniformPosteriorProvider posteriors(incomplete.schema());
+  obs::MetricsRegistry metrics;
+  BayesCrowdOptions options = KillOptions(threads, &metrics);
+  options.checkpoint_every = 1;
+
+  SimulatedCrowdPlatform sim(truth, {.worker_accuracy = 0.95,
+                                     .seed = kWorkerSeed});
+  FaultInjectingPlatform faulter(sim, KillFaults());
+  faulter.BindMetrics(&metrics);
+  CrowdPlatform* effective = &faulter;
+
+  const std::string log_path = dir + "/answers.log";
+  std::filesystem::create_directories(dir);
+
+  std::unique_ptr<RecoveredSession> recovered;
+  std::unique_ptr<ReplayingPlatform> replayer;
+  std::size_t base_log_offset = 0;
+  std::size_t already_durable = 0;
+  bool truncate_log = true;
+  if (resume) {
+    auto session = RecoverSession(dir, log_path, Fingerprint(options));
+    if (!session.ok()) return session.status();
+    recovered =
+        std::make_unique<RecoveredSession>(std::move(session).value());
+    if (fallbacks != nullptr) *fallbacks = recovered->fallbacks;
+    base_log_offset = recovered->state.answer_log_offset;
+    already_durable = recovered->durable_entries - base_log_offset;
+    truncate_log = false;
+    replayer = std::make_unique<ReplayingPlatform>(recovered->replay_tail,
+                                                   effective);
+    replayer->SetBaseTotals(recovered->state.platform_tasks,
+                            recovered->state.platform_rounds);
+    effective = replayer.get();
+    // A from-scratch recovery (killed before the first checkpoint) has
+    // no state to restore — the full-log replay rebuilds everything.
+    if (!recovered->from_scratch) options.resume = &recovered->state;
+    metrics.GetCounter("recovery.resumed")->Increment();
+    metrics.GetCounter("recovery.fallback")
+        ->Increment(recovered->fallbacks);
+  }
+
+  auto log_sink =
+      FileAnswerLogSink::Open(log_path, already_durable, truncate_log);
+  if (!log_sink.ok()) return log_sink.status();
+  RecordingPlatform recorder(*effective, log_sink->get());
+
+  SessionCheckpointSink session_sink(
+      sink_override != nullptr ? sink_override : store, &recorder,
+      base_log_offset, /*network_blob=*/"", Fingerprint(options));
+  options.checkpoint_sink = &session_sink;
+
+  BayesCrowd framework(options);
+  auto run = framework.Run(incomplete, posteriors, recorder);
+  if (!run.ok()) return run.status();
+  if (envelope != nullptr) *envelope = NormalizedEnvelope(options, *run);
+  if (result != nullptr) *result = std::move(run).value();
+  return Status::OK();
+}
+
+/// Counts the checkpoint boundaries of an uninterrupted checkpointed
+/// run (= rounds, with checkpoint_every=1).
+std::size_t CountBoundaries(std::size_t threads) {
+  const std::string dir = FreshDir("bc_kp_count");
+  CheckpointStore store({.dir = dir});
+  BayesCrowdResult result;
+  std::string envelope;
+  BAYESCROWD_CHECK_OK(RunSession(threads, dir, /*resume=*/false,
+                                 /*sink_override=*/nullptr, &store,
+                                 &result, &envelope, nullptr));
+  return result.rounds;
+}
+
+void ExpectKillResumeDiffsClean(std::size_t threads,
+                                const Reference& reference,
+                                std::size_t kill_point,
+                                bool write_before_kill) {
+  SCOPED_TRACE("threads=" + std::to_string(threads) +
+               " kill_point=" + std::to_string(kill_point) +
+               (write_before_kill ? " after-write" : " before-write"));
+  const std::string dir = FreshDir(
+      "bc_kp_" + std::to_string(threads) + "_" +
+      std::to_string(kill_point) + (write_before_kill ? "a" : "b"));
+  CheckpointStore store({.dir = dir});
+
+  KillingSink killer(&store, kill_point, write_before_kill);
+  const Status killed =
+      RunSession(threads, dir, /*resume=*/false, &killer, &store,
+                 nullptr, nullptr, nullptr);
+  ASSERT_TRUE(killed.IsUnavailable()) << killed.ToString();
+
+  BayesCrowdResult resumed;
+  std::string envelope;
+  const Status ok =
+      RunSession(threads, dir, /*resume=*/true, /*sink_override=*/nullptr,
+                 &store, &resumed, &envelope, nullptr);
+  ASSERT_TRUE(ok.ok()) << ok.ToString();
+  // kill_point 0 / before-write recovers from scratch (no snapshot
+  // existed yet), so `resumed` is legitimately false there.
+  if (kill_point > 0 || write_before_kill) EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(envelope, reference.envelope);
+}
+
+// ------------------------------------------------------------------ //
+// Kill at every boundary, single-threaded
+// ------------------------------------------------------------------ //
+
+TEST(KillPointTest, EveryBoundarySingleThread) {
+  const Reference reference = RunReference(1);
+  const std::size_t boundaries = CountBoundaries(1);
+  ASSERT_GE(boundaries, 2u) << "fixture too small to exercise resume";
+  for (std::size_t k = 0; k < boundaries; ++k) {
+    ExpectKillResumeDiffsClean(1, reference, k, /*write_before_kill=*/false);
+    ExpectKillResumeDiffsClean(1, reference, k, /*write_before_kill=*/true);
+  }
+}
+
+// ------------------------------------------------------------------ //
+// Kill at every boundary, 8 threads (results are thread-invariant, so
+// the same reference envelope must emerge)
+// ------------------------------------------------------------------ //
+
+TEST(KillPointTest, EveryBoundaryEightThreads) {
+  const Reference reference = RunReference(8);
+  const std::size_t boundaries = CountBoundaries(8);
+  ASSERT_GE(boundaries, 2u);
+  for (std::size_t k = 0; k < boundaries; ++k) {
+    ExpectKillResumeDiffsClean(8, reference, k, /*write_before_kill=*/false);
+    ExpectKillResumeDiffsClean(8, reference, k, /*write_before_kill=*/true);
+  }
+}
+
+TEST(KillPointTest, ThreadCountsAgreeOnReference) {
+  // The envelope embeds options.threads, so compare the results
+  // themselves: the query outcome must be thread-invariant.
+  const Reference a = RunReference(1);
+  const Reference b = RunReference(8);
+  EXPECT_EQ(a.result.result_objects, b.result.result_objects);
+  EXPECT_EQ(a.result.probabilities, b.result.probabilities);
+  EXPECT_EQ(a.result.rounds, b.result.rounds);
+  EXPECT_EQ(a.result.tasks_posted, b.result.tasks_posted);
+  EXPECT_EQ(a.result.cost_spent, b.result.cost_spent);
+  EXPECT_EQ(a.result.cost_refunded, b.result.cost_refunded);
+  EXPECT_EQ(a.result.simulated_seconds, b.result.simulated_seconds);
+}
+
+// ------------------------------------------------------------------ //
+// Mid-write kill: the tmp file is torn AND promoted by the rename, then
+// the process dies. Recovery must fall back past the torn generation.
+// ------------------------------------------------------------------ //
+
+TEST(KillPointTest, TornCheckpointWriteFallsBackAGeneration) {
+  const Reference reference = RunReference(1);
+  const std::string dir = FreshDir("bc_kp_torn");
+
+  std::size_t writes = 0;
+  CheckpointStore::Options tearing;
+  tearing.dir = dir;
+  tearing.pre_rename_hook = [&writes](const std::string& tmp_path) {
+    if (++writes < 2) return Status::OK();  // Tear the second boundary.
+    std::error_code ec;
+    std::filesystem::resize_file(
+        tmp_path, std::filesystem::file_size(tmp_path) / 2, ec);
+    return ec ? Status::IOError(ec.message()) : Status::OK();
+  };
+  CheckpointStore tearing_store(tearing);
+  // Kill right after the torn write was "successfully" promoted.
+  KillingSink killer(&tearing_store, 2, /*write_before_kill=*/false);
+  const Status killed =
+      RunSession(1, dir, /*resume=*/false, &killer, &tearing_store,
+                 nullptr, nullptr, nullptr);
+  ASSERT_TRUE(killed.IsUnavailable()) << killed.ToString();
+
+  CheckpointStore store({.dir = dir});
+  BayesCrowdResult resumed;
+  std::string envelope;
+  std::size_t fallbacks = 0;
+  const Status ok =
+      RunSession(1, dir, /*resume=*/true, /*sink_override=*/nullptr,
+                 &store, &resumed, &envelope, &fallbacks);
+  ASSERT_TRUE(ok.ok()) << ok.ToString();
+  EXPECT_GE(fallbacks, 1u);  // recovery.fallback
+  EXPECT_EQ(envelope, reference.envelope);
+}
+
+// ------------------------------------------------------------------ //
+// Corrupted newest snapshot after a clean shutdown: resume falls back
+// to the previous generation and replays the final round from the log.
+// ------------------------------------------------------------------ //
+
+TEST(KillPointTest, CorruptNewestSnapshotFallsBackAndReplays) {
+  const Reference reference = RunReference(1);
+  const std::string dir = FreshDir("bc_kp_corrupt");
+  CheckpointStore store({.dir = dir});
+  BayesCrowdResult first;
+  std::string first_envelope;
+  BAYESCROWD_CHECK_OK(RunSession(1, dir, /*resume=*/false,
+                                 /*sink_override=*/nullptr, &store, &first,
+                                 &first_envelope, nullptr));
+  EXPECT_EQ(first_envelope, reference.envelope);
+
+  const auto generations = store.ListGenerations();
+  ASSERT_GE(generations.size(), 2u);
+  const std::string newest = dir + "/" + generations.back();
+  {
+    std::filesystem::resize_file(newest,
+                                 std::filesystem::file_size(newest) / 3);
+  }
+
+  BayesCrowdResult resumed;
+  std::string envelope;
+  std::size_t fallbacks = 0;
+  const Status ok =
+      RunSession(1, dir, /*resume=*/true, /*sink_override=*/nullptr,
+                 &store, &resumed, &envelope, &fallbacks);
+  ASSERT_TRUE(ok.ok()) << ok.ToString();
+  EXPECT_GE(fallbacks, 1u);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(envelope, reference.envelope);
+}
+
+}  // namespace
+}  // namespace bayescrowd

@@ -15,9 +15,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "bayesnet/imputation.h"
@@ -27,8 +30,10 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "core/checkpoint.h"
 #include "core/framework.h"
 #include "core/report.h"
+#include "core/session.h"
 #include "core/telemetry.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -96,8 +101,10 @@ int Usage() {
       "           [--structure hillclimb|chowliu|none]\n"
       "           [--save-model F] [--load-model F]\n"
       "           [--record F] [--replay-from F] [--tasks-per-round K]\n"
-      "           [--fault-rate R] [--fault-seed S] [--max-retries N]\n"
-      "           [--round-deadline D]\n"
+      "           [--fault-rate R] [--fault-seed S] [--answer-noise R]\n"
+      "           [--max-retries N] [--round-deadline D]\n"
+      "           [--checkpoint-dir D] [--checkpoint-every N]\n"
+      "           [--keep-checkpoints N] [--resume]\n"
       "           [--verbose]\n"
       "           [--metrics-out F] [--trace-out F] [--telemetry-out F]\n"
       "  jsoncheck --in F\n"
@@ -106,8 +113,16 @@ int Usage() {
       "   data to continue where you left off)\n"
       "  --fault-rate: inject crowd faults (timeouts, abstains, partial\n"
       "  batches, transient errors) at this rate, deterministically from\n"
-      "  --fault-seed; --max-retries and --round-deadline (simulated\n"
-      "  seconds) bound the recovery effort per round\n"
+      "  --fault-seed; --answer-noise makes three virtual workers re-vote\n"
+      "  each answer, each wrong with that probability; --max-retries and\n"
+      "  --round-deadline (simulated seconds) bound the recovery effort\n"
+      "  per round\n"
+      "  --checkpoint-dir: crash safety. Writes a checksummed snapshot\n"
+      "  every --checkpoint-every rounds (default 1, keep last\n"
+      "  --keep-checkpoints, default 3) plus a durable answer log. After\n"
+      "  a kill, rerun the same command with --resume to continue from\n"
+      "  the newest intact snapshot (corrupt ones fall back a\n"
+      "  generation; the answer-log tail replays on top)\n"
       "  global: --log-level debug|info|warning|error|off\n"
       "  --metrics-out: counters/gauges/histograms as JSON;\n"
       "  --trace-out: Chrome trace-event JSON (chrome://tracing, Perfetto);\n"
@@ -343,15 +358,23 @@ int CmdRun(const Flags& flags) {
   std::unique_ptr<FaultInjectingPlatform> faulter;
   CrowdPlatform* effective = platform.get();
   const double fault_rate = flags.GetDouble("fault-rate", 0.0);
+  const double answer_noise = flags.GetDouble("answer-noise", 0.0);
+  const auto fault_seed =
+      static_cast<std::uint64_t>(flags.GetInt("fault-seed", 13));
   if (fault_rate < 0.0 || fault_rate > 1.0) {
     std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
     return 2;
   }
-  if (fault_rate > 0.0) {
-    const auto fault_seed =
-        static_cast<std::uint64_t>(flags.GetInt("fault-seed", 13));
-    faulter = std::make_unique<FaultInjectingPlatform>(
-        *effective, FaultOptions::Profile(fault_rate, fault_seed));
+  if (answer_noise < 0.0 || answer_noise > 1.0) {
+    std::fprintf(stderr, "--answer-noise must be in [0, 1]\n");
+    return 2;
+  }
+  if (fault_rate > 0.0 || answer_noise > 0.0) {
+    FaultOptions fault_options =
+        FaultOptions::Profile(fault_rate, fault_seed);
+    fault_options.answer_noise = answer_noise;
+    faulter = std::make_unique<FaultInjectingPlatform>(*effective,
+                                                       fault_options);
     faulter->BindMetrics(&run_metrics);
     effective = faulter.get();
   }
@@ -372,9 +395,125 @@ int CmdRun(const Flags& flags) {
     effective = recorder.get();
   }
 
+  // Crash-safe sessions: checksummed snapshots plus a durable answer
+  // log in --checkpoint-dir; --resume continues from the newest intact
+  // pair. Mutually exclusive with the manual --record / --replay-from
+  // mechanism above (both would want to own the recorder).
+  const std::string checkpoint_dir = flags.Get("checkpoint-dir", "");
+  std::unique_ptr<CheckpointStore> ckpt_store;
+  std::unique_ptr<FileAnswerLogSink> log_sink;
+  std::unique_ptr<SessionCheckpointSink> session_sink;
+  std::unique_ptr<RecoveredSession> recovered;
+  if (flags.Has("resume") && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
+    return 2;
+  }
+  if (!checkpoint_dir.empty()) {
+    if (flags.Has("record") || flags.Has("replay-from")) {
+      std::fprintf(stderr,
+                   "--checkpoint-dir cannot be combined with --record / "
+                   "--replay-from; it manages its own answer log\n");
+      return 2;
+    }
+    const int keep = flags.GetInt("keep-checkpoints", 3);
+    const int every = flags.GetInt("checkpoint-every", 1);
+    if (keep < 1 || every < 1) {
+      std::fprintf(stderr,
+                   "--keep-checkpoints and --checkpoint-every must be "
+                   ">= 1\n");
+      return 2;
+    }
+    // The fingerprint binds a checkpoint to the query it belongs to:
+    // behavior-relevant options, dataset bytes, and the platform setup
+    // (worker seeds and fault profile). Resuming under any other
+    // configuration is refused rather than silently diverging.
+    std::string dataset_bytes;
+    {
+      std::ifstream in(flags.Get("data", ""), std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      dataset_bytes = buffer.str();
+    }
+    const std::string platform_config = StrFormat(
+        "interactive=%d|accuracy=%.17g|seed=%llu|fault=%.17g|"
+        "fseed=%llu|noise=%.17g",
+        flags.Has("interactive") ? 1 : 0, flags.GetDouble("accuracy", 1.0),
+        static_cast<unsigned long long>(flags.GetInt("seed", 99)),
+        fault_rate, static_cast<unsigned long long>(fault_seed),
+        answer_noise);
+    const std::uint64_t fingerprint =
+        ConfigFingerprint(options, dataset_bytes, platform_config);
+
+    CheckpointStore::Options store_options;
+    store_options.dir = checkpoint_dir;
+    store_options.keep = static_cast<std::size_t>(keep);
+    ckpt_store = std::make_unique<CheckpointStore>(store_options);
+    const std::string log_path = checkpoint_dir + "/answers.log";
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+    if (ec) {
+      return Fail(Status::IOError("cannot create checkpoint dir " +
+                                  checkpoint_dir + ": " + ec.message()));
+    }
+
+    std::size_t base_log_offset = 0;
+    std::size_t already_durable = 0;
+    bool truncate_log = true;
+    if (flags.Has("resume")) {
+      auto session = RecoverSession(checkpoint_dir, log_path, fingerprint);
+      if (!session.ok()) return Fail(session.status());
+      recovered =
+          std::make_unique<RecoveredSession>(std::move(session).value());
+      base_log_offset = recovered->state.answer_log_offset;
+      // The replayed tail is re-recorded by the recorder below but is
+      // already in the file; the sink skips that many entries.
+      already_durable = recovered->durable_entries - base_log_offset;
+      truncate_log = false;
+      replayer = std::make_unique<ReplayingPlatform>(
+          recovered->replay_tail, effective);
+      replayer->SetBaseTotals(recovered->state.platform_tasks,
+                              recovered->state.platform_rounds);
+      effective = replayer.get();
+      // A from-scratch recovery (killed before the first checkpoint)
+      // has no state to restore; the full-log replay rebuilds it.
+      if (!recovered->from_scratch) options.resume = &recovered->state;
+      run_metrics.GetCounter("recovery.resumed")->Increment();
+      run_metrics.GetCounter("recovery.fallback")
+          ->Increment(recovered->fallbacks);
+      run_metrics.GetCounter("recovery.replayed_entries")
+          ->Increment(recovered->replay_tail.entries.size());
+      if (recovered->dropped_torn_tail) {
+        run_metrics.GetCounter("recovery.dropped_torn_tail")->Increment();
+      }
+      std::printf(
+          "resuming from round %zu: %zu answer(s) to replay, %zu "
+          "checkpoint generation(s) skipped%s\n",
+          recovered->state.rounds, recovered->replay_tail.entries.size(),
+          recovered->fallbacks,
+          recovered->dropped_torn_tail ? ", torn log tail dropped" : "");
+    }
+    auto sink = FileAnswerLogSink::Open(log_path, already_durable,
+                                        truncate_log);
+    if (!sink.ok()) return Fail(sink.status());
+    log_sink = std::move(sink).value();
+    recorder = std::make_unique<RecordingPlatform>(*effective,
+                                                   log_sink.get());
+    effective = recorder.get();
+
+    const std::string network_blob =
+        (flags.Has("load-model") || structure != "none")
+            ? SerializeNetwork(network)
+            : std::string();
+    session_sink = std::make_unique<SessionCheckpointSink>(
+        ckpt_store.get(), recorder.get(), base_log_offset, network_blob,
+        fingerprint);
+    options.checkpoint_sink = session_sink.get();
+    options.checkpoint_every = static_cast<std::size_t>(every);
+  }
+
   BayesCrowd framework(options);
   auto result = framework.Run(incomplete, *posteriors, *effective);
-  if (recorder != nullptr) {
+  if (recorder != nullptr && flags.Has("record")) {
     // Save even when the run failed (e.g. the human walked away from an
     // interactive session): the bought answers are what makes resuming
     // with --replay-from possible.
@@ -391,7 +530,19 @@ int CmdRun(const Flags& flags) {
       return 1;
     }
   }
-  if (!result.ok()) return Fail(result.status());
+  if (!result.ok()) {
+    if (!checkpoint_dir.empty()) {
+      // The answer log is durable per batch and snapshots per round
+      // boundary, so whatever was bought survives the failure.
+      std::fprintf(stderr,
+                   "run interrupted (%s); rerun with --resume "
+                   "--checkpoint-dir %s to continue\n",
+                   result.status().ToString().c_str(),
+                   checkpoint_dir.c_str());
+      return 1;
+    }
+    return Fail(result.status());
+  }
 
   // Observability artifacts (each flag independent; all opt-in).
   if (!trace_out.empty()) {
@@ -437,6 +588,19 @@ int CmdRun(const Flags& flags) {
         static_cast<unsigned long long>(faults.timeouts),
         static_cast<unsigned long long>(faults.abstained_tasks),
         static_cast<unsigned long long>(faults.partial_batches));
+    if (answer_noise > 0.0) {
+      std::printf(
+          "answer noise: %llu vote(s) flipped, %llu aggregate "
+          "answer(s) changed\n",
+          static_cast<unsigned long long>(faults.flipped_votes),
+          static_cast<unsigned long long>(faults.noisy_answers_changed));
+      auto accuracies = faulter->EstimateVirtualWorkerAccuracies();
+      if (accuracies.ok()) {
+        std::printf("estimated virtual-worker accuracies:");
+        for (const double a : accuracies.value()) std::printf(" %.3f", a);
+        std::printf("\n");
+      }
+    }
   }
   if (have_truth) {
     auto skyline = SkylineSfs(truth);

@@ -59,6 +59,37 @@ grep -q 'fault.transient_failures' "$SMOKE/metrics_fault.json"
 grep -q '"recovery"' "$SMOKE/telemetry_fault.json"
 grep -q '"retries"' "$SMOKE/telemetry_fault.json"
 
+echo "== tier-1: crash-safety smoke run (kill, corrupt, resume) =="
+# Checkpointed run, then a deliberately corrupted newest snapshot: the
+# resume must fall back one generation, replay the answer-log tail, and
+# report itself in the telemetry ("resumed": true, recovery.* metrics).
+"$CLI" run --data "$SMOKE/holes.csv" --truth "$SMOKE/complete.csv" \
+  --strategy hhs --budget 20 --latency 4 --threads 4 --alpha -1 \
+  --fault-rate 0.2 --answer-noise 0.1 --log-level warning \
+  --checkpoint-dir "$SMOKE/ckpt" > /dev/null
+ls "$SMOKE"/ckpt/ckpt-*.bin > /dev/null   # Snapshots exist.
+test -s "$SMOKE/ckpt/answers.log"         # Durable answer log exists.
+NEWEST="$(ls "$SMOKE"/ckpt/ckpt-*.bin | tail -1)"
+truncate -s 20 "$NEWEST"                  # Corrupt the newest snapshot.
+"$CLI" run --data "$SMOKE/holes.csv" --truth "$SMOKE/complete.csv" \
+  --strategy hhs --budget 20 --latency 4 --threads 4 --alpha -1 \
+  --fault-rate 0.2 --answer-noise 0.1 --log-level warning \
+  --checkpoint-dir "$SMOKE/ckpt" --resume \
+  --telemetry-out "$SMOKE/telemetry_resume.json" > "$SMOKE/report_resume.txt"
+grep -q 'resuming from round' "$SMOKE/report_resume.txt"
+grep -q '"resumed": true' "$SMOKE/telemetry_resume.json"
+grep -q 'recovery.fallback' "$SMOKE/telemetry_resume.json"
+
+echo "== tier-1: crash-safety tests under ASan+UBSan =="
+cmake -B "$ROOT/build-asan" -S "$ROOT" \
+  -DBC_SANITIZE=address,undefined \
+  -DBAYESCROWD_BUILD_BENCHMARKS=OFF \
+  -DBAYESCROWD_BUILD_EXAMPLES=OFF
+cmake --build "$ROOT/build-asan" -j "$JOBS" --target checkpoint_test \
+  --target killpoint_test --target fault_test --target differential_test
+ctest --test-dir "$ROOT/build-asan" --output-on-failure \
+  -R '(checkpoint_test|killpoint_test|fault_test|differential_test)'
+
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DBC_SANITIZE=thread \
