@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <exception>
+
+#include "common/string_util.h"
 
 namespace bayescrowd {
 
@@ -37,13 +40,40 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
+void ThreadPool::RecordException() {
+  Status error = Status::Internal("pool task threw a non-exception object");
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    error = Status::Internal(
+        StrFormat("pool task threw: %s", e.what()));
+  } catch (...) {
+  }
+  std::unique_lock<std::mutex> lock(error_mu_);
+  if (first_error_.ok()) first_error_ = std::move(error);
+}
+
+Status ThreadPool::TakeError() {
+  std::unique_lock<std::mutex> lock(error_mu_);
+  Status out = std::move(first_error_);
+  first_error_ = Status::OK();
+  return out;
+}
+
 bool ThreadPool::RunOne(std::unique_lock<std::mutex>& lock) {
   if (queue_.empty()) return false;
   std::function<void()> task = std::move(queue_.front());
   queue_.pop_front();
   ++in_flight_;
   lock.unlock();
-  task();
+  // The lane boundary: an escaping exception would unwind into the
+  // worker's start function and terminate the process, so convert it
+  // to the pool's first-error Status instead.
+  try {
+    task();
+  } catch (...) {
+    RecordException();
+  }
   lock.lock();
   --in_flight_;
   if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
@@ -70,22 +100,30 @@ void ThreadPool::Wait() {
   }
 }
 
-void ThreadPool::ParallelFor(
+Status ThreadPool::ParallelFor(
     std::size_t count,
     const std::function<void(std::size_t lane, std::size_t index)>& fn) {
-  if (count == 0) return;
+  if (count == 0) return Status::OK();
   const std::size_t lanes = std::min(size(), count);
   // One shared cursor; every lane pulls the next unclaimed index. The
   // body outlives every Submit because Wait() below is a barrier. Each
-  // lane accounts its item count and body wall-clock once per call.
+  // lane accounts its item count and body wall-clock once per call. A
+  // throwing body poisons the loop: the exception becomes the returned
+  // Status and the remaining unclaimed indices are skipped.
   std::atomic<std::size_t> next{0};
-  const auto body = [this, &next, count, &fn](std::size_t lane) {
+  std::atomic<bool> poisoned{false};
+  const auto body = [this, &next, &poisoned, count, &fn](std::size_t lane) {
     const auto start = std::chrono::steady_clock::now();
     std::uint64_t executed = 0;
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-         i < count;
+         i < count && !poisoned.load(std::memory_order_relaxed);
          i = next.fetch_add(1, std::memory_order_relaxed)) {
-      fn(lane, i);
+      try {
+        fn(lane, i);
+      } catch (...) {
+        RecordException();
+        poisoned.store(true, std::memory_order_relaxed);
+      }
       ++executed;
     }
     const auto busy = std::chrono::steady_clock::now() - start;
@@ -98,13 +136,14 @@ void ThreadPool::ParallelFor(
   };
   if (lanes <= 1) {
     body(0);
-    return;
+    return TakeError();
   }
   for (std::size_t lane = 1; lane < lanes; ++lane) {
     Submit([&body, lane] { body(lane); });
   }
   body(0);
   Wait();
+  return TakeError();
 }
 
 std::vector<ThreadPool::LaneStats> ThreadPool::lane_stats() const {

@@ -10,8 +10,12 @@
 //    per-index slots (and accumulating statistics per lane, merged after
 //    the barrier) keeps outputs deterministic for any pool size: the
 //    schedule may vary, the values may not.
-//  * Tasks must not throw; error handling in this codebase flows through
-//    Status/Result values stored into per-index slots.
+//  * Expected error handling flows through Status/Result values stored
+//    into per-index slots. A task that *throws* anyway is caught at the
+//    lane boundary — never allowed to unwind into a worker thread's
+//    start function, which would terminate the process — and surfaced
+//    as the pool's first-error Status (ParallelFor returns it;
+//    Submit/Wait users poll TakeError()).
 
 #ifndef BAYESCROWD_COMMON_THREAD_POOL_H_
 #define BAYESCROWD_COMMON_THREAD_POOL_H_
@@ -25,6 +29,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace bayescrowd {
 
@@ -55,10 +61,17 @@ class ThreadPool {
   /// Runs fn(lane, index) for every index in [0, count), spreading
   /// indices over the lanes via a shared atomic counter, and returns
   /// after all indices completed. lane is in [0, size()); the caller
-  /// executes as one of the lanes.
-  void ParallelFor(std::size_t count,
-                   const std::function<void(std::size_t lane,
-                                            std::size_t index)>& fn);
+  /// executes as one of the lanes. If any invocation throws, the first
+  /// exception is converted to an Internal Status (remaining unclaimed
+  /// indices are skipped); OK otherwise.
+  Status ParallelFor(std::size_t count,
+                     const std::function<void(std::size_t lane,
+                                              std::size_t index)>& fn);
+
+  /// Returns and clears the first error recorded since the last call:
+  /// an exception thrown by a Submit()ed task (caught at the lane
+  /// boundary instead of terminating the process). OK when none.
+  Status TakeError();
 
   /// Cumulative per-lane utilization across every ParallelFor on this
   /// pool: work items executed and wall-clock spent inside the loop
@@ -77,6 +90,9 @@ class ThreadPool {
   /// released while the task runs and re-acquired after. Returns false
   /// when the queue was empty.
   bool RunOne(std::unique_lock<std::mutex>& lock);
+  /// Records the currently in-flight exception as the pool's first
+  /// error (later ones are dropped).
+  void RecordException();
 
   struct LaneAccum {
     std::atomic<std::uint64_t> tasks{0};
@@ -91,6 +107,9 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;  // Popped but not yet finished.
   bool stopping_ = false;
+
+  std::mutex error_mu_;
+  Status first_error_ = Status::OK();  // Guarded by error_mu_.
 };
 
 }  // namespace bayescrowd

@@ -224,6 +224,44 @@ Status ReadMetricsSnapshot(BinReader* r, obs::MetricsSnapshot* m) {
   return Status::OK();
 }
 
+void WriteBreakerRecord(BinWriter* w, const SolverBreakerRecord& b) {
+  w->WriteU64(b.object);
+  w->WriteU64(b.fingerprint.first);
+  w->WriteU64(b.fingerprint.second);
+  w->WriteU64(b.consecutive);
+  w->WriteBool(b.open);
+  w->WriteDouble(b.last.lo);
+  w->WriteDouble(b.last.hi);
+  w->WriteU8(static_cast<std::uint8_t>(b.last.quality));
+}
+
+Status ReadBreakerRecord(BinReader* r, SolverBreakerRecord* b) {
+  std::uint64_t u = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&u));
+  b->object = static_cast<std::size_t>(u);
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&b->fingerprint.first));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&b->fingerprint.second));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&u));
+  b->consecutive = static_cast<std::size_t>(u);
+  BAYESCROWD_RETURN_NOT_OK(r->ReadBool(&b->open));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&b->last.lo));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&b->last.hi));
+  std::uint8_t quality = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU8(&quality));
+  if (quality > static_cast<std::uint8_t>(ProbQuality::kUnknown)) {
+    return Status::OutOfRange("checkpoint: bad breaker interval quality");
+  }
+  b->last.quality = static_cast<ProbQuality>(quality);
+  if (!(b->last.lo >= 0.0 && b->last.lo <= b->last.hi &&
+        b->last.hi <= 1.0)) {
+    return Status::OutOfRange("checkpoint: breaker interval out of [0,1]");
+  }
+  return Status::OK();
+}
+
+// Minimum serialized breaker record: 4 u64 + 2 double + bool + u8.
+constexpr std::size_t kMinBreakerBytes = 50;
+
 Status ReadSize(BinReader* r, std::size_t* out) {
   std::uint64_t u = 0;
   BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&u));
@@ -307,9 +345,20 @@ void SerializeSessionState(const SessionState& state, std::string* out) {
   w.WriteU64(state.answer_log_offset);
   w.WriteString(state.network_blob);
   w.WriteU64(state.config_fingerprint);
+  // v2 fields. v1 payloads ended at the config fingerprint.
+  w.WriteU64(state.solver_breakers.size());
+  for (const SolverBreakerRecord& b : state.solver_breakers) {
+    WriteBreakerRecord(&w, b);
+  }
 }
 
-Status DeserializeSessionState(BinReader* reader, SessionState* out) {
+Status DeserializeSessionState(BinReader* reader, SessionState* out,
+                               std::uint32_t version) {
+  if (version == 0 || version > kCheckpointVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint: unsupported payload version %u",
+        static_cast<unsigned>(version)));
+  }
   BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&out->budget_left));
   BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->consecutive_barren));
   BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->rounds));
@@ -346,6 +395,24 @@ Status DeserializeSessionState(BinReader* reader, SessionState* out) {
   BAYESCROWD_RETURN_NOT_OK(ReadSize(reader, &out->answer_log_offset));
   BAYESCROWD_RETURN_NOT_OK(reader->ReadString(&out->network_blob));
   BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&out->config_fingerprint));
+  if (version >= 2) {
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&count, kMinBreakerBytes));
+    out->solver_breakers.resize(count);
+    std::size_t last_object = 0;
+    for (std::size_t i = 0; i < out->solver_breakers.size(); ++i) {
+      SolverBreakerRecord& b = out->solver_breakers[i];
+      BAYESCROWD_RETURN_NOT_OK(ReadBreakerRecord(reader, &b));
+      if (i > 0 && b.object <= last_object) {
+        return Status::OutOfRange(
+            "checkpoint: breaker records not ascending by object");
+      }
+      last_object = b.object;
+    }
+    out->evaluator_blob_format = kMemoStateFormat;
+  } else {
+    out->solver_breakers.clear();
+    out->evaluator_blob_format = 1;  // Pre-governor point-probability blobs.
+  }
   if (!reader->AtEnd()) {
     return Status::OutOfRange(
         "checkpoint: trailing bytes after session state");
@@ -365,7 +432,8 @@ std::string WrapCheckpoint(const std::string& payload) {
   return out;
 }
 
-Result<std::string> UnwrapCheckpoint(const std::string& file_bytes) {
+Result<std::string> UnwrapCheckpoint(const std::string& file_bytes,
+                                     std::uint32_t* version_out) {
   constexpr std::size_t kHeaderBytes = 4 + 4 + 8;  // magic+version+size.
   if (file_bytes.size() < kHeaderBytes + 4) {
     return Status::IOError("checkpoint corrupt: file too short");
@@ -378,13 +446,14 @@ Result<std::string> UnwrapCheckpoint(const std::string& file_bytes) {
   std::uint64_t payload_size = 0;
   BAYESCROWD_RETURN_NOT_OK(r.ReadU32(&version));
   BAYESCROWD_RETURN_NOT_OK(r.ReadU64(&payload_size));
-  if (version != kCheckpointVersion) {
+  if (version == 0 || version > kCheckpointVersion) {
     return Status::InvalidArgument(StrFormat(
         "checkpoint version %u is %s than this build supports (%u)",
         static_cast<unsigned>(version),
         version > kCheckpointVersion ? "newer" : "older",
         static_cast<unsigned>(kCheckpointVersion)));
   }
+  if (version_out != nullptr) *version_out = version;
   if (file_bytes.size() != kHeaderBytes + payload_size + 4) {
     return Status::IOError("checkpoint corrupt: truncated payload");
   }
@@ -470,11 +539,13 @@ Result<SessionState> CheckpointStore::LoadLatest(
     const auto attempt = [&]() -> Result<SessionState> {
       BAYESCROWD_ASSIGN_OR_RETURN(const std::string bytes,
                                   ReadWholeFile(path));
+      std::uint32_t version = 0;
       BAYESCROWD_ASSIGN_OR_RETURN(const std::string payload,
-                                  UnwrapCheckpoint(bytes));
+                                  UnwrapCheckpoint(bytes, &version));
       SessionState state;
       BinReader reader(payload);
-      BAYESCROWD_RETURN_NOT_OK(DeserializeSessionState(&reader, &state));
+      BAYESCROWD_RETURN_NOT_OK(
+          DeserializeSessionState(&reader, &state, version));
       if (state.answer_log_offset > max_valid_log_entries) {
         return Status::FailedPrecondition(StrFormat(
             "checkpoint %s references %zu answer-log entries but only "

@@ -44,9 +44,12 @@
 namespace bayescrowd {
 
 /// Checkpoint format version written by this build. Readers accept
-/// exactly this version; a newer file fails with a clear error instead
-/// of a misparse.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// this version and every older one (v1 files load with governor-era
+/// fields defaulted); a newer file fails with a clear error instead of
+/// a misparse. Version history:
+///   1  pre-governor sessions (point-probability memo blobs)
+///   2  + solver circuit-breaker records, interval memo blobs
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Everything Run() snapshots at a round boundary. Field order here is
 /// the serialization order; extend only by bumping kCheckpointVersion.
@@ -95,19 +98,34 @@ struct SessionState {
   /// Hash of options + dataset + platform config (threads excluded).
   /// Resume refuses a checkpoint whose fingerprint mismatches.
   std::uint64_t config_fingerprint = 0;
+
+  // -- v2 fields ---------------------------------------------------- //
+  /// Per-object solver circuit breakers, ascending object id (empty on
+  /// ungoverned runs and in every v1 checkpoint).
+  std::vector<SolverBreakerRecord> solver_breakers;
+
+  /// Layout of `evaluator_blob`. Not serialized: the loader derives it
+  /// from the envelope version (v1 payloads carry format-1 blobs), and
+  /// Run() passes it to ProbabilityEvaluator::RestoreMemoState.
+  std::uint32_t evaluator_blob_format = kMemoStateFormat;
 };
 
 /// Payload (de)serialization. Deserialize validates counts and enum
 /// ranges, returning OutOfRange/InvalidArgument on anything truncated
-/// or out of domain.
+/// or out of domain. `version` is the envelope version the payload was
+/// written under; v1 payloads stop before the v2 fields and load with
+/// them defaulted (no breakers, format-1 evaluator blob).
 void SerializeSessionState(const SessionState& state, std::string* out);
-Status DeserializeSessionState(BinReader* reader, SessionState* out);
+Status DeserializeSessionState(BinReader* reader, SessionState* out,
+                               std::uint32_t version = kCheckpointVersion);
 
 /// Wraps a payload in the checksummed envelope / validates and strips
 /// it. Unwrap fails with IOError on magic/CRC/truncation damage and
-/// InvalidArgument on a version newer than kCheckpointVersion.
+/// InvalidArgument on version 0 or one newer than kCheckpointVersion;
+/// the accepted version is reported through `version` (may be null).
 std::string WrapCheckpoint(const std::string& payload);
-Result<std::string> UnwrapCheckpoint(const std::string& file_bytes);
+Result<std::string> UnwrapCheckpoint(const std::string& file_bytes,
+                                     std::uint32_t* version = nullptr);
 
 /// Where Run() hands finished round boundaries. Implementations
 /// persist the state; a failed Write fails the run (the round itself is

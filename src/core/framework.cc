@@ -92,6 +92,10 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       metrics->GetCounter("framework.tasks_unanswered");
   obs::Counter* const conflicts_counter =
       metrics->GetCounter("framework.order_conflicts");
+  obs::Counter* const breaker_trips_counter =
+      metrics->GetCounter("framework.breaker.trips");
+  obs::Counter* const breaker_skips_counter =
+      metrics->GetCounter("framework.breaker.skips");
 
   // ---------------------------------------------------------------- //
   // Crowdsourcing phase (Algorithm 4).
@@ -113,6 +117,15 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   double budget_left = static_cast<double>(options_.budget);
   const RetryPolicy& retry = options_.retry;
   std::size_t consecutive_barren = 0;  // Rounds with zero applied answers.
+
+  // Per-object solver circuit breakers (breaker_threshold). Only a
+  // governed evaluator produces non-exact grades, so the map stays
+  // empty — and the round loop byte-identical — on ungoverned runs.
+  // std::map: checkpoint serialization wants ascending object ids.
+  const bool breakers_enabled =
+      options_.breaker_threshold > 0 &&
+      evaluator.options().governor.enabled();
+  std::map<std::size_t, SolverBreakerRecord> breakers;
 
   // ---------------------------------------------------------------- //
   // Resume from a checkpoint snapshot. The modeling phase above rebuilt
@@ -144,7 +157,11 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
           var, knowledge.ConditionDistribution(var, raw)));
     }
     BinReader memo_reader(st.evaluator_blob);
-    BAYESCROWD_RETURN_NOT_OK(evaluator.RestoreMemoState(&memo_reader));
+    BAYESCROWD_RETURN_NOT_OK(evaluator.RestoreMemoState(
+        &memo_reader, st.evaluator_blob_format));
+    for (const SolverBreakerRecord& b : st.solver_breakers) {
+      breakers[b.object] = b;
+    }
     if (!st.platform_state.empty()) {
       BinReader platform_reader(st.platform_state);
       BAYESCROWD_RETURN_NOT_OK(platform.LoadState(&platform_reader));
@@ -203,6 +220,8 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     }
     knowledge.SerializeFacts(&state.knowledge_blob);
     evaluator.SerializeMemoState(&state.evaluator_blob);
+    state.solver_breakers.reserve(breakers.size());
+    for (const auto& [id, b] : breakers) state.solver_breakers.push_back(b);
     state.metrics = metrics->Snapshot();
     platform.SaveState(&state.platform_state);
     state.platform_tasks = platform.total_tasks();
@@ -221,9 +240,58 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     for (std::size_t i : ctable.UndecidedObjects()) {
       if (ctable.condition(i).NumExpressions() > 0) undecided.push_back(i);
     }
-    BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<double> probabilities,
-                                evaluator.EvaluateAll(ctable, undecided));
-    const std::vector<double> entropies = BinaryEntropies(probabilities);
+    // Objects whose breaker is open on an unchanged condition reuse
+    // their last interval (re-solving would burn budget on another
+    // non-answer — the memo cache cannot help once a crowd answer
+    // re-conditioned a mentioned distribution); the rest solve as one
+    // governed batch.
+    std::vector<ProbInterval> intervals(undecided.size());
+    std::vector<std::size_t> to_solve;
+    std::vector<std::size_t> solve_slot;
+    to_solve.reserve(undecided.size());
+    solve_slot.reserve(undecided.size());
+    for (std::size_t u = 0; u < undecided.size(); ++u) {
+      const std::size_t id = undecided[u];
+      if (breakers_enabled) {
+        const auto it = breakers.find(id);
+        if (it != breakers.end() && it->second.open &&
+            it->second.fingerprint == ctable.condition(id).Fingerprint()) {
+          intervals[u] = it->second.last;
+          breaker_skips_counter->Increment();
+          continue;
+        }
+      }
+      to_solve.push_back(id);
+      solve_slot.push_back(u);
+    }
+    BAYESCROWD_ASSIGN_OR_RETURN(
+        const std::vector<ProbInterval> solved,
+        evaluator.EvaluateAllIntervals(ctable, to_solve));
+    for (std::size_t s = 0; s < to_solve.size(); ++s) {
+      intervals[solve_slot[s]] = solved[s];
+      if (!breakers_enabled) continue;
+      SolverBreakerRecord& b = breakers[to_solve[s]];
+      b.object = to_solve[s];
+      b.fingerprint = ctable.condition(to_solve[s]).Fingerprint();
+      b.last = solved[s];
+      if (solved[s].exact()) {
+        b.consecutive = 0;
+        b.open = false;
+      } else if (++b.consecutive >= options_.breaker_threshold &&
+                 !b.open) {
+        b.open = true;
+        breaker_trips_counter->Increment();
+      }
+    }
+    std::vector<double> probabilities(undecided.size());
+    std::vector<double> rank_points(undecided.size());
+    for (std::size_t u = 0; u < undecided.size(); ++u) {
+      probabilities[u] = intervals[u].midpoint();
+      rank_points[u] = options_.strategy.pessimistic
+                           ? PessimisticPoint(intervals[u])
+                           : probabilities[u];
+    }
+    const std::vector<double> entropies = BinaryEntropies(rank_points);
     std::vector<ObjectEntropy> ranked;
     ranked.reserve(undecided.size());
     for (std::size_t u = 0; u < undecided.size(); ++u) {
@@ -456,16 +524,28 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   // ---------------------------------------------------------------- //
   // Answer inference (Algorithm 1, line 5).
   // ---------------------------------------------------------------- //
+  // The final phase always solves fresh (no breaker skip): reported
+  // probabilities and their grades reflect the current conditions and
+  // distributions, never a stale breaker interval.
   std::vector<std::size_t> all_objects(ctable.num_objects());
   for (std::size_t i = 0; i < ctable.num_objects(); ++i) all_objects[i] = i;
-  BAYESCROWD_ASSIGN_OR_RETURN(out.probabilities,
-                              evaluator.EvaluateAll(ctable, all_objects));
+  BAYESCROWD_ASSIGN_OR_RETURN(
+      out.probability_intervals,
+      evaluator.EvaluateAllIntervals(ctable, all_objects));
+  out.probabilities.resize(ctable.num_objects());
   for (std::size_t i = 0; i < ctable.num_objects(); ++i) {
+    out.probabilities[i] = out.probability_intervals[i].midpoint();
+    if (!out.probability_intervals[i].exact()) {
+      out.degraded_objects.push_back(i);
+    }
     if (out.probabilities[i] > options_.answer_threshold ||
         ctable.condition(i).IsTrue()) {
       out.result_objects.push_back(i);
     }
   }
+  out.solver = evaluator.solver_stats();
+  out.breaker_trips = breaker_trips_counter->value();
+  out.breaker_skips = breaker_skips_counter->value();
   const EvaluatorCacheStats cache_stats = evaluator.cache_stats();
   out.cache_hits = cache_stats.hits;
   out.cache_misses = cache_stats.misses;

@@ -20,11 +20,14 @@
 #include "crowd/cost.h"
 #include "crowd/platform.h"
 #include "ctable/builder.h"
+#include "ctable/condition.h"
 #include "ctable/ctable.h"
 #include "ctable/knowledge.h"
 #include "data/table.h"
 #include "obs/metrics.h"
 #include "probability/evaluator.h"
+#include "probability/governor.h"
+#include "probability/interval.h"
 
 namespace bayescrowd {
 
@@ -97,6 +100,17 @@ struct BayesCrowdOptions {
   /// condition, fall back to sampling instead of failing the query.
   bool sampling_fallback = true;
 
+  /// Per-object solver circuit breaker (active only with a governed
+  /// evaluator, `probability.governor`): after this many consecutive
+  /// degraded (non-exact) Pr(φ) solves of one object, the round loop
+  /// stops re-solving it — while its condition is unchanged, its last
+  /// interval is reused for ranking instead of burning solver budget on
+  /// another non-answer. A condition change (new crowd evidence
+  /// simplified it) triggers one probe solve; an exact result closes
+  /// the breaker. The final answer phase always solves fresh, so
+  /// reported probabilities are never stale. 0 disables the breaker.
+  std::size_t breaker_threshold = 3;
+
   /// Early stop: end the crowdsourcing phase (possibly under budget)
   /// once every undecided object's entropy falls below this threshold —
   /// i.e. every remaining probability is within
@@ -165,6 +179,23 @@ struct RoundLog {
   }
 };
 
+/// One object's solver circuit-breaker state at a round boundary (see
+/// BayesCrowdOptions::breaker_threshold). Snapshotted into v2
+/// checkpoints so a resumed session skips exactly the solves the
+/// uninterrupted run would have skipped.
+struct SolverBreakerRecord {
+  std::size_t object = 0;
+  /// Condition fingerprint the breaker state refers to; a mismatch at
+  /// lookup time forces a probe solve.
+  ConditionFingerprint fingerprint{0, 0};
+  /// Consecutive degraded solves (survives condition changes — the
+  /// breaker tracks the *object*, not one condition text).
+  std::size_t consecutive = 0;
+  bool open = false;
+  /// Last solved interval, reused while open on an unchanged condition.
+  ProbInterval last = ProbInterval::Unknown();
+};
+
 /// Everything a Run() produces.
 struct BayesCrowdResult {
   /// Object ids answered as skyline members.
@@ -215,7 +246,25 @@ struct BayesCrowdResult {
   obs::MetricsSnapshot metrics;
 
   /// Final per-object probabilities (1/0 for decided conditions).
+  /// Midpoints of `probability_intervals`; exactly the interval value
+  /// when the governor is inert.
   std::vector<double> probabilities;
+
+  /// Interval-valued final probabilities, aligned with `probabilities`.
+  /// All kExact (lo == hi) when the solver governor is inert.
+  std::vector<ProbInterval> probability_intervals;
+
+  /// Objects whose final probability carries a degraded (non-exact)
+  /// ProbQuality grade — the solver budget did not suffice for them.
+  std::vector<std::size_t> degraded_objects;
+
+  /// Governor counters for the whole run (all zero when inert).
+  GovernorTally solver;
+
+  /// Circuit-breaker activity: breakers opened, and round-loop solves
+  /// skipped by an open breaker.
+  std::size_t breaker_trips = 0;
+  std::size_t breaker_skips = 0;
 
   /// State of the c-table after all updates.
   CTable final_ctable;

@@ -47,6 +47,28 @@ std::string FormatRunReport(const BayesCrowdResult& result,
       static_cast<unsigned long long>(result.adpll.direct_evals),
       static_cast<unsigned long long>(result.adpll.component_splits),
       static_cast<unsigned long long>(result.adpll.star_evals));
+  const GovernorTally& solver = result.solver;
+  if (solver.budget_exhausted > 0 || solver.deadline_hits > 0 ||
+      solver.tier_partial > 0 || solver.tier_sampled > 0 ||
+      solver.tier_unknown > 0 || !result.degraded_objects.empty()) {
+    out += StrFormat(
+        "    solver: %llu budget exhaustion(s), %llu deadline hit(s); "
+        "tiers exact/partial/sampled/unknown = %llu/%llu/%llu/%llu; "
+        "%zu object(s) degraded\n",
+        static_cast<unsigned long long>(solver.budget_exhausted),
+        static_cast<unsigned long long>(solver.deadline_hits),
+        static_cast<unsigned long long>(solver.tier_exact),
+        static_cast<unsigned long long>(solver.tier_partial),
+        static_cast<unsigned long long>(solver.tier_sampled),
+        static_cast<unsigned long long>(solver.tier_unknown),
+        result.degraded_objects.size());
+  }
+  if (result.breaker_trips > 0 || result.breaker_skips > 0) {
+    out += StrFormat(
+        "    breaker: %zu object breaker(s) opened, %zu re-solve(s) "
+        "skipped\n",
+        result.breaker_trips, result.breaker_skips);
+  }
   if (!result.lane_usage.empty()) {
     std::uint64_t lane_tasks = 0;
     double busy = 0.0;
@@ -92,8 +114,17 @@ std::string FormatRunReport(const BayesCrowdResult& result,
                        result.result_objects.size() - listed);
       break;
     }
-    out += StrFormat("    %-24s Pr=%.3f\n", table.object_name(id).c_str(),
-                     result.probabilities[id]);
+    // Non-exact answers show their sound interval and ProbQuality
+    // grade; exact ones print as before.
+    std::string grade;
+    if (id < result.probability_intervals.size() &&
+        !result.probability_intervals[id].exact()) {
+      const ProbInterval& interval = result.probability_intervals[id];
+      grade = StrFormat(" in [%.3f, %.3f] (%s)", interval.lo, interval.hi,
+                        ProbQualityToString(interval.quality));
+    }
+    out += StrFormat("    %-24s Pr=%.3f%s\n", table.object_name(id).c_str(),
+                     result.probabilities[id], grade.c_str());
     ++listed;
   }
 

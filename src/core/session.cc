@@ -21,7 +21,7 @@ std::uint64_t ConfigFingerprint(const BayesCrowdOptions& options,
   // Canonical text of every option that changes query behavior.
   // `threads` and `metrics` are excluded on purpose; extend the string
   // (never reorder it) when options grow.
-  const std::string canon = StrFormat(
+  std::string canon = StrFormat(
       "v1|budget=%zu|latency=%zu|threshold=%.17g|confidence=%.17g|"
       "sampling_fallback=%d|strategy=%d|m=%zu|alpha=%.17g|fastdom=%d|"
       "method=%d|memoize=%d|pmfallback=%d|fbsamples=%zu|sseed=%llu|"
@@ -41,6 +41,21 @@ std::uint64_t ConfigFingerprint(const BayesCrowdOptions& options,
       options.retry.backoff_multiplier,
       options.retry.round_deadline_seconds,
       options.retry.max_barren_rounds);
+  // Governed runs append the budget configuration: a resume under a
+  // different budget would replay a different ladder. The wall-clock
+  // deadline is excluded by design — it only degrades, never changes
+  // values — and inert governors append nothing, so pre-governor
+  // checkpoints keep their fingerprints.
+  const GovernorOptions& governor = options.probability.governor;
+  if (governor.enabled()) {
+    canon += StrFormat(
+        "|governor=%llu,%llu,%d,%zu,%.17g|breaker=%zu|pessimistic=%d",
+        static_cast<unsigned long long>(governor.max_nodes),
+        static_cast<unsigned long long>(governor.max_components),
+        static_cast<int>(governor.ladder), governor.interval_samples,
+        governor.confidence_z, options.breaker_threshold,
+        options.strategy.pessimistic ? 1 : 0);
+  }
   std::uint64_t hash = HashBytes(canon);
   hash = HashBytes(dataset_bytes, hash);
   hash = HashBytes(platform_config, hash);

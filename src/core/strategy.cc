@@ -139,7 +139,7 @@ Result<std::vector<Task>> SelectTasks(const CTable& ctable,
         BAYESCROWD_ASSIGN_OR_RETURN(
             const std::vector<double> gains,
             MarginalUtilities(cond, entry.probability, eligible,
-                              evaluator));
+                              evaluator, options.pessimistic));
         double best_gain = -1.0;
         for (std::size_t i = 0; i < eligible.size(); ++i) {
           if (gains[i] > best_gain) {
@@ -174,7 +174,7 @@ Result<std::vector<Task>> SelectTasks(const CTable& ctable,
           BAYESCROWD_ASSIGN_OR_RETURN(
               const std::vector<double> gains,
               MarginalUtilities(cond, entry.probability, chunk,
-                                evaluator));
+                                evaluator, options.pessimistic));
           bool stopped = false;
           for (std::size_t i = 0; i < chunk.size(); ++i) {
             if (gains[i] > best_gain) {

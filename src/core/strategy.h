@@ -37,6 +37,14 @@ struct StrategyOptions {
   /// HHS stopping parameter: stop scanning a condition's expressions
   /// after `m` consecutive candidates without utility improvement.
   std::size_t m = 15;
+
+  /// Interval pessimism (governed runs): rank and score with the
+  /// most-uncertain probability consistent with each interval (the
+  /// point nearest 1/2) instead of the midpoint. Wide, low-quality
+  /// intervals then look maximally uncertain, steering crowd tasks
+  /// toward the objects the solver understands least. No effect on
+  /// exact results, hence none while the governor is inert.
+  bool pessimistic = false;
 };
 
 /// Selects up to `k` conflict-free tasks for one round. `ranked` must be

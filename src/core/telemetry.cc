@@ -26,6 +26,19 @@ obs::JsonValue OptionsJson(const BayesCrowdOptions& options) {
   retry["round_deadline_seconds"] = options.retry.round_deadline_seconds;
   retry["max_barren_rounds"] = options.retry.max_barren_rounds;
   out["retry"] = std::move(retry);
+  const GovernorOptions& g = options.probability.governor;
+  obs::JsonValue governor = obs::JsonValue::Object();
+  governor["enabled"] = g.enabled();
+  governor["node_budget"] = g.max_nodes;
+  governor["component_budget"] = g.max_components;
+  governor["deadline_ms"] = static_cast<std::size_t>(
+      g.deadline_ms < 0 ? 0 : g.deadline_ms);
+  governor["ladder"] = LadderModeToString(g.ladder);
+  governor["interval_samples"] = g.interval_samples;
+  governor["confidence_z"] = g.confidence_z;
+  governor["breaker_threshold"] = options.breaker_threshold;
+  governor["pessimistic"] = options.strategy.pessimistic;
+  out["governor"] = std::move(governor);
   return out;
 }
 
@@ -98,6 +111,33 @@ obs::JsonValue RunTelemetryJson(const std::string& name,
   payload["cache"] = std::move(cache);
 
   payload["adpll"] = AdpllJson(result.adpll);
+
+  // Governed-solver outcome. Tier counts and intervals are
+  // deterministic under node/component budgets; `deadline_hits` is the
+  // one wall-clock-dependent count (always 0 without a deadline) and is
+  // normalized away with the other timing fields.
+  obs::JsonValue solver = obs::JsonValue::Object();
+  solver["budget_exhausted"] = result.solver.budget_exhausted;
+  solver["deadline_hits"] = result.solver.deadline_hits;
+  solver["tier_exact"] = result.solver.tier_exact;
+  solver["tier_partial"] = result.solver.tier_partial;
+  solver["tier_sampled"] = result.solver.tier_sampled;
+  solver["tier_unknown"] = result.solver.tier_unknown;
+  solver["breaker_trips"] = result.breaker_trips;
+  solver["breaker_skips"] = result.breaker_skips;
+  obs::JsonValue degraded = obs::JsonValue::Array();
+  for (const std::size_t id : result.degraded_objects) degraded.Append(id);
+  solver["degraded_objects"] = std::move(degraded);
+  obs::JsonValue intervals = obs::JsonValue::Array();
+  for (const ProbInterval& interval : result.probability_intervals) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry["lo"] = interval.lo;
+    entry["hi"] = interval.hi;
+    entry["quality"] = ProbQualityToString(interval.quality);
+    intervals.Append(std::move(entry));
+  }
+  solver["intervals"] = std::move(intervals);
+  payload["solver"] = std::move(solver);
 
   // Recovery totals. Simulated clocks (backoff/platform time) are
   // deterministic given the fault seed, unlike the wall-clock fields.

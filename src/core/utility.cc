@@ -12,27 +12,39 @@ Condition FixExpression(const Condition& condition, const Expression& e,
   });
 }
 
+namespace {
+
+// The scalar an interval contributes to an entropy term: its midpoint,
+// or under pessimism the consistent probability nearest 1/2.
+double EntropyPoint(const ProbInterval& interval, bool pessimistic) {
+  return pessimistic ? PessimisticPoint(interval) : interval.midpoint();
+}
+
+}  // namespace
+
 Result<double> MarginalUtility(const Condition& condition, double p_o,
                                const Expression& e,
-                               ProbabilityEvaluator& evaluator) {
+                               ProbabilityEvaluator& evaluator,
+                               bool pessimistic) {
   BAYESCROWD_ASSIGN_OR_RETURN(const double p_e, evaluator.Probability(e));
 
   const Condition if_true = FixExpression(condition, e, true);
   const Condition if_false = FixExpression(condition, e, false);
-  BAYESCROWD_ASSIGN_OR_RETURN(const double p_true,
-                              evaluator.Probability(if_true));
-  BAYESCROWD_ASSIGN_OR_RETURN(const double p_false,
-                              evaluator.Probability(if_false));
+  BAYESCROWD_ASSIGN_OR_RETURN(const ProbInterval p_true,
+                              evaluator.ProbabilityInterval(if_true));
+  BAYESCROWD_ASSIGN_OR_RETURN(const ProbInterval p_false,
+                              evaluator.ProbabilityInterval(if_false));
 
-  const double expected = p_e * BinaryEntropy(p_true) +
-                          (1.0 - p_e) * BinaryEntropy(p_false);
+  const double expected =
+      p_e * BinaryEntropy(EntropyPoint(p_true, pessimistic)) +
+      (1.0 - p_e) * BinaryEntropy(EntropyPoint(p_false, pessimistic));
   return BinaryEntropy(p_o) - expected;
 }
 
 Result<std::vector<double>> MarginalUtilities(
     const Condition& condition, double p_o,
     const std::vector<Expression>& candidates,
-    ProbabilityEvaluator& evaluator) {
+    ProbabilityEvaluator& evaluator, bool pessimistic) {
   const std::size_t n = candidates.size();
   std::vector<Condition> counterfactuals;
   counterfactuals.reserve(2 * n);
@@ -43,16 +55,20 @@ Result<std::vector<double>> MarginalUtilities(
   std::vector<const Condition*> pointers;
   pointers.reserve(counterfactuals.size());
   for (const Condition& c : counterfactuals) pointers.push_back(&c);
-  BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<double> probabilities,
-                              evaluator.EvaluateBatch(pointers));
+  BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<ProbInterval> probabilities,
+                              evaluator.EvaluateBatchIntervals(pointers));
 
   const double h_o = BinaryEntropy(p_o);
   std::vector<double> gains(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     BAYESCROWD_ASSIGN_OR_RETURN(const double p_e,
                                 evaluator.Probability(candidates[i]));
-    gains[i] = h_o - (p_e * BinaryEntropy(probabilities[2 * i]) +
-                      (1.0 - p_e) * BinaryEntropy(probabilities[2 * i + 1]));
+    gains[i] =
+        h_o -
+        (p_e * BinaryEntropy(EntropyPoint(probabilities[2 * i], pessimistic)) +
+         (1.0 - p_e) *
+             BinaryEntropy(EntropyPoint(probabilities[2 * i + 1],
+                                        pessimistic)));
   }
   return gains;
 }

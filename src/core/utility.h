@@ -23,10 +23,16 @@ Condition FixExpression(const Condition& condition, const Expression& e,
                         bool value);
 
 /// G(o, e). `p_o` is the current Pr(φ(o)) (avoids recomputation; the
-/// caller already needed it for the entropy ranking).
+/// caller already needed it for the entropy ranking). With a governed
+/// evaluator the counterfactual probabilities may come back as
+/// intervals; entropies are taken at the midpoint, or — when
+/// `pessimistic` — at the interval's point nearest 1/2 (see
+/// PessimisticPoint), making poorly-solved counterfactuals look
+/// maximally uncertain.
 Result<double> MarginalUtility(const Condition& condition, double p_o,
                                const Expression& e,
-                               ProbabilityEvaluator& evaluator);
+                               ProbabilityEvaluator& evaluator,
+                               bool pessimistic = false);
 
 /// G(o, e) for every candidate expression at once: the 2·n
 /// counterfactual conditions (e fixed true / fixed false) go through the
@@ -36,7 +42,7 @@ Result<double> MarginalUtility(const Condition& condition, double p_o,
 Result<std::vector<double>> MarginalUtilities(
     const Condition& condition, double p_o,
     const std::vector<Expression>& candidates,
-    ProbabilityEvaluator& evaluator);
+    ProbabilityEvaluator& evaluator, bool pessimistic = false);
 
 }  // namespace bayescrowd
 

@@ -7,6 +7,10 @@ namespace bayescrowd::obs {
 namespace {
 
 bool IsWallClockKey(const std::string& key) {
+  // Deadline-hit counts are wall-clock noise too: whether the solver's
+  // optional deadline fired depends on machine speed, never on the
+  // query (the node-budget counters stay untouched).
+  if (key == "deadline_hits" || key == "solver.deadline_hits") return true;
   const std::string suffix = "seconds";
   return key.size() >= suffix.size() &&
          key.compare(key.size() - suffix.size(), suffix.size(), suffix) ==
@@ -25,7 +29,8 @@ JsonValue Normalize(const JsonValue& v, const std::string& key,
       JsonValue out = JsonValue::Object();
       for (const auto& [k, member] : v.members()) {
         if (options.strip_lane_usage &&
-            (k == "lanes" || StartsWith(k, "pool.lane"))) {
+            (k == "lanes" || k == "threads" ||
+             StartsWith(k, "pool.lane"))) {
           continue;
         }
         // "recovery." only matches dotted metric names; the payload's

@@ -19,12 +19,16 @@ namespace bayescrowd::obs {
 
 struct NormalizeOptions {
   /// Zero numeric members whose key ends in "seconds" and does not
-  /// mention "sim" (modeling_seconds, busy_seconds, ...).
+  /// mention "sim" (modeling_seconds, busy_seconds, ...), plus the
+  /// solver's "deadline_hits" counters (whether the optional wall-clock
+  /// cap fired is machine-dependent; what it degraded *to* is not).
   bool zero_wall_clock = true;
 
-  /// Drop the "lanes" array and "pool.lane*" metric keys: per-lane
-  /// task counts depend on scheduling and on where a resumed process
-  /// picked up, not on the query.
+  /// Drop the "lanes" array, "pool.lane*" metric keys, and the
+  /// "threads" option: per-lane task counts depend on scheduling and on
+  /// where a resumed process picked up, not on the query, and stripping
+  /// the pool size too lets a 1-thread run diff byte-for-byte against
+  /// an 8-thread run of the same query.
   bool strip_lane_usage = false;
 
   /// Zero the "resumed" flag and drop "recovery."-prefixed metric keys

@@ -1,5 +1,6 @@
 #include "probability/adpll.h"
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
 
@@ -38,6 +39,12 @@ class AdpllSearch {
     return Recurse(condition);
   }
 
+  Result<ProbInterval> RunPartial(const Condition& condition,
+                                  std::uint64_t* truncations) {
+    truncations_ = truncations;
+    return RecurseInterval(condition);
+  }
+
  private:
   // Exact probability of one disjunction. When its expressions touch
   // distinct variables (the structural common case: one expression per
@@ -72,7 +79,57 @@ class AdpllSearch {
       }
       return 1.0 - miss_all;
     }
-    return NaiveProbability(Condition::Cnf({conjunct}), dists_);
+    return NaiveProbability(Condition::Cnf({conjunct}), dists_,
+                            InnerNaiveOptions());
+  }
+
+  // Budgets for the exact enumeration a correlated conjunct falls back
+  // to: a wide equality chain puts its whole variable set into one
+  // conjunct, so the inner space must be capped by the same governor
+  // that caps the recursion.
+  NaiveOptions InnerNaiveOptions() const {
+    NaiveOptions inner;
+    if (options_.max_conjunct_assignments > 0) {
+      inner.max_assignments = options_.max_conjunct_assignments;
+    }
+    inner.control = options_.control;
+    return inner;
+  }
+
+  // Interval-mode conjunct integration: identical to ConjunctProbability
+  // when the disjunctive rule applies; a correlated conjunct degrades to
+  // the bounded Naive scan's sound interval instead of erroring.
+  Result<ProbInterval> ConjunctInterval(const Conjunct& conjunct) {
+    bool distinct = true;
+    seen_vars_.clear();
+    const auto note = [this](const CellRef& var) {
+      for (const CellRef& v : seen_vars_) {
+        if (v == var) return false;
+      }
+      seen_vars_.push_back(var);
+      return true;
+    };
+    for (const Expression& e : conjunct) {
+      if (!note(e.lhs) || (e.rhs_is_var && !note(e.rhs_var))) {
+        distinct = false;
+        break;
+      }
+    }
+    if (distinct) {
+      double miss_all = 1.0;
+      for (const Expression& e : conjunct) {
+        BAYESCROWD_ASSIGN_OR_RETURN(const double pe,
+                                    ExpressionProbability(e, dists_));
+        miss_all *= 1.0 - pe;
+      }
+      return ProbInterval::Exact(1.0 - miss_all);
+    }
+    BAYESCROWD_ASSIGN_OR_RETURN(
+        const ProbInterval interval,
+        NaiveBoundedProbability(Condition::Cnf({conjunct}), dists_,
+                                InnerNaiveOptions()));
+    if (!interval.exact() && truncations_ != nullptr) ++*truncations_;
+    return interval;
   }
 
   Result<double> IndependentProduct(const Condition& condition) {
@@ -85,6 +142,25 @@ class AdpllSearch {
       if (product == 0.0) break;
     }
     return product;
+  }
+
+  Result<ProbInterval> IndependentProductInterval(
+      const Condition& condition) {
+    if (stats_ != nullptr) ++stats_->direct_evals;
+    double lo = 1.0;
+    double hi = 1.0;
+    bool all_exact = true;
+    for (const Conjunct& conjunct : condition.conjuncts()) {
+      BAYESCROWD_ASSIGN_OR_RETURN(const ProbInterval pc,
+                                  ConjunctInterval(conjunct));
+      lo *= pc.lo;
+      hi *= pc.hi;
+      all_exact = all_exact && pc.exact();
+      if (hi == 0.0) break;
+    }
+    return ProbInterval{lo, hi,
+                        all_exact ? ProbQuality::kExact
+                                  : ProbQuality::kPartialBound};
   }
 
   // Star fast path: let H be the variables occurring more than once in
@@ -287,6 +363,9 @@ class AdpllSearch {
           "ADPLL exceeded %llu recursive calls",
           static_cast<unsigned long long>(options_.max_calls)));
     }
+    if (options_.control != nullptr && options_.control->ShouldStop()) {
+      return Status::ResourceExhausted("ADPLL cancelled");
+    }
     if (condition.IsTrue()) return 1.0;
     if (condition.IsFalse()) return 0.0;
 
@@ -305,6 +384,13 @@ class AdpllSearch {
     if (options_.component_decomposition) {
       const auto components = condition.ConjunctComponents();
       if (components.size() > 1) {
+        if (options_.max_component_splits > 0 &&
+            ++component_splits_ > options_.max_component_splits) {
+          return Status::ResourceExhausted(StrFormat(
+              "ADPLL exceeded %llu component splits",
+              static_cast<unsigned long long>(
+                  options_.max_component_splits)));
+        }
         if (stats_ != nullptr) ++stats_->component_splits;
         double product = 1.0;
         for (const auto& indices : components) {
@@ -343,11 +429,101 @@ class AdpllSearch {
     return total;
   }
 
+  // Interval-mode twin of Recurse for the anytime ladder tier: the same
+  // search order, but running out of budget *closes* the current
+  // subtree into [0, 1] instead of aborting. The combination rules
+  // preserve soundness — a branch is Σ p_v · [lo_v, hi_v], independent
+  // components multiply endpoint-wise (all factors lie in [0, 1]) — so
+  // the final interval always contains the exact probability.
+  Result<ProbInterval> RecurseInterval(const Condition& condition) {
+    if (stats_ != nullptr) ++stats_->calls;
+    const bool out_of_budget =
+        ++calls_ > options_.max_calls ||
+        (options_.control != nullptr && options_.control->ShouldStop());
+    if (out_of_budget) {
+      if (truncations_ != nullptr) ++*truncations_;
+      return ProbInterval::Unknown();
+    }
+    if (condition.IsTrue()) return ProbInterval::Exact(1.0);
+    if (condition.IsFalse()) return ProbInterval::Exact(0.0);
+
+    if (condition.ConjunctsAreIndependent()) {
+      return IndependentProductInterval(condition);
+    }
+
+    if (options_.star_fast_path) {
+      Result<double> star = 0.0;
+      if (TryStarProbability(condition, &star)) {
+        BAYESCROWD_ASSIGN_OR_RETURN(const double p, std::move(star));
+        return ProbInterval::Exact(p);
+      }
+    }
+
+    if (options_.component_decomposition &&
+        (options_.max_component_splits == 0 ||
+         component_splits_ < options_.max_component_splits)) {
+      const auto components = condition.ConjunctComponents();
+      if (components.size() > 1) {
+        ++component_splits_;
+        if (stats_ != nullptr) ++stats_->component_splits;
+        double lo = 1.0;
+        double hi = 1.0;
+        bool all_exact = true;
+        for (const auto& indices : components) {
+          std::vector<Conjunct> sub;
+          sub.reserve(indices.size());
+          for (std::size_t c : indices) {
+            sub.push_back(condition.conjuncts()[c]);
+          }
+          BAYESCROWD_ASSIGN_OR_RETURN(
+              const ProbInterval pc,
+              RecurseInterval(Condition::Cnf(std::move(sub))));
+          lo *= pc.lo;
+          hi *= pc.hi;
+          all_exact = all_exact && pc.exact();
+          if (hi == 0.0) return ProbInterval::Exact(0.0);
+        }
+        return ProbInterval{lo, hi,
+                            all_exact ? ProbQuality::kExact
+                                      : ProbQuality::kPartialBound};
+      }
+    }
+
+    const CellRef var = PickVariable(condition);
+    const std::vector<double>* dist = dists_.Find(var);
+    if (dist == nullptr) {
+      return Status::NotFound(StrFormat("no distribution for Var(%zu,%zu)",
+                                        var.object, var.attribute));
+    }
+    double lo = 0.0;
+    double hi = 0.0;
+    bool all_exact = true;
+    for (std::size_t value = 0; value < dist->size(); ++value) {
+      const double p = (*dist)[value];
+      if (p <= 0.0) continue;
+      if (stats_ != nullptr) ++stats_->branches;
+      BAYESCROWD_ASSIGN_OR_RETURN(
+          const ProbInterval sub,
+          RecurseInterval(condition.SubstituteVariable(
+              var, static_cast<Level>(value))));
+      lo += p * sub.lo;
+      hi += p * sub.hi;
+      all_exact = all_exact && sub.exact();
+    }
+    lo = std::min(1.0, std::max(0.0, lo));
+    hi = std::min(1.0, std::max(lo, hi));
+    return ProbInterval{lo, hi,
+                        all_exact ? ProbQuality::kExact
+                                  : ProbQuality::kPartialBound};
+  }
+
   const DistributionMap& dists_;
   const AdpllOptions& options_;
   AdpllStats* stats_;
   Rng rng_;
   std::uint64_t calls_ = 0;
+  std::uint64_t component_splits_ = 0;
+  std::uint64_t* truncations_ = nullptr;  // Closed-subtree tally.
   std::vector<CellRef> seen_vars_;  // Scratch for ConjunctProbability.
 };
 
@@ -359,6 +535,18 @@ Result<double> AdpllProbability(const Condition& condition,
                                 AdpllStats* stats) {
   AdpllSearch search(dists, options, stats);
   return search.Run(condition);
+}
+
+Result<ProbInterval> AdpllPartialProbability(const Condition& condition,
+                                             const DistributionMap& dists,
+                                             const AdpllOptions& options,
+                                             AdpllStats* stats,
+                                             std::uint64_t* truncations) {
+  AdpllSearch search(dists, options, stats);
+  std::uint64_t local = 0;
+  Result<ProbInterval> out = search.RunPartial(
+      condition, truncations != nullptr ? truncations : &local);
+  return out;
 }
 
 }  // namespace bayescrowd

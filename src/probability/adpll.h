@@ -23,6 +23,7 @@
 #include "common/result.h"
 #include "ctable/condition.h"
 #include "probability/distributions.h"
+#include "probability/interval.h"
 
 namespace bayescrowd {
 
@@ -56,6 +57,22 @@ struct AdpllOptions {
   /// Recursion budget: computation aborts with ResourceExhausted after
   /// this many recursive calls (worst case degrades to Naive).
   std::uint64_t max_calls = 50'000'000;
+
+  /// Budget for the *inner* Naive enumerations a correlated conjunct
+  /// falls back to (wide equality chains put many variables into one
+  /// conjunct, so the per-conjunct space can dwarf the recursion
+  /// budget). 0 keeps the NaiveOptions default.
+  std::uint64_t max_conjunct_assignments = 0;
+
+  /// Budget on component-decomposition splits (the memoized-component
+  /// count of the governor). 0 means unlimited.
+  std::uint64_t max_component_splits = 0;
+
+  /// Cooperative cancellation (deadline / external cancel), polled at
+  /// every recursive call and inside inner enumerations. Non-owning;
+  /// may be null. Cancellation aborts with ResourceExhausted — it never
+  /// changes the value of a solve that runs to completion.
+  SolverControl* control = nullptr;
 };
 
 struct AdpllStats {
@@ -81,6 +98,20 @@ Result<double> AdpllProbability(const Condition& condition,
                                 const DistributionMap& dists,
                                 const AdpllOptions& options = {},
                                 AdpllStats* stats = nullptr);
+
+/// Anytime variant: the same search, but budget exhaustion *closes* a
+/// subtree into the sound bound [0, 1] instead of aborting the solve.
+/// Value branches combine as Σ p_v · [lo_v, hi_v] and independent
+/// components multiply, so the returned interval always contains the
+/// exact probability. Runs within the same budgets as AdpllProbability
+/// (max_calls, max_conjunct_assignments, max_component_splits,
+/// control); with no budget pressure the result is exact (lo == hi ==
+/// AdpllProbability, quality kExact). `truncations`, if non-null, is
+/// incremented once per closed subtree.
+Result<ProbInterval> AdpllPartialProbability(
+    const Condition& condition, const DistributionMap& dists,
+    const AdpllOptions& options = {}, AdpllStats* stats = nullptr,
+    std::uint64_t* truncations = nullptr);
 
 }  // namespace bayescrowd
 

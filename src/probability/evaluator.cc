@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/string_util.h"
 #include "obs/trace.h"
 
 namespace bayescrowd {
@@ -49,6 +50,16 @@ void ProbabilityEvaluator::BindMetrics(obs::MetricsRegistry* registry) {
   ins_.adpll_component_splits =
       registry->GetCounter("adpll.component_splits");
   ins_.adpll_star_evals = registry->GetCounter("adpll.star_evals");
+  ins_.solver_budget_exhausted =
+      registry->GetCounter("solver.budget_exhausted");
+  ins_.solver_deadline_hits = registry->GetCounter("solver.deadline_hits");
+  ins_.solver_tier_exact = registry->GetCounter("solver.ladder_tier.exact");
+  ins_.solver_tier_partial =
+      registry->GetCounter("solver.ladder_tier.partial");
+  ins_.solver_tier_sampled =
+      registry->GetCounter("solver.ladder_tier.sampled");
+  ins_.solver_tier_unknown =
+      registry->GetCounter("solver.ladder_tier.unknown");
   ins_.batch_size = registry->GetHistogram(
       "evaluator.batch.size", {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0});
   ins_.batch_misses = registry->GetHistogram(
@@ -79,6 +90,26 @@ void ProbabilityEvaluator::AddAdpllStats(const AdpllStats& stats) {
   ins_.adpll_direct_evals->Increment(stats.direct_evals);
   ins_.adpll_component_splits->Increment(stats.component_splits);
   ins_.adpll_star_evals->Increment(stats.star_evals);
+}
+
+GovernorTally ProbabilityEvaluator::solver_stats() const {
+  GovernorTally out;
+  out.budget_exhausted = ins_.solver_budget_exhausted->value();
+  out.deadline_hits = ins_.solver_deadline_hits->value();
+  out.tier_exact = ins_.solver_tier_exact->value();
+  out.tier_partial = ins_.solver_tier_partial->value();
+  out.tier_sampled = ins_.solver_tier_sampled->value();
+  out.tier_unknown = ins_.solver_tier_unknown->value();
+  return out;
+}
+
+void ProbabilityEvaluator::AddSolverTally(const GovernorTally& tally) {
+  ins_.solver_budget_exhausted->Increment(tally.budget_exhausted);
+  ins_.solver_deadline_hits->Increment(tally.deadline_hits);
+  ins_.solver_tier_exact->Increment(tally.tier_exact);
+  ins_.solver_tier_partial->Increment(tally.tier_partial);
+  ins_.solver_tier_sampled->Increment(tally.tier_sampled);
+  ins_.solver_tier_unknown->Increment(tally.tier_unknown);
 }
 
 std::uint64_t ProbabilityEvaluator::DistStamp(
@@ -129,7 +160,8 @@ void ProbabilityEvaluator::ClearCache() {
 bool ProbabilityEvaluator::IsCached(const Condition& condition) const {
   if (condition.IsDecided()) return false;
   const auto it = cache_.find(condition.Fingerprint());
-  return it != cache_.end() && it->second.stamp == DistStamp(condition);
+  return it != cache_.end() &&
+         it->second.stamp == (DistStamp(condition) ^ BudgetTag());
 }
 
 Rng ProbabilityEvaluator::ConditionRng(
@@ -140,8 +172,9 @@ Rng ProbabilityEvaluator::ConditionRng(
 
 void ProbabilityEvaluator::Insert(const ConditionFingerprint& fingerprint,
                                   const Condition& condition,
-                                  double probability) {
-  cache_[fingerprint] = CacheEntry{probability, DistStamp(condition)};
+                                  const ProbInterval& interval) {
+  cache_[fingerprint] =
+      CacheEntry{interval, DistStamp(condition) ^ BudgetTag()};
   for (const CellRef& var : condition.Variables()) {
     var_index_[PackVar(var)].push_back(fingerprint);
   }
@@ -162,7 +195,9 @@ void ProbabilityEvaluator::SerializeMemoState(std::string* out) const {
   for (const auto& [fingerprint, entry] : entries) {
     w.WriteU64(fingerprint.first);
     w.WriteU64(fingerprint.second);
-    w.WriteDouble(entry.probability);
+    w.WriteDouble(entry.interval.lo);
+    w.WriteDouble(entry.interval.hi);
+    w.WriteU8(static_cast<std::uint8_t>(entry.interval.quality));
     w.WriteU64(entry.stamp);
   }
 
@@ -191,7 +226,13 @@ void ProbabilityEvaluator::SerializeMemoState(std::string* out) const {
   }
 }
 
-Status ProbabilityEvaluator::RestoreMemoState(BinReader* reader) {
+Status ProbabilityEvaluator::RestoreMemoState(BinReader* reader,
+                                              std::uint32_t format) {
+  if (format == 0 || format > kMemoStateFormat) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported memo-state format %u",
+                  static_cast<unsigned>(format)));
+  }
   std::array<std::uint64_t, 4> rng_state{};
   for (std::uint64_t& word : rng_state) {
     BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&word));
@@ -209,7 +250,22 @@ Status ProbabilityEvaluator::RestoreMemoState(BinReader* reader) {
     CacheEntry entry;
     BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.first));
     BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.second));
-    BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&entry.probability));
+    if (format == 1) {
+      // Pre-governor blobs hold exact point probabilities under tag-0
+      // stamps; the inert governor's tag is also 0, so they stay live.
+      double probability = 0.0;
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&probability));
+      entry.interval = ProbInterval::Exact(probability);
+    } else {
+      std::uint8_t quality = 0;
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&entry.interval.lo));
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&entry.interval.hi));
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadU8(&quality));
+      if (quality > static_cast<std::uint8_t>(ProbQuality::kUnknown)) {
+        return Status::InvalidArgument("memo state: bad ProbQuality");
+      }
+      entry.interval.quality = static_cast<ProbQuality>(quality);
+    }
     BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&entry.stamp));
     cache_.emplace(fingerprint, entry);
   }
@@ -269,55 +325,147 @@ Result<double> ProbabilityEvaluator::Compute(const Condition& condition,
   return result;
 }
 
+Result<ProbInterval> ProbabilityEvaluator::ComputeInterval(
+    const Condition& condition, Rng& rng, AdpllStats* stats,
+    GovernorTally* tally) {
+  if (!options_.governor.enabled()) {
+    // Inert governor: the legacy point-valued path, byte for byte
+    // (including the sampling_fallback behavior), graded kExact.
+    BAYESCROWD_ASSIGN_OR_RETURN(const double p,
+                                Compute(condition, rng, stats));
+    return ProbInterval::Exact(p);
+  }
+  const SolverGovernor governor(options_.governor);
+  switch (options_.method) {
+    case ProbabilityMethod::kAdpll: {
+      BAYESCROWD_TRACE_SPAN("adpll.solve");
+      return governor.Evaluate(condition, dists_, options_.adpll,
+                               options_.sampling, rng, stats, tally);
+    }
+    case ProbabilityMethod::kNaive:
+      return governor.EvaluateNaive(condition, dists_, options_.naive,
+                                    options_.sampling, rng, tally);
+    case ProbabilityMethod::kSampled:
+    case ProbabilityMethod::kSampledRaoBlackwell: {
+      // Sampled methods have no exact tier; the governor only adds the
+      // wall-clock cap, degrading a cancelled estimate to [0, 1].
+      SolverControl control;
+      if (options_.governor.deadline_ms > 0) {
+        control.SetDeadline(
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.governor.deadline_ms));
+      }
+      SamplingOptions governed = options_.sampling;
+      governed.control = &control;
+      Result<double> p =
+          options_.method == ProbabilityMethod::kSampled
+              ? SampledProbability(condition, dists_, governed, rng)
+              : SampledProbabilityRaoBlackwell(condition, dists_, governed,
+                                               rng);
+      if (p.ok()) {
+        if (tally != nullptr) ++tally->tier_sampled;
+        return ProbInterval{p.value(), p.value(), ProbQuality::kSampledCI};
+      }
+      if (p.status().code() != StatusCode::kResourceExhausted) {
+        return p.status();
+      }
+      if (tally != nullptr) {
+        ++tally->budget_exhausted;
+        ++tally->deadline_hits;
+        ++tally->tier_unknown;
+      }
+      return ProbInterval::Unknown();
+    }
+  }
+  return Status::Internal("unknown probability method");
+}
+
 Result<double> ProbabilityEvaluator::Probability(const Condition& condition) {
-  if (condition.IsTrue()) return 1.0;
-  if (condition.IsFalse()) return 0.0;
-  AdpllStats tally;
+  BAYESCROWD_ASSIGN_OR_RETURN(const ProbInterval interval,
+                              ProbabilityInterval(condition));
+  return interval.midpoint();
+}
+
+Result<ProbInterval> ProbabilityEvaluator::ProbabilityInterval(
+    const Condition& condition) {
+  if (condition.IsTrue()) return ProbInterval::Exact(1.0);
+  if (condition.IsFalse()) return ProbInterval::Exact(0.0);
+  AdpllStats stats;
+  GovernorTally tally;
+  const bool governed = options_.governor.enabled();
   if (!Memoizable()) {
-    Result<double> p = Compute(condition, rng_, &tally);
-    AddAdpllStats(tally);
+    // Governed sampling tiers draw from the per-condition stream so the
+    // sequential and batch paths agree; the legacy path keeps the
+    // shared stream for bit-compatibility.
+    Rng cond_rng =
+        governed ? ConditionRng(condition.Fingerprint()) : Rng(0);
+    Result<ProbInterval> p =
+        ComputeInterval(condition, governed ? cond_rng : rng_, &stats,
+                        &tally);
+    AddAdpllStats(stats);
+    AddSolverTally(tally);
     return p;
   }
 
   const ConditionFingerprint fingerprint = condition.Fingerprint();
   const auto it = cache_.find(fingerprint);
-  if (it != cache_.end() && it->second.stamp == DistStamp(condition)) {
+  if (it != cache_.end() &&
+      it->second.stamp == (DistStamp(condition) ^ BudgetTag())) {
     ins_.cache_hits->Increment();
-    return it->second.probability;
+    return it->second.interval;
   }
   ins_.cache_misses->Increment();
-  Result<double> computed = Compute(condition, rng_, &tally);
-  AddAdpllStats(tally);
-  BAYESCROWD_ASSIGN_OR_RETURN(const double p, std::move(computed));
-  Insert(fingerprint, condition, p);
-  return p;
+  Rng cond_rng = governed ? ConditionRng(fingerprint) : Rng(0);
+  Result<ProbInterval> computed =
+      ComputeInterval(condition, governed ? cond_rng : rng_, &stats,
+                      &tally);
+  AddAdpllStats(stats);
+  AddSolverTally(tally);
+  BAYESCROWD_ASSIGN_OR_RETURN(const ProbInterval interval,
+                              std::move(computed));
+  Insert(fingerprint, condition, interval);
+  return interval;
 }
 
 Result<std::vector<double>> ProbabilityEvaluator::EvaluateBatch(
     const std::vector<const Condition*>& conditions) {
+  BAYESCROWD_ASSIGN_OR_RETURN(const std::vector<ProbInterval> intervals,
+                              EvaluateBatchIntervals(conditions));
+  std::vector<double> probabilities(intervals.size(), 0.0);
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    probabilities[i] = intervals[i].midpoint();
+  }
+  return probabilities;
+}
+
+Result<std::vector<ProbInterval>>
+ProbabilityEvaluator::EvaluateBatchIntervals(
+    const std::vector<const Condition*>& conditions) {
   BAYESCROWD_TRACE_SPAN("evaluator.batch");
   const std::size_t n = conditions.size();
-  std::vector<double> probabilities(n, 0.0);
+  std::vector<ProbInterval> intervals(n, ProbInterval::Exact(0.0));
   ins_.batch_size->Observe(static_cast<double>(n));
 
   // Sequential pass: constants and memo hits; collect the rest. The
   // cache maps are touched on this thread only.
   const bool memoizable = Memoizable();
+  const std::uint64_t tag = BudgetTag();
   std::vector<std::size_t> misses;
   std::vector<ConditionFingerprint> fingerprints(n);
   for (std::size_t i = 0; i < n; ++i) {
     const Condition& cond = *conditions[i];
     if (cond.IsTrue()) {
-      probabilities[i] = 1.0;
+      intervals[i] = ProbInterval::Exact(1.0);
       continue;
     }
     if (cond.IsFalse()) continue;
     fingerprints[i] = cond.Fingerprint();
     if (memoizable) {
       const auto it = cache_.find(fingerprints[i]);
-      if (it != cache_.end() && it->second.stamp == DistStamp(cond)) {
+      if (it != cache_.end() &&
+          it->second.stamp == (DistStamp(cond) ^ tag)) {
         ins_.cache_hits->Increment();
-        probabilities[i] = it->second.probability;
+        intervals[i] = it->second.interval;
         continue;
       }
       ins_.cache_misses->Increment();
@@ -327,28 +475,31 @@ Result<std::vector<double>> ProbabilityEvaluator::EvaluateBatch(
   ins_.batch_misses->Observe(static_cast<double>(misses.size()));
 
   // Parallel pass: each miss is an independent model-counting call that
-  // only reads dists_. Results land in per-index slots, ADPLL counters
-  // in per-lane accumulators, and sampling draws come from
-  // per-condition generators — so any lane count computes the same
+  // only reads dists_. Results land in per-index slots, ADPLL and
+  // governor counters in per-lane accumulators, and sampling draws come
+  // from per-condition generators — so any lane count computes the same
   // numbers.
   const std::size_t lanes = pool_ == nullptr ? 1 : pool_->size();
   std::vector<AdpllStats> lane_stats(std::max<std::size_t>(lanes, 1));
+  std::vector<GovernorTally> lane_tallies(lane_stats.size());
   std::vector<Status> errors(misses.size(), Status::OK());
   const auto evaluate_one = [this, &conditions, &fingerprints, &misses,
-                             &probabilities, &errors,
-                             &lane_stats](std::size_t lane,
-                                          std::size_t m) {
+                             &intervals, &errors, &lane_stats,
+                             &lane_tallies](std::size_t lane,
+                                            std::size_t m) {
     const std::size_t i = misses[m];
     Rng rng = ConditionRng(fingerprints[i]);
-    Result<double> p = Compute(*conditions[i], rng, &lane_stats[lane]);
+    Result<ProbInterval> p = ComputeInterval(
+        *conditions[i], rng, &lane_stats[lane], &lane_tallies[lane]);
     if (p.ok()) {
-      probabilities[i] = p.value();
+      intervals[i] = p.value();
     } else {
       errors[m] = p.status();
     }
   };
+  Status pool_status = Status::OK();
   if (pool_ != nullptr && misses.size() > 1) {
-    pool_->ParallelFor(misses.size(), evaluate_one);
+    pool_status = pool_->ParallelFor(misses.size(), evaluate_one);
   } else {
     for (std::size_t m = 0; m < misses.size(); ++m) evaluate_one(0, m);
   }
@@ -358,15 +509,19 @@ Result<std::vector<double>> ProbabilityEvaluator::EvaluateBatch(
   AdpllStats merged;
   for (const AdpllStats& stats : lane_stats) merged += stats;
   AddAdpllStats(merged);
+  GovernorTally tally;
+  for (const GovernorTally& t : lane_tallies) tally += t;
+  AddSolverTally(tally);
+  BAYESCROWD_RETURN_NOT_OK(pool_status);
   for (const Status& status : errors) {
     BAYESCROWD_RETURN_NOT_OK(status);
   }
   if (memoizable) {
     for (const std::size_t i : misses) {
-      Insert(fingerprints[i], *conditions[i], probabilities[i]);
+      Insert(fingerprints[i], *conditions[i], intervals[i]);
     }
   }
-  return probabilities;
+  return intervals;
 }
 
 Result<std::vector<double>> ProbabilityEvaluator::EvaluateAll(
@@ -377,6 +532,16 @@ Result<std::vector<double>> ProbabilityEvaluator::EvaluateAll(
     conditions.push_back(&ctable.condition(id));
   }
   return EvaluateBatch(conditions);
+}
+
+Result<std::vector<ProbInterval>> ProbabilityEvaluator::EvaluateAllIntervals(
+    const CTable& ctable, const std::vector<std::size_t>& ids) {
+  std::vector<const Condition*> conditions;
+  conditions.reserve(ids.size());
+  for (const std::size_t id : ids) {
+    conditions.push_back(&ctable.condition(id));
+  }
+  return EvaluateBatchIntervals(conditions);
 }
 
 }  // namespace bayescrowd

@@ -34,6 +34,8 @@
 #include "obs/metrics.h"
 #include "probability/adpll.h"
 #include "probability/distributions.h"
+#include "probability/governor.h"
+#include "probability/interval.h"
 #include "probability/naive.h"
 #include "probability/sampling.h"
 
@@ -64,7 +66,19 @@ struct ProbabilityOptions {
   /// Memoize Pr(φ) per condition fingerprint (exact methods only;
   /// sampled estimates are never cached). Disable for ablations.
   bool memoize = true;
+
+  /// Resource budgets + degradation ladder for every evaluation (see
+  /// governor.h). Inert by default: all solver paths then behave
+  /// byte-identically to a build without the governor. When enabled it
+  /// supersedes `sampling_fallback` for the governed methods — the
+  /// ladder's sampling tier plays that role with an explicit grade.
+  GovernorOptions governor;
 };
+
+/// Current on-disk format of SerializeMemoState blobs. Format 1 (point
+/// probabilities, pre-governor) is still readable; pass the version
+/// recorded alongside the blob to RestoreMemoState.
+inline constexpr std::uint32_t kMemoStateFormat = 2;
 
 /// Cumulative memo-cache counters (never reset by the evaluator; take
 /// before/after snapshots for per-phase rates).
@@ -103,8 +117,14 @@ class ProbabilityEvaluator {
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
-  /// Pr(φ) by the configured method (memoized).
+  /// Pr(φ) by the configured method (memoized). With a governor
+  /// enabled this is the midpoint of ProbabilityInterval().
   Result<double> Probability(const Condition& condition);
+
+  /// Governed Pr(φ): exact when the budget suffices (lo == hi), a
+  /// graded interval otherwise. With the governor inert the result is
+  /// always kExact and numerically identical to Probability().
+  Result<ProbInterval> ProbabilityInterval(const Condition& condition);
 
   /// Pr(φ) for a batch of conditions, fanned across the thread pool.
   /// results[i] corresponds to conditions[i]; decided conditions cost
@@ -112,9 +132,20 @@ class ProbabilityEvaluator {
   Result<std::vector<double>> EvaluateBatch(
       const std::vector<const Condition*>& conditions);
 
+  /// Interval-valued batch evaluation (the governed primitive the
+  /// double-valued APIs delegate to). Deterministic for any pool size:
+  /// per-index result slots, per-lane stat tallies, per-condition
+  /// sampling streams.
+  Result<std::vector<ProbInterval>> EvaluateBatchIntervals(
+      const std::vector<const Condition*>& conditions);
+
   /// Pr(φ(o)) for every object id in `ids` (batch over a c-table).
   Result<std::vector<double>> EvaluateAll(const CTable& ctable,
                                           const std::vector<std::size_t>& ids);
+
+  /// Interval-valued EvaluateAll.
+  Result<std::vector<ProbInterval>> EvaluateAllIntervals(
+      const CTable& ctable, const std::vector<std::size_t>& ids);
 
   /// Pr(e) of one expression.
   Result<double> Probability(const Expression& expression) const {
@@ -138,6 +169,10 @@ class ProbabilityEvaluator {
   EvaluatorCacheStats cache_stats() const;
   AdpllStats adpll_stats() const;
 
+  /// Governor counters ("solver.*"), read back the same way. All zero
+  /// while the governor is inert.
+  GovernorTally solver_stats() const;
+
   /// Points the evaluator's instruments ("evaluator.cache.*",
   /// "adpll.*", "evaluator.batch.*") at `registry`. nullptr (the
   /// constructor default) binds a private registry, so fresh evaluators
@@ -155,12 +190,15 @@ class ProbabilityEvaluator {
 
   /// Restores state written by SerializeMemoState. Call after the
   /// post-resume SetDistribution pass: the imported epochs overwrite the
-  /// setup-time ones, keeping the saved stamps valid.
-  Status RestoreMemoState(BinReader* reader);
+  /// setup-time ones, keeping the saved stamps valid. `format` selects
+  /// the blob layout: format-1 blobs (pre-governor checkpoints) load as
+  /// exact point entries.
+  Status RestoreMemoState(BinReader* reader,
+                          std::uint32_t format = kMemoStateFormat);
 
  private:
   struct CacheEntry {
-    double probability = 0.0;
+    ProbInterval interval;    // Exact entries have lo == hi.
     std::uint64_t stamp = 0;  // Distribution-epoch stamp at insertion.
   };
 
@@ -168,6 +206,12 @@ class ProbabilityEvaluator {
   /// variable occurrence in `condition`; changes whenever any mentioned
   /// variable's distribution is replaced.
   std::uint64_t DistStamp(const Condition& condition) const;
+
+  /// Budget-tier component of cache stamps: entries computed under one
+  /// governor configuration never satisfy lookups under another (a
+  /// low-budget interval must not be served where a higher-budget
+  /// exact value was asked for). 0 — the v1 stamp — when inert.
+  std::uint64_t BudgetTag() const { return options_.governor.Fingerprint(); }
 
   bool Memoizable() const {
     return options_.memoize &&
@@ -181,14 +225,24 @@ class ProbabilityEvaluator {
   Result<double> Compute(const Condition& condition, Rng& rng,
                          AdpllStats* stats);
 
+  /// One uncached *governed* evaluation: dispatches to Compute when the
+  /// governor is inert (grading the result kExact), otherwise walks the
+  /// degradation ladder. `tally` receives the governor counters.
+  Result<ProbInterval> ComputeInterval(const Condition& condition, Rng& rng,
+                                       AdpllStats* stats,
+                                       GovernorTally* tally);
+
   /// Deterministic per-condition sampling stream.
   Rng ConditionRng(const ConditionFingerprint& fingerprint) const;
 
   void Insert(const ConditionFingerprint& fingerprint,
-              const Condition& condition, double probability);
+              const Condition& condition, const ProbInterval& interval);
 
   /// Folds one (per-call or per-lane) ADPLL tally into the counters.
   void AddAdpllStats(const AdpllStats& stats);
+
+  /// Same for the governor counters.
+  void AddSolverTally(const GovernorTally& tally);
 
   ProbabilityOptions options_;
   DistributionMap dists_;
@@ -219,6 +273,12 @@ class ProbabilityEvaluator {
     obs::Counter* adpll_direct_evals = nullptr;
     obs::Counter* adpll_component_splits = nullptr;
     obs::Counter* adpll_star_evals = nullptr;
+    obs::Counter* solver_budget_exhausted = nullptr;
+    obs::Counter* solver_deadline_hits = nullptr;
+    obs::Counter* solver_tier_exact = nullptr;
+    obs::Counter* solver_tier_partial = nullptr;
+    obs::Counter* solver_tier_sampled = nullptr;
+    obs::Counter* solver_tier_unknown = nullptr;
     obs::Histogram* batch_size = nullptr;
     obs::Histogram* batch_misses = nullptr;
   } ins_;

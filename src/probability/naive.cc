@@ -1,5 +1,6 @@
 #include "probability/naive.h"
 
+#include <algorithm>
 #include <map>
 
 #include "common/string_util.h"
@@ -27,15 +28,32 @@ bool EvaluateConditionComplete(
   return true;
 }
 
-Result<double> NaiveProbability(const Condition& condition,
-                                const DistributionMap& dists,
-                                const NaiveOptions& options) {
-  if (condition.IsTrue()) return 1.0;
-  if (condition.IsFalse()) return 0.0;
+namespace {
 
+// Shared enumeration core. Scans up to `max_steps` assignments (also
+// stopping on `control`), accumulating the satisfied and the visited
+// probability mass. Returns the number of assignments visited; a full
+// scan visited `space` of them.
+struct ScanResult {
+  double satisfied_mass = 0.0;
+  double visited_mass = 0.0;
+  std::uint64_t visited = 0;
+  std::uint64_t space = 0;
+};
+
+// When `bail_if_space_exceeds` is nonzero and the assignment space is
+// larger, returns without scanning (visited == 0) so callers that treat
+// oversize spaces as a hard error pay nothing for the discovery.
+Result<ScanResult> ScanAssignments(const Condition& condition,
+                                   const DistributionMap& dists,
+                                   std::uint64_t max_steps,
+                                   SolverControl* control,
+                                   std::uint64_t bail_if_space_exceeds = 0) {
+  ScanResult out;
   const std::vector<CellRef> vars = condition.Variables();
   std::vector<const std::vector<double>*> var_dists(vars.size());
   std::uint64_t space = 1;
+  bool overflow = false;
   for (std::size_t i = 0; i < vars.size(); ++i) {
     var_dists[i] = dists.Find(vars[i]);
     if (var_dists[i] == nullptr) {
@@ -44,12 +62,12 @@ Result<double> NaiveProbability(const Condition& condition,
                     vars[i].attribute));
     }
     const auto card = static_cast<std::uint64_t>(var_dists[i]->size());
-    if (space > options.max_assignments / card) {
-      return Status::ResourceExhausted(StrFormat(
-          "assignment space exceeds limit of %llu",
-          static_cast<unsigned long long>(options.max_assignments)));
-    }
-    space *= card;
+    if (space > UINT64_MAX / card) overflow = true;
+    if (!overflow) space *= card;
+  }
+  out.space = overflow ? UINT64_MAX : space;
+  if (bail_if_space_exceeds != 0 && out.space > bail_if_space_exceeds) {
+    return out;
   }
 
   // Odometer over assignments.
@@ -60,15 +78,20 @@ Result<double> NaiveProbability(const Condition& condition,
     return assignment[var_index.at(var)];
   };
 
-  double total = 0.0;
-  for (std::uint64_t step = 0; step < space; ++step) {
+  const std::uint64_t steps = std::min(out.space, max_steps);
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    if (control != nullptr && control->ShouldStop()) break;
     double weight = 1.0;
     for (std::size_t i = 0; i < vars.size(); ++i) {
       weight *= (*var_dists[i])[static_cast<std::size_t>(assignment[i])];
     }
-    if (weight > 0.0 && EvaluateConditionComplete(condition, value_of)) {
-      total += weight;
+    if (weight > 0.0) {
+      out.visited_mass += weight;
+      if (EvaluateConditionComplete(condition, value_of)) {
+        out.satisfied_mass += weight;
+      }
     }
+    ++out.visited;
     // Advance the odometer.
     for (std::size_t i = 0; i < vars.size(); ++i) {
       if (++assignment[i] <
@@ -78,7 +101,54 @@ Result<double> NaiveProbability(const Condition& condition,
       assignment[i] = 0;
     }
   }
-  return total;
+  return out;
+}
+
+}  // namespace
+
+Result<double> NaiveProbability(const Condition& condition,
+                                const DistributionMap& dists,
+                                const NaiveOptions& options) {
+  if (condition.IsTrue()) return 1.0;
+  if (condition.IsFalse()) return 0.0;
+
+  BAYESCROWD_ASSIGN_OR_RETURN(
+      const ScanResult scan,
+      ScanAssignments(condition, dists, options.max_assignments,
+                      options.control,
+                      /*bail_if_space_exceeds=*/options.max_assignments));
+  if (scan.space > options.max_assignments) {
+    return Status::ResourceExhausted(StrFormat(
+        "assignment space exceeds limit of %llu",
+        static_cast<unsigned long long>(options.max_assignments)));
+  }
+  if (scan.visited < scan.space) {
+    return Status::ResourceExhausted("naive enumeration cancelled");
+  }
+  return scan.satisfied_mass;
+}
+
+Result<ProbInterval> NaiveBoundedProbability(const Condition& condition,
+                                             const DistributionMap& dists,
+                                             const NaiveOptions& options) {
+  if (condition.IsTrue()) return ProbInterval::Exact(1.0);
+  if (condition.IsFalse()) return ProbInterval::Exact(0.0);
+
+  BAYESCROWD_ASSIGN_OR_RETURN(
+      const ScanResult scan,
+      ScanAssignments(condition, dists, options.max_assignments,
+                      options.control));
+  if (scan.visited >= scan.space) {
+    return ProbInterval::Exact(scan.satisfied_mass);
+  }
+  // Unvisited assignments may all satisfy (hi) or all fail (lo).
+  ProbInterval out;
+  out.lo = std::min(1.0, std::max(0.0, scan.satisfied_mass));
+  out.hi = std::min(
+      1.0, std::max(out.lo, scan.satisfied_mass +
+                                std::max(0.0, 1.0 - scan.visited_mass)));
+  out.quality = ProbQuality::kPartialBound;
+  return out;
 }
 
 }  // namespace bayescrowd

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "ctable/condition.h"
 #include "probability/distributions.h"
+#include "probability/interval.h"
 
 namespace bayescrowd {
 
@@ -16,6 +17,10 @@ struct NaiveOptions {
   /// Enumeration is aborted with ResourceExhausted beyond this many
   /// assignments (the space is N^(#vars)).
   std::uint64_t max_assignments = 200'000'000;
+
+  /// Cooperative cancellation, polled inside the odometer loop.
+  /// Non-owning; may be null. Aborts with ResourceExhausted.
+  SolverControl* control = nullptr;
 };
 
 /// Pr(φ) by summing the probabilities of all satisfying assignments.
@@ -23,6 +28,14 @@ struct NaiveOptions {
 Result<double> NaiveProbability(const Condition& condition,
                                 const DistributionMap& dists,
                                 const NaiveOptions& options = {});
+
+/// Anytime variant: enumerates at most `max_assignments` assignments
+/// (and honors `control`) and closes the unvisited mass into a sound
+/// interval: lo = satisfied mass seen, hi = 1 − unsatisfied mass seen.
+/// Completing the scan yields an exact result (quality kExact).
+Result<ProbInterval> NaiveBoundedProbability(const Condition& condition,
+                                             const DistributionMap& dists,
+                                             const NaiveOptions& options = {});
 
 /// Truth of `condition` under a full assignment of its variables.
 /// Exposed for tests and for the sampling estimator.

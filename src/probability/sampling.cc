@@ -1,5 +1,7 @@
 #include "probability/sampling.h"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "common/string_util.h"
@@ -61,6 +63,9 @@ Result<double> SampledProbability(const Condition& condition,
 
   std::size_t hits = 0;
   for (std::size_t s = 0; s < options.num_samples; ++s) {
+    if (options.control != nullptr && options.control->ShouldStop()) {
+      return Status::ResourceExhausted("sampling cancelled");
+    }
     for (std::size_t i = 0; i < vars.size(); ++i) {
       assignment[i] = SampleFrom(*var_dists[i], rng);
     }
@@ -138,6 +143,9 @@ Result<double> SampledProbabilityRaoBlackwell(const Condition& condition,
 
   double total = 0.0;
   for (std::size_t s = 0; s < options.num_samples; ++s) {
+    if (options.control != nullptr && options.control->ShouldStop()) {
+      return Status::ResourceExhausted("sampling cancelled");
+    }
     for (std::size_t i = 0; i < vars.size(); ++i) {
       if (sampled[i]) assignment[i] = SampleFrom(*var_dists[i], rng);
     }
@@ -171,6 +179,26 @@ Result<double> SampledProbabilityRaoBlackwell(const Condition& condition,
     total += p_held;
   }
   return total / static_cast<double>(options.num_samples);
+}
+
+Result<ProbInterval> SampledProbabilityInterval(const Condition& condition,
+                                                const DistributionMap& dists,
+                                                const SamplingOptions& options,
+                                                double confidence_z,
+                                                Rng& rng) {
+  if (condition.IsTrue()) return ProbInterval::Exact(1.0);
+  if (condition.IsFalse()) return ProbInterval::Exact(0.0);
+  BAYESCROWD_ASSIGN_OR_RETURN(
+      const double estimate,
+      SampledProbability(condition, dists, options, rng));
+  const double n = static_cast<double>(options.num_samples);
+  const double half =
+      confidence_z * std::sqrt(estimate * (1.0 - estimate) / n) + 0.5 / n;
+  ProbInterval out;
+  out.lo = std::max(0.0, estimate - half);
+  out.hi = std::min(1.0, estimate + half);
+  out.quality = ProbQuality::kSampledCI;
+  return out;
 }
 
 }  // namespace bayescrowd

@@ -1,0 +1,136 @@
+// Adversarial c-table conditions for the solver-governor tests:
+// instances built so ADPLL's shortcuts (star fast path, component
+// decomposition, per-conjunct independence) all fail and budgets bite
+// at test-sized inputs, while the exact probability stays known in
+// closed form so soundness can be asserted without trusting a solver.
+//
+// Shared by governor_test.cc and differential_test.cc; header-only so
+// the test binaries stay one-translation-unit each.
+
+#ifndef BAYESCROWD_TESTS_ADVERSARIAL_CTABLES_H_
+#define BAYESCROWD_TESTS_ADVERSARIAL_CTABLES_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "ctable/condition.h"
+#include "ctable/expression.h"
+#include "probability/distributions.h"
+
+namespace bayescrowd {
+
+/// One hostile condition plus the distributions of every variable it
+/// mentions, and the closed-form exact probability for assertions.
+struct AdversarialInstance {
+  Condition condition;
+  DistributionMap dists;
+  double exact_probability = 0.0;
+};
+
+/// Strictly-increasing chain v_0 < v_1 < ... < v_depth over iid uniform
+/// variables: conjunct i is the single expression (v_i < v_{i+1}), so
+/// adjacent conjuncts share a variable. The variable-sharing graph is
+/// one path — component decomposition finds a single component — and
+/// every interior variable occurs twice, so the star fast path's hub
+/// spans levels^(depth-1) joint values. Branching substitutes one hub
+/// variable per level, so the hub must stay oversized even after a
+/// substitution: pick sizes with levels^(depth-2) >
+/// AdpllOptions::max_hub_space (4096 by default, e.g. depth 7 with
+/// levels 6) and ADPLL has to branch variable by variable, call by
+/// call — exactly what a node budget meters.
+///
+/// Exact: P(U_0 < ... < U_depth) = C(levels, depth+1) / levels^(depth+1)
+/// (choose the depth+1 distinct values; exactly one ordering works).
+inline AdversarialInstance MakeDeepChainInstance(std::size_t depth,
+                                                 Level levels) {
+  assert(depth >= 1);
+  assert(levels >= 2);
+  AdversarialInstance out;
+  std::vector<Conjunct> conjuncts;
+  conjuncts.reserve(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    const CellRef lhs{i, 0};
+    const CellRef rhs{i + 1, 0};
+    conjuncts.push_back({Expression::VarVar(lhs, CmpOp::kLess, rhs)});
+  }
+  out.condition = Condition::Cnf(std::move(conjuncts));
+  const std::vector<double> uniform(
+      static_cast<std::size_t>(levels),
+      1.0 / static_cast<double>(levels));
+  for (std::size_t i = 0; i <= depth; ++i) {
+    BAYESCROWD_CHECK_OK(out.dists.Set(CellRef{i, 0}, uniform));
+  }
+  // C(levels, depth+1) / levels^(depth+1), accumulated factor by factor
+  // to stay in floating range.
+  double p = 1.0;
+  for (std::size_t k = 0; k <= depth; ++k) {
+    p *= static_cast<double>(levels - k) /
+         (static_cast<double>(levels) * static_cast<double>(k + 1));
+  }
+  out.exact_probability = p;
+  return out;
+}
+
+/// One *wide correlated conjunct*: a single disjunction chaining
+/// span+1 variables, (x_0 > x_1 | x_1 > x_2 | ... | x_{span-1} > x_span).
+/// Its expressions share variables pairwise, so ADPLL cannot integrate
+/// them independently ("direct eval" requires a variable-disjoint
+/// conjunct) and falls back to enumerating the conjunct's joint
+/// assignment space of levels^(span+1) values — the per-conjunct
+/// enumeration a node budget clamps via max_conjunct_assignments. The
+/// star hub (interior variables) spans levels^(span-1) values, so the
+/// same sizing rule as the chain defeats the fast path.
+///
+/// Exact: the complement is one weakly-increasing chain,
+/// P = 1 − C(levels+span, span+1) / levels^(span+1) (multisets of
+/// size span+1 over `levels` values, one nondecreasing order each).
+inline AdversarialInstance MakeWideChainConjunctInstance(std::size_t span,
+                                                         Level levels) {
+  assert(span >= 1);
+  assert(levels >= 2);
+  AdversarialInstance out;
+  Conjunct disjunction;
+  disjunction.reserve(span);
+  const std::vector<double> uniform(
+      static_cast<std::size_t>(levels),
+      1.0 / static_cast<double>(levels));
+  for (std::size_t i = 0; i <= span; ++i) {
+    BAYESCROWD_CHECK_OK(out.dists.Set(CellRef{i, 0}, uniform));
+  }
+  for (std::size_t i = 0; i < span; ++i) {
+    disjunction.push_back(Expression::VarVar(
+        CellRef{i, 0}, CmpOp::kGreater, CellRef{i + 1, 0}));
+  }
+  out.condition = Condition::Cnf({std::move(disjunction)});
+  // C(levels+span, span+1) / levels^(span+1), factor by factor.
+  double complement = 1.0;
+  for (std::size_t k = 0; k <= span; ++k) {
+    complement *= (static_cast<double>(levels) + static_cast<double>(span) -
+                   static_cast<double>(k)) /
+                  (static_cast<double>(levels) *
+                   static_cast<double>(span + 1 - k));
+  }
+  out.exact_probability = 1.0 - complement;
+  return out;
+}
+
+/// Random hostile instance for differential sweeps: alternates between
+/// the two families with size parameters drawn from `rng`.
+inline AdversarialInstance MakeRandomAdversarialInstance(Rng& rng) {
+  // Sizes chosen so the star hub always exceeds the default 4096-value
+  // cap (budgets bite) while full Naive enumeration stays feasible for
+  // the differential reference (levels^(vars) <= 6^8).
+  if (rng.NextBool(0.5)) {
+    return MakeDeepChainInstance(/*depth=*/7, /*levels=*/6);
+  }
+  const std::size_t span = static_cast<std::size_t>(rng.NextInt(6, 7));
+  return MakeWideChainConjunctInstance(span, /*levels=*/6);
+}
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_TESTS_ADVERSARIAL_CTABLES_H_

@@ -103,6 +103,21 @@ SessionState MakeGoldenState() {
   state.answer_log_offset = 7;
   state.network_blob = "bayesnet v1\n";
   state.config_fingerprint = 0x1234abcd5678ef90ULL;
+
+  // v2 fields: one open and one counting breaker, ascending object id.
+  SolverBreakerRecord open_breaker;
+  open_breaker.object = 2;
+  open_breaker.fingerprint = {0xfeedbeefULL, 0x12345678ULL};
+  open_breaker.consecutive = 3;
+  open_breaker.open = true;
+  open_breaker.last = ProbInterval{0.25, 0.75, ProbQuality::kPartialBound};
+  SolverBreakerRecord counting_breaker;
+  counting_breaker.object = 5;
+  counting_breaker.fingerprint = {0x1ULL, 0x2ULL};
+  counting_breaker.consecutive = 1;
+  counting_breaker.open = false;
+  counting_breaker.last = ProbInterval::Exact(0.5);
+  state.solver_breakers = {open_breaker, counting_breaker};
   return state;
 }
 
@@ -340,13 +355,56 @@ TEST(CheckpointStoreTest, TornTmpWritePromotedByRenameFallsBack) {
 }
 
 // ------------------------------------------------------------------- //
-// Golden fixture: a v1 checkpoint committed to the repo. HEAD must load
-// it forever (or bump kCheckpointVersion and keep a migration path).
-// Regenerate with: BC_REGEN_GOLDEN=1 ./checkpoint_test
+// Golden fixtures. golden_v1.ckpt is a frozen pre-governor checkpoint:
+// HEAD must load it forever through the versioned path (it cannot be
+// regenerated — no v1 writer exists anymore). golden_v2.ckpt matches
+// today's writer byte-for-byte; regenerate with:
+//   BC_REGEN_GOLDEN=1 ./checkpoint_test
 // ------------------------------------------------------------------- //
 
 TEST(GoldenV1FixtureTest, CommittedFixtureLoadsOnHead) {
   const std::string path = std::string(BC_TESTDATA_DIR) + "/golden_v1.ckpt";
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_FALSE(bytes.empty()) << "missing fixture " << path;
+
+  std::uint32_t version = 0;
+  const auto payload = UnwrapCheckpoint(bytes, &version);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(version, 1u);
+  BinReader reader(payload.value());
+  SessionState restored;
+  ASSERT_TRUE(
+      DeserializeSessionState(&reader, &restored, version).ok());
+
+  // A v1 payload loads with the governor-era fields defaulted: no
+  // breaker records, and the evaluator blob marked as the format-1
+  // (point-probability) layout so RestoreMemoState parses it right.
+  EXPECT_TRUE(restored.solver_breakers.empty());
+  EXPECT_EQ(restored.evaluator_blob_format, 1u);
+
+  const SessionState expected = MakeGoldenState();
+  EXPECT_EQ(restored.rounds, 3u);
+  EXPECT_EQ(restored.budget_left, expected.budget_left);
+  EXPECT_EQ(restored.answer_log_offset, 7u);
+  EXPECT_EQ(restored.config_fingerprint, 0x1234abcd5678ef90ULL);
+  ASSERT_EQ(restored.conditions.size(), 3u);
+  EXPECT_TRUE(restored.conditions[0].IsTrue());
+  EXPECT_FALSE(restored.conditions[2].IsDecided());
+  EXPECT_EQ(restored.knowledge_blob, expected.knowledge_blob);
+  EXPECT_EQ(restored.evaluator_blob, expected.evaluator_blob);
+  ASSERT_EQ(restored.round_logs.size(), 1u);
+  EXPECT_EQ(restored.round_logs[0].cache_hits, 17u);
+
+  // And a v1 state re-serialized today round-trips as v2.
+  const std::string reserialized = SerializeState(restored);
+  BinReader again(reserialized);
+  SessionState v2;
+  ASSERT_TRUE(DeserializeSessionState(&again, &v2).ok());
+  EXPECT_EQ(SerializeState(v2), reserialized);
+}
+
+TEST(GoldenV2FixtureTest, CommittedFixtureMatchesHeadBytes) {
+  const std::string path = std::string(BC_TESTDATA_DIR) + "/golden_v2.ckpt";
   const SessionState expected = MakeGoldenState();
   if (std::getenv("BC_REGEN_GOLDEN") != nullptr) {
     WriteFileBytes(path, WrapCheckpoint(SerializeState(expected)));
@@ -354,20 +412,40 @@ TEST(GoldenV1FixtureTest, CommittedFixtureLoadsOnHead) {
   const std::string bytes = ReadFileBytes(path);
   ASSERT_FALSE(bytes.empty()) << "missing fixture " << path;
 
-  const auto payload = UnwrapCheckpoint(bytes);
+  std::uint32_t version = 0;
+  const auto payload = UnwrapCheckpoint(bytes, &version);
   ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(version, kCheckpointVersion);
   BinReader reader(payload.value());
   SessionState restored;
-  ASSERT_TRUE(DeserializeSessionState(&reader, &restored).ok());
+  ASSERT_TRUE(
+      DeserializeSessionState(&reader, &restored, version).ok());
 
   // The fixture must match today's serialization of the same state
-  // byte-for-byte — any drift means v1 files no longer parse as v1.
+  // byte-for-byte — any drift means v2 files no longer parse as v2.
   EXPECT_EQ(payload.value(), SerializeState(expected));
-  EXPECT_EQ(restored.rounds, 3u);
-  EXPECT_EQ(restored.answer_log_offset, 7u);
-  EXPECT_EQ(restored.config_fingerprint, 0x1234abcd5678ef90ULL);
-  ASSERT_EQ(restored.conditions.size(), 3u);
-  EXPECT_FALSE(restored.conditions[2].IsDecided());
+  ASSERT_EQ(restored.solver_breakers.size(), 2u);
+  EXPECT_EQ(restored.solver_breakers[0].object, 2u);
+  EXPECT_TRUE(restored.solver_breakers[0].open);
+  EXPECT_EQ(restored.solver_breakers[0].last.quality,
+            ProbQuality::kPartialBound);
+  EXPECT_EQ(restored.solver_breakers[1].object, 5u);
+  EXPECT_FALSE(restored.solver_breakers[1].open);
+  EXPECT_EQ(restored.evaluator_blob_format, kMemoStateFormat);
+}
+
+TEST(CheckpointEnvelopeTest, AcceptsOlderVersionRejectsZero) {
+  // Re-stamp a fresh envelope as v1: the CRC covers only the payload,
+  // so the version byte may be edited in place.
+  std::string wrapped = WrapCheckpoint("payload");
+  wrapped[4] = 1;
+  std::uint32_t version = 0;
+  ASSERT_TRUE(UnwrapCheckpoint(wrapped, &version).ok());
+  EXPECT_EQ(version, 1u);
+  wrapped[4] = 0;
+  const auto zero = UnwrapCheckpoint(wrapped);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_TRUE(zero.status().IsInvalidArgument()) << zero.status().ToString();
 }
 
 // ------------------------------------------------------------------- //

@@ -13,8 +13,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "adversarial_ctables.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "probability/governor.h"
+#include "probability/interval.h"
 #include "ctable/builder.h"
 #include "ctable/ctable.h"
 #include "data/generators.h"
@@ -175,6 +178,60 @@ TEST(DifferentialTest, AdpllBitIdenticalAcrossThreadsAndCache) {
               << "seed " << seed << " threads " << threads << " cache "
               << memoize;
         }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ //
+// Adversarial sweep: the governed ladder vs. the Naive ground truth
+// ------------------------------------------------------------------ //
+
+// On instances engineered to defeat every ADPLL shortcut (see
+// adversarial_ctables.h), a governed solve must (a) terminate inside
+// its node budget instead of walking the full levels^vars space, and
+// (b) return a sound interval containing the independently-enumerated
+// Naive probability. The closed form cross-checks Naive itself, so no
+// engine is trusted twice.
+TEST(DifferentialTest, GovernedLadderSoundOnAdversarialInstances) {
+  Rng sweep(0xBADC0DE);
+  for (std::size_t round = 0; round < 12; ++round) {
+    const AdversarialInstance inst = MakeRandomAdversarialInstance(sweep);
+
+    NaiveOptions naive_options;
+    naive_options.max_assignments = 10'000'000;
+    const auto truth =
+        NaiveProbability(inst.condition, inst.dists, naive_options);
+    ASSERT_TRUE(truth.ok()) << "round " << round;
+    ASSERT_NEAR(truth.value(), inst.exact_probability, 1e-9)
+        << "round " << round;
+
+    for (const std::uint64_t max_nodes : {4ull, 32ull, 1ull << 40}) {
+      GovernorOptions options;
+      options.max_nodes = max_nodes;
+      options.ladder = LadderMode::kFull;
+      const SolverGovernor governor(options);
+      Rng rng(round * 1000 + max_nodes);
+      GovernorTally tally;
+      const auto r = governor.Evaluate(inst.condition, inst.dists, {},
+                                       {}, rng, nullptr, &tally);
+      ASSERT_TRUE(r.ok()) << "round " << round << " nodes " << max_nodes;
+      // Soundness at every budget: the interval contains the truth
+      // (exact answers collapse to a point on it).
+      EXPECT_LE(r->lo, truth.value() + 1e-9)
+          << "round " << round << " nodes " << max_nodes;
+      EXPECT_GE(r->hi, truth.value() - 1e-9)
+          << "round " << round << " nodes " << max_nodes;
+      if (max_nodes == (1ull << 40)) {
+        // An effectively-unlimited budget is exact and matches Naive.
+        EXPECT_TRUE(r->exact());
+        EXPECT_EQ(tally.tier_exact, 1u);
+        EXPECT_NEAR(r->lo, truth.value(), 1e-9);
+      } else {
+        // A tiny budget must actually bite on these instances — that
+        // is what makes the sweep adversarial rather than decorative.
+        EXPECT_EQ(tally.budget_exhausted, 1u)
+            << "round " << round << " nodes " << max_nodes;
       }
     }
   }

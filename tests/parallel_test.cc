@@ -6,8 +6,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
+#include "adversarial_ctables.h"
 #include "bayesnet/imputation.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -74,6 +76,51 @@ TEST(ThreadPoolTest, SubmitWaitDrainsAllTasks) {
   pool.Submit([&done] { done.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(done.load(), 65);
+}
+
+TEST(ThreadPoolTest, ThrowingParallelForBodyBecomesStatus) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    const Status status =
+        pool.ParallelFor(64, [&ran](std::size_t, std::size_t i) {
+          ran.fetch_add(1);
+          if (i == 13) throw std::runtime_error("lane boundary test");
+        });
+    // The exception is caught at the lane boundary and surfaced as the
+    // loop's Status instead of unwinding into a worker's start
+    // function (which would std::terminate the whole process).
+    EXPECT_FALSE(status.ok()) << "threads=" << threads;
+    EXPECT_NE(status.message().find("lane boundary test"),
+              std::string::npos)
+        << status.message();
+    EXPECT_GE(ran.load(), 1);
+
+    // The pool survives and is reusable: a follow-up loop runs clean
+    // and reports OK (the recorded error does not leak forward).
+    std::atomic<int> clean{0};
+    EXPECT_TRUE(pool.ParallelFor(32, [&clean](std::size_t, std::size_t) {
+                      clean.fetch_add(1);
+                    }).ok());
+    EXPECT_EQ(clean.load(), 32);
+    EXPECT_TRUE(pool.TakeError().ok());
+  }
+}
+
+TEST(ThreadPoolTest, ThrowingSubmittedTaskSurfacesViaTakeError) {
+  ThreadPool pool(4);
+  pool.Submit([] { throw std::runtime_error("submitted failure"); });
+  pool.Wait();
+  const Status first = pool.TakeError();
+  EXPECT_FALSE(first.ok());
+  EXPECT_NE(first.message().find("submitted failure"), std::string::npos);
+  // TakeError clears: the next poll is OK, and the pool still works.
+  EXPECT_TRUE(pool.TakeError().ok());
+  std::atomic<int> done{0};
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_TRUE(pool.TakeError().ok());
 }
 
 TEST(ThreadPoolTest, ZeroResolvesToHardwareConcurrency) {
@@ -282,6 +329,81 @@ TEST(EvaluatorCacheTest, SampledMethodsBypassTheCache) {
   EXPECT_EQ(evaluator.CacheSize(), 0u);
   EXPECT_EQ(evaluator.cache_stats().hits, 0u);
   EXPECT_EQ(evaluator.cache_stats().misses, 0u);
+}
+
+// ------------------------------------------------------------------ //
+// Governed batch evaluation: budget tiers must not alias in the cache
+// ------------------------------------------------------------------ //
+
+TEST(GovernedBatchTest, LowBudgetEntriesNeverServeHigherBudgetBatches) {
+  const AdversarialInstance inst = MakeDeepChainInstance(7, 6);
+  ThreadPool pool(4);
+  ProbabilityOptions options;
+  options.governor.max_nodes = 8;
+  options.governor.ladder = LadderMode::kInterval;
+  ProbabilityEvaluator evaluator(options);
+  evaluator.distributions() = inst.dists;
+  evaluator.set_thread_pool(&pool);
+
+  const std::vector<const Condition*> batch{&inst.condition,
+                                            &inst.condition};
+  const auto degraded = evaluator.EvaluateBatchIntervals(batch);
+  ASSERT_TRUE(degraded.ok());
+  ASSERT_EQ(degraded->size(), 2u);
+  ASSERT_FALSE((*degraded)[0].exact());
+  EXPECT_TRUE(evaluator.IsCached(inst.condition));
+
+  // Disable the governor on the same evaluator: the degraded entry's
+  // budget tag no longer matches, so the batch recomputes exactly
+  // instead of serving the low-budget interval.
+  evaluator.options().governor = GovernorOptions{};
+  const auto exact = evaluator.EvaluateBatchIntervals(batch);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE((*exact)[0].exact());
+  EXPECT_NEAR((*exact)[0].lo, inst.exact_probability, 1e-9);
+
+  // Both tiers stay reproducible: re-enabling the low budget returns
+  // the original degraded interval bit-for-bit, not the exact entry.
+  evaluator.options().governor.max_nodes = 8;
+  evaluator.options().governor.ladder = LadderMode::kInterval;
+  const auto again = evaluator.EvaluateBatchIntervals(batch);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)[0].lo, (*degraded)[0].lo);
+  EXPECT_EQ((*again)[0].hi, (*degraded)[0].hi);
+  EXPECT_EQ((*again)[0].quality, (*degraded)[0].quality);
+}
+
+TEST(GovernedBatchTest, BatchIntervalsBitIdenticalAcrossPoolSizes) {
+  const AdversarialInstance chain = MakeDeepChainInstance(7, 6);
+  const AdversarialInstance wide = MakeWideChainConjunctInstance(6, 6);
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    ProbabilityOptions options;
+    options.governor.max_nodes = 8;
+    options.governor.ladder = LadderMode::kFull;  // Sampling tier too.
+    ProbabilityEvaluator evaluator(options);
+    evaluator.distributions() = chain.dists;
+    // Both instances address {object i, attribute 0} from zero, so one
+    // merged map covers the union of their variables.
+    for (std::size_t i = 0; i <= 7; ++i) {
+      BAYESCROWD_CHECK_OK(evaluator.SetDistribution(
+          CellRef{i, 0}, std::vector<double>(6, 1.0 / 6.0)));
+    }
+    evaluator.set_thread_pool(&pool);
+    const std::vector<const Condition*> batch{
+        &chain.condition, &wide.condition, &chain.condition};
+    auto r = evaluator.EvaluateBatchIntervals(batch);
+    BAYESCROWD_CHECK_OK(r.status());
+    return *r;
+  };
+  const auto one = run(1);
+  const auto eight = run(8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].lo, eight[i].lo) << i;
+    EXPECT_EQ(one[i].hi, eight[i].hi) << i;
+    EXPECT_EQ(one[i].quality, eight[i].quality) << i;
+  }
 }
 
 }  // namespace

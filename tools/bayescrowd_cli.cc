@@ -37,6 +37,7 @@
 #include "core/telemetry.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/normalize.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "crowd/fault_injection.h"
@@ -105,9 +106,14 @@ int Usage() {
       "           [--max-retries N] [--round-deadline D]\n"
       "           [--checkpoint-dir D] [--checkpoint-every N]\n"
       "           [--keep-checkpoints N] [--resume]\n"
+      "           [--solver-node-budget N] [--solver-component-budget N]\n"
+      "           [--solver-deadline-ms N]\n"
+      "           [--solver-ladder full|interval|sample|strict]\n"
+      "           [--breaker-threshold N] [--pessimistic]\n"
       "           [--verbose]\n"
       "           [--metrics-out F] [--trace-out F] [--telemetry-out F]\n"
       "  jsoncheck --in F\n"
+      "  normalize --in F [--out F] [--strip-lanes] [--strip-resume]\n"
       "  (pause/resume: run --interactive --record log --tasks-per-round K,\n"
       "   stop anytime; rerun with --replay-from log and the same K and\n"
       "   data to continue where you left off)\n"
@@ -123,6 +129,19 @@ int Usage() {
       "  a kill, rerun the same command with --resume to continue from\n"
       "  the newest intact snapshot (corrupt ones fall back a\n"
       "  generation; the answer-log tail replays on top)\n"
+      "  --solver-node-budget / --solver-component-budget: deterministic\n"
+      "  per-evaluation ADPLL budgets; on exhaustion the solver walks the\n"
+      "  --solver-ladder (full: partial bound, then sampling; interval:\n"
+      "  stop at the sound bound; sample: jump straight to sampling;\n"
+      "  strict: fail the run). --solver-deadline-ms adds a wall-clock\n"
+      "  cap that only degrades, never changes exact answers.\n"
+      "  --breaker-threshold: open a per-object circuit breaker after\n"
+      "  this many consecutive degraded solves (0 disables);\n"
+      "  --pessimistic ranks on the most-uncertain point of each\n"
+      "  interval instead of its midpoint\n"
+      "  normalize: strip machine-dependent fields (wall-clock times,\n"
+      "  deadline hits; optionally lane usage and resume markers) from a\n"
+      "  telemetry/metrics JSON so two runs diff byte-for-byte\n"
       "  global: --log-level debug|info|warning|error|off\n"
       "  --metrics-out: counters/gauges/histograms as JSON;\n"
       "  --trace-out: Chrome trace-event JSON (chrome://tracing, Perfetto);\n"
@@ -236,6 +255,28 @@ int CmdJsonCheck(const Flags& flags) {
   return 0;
 }
 
+int CmdNormalize(const Flags& flags) {
+  const std::string in = flags.Get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "normalize needs --in <file>\n");
+    return 2;
+  }
+  const auto parsed = obs::ReadJsonFile(in);
+  if (!parsed.ok()) return Fail(parsed.status());
+  obs::NormalizeOptions norm;
+  norm.strip_lane_usage = flags.Has("strip-lanes");
+  norm.strip_resume_markers = flags.Has("strip-resume");
+  const obs::JsonValue normalized = obs::NormalizeTelemetry(*parsed, norm);
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::printf("%s\n", normalized.Dump(2).c_str());
+    return 0;
+  }
+  const Status st = obs::WriteJsonFile(normalized, out);
+  if (!st.ok()) return Fail(st);
+  return 0;
+}
+
 int CmdRun(const Flags& flags) {
   auto loaded = LoadTableCsv(flags.Get("data", ""));
   if (!loaded.ok()) return Fail(loaded.status());
@@ -319,6 +360,64 @@ int CmdRun(const Flags& flags) {
   options.threads =
       static_cast<std::size_t>(std::max(0, flags.GetInt("threads", 0)));
   if (flags.Has("no-cache")) options.probability.memoize = false;
+
+  // Resource governor. Budgets given explicitly must be meaningful:
+  // a zero or negative budget is almost certainly a typo'd attempt at
+  // "unlimited" (spelled by omitting the flag), so it is rejected
+  // instead of silently disabling the governor.
+  GovernorOptions& governor = options.probability.governor;
+  if (flags.Has("solver-node-budget")) {
+    const int nodes = flags.GetInt("solver-node-budget", 0);
+    if (nodes <= 0) {
+      std::fprintf(stderr,
+                   "--solver-node-budget must be >= 1 (omit the flag for "
+                   "unlimited)\n");
+      return 2;
+    }
+    governor.max_nodes = static_cast<std::uint64_t>(nodes);
+  }
+  if (flags.Has("solver-component-budget")) {
+    const int components = flags.GetInt("solver-component-budget", 0);
+    if (components <= 0) {
+      std::fprintf(stderr,
+                   "--solver-component-budget must be >= 1 (omit the flag "
+                   "for unlimited)\n");
+      return 2;
+    }
+    governor.max_components = static_cast<std::uint64_t>(components);
+  }
+  if (flags.Has("solver-deadline-ms")) {
+    const int deadline = flags.GetInt("solver-deadline-ms", 0);
+    if (deadline <= 0) {
+      std::fprintf(stderr,
+                   "--solver-deadline-ms must be >= 1 (omit the flag for "
+                   "no deadline)\n");
+      return 2;
+    }
+    governor.deadline_ms = deadline;
+  }
+  if (flags.Has("solver-ladder")) {
+    if (!ParseLadderMode(flags.Get("solver-ladder", ""),
+                         &governor.ladder)) {
+      std::fprintf(stderr,
+                   "unknown --solver-ladder '%s' (expected full, "
+                   "interval, sample, or strict)\n",
+                   flags.Get("solver-ladder", "").c_str());
+      return 2;
+    }
+  }
+  if (flags.Has("breaker-threshold")) {
+    const int threshold = flags.GetInt("breaker-threshold", 3);
+    if (threshold < 0) {
+      std::fprintf(stderr,
+                   "--breaker-threshold must be >= 0 (0 disables the "
+                   "breaker)\n");
+      return 2;
+    }
+    options.breaker_threshold = static_cast<std::size_t>(threshold);
+  }
+  if (flags.Has("pessimistic")) options.strategy.pessimistic = true;
+
   const std::string strategy = flags.Get("strategy", "hhs");
   if (strategy == "fbs") {
     options.strategy.kind = StrategyKind::kFbs;
@@ -406,6 +505,15 @@ int CmdRun(const Flags& flags) {
   std::unique_ptr<RecoveredSession> recovered;
   if (flags.Has("resume") && checkpoint_dir.empty()) {
     std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
+    return 2;
+  }
+  if (flags.Has("resume") && flags.Has("no-cache")) {
+    // A snapshot carries the evaluator's memoized solver state; with
+    // the cache disabled that state cannot be restored, so the resumed
+    // run would silently diverge from its uninterrupted reference.
+    std::fprintf(stderr,
+                 "--no-cache cannot be combined with --resume (snapshots "
+                 "carry memoized solver state)\n");
     return 2;
   }
   if (!checkpoint_dir.empty()) {
@@ -648,6 +756,7 @@ int Main(int argc, char** argv) {
   if (command == "ctable") return CmdCTable(flags);
   if (command == "run") return CmdRun(flags);
   if (command == "jsoncheck") return CmdJsonCheck(flags);
+  if (command == "normalize") return CmdNormalize(flags);
   return Usage();
 }
 

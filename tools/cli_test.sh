@@ -77,4 +77,62 @@ rec_b="$(extract_recovery "${WORK}/telemetry_b.json")"
 echo "${rec_a}" | grep -q '"retries"' \
   || fail "telemetry recovery block is missing retry counters"
 
+# ------------------------------------------------------------------ #
+# run: solver-governor flags validate.
+# ------------------------------------------------------------------ #
+run_base() {
+  "${CLI}" run --data "${WORK}/inj_42.csv" --truth "${WORK}/gen_42.csv" "$@"
+}
+if run_base --solver-node-budget 0 >/dev/null 2>&1; then
+  fail "run must reject --solver-node-budget 0"
+fi
+if run_base --solver-node-budget -5 >/dev/null 2>&1; then
+  fail "run must reject a negative --solver-node-budget"
+fi
+if run_base --solver-component-budget 0 >/dev/null 2>&1; then
+  fail "run must reject --solver-component-budget 0"
+fi
+if run_base --solver-deadline-ms 0 >/dev/null 2>&1; then
+  fail "run must reject --solver-deadline-ms 0"
+fi
+if run_base --solver-ladder bogus >/dev/null 2>&1; then
+  fail "run must reject an unknown --solver-ladder name"
+fi
+if run_base --breaker-threshold -1 >/dev/null 2>&1; then
+  fail "run must reject a negative --breaker-threshold"
+fi
+if run_base --no-cache --resume --checkpoint-dir "${WORK}/ck" >/dev/null 2>&1; then
+  fail "run must reject --no-cache combined with --resume"
+fi
+# Each rejection must be a one-line diagnostic (plus nothing else).
+# (The expected nonzero exit would trip set -e/pipefail unguarded.)
+lines="$( (run_base --solver-ladder bogus 2>&1 >/dev/null || true) | wc -l)"
+[ "${lines}" -eq 1 ] \
+  || fail "--solver-ladder rejection must print exactly one line, got ${lines}"
+
+# ------------------------------------------------------------------ #
+# run: a governed run is deterministic (normalized telemetry diffs
+# clean across repeats), and the solver block reports its tiers.
+# ------------------------------------------------------------------ #
+run_governed() {
+  run_base --alpha -1 --budget 12 --latency 3 \
+    --solver-node-budget 4 --solver-ladder full --breaker-threshold 2 \
+    --telemetry-out "$1" >/dev/null
+}
+run_governed "${WORK}/gov_a.json"
+run_governed "${WORK}/gov_b.json"
+"${CLI}" normalize --in "${WORK}/gov_a.json" --out "${WORK}/gov_a_norm.json"
+"${CLI}" normalize --in "${WORK}/gov_b.json" --out "${WORK}/gov_b_norm.json"
+cmp -s "${WORK}/gov_a_norm.json" "${WORK}/gov_b_norm.json" \
+  || fail "governed runs with the same budgets diverged after normalization"
+python3 - "${WORK}/gov_a_norm.json" <<'EOF' || fail "telemetry solver block malformed"
+import json, sys
+solver = json.load(open(sys.argv[1]))["payload"]["solver"]
+assert "budget_exhausted" in solver and "tier_exact" in solver
+assert solver["deadline_hits"] == 0, "normalize must zero deadline_hits"
+tiers = (solver["tier_exact"] + solver["tier_partial"]
+         + solver["tier_sampled"] + solver["tier_unknown"])
+assert tiers > 0, "governed run recorded no tiered evaluations"
+EOF
+
 echo "cli_test: all checks passed"

@@ -80,15 +80,54 @@ grep -q 'resuming from round' "$SMOKE/report_resume.txt"
 grep -q '"resumed": true' "$SMOKE/telemetry_resume.json"
 grep -q 'recovery.fallback' "$SMOKE/telemetry_resume.json"
 
+echo "== tier-1: hostile-instance governed smoke run =="
+# A resource-governed query over a dataset engineered to defeat the
+# solver's shortcuts: 16 levels and a 35% missing rate put enough
+# objects past the star fast path's hub cap that a 4-node budget
+# actually exercises the degradation ladder (thousands of exhaustions,
+# degraded objects, breaker trips) instead of passing vacuously. UBS
+# (not HHS) because it scores every eligible candidate in one batch,
+# making the solver tier tallies — not just the answers — thread-count
+# invariant; the 1-thread and 8-thread runs must then produce
+# byte-identical telemetry once lane/thread configuration noise is
+# stripped.
+"$CLI" generate --dataset corr --n 40 --d 8 --levels 16 --seed 3 \
+  --out "$SMOKE/hostile_complete.csv"
+"$CLI" inject --in "$SMOKE/hostile_complete.csv" --rate 0.35 --seed 3 \
+  --out "$SMOKE/hostile_holes.csv"
+run_governed() {
+  "$CLI" run --data "$SMOKE/hostile_holes.csv" \
+    --truth "$SMOKE/hostile_complete.csv" \
+    --strategy ubs --budget 20 --latency 4 --threads "$1" --alpha -1 \
+    --solver-node-budget 4 --solver-ladder full --breaker-threshold 2 \
+    --log-level warning \
+    --telemetry-out "$2" > "$3"
+}
+run_governed 1 "$SMOKE/telemetry_gov1.json" "$SMOKE/report_gov1.txt"
+run_governed 8 "$SMOKE/telemetry_gov8.json" "$SMOKE/report_gov8.txt"
+grep -q 'solver:' "$SMOKE/report_gov1.txt"         # Ladder reported.
+grep -q '"solver"' "$SMOKE/telemetry_gov1.json"
+python3 - "$SMOKE/telemetry_gov1.json" <<'EOF'
+import json, sys
+solver = json.load(open(sys.argv[1]))["payload"]["solver"]
+assert solver["budget_exhausted"] > 0, "hostile budget never fired"
+EOF
+"$CLI" normalize --in "$SMOKE/telemetry_gov1.json" --strip-lanes \
+  --out "$SMOKE/telemetry_gov1_norm.json"
+"$CLI" normalize --in "$SMOKE/telemetry_gov8.json" --strip-lanes \
+  --out "$SMOKE/telemetry_gov8_norm.json"
+cmp "$SMOKE/telemetry_gov1_norm.json" "$SMOKE/telemetry_gov8_norm.json"
+
 echo "== tier-1: crash-safety tests under ASan+UBSan =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" \
   -DBC_SANITIZE=address,undefined \
   -DBAYESCROWD_BUILD_BENCHMARKS=OFF \
   -DBAYESCROWD_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target checkpoint_test \
-  --target killpoint_test --target fault_test --target differential_test
+  --target killpoint_test --target fault_test --target differential_test \
+  --target governor_test
 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-  -R '(checkpoint_test|killpoint_test|fault_test|differential_test)'
+  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test)'
 
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
@@ -97,8 +136,8 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DBAYESCROWD_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
   --target obs_test --target differential_test --target fault_test \
-  --target record_replay_test
+  --target record_replay_test --target governor_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
-  -R '(parallel_test|obs_test|differential_test|fault_test|record_replay_test)'
+  -R '(parallel_test|obs_test|differential_test|fault_test|record_replay_test|governor_test)'
 
 echo "tier-1 OK"
