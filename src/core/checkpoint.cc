@@ -408,7 +408,9 @@ Status DeserializeSessionState(BinReader* reader, SessionState* out,
       }
       last_object = b.object;
     }
-    out->evaluator_blob_format = kMemoStateFormat;
+    // v2 envelopes predate compiled-circuit artifacts; their blobs are
+    // format 2 (graded intervals, no artifact appendix).
+    out->evaluator_blob_format = version == 2 ? 2 : kMemoStateFormat;
   } else {
     out->solver_breakers.clear();
     out->evaluator_blob_format = 1;  // Pre-governor point-probability blobs.

@@ -49,7 +49,8 @@ namespace bayescrowd {
 /// a misparse. Version history:
 ///   1  pre-governor sessions (point-probability memo blobs)
 ///   2  + solver circuit-breaker records, interval memo blobs
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+///   3  memo blobs carry compiled-circuit artifacts (format 3)
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Everything Run() snapshots at a round boundary. Field order here is
 /// the serialization order; extend only by bumping kCheckpointVersion.

@@ -544,6 +544,7 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     }
   }
   out.solver = evaluator.solver_stats();
+  out.compile = evaluator.compile_stats();
   out.breaker_trips = breaker_trips_counter->value();
   out.breaker_skips = breaker_skips_counter->value();
   const EvaluatorCacheStats cache_stats = evaluator.cache_stats();

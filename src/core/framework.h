@@ -261,6 +261,10 @@ struct BayesCrowdResult {
   /// Governor counters for the whole run (all zero when inert).
   GovernorTally solver;
 
+  /// Knowledge-compilation counters for the whole run (all zero when
+  /// compilation is off or the configuration is ineligible).
+  CircuitStats compile;
+
   /// Circuit-breaker activity: breakers opened, and round-loop solves
   /// skipped by an open breaker.
   std::size_t breaker_trips = 0;

@@ -39,6 +39,11 @@ obs::JsonValue OptionsJson(const BayesCrowdOptions& options) {
   governor["breaker_threshold"] = options.breaker_threshold;
   governor["pessimistic"] = options.strategy.pessimistic;
   out["governor"] = std::move(governor);
+  const CompileOptions& c = options.probability.compile;
+  obs::JsonValue compile = obs::JsonValue::Object();
+  compile["mode"] = CompileModeToString(c.mode);
+  compile["node_budget"] = c.max_nodes;
+  out["compile"] = std::move(compile);
   return out;
 }
 
@@ -138,6 +143,18 @@ obs::JsonValue RunTelemetryJson(const std::string& name,
   }
   solver["intervals"] = std::move(intervals);
   payload["solver"] = std::move(solver);
+
+  // Knowledge-compilation outcome. Every count is deterministic for a
+  // fixed configuration (builds happen on first exact solves, reuses on
+  // later memo misses, both independent of thread count).
+  obs::JsonValue compile = obs::JsonValue::Object();
+  compile["builds"] = result.compile.builds;
+  compile["fallbacks"] = result.compile.fallbacks;
+  compile["reuses"] = result.compile.reuses;
+  compile["nodes"] = result.compile.nodes;
+  compile["restored"] = result.compile.restored;
+  compile["evictions"] = result.compile.evictions;
+  payload["compile"] = std::move(compile);
 
   // Recovery totals. Simulated clocks (backoff/platform time) are
   // deterministic given the fault seed, unlike the wall-clock fields.

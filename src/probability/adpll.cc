@@ -10,30 +10,13 @@
 namespace bayescrowd {
 namespace {
 
-// One expression, compiled for hub enumeration (see StarProbability).
-struct CompiledExpr {
-  enum class Kind : std::uint8_t {
-    kConstant,    // No hub variable: fixed probability.
-    kDecided,     // Both operands hub/const: truth decided per h.
-    kTablePrime,  // One hub variable: probability = table[hub value].
-  } kind = Kind::kConstant;
-
-  double probability = 0.0;          // kConstant.
-  // kDecided: comparison of hub slots/constant.
-  int lhs_slot = -1;                 // Hub slot of lhs (-1: lhs private).
-  int rhs_slot = -1;                 // Hub slot of rhs var (-1: const/private).
-  CmpOp op = CmpOp::kGreater;
-  Level rhs_const = 0;
-  bool rhs_is_var = false;
-  std::vector<double> table;         // kTablePrime, indexed by hub value.
-};
-
 class AdpllSearch {
  public:
   AdpllSearch(const DistributionMap& dists, const AdpllOptions& options,
-              AdpllStats* stats)
+              AdpllStats* stats, AdpllScratch* scratch)
       : dists_(dists), options_(options), stats_(stats),
-        rng_(options.seed) {}
+        rng_(options.seed),
+        scratch_(scratch != nullptr ? scratch : &owned_scratch_) {}
 
   Result<double> Run(const Condition& condition) {
     return Recurse(condition);
@@ -56,8 +39,9 @@ class AdpllSearch {
     // Conjuncts are small (at most one expression per attribute), so a
     // linear scan beats any map.
     bool distinct = true;
+    std::vector<CellRef>& seen_vars_ = scratch_->seen_vars;
     seen_vars_.clear();
-    const auto note = [this](const CellRef& var) {
+    const auto note = [&seen_vars_](const CellRef& var) {
       for (const CellRef& v : seen_vars_) {
         if (v == var) return false;
       }
@@ -101,8 +85,9 @@ class AdpllSearch {
   // the bounded Naive scan's sound interval instead of erroring.
   Result<ProbInterval> ConjunctInterval(const Conjunct& conjunct) {
     bool distinct = true;
+    std::vector<CellRef>& seen_vars_ = scratch_->seen_vars;
     seen_vars_.clear();
-    const auto note = [this](const CellRef& var) {
+    const auto note = [&seen_vars_](const CellRef& var) {
       for (const CellRef& v : seen_vars_) {
         if (v == var) return false;
       }
@@ -175,170 +160,20 @@ class AdpllSearch {
   // own missing attributes). Returns false when H's joint domain is too
   // large; the caller then branches normally (which shrinks H by one).
   bool TryStarProbability(const Condition& condition, Result<double>* out) {
-    // Hub discovery.
-    std::unordered_map<PackedVar, int> occurrences;
-    occurrences.reserve(condition.conjuncts().size() * 2);
-    std::vector<CellRef> order;
-    for (const Conjunct& conj : condition.conjuncts()) {
-      for (const Expression& e : conj) {
-        if (++occurrences[PackVar(e.lhs)] == 1) order.push_back(e.lhs);
-        if (e.rhs_is_var &&
-            ++occurrences[PackVar(e.rhs_var)] == 1) {
-          order.push_back(e.rhs_var);
-        }
-      }
+    Status status = Status::OK();
+    if (!BuildStarPlan(condition, dists_, options_.max_hub_space,
+                       &scratch_->star_plan, &scratch_->star, &status)) {
+      return false;
     }
-    std::vector<CellRef> hub;
-    std::unordered_map<PackedVar, int> hub_slot;
-    for (const CellRef& var : order) {
-      if (occurrences[PackVar(var)] >= 2) {
-        hub_slot[PackVar(var)] = static_cast<int>(hub.size());
-        hub.push_back(var);
-      }
+    if (!status.ok()) {
+      *out = status;
+      return true;  // Applicable, but errored.
     }
-    if (hub.empty() || hub.size() > 16) return false;
-
-    // Hub distributions and joint-domain bound.
-    std::vector<const std::vector<double>*> hub_dists(hub.size());
-    std::size_t space = 1;
-    for (std::size_t i = 0; i < hub.size(); ++i) {
-      hub_dists[i] = dists_.Find(hub[i]);
-      if (hub_dists[i] == nullptr) {
-        *out = Status::NotFound(
-            StrFormat("no distribution for Var(%zu,%zu)", hub[i].object,
-                      hub[i].attribute));
-        return true;  // Applicable, but errored.
-      }
-      if (space > options_.max_hub_space / hub_dists[i]->size()) {
-        return false;
-      }
-      space *= hub_dists[i]->size();
-    }
-
-    // Compile expressions.
-    std::vector<std::vector<CompiledExpr>> compiled;
-    compiled.reserve(condition.conjuncts().size());
-    for (const Conjunct& conj : condition.conjuncts()) {
-      std::vector<CompiledExpr> cc;
-      cc.reserve(conj.size());
-      for (const Expression& e : conj) {
-        CompiledExpr ce;
-        const auto lhs_it = hub_slot.find(PackVar(e.lhs));
-        const int lslot =
-            lhs_it == hub_slot.end() ? -1 : lhs_it->second;
-        int rslot = -1;
-        if (e.rhs_is_var) {
-          const auto rhs_it = hub_slot.find(PackVar(e.rhs_var));
-          rslot = rhs_it == hub_slot.end() ? -1 : rhs_it->second;
-        }
-        if (lslot < 0 && rslot < 0) {
-          // Private-only: constant probability.
-          const auto p = ExpressionProbability(e, dists_);
-          if (!p.ok()) {
-            *out = p.status();
-            return true;
-          }
-          ce.kind = CompiledExpr::Kind::kConstant;
-          ce.probability = p.value();
-        } else if (lslot >= 0 && (!e.rhs_is_var || rslot >= 0)) {
-          // Fully decided per hub assignment.
-          ce.kind = CompiledExpr::Kind::kDecided;
-          ce.lhs_slot = lslot;
-          ce.rhs_slot = rslot;
-          ce.op = e.op;
-          ce.rhs_is_var = e.rhs_is_var;
-          ce.rhs_const = e.rhs_const;
-        } else {
-          // Exactly one hub variable: tabulate over its values.
-          ce.kind = CompiledExpr::Kind::kTablePrime;
-          const bool hub_is_lhs = lslot >= 0;
-          const CellRef hub_var = hub_is_lhs ? e.lhs : e.rhs_var;
-          const CellRef private_var = hub_is_lhs ? e.rhs_var : e.lhs;
-          ce.lhs_slot = hub_is_lhs ? lslot : rslot;  // Table slot.
-          const std::vector<double>* hub_dist = dists_.Find(hub_var);
-          const std::vector<double>* priv_dist = dists_.Find(private_var);
-          if (hub_dist == nullptr || priv_dist == nullptr) {
-            *out = Status::NotFound("no distribution for variable");
-            return true;
-          }
-          ce.table.resize(hub_dist->size());
-          for (std::size_t v = 0; v < hub_dist->size(); ++v) {
-            // Truth probability of the expression given hub value v.
-            double p = 0.0;
-            for (std::size_t w = 0; w < priv_dist->size(); ++w) {
-              const Level lhs_val =
-                  hub_is_lhs ? static_cast<Level>(v)
-                             : static_cast<Level>(w);
-              const Level rhs_val =
-                  hub_is_lhs ? static_cast<Level>(w)
-                             : static_cast<Level>(v);
-              const bool truth = (e.op == CmpOp::kGreater)
-                                     ? lhs_val > rhs_val
-                                     : lhs_val < rhs_val;
-              if (truth) p += (*priv_dist)[w];
-            }
-            ce.table[v] = p;
-          }
-        }
-        cc.push_back(std::move(ce));
-      }
-      compiled.push_back(std::move(cc));
-    }
-
-    // Enumerate hub assignments.
-    std::vector<Level> h(hub.size(), 0);
-    double total = 0.0;
-    for (std::size_t step = 0; step < space; ++step) {
-      double weight = 1.0;
-      for (std::size_t i = 0; i < hub.size(); ++i) {
-        weight *= (*hub_dists[i])[static_cast<std::size_t>(h[i])];
-      }
-      if (weight > 0.0) {
-        double product = 1.0;
-        for (const auto& conjunct : compiled) {
-          bool satisfied = false;
-          double miss = 1.0;
-          for (const CompiledExpr& ce : conjunct) {
-            switch (ce.kind) {
-              case CompiledExpr::Kind::kConstant:
-                miss *= 1.0 - ce.probability;
-                break;
-              case CompiledExpr::Kind::kDecided: {
-                const Level lhs = h[static_cast<std::size_t>(ce.lhs_slot)];
-                const Level rhs =
-                    ce.rhs_slot >= 0
-                        ? h[static_cast<std::size_t>(ce.rhs_slot)]
-                        : ce.rhs_const;
-                const bool truth = (ce.op == CmpOp::kGreater)
-                                       ? lhs > rhs
-                                       : lhs < rhs;
-                if (truth) satisfied = true;
-                break;
-              }
-              case CompiledExpr::Kind::kTablePrime:
-                miss *= 1.0 -
-                        ce.table[static_cast<std::size_t>(
-                            h[static_cast<std::size_t>(ce.lhs_slot)])];
-                break;
-            }
-            if (satisfied) break;
-          }
-          product *= satisfied ? 1.0 : 1.0 - miss;
-          if (product == 0.0) break;
-        }
-        total += weight * product;
-      }
-      // Advance the odometer.
-      for (std::size_t i = 0; i < hub.size(); ++i) {
-        if (++h[i] < static_cast<Level>(hub_dists[i]->size())) break;
-        h[i] = 0;
-      }
-    }
-    if (stats_ != nullptr) {
+    *out = EvalStarPlan(scratch_->star_plan, dists_, &scratch_->star);
+    if (out->ok() && stats_ != nullptr) {
       ++stats_->direct_evals;
       ++stats_->star_evals;
     }
-    *out = total;
     return true;
   }
 
@@ -524,7 +359,8 @@ class AdpllSearch {
   std::uint64_t calls_ = 0;
   std::uint64_t component_splits_ = 0;
   std::uint64_t* truncations_ = nullptr;  // Closed-subtree tally.
-  std::vector<CellRef> seen_vars_;  // Scratch for ConjunctProbability.
+  AdpllScratch* scratch_;           // Never null; owned_scratch_ fallback.
+  AdpllScratch owned_scratch_;      // Per-call buffers when none passed.
 };
 
 }  // namespace
@@ -532,8 +368,8 @@ class AdpllSearch {
 Result<double> AdpllProbability(const Condition& condition,
                                 const DistributionMap& dists,
                                 const AdpllOptions& options,
-                                AdpllStats* stats) {
-  AdpllSearch search(dists, options, stats);
+                                AdpllStats* stats, AdpllScratch* scratch) {
+  AdpllSearch search(dists, options, stats, scratch);
   return search.Run(condition);
 }
 
@@ -541,8 +377,9 @@ Result<ProbInterval> AdpllPartialProbability(const Condition& condition,
                                              const DistributionMap& dists,
                                              const AdpllOptions& options,
                                              AdpllStats* stats,
-                                             std::uint64_t* truncations) {
-  AdpllSearch search(dists, options, stats);
+                                             std::uint64_t* truncations,
+                                             AdpllScratch* scratch) {
+  AdpllSearch search(dists, options, stats, scratch);
   std::uint64_t local = 0;
   Result<ProbInterval> out = search.RunPartial(
       condition, truncations != nullptr ? truncations : &local);

@@ -24,6 +24,7 @@
 #include "ctable/condition.h"
 #include "probability/distributions.h"
 #include "probability/interval.h"
+#include "probability/star.h"
 
 namespace bayescrowd {
 
@@ -92,12 +93,26 @@ struct AdpllStats {
   }
 };
 
+/// Reusable per-caller scratch for the ADPLL hot path. Without one the
+/// solver allocates the star-path hub maps, expression tables and
+/// odometer — plus the conjunct distinctness buffer — on every solve;
+/// threading a scratch through repeated solves (one per evaluator lane)
+/// reuses those buffers instead. Not thread-safe: one scratch per
+/// concurrent caller. Passing nullptr falls back to per-call buffers
+/// with identical results.
+struct AdpllScratch {
+  StarPlan star_plan;
+  StarScratch star;
+  std::vector<CellRef> seen_vars;  // Conjunct distinctness scan.
+};
+
 /// Exact Pr(φ) via adaptive DPLL search. `stats`, if non-null, is
 /// accumulated into (not reset).
 Result<double> AdpllProbability(const Condition& condition,
                                 const DistributionMap& dists,
                                 const AdpllOptions& options = {},
-                                AdpllStats* stats = nullptr);
+                                AdpllStats* stats = nullptr,
+                                AdpllScratch* scratch = nullptr);
 
 /// Anytime variant: the same search, but budget exhaustion *closes* a
 /// subtree into the sound bound [0, 1] instead of aborting the solve.
@@ -111,7 +126,7 @@ Result<double> AdpllProbability(const Condition& condition,
 Result<ProbInterval> AdpllPartialProbability(
     const Condition& condition, const DistributionMap& dists,
     const AdpllOptions& options = {}, AdpllStats* stats = nullptr,
-    std::uint64_t* truncations = nullptr);
+    std::uint64_t* truncations = nullptr, AdpllScratch* scratch = nullptr);
 
 }  // namespace bayescrowd
 

@@ -1,0 +1,411 @@
+#include "probability/circuit.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "probability/naive.h"
+
+namespace bayescrowd {
+namespace {
+
+void WriteCellRef(BinWriter* w, const CellRef& var) {
+  w->WriteU64(var.object);
+  w->WriteU64(var.attribute);
+}
+
+Status ReadCellRef(BinReader* r, CellRef* var) {
+  std::uint64_t object = 0;
+  std::uint64_t attribute = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&object));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&attribute));
+  var->object = static_cast<std::size_t>(object);
+  var->attribute = static_cast<std::size_t>(attribute);
+  return Status::OK();
+}
+
+void WriteExpression(BinWriter* w, const Expression& e) {
+  WriteCellRef(w, e.lhs);
+  w->WriteU8(static_cast<std::uint8_t>(e.op));
+  w->WriteBool(e.rhs_is_var);
+  WriteCellRef(w, e.rhs_var);
+  w->WriteI32(e.rhs_const);
+}
+
+Status ReadExpression(BinReader* r, Expression* e) {
+  BAYESCROWD_RETURN_NOT_OK(ReadCellRef(r, &e->lhs));
+  std::uint8_t op = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU8(&op));
+  if (op > static_cast<std::uint8_t>(CmpOp::kLess)) {
+    return Status::InvalidArgument("circuit blob: bad comparison op");
+  }
+  e->op = static_cast<CmpOp>(op);
+  BAYESCROWD_RETURN_NOT_OK(r->ReadBool(&e->rhs_is_var));
+  BAYESCROWD_RETURN_NOT_OK(ReadCellRef(r, &e->rhs_var));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadI32(&e->rhs_const));
+  return Status::OK();
+}
+
+void WriteStarPlan(BinWriter* w, const StarPlan& plan) {
+  w->WriteU64(plan.hub.size());
+  for (std::size_t i = 0; i < plan.hub.size(); ++i) {
+    WriteCellRef(w, plan.hub[i]);
+    w->WriteU32(plan.hub_sizes[i]);
+  }
+  w->WriteU64(plan.exprs.size());
+  for (const StarExpr& ce : plan.exprs) {
+    w->WriteU8(static_cast<std::uint8_t>(ce.kind));
+    w->WriteI32(ce.lhs_slot);
+    w->WriteI32(ce.rhs_slot);
+    w->WriteU8(static_cast<std::uint8_t>(ce.op));
+    w->WriteI32(ce.rhs_const);
+    w->WriteBool(ce.rhs_is_var);
+    WriteExpression(w, ce.expr);
+    w->WriteBool(ce.hub_is_lhs);
+    w->WriteU32(ce.table_offset);
+    w->WriteU32(ce.table_size);
+  }
+  w->WriteU64(plan.conjunct_offsets.size());
+  for (const std::uint32_t off : plan.conjunct_offsets) w->WriteU32(off);
+  w->WriteU64(plan.space);
+  w->WriteU64(plan.table_slots);
+}
+
+Status ReadStarPlan(BinReader* r, StarPlan* plan) {
+  std::uint64_t n = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 20));
+  plan->hub.resize(static_cast<std::size_t>(n));
+  plan->hub_sizes.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < plan->hub.size(); ++i) {
+    BAYESCROWD_RETURN_NOT_OK(ReadCellRef(r, &plan->hub[i]));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU32(&plan->hub_sizes[i]));
+  }
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 32));
+  plan->exprs.resize(static_cast<std::size_t>(n));
+  for (StarExpr& ce : plan->exprs) {
+    std::uint8_t kind = 0;
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU8(&kind));
+    if (kind > static_cast<std::uint8_t>(StarExpr::Kind::kTablePrime)) {
+      return Status::InvalidArgument("circuit blob: bad star-expr kind");
+    }
+    ce.kind = static_cast<StarExpr::Kind>(kind);
+    BAYESCROWD_RETURN_NOT_OK(r->ReadI32(&ce.lhs_slot));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadI32(&ce.rhs_slot));
+    std::uint8_t op = 0;
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU8(&op));
+    if (op > static_cast<std::uint8_t>(CmpOp::kLess)) {
+      return Status::InvalidArgument("circuit blob: bad comparison op");
+    }
+    ce.op = static_cast<CmpOp>(op);
+    BAYESCROWD_RETURN_NOT_OK(r->ReadI32(&ce.rhs_const));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadBool(&ce.rhs_is_var));
+    BAYESCROWD_RETURN_NOT_OK(ReadExpression(r, &ce.expr));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadBool(&ce.hub_is_lhs));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU32(&ce.table_offset));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU32(&ce.table_size));
+  }
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 4));
+  plan->conjunct_offsets.resize(static_cast<std::size_t>(n));
+  for (std::uint32_t& off : plan->conjunct_offsets) {
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU32(&off));
+  }
+  std::uint64_t space = 0;
+  std::uint64_t table_slots = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&space));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&table_slots));
+  plan->space = static_cast<std::size_t>(space);
+  plan->table_slots = static_cast<std::size_t>(table_slots);
+
+  // Internal consistency: slot/offset references must stay in range.
+  const std::size_t hub_count = plan->hub.size();
+  for (const StarExpr& ce : plan->exprs) {
+    const bool needs_slot = ce.kind != StarExpr::Kind::kConstant;
+    if (needs_slot &&
+        (ce.lhs_slot < 0 ||
+         static_cast<std::size_t>(ce.lhs_slot) >= hub_count)) {
+      return Status::InvalidArgument("circuit blob: star slot out of range");
+    }
+    if (ce.rhs_slot >= 0 &&
+        static_cast<std::size_t>(ce.rhs_slot) >= hub_count) {
+      return Status::InvalidArgument("circuit blob: star slot out of range");
+    }
+    if (ce.kind == StarExpr::Kind::kTablePrime &&
+        (static_cast<std::uint64_t>(ce.table_offset) + ce.table_size >
+         plan->table_slots)) {
+      return Status::InvalidArgument("circuit blob: star table out of range");
+    }
+  }
+  if (plan->conjunct_offsets.empty()) {
+    return Status::InvalidArgument("circuit blob: empty star offsets");
+  }
+  for (std::size_t c = 0; c + 1 < plan->conjunct_offsets.size(); ++c) {
+    if (plan->conjunct_offsets[c] > plan->conjunct_offsets[c + 1]) {
+      return Status::InvalidArgument("circuit blob: unsorted star offsets");
+    }
+  }
+  if (plan->conjunct_offsets.back() != plan->exprs.size()) {
+    return Status::InvalidArgument("circuit blob: bad star offsets");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double CompiledCircuit::LeafProbability(std::uint32_t e,
+                                        const CircuitScratch& scratch) const {
+  const Expression& ex = exprs[e];
+  const std::size_t ls = static_cast<std::size_t>(expr_lhs_slot[e]);
+  const double* lhs = scratch.soa.data() + var_offsets[ls];
+  const std::size_t lhs_size = var_sizes[ls];
+  if (!ex.rhs_is_var) {
+    return ex.op == CmpOp::kGreater
+               ? TailMassGreater(lhs, lhs_size, ex.rhs_const)
+               : HeadMassLess(lhs, lhs_size, ex.rhs_const);
+  }
+  const std::size_t rs = static_cast<std::size_t>(expr_rhs_slot[e]);
+  return CrossMass(lhs, lhs_size, scratch.soa.data() + var_offsets[rs],
+                   var_sizes[rs], ex.op);
+}
+
+Result<double> CompiledCircuit::EvalNode(std::uint32_t id,
+                                         const DistributionMap& dists,
+                                         CircuitScratch* scratch) const {
+  const CircuitNode& n = nodes[id];
+  switch (n.kind) {
+    case CircuitNodeKind::kConst:
+      return n.constant;
+    case CircuitNodeKind::kConjunct: {
+      // ADPLL's distinct-variable disjunctive rule, leaf by leaf.
+      double miss_all = 1.0;
+      for (std::uint32_t e = n.first; e < n.first + n.count; ++e) {
+        const double pe = LeafProbability(e, *scratch);
+        miss_all *= 1.0 - pe;
+      }
+      return 1.0 - miss_all;
+    }
+    case CircuitNodeKind::kNaive: {
+      // Correlated conjunct: the same inner enumeration ADPLL runs.
+      Conjunct conjunct(exprs.begin() + n.first,
+                        exprs.begin() + n.first + n.count);
+      NaiveOptions inner;
+      if (max_conjunct_assignments > 0) {
+        inner.max_assignments = max_conjunct_assignments;
+      }
+      return NaiveProbability(Condition::Cnf({std::move(conjunct)}), dists,
+                              inner);
+    }
+    case CircuitNodeKind::kStar:
+      return EvalStarPlan(stars[static_cast<std::size_t>(n.var_slot)], dists,
+                          &scratch->star);
+    case CircuitNodeKind::kProduct: {
+      double product = 1.0;
+      for (std::uint32_t c = n.first; c < n.first + n.count; ++c) {
+        BAYESCROWD_ASSIGN_OR_RETURN(const double pc,
+                                    EvalNode(children[c], dists, scratch));
+        product *= pc;
+        if (product == 0.0) break;
+      }
+      return product;
+    }
+    case CircuitNodeKind::kDecision: {
+      const std::size_t slot = static_cast<std::size_t>(n.var_slot);
+      const double* dist = scratch->soa.data() + var_offsets[slot];
+      const std::size_t size = var_sizes[slot];
+      double total = 0.0;
+      for (std::size_t value = 0; value < size; ++value) {
+        const double p = dist[value];
+        if (p <= 0.0) continue;
+        BAYESCROWD_ASSIGN_OR_RETURN(
+            const double sub,
+            EvalNode(children[n.first + value], dists, scratch));
+        total += p * sub;
+      }
+      return total;
+    }
+  }
+  return Status::Internal("unknown circuit node kind");
+}
+
+Result<double> CompiledCircuit::Evaluate(const DistributionMap& dists,
+                                         CircuitScratch* scratch) const {
+  // Gather every referenced distribution into one contiguous SoA copy;
+  // leaves and decisions then read by (offset, size) spans.
+  scratch->soa.resize(static_cast<std::size_t>(soa_slots));
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    const std::vector<double>* dist = dists.Find(vars[i]);
+    if (dist == nullptr) {
+      return Status::NotFound(StrFormat("no distribution for Var(%zu,%zu)",
+                                        vars[i].object, vars[i].attribute));
+    }
+    if (dist->size() != var_sizes[i]) {
+      return Status::FailedPrecondition(
+          "distribution arity changed since compilation");
+    }
+    std::copy(dist->begin(), dist->end(),
+              scratch->soa.begin() + var_offsets[i]);
+  }
+  return EvalNode(root, dists, scratch);
+}
+
+void CompiledCircuit::Serialize(BinWriter* w) const {
+  w->WriteU32(root);
+  w->WriteU64(cost);
+  w->WriteU64(max_conjunct_assignments);
+  w->WriteU64(soa_slots);
+
+  w->WriteU64(nodes.size());
+  for (const CircuitNode& n : nodes) {
+    w->WriteU8(static_cast<std::uint8_t>(n.kind));
+    w->WriteDouble(n.constant);
+    w->WriteU32(n.first);
+    w->WriteU32(n.count);
+    w->WriteI32(n.var_slot);
+  }
+
+  w->WriteU64(children.size());
+  for (const std::uint32_t c : children) w->WriteU32(c);
+
+  w->WriteU64(exprs.size());
+  for (std::size_t i = 0; i < exprs.size(); ++i) {
+    WriteExpression(w, exprs[i]);
+    w->WriteI32(expr_lhs_slot[i]);
+    w->WriteI32(expr_rhs_slot[i]);
+  }
+
+  w->WriteU64(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    WriteCellRef(w, vars[i]);
+    w->WriteU32(var_sizes[i]);
+    w->WriteU32(var_offsets[i]);
+  }
+
+  w->WriteU64(stars.size());
+  for (const StarPlan& plan : stars) WriteStarPlan(w, plan);
+}
+
+Status CompiledCircuit::Deserialize(BinReader* r, CompiledCircuit* out) {
+  *out = CompiledCircuit();
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU32(&out->root));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&out->cost));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&out->max_conjunct_assignments));
+  BAYESCROWD_RETURN_NOT_OK(r->ReadU64(&out->soa_slots));
+
+  std::uint64_t n = 0;
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 21));
+  out->nodes.resize(static_cast<std::size_t>(n));
+  for (CircuitNode& node : out->nodes) {
+    std::uint8_t kind = 0;
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU8(&kind));
+    if (kind > static_cast<std::uint8_t>(CircuitNodeKind::kDecision)) {
+      return Status::InvalidArgument("circuit blob: bad node kind");
+    }
+    node.kind = static_cast<CircuitNodeKind>(kind);
+    BAYESCROWD_RETURN_NOT_OK(r->ReadDouble(&node.constant));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU32(&node.first));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU32(&node.count));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadI32(&node.var_slot));
+  }
+
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 4));
+  out->children.resize(static_cast<std::size_t>(n));
+  for (std::uint32_t& c : out->children) {
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU32(&c));
+  }
+
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 37));
+  out->exprs.resize(static_cast<std::size_t>(n));
+  out->expr_lhs_slot.resize(static_cast<std::size_t>(n));
+  out->expr_rhs_slot.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < out->exprs.size(); ++i) {
+    BAYESCROWD_RETURN_NOT_OK(ReadExpression(r, &out->exprs[i]));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadI32(&out->expr_lhs_slot[i]));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadI32(&out->expr_rhs_slot[i]));
+  }
+
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 24));
+  out->vars.resize(static_cast<std::size_t>(n));
+  out->var_sizes.resize(static_cast<std::size_t>(n));
+  out->var_offsets.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < out->vars.size(); ++i) {
+    BAYESCROWD_RETURN_NOT_OK(ReadCellRef(r, &out->vars[i]));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU32(&out->var_sizes[i]));
+    BAYESCROWD_RETURN_NOT_OK(r->ReadU32(&out->var_offsets[i]));
+  }
+
+  BAYESCROWD_RETURN_NOT_OK(r->ReadCount(&n, 48));
+  out->stars.resize(static_cast<std::size_t>(n));
+  for (StarPlan& plan : out->stars) {
+    BAYESCROWD_RETURN_NOT_OK(ReadStarPlan(r, &plan));
+  }
+
+  // Cross-reference validation: every index a walk can touch must be in
+  // range, so a corrupt blob errors here instead of faulting later.
+  const std::size_t node_count = out->nodes.size();
+  const std::size_t expr_count = out->exprs.size();
+  const std::size_t child_count = out->children.size();
+  const std::size_t var_count = out->vars.size();
+  if (node_count == 0 || out->root >= node_count) {
+    return Status::InvalidArgument("circuit blob: bad root");
+  }
+  for (std::size_t id = 0; id < node_count; ++id) {
+    const CircuitNode& node = out->nodes[id];
+    const std::uint64_t end =
+        static_cast<std::uint64_t>(node.first) + node.count;
+    switch (node.kind) {
+      case CircuitNodeKind::kConst:
+        break;
+      case CircuitNodeKind::kConjunct:
+      case CircuitNodeKind::kNaive:
+        if (end > expr_count) {
+          return Status::InvalidArgument("circuit blob: expr range");
+        }
+        break;
+      case CircuitNodeKind::kStar:
+        if (node.var_slot < 0 ||
+            static_cast<std::size_t>(node.var_slot) >= out->stars.size()) {
+          return Status::InvalidArgument("circuit blob: star index");
+        }
+        break;
+      case CircuitNodeKind::kProduct:
+      case CircuitNodeKind::kDecision:
+        if (end > child_count) {
+          return Status::InvalidArgument("circuit blob: child range");
+        }
+        // The compiler emits children before parents; requiring that of
+        // blobs makes the arena a DAG, so EvalNode cannot loop.
+        for (std::uint64_t c = node.first; c < end; ++c) {
+          if (out->children[static_cast<std::size_t>(c)] >= id) {
+            return Status::InvalidArgument("circuit blob: child index");
+          }
+        }
+        if (node.kind == CircuitNodeKind::kDecision &&
+            (node.var_slot < 0 ||
+             static_cast<std::size_t>(node.var_slot) >= var_count ||
+             out->var_sizes[static_cast<std::size_t>(node.var_slot)] !=
+                 node.count)) {
+          return Status::InvalidArgument("circuit blob: decision slot");
+        }
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < expr_count; ++i) {
+    if (out->expr_lhs_slot[i] < 0 ||
+        static_cast<std::size_t>(out->expr_lhs_slot[i]) >= var_count ||
+        (out->expr_rhs_slot[i] >= 0 &&
+         static_cast<std::size_t>(out->expr_rhs_slot[i]) >= var_count)) {
+      return Status::InvalidArgument("circuit blob: expr slot");
+    }
+  }
+  std::uint64_t offset = 0;
+  for (std::size_t i = 0; i < var_count; ++i) {
+    if (out->var_offsets[i] != offset || out->var_sizes[i] == 0) {
+      return Status::InvalidArgument("circuit blob: var layout");
+    }
+    offset += out->var_sizes[i];
+  }
+  if (offset != out->soa_slots) {
+    return Status::InvalidArgument("circuit blob: soa size");
+  }
+  return Status::OK();
+}
+
+}  // namespace bayescrowd

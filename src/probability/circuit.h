@@ -1,0 +1,139 @@
+// CompiledCircuit: a smooth arithmetic-circuit artifact recording the
+// shape of one ADPLL solve, re-evaluable under new posteriors.
+//
+// The round loop's workload is "same formula, shifted posteriors":
+// folding crowd answers re-conditions distributions, but per object the
+// condition structure is fixed between simplifications. ADPLL's control
+// flow on such a condition is value-independent — IsTrue/IsFalse,
+// conjunct independence, component grouping, the branch variable and
+// the star hub all derive from the formula and the (fixed) variable
+// arities. Only the *numbers* at the leaves change. The compiler
+// (compiler.h) walks ADPLL's exact recursion once and records it as a
+// d-DNNF-style node arena; Evaluate() then replays the arithmetic in
+// one pass per round instead of re-running the search.
+//
+// ADPLL's value-dependent shortcuts (skip a zero-probability branch,
+// stop a product at zero) are multiplication-by-zero-equivalent, so the
+// circuit reproduces ADPLL's floating-point results bit for bit:
+// probabilities are non-negative, `x + 0.0 == x` and `0.0 * p == 0.0`
+// exactly, and every leaf runs the same shared arithmetic
+// (distributions.h span helpers, star.h EvalStarPlan, naive.h).
+//
+// Data layout: one contiguous node arena with a shared child-index
+// array (no per-node allocations), and evaluation gathers every
+// referenced distribution into one contiguous SoA scratch buffer that
+// the leaf passes read by (offset, size) spans.
+
+#ifndef BAYESCROWD_PROBABILITY_CIRCUIT_H_
+#define BAYESCROWD_PROBABILITY_CIRCUIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/result.h"
+#include "ctable/condition.h"
+#include "probability/distributions.h"
+#include "probability/star.h"
+
+namespace bayescrowd {
+
+/// On-disk format of serialized circuits. Folded into the evaluator's
+/// compile-artifact cache tag, so bumping it orphans (never mis-serves)
+/// artifacts produced by older builds.
+inline constexpr std::uint32_t kCircuitFormatVersion = 1;
+
+/// Compile-layer counters, surfaced as "compile.*" metrics.
+struct CircuitStats {
+  std::uint64_t builds = 0;     // Conditions compiled successfully.
+  std::uint64_t fallbacks = 0;  // Compilations refused (budget/structure).
+  std::uint64_t reuses = 0;     // Evaluations served by a circuit.
+  std::uint64_t nodes = 0;      // Arena nodes across all builds.
+  std::uint64_t restored = 0;   // Artifacts restored from a checkpoint.
+  std::uint64_t evictions = 0;  // Artifacts dropped by the cache cap.
+
+  CircuitStats& operator+=(const CircuitStats& other) {
+    builds += other.builds;
+    fallbacks += other.fallbacks;
+    reuses += other.reuses;
+    nodes += other.nodes;
+    restored += other.restored;
+    evictions += other.evictions;
+    return *this;
+  }
+};
+
+enum class CircuitNodeKind : std::uint8_t {
+  kConst = 0,     // Decided subformula: fixed 0/1.
+  kConjunct = 1,  // Distinct-variable disjunction: 1 - Π (1 - Pr(e)).
+  kNaive = 2,     // Correlated conjunct: exact enumeration at eval.
+  kStar = 3,      // Star plan: hub enumeration with refilled tables.
+  kProduct = 4,   // Independent factors, in recorded order.
+  kDecision = 5,  // Σ_v p(v) · child_v over one variable's domain.
+};
+
+struct CircuitNode {
+  CircuitNodeKind kind = CircuitNodeKind::kConst;
+  double constant = 0.0;     // kConst.
+  std::uint32_t first = 0;   // Children (kProduct/kDecision) or
+  std::uint32_t count = 0;   // expressions (kConjunct/kNaive) range.
+  std::int32_t var_slot = -1;  // kDecision: variable; kStar: plan index.
+};
+
+/// Per-lane evaluation buffers (the SoA distribution copy and the star
+/// scratch). One per concurrent caller; reused across evaluations.
+struct CircuitScratch {
+  std::vector<double> soa;
+  StarScratch star;
+};
+
+/// The immutable artifact. Shared across lanes during batch evaluation;
+/// all mutation happens through the compiler or Deserialize.
+struct CompiledCircuit {
+  std::vector<CircuitNode> nodes;
+  std::vector<std::uint32_t> children;
+
+  // Leaf expressions with operand slots resolved into `vars`.
+  std::vector<Expression> exprs;
+  std::vector<std::int32_t> expr_lhs_slot;
+  std::vector<std::int32_t> expr_rhs_slot;  // -1: rhs is a constant.
+
+  // Distribution slots: first-reference order, with the arities pinned
+  // at compile time and prefix offsets into the SoA scratch copy.
+  std::vector<CellRef> vars;
+  std::vector<std::uint32_t> var_sizes;
+  std::vector<std::uint32_t> var_offsets;
+  std::uint64_t soa_slots = 0;
+
+  std::vector<StarPlan> stars;
+
+  std::uint32_t root = 0;
+  std::uint64_t cost = 0;  // Compile-budget units charged.
+  // Inner Naive budget for kNaive leaves (the compiling AdpllOptions'
+  // max_conjunct_assignments; 0 keeps the NaiveOptions default).
+  std::uint64_t max_conjunct_assignments = 0;
+
+  /// Re-evaluates the recorded solve under the current distributions.
+  /// NotFound if a referenced distribution disappeared;
+  /// FailedPrecondition if an arity changed since compilation (the
+  /// caller falls back to ADPLL either way).
+  Result<double> Evaluate(const DistributionMap& dists,
+                          CircuitScratch* scratch) const;
+
+  /// Canonical binary form (deterministic given a deterministic
+  /// compile), appended via `w`.
+  void Serialize(BinWriter* w) const;
+
+  /// Restores a Serialize() blob; validates every index so a corrupt
+  /// payload errors instead of reading out of bounds.
+  static Status Deserialize(BinReader* r, CompiledCircuit* out);
+
+ private:
+  Result<double> EvalNode(std::uint32_t id, const DistributionMap& dists,
+                          CircuitScratch* scratch) const;
+  double LeafProbability(std::uint32_t e, const CircuitScratch& scratch) const;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_PROBABILITY_CIRCUIT_H_

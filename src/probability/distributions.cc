@@ -40,17 +40,52 @@ const std::vector<double>* DistributionMap::Find(const CellRef& var) const {
   return it == map_.end() ? nullptr : &it->second;
 }
 
+double TailMassGreater(const double* dist, std::size_t size, Level bound) {
+  double p = 0.0;
+  for (std::size_t v = 0; v < size; ++v) {
+    if (static_cast<Level>(v) > bound) p += dist[v];
+  }
+  return p;
+}
+
+double HeadMassLess(const double* dist, std::size_t size, Level bound) {
+  double p = 0.0;
+  for (std::size_t v = 0; v < size; ++v) {
+    if (static_cast<Level>(v) < bound) p += dist[v];
+  }
+  return p;
+}
+
+double CrossMass(const double* lhs, std::size_t lhs_size, const double* rhs,
+                 std::size_t rhs_size, CmpOp op) {
+  // Integrate P(lhs op rhs) with a suffix/prefix sum over rhs.
+  double p = 0.0;
+  if (op == CmpOp::kGreater) {
+    // P(lhs > rhs) = sum_a p_l(a) * P(rhs < a).
+    double rhs_prefix = 0.0;  // P(rhs < a), built incrementally.
+    for (std::size_t a = 0; a < lhs_size; ++a) {
+      if (a > 0 && a - 1 < rhs_size) rhs_prefix += rhs[a - 1];
+      p += lhs[a] * rhs_prefix;
+    }
+  } else {
+    // P(lhs < rhs) = sum_a p_l(a) * P(rhs > a).
+    double rhs_suffix = 0.0;
+    for (std::size_t b = 1; b < rhs_size; ++b) rhs_suffix += rhs[b];
+    for (std::size_t a = 0; a < lhs_size; ++a) {
+      p += lhs[a] * rhs_suffix;
+      if (a + 1 < rhs_size) rhs_suffix -= rhs[a + 1];
+    }
+  }
+  return p;
+}
+
 Result<double> DistributionMap::ProbGreater(const CellRef& var,
                                             Level bound) const {
   const std::vector<double>* dist = Find(var);
   if (dist == nullptr) {
     return Status::NotFound("unregistered variable");
   }
-  double p = 0.0;
-  for (std::size_t v = 0; v < dist->size(); ++v) {
-    if (static_cast<Level>(v) > bound) p += (*dist)[v];
-  }
-  return p;
+  return TailMassGreater(dist->data(), dist->size(), bound);
 }
 
 Result<double> DistributionMap::ProbLess(const CellRef& var,
@@ -59,11 +94,7 @@ Result<double> DistributionMap::ProbLess(const CellRef& var,
   if (dist == nullptr) {
     return Status::NotFound("unregistered variable");
   }
-  double p = 0.0;
-  for (std::size_t v = 0; v < dist->size(); ++v) {
-    if (static_cast<Level>(v) < bound) p += (*dist)[v];
-  }
-  return p;
+  return HeadMassLess(dist->data(), dist->size(), bound);
 }
 
 Result<double> ExpressionProbability(const Expression& expression,
@@ -78,25 +109,8 @@ Result<double> ExpressionProbability(const Expression& expression,
   if (lhs == nullptr || rhs == nullptr) {
     return Status::NotFound("unregistered variable in var-var expression");
   }
-  // Integrate P(lhs op rhs) with a suffix/prefix sum over rhs.
-  double p = 0.0;
-  if (expression.op == CmpOp::kGreater) {
-    // P(lhs > rhs) = sum_a p_l(a) * P(rhs < a).
-    double rhs_prefix = 0.0;  // P(rhs < a), built incrementally.
-    for (std::size_t a = 0; a < lhs->size(); ++a) {
-      if (a > 0 && a - 1 < rhs->size()) rhs_prefix += (*rhs)[a - 1];
-      p += (*lhs)[a] * rhs_prefix;
-    }
-  } else {
-    // P(lhs < rhs) = sum_a p_l(a) * P(rhs > a).
-    double rhs_suffix = 0.0;
-    for (std::size_t b = 1; b < rhs->size(); ++b) rhs_suffix += (*rhs)[b];
-    for (std::size_t a = 0; a < lhs->size(); ++a) {
-      p += (*lhs)[a] * rhs_suffix;
-      if (a + 1 < rhs->size()) rhs_suffix -= (*rhs)[a + 1];
-    }
-  }
-  return p;
+  return CrossMass(lhs->data(), lhs->size(), rhs->data(), rhs->size(),
+                   expression.op);
 }
 
 }  // namespace bayescrowd

@@ -60,6 +60,12 @@ void ProbabilityEvaluator::BindMetrics(obs::MetricsRegistry* registry) {
       registry->GetCounter("solver.ladder_tier.sampled");
   ins_.solver_tier_unknown =
       registry->GetCounter("solver.ladder_tier.unknown");
+  ins_.compile_builds = registry->GetCounter("compile.builds");
+  ins_.compile_fallbacks = registry->GetCounter("compile.fallbacks");
+  ins_.compile_reuses = registry->GetCounter("compile.reuses");
+  ins_.compile_nodes = registry->GetCounter("compile.nodes");
+  ins_.compile_restored = registry->GetCounter("compile.restored");
+  ins_.compile_evictions = registry->GetCounter("compile.evictions");
   ins_.batch_size = registry->GetHistogram(
       "evaluator.batch.size", {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0});
   ins_.batch_misses = registry->GetHistogram(
@@ -112,6 +118,34 @@ void ProbabilityEvaluator::AddSolverTally(const GovernorTally& tally) {
   ins_.solver_tier_unknown->Increment(tally.tier_unknown);
 }
 
+CircuitStats ProbabilityEvaluator::compile_stats() const {
+  CircuitStats out;
+  out.builds = ins_.compile_builds->value();
+  out.fallbacks = ins_.compile_fallbacks->value();
+  out.reuses = ins_.compile_reuses->value();
+  out.nodes = ins_.compile_nodes->value();
+  out.restored = ins_.compile_restored->value();
+  out.evictions = ins_.compile_evictions->value();
+  return out;
+}
+
+void ProbabilityEvaluator::AddCircuitStats(const CircuitStats& stats) {
+  ins_.compile_builds->Increment(stats.builds);
+  ins_.compile_fallbacks->Increment(stats.fallbacks);
+  ins_.compile_reuses->Increment(stats.reuses);
+  ins_.compile_nodes->Increment(stats.nodes);
+  ins_.compile_restored->Increment(stats.restored);
+  ins_.compile_evictions->Increment(stats.evictions);
+}
+
+std::uint64_t ProbabilityEvaluator::CompileTag() const {
+  if (!CompileActive()) return 0;
+  std::uint64_t h = SplitMix64(0xC1DC1ULL);
+  h = SplitMix64(h ^ options_.compile.max_nodes);
+  h = SplitMix64(h ^ kCircuitFormatVersion);
+  return h == 0 ? 1 : h;
+}
+
 std::uint64_t ProbabilityEvaluator::DistStamp(
     const Condition& condition) const {
   // Sum of per-occurrence digests: order-insensitive, and equal
@@ -161,7 +195,8 @@ bool ProbabilityEvaluator::IsCached(const Condition& condition) const {
   if (condition.IsDecided()) return false;
   const auto it = cache_.find(condition.Fingerprint());
   return it != cache_.end() &&
-         it->second.stamp == (DistStamp(condition) ^ BudgetTag());
+         it->second.stamp ==
+             (DistStamp(condition) ^ BudgetTag() ^ CompileTag());
 }
 
 Rng ProbabilityEvaluator::ConditionRng(
@@ -174,7 +209,7 @@ void ProbabilityEvaluator::Insert(const ConditionFingerprint& fingerprint,
                                   const Condition& condition,
                                   const ProbInterval& interval) {
   cache_[fingerprint] =
-      CacheEntry{interval, DistStamp(condition) ^ BudgetTag()};
+      CacheEntry{interval, DistStamp(condition) ^ BudgetTag() ^ CompileTag()};
   for (const CellRef& var : condition.Variables()) {
     var_index_[PackVar(var)].push_back(fingerprint);
   }
@@ -224,6 +259,38 @@ void ProbabilityEvaluator::SerializeMemoState(std::string* out) const {
     w.WriteU64(var);
     w.WriteU64(epoch);
   }
+
+  // Format-3 appendix: compiled artifacts and the compile-refusal set,
+  // both fingerprint-sorted for canonical bytes. A resumed session then
+  // re-evaluates circuits immediately instead of re-solving (and
+  // re-compiling) every condition once per resume.
+  std::vector<std::pair<ConditionFingerprint, const CompiledCircuit*>>
+      circuits;
+  circuits.reserve(circuits_.size());
+  for (const auto& [fingerprint, circuit] : circuits_) {
+    circuits.emplace_back(fingerprint, circuit.get());
+  }
+  std::sort(circuits.begin(), circuits.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.WriteU64(circuit_store_tag_);
+  w.WriteU64(circuits.size());
+  for (const auto& [fingerprint, circuit] : circuits) {
+    w.WriteU64(fingerprint.first);
+    w.WriteU64(fingerprint.second);
+    std::string blob;
+    BinWriter cw(&blob);
+    circuit->Serialize(&cw);
+    w.WriteString(blob);
+  }
+
+  std::vector<ConditionFingerprint> failed(circuit_failed_.begin(),
+                                           circuit_failed_.end());
+  std::sort(failed.begin(), failed.end());
+  w.WriteU64(failed.size());
+  for (const ConditionFingerprint& fingerprint : failed) {
+    w.WriteU64(fingerprint.first);
+    w.WriteU64(fingerprint.second);
+  }
 }
 
 Status ProbabilityEvaluator::RestoreMemoState(BinReader* reader,
@@ -242,6 +309,9 @@ Status ProbabilityEvaluator::RestoreMemoState(BinReader* reader,
   cache_.clear();
   var_index_.clear();
   var_epoch_.clear();
+  circuits_.clear();
+  circuit_failed_.clear();
+  circuit_store_tag_ = 0;
 
   std::uint64_t n = 0;
   BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 32));
@@ -295,16 +365,44 @@ Status ProbabilityEvaluator::RestoreMemoState(BinReader* reader,
     BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&epoch));
     var_epoch_.emplace(var, epoch);
   }
+  if (format < 3) return Status::OK();
+
+  CircuitStats restored;
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&circuit_store_tag_));
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 24));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ConditionFingerprint fingerprint;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.first));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.second));
+    std::string blob;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadString(&blob));
+    auto circuit = std::make_unique<CompiledCircuit>();
+    BinReader cr(blob);
+    BAYESCROWD_RETURN_NOT_OK(CompiledCircuit::Deserialize(&cr, circuit.get()));
+    circuits_.emplace(fingerprint, std::move(circuit));
+    ++restored.restored;
+  }
+
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 16));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ConditionFingerprint fingerprint;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.first));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.second));
+    circuit_failed_.insert(fingerprint);
+  }
+  AddCircuitStats(restored);
   return Status::OK();
 }
 
 Result<double> ProbabilityEvaluator::Compute(const Condition& condition,
-                                             Rng& rng, AdpllStats* stats) {
+                                             Rng& rng, AdpllStats* stats,
+                                             AdpllScratch* scratch) {
   Result<double> result = Status::Internal("unknown probability method");
   switch (options_.method) {
     case ProbabilityMethod::kAdpll: {
       BAYESCROWD_TRACE_SPAN("adpll.solve");
-      result = AdpllProbability(condition, dists_, options_.adpll, stats);
+      result = AdpllProbability(condition, dists_, options_.adpll, stats,
+                                scratch);
       break;
     }
     case ProbabilityMethod::kNaive:
@@ -327,12 +425,12 @@ Result<double> ProbabilityEvaluator::Compute(const Condition& condition,
 
 Result<ProbInterval> ProbabilityEvaluator::ComputeInterval(
     const Condition& condition, Rng& rng, AdpllStats* stats,
-    GovernorTally* tally) {
+    GovernorTally* tally, AdpllScratch* scratch) {
   if (!options_.governor.enabled()) {
     // Inert governor: the legacy point-valued path, byte for byte
     // (including the sampling_fallback behavior), graded kExact.
     BAYESCROWD_ASSIGN_OR_RETURN(const double p,
-                                Compute(condition, rng, stats));
+                                Compute(condition, rng, stats, scratch));
     return ProbInterval::Exact(p);
   }
   const SolverGovernor governor(options_.governor);
@@ -340,7 +438,8 @@ Result<ProbInterval> ProbabilityEvaluator::ComputeInterval(
     case ProbabilityMethod::kAdpll: {
       BAYESCROWD_TRACE_SPAN("adpll.solve");
       return governor.Evaluate(condition, dists_, options_.adpll,
-                               options_.sampling, rng, stats, tally);
+                               options_.sampling, rng, stats, tally,
+                               scratch);
     }
     case ProbabilityMethod::kNaive:
       return governor.EvaluateNaive(condition, dists_, options_.naive,
@@ -380,6 +479,50 @@ Result<ProbInterval> ProbabilityEvaluator::ComputeInterval(
   return Status::Internal("unknown probability method");
 }
 
+std::unique_ptr<const CompiledCircuit> ProbabilityEvaluator::BuildCircuit(
+    const Condition& condition, CircuitStats* stats) {
+  BAYESCROWD_TRACE_SPAN("circuit.compile");
+  Result<CompiledCircuit> compiled = CompileCondition(
+      condition, dists_, options_.adpll, options_.compile);
+  if (!compiled.ok()) {
+    // Budget or structural refusal: the condition stays on the ADPLL
+    // ladder (the refusal is recorded by the caller so it never
+    // retries). Compile errors are never surfaced — the exact answer
+    // was already computed.
+    ++stats->fallbacks;
+    return nullptr;
+  }
+  ++stats->builds;
+  stats->nodes += compiled.value().nodes.size();
+  return std::make_unique<const CompiledCircuit>(
+      std::move(compiled).value());
+}
+
+void ProbabilityEvaluator::StoreCircuit(
+    const ConditionFingerprint& fingerprint,
+    std::unique_ptr<const CompiledCircuit> circuit, CircuitStats* stats) {
+  if (circuits_.size() >= kMaxCircuits) {
+    stats->evictions += circuits_.size();
+    circuits_.clear();
+    circuit_failed_.clear();
+  }
+  circuits_.emplace(fingerprint, std::move(circuit));
+}
+
+void ProbabilityEvaluator::ReserveScratch(std::size_t lanes) {
+  if (adpll_scratch_.size() < lanes) adpll_scratch_.resize(lanes);
+  if (circuit_scratch_.size() < lanes) circuit_scratch_.resize(lanes);
+}
+
+void ProbabilityEvaluator::SyncCircuitStore(CircuitStats* stats) {
+  const std::uint64_t tag = BudgetTag() ^ CompileTag();
+  if (tag == circuit_store_tag_) return;
+  stats->evictions += circuits_.size();
+  circuits_.clear();
+  circuit_failed_.clear();
+  circuit_store_tag_ = tag;
+}
+
 Result<double> ProbabilityEvaluator::Probability(const Condition& condition) {
   BAYESCROWD_ASSIGN_OR_RETURN(const ProbInterval interval,
                               ProbabilityInterval(condition));
@@ -390,6 +533,7 @@ Result<ProbInterval> ProbabilityEvaluator::ProbabilityInterval(
     const Condition& condition) {
   if (condition.IsTrue()) return ProbInterval::Exact(1.0);
   if (condition.IsFalse()) return ProbInterval::Exact(0.0);
+  ReserveScratch(1);
   AdpllStats stats;
   GovernorTally tally;
   const bool governed = options_.governor.enabled();
@@ -401,7 +545,7 @@ Result<ProbInterval> ProbabilityEvaluator::ProbabilityInterval(
         governed ? ConditionRng(condition.Fingerprint()) : Rng(0);
     Result<ProbInterval> p =
         ComputeInterval(condition, governed ? cond_rng : rng_, &stats,
-                        &tally);
+                        &tally, &adpll_scratch_[0]);
     AddAdpllStats(stats);
     AddSolverTally(tally);
     return p;
@@ -410,19 +554,73 @@ Result<ProbInterval> ProbabilityEvaluator::ProbabilityInterval(
   const ConditionFingerprint fingerprint = condition.Fingerprint();
   const auto it = cache_.find(fingerprint);
   if (it != cache_.end() &&
-      it->second.stamp == (DistStamp(condition) ^ BudgetTag())) {
+      it->second.stamp ==
+          (DistStamp(condition) ^ BudgetTag() ^ CompileTag())) {
     ins_.cache_hits->Increment();
     return it->second.interval;
   }
   ins_.cache_misses->Increment();
+
+  // Compiled fast path: a memo miss whose condition already holds an
+  // artifact replays it under the current posteriors instead of
+  // re-running the solver. The replayed value is bit-identical to what
+  // ADPLL would compute (see circuit.h), so it is graded kExact.
+  const bool compiling = CompileActive();
+  CircuitStats circuit_stats;
+  if (compiling) {
+    SyncCircuitStore(&circuit_stats);
+    const auto cit = circuits_.find(fingerprint);
+    if (cit != circuits_.end()) {
+      Result<double> replay = 0.0;
+      {
+        BAYESCROWD_TRACE_SPAN("circuit.eval");
+        replay = cit->second->Evaluate(dists_, &circuit_scratch_[0]);
+      }
+      if (replay.ok()) {
+        ++circuit_stats.reuses;
+        AddCircuitStats(circuit_stats);
+        if (governed) {
+          ++tally.tier_exact;
+          AddSolverTally(tally);
+        }
+        const ProbInterval interval = ProbInterval::Exact(replay.value());
+        Insert(fingerprint, condition, interval);
+        return interval;
+      }
+      // Stale artifact (a referenced distribution vanished or changed
+      // arity): drop it, pin the refusal, and use the solver.
+      circuits_.erase(cit);
+      circuit_failed_.insert(fingerprint);
+      ++circuit_stats.fallbacks;
+    }
+  }
+
   Rng cond_rng = governed ? ConditionRng(fingerprint) : Rng(0);
   Result<ProbInterval> computed =
       ComputeInterval(condition, governed ? cond_rng : rng_, &stats,
-                      &tally);
+                      &tally, &adpll_scratch_[0]);
   AddAdpllStats(stats);
   AddSolverTally(tally);
-  BAYESCROWD_ASSIGN_OR_RETURN(const ProbInterval interval,
-                              std::move(computed));
+  if (!computed.ok()) {
+    AddCircuitStats(circuit_stats);
+    return computed.status();
+  }
+  const ProbInterval interval = computed.value();
+  // Compile after the first exact solve only: a degraded first answer
+  // means the formula is past the governed budget, and its circuit
+  // would disagree with the ladder's graded interval.
+  if (compiling && interval.quality == ProbQuality::kExact &&
+      circuits_.find(fingerprint) == circuits_.end() &&
+      circuit_failed_.find(fingerprint) == circuit_failed_.end()) {
+    std::unique_ptr<const CompiledCircuit> circuit =
+        BuildCircuit(condition, &circuit_stats);
+    if (circuit != nullptr) {
+      StoreCircuit(fingerprint, std::move(circuit), &circuit_stats);
+    } else {
+      circuit_failed_.insert(fingerprint);
+    }
+  }
+  AddCircuitStats(circuit_stats);
   Insert(fingerprint, condition, interval);
   return interval;
 }
@@ -449,7 +647,7 @@ ProbabilityEvaluator::EvaluateBatchIntervals(
   // Sequential pass: constants and memo hits; collect the rest. The
   // cache maps are touched on this thread only.
   const bool memoizable = Memoizable();
-  const std::uint64_t tag = BudgetTag();
+  const std::uint64_t tag = BudgetTag() ^ CompileTag();
   std::vector<std::size_t> misses;
   std::vector<ConditionFingerprint> fingerprints(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -474,27 +672,81 @@ ProbabilityEvaluator::EvaluateBatchIntervals(
   }
   ins_.batch_misses->Observe(static_cast<double>(misses.size()));
 
+  // Artifact lookups happen on this thread too (the maps are not
+  // lane-safe): each miss resolves to either a shared circuit pointer
+  // to replay, or a flag to compile after an exact first solve.
+  const bool compiling = CompileActive();
+  const bool governed = options_.governor.enabled();
+  std::vector<const CompiledCircuit*> miss_circuit;
+  std::vector<char> want_compile;
+  if (compiling) {
+    CircuitStats sync_stats;
+    SyncCircuitStore(&sync_stats);
+    AddCircuitStats(sync_stats);
+    miss_circuit.assign(misses.size(), nullptr);
+    want_compile.assign(misses.size(), 0);
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      const ConditionFingerprint& fingerprint = fingerprints[misses[m]];
+      const auto cit = circuits_.find(fingerprint);
+      if (cit != circuits_.end()) {
+        miss_circuit[m] = cit->second.get();
+      } else if (circuit_failed_.find(fingerprint) ==
+                 circuit_failed_.end()) {
+        want_compile[m] = 1;
+      }
+    }
+  }
+
   // Parallel pass: each miss is an independent model-counting call that
-  // only reads dists_. Results land in per-index slots, ADPLL and
-  // governor counters in per-lane accumulators, and sampling draws come
-  // from per-condition generators — so any lane count computes the same
-  // numbers.
+  // only reads dists_ (and shared, immutable circuits). Results land in
+  // per-index slots, ADPLL and governor counters in per-lane
+  // accumulators, sampling draws come from per-condition generators,
+  // and compiled artifacts go to per-miss slots — so any lane count
+  // computes the same numbers and the same cache state.
   const std::size_t lanes = pool_ == nullptr ? 1 : pool_->size();
   std::vector<AdpllStats> lane_stats(std::max<std::size_t>(lanes, 1));
   std::vector<GovernorTally> lane_tallies(lane_stats.size());
+  ReserveScratch(lane_stats.size());
   std::vector<Status> errors(misses.size(), Status::OK());
+  std::vector<char> circuit_served(misses.size(), 0);
+  std::vector<char> circuit_stale(misses.size(), 0);
+  std::vector<char> compile_refused(misses.size(), 0);
+  std::vector<std::unique_ptr<const CompiledCircuit>> built(misses.size());
   const auto evaluate_one = [this, &conditions, &fingerprints, &misses,
                              &intervals, &errors, &lane_stats,
-                             &lane_tallies](std::size_t lane,
-                                            std::size_t m) {
+                             &lane_tallies, &miss_circuit, &want_compile,
+                             &circuit_served, &circuit_stale,
+                             &compile_refused, &built, compiling,
+                             governed](std::size_t lane, std::size_t m) {
     const std::size_t i = misses[m];
+    if (compiling && miss_circuit[m] != nullptr) {
+      Result<double> replay = 0.0;
+      {
+        BAYESCROWD_TRACE_SPAN("circuit.eval");
+        replay = miss_circuit[m]->Evaluate(dists_, &circuit_scratch_[lane]);
+      }
+      if (replay.ok()) {
+        intervals[i] = ProbInterval::Exact(replay.value());
+        circuit_served[m] = 1;
+        if (governed) ++lane_tallies[lane].tier_exact;
+        return;
+      }
+      circuit_stale[m] = 1;
+    }
     Rng rng = ConditionRng(fingerprints[i]);
     Result<ProbInterval> p = ComputeInterval(
-        *conditions[i], rng, &lane_stats[lane], &lane_tallies[lane]);
-    if (p.ok()) {
-      intervals[i] = p.value();
-    } else {
+        *conditions[i], rng, &lane_stats[lane], &lane_tallies[lane],
+        &adpll_scratch_[lane]);
+    if (!p.ok()) {
       errors[m] = p.status();
+      return;
+    }
+    intervals[i] = p.value();
+    if (compiling && want_compile[m] != 0 &&
+        p.value().quality == ProbQuality::kExact) {
+      CircuitStats ignored;  // Recounted deterministically post-barrier.
+      built[m] = BuildCircuit(*conditions[i], &ignored);
+      if (built[m] == nullptr) compile_refused[m] = 1;
     }
   };
   Status pool_status = Status::OK();
@@ -516,6 +768,35 @@ ProbabilityEvaluator::EvaluateBatchIntervals(
   for (const Status& status : errors) {
     BAYESCROWD_RETURN_NOT_OK(status);
   }
+
+  // Fold the per-miss circuit outcomes into the shared maps in miss
+  // order, on this thread — identical state for every lane count.
+  if (compiling) {
+    CircuitStats circuit_stats;
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      const ConditionFingerprint& fingerprint = fingerprints[misses[m]];
+      if (circuit_served[m] != 0) ++circuit_stats.reuses;
+      if (circuit_stale[m] != 0) {
+        circuits_.erase(fingerprint);
+        circuit_failed_.insert(fingerprint);
+        ++circuit_stats.fallbacks;
+      }
+      if (compile_refused[m] != 0) {
+        circuit_failed_.insert(fingerprint);
+        ++circuit_stats.fallbacks;
+      }
+      if (built[m] != nullptr &&
+          circuits_.find(fingerprint) == circuits_.end()) {
+        // A duplicate condition in one batch builds twice; the second
+        // (identical) artifact is dropped so counters stay put.
+        ++circuit_stats.builds;
+        circuit_stats.nodes += built[m]->nodes.size();
+        StoreCircuit(fingerprint, std::move(built[m]), &circuit_stats);
+      }
+    }
+    AddCircuitStats(circuit_stats);
+  }
+
   if (memoizable) {
     for (const std::size_t i : misses) {
       Insert(fingerprints[i], *conditions[i], intervals[i]);

@@ -14,13 +14,22 @@
 //    model-counting calls of one round across an optional ThreadPool,
 //    with per-lane AdpllStats merged after the barrier. Results are
 //    written into per-index slots and sampling draws use per-condition
-//    seeds, so outputs are bit-identical for any thread count.
+//    seeds, so outputs are bit-identical for any thread count;
+//  * a knowledge-compilation layer (circuit.h / compiler.h): the first
+//    exact solve of a condition also compiles its ADPLL trace into a
+//    CompiledCircuit, and later memo misses for the same formula under
+//    shifted posteriors — the round loop's entire hot path — replay the
+//    circuit in one arena pass instead of re-running the search. The
+//    circuit reproduces ADPLL bit for bit, compile failures fall back
+//    to the governed ladder, and artifacts ride checkpoints so a
+//    resumed session keeps its compiled state.
 
 #ifndef BAYESCROWD_PROBABILITY_EVALUATOR_H_
 #define BAYESCROWD_PROBABILITY_EVALUATOR_H_
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include <memory>
@@ -33,6 +42,8 @@
 #include "ctable/ctable.h"
 #include "obs/metrics.h"
 #include "probability/adpll.h"
+#include "probability/circuit.h"
+#include "probability/compiler.h"
 #include "probability/distributions.h"
 #include "probability/governor.h"
 #include "probability/interval.h"
@@ -73,12 +84,20 @@ struct ProbabilityOptions {
   /// supersedes `sampling_fallback` for the governed methods — the
   /// ladder's sampling tier plays that role with an explicit grade.
   GovernorOptions governor;
+
+  /// Knowledge compilation of memoized ADPLL solves (see compiler.h).
+  /// Only engages for eligible configurations — memoized kAdpll with a
+  /// deterministic branch heuristic, and not under the strict ladder
+  /// (whose budget-exhausted evaluations must stay budget-exhausted).
+  CompileOptions compile;
 };
 
 /// Current on-disk format of SerializeMemoState blobs. Format 1 (point
-/// probabilities, pre-governor) is still readable; pass the version
-/// recorded alongside the blob to RestoreMemoState.
-inline constexpr std::uint32_t kMemoStateFormat = 2;
+/// probabilities, pre-governor) and format 2 (graded intervals, no
+/// compile artifacts) are still readable; pass the version recorded
+/// alongside the blob to RestoreMemoState. Format 3 appends the
+/// compiled-circuit artifacts and the compile-refusal set.
+inline constexpr std::uint32_t kMemoStateFormat = 3;
 
 /// Cumulative memo-cache counters (never reset by the evaluator; take
 /// before/after snapshots for per-phase rates).
@@ -173,6 +192,13 @@ class ProbabilityEvaluator {
   /// while the governor is inert.
   GovernorTally solver_stats() const;
 
+  /// Compile-layer counters ("compile.*"), read back the same way. All
+  /// zero while compilation is off or ineligible.
+  CircuitStats compile_stats() const;
+
+  /// Number of compiled artifacts currently cached.
+  std::size_t CircuitCount() const { return circuits_.size(); }
+
   /// Points the evaluator's instruments ("evaluator.cache.*",
   /// "adpll.*", "evaluator.batch.*") at `registry`. nullptr (the
   /// constructor default) binds a private registry, so fresh evaluators
@@ -213,24 +239,69 @@ class ProbabilityEvaluator {
   /// exact value was asked for). 0 — the v1 stamp — when inert.
   std::uint64_t BudgetTag() const { return options_.governor.Fingerprint(); }
 
+  /// Compile-artifact component of cache stamps, mirroring BudgetTag():
+  /// entries (and on-disk artifacts) produced under one compile
+  /// configuration or circuit format never alias another. 0 — the
+  /// legacy stamp — whenever compilation is inactive, which keeps
+  /// pre-compile cache blobs valid.
+  std::uint64_t CompileTag() const;
+
   bool Memoizable() const {
     return options_.memoize &&
            (options_.method == ProbabilityMethod::kAdpll ||
             options_.method == ProbabilityMethod::kNaive);
   }
 
+  /// True when this configuration compiles circuits: memoized kAdpll
+  /// with a value-independent branch heuristic, and not under the
+  /// strict ladder (strict mode's contract is "exact within budget or
+  /// [0,1]" — serving compiled exact answers would change which).
+  bool CompileActive() const {
+    return options_.compile.mode != CompileMode::kOff && Memoizable() &&
+           options_.method == ProbabilityMethod::kAdpll &&
+           options_.adpll.heuristic != BranchHeuristic::kRandom &&
+           !(options_.governor.enabled() &&
+             options_.governor.ladder == LadderMode::kStrict);
+  }
+
   /// One uncached evaluation. `rng` supplies sampling draws (batch mode
   /// passes a per-condition generator so parallel order cannot leak into
-  /// results); `stats` receives ADPLL counters.
+  /// results); `stats` receives ADPLL counters; `scratch` holds the
+  /// solver's reusable per-lane buffers (nullptr: per-call buffers).
   Result<double> Compute(const Condition& condition, Rng& rng,
-                         AdpllStats* stats);
+                         AdpllStats* stats, AdpllScratch* scratch);
 
   /// One uncached *governed* evaluation: dispatches to Compute when the
   /// governor is inert (grading the result kExact), otherwise walks the
   /// degradation ladder. `tally` receives the governor counters.
   Result<ProbInterval> ComputeInterval(const Condition& condition, Rng& rng,
                                        AdpllStats* stats,
-                                       GovernorTally* tally);
+                                       GovernorTally* tally,
+                                       AdpllScratch* scratch);
+
+  /// Compiles `condition` after its first exact evaluation. Returns the
+  /// artifact, or nullptr when the compile refused (budget/structure) —
+  /// the caller then records the refusal so the condition never
+  /// retries. Counts into `stats`.
+  std::unique_ptr<const CompiledCircuit> BuildCircuit(
+      const Condition& condition, CircuitStats* stats);
+
+  /// Stores one compiled artifact under the (deterministic, miss-order)
+  /// cache-cap policy. Counts into `stats`.
+  void StoreCircuit(const ConditionFingerprint& fingerprint,
+                    std::unique_ptr<const CompiledCircuit> circuit,
+                    CircuitStats* stats);
+
+  /// Ensures the per-lane solver scratch vectors cover `lanes` lanes.
+  void ReserveScratch(std::size_t lanes);
+
+  /// Drops the artifact store when the active budget/compile tag no
+  /// longer matches the one it was populated under. Counts into
+  /// `stats`.
+  void SyncCircuitStore(CircuitStats* stats);
+
+  /// Folds one compile-layer tally into the counters.
+  void AddCircuitStats(const CircuitStats& stats);
 
   /// Deterministic per-condition sampling stream.
   Rng ConditionRng(const ConditionFingerprint& fingerprint) const;
@@ -253,6 +324,33 @@ class ProbabilityEvaluator {
   std::unordered_map<ConditionFingerprint, CacheEntry,
                      ConditionFingerprintHash>
       cache_;
+
+  /// Compiled artifacts by condition fingerprint. Value-independent:
+  /// entries survive distribution updates (only an arity change stales
+  /// one, detected at evaluation). unique_ptr keeps the arenas stable
+  /// while lanes share them during a batch.
+  std::unordered_map<ConditionFingerprint,
+                     std::unique_ptr<const CompiledCircuit>,
+                     ConditionFingerprintHash>
+      circuits_;
+  /// Conditions whose compile refused (budget/structure) or whose
+  /// circuit failed to evaluate — never retried.
+  std::unordered_set<ConditionFingerprint, ConditionFingerprintHash>
+      circuit_failed_;
+  /// BudgetTag ^ CompileTag the artifact store was populated under. A
+  /// governed lookup must never replay a circuit from another budget
+  /// configuration (a fresh run under that budget may degrade where
+  /// the circuit is exact), so a tag change drops the store — the same
+  /// rule the memo stamps enforce, applied store-wide.
+  std::uint64_t circuit_store_tag_ = 0;
+  /// Artifact-cache cap: reaching it clears the whole map (a
+  /// deterministic policy — LRU would depend on evaluation order).
+  static constexpr std::size_t kMaxCircuits = 8192;
+
+  /// Per-lane solver scratch (element 0 serves the sequential paths);
+  /// grown to the pool width before a parallel batch pass.
+  std::vector<AdpllScratch> adpll_scratch_;
+  std::vector<CircuitScratch> circuit_scratch_;
   /// Fingerprints of cached conditions per mentioned variable (may hold
   /// stale fingerprints; eviction tolerates them).
   std::unordered_map<PackedVar, std::vector<ConditionFingerprint>>
@@ -279,6 +377,12 @@ class ProbabilityEvaluator {
     obs::Counter* solver_tier_partial = nullptr;
     obs::Counter* solver_tier_sampled = nullptr;
     obs::Counter* solver_tier_unknown = nullptr;
+    obs::Counter* compile_builds = nullptr;
+    obs::Counter* compile_fallbacks = nullptr;
+    obs::Counter* compile_reuses = nullptr;
+    obs::Counter* compile_nodes = nullptr;
+    obs::Counter* compile_restored = nullptr;
+    obs::Counter* compile_evictions = nullptr;
     obs::Histogram* batch_size = nullptr;
     obs::Histogram* batch_misses = nullptr;
   } ins_;

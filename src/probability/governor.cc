@@ -105,7 +105,7 @@ Result<ProbInterval> SolverGovernor::SampleTier(
 Result<ProbInterval> SolverGovernor::Evaluate(
     const Condition& condition, const DistributionMap& dists,
     const AdpllOptions& base, const SamplingOptions& sampling, Rng& rng,
-    AdpllStats* stats, GovernorTally* tally) const {
+    AdpllStats* stats, GovernorTally* tally, AdpllScratch* scratch) const {
   SolverControl control;
   if (options_.deadline_ms > 0) {
     control.SetDeadline(std::chrono::steady_clock::now() +
@@ -132,7 +132,7 @@ Result<ProbInterval> SolverGovernor::Evaluate(
   {
     BAYESCROWD_TRACE_SPAN("governor.tier.exact");
     Result<double> exact =
-        AdpllProbability(condition, dists, governed, stats);
+        AdpllProbability(condition, dists, governed, stats, scratch);
     if (exact.ok()) {
       if (tally != nullptr) ++tally->tier_exact;
       return ProbInterval::Exact(exact.value());
@@ -152,7 +152,8 @@ Result<ProbInterval> SolverGovernor::Evaluate(
     BAYESCROWD_TRACE_SPAN("governor.tier.partial");
     BAYESCROWD_ASSIGN_OR_RETURN(
         const ProbInterval partial,
-        AdpllPartialProbability(condition, dists, governed, stats));
+        AdpllPartialProbability(condition, dists, governed, stats, nullptr,
+                                scratch));
     if (partial.width() < 1.0) {
       if (tally != nullptr) {
         if (partial.exact()) {

@@ -125,13 +125,14 @@ class SolverGovernor {
 
   /// Governed evaluation with ADPLL as the exact tier. `base` carries
   /// the caller's solver configuration; the governor clamps its budgets
-  /// and installs cancellation. `rng` feeds the sampling tier only.
+  /// and installs cancellation. `rng` feeds the sampling tier only;
+  /// `scratch` holds the solver's reusable buffers (see AdpllScratch).
   Result<ProbInterval> Evaluate(const Condition& condition,
                                 const DistributionMap& dists,
                                 const AdpllOptions& base,
                                 const SamplingOptions& sampling, Rng& rng,
-                                AdpllStats* stats,
-                                GovernorTally* tally) const;
+                                AdpllStats* stats, GovernorTally* tally,
+                                AdpllScratch* scratch = nullptr) const;
 
   /// Governed evaluation with full Naive enumeration as the exact tier.
   Result<ProbInterval> EvaluateNaive(const Condition& condition,

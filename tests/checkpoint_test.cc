@@ -415,7 +415,10 @@ TEST(GoldenV2FixtureTest, CommittedFixtureMatchesHeadBytes) {
   std::uint32_t version = 0;
   const auto payload = UnwrapCheckpoint(bytes, &version);
   ASSERT_TRUE(payload.ok()) << payload.status().ToString();
-  EXPECT_EQ(version, kCheckpointVersion);
+  // The committed fixture is a frozen v2 envelope (BC_REGEN_GOLDEN
+  // would stamp today's version; the pin below catches that so the
+  // fixture is never silently upgraded).
+  EXPECT_EQ(version, 2u);
   BinReader reader(payload.value());
   SessionState restored;
   ASSERT_TRUE(
@@ -431,7 +434,9 @@ TEST(GoldenV2FixtureTest, CommittedFixtureMatchesHeadBytes) {
             ProbQuality::kPartialBound);
   EXPECT_EQ(restored.solver_breakers[1].object, 5u);
   EXPECT_FALSE(restored.solver_breakers[1].open);
-  EXPECT_EQ(restored.evaluator_blob_format, kMemoStateFormat);
+  // v2 envelopes predate compiled-circuit artifacts: their evaluator
+  // blobs must load as format 2, never as the current format.
+  EXPECT_EQ(restored.evaluator_blob_format, 2u);
 }
 
 TEST(CheckpointEnvelopeTest, AcceptsOlderVersionRejectsZero) {

@@ -110,6 +110,7 @@ int Usage() {
       "           [--solver-deadline-ms N]\n"
       "           [--solver-ladder full|interval|sample|strict]\n"
       "           [--breaker-threshold N] [--pessimistic]\n"
+      "           [--compile off|auto|on] [--compile-node-budget N]\n"
       "           [--verbose]\n"
       "           [--metrics-out F] [--trace-out F] [--telemetry-out F]\n"
       "  jsoncheck --in F\n"
@@ -139,6 +140,12 @@ int Usage() {
       "  this many consecutive degraded solves (0 disables);\n"
       "  --pessimistic ranks on the most-uncertain point of each\n"
       "  interval instead of its midpoint\n"
+      "  --compile: knowledge-compile each condition's first exact ADPLL\n"
+      "  solve into a reusable arithmetic circuit; later rounds replay\n"
+      "  it bit-identically instead of re-solving (auto: when eligible,\n"
+      "  the default; on: also reject ineligible flag combinations).\n"
+      "  --compile-node-budget caps circuit size; oversized conditions\n"
+      "  fall back to the governed solver ladder\n"
       "  normalize: strip machine-dependent fields (wall-clock times,\n"
       "  deadline hits; optionally lane usage and resume markers) from a\n"
       "  telemetry/metrics JSON so two runs diff byte-for-byte\n"
@@ -417,6 +424,43 @@ int CmdRun(const Flags& flags) {
     options.breaker_threshold = static_cast<std::size_t>(threshold);
   }
   if (flags.Has("pessimistic")) options.strategy.pessimistic = true;
+
+  // Knowledge compilation. `auto` (the default) silently skips
+  // ineligible configurations; `on` is a promise that compilation will
+  // engage, so combinations that cannot compile are rejected here.
+  CompileOptions& compile = options.probability.compile;
+  if (flags.Has("compile")) {
+    if (!ParseCompileMode(flags.Get("compile", ""), &compile.mode)) {
+      std::fprintf(stderr,
+                   "unknown --compile '%s' (expected off, auto, or on)\n",
+                   flags.Get("compile", "").c_str());
+      return 2;
+    }
+  }
+  if (flags.Has("compile-node-budget")) {
+    const int nodes = flags.GetInt("compile-node-budget", 0);
+    if (nodes <= 0) {
+      std::fprintf(stderr,
+                   "--compile-node-budget must be >= 1 (use --compile off "
+                   "to disable compilation)\n");
+      return 2;
+    }
+    compile.max_nodes = static_cast<std::uint64_t>(nodes);
+  }
+  if (compile.mode == CompileMode::kOn) {
+    if (governor.enabled() && governor.ladder == LadderMode::kStrict) {
+      std::fprintf(stderr,
+                   "--compile on cannot be combined with --solver-ladder "
+                   "strict (strict runs must stay budget-exact)\n");
+      return 2;
+    }
+    if (!options.probability.memoize) {
+      std::fprintf(stderr,
+                   "--compile on cannot be combined with --no-cache "
+                   "(artifacts are keyed by the memo cache)\n");
+      return 2;
+    }
+  }
 
   const std::string strategy = flags.Get("strategy", "hhs");
   if (strategy == "fbs") {

@@ -4,7 +4,9 @@
 # Pins the unified data-seed default: `generate` and `inject` both
 # default to --seed 42 (historically generate used 42 but inject used
 # 7), and the seed flag actually steers the output. Also checks the
-# fault-flag validation the run command grew with the retry layer.
+# fault-flag validation the run command grew with the retry layer, the
+# solver-governor flag validation, and the knowledge-compilation flag
+# validation (--compile / --compile-node-budget).
 #
 # Usage: cli_test.sh <path-to-bayescrowd_cli>
 
@@ -109,6 +111,37 @@ fi
 lines="$( (run_base --solver-ladder bogus 2>&1 >/dev/null || true) | wc -l)"
 [ "${lines}" -eq 1 ] \
   || fail "--solver-ladder rejection must print exactly one line, got ${lines}"
+
+# ------------------------------------------------------------------ #
+# run: knowledge-compilation flags validate.
+# ------------------------------------------------------------------ #
+if run_base --compile sometimes >/dev/null 2>&1; then
+  fail "run must reject an unknown --compile mode"
+fi
+if run_base --compile-node-budget 0 >/dev/null 2>&1; then
+  fail "run must reject --compile-node-budget 0"
+fi
+if run_base --compile-node-budget -64 >/dev/null 2>&1; then
+  fail "run must reject a negative --compile-node-budget"
+fi
+if run_base --compile on --solver-node-budget 4 --solver-ladder strict \
+    >/dev/null 2>&1; then
+  fail "run must reject --compile on combined with --solver-ladder strict"
+fi
+if run_base --compile on --no-cache >/dev/null 2>&1; then
+  fail "run must reject --compile on combined with --no-cache"
+fi
+# `auto` tolerates the same configurations `on` rejects: it just skips
+# compilation, so these must run to completion.
+run_base --compile auto --solver-node-budget 4 --solver-ladder strict \
+  --budget 4 --latency 2 >/dev/null \
+  || fail "--compile auto must tolerate a strict-ladder run"
+lines="$( (run_base --compile sometimes 2>&1 >/dev/null || true) | wc -l)"
+[ "${lines}" -eq 1 ] \
+  || fail "--compile rejection must print exactly one line, got ${lines}"
+lines="$( (run_base --compile on --no-cache 2>&1 >/dev/null || true) | wc -l)"
+[ "${lines}" -eq 1 ] \
+  || fail "--compile on/--no-cache rejection must print one line, got ${lines}"
 
 # ------------------------------------------------------------------ #
 # run: a governed run is deterministic (normalized telemetry diffs

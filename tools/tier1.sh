@@ -118,6 +118,35 @@ EOF
   --out "$SMOKE/telemetry_gov8_norm.json"
 cmp "$SMOKE/telemetry_gov1_norm.json" "$SMOKE/telemetry_gov8_norm.json"
 
+echo "== tier-1: compiled-path smoke run =="
+# The first smoke dataset again, with knowledge compilation forced on
+# and the solver ungoverned so every first solve completes exactly (and
+# so compiles). Compiled replay must be thread-count invariant down to
+# the byte, and the telemetry must prove the circuits actually engaged
+# (builds and replays > 0) rather than silently falling back to the
+# search. (The hostile instance is the wrong vehicle here: exact solves
+# on it take minutes; this stage pins the replay path, not endurance.)
+run_compiled() {
+  "$CLI" run --data "$SMOKE/holes.csv" --truth "$SMOKE/complete.csv" \
+    --strategy ubs --budget 20 --latency 4 --threads "$1" --alpha -1 \
+    --compile on \
+    --log-level warning \
+    --telemetry-out "$2" > /dev/null
+}
+run_compiled 1 "$SMOKE/telemetry_comp1.json"
+run_compiled 8 "$SMOKE/telemetry_comp8.json"
+python3 - "$SMOKE/telemetry_comp1.json" <<'EOF'
+import json, sys
+compile_stats = json.load(open(sys.argv[1]))["payload"]["compile"]
+assert compile_stats["builds"] > 0, "no circuits were ever compiled"
+assert compile_stats["reuses"] > 0, "compiled circuits were never replayed"
+EOF
+"$CLI" normalize --in "$SMOKE/telemetry_comp1.json" --strip-lanes \
+  --out "$SMOKE/telemetry_comp1_norm.json"
+"$CLI" normalize --in "$SMOKE/telemetry_comp8.json" --strip-lanes \
+  --out "$SMOKE/telemetry_comp8_norm.json"
+cmp "$SMOKE/telemetry_comp1_norm.json" "$SMOKE/telemetry_comp8_norm.json"
+
 echo "== tier-1: crash-safety tests under ASan+UBSan =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" \
   -DBC_SANITIZE=address,undefined \
@@ -125,9 +154,9 @@ cmake -B "$ROOT/build-asan" -S "$ROOT" \
   -DBAYESCROWD_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target checkpoint_test \
   --target killpoint_test --target fault_test --target differential_test \
-  --target governor_test
+  --target governor_test --target compile_test
 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test)'
+  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test|compile_test)'
 
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
@@ -136,8 +165,8 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DBAYESCROWD_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
   --target obs_test --target differential_test --target fault_test \
-  --target record_replay_test --target governor_test
+  --target record_replay_test --target governor_test --target compile_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
-  -R '(parallel_test|obs_test|differential_test|fault_test|record_replay_test|governor_test)'
+  -R '(parallel_test|obs_test|differential_test|fault_test|record_replay_test|governor_test|compile_test)'
 
 echo "tier-1 OK"
