@@ -147,4 +147,4 @@ BENCHMARK(BM_Ablation_RaoBlackwell)->Apply(SampleArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("ablation_probability");

@@ -166,4 +166,4 @@ BENCHMARK(BM_ConfidenceStop_060)->Apply(Unit);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("ablation_robustness");

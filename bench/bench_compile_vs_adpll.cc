@@ -210,12 +210,12 @@ void BM_CompileRoundLoop(benchmark::State& state) {
   state.counters["adpll_calls"] = static_cast<double>(outcome.adpll_calls);
   state.SetLabel(ConfigName(config));
 
+  obs::JsonValue run_config = obs::JsonValue::Object();
+  run_config["bench"] = std::string("round-loop");
+  run_config["config"] = ConfigName(config);
+  run_config["rounds"] = kRounds;
+  run_config["conditions"] = kChains;
   obs::JsonValue row = obs::JsonValue::Object();
-  row["bench"] = std::string("round-loop");
-  row["config"] = ConfigName(config);
-  row["rounds"] = kRounds;
-  row["conditions"] = kChains;
-  row["seconds"] = outcome.seconds;
   row["seconds_per_round"] = outcome.seconds / static_cast<double>(kRounds);
   row["adpll_calls"] = outcome.adpll_calls;
   row["bit_identical_to_exact"] = bit_identical;
@@ -232,7 +232,9 @@ void BM_CompileRoundLoop(benchmark::State& state) {
     state.counters["speedup_vs_governed"] =
         (*baselines)[kAdpllGoverned].seconds / outcome.seconds;
   }
-  Artifact().AddRow(std::move(row));
+  Artifact().AddRun(std::string("round-loop/") + ConfigName(config),
+                    1e3 * outcome.seconds, std::move(row),
+                    std::move(run_config));
 }
 
 void RoundLoopArgs(benchmark::internal::Benchmark* bench) {
@@ -309,16 +311,18 @@ void BM_AdpllScratch(benchmark::State& state) {
       static_cast<double>(kPasses * w.conditions.size()) / seconds;
   state.SetLabel(reuse ? "scratch-reused" : "scratch-per-call");
 
+  obs::JsonValue run_config = obs::JsonValue::Object();
+  run_config["bench"] = std::string("scratch");
+  run_config["config"] = reuse ? "scratch-reused" : "scratch-per-call";
+  run_config["solves"] = kPasses * w.conditions.size();
   obs::JsonValue row = obs::JsonValue::Object();
-  row["bench"] = std::string("scratch");
-  row["config"] = reuse ? "scratch-reused" : "scratch-per-call";
-  row["solves"] = kPasses * w.conditions.size();
-  row["seconds"] = seconds;
   row["checksum"] = checksum;
   if (reuse && seconds > 0.0) {
     row["speedup_vs_per_call"] = *per_call_seconds / seconds;
   }
-  Artifact().AddRow(std::move(row));
+  Artifact().AddRun(std::string("scratch/") +
+                        (reuse ? "scratch-reused" : "scratch-per-call"),
+                    1e3 * seconds, std::move(row), std::move(run_config));
 }
 
 BENCHMARK(BM_AdpllScratch)
@@ -378,15 +382,15 @@ void BM_CompilePipeline(benchmark::State& state) {
   state.counters["f1"] = quality.f1;
   state.SetLabel(compiled ? "pipeline-compiled" : "pipeline-adpll");
 
+  obs::JsonValue run_config = obs::JsonValue::Object();
+  run_config["bench"] = std::string("pipeline");
+  run_config["config"] = compiled ? "pipeline-compiled" : "pipeline-adpll";
   obs::JsonValue row = obs::JsonValue::Object();
-  row["bench"] = std::string("pipeline");
-  row["config"] = compiled ? "pipeline-compiled" : "pipeline-adpll";
   row["f1"] = quality.f1;
   row["precision"] = quality.precision;
   row["recall"] = quality.recall;
   row["tasks"] = result.tasks_posted;
   row["rounds"] = result.rounds;
-  row["machine_seconds"] = result.total_seconds;
   row["bit_identical_to_adpll"] = bit_identical;
   obs::JsonValue compile = obs::JsonValue::Object();
   compile["builds"] = result.compile.builds;
@@ -394,7 +398,10 @@ void BM_CompilePipeline(benchmark::State& state) {
   compile["fallbacks"] = result.compile.fallbacks;
   compile["restored"] = result.compile.restored;
   row["compile"] = std::move(compile);
-  Artifact().AddRow(std::move(row));
+  Artifact().AddRun(std::string("pipeline/") +
+                        (compiled ? "pipeline-compiled" : "pipeline-adpll"),
+                    1e3 * result.total_seconds, std::move(row),
+                    std::move(run_config));
 }
 
 BENCHMARK(BM_CompilePipeline)

@@ -17,6 +17,7 @@
 
 #include "bench_util.h"
 #include "bayesnet/imputation.h"
+#include "common/string_util.h"
 #include "crowd/fault_injection.h"
 #include "crowd/platform.h"
 #include "data/generators.h"
@@ -80,9 +81,10 @@ void BM_FaultSweep(benchmark::State& state) {
   state.counters["backoff_sim_seconds"] = result.backoff_seconds;
   state.counters["degraded"] = result.degraded ? 1.0 : 0.0;
 
+  obs::JsonValue config = obs::JsonValue::Object();
+  config["fault_rate"] = rate;
+  config["fault_seed"] = kFaultSeed;
   obs::JsonValue row = obs::JsonValue::Object();
-  row["fault_rate"] = rate;
-  row["fault_seed"] = kFaultSeed;
   row["f1"] = f1;
   row["tasks"] = result.tasks_posted;
   row["tasks_unanswered"] = result.tasks_unanswered;
@@ -105,7 +107,9 @@ void BM_FaultSweep(benchmark::State& state) {
   injected["batches_attempted"] = stats.batches_attempted;
   injected["batches_delivered"] = stats.batches_delivered;
   row["injected"] = std::move(injected);
-  Artifact().AddRow(std::move(row));
+  Artifact().AddRun(
+      StrFormat("fault_sweep/rate=%.2f", rate),
+      1e3 * result.total_seconds, std::move(row), std::move(config));
 }
 
 void SweepArgs(benchmark::internal::Benchmark* bench) {

@@ -44,4 +44,4 @@ BENCHMARK(BM_Fig10_Synthetic)->Apply(SweepArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("fig10_latency");

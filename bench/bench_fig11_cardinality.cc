@@ -63,4 +63,4 @@ BENCHMARK(BM_Fig11_Synthetic)->Apply(SweepArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("fig11_cardinality");

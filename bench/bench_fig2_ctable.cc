@@ -76,4 +76,4 @@ BENCHMARK(BM_Fig2_Synthetic_Baseline)->Apply(RateArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("fig2_ctable");

@@ -124,4 +124,4 @@ BENCHMARK(BM_Fig3_Synthetic_Adpll_All)->Apply(RateArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("fig3_probability");

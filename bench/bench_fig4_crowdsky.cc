@@ -133,4 +133,4 @@ BENCHMARK(BM_Fig4_CrowdSky)->Apply(CardinalityArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("fig4_crowdsky");

@@ -62,4 +62,4 @@ BENCHMARK(BM_Fig5_Synthetic)->Apply(SyntheticArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("fig5_budget");

@@ -62,4 +62,4 @@ BENCHMARK(BM_Fig6_Synthetic)->Apply(SweepArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("fig6_missing_rate");

@@ -53,4 +53,4 @@ BENCHMARK(BM_Fig7_Synthetic)->Apply(SweepArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("fig7_m");

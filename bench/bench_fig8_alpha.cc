@@ -48,4 +48,4 @@ BENCHMARK(BM_Fig8_Synthetic)->Apply(SweepArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("fig8_alpha");

@@ -56,4 +56,4 @@ BENCHMARK(BM_Fig9_Synthetic)->Apply(SweepArgs);
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("fig9_worker_accuracy");

@@ -116,14 +116,14 @@ void BM_GovernorLadder(benchmark::State& state) {
       static_cast<double>(result.degraded_objects.size());
   state.SetLabel(ConfigName(config));
 
+  obs::JsonValue run_config = obs::JsonValue::Object();
+  run_config["ladder"] = ConfigName(config);
   obs::JsonValue row = obs::JsonValue::Object();
-  row["config"] = ConfigName(config);
   row["f1"] = quality.f1;
   row["precision"] = quality.precision;
   row["recall"] = quality.recall;
   row["tasks"] = result.tasks_posted;
   row["rounds"] = result.rounds;
-  row["machine_seconds"] = result.total_seconds;
   obs::JsonValue solver = obs::JsonValue::Object();
   solver["budget_exhausted"] = result.solver.budget_exhausted;
   solver["tier_exact"] = result.solver.tier_exact;
@@ -133,7 +133,9 @@ void BM_GovernorLadder(benchmark::State& state) {
   solver["breaker_trips"] = result.breaker_trips;
   solver["degraded_objects"] = result.degraded_objects.size();
   row["solver"] = std::move(solver);
-  Artifact().AddRow(std::move(row));
+  Artifact().AddRun(
+      std::string("governor_ladder/") + ConfigName(config),
+      1e3 * result.total_seconds, std::move(row), std::move(run_config));
 }
 
 void LadderArgs(benchmark::internal::Benchmark* bench) {

@@ -21,6 +21,7 @@
 
 #include "bench_util.h"
 #include "bayesnet/imputation.h"
+#include "common/string_util.h"
 #include "crowd/platform.h"
 #include "data/generators.h"
 #include "skyline/metrics.h"
@@ -85,9 +86,10 @@ void BM_ParallelScaling(benchmark::State& state) {
                         .f1;
   state.counters["f1"] = f1;
 
+  obs::JsonValue config = obs::JsonValue::Object();
+  config["threads"] = threads;
+  config["cache"] = cache;
   obs::JsonValue row = obs::JsonValue::Object();
-  row["threads"] = threads;
-  row["cache"] = cache;
   row["crowd_seconds"] = result.crowdsourcing_seconds;
   row["select_seconds"] = result.select_seconds;
   row["update_seconds"] = result.update_seconds;
@@ -106,7 +108,10 @@ void BM_ParallelScaling(benchmark::State& state) {
     lanes.Append(std::move(entry));
   }
   row["lanes"] = std::move(lanes);
-  Artifact().AddRow(std::move(row));
+  Artifact().AddRun(
+      StrFormat("parallel_scaling/threads=%zu/cache=%d", threads,
+                cache ? 1 : 0),
+      1e3 * result.total_seconds, std::move(row), std::move(config));
 }
 
 void ScalingArgs(benchmark::internal::Benchmark* bench) {

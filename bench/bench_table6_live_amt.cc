@@ -59,4 +59,4 @@ BENCHMARK(BM_Table6_LiveAmt)
 }  // namespace
 }  // namespace bayescrowd::bench
 
-BENCHMARK_MAIN();
+BC_BENCH_MAIN("table6_live_amt");

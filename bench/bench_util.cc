@@ -7,6 +7,8 @@
 #include <map>
 #include <memory>
 
+#include <benchmark/benchmark.h>
+
 #include "bayesnet/structure_learning.h"
 #include "common/random.h"
 #include "crowd/platform.h"
@@ -155,6 +157,18 @@ BayesCrowdOptions SyntheticDefaults() {
   return options;
 }
 
+void BenchArtifact::AddRun(const std::string& run_name, double wall_ms,
+                           obs::JsonValue metrics, obs::JsonValue config) {
+  obs::JsonValue row = obs::JsonValue::Object();
+  row["name"] = run_name;
+  if (config.is_null()) config = obs::JsonValue::Object();
+  config["scale"] = ScaleFactor();
+  row["config"] = std::move(config);
+  row["metrics"] = std::move(metrics);
+  row["wall_ms"] = wall_ms;
+  rows_.push_back(std::move(row));
+}
+
 bool BenchArtifact::Write() {
   obs::JsonValue payload = obs::JsonValue::Array();
   for (obs::JsonValue& row : rows_) payload.Append(std::move(row));
@@ -167,6 +181,48 @@ bool BenchArtifact::Write() {
   }
   std::printf("wrote BENCH_%s.json\n", name_.c_str());
   return true;
+}
+
+namespace {
+
+// Tees every finished run into the artifact while still printing the
+// normal console table.
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ArtifactReporter(BenchArtifact* artifact)
+      : artifact_(artifact) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      obs::JsonValue metrics = obs::JsonValue::Object();
+      for (const auto& [key, counter] : run.counters) {
+        metrics[key] = static_cast<double>(counter);
+      }
+      const double iterations =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      artifact_->AddRun(run.benchmark_name(),
+                        1e3 * run.real_accumulated_time / iterations,
+                        std::move(metrics));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchArtifact* artifact_;
+};
+
+}  // namespace
+
+int BenchmarkMainWithArtifact(const std::string& name, int argc,
+                              char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchArtifact artifact(name);
+  ArtifactReporter reporter(&artifact);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return artifact.Write() ? 0 : 1;
 }
 
 }  // namespace bayescrowd::bench

@@ -83,6 +83,14 @@ class BenchArtifact {
 
   void AddRow(obs::JsonValue row) { rows_.push_back(std::move(row)); }
 
+  /// Appends a row in the shared artifact schema every bench binary
+  /// emits: {"name", "config": {"scale", ...}, "metrics": {...},
+  /// "wall_ms"}. `config` may be a null JsonValue; the scale knob is
+  /// always stamped in.
+  void AddRun(const std::string& run_name, double wall_ms,
+              obs::JsonValue metrics,
+              obs::JsonValue config = obs::JsonValue());
+
   /// Writes BENCH_<name>.json into the working directory. Returns
   /// false (after printing to stderr) on I/O failure.
   bool Write();
@@ -91,6 +99,19 @@ class BenchArtifact {
   std::string name_;
   std::vector<obs::JsonValue> rows_;
 };
+
+/// Drop-in replacement for BENCHMARK_MAIN() that additionally tees
+/// every google-benchmark run into a BenchArtifact (one shared-schema
+/// row per run, counters under "metrics") and writes BENCH_<name>.json
+/// after RunSpecifiedBenchmarks(). Use via BC_BENCH_MAIN("name").
+int BenchmarkMainWithArtifact(const std::string& name, int argc,
+                              char** argv);
+
+#define BC_BENCH_MAIN(name)                                          \
+  int main(int argc, char** argv) {                                  \
+    return bayescrowd::bench::BenchmarkMainWithArtifact(name, argc,  \
+                                                        argv);       \
+  }
 
 }  // namespace bayescrowd::bench
 

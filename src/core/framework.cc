@@ -62,6 +62,10 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   probability_options.sampling_fallback =
       probability_options.sampling_fallback || options_.sampling_fallback;
   ProbabilityEvaluator evaluator(probability_options);
+  // Context before binding: BindMetrics resolves the labeled cost
+  // instruments, and resolving under the default (s0, adhoc) context
+  // would leave phantom zero-valued series in the run's registry.
+  evaluator.SetCostContext(options_.session, "modeling");
   evaluator.BindMetrics(metrics);
   std::map<CellRef, std::vector<double>> raw_posteriors;
   for (const CellRef& var : ctable.AllVariables()) {
@@ -97,17 +101,68 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   obs::Counter* const breaker_skips_counter =
       metrics->GetCounter("framework.breaker.skips");
 
+  // Crowd-side deterministic cost units, labeled like the evaluator's:
+  // the "crowd" phase has no solver tier or compile state.
+  const auto crowd_cost = [&](const char* name) {
+    return metrics->GetCounter(name, {{"session", options_.session},
+                                      {"phase", "crowd"},
+                                      {"solver_tier", "none"},
+                                      {"compile_state", "none"}});
+  };
+  obs::Counter* const cost_crowd_tasks = crowd_cost("cost.crowd_tasks");
+  obs::Counter* const cost_retry_refunds =
+      crowd_cost("cost.retry_refunds");
+
+  obs::FlightRecorder* const flight = options_.flight;
+  // Per-round deltas of the governed/compiled counters drive the
+  // degradation and compile-refusal flight events (one summary event
+  // per round, not one per solve — the ring is for triage, not volume).
+  GovernorTally solver_before = evaluator.solver_stats();
+  CircuitStats compile_before = evaluator.compile_stats();
+  const auto flight_round_summary = [&](std::uint64_t round,
+                                        double sim_seconds) {
+    if (flight == nullptr) return;
+    const GovernorTally solver_now = evaluator.solver_stats();
+    const CircuitStats compile_now = evaluator.compile_stats();
+    const std::uint64_t degraded =
+        solver_now.budget_exhausted - solver_before.budget_exhausted;
+    if (degraded > 0) {
+      flight->Record(obs::FlightEventKind::kDegradation, round, -1,
+                     sim_seconds, static_cast<double>(degraded),
+                     "solver budget exhausted below the exact tier");
+    }
+    const std::uint64_t refused =
+        compile_now.fallbacks - compile_before.fallbacks;
+    if (refused > 0) {
+      flight->Record(obs::FlightEventKind::kCompileRefusal, round, -1,
+                     sim_seconds, static_cast<double>(refused),
+                     "knowledge compilation refused or fell back");
+    }
+    solver_before = solver_now;
+    compile_before = compile_now;
+  };
+
+  // Live export: one full snapshot per finished round, driven from this
+  // thread only.
+  const auto notify_round = [&](std::uint64_t round) -> Status {
+    if (options_.round_sink == nullptr) return Status::OK();
+    return options_.round_sink->OnRound(round, metrics->Snapshot());
+  };
+
   // ---------------------------------------------------------------- //
   // Crowdsourcing phase (Algorithm 4).
   // ---------------------------------------------------------------- //
-  Stopwatch crowd_watch;
-  KnowledgeBase knowledge(incomplete.schema());
-
   // One pool for the whole phase; every probability batch (entropy
   // ranking here, counterfactual scoring inside SelectTasks) fans out
-  // over it through the evaluator.
+  // over it through the evaluator. Spawned before the phase watch
+  // starts: thread startup is setup cost, not round work, and keeping
+  // it out of crowdsourcing_seconds is what lets the select/update
+  // phase timers account for (nearly) all of that window.
   ThreadPool pool(options_.threads);
   evaluator.set_thread_pool(&pool);
+  KnowledgeBase knowledge(incomplete.schema());
+
+  Stopwatch crowd_watch;
 
   const std::size_t mu = (options_.budget + options_.latency - 1) /
                          options_.latency;  // ceil(B / L)
@@ -167,6 +222,12 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       BAYESCROWD_RETURN_NOT_OK(platform.LoadState(&platform_reader));
     }
     metrics->Restore(st.metrics);
+    solver_before = evaluator.solver_stats();
+    compile_before = evaluator.compile_stats();
+    obs::RecordFlight(flight, obs::FlightEventKind::kResume, st.rounds, -1,
+                      st.simulated_seconds,
+                      static_cast<double>(st.rounds),
+                      "session restored from checkpoint snapshot");
     budget_left = st.budget_left;
     consecutive_barren = st.consecutive_barren;
     out.rounds = st.rounds;
@@ -226,12 +287,18 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     platform.SaveState(&state.platform_state);
     state.platform_tasks = platform.total_tasks();
     state.platform_rounds = platform.total_rounds();
-    return checkpoint_sink->Write(state);
+    BAYESCROWD_RETURN_NOT_OK(checkpoint_sink->Write(state));
+    obs::RecordFlight(flight, obs::FlightEventKind::kCheckpointWrite,
+                      out.rounds, -1, out.simulated_seconds,
+                      static_cast<double>(out.rounds),
+                      "session snapshot persisted");
+    return Status::OK();
   };
 
   while (budget_left > 1e-9) {
     obs::TraceSpan select_span("round.select");
     Stopwatch select_watch;
+    evaluator.SetCostContext(options_.session, "select");
     const EvaluatorCacheStats cache_before = evaluator.cache_stats();
 
     // Rank undecided objects by entropy (Eq. 3). Unchanged conditions
@@ -281,6 +348,13 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
                  !b.open) {
         b.open = true;
         breaker_trips_counter->Increment();
+        obs::RecordFlight(flight, obs::FlightEventKind::kBreakerTrip,
+                          out.rounds + 1,
+                          static_cast<std::int64_t>(b.object),
+                          out.simulated_seconds,
+                          static_cast<double>(b.consecutive),
+                          "solver breaker opened after consecutive "
+                          "inexact intervals");
       }
     }
     std::vector<double> probabilities(undecided.size());
@@ -301,7 +375,14 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       entry.entropy = entropies[u];
       ranked.push_back(entry);
     }
-    if (ranked.empty()) break;  // No expression left to crowdsource.
+    if (ranked.empty()) {
+      // Terminal partial round: the ranking work still happened, so it
+      // stays attributed to the select phase (no RoundLog — nothing
+      // was bought).
+      out.select_seconds += select_watch.ElapsedSeconds();
+      select_span.End();
+      break;  // No expression left to crowdsource.
+    }
     std::stable_sort(ranked.begin(), ranked.end(),
                      [](const ObjectEntropy& a, const ObjectEntropy& b) {
                        if (a.entropy != b.entropy) {
@@ -312,6 +393,8 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     if (options_.confidence_stop_entropy > 0.0 &&
         ranked.front().entropy < options_.confidence_stop_entropy) {
       out.stopped_confident = true;  // Every object is near-certain.
+      out.select_seconds += select_watch.ElapsedSeconds();
+      select_span.End();
       break;
     }
 
@@ -335,7 +418,11 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       ++affordable;
     }
     batch.resize(affordable);
-    if (batch.empty()) break;
+    if (batch.empty()) {
+      out.select_seconds += select_watch.ElapsedSeconds();
+      select_span.End();
+      break;
+    }
     const double select_seconds = select_watch.ElapsedSeconds();
     select_span.End();
 
@@ -350,6 +437,7 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     std::size_t attempts = 0;
     double round_clock = 0.0;
     double round_backoff = 0.0;
+    Stopwatch platform_watch;
     while (attempts < retry.max_attempts) {
       if (deadline > 0.0 &&
           round_clock + retry.attempt_seconds > deadline + 1e-12) {
@@ -381,7 +469,11 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       round_backoff += backoff;
       ++out.retries;
       retries_counter->Increment();
+      obs::RecordFlight(flight, obs::FlightEventKind::kRetry, out.rounds + 1,
+                        -1, out.simulated_seconds + round_clock, backoff,
+                        "transient platform failure; backing off");
     }
+    out.platform_wall_seconds += platform_watch.ElapsedSeconds();
     out.backoff_seconds += round_backoff;
     out.simulated_seconds += round_clock;
 
@@ -402,7 +494,18 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
       ++out.rounds_abandoned;
       rounds_counter->Increment();
       abandoned_counter->Increment();
-      BAYESCROWD_RETURN_NOT_OK(maybe_checkpoint());
+      obs::RecordFlight(flight, obs::FlightEventKind::kRoundAbandoned,
+                        out.rounds, -1, out.simulated_seconds,
+                        static_cast<double>(attempts),
+                        "no answer batch delivered before the round "
+                        "deadline");
+      {
+        Stopwatch export_watch;
+        BAYESCROWD_RETURN_NOT_OK(maybe_checkpoint());
+        flight_round_summary(out.rounds, out.simulated_seconds);
+        BAYESCROWD_RETURN_NOT_OK(notify_round(out.rounds));
+        out.export_seconds += export_watch.ElapsedSeconds();
+      }
       if (++consecutive_barren >= retry.max_barren_rounds) {
         out.degraded = true;  // Platform presumed down; degrade.
         break;
@@ -412,6 +515,13 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     if (answers.size() != batch.size()) {
       return Status::Internal("platform returned misaligned answers");
     }
+
+    // Everything from budget accounting through re-simplification is
+    // update-phase work; the watch starts here so the phase timers
+    // explain the round's wall-clock (inspect grades the coverage).
+    obs::TraceSpan update_span("round.update");
+    Stopwatch update_watch;
+    evaluator.SetCostContext(options_.session, "update");
 
     // Budget accounting: only answered tasks are charged; abstained or
     // dropped tasks are refunded and fall back into the pool.
@@ -432,10 +542,10 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     out.cost_refunded += refunded;
     out.tasks_unanswered += batch.size() - answered;
     unanswered_counter->Increment(batch.size() - answered);
+    cost_crowd_tasks->Increment(answered);
+    cost_retry_refunds->Increment(batch.size() - answered);
 
     // Fold the answers that arrived into the knowledge base.
-    obs::TraceSpan update_span("round.update");
-    Stopwatch update_watch;
     std::set<CellRef> touched;
     for (std::size_t t = 0; t < batch.size(); ++t) {
       if (!answers[t].answered) continue;
@@ -487,9 +597,6 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     log.round = out.rounds + 1;
     log.tasks = batch.size();
     log.select_seconds = select_seconds;
-    log.update_seconds = update_watch.ElapsedSeconds();
-    update_span.End();
-    log.seconds = log.select_seconds + log.update_seconds;
     log.attempts = attempts;
     log.answered = answered;
     log.unanswered = batch.size() - answered;
@@ -500,13 +607,25 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     log.cache_hits = cache_after.hits - cache_before.hits;
     log.cache_misses = cache_after.misses - cache_before.misses;
     out.select_seconds += log.select_seconds;
-    out.update_seconds += log.update_seconds;
-    out.round_logs.push_back(log);
     out.tasks_posted += batch.size();
     ++out.rounds;
     rounds_counter->Increment();
     tasks_counter->Increment(batch.size());
-    BAYESCROWD_RETURN_NOT_OK(maybe_checkpoint());
+    // The update window closes after the round's bookkeeping so the
+    // phase timers explain the loop's wall-clock; checkpoint I/O and
+    // the export sinks get their own bucket below.
+    log.update_seconds = update_watch.ElapsedSeconds();
+    update_span.End();
+    log.seconds = log.select_seconds + log.update_seconds;
+    out.update_seconds += log.update_seconds;
+    out.round_logs.push_back(log);
+    {
+      Stopwatch export_watch;
+      BAYESCROWD_RETURN_NOT_OK(maybe_checkpoint());
+      flight_round_summary(out.rounds, out.simulated_seconds);
+      BAYESCROWD_RETURN_NOT_OK(notify_round(out.rounds));
+      out.export_seconds += export_watch.ElapsedSeconds();
+    }
 
     // A delivered round that applied nothing still counts as barren:
     // with every worker abstaining, more rounds buy no information.
@@ -520,6 +639,17 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
     }
   }
   out.crowdsourcing_seconds = crowd_watch.ElapsedSeconds();
+  if (budget_left <= 1e-9) {
+    obs::RecordFlight(flight, obs::FlightEventKind::kBudgetExhausted,
+                      out.rounds, -1, out.simulated_seconds, budget_left,
+                      "crowdsourcing budget fully spent");
+  } else if (out.degraded) {
+    obs::RecordFlight(flight, obs::FlightEventKind::kNote, out.rounds, -1,
+                      out.simulated_seconds,
+                      static_cast<double>(consecutive_barren),
+                      "stopped after consecutive barren rounds; platform "
+                      "presumed down");
+  }
 
   // ---------------------------------------------------------------- //
   // Answer inference (Algorithm 1, line 5).
@@ -529,9 +659,12 @@ Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
   // distributions, never a stale breaker interval.
   std::vector<std::size_t> all_objects(ctable.num_objects());
   for (std::size_t i = 0; i < ctable.num_objects(); ++i) all_objects[i] = i;
+  evaluator.SetCostContext(options_.session, "answer");
+  Stopwatch answer_watch;
   BAYESCROWD_ASSIGN_OR_RETURN(
       out.probability_intervals,
       evaluator.EvaluateAllIntervals(ctable, all_objects));
+  out.answer_seconds = answer_watch.ElapsedSeconds();
   out.probabilities.resize(ctable.num_objects());
   for (std::size_t i = 0; i < ctable.num_objects(); ++i) {
     out.probabilities[i] = out.probability_intervals[i].midpoint();

@@ -24,6 +24,8 @@
 #include "ctable/ctable.h"
 #include "ctable/knowledge.h"
 #include "data/table.h"
+#include "obs/export.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "probability/evaluator.h"
 #include "probability/governor.h"
@@ -136,6 +138,23 @@ struct BayesCrowdOptions {
   /// other's counts. Inject a registry to aggregate across runs.
   obs::MetricsRegistry* metrics = nullptr;
 
+  /// Session label for cost attribution: every deterministic cost unit
+  /// ("cost.*" series) is charged to {session, phase, solver_tier,
+  /// compile_state}. One label value per run today; ROADMAP item 1's
+  /// multi-tenant server makes this the per-tenant dimension.
+  std::string session = "s0";
+
+  /// Flight recorder for structured runtime events (degradations,
+  /// breaker trips, compile refusals, retries, checkpoint writes,
+  /// budget exhaustion). Non-owning; nullptr disables. Purely
+  /// observational — recording never feeds back into the query.
+  obs::FlightRecorder* flight = nullptr;
+
+  /// Live export: receives the full metrics snapshot after every round
+  /// (abandoned rounds included) from the single-threaded round loop.
+  /// Non-owning; nullptr disables. A sink failure fails the run.
+  obs::RoundSnapshotSink* round_sink = nullptr;
+
   /// Crash safety: snapshot the session into `checkpoint_sink` every
   /// this many finished rounds (abandoned rounds included). 0 disables
   /// checkpointing; a sink failure fails the run.
@@ -227,9 +246,21 @@ struct BayesCrowdResult {
   double crowdsourcing_seconds = 0.0;
   double total_seconds = 0.0;
 
-  /// Per-phase totals across rounds (machine side).
+  /// Per-phase totals across rounds (machine side). Platform wall is
+  /// the machine-side cost of talking to the crowd platform (post,
+  /// retry bookkeeping) — distinct from the *simulated* worker clock.
   double select_seconds = 0.0;
   double update_seconds = 0.0;
+  double platform_wall_seconds = 0.0;
+  /// Round-boundary I/O: checkpoint writes plus the export sinks
+  /// (Prometheus scrape file, JSONL round stream, flight summaries).
+  /// Dominated by file I/O when live export is enabled, ~zero otherwise.
+  double export_seconds = 0.0;
+
+  /// Final answer-inference phase (machine side). Together with
+  /// modeling/select/update this covers the run's attributable
+  /// wall-clock; `inspect` reports the coverage ratio.
+  double answer_seconds = 0.0;
 
   /// Evaluator memo-cache totals for the whole run.
   std::uint64_t cache_hits = 0;

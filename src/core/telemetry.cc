@@ -3,11 +3,41 @@
 #include <cstdio>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "obs/telemetry.h"
 
 namespace bayescrowd {
 namespace {
+
+// Deterministic cost-unit attribution: every `cost.*` labeled counter
+// in the snapshot, grouped as one row per (session, phase, solver_tier,
+// compile_state) label set. Unit counts are thread-count independent
+// (charged at sequential fold points), so this section participates in
+// the byte-identity contracts like every other normalized count.
+obs::JsonValue AttributionJson(const obs::MetricsSnapshot& snapshot,
+                               double answer_seconds) {
+  obs::JsonValue rows = obs::JsonValue::Array();
+  std::uint64_t total_units = 0;
+  for (const auto& [series, value] : snapshot.counters) {
+    std::string base;
+    std::vector<obs::Label> labels;
+    obs::ParseSeriesName(series, &base, &labels);
+    if (base.rfind("cost.", 0) != 0) continue;
+    obs::JsonValue row = obs::JsonValue::Object();
+    row["unit"] = base;
+    for (const obs::Label& label : labels) row[label.key] = label.value;
+    row["units"] = value;
+    rows.Append(std::move(row));
+    total_units += value;
+  }
+  obs::JsonValue out = obs::JsonValue::Object();
+  out["total_units"] = total_units;
+  out["answer_seconds"] = answer_seconds;
+  out["rows"] = std::move(rows);
+  return out;
+}
 
 obs::JsonValue OptionsJson(const BayesCrowdOptions& options) {
   obs::JsonValue out = obs::JsonValue::Object();
@@ -106,8 +136,14 @@ obs::JsonValue RunTelemetryJson(const std::string& name,
   res["crowdsourcing_seconds"] = result.crowdsourcing_seconds;
   res["select_seconds"] = result.select_seconds;
   res["update_seconds"] = result.update_seconds;
+  res["platform_wall_seconds"] = result.platform_wall_seconds;
+  res["export_seconds"] = result.export_seconds;
+  res["answer_seconds"] = result.answer_seconds;
   res["total_seconds"] = result.total_seconds;
   payload["result"] = std::move(res);
+
+  payload["attribution"] =
+      AttributionJson(result.metrics, result.answer_seconds);
 
   obs::JsonValue cache = obs::JsonValue::Object();
   cache["hits"] = result.cache_hits;

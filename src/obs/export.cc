@@ -1,0 +1,196 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace bayescrowd::obs {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool legal = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                       c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+namespace {
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string RenderLabels(const std::vector<Label>& labels,
+                         const std::string& extra_key = "",
+                         const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += PrometheusName(label.key);
+    out += "=\"";
+    out += EscapeLabelValue(label.value);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// Groups a family of series by sanitized base name so the `# TYPE`
+// header is emitted once per family, as the exposition format requires.
+template <typename Value, typename Emit>
+void RenderFamilies(const std::map<std::string, Value>& series,
+                    const char* type, std::string* out, Emit&& emit) {
+  std::set<std::string> typed;
+  for (const auto& [key, value] : series) {
+    std::string base;
+    std::vector<Label> labels;
+    ParseSeriesName(key, &base, &labels);
+    const std::string name = PrometheusName(base);
+    if (typed.insert(name).second) {
+      *out += StrFormat("# TYPE %s %s\n", name.c_str(), type);
+    }
+    emit(name, labels, value, out);
+  }
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  RenderFamilies(snapshot.counters, "counter", &out,
+                 [](const std::string& name, const std::vector<Label>& labels,
+                    std::uint64_t value, std::string* text) {
+                   *text += StrFormat(
+                       "%s%s %llu\n", name.c_str(),
+                       RenderLabels(labels).c_str(),
+                       static_cast<unsigned long long>(value));
+                 });
+  RenderFamilies(snapshot.gauges, "gauge", &out,
+                 [](const std::string& name, const std::vector<Label>& labels,
+                    double value, std::string* text) {
+                   *text += StrFormat("%s%s %.17g\n", name.c_str(),
+                                      RenderLabels(labels).c_str(), value);
+                 });
+  RenderFamilies(
+      snapshot.histograms, "histogram", &out,
+      [](const std::string& name, const std::vector<Label>& labels,
+         const HistogramSnapshot& hist, std::string* text) {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+          cumulative += hist.bucket_counts[i];
+          const std::string le =
+              i < hist.bounds.size() ? StrFormat("%.17g", hist.bounds[i])
+                                     : std::string("+Inf");
+          *text += StrFormat(
+              "%s_bucket%s %llu\n", name.c_str(),
+              RenderLabels(labels, "le", le).c_str(),
+              static_cast<unsigned long long>(cumulative));
+        }
+        *text += StrFormat("%s_sum%s %.17g\n", name.c_str(),
+                           RenderLabels(labels).c_str(), hist.sum);
+        *text += StrFormat("%s_count%s %llu\n", name.c_str(),
+                           RenderLabels(labels).c_str(),
+                           static_cast<unsigned long long>(hist.count));
+      });
+  return out;
+}
+
+Result<std::unique_ptr<PrometheusFileExporter>> PrometheusFileExporter::Open(
+    const std::string& path) {
+  std::FILE* probe = std::fopen(path.c_str(), "w");
+  if (probe == nullptr) {
+    return Status::IOError(StrFormat("cannot write metrics file %s: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  std::fclose(probe);
+  return std::unique_ptr<PrometheusFileExporter>(
+      new PrometheusFileExporter(path));
+}
+
+Status PrometheusFileExporter::OnRound(std::uint64_t /*round*/,
+                                       const MetricsSnapshot& snapshot) {
+  std::FILE* file = std::fopen(path_.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError(StrFormat("cannot rewrite metrics file %s: %s",
+                                     path_.c_str(), std::strerror(errno)));
+  }
+  const std::string text = ToPrometheusText(snapshot);
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  if (std::fclose(file) != 0 || !ok) {
+    return Status::IOError(
+        StrFormat("short write to metrics file %s", path_.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<JsonlStreamExporter>> JsonlStreamExporter::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::IOError(StrFormat("cannot open metrics stream %s: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  return std::unique_ptr<JsonlStreamExporter>(new JsonlStreamExporter(file));
+}
+
+JsonlStreamExporter::~JsonlStreamExporter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status JsonlStreamExporter::OnRound(std::uint64_t round,
+                                    const MetricsSnapshot& snapshot) {
+  JsonValue line = JsonValue::Object();
+  line["schema_version"] = 1;
+  line["kind"] = "round_snapshot";
+  line["round"] = round;
+  line["metrics"] = snapshot.ToJson();
+  const std::string text = line.Dump() + "\n";
+  if (std::fwrite(text.data(), 1, text.size(), file_) != text.size() ||
+      std::fflush(file_) != 0) {
+    return Status::IOError("short write to metrics stream");
+  }
+  return Status::OK();
+}
+
+Status SnapshotFanout::OnRound(std::uint64_t round,
+                               const MetricsSnapshot& snapshot) {
+  for (RoundSnapshotSink* sink : sinks_) {
+    BAYESCROWD_RETURN_NOT_OK(sink->OnRound(round, snapshot));
+  }
+  return Status::OK();
+}
+
+}  // namespace bayescrowd::obs

@@ -1,0 +1,90 @@
+// Live metric export: Prometheus text exposition of a MetricsSnapshot,
+// and per-round snapshot sinks the framework drives at each round
+// boundary (`--metrics-prom` rewrites a scrape file, `--metrics-stream`
+// appends one JSONL envelope per round). These are the seams ROADMAP
+// item 1 turns into the resident server's live endpoints.
+//
+// Export is observation-only: sinks consume snapshots, nothing in the
+// query pipeline reads them back, so the obs-on/off and thread-count
+// bit-identity contracts are untouched.
+
+#ifndef BAYESCROWD_OBS_EXPORT_H_
+#define BAYESCROWD_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace bayescrowd::obs {
+
+/// Renders a snapshot in Prometheus text exposition format. Metric
+/// names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (dots become
+/// underscores); labeled series keys are parsed back into label pairs;
+/// histograms emit cumulative `_bucket{le=...}` plus `_sum`/`_count`.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Prometheus-legal metric name derived from an internal dotted name.
+std::string PrometheusName(const std::string& name);
+
+/// Receives the full metrics snapshot at each round boundary. Called
+/// from the single-threaded round loop only.
+class RoundSnapshotSink {
+ public:
+  virtual ~RoundSnapshotSink() = default;
+  virtual Status OnRound(std::uint64_t round,
+                         const MetricsSnapshot& snapshot) = 0;
+};
+
+/// Rewrites `path` with the Prometheus exposition of each snapshot —
+/// a file scrape target that always shows the latest round.
+class PrometheusFileExporter : public RoundSnapshotSink {
+ public:
+  /// Verifies the path is writable up front (the CLI wants a one-line
+  /// diagnostic at flag time, not a crash mid-run).
+  static Result<std::unique_ptr<PrometheusFileExporter>> Open(
+      const std::string& path);
+
+  Status OnRound(std::uint64_t round, const MetricsSnapshot& snapshot) override;
+
+ private:
+  explicit PrometheusFileExporter(std::string path)
+      : path_(std::move(path)) {}
+  const std::string path_;
+};
+
+/// Appends one compact JSON line per round:
+/// {"schema_version":1,"kind":"round_snapshot","round":N,"metrics":{...}}.
+class JsonlStreamExporter : public RoundSnapshotSink {
+ public:
+  static Result<std::unique_ptr<JsonlStreamExporter>> Open(
+      const std::string& path);
+  ~JsonlStreamExporter() override;
+
+  Status OnRound(std::uint64_t round, const MetricsSnapshot& snapshot) override;
+
+ private:
+  explicit JsonlStreamExporter(std::FILE* file) : file_(file) {}
+  std::FILE* file_;
+};
+
+/// Fans one snapshot out to several sinks (prom file + jsonl stream).
+class SnapshotFanout : public RoundSnapshotSink {
+ public:
+  void Add(RoundSnapshotSink* sink) { sinks_.push_back(sink); }
+  bool empty() const { return sinks_.empty(); }
+
+  Status OnRound(std::uint64_t round, const MetricsSnapshot& snapshot) override;
+
+ private:
+  std::vector<RoundSnapshotSink*> sinks_;
+};
+
+}  // namespace bayescrowd::obs
+
+#endif  // BAYESCROWD_OBS_EXPORT_H_

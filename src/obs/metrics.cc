@@ -3,9 +3,57 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace bayescrowd::obs {
+
+std::string LabeledSeriesName(const std::string& name,
+                              std::vector<Label> labels) {
+  if (labels.empty()) return name;
+  std::sort(labels.begin(), labels.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string out = name;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].key;
+    out += "=\"";
+    out += labels[i].value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void ParseSeriesName(const std::string& series, std::string* base,
+                     std::vector<Label>* labels) {
+  labels->clear();
+  const std::size_t brace = series.find('{');
+  if (brace == std::string::npos || series.back() != '}') {
+    *base = series;
+    return;
+  }
+  *base = series.substr(0, brace);
+  // Label values come from the interner (identifier-ish vocabulary, no
+  // embedded quotes), so a flat scan over `k="v",...` suffices.
+  std::size_t pos = brace + 1;
+  const std::size_t end = series.size() - 1;
+  while (pos < end) {
+    const std::size_t eq = series.find('=', pos);
+    if (eq == std::string::npos || eq >= end) break;
+    Label label;
+    label.key = series.substr(pos, eq - pos);
+    std::size_t vstart = eq + 1;
+    if (vstart < end && series[vstart] == '"') ++vstart;
+    std::size_t vend = series.find('"', vstart);
+    if (vend == std::string::npos || vend > end) vend = end;
+    label.value = series.substr(vstart, vend - vstart);
+    labels->push_back(std::move(label));
+    pos = vend + 1;
+    if (pos < end && series[pos] == ',') ++pos;
+  }
+}
 
 std::uint64_t Gauge::Pack(double v) {
   std::uint64_t bits = 0;
@@ -147,6 +195,98 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
     slot = std::make_unique<Histogram>(std::move(bounds));
   }
   return slot.get();
+}
+
+std::uint32_t MetricsRegistry::InternLocked(const std::string& key,
+                                            const std::string& value) {
+  LabelSpace& space = label_spaces_[key];
+  const auto it = space.ids.find(value);
+  if (it != space.ids.end()) return it->second;
+  if (space.ids.size() >= kMaxLabelValuesPerKey) {
+    if (!space.overflowed) {
+      space.overflowed = true;
+      ++label_overflow_keys_;
+      BAYESCROWD_LOG(Warning)
+          << "metrics label key '" << key << "' exceeded "
+          << kMaxLabelValuesPerKey
+          << " distinct values; further values collapse into \""
+          << kLabelOverflowValue << "\"";
+    }
+    const auto overflow = space.ids.find(kLabelOverflowValue);
+    if (overflow != space.ids.end()) return overflow->second;
+    // The cap reserves no slot for "_other"; it becomes the next id.
+    const auto id = static_cast<std::uint32_t>(space.ids.size());
+    space.ids.emplace(kLabelOverflowValue, id);
+    return id;
+  }
+  const auto id = static_cast<std::uint32_t>(space.ids.size());
+  space.ids.emplace(value, id);
+  return id;
+}
+
+std::uint32_t MetricsRegistry::InternLabelValue(const std::string& key,
+                                                const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternLocked(key, value);
+}
+
+std::string MetricsRegistry::InternedLabelValue(const std::string& key,
+                                                const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t id = InternLocked(key, value);
+  const LabelSpace& space = label_spaces_[key];
+  for (const auto& [interned, interned_id] : space.ids) {
+    if (interned_id == id) return interned;
+  }
+  return value;  // Unreachable: the id was just interned.
+}
+
+std::uint64_t MetricsRegistry::label_overflow_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return label_overflow_keys_;
+}
+
+std::string MetricsRegistry::CanonicalSeries(const std::string& name,
+                                             std::vector<Label> labels) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Label& label : labels) {
+      const std::uint32_t id = InternLocked(label.key, label.value);
+      const LabelSpace& space = label_spaces_[label.key];
+      if (space.overflowed) {
+        // The value may have been collapsed; resolve the id back.
+        for (const auto& [interned, interned_id] : space.ids) {
+          if (interned_id == id) {
+            label.value = interned;
+            break;
+          }
+        }
+      }
+    }
+    if (label_overflow_keys_ > 0) {
+      auto& slot = counters_["obs.label_overflow"];
+      if (slot == nullptr) slot = std::make_unique<Counter>();
+      slot->Set(label_overflow_keys_);
+    }
+  }
+  return LabeledSeriesName(name, std::move(labels));
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     std::vector<Label> labels) {
+  return GetCounter(CanonicalSeries(name, std::move(labels)));
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 std::vector<Label> labels) {
+  return GetGauge(CanonicalSeries(name, std::move(labels)));
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<Label> labels,
+                                         std::vector<double> bounds) {
+  return GetHistogram(CanonicalSeries(name, std::move(labels)),
+                      std::move(bounds));
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {

@@ -104,6 +104,27 @@ struct HistogramSnapshot {
   double sum = 0.0;
 };
 
+/// One dimension of a labeled series. Keys come from a small fixed
+/// vocabulary (session / phase / solver_tier / compile_state); values
+/// must be low-cardinality — the registry caps distinct values per key
+/// and collapses the overflow into "_other" (see kMaxLabelValuesPerKey).
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+/// Canonical storage key for a labeled series: `name{k1="v1",k2="v2"}`
+/// with labels sorted by key. Series with no labels keep their bare
+/// name, so every existing snapshot/normalize/checkpoint path handles
+/// labeled and unlabeled instruments uniformly.
+std::string LabeledSeriesName(const std::string& name,
+                              std::vector<Label> labels);
+
+/// Splits a canonical series key back into its base name and labels.
+/// Unlabeled keys return the key itself with no labels.
+void ParseSeriesName(const std::string& series, std::string* base,
+                     std::vector<Label>* labels);
+
 /// Point-in-time copy of every instrument, sorted by name (stable,
 /// diffable rendering).
 struct MetricsSnapshot {
@@ -134,6 +155,39 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds);
 
+  /// Labeled lookups. Each label value is interned first (enforcing the
+  /// per-key cardinality cap), then the canonical `name{k="v",...}` key
+  /// indexes the same instrument maps as the unlabeled overloads — so
+  /// Snapshot/Reset/Restore and every downstream consumer see labeled
+  /// series as ordinary instruments. Resolution takes the registry
+  /// mutex exactly like the unlabeled path; increments through the
+  /// returned handle stay lock-free.
+  Counter* GetCounter(const std::string& name, std::vector<Label> labels);
+  Gauge* GetGauge(const std::string& name, std::vector<Label> labels);
+  Histogram* GetHistogram(const std::string& name, std::vector<Label> labels,
+                          std::vector<double> bounds);
+
+  /// Interns `value` into `key`'s dense id space and returns the id.
+  /// Ids are assigned first-come (deterministic given call order). Once
+  /// a key holds kMaxLabelValuesPerKey distinct values, every further
+  /// new value maps to the shared overflow value "_other" (id 0 of the
+  /// overflow), and one warning line is logged for the key — unbounded
+  /// label values are a config bug, not something to crash over.
+  std::uint32_t InternLabelValue(const std::string& key,
+                                 const std::string& value);
+
+  /// The value string a prospective label would intern as (identity
+  /// below the cap, "_other" once the key is saturated).
+  std::string InternedLabelValue(const std::string& key,
+                                 const std::string& value);
+
+  /// Number of keys whose value space overflowed the cardinality cap.
+  /// Exposed as the self-metric "obs.label_overflow" too.
+  std::uint64_t label_overflow_keys() const;
+
+  static constexpr std::size_t kMaxLabelValuesPerKey = 24;
+  static constexpr const char* kLabelOverflowValue = "_other";
+
   MetricsSnapshot Snapshot() const;
 
   /// Zeroes every instrument, keeping registrations (and pointers) alive.
@@ -151,10 +205,25 @@ class MetricsRegistry {
   static MetricsRegistry& Default();
 
  private:
+  struct LabelSpace {
+    std::map<std::string, std::uint32_t> ids;  // value -> dense id.
+    bool overflowed = false;
+  };
+
+  // Callee of the labeled Get* overloads: rewrites each label value to
+  // its interned form and returns the canonical series key. Requires
+  // mu_ NOT held (takes it for the interning).
+  std::string CanonicalSeries(const std::string& name,
+                              std::vector<Label> labels);
+  std::uint32_t InternLocked(const std::string& key,
+                             const std::string& value);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, LabelSpace> label_spaces_;
+  std::uint64_t label_overflow_keys_ = 0;
 };
 
 }  // namespace bayescrowd::obs

@@ -116,6 +116,7 @@ TraceSpan::TraceSpan(const char* name) : name_(nullptr) {
   if (!tracer.enabled()) return;
   name_ = name;
   start_ns_ = tracer.NowNs();
+  tracer.open_spans_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TraceSpan::End() {
@@ -124,10 +125,14 @@ void TraceSpan::End() {
   TraceEvent event;
   event.name = name_;
   event.start_ns = start_ns_;
-  event.dur_ns = tracer.NowNs() - start_ns_;
+  // Enable() mid-span resets the epoch, which can make "now" precede
+  // the recorded start; clamp instead of wrapping to a ~585-year span.
+  const std::uint64_t now_ns = tracer.NowNs();
+  event.dur_ns = now_ns >= start_ns_ ? now_ns - start_ns_ : 0;
   Tracer::ThreadBuffer& buffer = tracer.LocalBuffer();
   event.tid = buffer.tid;
   buffer.events.push_back(event);
+  tracer.open_spans_.fetch_sub(1, std::memory_order_relaxed);
   name_ = nullptr;
 }
 

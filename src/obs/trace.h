@@ -68,6 +68,16 @@ class Tracer {
   /// calling thread's buffer) — test/diagnostic hook.
   std::size_t EventCountForTesting();
 
+  /// Spans constructed but not yet ended, across all threads. Complete
+  /// ("X") events are only recorded at End(), so a span still open when
+  /// the trace is written would silently vanish from the export; this
+  /// counter lets tests assert that every early-return / exception path
+  /// (breaker trips, deadline aborts, retry-exhausted rounds) closed
+  /// its spans before the writer ran.
+  std::uint64_t OpenSpanCount() const {
+    return open_spans_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class TraceSpan;
   struct ThreadBuffer;
@@ -80,6 +90,7 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> epoch_ns_{0};  // steady_clock origin.
   std::atomic<std::uint32_t> next_tid_{0};
+  std::atomic<std::uint64_t> open_spans_{0};
 
   std::mutex mu_;
   std::vector<TraceEvent> flushed_;

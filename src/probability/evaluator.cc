@@ -70,6 +70,35 @@ void ProbabilityEvaluator::BindMetrics(obs::MetricsRegistry* registry) {
       "evaluator.batch.size", {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0});
   ins_.batch_misses = registry->GetHistogram(
       "evaluator.batch.misses", {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0});
+  ResolveCostInstruments();
+}
+
+void ProbabilityEvaluator::ResolveCostInstruments() {
+  const auto labeled = [this](const char* name, std::size_t tier,
+                              const char* compile_state) {
+    return metrics_->GetCounter(
+        name, {{"session", cost_session_},
+               {"phase", cost_phase_},
+               {"solver_tier",
+                ProbQualityToString(static_cast<ProbQuality>(tier))},
+               {"compile_state", compile_state}});
+  };
+  for (std::size_t tier = 0; tier < kTierCount; ++tier) {
+    cost_.adpll_nodes[tier] = labeled("cost.adpll_nodes", tier, "search");
+    cost_.cache_hits[tier] = labeled("cost.cache_hits", tier, "memo");
+    cost_.cache_misses[tier] = labeled("cost.cache_misses", tier, "memo");
+  }
+  cost_.replay_ops = labeled(
+      "cost.replay_ops", static_cast<std::size_t>(ProbQuality::kExact),
+      "replay");
+}
+
+void ProbabilityEvaluator::SetCostContext(const std::string& session,
+                                          const std::string& phase) {
+  if (session == cost_session_ && phase == cost_phase_) return;
+  cost_session_ = session;
+  cost_phase_ = phase;
+  ResolveCostInstruments();
 }
 
 EvaluatorCacheStats ProbabilityEvaluator::cache_stats() const {
@@ -548,6 +577,9 @@ Result<ProbInterval> ProbabilityEvaluator::ProbabilityInterval(
                         &tally, &adpll_scratch_[0]);
     AddAdpllStats(stats);
     AddSolverTally(tally);
+    if (p.ok()) {
+      cost_.adpll_nodes[TierIndex(p.value().quality)]->Increment(stats.calls);
+    }
     return p;
   }
 
@@ -557,6 +589,7 @@ Result<ProbInterval> ProbabilityEvaluator::ProbabilityInterval(
       it->second.stamp ==
           (DistStamp(condition) ^ BudgetTag() ^ CompileTag())) {
     ins_.cache_hits->Increment();
+    cost_.cache_hits[TierIndex(it->second.interval.quality)]->Increment();
     return it->second.interval;
   }
   ins_.cache_misses->Increment();
@@ -583,6 +616,8 @@ Result<ProbInterval> ProbabilityEvaluator::ProbabilityInterval(
           ++tally.tier_exact;
           AddSolverTally(tally);
         }
+        cost_.replay_ops->Increment(cit->second->nodes.size());
+        cost_.cache_misses[TierIndex(ProbQuality::kExact)]->Increment();
         const ProbInterval interval = ProbInterval::Exact(replay.value());
         Insert(fingerprint, condition, interval);
         return interval;
@@ -606,6 +641,8 @@ Result<ProbInterval> ProbabilityEvaluator::ProbabilityInterval(
     return computed.status();
   }
   const ProbInterval interval = computed.value();
+  cost_.adpll_nodes[TierIndex(interval.quality)]->Increment(stats.calls);
+  cost_.cache_misses[TierIndex(interval.quality)]->Increment();
   // Compile after the first exact solve only: a degraded first answer
   // means the formula is past the governed budget, and its circuit
   // would disagree with the ladder's graded interval.
@@ -663,6 +700,8 @@ ProbabilityEvaluator::EvaluateBatchIntervals(
       if (it != cache_.end() &&
           it->second.stamp == (DistStamp(cond) ^ tag)) {
         ins_.cache_hits->Increment();
+        cost_.cache_hits[TierIndex(it->second.interval.quality)]
+            ->Increment();
         intervals[i] = it->second.interval;
         continue;
       }
@@ -712,11 +751,16 @@ ProbabilityEvaluator::EvaluateBatchIntervals(
   std::vector<char> circuit_stale(misses.size(), 0);
   std::vector<char> compile_refused(misses.size(), 0);
   std::vector<std::unique_ptr<const CompiledCircuit>> built(misses.size());
+  // Per-miss ADPLL node counts, charged to the labeled cost series
+  // after the barrier: the delta each miss adds to its lane's tally is
+  // schedule-independent, so the per-tier totals are too.
+  std::vector<std::uint64_t> miss_nodes(misses.size(), 0);
   const auto evaluate_one = [this, &conditions, &fingerprints, &misses,
                              &intervals, &errors, &lane_stats,
                              &lane_tallies, &miss_circuit, &want_compile,
                              &circuit_served, &circuit_stale,
-                             &compile_refused, &built, compiling,
+                             &compile_refused, &built, &miss_nodes,
+                             compiling,
                              governed](std::size_t lane, std::size_t m) {
     const std::size_t i = misses[m];
     if (compiling && miss_circuit[m] != nullptr) {
@@ -734,9 +778,11 @@ ProbabilityEvaluator::EvaluateBatchIntervals(
       circuit_stale[m] = 1;
     }
     Rng rng = ConditionRng(fingerprints[i]);
+    const std::uint64_t calls_before = lane_stats[lane].calls;
     Result<ProbInterval> p = ComputeInterval(
         *conditions[i], rng, &lane_stats[lane], &lane_tallies[lane],
         &adpll_scratch_[lane]);
+    miss_nodes[m] = lane_stats[lane].calls - calls_before;
     if (!p.ok()) {
       errors[m] = p.status();
       return;
@@ -767,6 +813,18 @@ ProbabilityEvaluator::EvaluateBatchIntervals(
   BAYESCROWD_RETURN_NOT_OK(pool_status);
   for (const Status& status : errors) {
     BAYESCROWD_RETURN_NOT_OK(status);
+  }
+
+  // Charge the labeled cost units in miss order on this thread: the
+  // resulting tier grades the charge, replays bill their arena size.
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    const std::size_t tier = TierIndex(intervals[misses[m]].quality);
+    if (circuit_served[m] != 0) {
+      cost_.replay_ops->Increment(miss_circuit[m]->nodes.size());
+    } else if (miss_nodes[m] > 0) {
+      cost_.adpll_nodes[tier]->Increment(miss_nodes[m]);
+    }
+    if (memoizable) cost_.cache_misses[tier]->Increment();
   }
 
   // Fold the per-miss circuit outcomes into the shared maps in miss

@@ -207,6 +207,22 @@ class ProbabilityEvaluator {
   void BindMetrics(obs::MetricsRegistry* registry);
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Cost-attribution context. Every deterministic cost unit the
+  /// evaluator produces (cost.adpll_nodes, cost.replay_ops,
+  /// cost.cache_hits / cost.cache_misses) is charged to a labeled
+  /// series {session, phase, solver_tier, compile_state}; the framework
+  /// switches the phase at each round-loop boundary ("select",
+  /// "update", "answer"). Handles re-resolve only when the context
+  /// actually changes — a few mutexed map lookups per phase switch, and
+  /// the per-evaluation charges stay lock-free relaxed adds. Charging
+  /// happens at the deterministic fold points (sequential cache pass,
+  /// post-barrier merge), so labeled totals are byte-identical at any
+  /// thread count. Call after BindMetrics; not thread-safe against
+  /// concurrent evaluation.
+  void SetCostContext(const std::string& session, const std::string& phase);
+  const std::string& cost_session() const { return cost_session_; }
+  const std::string& cost_phase() const { return cost_phase_; }
+
   /// Appends the memo state (sampling RNG position, cache entries with
   /// their stamps, variable index, distribution epochs) to `out` in a
   /// canonical binary form, so a resumed session replays the exact
@@ -386,6 +402,24 @@ class ProbabilityEvaluator {
     obs::Histogram* batch_size = nullptr;
     obs::Histogram* batch_misses = nullptr;
   } ins_;
+
+  /// Labeled cost-unit handles, one per solver tier (ProbQuality's four
+  /// grades), re-resolved by SetCostContext / BindMetrics.
+  static constexpr std::size_t kTierCount = 4;
+  void ResolveCostInstruments();
+  std::size_t TierIndex(ProbQuality quality) const {
+    return static_cast<std::size_t>(quality) < kTierCount
+               ? static_cast<std::size_t>(quality)
+               : kTierCount - 1;
+  }
+  std::string cost_session_ = "s0";
+  std::string cost_phase_ = "adhoc";
+  struct CostInstruments {
+    obs::Counter* adpll_nodes[kTierCount] = {};
+    obs::Counter* cache_hits[kTierCount] = {};
+    obs::Counter* cache_misses[kTierCount] = {};
+    obs::Counter* replay_ops = nullptr;  // Circuit replay: always exact.
+  } cost_;
 };
 
 }  // namespace bayescrowd

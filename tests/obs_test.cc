@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bayesnet/imputation.h"
@@ -246,6 +249,67 @@ TEST(TraceTest, ExplicitEndIsIdempotent) {
   tracer.Clear();
 }
 
+TEST(TraceTest, OpenSpanCountBalancesAcrossEarlyExits) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  ASSERT_EQ(tracer.OpenSpanCount(), 0u);
+
+  // Early return: the RAII destructor must close the span.
+  const auto early_return = [] {
+    BAYESCROWD_TRACE_SPAN("early-return");
+    return 7;
+  };
+  EXPECT_EQ(early_return(), 7);
+  EXPECT_EQ(tracer.OpenSpanCount(), 0u);
+
+  // Exception unwinding counts as an exit path too.
+  try {
+    obs::TraceSpan span("unwound");
+    EXPECT_EQ(tracer.OpenSpanCount(), 1u);
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(tracer.OpenSpanCount(), 0u);
+
+  // Cross-scope spans count down at End(), not at destruction, so a
+  // writer running between the two sees the span as closed.
+  {
+    obs::TraceSpan span("cross-scope");
+    EXPECT_EQ(tracer.OpenSpanCount(), 1u);
+    span.End();
+    EXPECT_EQ(tracer.OpenSpanCount(), 0u);
+  }
+  EXPECT_EQ(tracer.OpenSpanCount(), 0u);
+  tracer.Disable();
+  tracer.Clear();
+}
+
+TEST(TraceTest, EnableMidSpanClampsDurationInsteadOfWrapping) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  {
+    obs::TraceSpan span("clamped");
+    // Re-enabling resets the epoch, so "now" lands behind the span's
+    // recorded start. Without the clamp the duration wraps to ~585
+    // years and the trace viewer renders garbage.
+    tracer.Enable();
+  }
+  tracer.Disable();
+  const JsonValue doc = tracer.ChromeTraceJson();
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 1u);
+  const double dur_us = events->at(0).Find("dur")->AsDouble();
+  EXPECT_GE(dur_us, 0.0);
+  EXPECT_LT(dur_us, 1e6);  // Well under a second; definitely no wrap.
+  EXPECT_EQ(tracer.OpenSpanCount(), 0u);
+  tracer.Clear();
+}
+
+
 // ------------------------------------------------------------------ //
 // Telemetry
 // ------------------------------------------------------------------ //
@@ -378,6 +442,19 @@ TEST(ObsDeterminismTest, ObsOnVsOffBitIdenticalAt1And8Threads) {
     EXPECT_EQ(snap.counters.at("adpll.calls"), on.adpll.calls);
     EXPECT_EQ(snap.counters.at("framework.rounds"), on.rounds);
   }
+}
+
+TEST(TraceTest, PipelineRunLeavesNoOpenSpans) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  // A full run exercises every early-exit path instrumentation guards
+  // (phase spans, per-round spans with break sites). Whatever route the
+  // loop took, no span may still be open once Run() returns.
+  RunPipeline(2, nullptr);
+  EXPECT_EQ(tracer.OpenSpanCount(), 0u);
+  tracer.Disable();
+  tracer.Clear();
 }
 
 // ------------------------------------------------------------------ //

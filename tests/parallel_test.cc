@@ -217,7 +217,10 @@ TEST(ParallelDeterminismTest, RoundLogsSplitPhasesAndCountCacheTraffic) {
     select += log.select_seconds;
     update += log.update_seconds;
   }
-  EXPECT_DOUBLE_EQ(result.select_seconds, select);
+  // The terminal partial round (the selection pass that decides to
+  // stop) is charged to the run total at the loop break sites but never
+  // gets a round log, so the total dominates the per-round sum.
+  EXPECT_GE(result.select_seconds, select);
   EXPECT_DOUBLE_EQ(result.update_seconds, update);
   std::uint64_t round_hits = 0, round_misses = 0;
   for (const RoundLog& log : result.round_logs) {

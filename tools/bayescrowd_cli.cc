@@ -32,9 +32,12 @@
 #include "common/string_util.h"
 #include "core/checkpoint.h"
 #include "core/framework.h"
+#include "core/inspect.h"
 #include "core/report.h"
 #include "core/session.h"
 #include "core/telemetry.h"
+#include "obs/export.h"
+#include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/normalize.h"
@@ -113,6 +116,10 @@ int Usage() {
       "           [--compile off|auto|on] [--compile-node-budget N]\n"
       "           [--verbose]\n"
       "           [--metrics-out F] [--trace-out F] [--telemetry-out F]\n"
+      "           [--session S] [--flight-out F]\n"
+      "           [--metrics-prom F] [--metrics-stream F]\n"
+      "  inspect  --run T [--flight F]\n"
+      "  inspect  --run A --diff B [--threshold R]\n"
       "  jsoncheck --in F\n"
       "  normalize --in F [--out F] [--strip-lanes] [--strip-resume]\n"
       "  (pause/resume: run --interactive --record log --tasks-per-round K,\n"
@@ -152,7 +159,16 @@ int Usage() {
       "  global: --log-level debug|info|warning|error|off\n"
       "  --metrics-out: counters/gauges/histograms as JSON;\n"
       "  --trace-out: Chrome trace-event JSON (chrome://tracing, Perfetto);\n"
-      "  --telemetry-out: full machine-readable run document\n");
+      "  --telemetry-out: full machine-readable run document\n"
+      "  --session: label value stamped on every cost.* metric (default\n"
+      "  s0); --flight-out: flight-recorder JSONL, written even when the\n"
+      "  run fails; --metrics-prom: Prometheus scrape file rewritten each\n"
+      "  round; --metrics-stream: one snapshot JSON line per round\n"
+      "  inspect: renders per-phase / per-tier / per-round cost\n"
+      "  breakdowns from a --telemetry-out file (--flight adds the\n"
+      "  incident timeline); with --diff it compares two telemetry files\n"
+      "  and exits 1 when any deterministic metric drifts beyond\n"
+      "  --threshold (default 0.02, relative)\n");
   return 2;
 }
 
@@ -367,6 +383,21 @@ int CmdRun(const Flags& flags) {
   options.threads =
       static_cast<std::size_t>(std::max(0, flags.GetInt("threads", 0)));
   if (flags.Has("no-cache")) options.probability.memoize = false;
+
+  // Cost-attribution session label. It lands verbatim inside canonical
+  // series keys and Prometheus label values, so keep it to a safe
+  // charset instead of escaping it everywhere downstream.
+  options.session = flags.Get("session", "s0");
+  if (options.session.empty() ||
+      options.session.find_first_not_of(
+          "abcdefghijklmnopqrstuvwxyz"
+          "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+          "0123456789._-") != std::string::npos) {
+    std::fprintf(stderr,
+                 "--session must be non-empty [A-Za-z0-9._-] (it becomes "
+                 "a metric label value)\n");
+    return 2;
+  }
 
   // Resource governor. Budgets given explicitly must be meaningful:
   // a zero or negative budget is almost certainly a typo'd attempt at
@@ -663,8 +694,65 @@ int CmdRun(const Flags& flags) {
     options.checkpoint_every = static_cast<std::size_t>(every);
   }
 
+  // Flight recorder and live snapshot exporters. All writability
+  // problems surface here as one-line diagnostics, not mid-run crashes.
+  obs::FlightRecorder flight_recorder;
+  const std::string flight_out = flags.Get("flight-out", "");
+  if (flags.Has("flight-out")) {
+    if (flight_out.empty()) {
+      std::fprintf(stderr, "--flight-out needs a file path\n");
+      return 2;
+    }
+    std::FILE* probe = std::fopen(flight_out.c_str(), "ab");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "--flight-out: cannot open '%s' for writing\n",
+                   flight_out.c_str());
+      return 2;
+    }
+    std::fclose(probe);
+    options.flight = &flight_recorder;
+  }
+  obs::SnapshotFanout round_fanout;
+  std::unique_ptr<obs::PrometheusFileExporter> prom_exporter;
+  std::unique_ptr<obs::JsonlStreamExporter> stream_exporter;
+  if (flags.Has("metrics-prom")) {
+    auto opened =
+        obs::PrometheusFileExporter::Open(flags.Get("metrics-prom", ""));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "--metrics-prom: %s\n",
+                   opened.status().message().c_str());
+      return 2;
+    }
+    prom_exporter = std::move(opened).value();
+    round_fanout.Add(prom_exporter.get());
+  }
+  if (flags.Has("metrics-stream")) {
+    auto opened =
+        obs::JsonlStreamExporter::Open(flags.Get("metrics-stream", ""));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "--metrics-stream: %s\n",
+                   opened.status().message().c_str());
+      return 2;
+    }
+    stream_exporter = std::move(opened).value();
+    round_fanout.Add(stream_exporter.get());
+  }
+  if (!round_fanout.empty()) options.round_sink = &round_fanout;
+
   BayesCrowd framework(options);
   auto result = framework.Run(incomplete, *posteriors, *effective);
+
+  // The flight ring is most valuable when the run died, so it is
+  // flushed before any failure handling below gets a chance to return.
+  if (!flight_out.empty()) {
+    const Status st = flight_recorder.WriteJsonl(flight_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: could not write flight log: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::printf("wrote flight log to %s\n", flight_out.c_str());
+    }
+  }
   if (recorder != nullptr && flags.Has("record")) {
     // Save even when the run failed (e.g. the human walked away from an
     // interactive session): the bought answers are what makes resuming
@@ -765,6 +853,45 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
+int CmdInspect(const Flags& flags) {
+  const std::string run_path = flags.Get("run", "");
+  if (run_path.empty()) {
+    std::fprintf(stderr,
+                 "inspect needs --run <telemetry.json> (add --flight "
+                 "<flight.jsonl> for the incident timeline, or --diff "
+                 "<candidate.json> to compare two runs)\n");
+    return 2;
+  }
+  auto baseline = obs::ReadJsonFile(run_path);
+  if (!baseline.ok()) return Fail(baseline.status());
+
+  if (flags.Has("diff")) {
+    const std::string diff_path = flags.Get("diff", "");
+    if (diff_path.empty()) {
+      std::fprintf(stderr, "--diff needs a candidate telemetry file\n");
+      return 2;
+    }
+    auto candidate = obs::ReadJsonFile(diff_path);
+    if (!candidate.ok()) return Fail(candidate.status());
+    const double threshold = flags.GetDouble("threshold", 0.02);
+    auto diff = DiffRunTelemetry(*baseline, *candidate, threshold);
+    if (!diff.ok()) return Fail(diff.status());
+    std::printf("%s", diff->text.c_str());
+    return diff->regressions.empty() ? 0 : 1;
+  }
+
+  std::unique_ptr<obs::FlightLoad> flight;
+  if (flags.Has("flight")) {
+    auto loaded = obs::LoadFlightJsonl(flags.Get("flight", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    flight = std::make_unique<obs::FlightLoad>(std::move(loaded).value());
+  }
+  auto report = RenderRunInspection(*baseline, flight.get());
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s", report->text.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -799,6 +926,7 @@ int Main(int argc, char** argv) {
   if (command == "skyline") return CmdSkyline(flags);
   if (command == "ctable") return CmdCTable(flags);
   if (command == "run") return CmdRun(flags);
+  if (command == "inspect") return CmdInspect(flags);
   if (command == "jsoncheck") return CmdJsonCheck(flags);
   if (command == "normalize") return CmdNormalize(flags);
   return Usage();

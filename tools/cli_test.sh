@@ -168,4 +168,52 @@ tiers = (solver["tier_exact"] + solver["tier_partial"]
 assert tiers > 0, "governed run recorded no tiered evaluations"
 EOF
 
+# ------------------------------------------------------------------ #
+# run: attribution/export flags validate at flag time with one-line
+# diagnostics and exit code 2 — never a crash mid-run.
+# ------------------------------------------------------------------ #
+rc=0; run_base --session 'bad session!' >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] \
+  || fail "--session with illegal characters must exit 2, got ${rc}"
+rc=0; run_base --session '' >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || fail "an empty --session must exit 2, got ${rc}"
+lines="$( (run_base --session 'bad session!' 2>&1 >/dev/null || true) | wc -l)"
+[ "${lines}" -eq 1 ] \
+  || fail "--session rejection must print exactly one line, got ${lines}"
+for flag in flight-out metrics-prom metrics-stream; do
+  rc=0
+  run_base --budget 4 --latency 2 \
+    "--${flag}" /nonexistent-dir/out >/dev/null 2>&1 || rc=$?
+  [ "${rc}" -eq 2 ] \
+    || fail "--${flag} to an unwritable path must exit 2, got ${rc}"
+  lines="$( (run_base --budget 4 --latency 2 \
+    "--${flag}" /nonexistent-dir/out 2>&1 >/dev/null || true) | wc -l)"
+  [ "${lines}" -eq 1 ] \
+    || fail "--${flag} rejection must print exactly one line, got ${lines}"
+done
+
+# ------------------------------------------------------------------ #
+# inspect: exit 0 when runs agree, 1 on a flagged regression, 2 on
+# usage errors — the contract CI gating scripts rely on.
+# ------------------------------------------------------------------ #
+run_base --alpha -1 --budget 12 --latency 3 --session attr \
+  --telemetry-out "${WORK}/attr_a.json" >/dev/null
+run_base --alpha -1 --budget 12 --latency 3 --session attr \
+  --telemetry-out "${WORK}/attr_b.json" >/dev/null
+run_base --alpha -1 --budget 16 --latency 4 --session attr \
+  --telemetry-out "${WORK}/attr_drift.json" >/dev/null
+"${CLI}" inspect --run "${WORK}/attr_a.json" >/dev/null \
+  || fail "inspect --run on healthy telemetry must exit 0"
+"${CLI}" inspect --run "${WORK}/attr_a.json" --diff "${WORK}/attr_b.json" \
+  >/dev/null || fail "inspect --diff on identical-seed runs must exit 0"
+rc=0
+"${CLI}" inspect --run "${WORK}/attr_a.json" --diff "${WORK}/attr_drift.json" \
+  >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 1 ] \
+  || fail "inspect --diff across drifted runs must exit 1, got ${rc}"
+rc=0; "${CLI}" inspect >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || fail "inspect without --run must exit 2, got ${rc}"
+rc=0; "${CLI}" inspect --run /nonexistent-dir/x.json >/dev/null 2>&1 || rc=$?
+[ "${rc}" -ne 0 ] || fail "inspect on a missing telemetry file must fail"
+
 echo "cli_test: all checks passed"

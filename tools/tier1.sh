@@ -147,6 +147,47 @@ EOF
   --out "$SMOKE/telemetry_comp8_norm.json"
 cmp "$SMOKE/telemetry_comp1_norm.json" "$SMOKE/telemetry_comp8_norm.json"
 
+echo "== tier-1: cost attribution & inspection smoke =="
+# Labeled-cost run with the flight recorder and both live exporters on.
+# Two identical-seed runs must diff clean through `inspect --diff` (and
+# so must the 1-vs-8-thread governed pair above); the inspection must
+# attribute >=95% of phase wall-clock and 100% of cost units; a torn
+# flight-recorder tail (crash mid-write) must degrade to a skipped-line
+# count, never an error.
+run_attr() {
+  "$CLI" run --data "$SMOKE/holes.csv" --truth "$SMOKE/complete.csv" \
+    --strategy hhs --budget 20 --latency 4 --threads 4 --alpha -1 \
+    --session smoke --log-level warning \
+    --flight-out "$2" \
+    --metrics-prom "$SMOKE/scrape.prom" \
+    --metrics-stream "$SMOKE/rounds.jsonl" \
+    --telemetry-out "$1" > /dev/null
+}
+run_attr "$SMOKE/telemetry_attr_a.json" "$SMOKE/flight_a.jsonl"
+run_attr "$SMOKE/telemetry_attr_b.json" "$SMOKE/flight_b.jsonl"
+grep -q '^cost_' "$SMOKE/scrape.prom"           # Labeled series exported.
+grep -q 'round_snapshot' "$SMOKE/rounds.jsonl"  # One envelope per round.
+grep -q 'flight_header' "$SMOKE/flight_a.jsonl"
+"$CLI" inspect --run "$SMOKE/telemetry_attr_a.json" \
+  --flight "$SMOKE/flight_a.jsonl" > "$SMOKE/inspect_a.txt"
+python3 - "$SMOKE/inspect_a.txt" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+wall = float(re.search(r"wall_coverage: ([0-9.]+)%", text).group(1))
+units = float(re.search(r"unit_coverage: ([0-9.]+)%", text).group(1))
+assert wall >= 95.0, f"wall-clock attribution too low: {wall}%"
+assert units == 100.0, f"cost units lost their labels: {units}%"
+EOF
+"$CLI" inspect --run "$SMOKE/telemetry_attr_a.json" \
+  --diff "$SMOKE/telemetry_attr_b.json" > "$SMOKE/inspect_diff.txt"
+grep -q 'no regressions' "$SMOKE/inspect_diff.txt"
+"$CLI" inspect --run "$SMOKE/telemetry_gov1.json" \
+  --diff "$SMOKE/telemetry_gov8.json" > /dev/null
+printf '{"seq": 999, "kind": "re' >> "$SMOKE/flight_a.jsonl"
+"$CLI" inspect --run "$SMOKE/telemetry_attr_a.json" \
+  --flight "$SMOKE/flight_a.jsonl" > "$SMOKE/inspect_torn.txt"
+grep -q '1 corrupt line(s) skipped' "$SMOKE/inspect_torn.txt"
+
 echo "== tier-1: crash-safety tests under ASan+UBSan =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" \
   -DBC_SANITIZE=address,undefined \
@@ -154,9 +195,10 @@ cmake -B "$ROOT/build-asan" -S "$ROOT" \
   -DBAYESCROWD_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target checkpoint_test \
   --target killpoint_test --target fault_test --target differential_test \
-  --target governor_test --target compile_test
+  --target governor_test --target compile_test --target obs_test \
+  --target attribution_test
 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test|compile_test)'
+  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test|compile_test|obs_test|attribution_test)'
 
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
@@ -164,9 +206,10 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DBAYESCROWD_BUILD_BENCHMARKS=OFF \
   -DBAYESCROWD_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
-  --target obs_test --target differential_test --target fault_test \
-  --target record_replay_test --target governor_test --target compile_test
+  --target obs_test --target attribution_test --target differential_test \
+  --target fault_test --target record_replay_test --target governor_test \
+  --target compile_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
-  -R '(parallel_test|obs_test|differential_test|fault_test|record_replay_test|governor_test|compile_test)'
+  -R '(parallel_test|obs_test|attribution_test|differential_test|fault_test|record_replay_test|governor_test|compile_test)'
 
 echo "tier-1 OK"
