@@ -291,19 +291,26 @@ Status SyncDirectory(const std::string& dir) {
   return Status::OK();
 }
 
-/// Parses "ckpt-NNNNNNNN.bin"; returns false for anything else
-/// (including tmp files left by a killed write).
-bool ParseGenerationName(const std::string& name, std::size_t* rounds) {
-  constexpr std::string_view kPrefix = "ckpt-";
+/// Parses "ckpt-NNNNNNNN.bin" (empty `session_id`) or
+/// "ckpt-<session_id>-NNNNNNNN.bin" (non-empty); returns false for
+/// anything else — tmp files left by a killed write, and any other
+/// session's namespace. The two forms never match each other: the
+/// legacy parse requires a digit right after "ckpt-", and the
+/// namespaced parse requires its exact session prefix.
+bool ParseGenerationName(const std::string& name,
+                         const std::string& session_id,
+                         std::size_t* rounds) {
+  std::string prefix = "ckpt-";
+  if (!session_id.empty()) prefix += session_id + "-";
   constexpr std::string_view kSuffix = ".bin";
-  if (name.size() != kPrefix.size() + 8 + kSuffix.size()) return false;
-  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  if (name.size() != prefix.size() + 8 + kSuffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
   if (name.compare(name.size() - kSuffix.size(), kSuffix.size(),
                    kSuffix) != 0) {
     return false;
   }
   std::size_t value = 0;
-  for (std::size_t i = kPrefix.size(); i < kPrefix.size() + 8; ++i) {
+  for (std::size_t i = prefix.size(); i < prefix.size() + 8; ++i) {
     const char c = name[i];
     if (c < '0' || c > '9') return false;
     value = value * 10 + static_cast<std::size_t>(c - '0');
@@ -482,7 +489,9 @@ std::vector<std::string> CheckpointStore::ListGenerations() const {
   for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
     std::size_t rounds = 0;
     const std::string name = entry.path().filename().string();
-    if (ParseGenerationName(name, &rounds)) names.push_back(name);
+    if (ParseGenerationName(name, options_.session_id, &rounds)) {
+      names.push_back(name);
+    }
   }
   std::sort(names.begin(), names.end());
   return names;
@@ -499,7 +508,11 @@ Status CheckpointStore::Write(const SessionState& state) {
   SerializeSessionState(state, &payload);
   const std::string file = WrapCheckpoint(payload);
 
-  const std::string name = StrFormat("ckpt-%08zu.bin", state.rounds);
+  const std::string name =
+      options_.session_id.empty()
+          ? StrFormat("ckpt-%08zu.bin", state.rounds)
+          : StrFormat("ckpt-%s-%08zu.bin", options_.session_id.c_str(),
+                      state.rounds);
   const std::string final_path = options_.dir + "/" + name;
   const std::string tmp_path = final_path + ".tmp";
 

@@ -11,8 +11,9 @@
 // the durable answer log: recovery replays the log tail past the
 // snapshot to rebuild any rounds that ran after the last checkpoint.
 //
-// File format (one generation per file, `ckpt-NNNNNNNN.bin`, numbered
-// by round count):
+// File format (one generation per file, `ckpt-NNNNNNNN.bin` — or
+// `ckpt-<session_id>-NNNNNNNN.bin` for a namespaced store hosting one
+// of several resident sessions — numbered by round count):
 //
 //   "BCKP"  magic, 4 bytes
 //   u32     format version (little-endian); currently 1
@@ -144,6 +145,15 @@ class CheckpointStore : public CheckpointSink {
   struct Options {
     std::string dir;
 
+    /// Namespaces this store's generations within `dir`. Empty (the
+    /// legacy default) writes `ckpt-NNNNNNNN.bin`; non-empty writes
+    /// `ckpt-<session_id>-NNNNNNNN.bin`, and listing/pruning/loading
+    /// only ever touch the own session's files — so two resident
+    /// sessions sharing one checkpoint directory cannot prune or load
+    /// each other's snapshots. Each form is invisible to the other,
+    /// keeping pre-existing single-session directories readable.
+    std::string session_id;
+
     /// Generations retained on disk; older ones are pruned after each
     /// successful write. Minimum 1.
     std::size_t keep = 3;
@@ -168,8 +178,9 @@ class CheckpointStore : public CheckpointSink {
   Result<SessionState> LoadLatest(std::size_t max_valid_log_entries,
                                   std::size_t* fallbacks) const;
 
-  /// Generation file names currently in the directory, oldest first.
-  /// Missing directory reads as empty.
+  /// Generation file names currently in the directory belonging to
+  /// this store's session namespace, oldest first. Missing directory
+  /// reads as empty.
   std::vector<std::string> ListGenerations() const;
 
   const std::string& dir() const { return options_.dir; }

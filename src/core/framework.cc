@@ -1,705 +1,24 @@
 #include "core/framework.h"
 
-#include <algorithm>
-#include <cmath>
-#include <map>
-#include <set>
-
-#include "common/logging.h"
-#include "common/stopwatch.h"
-#include "common/string_util.h"
-#include "common/thread_pool.h"
-#include "core/checkpoint.h"
-#include "core/entropy.h"
-#include "core/update.h"
-#include "obs/trace.h"
+#include "core/runner.h"
 
 namespace bayescrowd {
 
+// The one-shot pipeline is the stepping runner driven to completion;
+// see core/runner.h. Keeping Run() as this trivial driver (instead of
+// a separate code path) is what guarantees the resident server's
+// per-round stepping executes exactly the statements the one-shot
+// path always did.
 Result<BayesCrowdResult> BayesCrowd::Run(const Table& incomplete,
                                          PosteriorProvider& posteriors,
                                          CrowdPlatform& platform) {
-  if (options_.latency == 0) {
-    return Status::InvalidArgument("latency must be >= 1 round");
+  QueryRunner runner(options_);
+  BAYESCROWD_RETURN_NOT_OK(runner.Init(incomplete, posteriors, platform));
+  while (!runner.Done()) {
+    BAYESCROWD_RETURN_NOT_OK(runner.Step());
   }
-  if (options_.retry.max_attempts == 0) {
-    return Status::InvalidArgument("retry.max_attempts must be >= 1");
-  }
-  if (options_.retry.max_barren_rounds == 0) {
-    return Status::InvalidArgument("retry.max_barren_rounds must be >= 1");
-  }
-  if (options_.retry.attempt_seconds < 0.0 ||
-      options_.retry.backoff_initial_seconds < 0.0 ||
-      options_.retry.backoff_multiplier < 1.0 ||
-      options_.retry.round_deadline_seconds < 0.0) {
-    return Status::InvalidArgument("retry policy times must be >= 0 and "
-                                   "the backoff multiplier >= 1");
-  }
-
-  BayesCrowdResult out;
-  Stopwatch total_watch;
-  BAYESCROWD_TRACE_SPAN("bayescrowd.run");
-
-  // Per-run registry unless the caller injected one: repeated runs in
-  // one process start from zeroed counters either way the caller set it
-  // up, and the snapshot still lands in the result.
-  obs::MetricsRegistry local_metrics;
-  obs::MetricsRegistry* const metrics =
-      options_.metrics != nullptr ? options_.metrics : &local_metrics;
-
-  // ---------------------------------------------------------------- //
-  // Modeling phase (Algorithm 1, line 1).
-  // ---------------------------------------------------------------- //
-  obs::TraceSpan modeling_span("modeling");
-  Stopwatch modeling_watch;
-  BAYESCROWD_ASSIGN_OR_RETURN(CTable ctable,
-                              BuildCTable(incomplete, options_.ctable));
-
-  // Attach distributions for every variable the c-table mentions. The
-  // framework-level fallback switch feeds every probability call,
-  // including the marginal-utility computations inside task selection.
-  ProbabilityOptions probability_options = options_.probability;
-  probability_options.sampling_fallback =
-      probability_options.sampling_fallback || options_.sampling_fallback;
-  ProbabilityEvaluator evaluator(probability_options);
-  // Context before binding: BindMetrics resolves the labeled cost
-  // instruments, and resolving under the default (s0, adhoc) context
-  // would leave phantom zero-valued series in the run's registry.
-  evaluator.SetCostContext(options_.session, "modeling");
-  evaluator.BindMetrics(metrics);
-  std::map<CellRef, std::vector<double>> raw_posteriors;
-  for (const CellRef& var : ctable.AllVariables()) {
-    BAYESCROWD_ASSIGN_OR_RETURN(std::vector<double> dist,
-                                posteriors.Posterior(var));
-    raw_posteriors[var] = dist;
-    BAYESCROWD_RETURN_NOT_OK(
-        evaluator.SetDistribution(var, std::move(dist)));
-  }
-  out.modeling_seconds = modeling_watch.ElapsedSeconds();
-  modeling_span.End();
-  out.initial_true = ctable.NumTrue();
-  out.initial_false = ctable.NumFalse();
-  out.initial_undecided = ctable.NumUndecided();
-
-  obs::Counter* const rounds_counter =
-      metrics->GetCounter("framework.rounds");
-  obs::Counter* const tasks_counter = metrics->GetCounter(
-      std::string("framework.tasks_posted.") +
-      StrategyKindToString(options_.strategy.kind));
-  obs::Counter* const retries_counter =
-      metrics->GetCounter("framework.retries");
-  obs::Counter* const transient_counter =
-      metrics->GetCounter("framework.transient_failures");
-  obs::Counter* const abandoned_counter =
-      metrics->GetCounter("framework.rounds_abandoned");
-  obs::Counter* const unanswered_counter =
-      metrics->GetCounter("framework.tasks_unanswered");
-  obs::Counter* const conflicts_counter =
-      metrics->GetCounter("framework.order_conflicts");
-  obs::Counter* const breaker_trips_counter =
-      metrics->GetCounter("framework.breaker.trips");
-  obs::Counter* const breaker_skips_counter =
-      metrics->GetCounter("framework.breaker.skips");
-
-  // Crowd-side deterministic cost units, labeled like the evaluator's:
-  // the "crowd" phase has no solver tier or compile state.
-  const auto crowd_cost = [&](const char* name) {
-    return metrics->GetCounter(name, {{"session", options_.session},
-                                      {"phase", "crowd"},
-                                      {"solver_tier", "none"},
-                                      {"compile_state", "none"}});
-  };
-  obs::Counter* const cost_crowd_tasks = crowd_cost("cost.crowd_tasks");
-  obs::Counter* const cost_retry_refunds =
-      crowd_cost("cost.retry_refunds");
-
-  obs::FlightRecorder* const flight = options_.flight;
-  // Per-round deltas of the governed/compiled counters drive the
-  // degradation and compile-refusal flight events (one summary event
-  // per round, not one per solve — the ring is for triage, not volume).
-  GovernorTally solver_before = evaluator.solver_stats();
-  CircuitStats compile_before = evaluator.compile_stats();
-  const auto flight_round_summary = [&](std::uint64_t round,
-                                        double sim_seconds) {
-    if (flight == nullptr) return;
-    const GovernorTally solver_now = evaluator.solver_stats();
-    const CircuitStats compile_now = evaluator.compile_stats();
-    const std::uint64_t degraded =
-        solver_now.budget_exhausted - solver_before.budget_exhausted;
-    if (degraded > 0) {
-      flight->Record(obs::FlightEventKind::kDegradation, round, -1,
-                     sim_seconds, static_cast<double>(degraded),
-                     "solver budget exhausted below the exact tier");
-    }
-    const std::uint64_t refused =
-        compile_now.fallbacks - compile_before.fallbacks;
-    if (refused > 0) {
-      flight->Record(obs::FlightEventKind::kCompileRefusal, round, -1,
-                     sim_seconds, static_cast<double>(refused),
-                     "knowledge compilation refused or fell back");
-    }
-    solver_before = solver_now;
-    compile_before = compile_now;
-  };
-
-  // Live export: one full snapshot per finished round, driven from this
-  // thread only.
-  const auto notify_round = [&](std::uint64_t round) -> Status {
-    if (options_.round_sink == nullptr) return Status::OK();
-    return options_.round_sink->OnRound(round, metrics->Snapshot());
-  };
-
-  // ---------------------------------------------------------------- //
-  // Crowdsourcing phase (Algorithm 4).
-  // ---------------------------------------------------------------- //
-  // One pool for the whole phase; every probability batch (entropy
-  // ranking here, counterfactual scoring inside SelectTasks) fans out
-  // over it through the evaluator. Spawned before the phase watch
-  // starts: thread startup is setup cost, not round work, and keeping
-  // it out of crowdsourcing_seconds is what lets the select/update
-  // phase timers account for (nearly) all of that window.
-  ThreadPool pool(options_.threads);
-  evaluator.set_thread_pool(&pool);
-  KnowledgeBase knowledge(incomplete.schema());
-
-  Stopwatch crowd_watch;
-
-  const std::size_t mu = (options_.budget + options_.latency - 1) /
-                         options_.latency;  // ceil(B / L)
-  const UniformCostModel unit_cost;
-  const TaskCostModel& cost_model =
-      options_.cost_model != nullptr ? *options_.cost_model : unit_cost;
-  double budget_left = static_cast<double>(options_.budget);
-  const RetryPolicy& retry = options_.retry;
-  std::size_t consecutive_barren = 0;  // Rounds with zero applied answers.
-
-  // Per-object solver circuit breakers (breaker_threshold). Only a
-  // governed evaluator produces non-exact grades, so the map stays
-  // empty — and the round loop byte-identical — on ungoverned runs.
-  // std::map: checkpoint serialization wants ascending object ids.
-  const bool breakers_enabled =
-      options_.breaker_threshold > 0 &&
-      evaluator.options().governor.enabled();
-  std::map<std::size_t, SolverBreakerRecord> breakers;
-
-  // ---------------------------------------------------------------- //
-  // Resume from a checkpoint snapshot. The modeling phase above rebuilt
-  // the pristine c-table and raw posteriors (deterministic from the
-  // inputs); everything the crowd rounds changed is overwritten from
-  // the snapshot, in dependency order: conditions and knowledge first,
-  // then the re-conditioned distributions (whose cache evictions land
-  // on an empty cache), then the memo cache keyed by those conditions,
-  // then the platform stack, and the metrics snapshot last so setup-
-  // time increments are reset to the checkpointed counts.
-  // ---------------------------------------------------------------- //
-  if (options_.resume != nullptr) {
-    const SessionState& st = *options_.resume;
-    if (st.conditions.size() != ctable.num_objects()) {
-      return Status::InvalidArgument(StrFormat(
-          "resume: checkpoint holds %zu conditions but the dataset has "
-          "%zu objects",
-          st.conditions.size(), ctable.num_objects()));
-    }
-    for (std::size_t i = 0; i < st.conditions.size(); ++i) {
-      if (!(st.conditions[i] == ctable.condition(i))) {
-        ctable.SetCondition(i, st.conditions[i]);
-      }
-    }
-    BinReader knowledge_reader(st.knowledge_blob);
-    BAYESCROWD_RETURN_NOT_OK(knowledge.RestoreFacts(&knowledge_reader));
-    for (const auto& [var, raw] : raw_posteriors) {
-      BAYESCROWD_RETURN_NOT_OK(evaluator.SetDistribution(
-          var, knowledge.ConditionDistribution(var, raw)));
-    }
-    BinReader memo_reader(st.evaluator_blob);
-    BAYESCROWD_RETURN_NOT_OK(evaluator.RestoreMemoState(
-        &memo_reader, st.evaluator_blob_format));
-    for (const SolverBreakerRecord& b : st.solver_breakers) {
-      breakers[b.object] = b;
-    }
-    if (!st.platform_state.empty()) {
-      BinReader platform_reader(st.platform_state);
-      BAYESCROWD_RETURN_NOT_OK(platform.LoadState(&platform_reader));
-    }
-    metrics->Restore(st.metrics);
-    solver_before = evaluator.solver_stats();
-    compile_before = evaluator.compile_stats();
-    obs::RecordFlight(flight, obs::FlightEventKind::kResume, st.rounds, -1,
-                      st.simulated_seconds,
-                      static_cast<double>(st.rounds),
-                      "session restored from checkpoint snapshot");
-    budget_left = st.budget_left;
-    consecutive_barren = st.consecutive_barren;
-    out.rounds = st.rounds;
-    out.tasks_posted = st.tasks_posted;
-    out.cost_spent = st.cost_spent;
-    out.cost_refunded = st.cost_refunded;
-    out.tasks_unanswered = st.tasks_unanswered;
-    out.retries = st.retries;
-    out.transient_failures = st.transient_failures;
-    out.rounds_abandoned = st.rounds_abandoned;
-    out.order_conflicts = st.order_conflicts;
-    out.backoff_seconds = st.backoff_seconds;
-    out.simulated_seconds = st.simulated_seconds;
-    out.initial_true = st.initial_true;
-    out.initial_false = st.initial_false;
-    out.initial_undecided = st.initial_undecided;
-    out.round_logs = st.round_logs;
-    out.resumed = true;
-  }
-
-  // Snapshots the full session at a round boundary and hands it to the
-  // checkpoint sink. `out.rounds` names the generation.
-  CheckpointSink* const checkpoint_sink = options_.checkpoint_sink;
-  const std::size_t checkpoint_every =
-      checkpoint_sink != nullptr ? options_.checkpoint_every : 0;
-  const auto maybe_checkpoint = [&]() -> Status {
-    if (checkpoint_every == 0 || out.rounds % checkpoint_every != 0) {
-      return Status::OK();
-    }
-    SessionState state;
-    state.budget_left = budget_left;
-    state.consecutive_barren = consecutive_barren;
-    state.rounds = out.rounds;
-    state.tasks_posted = out.tasks_posted;
-    state.cost_spent = out.cost_spent;
-    state.cost_refunded = out.cost_refunded;
-    state.tasks_unanswered = out.tasks_unanswered;
-    state.retries = out.retries;
-    state.transient_failures = out.transient_failures;
-    state.rounds_abandoned = out.rounds_abandoned;
-    state.order_conflicts = out.order_conflicts;
-    state.backoff_seconds = out.backoff_seconds;
-    state.simulated_seconds = out.simulated_seconds;
-    state.initial_true = out.initial_true;
-    state.initial_false = out.initial_false;
-    state.initial_undecided = out.initial_undecided;
-    state.round_logs = out.round_logs;
-    state.conditions.reserve(ctable.num_objects());
-    for (std::size_t i = 0; i < ctable.num_objects(); ++i) {
-      state.conditions.push_back(ctable.condition(i));
-    }
-    knowledge.SerializeFacts(&state.knowledge_blob);
-    evaluator.SerializeMemoState(&state.evaluator_blob);
-    state.solver_breakers.reserve(breakers.size());
-    for (const auto& [id, b] : breakers) state.solver_breakers.push_back(b);
-    state.metrics = metrics->Snapshot();
-    platform.SaveState(&state.platform_state);
-    state.platform_tasks = platform.total_tasks();
-    state.platform_rounds = platform.total_rounds();
-    BAYESCROWD_RETURN_NOT_OK(checkpoint_sink->Write(state));
-    obs::RecordFlight(flight, obs::FlightEventKind::kCheckpointWrite,
-                      out.rounds, -1, out.simulated_seconds,
-                      static_cast<double>(out.rounds),
-                      "session snapshot persisted");
-    return Status::OK();
-  };
-
-  while (budget_left > 1e-9) {
-    obs::TraceSpan select_span("round.select");
-    Stopwatch select_watch;
-    evaluator.SetCostContext(options_.session, "select");
-    const EvaluatorCacheStats cache_before = evaluator.cache_stats();
-
-    // Rank undecided objects by entropy (Eq. 3). Unchanged conditions
-    // hit the evaluator's memo cache; the rest evaluate in parallel.
-    std::vector<std::size_t> undecided;
-    for (std::size_t i : ctable.UndecidedObjects()) {
-      if (ctable.condition(i).NumExpressions() > 0) undecided.push_back(i);
-    }
-    // Objects whose breaker is open on an unchanged condition reuse
-    // their last interval (re-solving would burn budget on another
-    // non-answer — the memo cache cannot help once a crowd answer
-    // re-conditioned a mentioned distribution); the rest solve as one
-    // governed batch.
-    std::vector<ProbInterval> intervals(undecided.size());
-    std::vector<std::size_t> to_solve;
-    std::vector<std::size_t> solve_slot;
-    to_solve.reserve(undecided.size());
-    solve_slot.reserve(undecided.size());
-    for (std::size_t u = 0; u < undecided.size(); ++u) {
-      const std::size_t id = undecided[u];
-      if (breakers_enabled) {
-        const auto it = breakers.find(id);
-        if (it != breakers.end() && it->second.open &&
-            it->second.fingerprint == ctable.condition(id).Fingerprint()) {
-          intervals[u] = it->second.last;
-          breaker_skips_counter->Increment();
-          continue;
-        }
-      }
-      to_solve.push_back(id);
-      solve_slot.push_back(u);
-    }
-    BAYESCROWD_ASSIGN_OR_RETURN(
-        const std::vector<ProbInterval> solved,
-        evaluator.EvaluateAllIntervals(ctable, to_solve));
-    for (std::size_t s = 0; s < to_solve.size(); ++s) {
-      intervals[solve_slot[s]] = solved[s];
-      if (!breakers_enabled) continue;
-      SolverBreakerRecord& b = breakers[to_solve[s]];
-      b.object = to_solve[s];
-      b.fingerprint = ctable.condition(to_solve[s]).Fingerprint();
-      b.last = solved[s];
-      if (solved[s].exact()) {
-        b.consecutive = 0;
-        b.open = false;
-      } else if (++b.consecutive >= options_.breaker_threshold &&
-                 !b.open) {
-        b.open = true;
-        breaker_trips_counter->Increment();
-        obs::RecordFlight(flight, obs::FlightEventKind::kBreakerTrip,
-                          out.rounds + 1,
-                          static_cast<std::int64_t>(b.object),
-                          out.simulated_seconds,
-                          static_cast<double>(b.consecutive),
-                          "solver breaker opened after consecutive "
-                          "inexact intervals");
-      }
-    }
-    std::vector<double> probabilities(undecided.size());
-    std::vector<double> rank_points(undecided.size());
-    for (std::size_t u = 0; u < undecided.size(); ++u) {
-      probabilities[u] = intervals[u].midpoint();
-      rank_points[u] = options_.strategy.pessimistic
-                           ? PessimisticPoint(intervals[u])
-                           : probabilities[u];
-    }
-    const std::vector<double> entropies = BinaryEntropies(rank_points);
-    std::vector<ObjectEntropy> ranked;
-    ranked.reserve(undecided.size());
-    for (std::size_t u = 0; u < undecided.size(); ++u) {
-      ObjectEntropy entry;
-      entry.object = undecided[u];
-      entry.probability = probabilities[u];
-      entry.entropy = entropies[u];
-      ranked.push_back(entry);
-    }
-    if (ranked.empty()) {
-      // Terminal partial round: the ranking work still happened, so it
-      // stays attributed to the select phase (no RoundLog — nothing
-      // was bought).
-      out.select_seconds += select_watch.ElapsedSeconds();
-      select_span.End();
-      break;  // No expression left to crowdsource.
-    }
-    std::stable_sort(ranked.begin(), ranked.end(),
-                     [](const ObjectEntropy& a, const ObjectEntropy& b) {
-                       if (a.entropy != b.entropy) {
-                         return a.entropy > b.entropy;
-                       }
-                       return a.object < b.object;
-                     });
-    if (options_.confidence_stop_entropy > 0.0 &&
-        ranked.front().entropy < options_.confidence_stop_entropy) {
-      out.stopped_confident = true;  // Every object is near-certain.
-      out.select_seconds += select_watch.ElapsedSeconds();
-      select_span.End();
-      break;
-    }
-
-    // Per-round size: latency splits the budget into ceil(B/L) task
-    // slots; variable costs additionally trim the batch to what the
-    // remaining budget affords.
-    const std::size_t k = std::min(
-        mu, static_cast<std::size_t>(budget_left) + 1);
-    BAYESCROWD_ASSIGN_OR_RETURN(
-        std::vector<Task> batch,
-        SelectTasks(ctable, ranked, k, evaluator, options_.strategy));
-    double batch_cost = 0.0;
-    std::size_t affordable = 0;
-    for (const Task& task : batch) {
-      const double cost = cost_model.Cost(task);
-      if (cost <= 0.0) {
-        return Status::InvalidArgument("task cost must be positive");
-      }
-      if (batch_cost + cost > budget_left + 1e-9) break;
-      batch_cost += cost;
-      ++affordable;
-    }
-    batch.resize(affordable);
-    if (batch.empty()) {
-      out.select_seconds += select_watch.ElapsedSeconds();
-      select_span.End();
-      break;
-    }
-    const double select_seconds = select_watch.ElapsedSeconds();
-    select_span.End();
-
-    // Worker latency (simulated or real) is deliberately outside both
-    // phase timers. Transient platform failures are retried with
-    // deterministic exponential backoff on a simulated clock; the
-    // per-round deadline caps how much simulated time one round may
-    // burn on attempts and waits (see RetryPolicy).
-    const double deadline = retry.round_deadline_seconds;
-    std::vector<TaskAnswer> answers;
-    bool delivered = false;
-    std::size_t attempts = 0;
-    double round_clock = 0.0;
-    double round_backoff = 0.0;
-    Stopwatch platform_watch;
-    while (attempts < retry.max_attempts) {
-      if (deadline > 0.0 &&
-          round_clock + retry.attempt_seconds > deadline + 1e-12) {
-        break;  // No time left for another attempt: abandon the round.
-      }
-      ++attempts;
-      round_clock += retry.attempt_seconds;
-      auto posted = platform.PostBatch(batch);
-      if (posted.ok()) {
-        answers = std::move(posted).value();
-        delivered = true;
-        break;
-      }
-      if (!posted.status().IsUnavailable()) {
-        return posted.status();  // Fatal: not a transient platform error.
-      }
-      ++out.transient_failures;
-      transient_counter->Increment();
-      if (attempts >= retry.max_attempts) break;
-      const double backoff =
-          retry.backoff_initial_seconds *
-          std::pow(retry.backoff_multiplier,
-                   static_cast<double>(attempts - 1));
-      if (deadline > 0.0 &&
-          round_clock + backoff + retry.attempt_seconds > deadline + 1e-12) {
-        break;  // Waiting out the backoff would blow the deadline.
-      }
-      round_clock += backoff;
-      round_backoff += backoff;
-      ++out.retries;
-      retries_counter->Increment();
-      obs::RecordFlight(flight, obs::FlightEventKind::kRetry, out.rounds + 1,
-                        -1, out.simulated_seconds + round_clock, backoff,
-                        "transient platform failure; backing off");
-    }
-    out.platform_wall_seconds += platform_watch.ElapsedSeconds();
-    out.backoff_seconds += round_backoff;
-    out.simulated_seconds += round_clock;
-
-    if (!delivered) {
-      // Round abandoned: nothing was bought, nothing is charged, and
-      // the batch's tasks stay in the candidate pool for later rounds.
-      RoundLog log;
-      log.round = out.rounds + 1;
-      log.select_seconds = select_seconds;
-      log.seconds = select_seconds;
-      log.attempts = attempts;
-      log.backoff_seconds = round_backoff;
-      log.simulated_seconds = round_clock;
-      log.abandoned = true;
-      out.select_seconds += select_seconds;
-      out.round_logs.push_back(log);
-      ++out.rounds;
-      ++out.rounds_abandoned;
-      rounds_counter->Increment();
-      abandoned_counter->Increment();
-      obs::RecordFlight(flight, obs::FlightEventKind::kRoundAbandoned,
-                        out.rounds, -1, out.simulated_seconds,
-                        static_cast<double>(attempts),
-                        "no answer batch delivered before the round "
-                        "deadline");
-      {
-        Stopwatch export_watch;
-        BAYESCROWD_RETURN_NOT_OK(maybe_checkpoint());
-        flight_round_summary(out.rounds, out.simulated_seconds);
-        BAYESCROWD_RETURN_NOT_OK(notify_round(out.rounds));
-        out.export_seconds += export_watch.ElapsedSeconds();
-      }
-      if (++consecutive_barren >= retry.max_barren_rounds) {
-        out.degraded = true;  // Platform presumed down; degrade.
-        break;
-      }
-      continue;
-    }
-    if (answers.size() != batch.size()) {
-      return Status::Internal("platform returned misaligned answers");
-    }
-
-    // Everything from budget accounting through re-simplification is
-    // update-phase work; the watch starts here so the phase timers
-    // explain the round's wall-clock (inspect grades the coverage).
-    obs::TraceSpan update_span("round.update");
-    Stopwatch update_watch;
-    evaluator.SetCostContext(options_.session, "update");
-
-    // Budget accounting: only answered tasks are charged; abstained or
-    // dropped tasks are refunded and fall back into the pool.
-    double charged = 0.0;
-    double refunded = 0.0;
-    std::size_t answered = 0;
-    for (std::size_t t = 0; t < batch.size(); ++t) {
-      const double cost = cost_model.Cost(batch[t]);
-      if (answers[t].answered) {
-        charged += cost;
-        ++answered;
-      } else {
-        refunded += cost;
-      }
-    }
-    budget_left -= charged;
-    out.cost_spent += charged;
-    out.cost_refunded += refunded;
-    out.tasks_unanswered += batch.size() - answered;
-    unanswered_counter->Increment(batch.size() - answered);
-    cost_crowd_tasks->Increment(answered);
-    cost_retry_refunds->Increment(batch.size() - answered);
-
-    // Fold the answers that arrived into the knowledge base.
-    std::set<CellRef> touched;
-    for (std::size_t t = 0; t < batch.size(); ++t) {
-      if (!answers[t].answered) continue;
-      const Status applied = ApplyAnswer(batch[t], answers[t], &knowledge);
-      if (!applied.ok()) {
-        // A noisy crowd can answer the same ordering both ways. Keep
-        // the first recorded fact, drop the contradiction (its cost
-        // stays spent — the marketplace doesn't refund wrong answers),
-        // and keep the session alive. Anything else is fatal.
-        if (applied.IsInvalidArgument() &&
-            StartsWith(applied.message(), "contradictory var-var fact")) {
-          ++out.order_conflicts;
-          conflicts_counter->Increment();
-          BAYESCROWD_LOG(Warning)
-              << "dropping conflicting crowd answer: " << applied.message();
-          continue;
-        }
-        return applied;
-      }
-      for (const CellRef& var : batch[t].expression.Variables()) {
-        touched.insert(var);
-      }
-    }
-
-    // Re-condition the distributions of touched variables. Each
-    // SetDistribution evicts exactly the cached conditions mentioning
-    // that variable; everything else keeps serving hits next round.
-    for (const CellRef& var : touched) {
-      const auto raw = raw_posteriors.find(var);
-      if (raw == raw_posteriors.end()) continue;
-      BAYESCROWD_RETURN_NOT_OK(evaluator.SetDistribution(
-          var, knowledge.ConditionDistribution(var, raw->second)));
-    }
-
-    // Re-simplify every undecided condition against the knowledge base.
-    // Changed conditions get new fingerprints; their old cache entries
-    // were just evicted through the answered variables.
-    for (std::size_t i : ctable.UndecidedObjects()) {
-      Condition simplified = ctable.condition(i).SimplifyWith(
-          [&knowledge](const Expression& e) {
-            return knowledge.Evaluate(e);
-          });
-      if (!(simplified == ctable.condition(i))) {
-        ctable.SetCondition(i, std::move(simplified));
-      }
-    }
-
-    RoundLog log;
-    log.round = out.rounds + 1;
-    log.tasks = batch.size();
-    log.select_seconds = select_seconds;
-    log.attempts = attempts;
-    log.answered = answered;
-    log.unanswered = batch.size() - answered;
-    log.cost_refunded = refunded;
-    log.backoff_seconds = round_backoff;
-    log.simulated_seconds = round_clock;
-    const EvaluatorCacheStats cache_after = evaluator.cache_stats();
-    log.cache_hits = cache_after.hits - cache_before.hits;
-    log.cache_misses = cache_after.misses - cache_before.misses;
-    out.select_seconds += log.select_seconds;
-    out.tasks_posted += batch.size();
-    ++out.rounds;
-    rounds_counter->Increment();
-    tasks_counter->Increment(batch.size());
-    // The update window closes after the round's bookkeeping so the
-    // phase timers explain the loop's wall-clock; checkpoint I/O and
-    // the export sinks get their own bucket below.
-    log.update_seconds = update_watch.ElapsedSeconds();
-    update_span.End();
-    log.seconds = log.select_seconds + log.update_seconds;
-    out.update_seconds += log.update_seconds;
-    out.round_logs.push_back(log);
-    {
-      Stopwatch export_watch;
-      BAYESCROWD_RETURN_NOT_OK(maybe_checkpoint());
-      flight_round_summary(out.rounds, out.simulated_seconds);
-      BAYESCROWD_RETURN_NOT_OK(notify_round(out.rounds));
-      out.export_seconds += export_watch.ElapsedSeconds();
-    }
-
-    // A delivered round that applied nothing still counts as barren:
-    // with every worker abstaining, more rounds buy no information.
-    if (answered == 0) {
-      if (++consecutive_barren >= retry.max_barren_rounds) {
-        out.degraded = true;
-        break;
-      }
-    } else {
-      consecutive_barren = 0;
-    }
-  }
-  out.crowdsourcing_seconds = crowd_watch.ElapsedSeconds();
-  if (budget_left <= 1e-9) {
-    obs::RecordFlight(flight, obs::FlightEventKind::kBudgetExhausted,
-                      out.rounds, -1, out.simulated_seconds, budget_left,
-                      "crowdsourcing budget fully spent");
-  } else if (out.degraded) {
-    obs::RecordFlight(flight, obs::FlightEventKind::kNote, out.rounds, -1,
-                      out.simulated_seconds,
-                      static_cast<double>(consecutive_barren),
-                      "stopped after consecutive barren rounds; platform "
-                      "presumed down");
-  }
-
-  // ---------------------------------------------------------------- //
-  // Answer inference (Algorithm 1, line 5).
-  // ---------------------------------------------------------------- //
-  // The final phase always solves fresh (no breaker skip): reported
-  // probabilities and their grades reflect the current conditions and
-  // distributions, never a stale breaker interval.
-  std::vector<std::size_t> all_objects(ctable.num_objects());
-  for (std::size_t i = 0; i < ctable.num_objects(); ++i) all_objects[i] = i;
-  evaluator.SetCostContext(options_.session, "answer");
-  Stopwatch answer_watch;
-  BAYESCROWD_ASSIGN_OR_RETURN(
-      out.probability_intervals,
-      evaluator.EvaluateAllIntervals(ctable, all_objects));
-  out.answer_seconds = answer_watch.ElapsedSeconds();
-  out.probabilities.resize(ctable.num_objects());
-  for (std::size_t i = 0; i < ctable.num_objects(); ++i) {
-    out.probabilities[i] = out.probability_intervals[i].midpoint();
-    if (!out.probability_intervals[i].exact()) {
-      out.degraded_objects.push_back(i);
-    }
-    if (out.probabilities[i] > options_.answer_threshold ||
-        ctable.condition(i).IsTrue()) {
-      out.result_objects.push_back(i);
-    }
-  }
-  out.solver = evaluator.solver_stats();
-  out.compile = evaluator.compile_stats();
-  out.breaker_trips = breaker_trips_counter->value();
-  out.breaker_skips = breaker_skips_counter->value();
-  const EvaluatorCacheStats cache_stats = evaluator.cache_stats();
-  out.cache_hits = cache_stats.hits;
-  out.cache_misses = cache_stats.misses;
-  out.cache_evictions = cache_stats.evictions;
-  out.adpll = evaluator.adpll_stats();
-  out.final_ctable = std::move(ctable);
-  out.total_seconds = total_watch.ElapsedSeconds();
-
-  // Per-lane pool utilization, both on the result and as gauges so the
-  // metrics rendering is self-contained.
-  out.lane_usage = pool.lane_stats();
-  for (std::size_t lane = 0; lane < out.lane_usage.size(); ++lane) {
-    metrics
-        ->GetGauge(StrFormat("pool.lane%zu.busy_seconds", lane))
-        ->Set(out.lane_usage[lane].busy_seconds);
-    metrics->GetGauge(StrFormat("pool.lane%zu.tasks", lane))
-        ->Set(static_cast<double>(out.lane_usage[lane].tasks));
-  }
-  out.metrics = metrics->Snapshot();
-  return out;
+  BAYESCROWD_RETURN_NOT_OK(runner.Finish());
+  return runner.TakeResult();
 }
 
 }  // namespace bayescrowd

@@ -129,7 +129,17 @@ struct BayesCrowdOptions {
   /// UBS/HHS counterfactual scoring). 0 = hardware concurrency; 1 runs
   /// everything on the calling thread. Results are bit-identical for
   /// any value (see DESIGN.md, "Concurrency & caching model").
+  /// Ignored when `pool` is set.
   std::size_t threads = 0;
+
+  /// Shared worker pool for a serving process hosting many sessions
+  /// (see src/serve/). Non-owning; must outlive the run. nullptr (the
+  /// default) spawns a private pool of `threads` lanes — the one-shot
+  /// behavior. With a shared pool the per-lane pool gauges and
+  /// BayesCrowdResult::lane_usage are skipped: shared-lane tallies mix
+  /// sessions and would leak scheduling order into a session's
+  /// otherwise deterministic result.
+  ThreadPool* pool = nullptr;
 
   /// Metrics sink for the run ("evaluator.cache.*", "adpll.*",
   /// "framework.*"). Non-owning; must outlive Run(). nullptr means Run

@@ -1,0 +1,788 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/checkpoint.h"
+#include "core/entropy.h"
+#include "core/update.h"
+
+namespace bayescrowd {
+
+Status QueryRunner::Init(const Table& incomplete,
+                         PosteriorProvider& posteriors,
+                         CrowdPlatform& platform) {
+  if (initialized_) {
+    return Status::FailedPrecondition("QueryRunner::Init called twice");
+  }
+  if (options_.latency == 0) {
+    return Status::InvalidArgument("latency must be >= 1 round");
+  }
+  if (options_.retry.max_attempts == 0) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+  }
+  if (options_.retry.max_barren_rounds == 0) {
+    return Status::InvalidArgument("retry.max_barren_rounds must be >= 1");
+  }
+  if (options_.retry.attempt_seconds < 0.0 ||
+      options_.retry.backoff_initial_seconds < 0.0 ||
+      options_.retry.backoff_multiplier < 1.0 ||
+      options_.retry.round_deadline_seconds < 0.0) {
+    return Status::InvalidArgument("retry policy times must be >= 0 and "
+                                   "the backoff multiplier >= 1");
+  }
+
+  Stopwatch init_watch;
+  run_span_.emplace("bayescrowd.run");
+  platform_ = &platform;
+
+  // Per-run registry unless the caller injected one: repeated runs in
+  // one process start from zeroed counters either way the caller set it
+  // up, and the snapshot still lands in the result.
+  metrics_ = options_.metrics != nullptr ? options_.metrics : &local_metrics_;
+  obs::MetricsRegistry* const metrics = metrics_;
+
+  // ---------------------------------------------------------------- //
+  // Modeling phase (Algorithm 1, line 1).
+  // ---------------------------------------------------------------- //
+  obs::TraceSpan modeling_span("modeling");
+  Stopwatch modeling_watch;
+  BAYESCROWD_ASSIGN_OR_RETURN(ctable_,
+                              BuildCTable(incomplete, options_.ctable));
+
+  // Attach distributions for every variable the c-table mentions. The
+  // framework-level fallback switch feeds every probability call,
+  // including the marginal-utility computations inside task selection.
+  ProbabilityOptions probability_options = options_.probability;
+  probability_options.sampling_fallback =
+      probability_options.sampling_fallback || options_.sampling_fallback;
+  evaluator_.emplace(probability_options);
+  ProbabilityEvaluator& evaluator = *evaluator_;
+  // Context before binding: BindMetrics resolves the labeled cost
+  // instruments, and resolving under the default (s0, adhoc) context
+  // would leave phantom zero-valued series in the run's registry.
+  evaluator.SetCostContext(options_.session, "modeling");
+  evaluator.BindMetrics(metrics);
+  for (const CellRef& var : ctable_.AllVariables()) {
+    BAYESCROWD_ASSIGN_OR_RETURN(std::vector<double> dist,
+                                posteriors.Posterior(var));
+    raw_posteriors_[var] = dist;
+    BAYESCROWD_RETURN_NOT_OK(
+        evaluator.SetDistribution(var, std::move(dist)));
+  }
+  out_.modeling_seconds = modeling_watch.ElapsedSeconds();
+  modeling_span.End();
+  out_.initial_true = ctable_.NumTrue();
+  out_.initial_false = ctable_.NumFalse();
+  out_.initial_undecided = ctable_.NumUndecided();
+
+  rounds_counter_ = metrics->GetCounter("framework.rounds");
+  tasks_counter_ = metrics->GetCounter(
+      std::string("framework.tasks_posted.") +
+      StrategyKindToString(options_.strategy.kind));
+  retries_counter_ = metrics->GetCounter("framework.retries");
+  transient_counter_ = metrics->GetCounter("framework.transient_failures");
+  abandoned_counter_ = metrics->GetCounter("framework.rounds_abandoned");
+  unanswered_counter_ = metrics->GetCounter("framework.tasks_unanswered");
+  conflicts_counter_ = metrics->GetCounter("framework.order_conflicts");
+  breaker_trips_counter_ = metrics->GetCounter("framework.breaker.trips");
+  breaker_skips_counter_ = metrics->GetCounter("framework.breaker.skips");
+
+  // Crowd-side deterministic cost units, labeled like the evaluator's:
+  // the "crowd" phase has no solver tier or compile state.
+  const auto crowd_cost = [&](const char* name) {
+    return metrics->GetCounter(name, {{"session", options_.session},
+                                      {"phase", "crowd"},
+                                      {"solver_tier", "none"},
+                                      {"compile_state", "none"}});
+  };
+  cost_crowd_tasks_ = crowd_cost("cost.crowd_tasks");
+  cost_retry_refunds_ = crowd_cost("cost.retry_refunds");
+
+  flight_ = options_.flight;
+  solver_before_ = evaluator.solver_stats();
+  compile_before_ = evaluator.compile_stats();
+
+  // ---------------------------------------------------------------- //
+  // Crowdsourcing-phase setup (Algorithm 4).
+  // ---------------------------------------------------------------- //
+  // One pool for the whole phase; every probability batch (entropy
+  // ranking here, counterfactual scoring inside SelectTasks) fans out
+  // over it through the evaluator. Spawned before the first Step's
+  // watch starts: thread startup is setup cost, not round work. A
+  // serving process passes its shared pool instead (options_.pool) and
+  // no thread is spawned here at all.
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+    pool_ = owned_pool_.get();
+  }
+  evaluator.set_thread_pool(pool_);
+  knowledge_.emplace(incomplete.schema());
+  KnowledgeBase& knowledge = *knowledge_;
+
+  mu_ = (options_.budget + options_.latency - 1) /
+        options_.latency;  // ceil(B / L)
+  cost_model_ =
+      options_.cost_model != nullptr ? options_.cost_model : &unit_cost_;
+  budget_left_ = static_cast<double>(options_.budget);
+  consecutive_barren_ = 0;
+
+  // Per-object solver circuit breakers (breaker_threshold). Only a
+  // governed evaluator produces non-exact grades, so the map stays
+  // empty — and the round loop byte-identical — on ungoverned runs.
+  breakers_enabled_ = options_.breaker_threshold > 0 &&
+                      evaluator.options().governor.enabled();
+
+  // ---------------------------------------------------------------- //
+  // Resume from a checkpoint snapshot. The modeling phase above rebuilt
+  // the pristine c-table and raw posteriors (deterministic from the
+  // inputs); everything the crowd rounds changed is overwritten from
+  // the snapshot, in dependency order: conditions and knowledge first,
+  // then the re-conditioned distributions (whose cache evictions land
+  // on an empty cache), then the memo cache keyed by those conditions,
+  // then the platform stack, and the metrics snapshot last so setup-
+  // time increments are reset to the checkpointed counts.
+  // ---------------------------------------------------------------- //
+  if (options_.resume != nullptr) {
+    const SessionState& st = *options_.resume;
+    if (st.conditions.size() != ctable_.num_objects()) {
+      return Status::InvalidArgument(StrFormat(
+          "resume: checkpoint holds %zu conditions but the dataset has "
+          "%zu objects",
+          st.conditions.size(), ctable_.num_objects()));
+    }
+    for (std::size_t i = 0; i < st.conditions.size(); ++i) {
+      if (!(st.conditions[i] == ctable_.condition(i))) {
+        ctable_.SetCondition(i, st.conditions[i]);
+      }
+    }
+    BinReader knowledge_reader(st.knowledge_blob);
+    BAYESCROWD_RETURN_NOT_OK(knowledge.RestoreFacts(&knowledge_reader));
+    for (const auto& [var, raw] : raw_posteriors_) {
+      BAYESCROWD_RETURN_NOT_OK(evaluator.SetDistribution(
+          var, knowledge.ConditionDistribution(var, raw)));
+    }
+    BinReader memo_reader(st.evaluator_blob);
+    BAYESCROWD_RETURN_NOT_OK(evaluator.RestoreMemoState(
+        &memo_reader, st.evaluator_blob_format));
+    for (const SolverBreakerRecord& b : st.solver_breakers) {
+      breakers_[b.object] = b;
+    }
+    if (!st.platform_state.empty()) {
+      BinReader platform_reader(st.platform_state);
+      BAYESCROWD_RETURN_NOT_OK(platform.LoadState(&platform_reader));
+    }
+    metrics->Restore(st.metrics);
+    solver_before_ = evaluator.solver_stats();
+    compile_before_ = evaluator.compile_stats();
+    obs::RecordFlight(flight_, obs::FlightEventKind::kResume, st.rounds, -1,
+                      st.simulated_seconds,
+                      static_cast<double>(st.rounds),
+                      "session restored from checkpoint snapshot");
+    budget_left_ = st.budget_left;
+    consecutive_barren_ = st.consecutive_barren;
+    out_.rounds = st.rounds;
+    out_.tasks_posted = st.tasks_posted;
+    out_.cost_spent = st.cost_spent;
+    out_.cost_refunded = st.cost_refunded;
+    out_.tasks_unanswered = st.tasks_unanswered;
+    out_.retries = st.retries;
+    out_.transient_failures = st.transient_failures;
+    out_.rounds_abandoned = st.rounds_abandoned;
+    out_.order_conflicts = st.order_conflicts;
+    out_.backoff_seconds = st.backoff_seconds;
+    out_.simulated_seconds = st.simulated_seconds;
+    out_.initial_true = st.initial_true;
+    out_.initial_false = st.initial_false;
+    out_.initial_undecided = st.initial_undecided;
+    out_.round_logs = st.round_logs;
+    out_.resumed = true;
+  }
+
+  checkpoint_sink_ = options_.checkpoint_sink;
+  checkpoint_every_ =
+      checkpoint_sink_ != nullptr ? options_.checkpoint_every : 0;
+
+  initialized_ = true;
+  out_.total_seconds += init_watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+// Snapshots the full session at a round boundary and hands it to the
+// checkpoint sink. `out_.rounds` names the generation.
+Status QueryRunner::WriteCheckpoint() {
+  SessionState state;
+  state.budget_left = budget_left_;
+  state.consecutive_barren = consecutive_barren_;
+  state.rounds = out_.rounds;
+  state.tasks_posted = out_.tasks_posted;
+  state.cost_spent = out_.cost_spent;
+  state.cost_refunded = out_.cost_refunded;
+  state.tasks_unanswered = out_.tasks_unanswered;
+  state.retries = out_.retries;
+  state.transient_failures = out_.transient_failures;
+  state.rounds_abandoned = out_.rounds_abandoned;
+  state.order_conflicts = out_.order_conflicts;
+  state.backoff_seconds = out_.backoff_seconds;
+  state.simulated_seconds = out_.simulated_seconds;
+  state.initial_true = out_.initial_true;
+  state.initial_false = out_.initial_false;
+  state.initial_undecided = out_.initial_undecided;
+  state.round_logs = out_.round_logs;
+  state.conditions.reserve(ctable_.num_objects());
+  for (std::size_t i = 0; i < ctable_.num_objects(); ++i) {
+    state.conditions.push_back(ctable_.condition(i));
+  }
+  knowledge_->SerializeFacts(&state.knowledge_blob);
+  evaluator_->SerializeMemoState(&state.evaluator_blob);
+  state.solver_breakers.reserve(breakers_.size());
+  for (const auto& [id, b] : breakers_) state.solver_breakers.push_back(b);
+  state.metrics = metrics_->Snapshot();
+  platform_->SaveState(&state.platform_state);
+  state.platform_tasks = platform_->total_tasks();
+  state.platform_rounds = platform_->total_rounds();
+  BAYESCROWD_RETURN_NOT_OK(checkpoint_sink_->Write(state));
+  obs::RecordFlight(flight_, obs::FlightEventKind::kCheckpointWrite,
+                    out_.rounds, -1, out_.simulated_seconds,
+                    static_cast<double>(out_.rounds),
+                    "session snapshot persisted");
+  return Status::OK();
+}
+
+Status QueryRunner::WriteCheckpointNow() {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "WriteCheckpointNow: runner not initialized");
+  }
+  if (checkpoint_sink_ == nullptr) {
+    return Status::FailedPrecondition(
+        "WriteCheckpointNow: no checkpoint sink configured");
+  }
+  Stopwatch export_watch;
+  const Status written = WriteCheckpoint();
+  out_.export_seconds += export_watch.ElapsedSeconds();
+  return written;
+}
+
+Status QueryRunner::ApplyGovernor(const GovernorOptions& governor) {
+  if (!initialized_ || finished_) {
+    return Status::FailedPrecondition(
+        "ApplyGovernor: runner not initialized or already finished");
+  }
+  options_.probability.governor = governor;
+  evaluator_->SetGovernor(governor);
+  return Status::OK();
+}
+
+Result<std::string> QueryRunner::ExportMemoState() const {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "ExportMemoState: runner not initialized");
+  }
+  std::string blob;
+  evaluator_->SerializeMemoState(&blob);
+  return blob;
+}
+
+Result<std::size_t> QueryRunner::ImportMemoState(const std::string& blob) {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "ImportMemoState: runner not initialized");
+  }
+  if (out_.rounds != 0) {
+    return Status::FailedPrecondition(
+        "ImportMemoState: session already stepped; a mid-session merge "
+        "would change the hit/miss sequence checkpoints replay");
+  }
+  BinReader reader(blob);
+  return evaluator_->MergeMemoState(&reader);
+}
+
+// Per-round deltas of the governed/compiled counters drive the
+// degradation and compile-refusal flight events (one summary event per
+// round, not one per solve — the ring is for triage, not volume).
+void QueryRunner::FlightRoundSummary() {
+  if (flight_ == nullptr) return;
+  const GovernorTally solver_now = evaluator_->solver_stats();
+  const CircuitStats compile_now = evaluator_->compile_stats();
+  const std::uint64_t degraded =
+      solver_now.budget_exhausted - solver_before_.budget_exhausted;
+  if (degraded > 0) {
+    flight_->Record(obs::FlightEventKind::kDegradation, out_.rounds, -1,
+                    out_.simulated_seconds, static_cast<double>(degraded),
+                    "solver budget exhausted below the exact tier");
+  }
+  const std::uint64_t refused =
+      compile_now.fallbacks - compile_before_.fallbacks;
+  if (refused > 0) {
+    flight_->Record(obs::FlightEventKind::kCompileRefusal, out_.rounds, -1,
+                    out_.simulated_seconds, static_cast<double>(refused),
+                    "knowledge compilation refused or fell back");
+  }
+  solver_before_ = solver_now;
+  compile_before_ = compile_now;
+}
+
+Status QueryRunner::RoundExports() {
+  Stopwatch export_watch;
+  if (checkpoint_every_ != 0 && out_.rounds % checkpoint_every_ == 0) {
+    BAYESCROWD_RETURN_NOT_OK(WriteCheckpoint());
+  }
+  FlightRoundSummary();
+  // Live export: one full snapshot per finished round, driven from the
+  // stepping thread only.
+  if (options_.round_sink != nullptr) {
+    BAYESCROWD_RETURN_NOT_OK(
+        options_.round_sink->OnRound(out_.rounds, metrics_->Snapshot()));
+  }
+  out_.export_seconds += export_watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status QueryRunner::Step() {
+  if (!initialized_) {
+    return Status::FailedPrecondition("QueryRunner::Step before Init");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition("QueryRunner::Step after Finish");
+  }
+  if (Done()) return Status::OK();
+  Stopwatch step_watch;
+  const Status status = StepImpl();
+  const double elapsed = step_watch.ElapsedSeconds();
+  out_.crowdsourcing_seconds += elapsed;
+  out_.total_seconds += elapsed;
+  return status;
+}
+
+Status QueryRunner::StepImpl() {
+  ProbabilityEvaluator& evaluator = *evaluator_;
+  KnowledgeBase& knowledge = *knowledge_;
+  const RetryPolicy& retry = options_.retry;
+
+  obs::TraceSpan select_span("round.select");
+  Stopwatch select_watch;
+  evaluator.SetCostContext(options_.session, "select");
+  const EvaluatorCacheStats cache_before = evaluator.cache_stats();
+
+  // Rank undecided objects by entropy (Eq. 3). Unchanged conditions
+  // hit the evaluator's memo cache; the rest evaluate in parallel.
+  std::vector<std::size_t> undecided;
+  for (std::size_t i : ctable_.UndecidedObjects()) {
+    if (ctable_.condition(i).NumExpressions() > 0) undecided.push_back(i);
+  }
+  // Objects whose breaker is open on an unchanged condition reuse
+  // their last interval (re-solving would burn budget on another
+  // non-answer — the memo cache cannot help once a crowd answer
+  // re-conditioned a mentioned distribution); the rest solve as one
+  // governed batch.
+  std::vector<ProbInterval> intervals(undecided.size());
+  std::vector<std::size_t> to_solve;
+  std::vector<std::size_t> solve_slot;
+  to_solve.reserve(undecided.size());
+  solve_slot.reserve(undecided.size());
+  for (std::size_t u = 0; u < undecided.size(); ++u) {
+    const std::size_t id = undecided[u];
+    if (breakers_enabled_) {
+      const auto it = breakers_.find(id);
+      if (it != breakers_.end() && it->second.open &&
+          it->second.fingerprint == ctable_.condition(id).Fingerprint()) {
+        intervals[u] = it->second.last;
+        breaker_skips_counter_->Increment();
+        continue;
+      }
+    }
+    to_solve.push_back(id);
+    solve_slot.push_back(u);
+  }
+  BAYESCROWD_ASSIGN_OR_RETURN(
+      const std::vector<ProbInterval> solved,
+      evaluator.EvaluateAllIntervals(ctable_, to_solve));
+  for (std::size_t s = 0; s < to_solve.size(); ++s) {
+    intervals[solve_slot[s]] = solved[s];
+    if (!breakers_enabled_) continue;
+    SolverBreakerRecord& b = breakers_[to_solve[s]];
+    b.object = to_solve[s];
+    b.fingerprint = ctable_.condition(to_solve[s]).Fingerprint();
+    b.last = solved[s];
+    if (solved[s].exact()) {
+      b.consecutive = 0;
+      b.open = false;
+    } else if (++b.consecutive >= options_.breaker_threshold &&
+               !b.open) {
+      b.open = true;
+      breaker_trips_counter_->Increment();
+      obs::RecordFlight(flight_, obs::FlightEventKind::kBreakerTrip,
+                        out_.rounds + 1,
+                        static_cast<std::int64_t>(b.object),
+                        out_.simulated_seconds,
+                        static_cast<double>(b.consecutive),
+                        "solver breaker opened after consecutive "
+                        "inexact intervals");
+    }
+  }
+  std::vector<double> probabilities(undecided.size());
+  std::vector<double> rank_points(undecided.size());
+  for (std::size_t u = 0; u < undecided.size(); ++u) {
+    probabilities[u] = intervals[u].midpoint();
+    rank_points[u] = options_.strategy.pessimistic
+                         ? PessimisticPoint(intervals[u])
+                         : probabilities[u];
+  }
+  const std::vector<double> entropies = BinaryEntropies(rank_points);
+  std::vector<ObjectEntropy> ranked;
+  ranked.reserve(undecided.size());
+  for (std::size_t u = 0; u < undecided.size(); ++u) {
+    ObjectEntropy entry;
+    entry.object = undecided[u];
+    entry.probability = probabilities[u];
+    entry.entropy = entropies[u];
+    ranked.push_back(entry);
+  }
+  if (ranked.empty()) {
+    // Terminal partial round: the ranking work still happened, so it
+    // stays attributed to the select phase (no RoundLog — nothing
+    // was bought).
+    out_.select_seconds += select_watch.ElapsedSeconds();
+    select_span.End();
+    done_ = true;  // No expression left to crowdsource.
+    return Status::OK();
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const ObjectEntropy& a, const ObjectEntropy& b) {
+                     if (a.entropy != b.entropy) {
+                       return a.entropy > b.entropy;
+                     }
+                     return a.object < b.object;
+                   });
+  if (options_.confidence_stop_entropy > 0.0 &&
+      ranked.front().entropy < options_.confidence_stop_entropy) {
+    out_.stopped_confident = true;  // Every object is near-certain.
+    out_.select_seconds += select_watch.ElapsedSeconds();
+    select_span.End();
+    done_ = true;
+    return Status::OK();
+  }
+
+  // Per-round size: latency splits the budget into ceil(B/L) task
+  // slots; variable costs additionally trim the batch to what the
+  // remaining budget affords.
+  const std::size_t k = std::min(
+      mu_, static_cast<std::size_t>(budget_left_) + 1);
+  BAYESCROWD_ASSIGN_OR_RETURN(
+      std::vector<Task> batch,
+      SelectTasks(ctable_, ranked, k, evaluator, options_.strategy));
+  double batch_cost = 0.0;
+  std::size_t affordable = 0;
+  for (const Task& task : batch) {
+    const double cost = cost_model_->Cost(task);
+    if (cost <= 0.0) {
+      return Status::InvalidArgument("task cost must be positive");
+    }
+    if (batch_cost + cost > budget_left_ + 1e-9) break;
+    batch_cost += cost;
+    ++affordable;
+  }
+  batch.resize(affordable);
+  if (batch.empty()) {
+    out_.select_seconds += select_watch.ElapsedSeconds();
+    select_span.End();
+    done_ = true;
+    return Status::OK();
+  }
+  const double select_seconds = select_watch.ElapsedSeconds();
+  select_span.End();
+
+  // Worker latency (simulated or real) is deliberately outside both
+  // phase timers. Transient platform failures are retried with
+  // deterministic exponential backoff on a simulated clock; the
+  // per-round deadline caps how much simulated time one round may
+  // burn on attempts and waits (see RetryPolicy).
+  const double deadline = retry.round_deadline_seconds;
+  std::vector<TaskAnswer> answers;
+  bool delivered = false;
+  std::size_t attempts = 0;
+  double round_clock = 0.0;
+  double round_backoff = 0.0;
+  Stopwatch platform_watch;
+  while (attempts < retry.max_attempts) {
+    if (deadline > 0.0 &&
+        round_clock + retry.attempt_seconds > deadline + 1e-12) {
+      break;  // No time left for another attempt: abandon the round.
+    }
+    ++attempts;
+    round_clock += retry.attempt_seconds;
+    auto posted = platform_->PostBatch(batch);
+    if (posted.ok()) {
+      answers = std::move(posted).value();
+      delivered = true;
+      break;
+    }
+    if (!posted.status().IsUnavailable()) {
+      return posted.status();  // Fatal: not a transient platform error.
+    }
+    ++out_.transient_failures;
+    transient_counter_->Increment();
+    if (attempts >= retry.max_attempts) break;
+    const double backoff =
+        retry.backoff_initial_seconds *
+        std::pow(retry.backoff_multiplier,
+                 static_cast<double>(attempts - 1));
+    if (deadline > 0.0 &&
+        round_clock + backoff + retry.attempt_seconds > deadline + 1e-12) {
+      break;  // Waiting out the backoff would blow the deadline.
+    }
+    round_clock += backoff;
+    round_backoff += backoff;
+    ++out_.retries;
+    retries_counter_->Increment();
+    obs::RecordFlight(flight_, obs::FlightEventKind::kRetry,
+                      out_.rounds + 1, -1,
+                      out_.simulated_seconds + round_clock, backoff,
+                      "transient platform failure; backing off");
+  }
+  out_.platform_wall_seconds += platform_watch.ElapsedSeconds();
+  out_.backoff_seconds += round_backoff;
+  out_.simulated_seconds += round_clock;
+
+  if (!delivered) {
+    // Round abandoned: nothing was bought, nothing is charged, and
+    // the batch's tasks stay in the candidate pool for later rounds.
+    RoundLog log;
+    log.round = out_.rounds + 1;
+    log.select_seconds = select_seconds;
+    log.seconds = select_seconds;
+    log.attempts = attempts;
+    log.backoff_seconds = round_backoff;
+    log.simulated_seconds = round_clock;
+    log.abandoned = true;
+    out_.select_seconds += select_seconds;
+    out_.round_logs.push_back(log);
+    ++out_.rounds;
+    ++out_.rounds_abandoned;
+    rounds_counter_->Increment();
+    abandoned_counter_->Increment();
+    obs::RecordFlight(flight_, obs::FlightEventKind::kRoundAbandoned,
+                      out_.rounds, -1, out_.simulated_seconds,
+                      static_cast<double>(attempts),
+                      "no answer batch delivered before the round "
+                      "deadline");
+    BAYESCROWD_RETURN_NOT_OK(RoundExports());
+    if (++consecutive_barren_ >= retry.max_barren_rounds) {
+      out_.degraded = true;  // Platform presumed down; degrade.
+      done_ = true;
+    }
+    return Status::OK();
+  }
+  if (answers.size() != batch.size()) {
+    return Status::Internal("platform returned misaligned answers");
+  }
+
+  // Everything from budget accounting through re-simplification is
+  // update-phase work; the watch starts here so the phase timers
+  // explain the round's wall-clock (inspect grades the coverage).
+  obs::TraceSpan update_span("round.update");
+  Stopwatch update_watch;
+  evaluator.SetCostContext(options_.session, "update");
+
+  // Budget accounting: only answered tasks are charged; abstained or
+  // dropped tasks are refunded and fall back into the pool.
+  double charged = 0.0;
+  double refunded = 0.0;
+  std::size_t answered = 0;
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    const double cost = cost_model_->Cost(batch[t]);
+    if (answers[t].answered) {
+      charged += cost;
+      ++answered;
+    } else {
+      refunded += cost;
+    }
+  }
+  budget_left_ -= charged;
+  out_.cost_spent += charged;
+  out_.cost_refunded += refunded;
+  out_.tasks_unanswered += batch.size() - answered;
+  unanswered_counter_->Increment(batch.size() - answered);
+  cost_crowd_tasks_->Increment(answered);
+  cost_retry_refunds_->Increment(batch.size() - answered);
+
+  // Fold the answers that arrived into the knowledge base.
+  std::set<CellRef> touched;
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    if (!answers[t].answered) continue;
+    const Status applied = ApplyAnswer(batch[t], answers[t], &knowledge);
+    if (!applied.ok()) {
+      // A noisy crowd can answer the same ordering both ways. Keep
+      // the first recorded fact, drop the contradiction (its cost
+      // stays spent — the marketplace doesn't refund wrong answers),
+      // and keep the session alive. Anything else is fatal.
+      if (applied.IsInvalidArgument() &&
+          StartsWith(applied.message(), "contradictory var-var fact")) {
+        ++out_.order_conflicts;
+        conflicts_counter_->Increment();
+        BAYESCROWD_LOG(Warning)
+            << "dropping conflicting crowd answer: " << applied.message();
+        continue;
+      }
+      return applied;
+    }
+    for (const CellRef& var : batch[t].expression.Variables()) {
+      touched.insert(var);
+    }
+  }
+
+  // Re-condition the distributions of touched variables. Each
+  // SetDistribution evicts exactly the cached conditions mentioning
+  // that variable; everything else keeps serving hits next round.
+  for (const CellRef& var : touched) {
+    const auto raw = raw_posteriors_.find(var);
+    if (raw == raw_posteriors_.end()) continue;
+    BAYESCROWD_RETURN_NOT_OK(evaluator.SetDistribution(
+        var, knowledge.ConditionDistribution(var, raw->second)));
+  }
+
+  // Re-simplify every undecided condition against the knowledge base.
+  // Changed conditions get new fingerprints; their old cache entries
+  // were just evicted through the answered variables.
+  for (std::size_t i : ctable_.UndecidedObjects()) {
+    Condition simplified = ctable_.condition(i).SimplifyWith(
+        [&knowledge](const Expression& e) {
+          return knowledge.Evaluate(e);
+        });
+    if (!(simplified == ctable_.condition(i))) {
+      ctable_.SetCondition(i, std::move(simplified));
+    }
+  }
+
+  RoundLog log;
+  log.round = out_.rounds + 1;
+  log.tasks = batch.size();
+  log.select_seconds = select_seconds;
+  log.attempts = attempts;
+  log.answered = answered;
+  log.unanswered = batch.size() - answered;
+  log.cost_refunded = refunded;
+  log.backoff_seconds = round_backoff;
+  log.simulated_seconds = round_clock;
+  const EvaluatorCacheStats cache_after = evaluator.cache_stats();
+  log.cache_hits = cache_after.hits - cache_before.hits;
+  log.cache_misses = cache_after.misses - cache_before.misses;
+  out_.select_seconds += log.select_seconds;
+  out_.tasks_posted += batch.size();
+  ++out_.rounds;
+  rounds_counter_->Increment();
+  tasks_counter_->Increment(batch.size());
+  // The update window closes after the round's bookkeeping so the
+  // phase timers explain the loop's wall-clock; checkpoint I/O and
+  // the export sinks get their own bucket below.
+  log.update_seconds = update_watch.ElapsedSeconds();
+  update_span.End();
+  log.seconds = log.select_seconds + log.update_seconds;
+  out_.update_seconds += log.update_seconds;
+  out_.round_logs.push_back(log);
+  BAYESCROWD_RETURN_NOT_OK(RoundExports());
+
+  // A delivered round that applied nothing still counts as barren:
+  // with every worker abstaining, more rounds buy no information.
+  if (answered == 0) {
+    if (++consecutive_barren_ >= retry.max_barren_rounds) {
+      out_.degraded = true;
+      done_ = true;
+    }
+  } else {
+    consecutive_barren_ = 0;
+  }
+  return Status::OK();
+}
+
+Status QueryRunner::Finish() {
+  if (!initialized_) {
+    return Status::FailedPrecondition("QueryRunner::Finish before Init");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition("QueryRunner::Finish called twice");
+  }
+  Stopwatch finish_watch;
+  ProbabilityEvaluator& evaluator = *evaluator_;
+  done_ = true;
+
+  if (budget_left_ <= 1e-9) {
+    obs::RecordFlight(flight_, obs::FlightEventKind::kBudgetExhausted,
+                      out_.rounds, -1, out_.simulated_seconds, budget_left_,
+                      "crowdsourcing budget fully spent");
+  } else if (out_.degraded) {
+    obs::RecordFlight(flight_, obs::FlightEventKind::kNote, out_.rounds, -1,
+                      out_.simulated_seconds,
+                      static_cast<double>(consecutive_barren_),
+                      "stopped after consecutive barren rounds; platform "
+                      "presumed down");
+  }
+
+  // ---------------------------------------------------------------- //
+  // Answer inference (Algorithm 1, line 5).
+  // ---------------------------------------------------------------- //
+  // The final phase always solves fresh (no breaker skip): reported
+  // probabilities and their grades reflect the current conditions and
+  // distributions, never a stale breaker interval.
+  std::vector<std::size_t> all_objects(ctable_.num_objects());
+  for (std::size_t i = 0; i < ctable_.num_objects(); ++i) {
+    all_objects[i] = i;
+  }
+  evaluator.SetCostContext(options_.session, "answer");
+  Stopwatch answer_watch;
+  BAYESCROWD_ASSIGN_OR_RETURN(
+      out_.probability_intervals,
+      evaluator.EvaluateAllIntervals(ctable_, all_objects));
+  out_.answer_seconds = answer_watch.ElapsedSeconds();
+  out_.probabilities.resize(ctable_.num_objects());
+  for (std::size_t i = 0; i < ctable_.num_objects(); ++i) {
+    out_.probabilities[i] = out_.probability_intervals[i].midpoint();
+    if (!out_.probability_intervals[i].exact()) {
+      out_.degraded_objects.push_back(i);
+    }
+    if (out_.probabilities[i] > options_.answer_threshold ||
+        ctable_.condition(i).IsTrue()) {
+      out_.result_objects.push_back(i);
+    }
+  }
+  out_.solver = evaluator.solver_stats();
+  out_.compile = evaluator.compile_stats();
+  out_.breaker_trips = breaker_trips_counter_->value();
+  out_.breaker_skips = breaker_skips_counter_->value();
+  const EvaluatorCacheStats cache_stats = evaluator.cache_stats();
+  out_.cache_hits = cache_stats.hits;
+  out_.cache_misses = cache_stats.misses;
+  out_.cache_evictions = cache_stats.evictions;
+  out_.adpll = evaluator.adpll_stats();
+  out_.final_ctable = std::move(ctable_);
+
+  // Per-lane pool utilization, both on the result and as gauges so the
+  // metrics rendering is self-contained. Only for a privately owned
+  // pool: a shared serving pool's lane tallies mix every resident
+  // session's work, and publishing them would leak scheduling order
+  // into an otherwise deterministic per-session result.
+  if (owned_pool_ != nullptr) {
+    out_.lane_usage = owned_pool_->lane_stats();
+    for (std::size_t lane = 0; lane < out_.lane_usage.size(); ++lane) {
+      metrics_
+          ->GetGauge(StrFormat("pool.lane%zu.busy_seconds", lane))
+          ->Set(out_.lane_usage[lane].busy_seconds);
+      metrics_->GetGauge(StrFormat("pool.lane%zu.tasks", lane))
+          ->Set(static_cast<double>(out_.lane_usage[lane].tasks));
+    }
+  }
+  finished_ = true;
+  out_.total_seconds += finish_watch.ElapsedSeconds();
+  out_.metrics = metrics_->Snapshot();
+  run_span_.reset();
+  return Status::OK();
+}
+
+}  // namespace bayescrowd

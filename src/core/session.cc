@@ -85,7 +85,8 @@ Status SessionCheckpointSink::Write(const SessionState& state) {
 
 Result<RecoveredSession> RecoverSession(const std::string& checkpoint_dir,
                                         const std::string& answer_log_path,
-                                        std::uint64_t expected_fingerprint) {
+                                        std::uint64_t expected_fingerprint,
+                                        const std::string& session_id) {
   RecoveredSession out;
 
   // The durable log bounds which snapshots are usable. A missing file
@@ -104,7 +105,7 @@ Result<RecoveredSession> RecoverSession(const std::string& checkpoint_dir,
   }
   out.durable_entries = log.entries.size();
 
-  CheckpointStore store({.dir = checkpoint_dir});
+  CheckpointStore store({.dir = checkpoint_dir, .session_id = session_id});
   Result<SessionState> latest =
       store.LoadLatest(out.durable_entries, &out.fallbacks);
   if (!latest.ok()) {

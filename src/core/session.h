@@ -102,10 +102,13 @@ struct RecoveredSession {
 /// RecoveredSession::from_scratch). NotFound when nothing durable
 /// exists at all; FailedPrecondition when the best snapshot was written
 /// under a different configuration than `expected_fingerprint` (pass 0
-/// to skip the check).
+/// to skip the check). `session_id` selects a namespaced generation
+/// set within the directory (see CheckpointStore::Options::session_id);
+/// empty reads the legacy single-session layout.
 Result<RecoveredSession> RecoverSession(const std::string& checkpoint_dir,
                                         const std::string& answer_log_path,
-                                        std::uint64_t expected_fingerprint);
+                                        std::uint64_t expected_fingerprint,
+                                        const std::string& session_id = "");
 
 }  // namespace bayescrowd
 

@@ -23,12 +23,16 @@ const char* FlightEventKindToString(FlightEventKind kind) {
     case FlightEventKind::kBudgetExhausted: return "budget_exhausted";
     case FlightEventKind::kResume: return "resume";
     case FlightEventKind::kNote: return "note";
+    case FlightEventKind::kAdmission: return "admission";
+    case FlightEventKind::kEviction: return "eviction";
+    case FlightEventKind::kQosDegrade: return "qos_degrade";
   }
   return "unknown";
 }
 
 bool ParseFlightEventKind(const std::string& name, FlightEventKind* out) {
-  for (int i = 0; i <= static_cast<int>(FlightEventKind::kNote); ++i) {
+  for (int i = 0; i <= static_cast<int>(FlightEventKind::kQosDegrade);
+       ++i) {
     const auto kind = static_cast<FlightEventKind>(i);
     if (name == FlightEventKindToString(kind)) {
       *out = kind;

@@ -34,6 +34,10 @@ enum class FlightEventKind : std::uint8_t {
   kBudgetExhausted = 6, // Crowd budget fully spent; loop ends.
   kResume = 7,          // Session restored from a checkpoint.
   kNote = 8,            // Free-form marker (tests, tooling).
+  // Serving-layer events (src/serve/): per-tenant lifecycle + QoS.
+  kAdmission = 9,       // Session admitted to (or rejected by) the server.
+  kEviction = 10,       // Resident session evicted (explicit or LRU).
+  kQosDegrade = 11,     // Tenant over its QoS allowance; governor tightened.
 };
 
 const char* FlightEventKindToString(FlightEventKind kind);

@@ -175,6 +175,12 @@ std::uint64_t ProbabilityEvaluator::CompileTag() const {
   return h == 0 ? 1 : h;
 }
 
+std::uint64_t ProbabilityEvaluator::ScopeTag() const {
+  if (options_.cache_scope == 0) return 0;
+  const std::uint64_t h = SplitMix64(options_.cache_scope ^ 0x5C09EULL);
+  return h == 0 ? 1 : h;
+}
+
 std::uint64_t ProbabilityEvaluator::DistStamp(
     const Condition& condition) const {
   // Sum of per-occurrence digests: order-insensitive, and equal
@@ -224,8 +230,8 @@ bool ProbabilityEvaluator::IsCached(const Condition& condition) const {
   if (condition.IsDecided()) return false;
   const auto it = cache_.find(condition.Fingerprint());
   return it != cache_.end() &&
-         it->second.stamp ==
-             (DistStamp(condition) ^ BudgetTag() ^ CompileTag());
+         it->second.stamp == (DistStamp(condition) ^ BudgetTag() ^
+                              CompileTag() ^ ScopeTag());
 }
 
 Rng ProbabilityEvaluator::ConditionRng(
@@ -237,8 +243,9 @@ Rng ProbabilityEvaluator::ConditionRng(
 void ProbabilityEvaluator::Insert(const ConditionFingerprint& fingerprint,
                                   const Condition& condition,
                                   const ProbInterval& interval) {
-  cache_[fingerprint] =
-      CacheEntry{interval, DistStamp(condition) ^ BudgetTag() ^ CompileTag()};
+  cache_[fingerprint] = CacheEntry{
+      interval,
+      DistStamp(condition) ^ BudgetTag() ^ CompileTag() ^ ScopeTag()};
   for (const CellRef& var : condition.Variables()) {
     var_index_[PackVar(var)].push_back(fingerprint);
   }
@@ -423,6 +430,115 @@ Status ProbabilityEvaluator::RestoreMemoState(BinReader* reader,
   return Status::OK();
 }
 
+Result<std::size_t> ProbabilityEvaluator::MergeMemoState(
+    BinReader* reader, std::uint32_t format) {
+  if (format == 0 || format > kMemoStateFormat) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported memo-state format %u",
+                  static_cast<unsigned>(format)));
+  }
+  // The donor's RNG position belongs to the donor's sampling stream;
+  // read past it, keep our own.
+  std::array<std::uint64_t, 4> rng_state{};
+  for (std::uint64_t& word : rng_state) {
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&word));
+  }
+
+  std::size_t imported = 0;
+  std::uint64_t n = 0;
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 32));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ConditionFingerprint fingerprint;
+    CacheEntry entry;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.first));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.second));
+    if (format == 1) {
+      double probability = 0.0;
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&probability));
+      entry.interval = ProbInterval::Exact(probability);
+    } else {
+      std::uint8_t quality = 0;
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&entry.interval.lo));
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadDouble(&entry.interval.hi));
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadU8(&quality));
+      if (quality > static_cast<std::uint8_t>(ProbQuality::kUnknown)) {
+        return Status::InvalidArgument("memo state: bad ProbQuality");
+      }
+      entry.interval.quality = static_cast<ProbQuality>(quality);
+    }
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&entry.stamp));
+    if (cache_.emplace(fingerprint, entry).second) ++imported;
+  }
+
+  // Variable index: append the donor's fingerprints so imported
+  // entries still evict when one of their variables re-conditions.
+  // Duplicates are tolerated by eviction (and bounded — one merge per
+  // session create).
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 16));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t var = 0;
+    std::uint64_t count = 0;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&var));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&count, 16));
+    std::vector<ConditionFingerprint>& slot = var_index_[var];
+    for (std::uint64_t k = 0; k < count; ++k) {
+      ConditionFingerprint fingerprint;
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.first));
+      BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.second));
+      slot.push_back(fingerprint);
+    }
+  }
+
+  // Donor epochs are *not* adopted: stamps validate against the local
+  // epochs, so entries the donor computed under moved epochs simply
+  // never hit. Read past the section.
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 16));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t var = 0;
+    std::uint64_t epoch = 0;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&var));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&epoch));
+  }
+  if (format < 3) return imported;
+
+  // Circuits carry the donor's store tag. An empty local store adopts
+  // the donor's tag wholesale; a populated store only accepts a
+  // matching tag. Either way the first governed evaluation re-checks
+  // the tag (SyncCircuitStore) and drops a mismatched store, so an
+  // adopted-but-wrong tag costs the artifacts, never correctness.
+  std::uint64_t donor_tag = 0;
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&donor_tag));
+  const bool adopt = circuits_.empty() && circuit_failed_.empty();
+  const bool accept = adopt || donor_tag == circuit_store_tag_;
+  CircuitStats restored;
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 24));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ConditionFingerprint fingerprint;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.first));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.second));
+    std::string blob;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadString(&blob));
+    if (!accept || circuits_.size() >= kMaxCircuits) continue;
+    auto circuit = std::make_unique<CompiledCircuit>();
+    BinReader cr(blob);
+    BAYESCROWD_RETURN_NOT_OK(
+        CompiledCircuit::Deserialize(&cr, circuit.get()));
+    if (circuits_.emplace(fingerprint, std::move(circuit)).second) {
+      ++restored.restored;
+    }
+  }
+  BAYESCROWD_RETURN_NOT_OK(reader->ReadCount(&n, 16));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ConditionFingerprint fingerprint;
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.first));
+    BAYESCROWD_RETURN_NOT_OK(reader->ReadU64(&fingerprint.second));
+    if (accept) circuit_failed_.insert(fingerprint);
+  }
+  if (adopt && accept) circuit_store_tag_ = donor_tag;
+  AddCircuitStats(restored);
+  return imported;
+}
+
 Result<double> ProbabilityEvaluator::Compute(const Condition& condition,
                                              Rng& rng, AdpllStats* stats,
                                              AdpllScratch* scratch) {
@@ -544,7 +660,7 @@ void ProbabilityEvaluator::ReserveScratch(std::size_t lanes) {
 }
 
 void ProbabilityEvaluator::SyncCircuitStore(CircuitStats* stats) {
-  const std::uint64_t tag = BudgetTag() ^ CompileTag();
+  const std::uint64_t tag = BudgetTag() ^ CompileTag() ^ ScopeTag();
   if (tag == circuit_store_tag_) return;
   stats->evictions += circuits_.size();
   circuits_.clear();
@@ -586,8 +702,8 @@ Result<ProbInterval> ProbabilityEvaluator::ProbabilityInterval(
   const ConditionFingerprint fingerprint = condition.Fingerprint();
   const auto it = cache_.find(fingerprint);
   if (it != cache_.end() &&
-      it->second.stamp ==
-          (DistStamp(condition) ^ BudgetTag() ^ CompileTag())) {
+      it->second.stamp == (DistStamp(condition) ^ BudgetTag() ^
+                           CompileTag() ^ ScopeTag())) {
     ins_.cache_hits->Increment();
     cost_.cache_hits[TierIndex(it->second.interval.quality)]->Increment();
     return it->second.interval;
@@ -684,7 +800,7 @@ ProbabilityEvaluator::EvaluateBatchIntervals(
   // Sequential pass: constants and memo hits; collect the rest. The
   // cache maps are touched on this thread only.
   const bool memoizable = Memoizable();
-  const std::uint64_t tag = BudgetTag() ^ CompileTag();
+  const std::uint64_t tag = BudgetTag() ^ CompileTag() ^ ScopeTag();
   std::vector<std::size_t> misses;
   std::vector<ConditionFingerprint> fingerprints(n);
   for (std::size_t i = 0; i < n; ++i) {

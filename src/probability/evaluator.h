@@ -90,6 +90,19 @@ struct ProbabilityOptions {
   /// deterministic branch heuristic, and not under the strict ladder
   /// (whose budget-exhausted evaluations must stay budget-exhausted).
   CompileOptions compile;
+
+  /// Tenant-safe cache scope. Folded into every memo stamp and into
+  /// the circuit-store tag (alongside BudgetTag/CompileTag), so two
+  /// sessions over *different* datasets or tenants can exchange memo
+  /// blobs through a shared cache without aliasing: DistStamp digests
+  /// distribution *epochs*, not values, and two fresh sessions start
+  /// at identical epochs — without a scope key, dataset A's cached
+  /// Pr(φ) could validate against dataset B's equal-fingerprint
+  /// condition. A serving layer derives this from the tenant id plus
+  /// the dataset/options fingerprint (see serve/cache.h). 0 (the
+  /// default) contributes nothing, keeping every pre-scope stamp and
+  /// checkpoint blob valid.
+  std::uint64_t cache_scope = 0;
 };
 
 /// Current on-disk format of SerializeMemoState blobs. Format 1 (point
@@ -223,6 +236,18 @@ class ProbabilityEvaluator {
   const std::string& cost_session() const { return cost_session_; }
   const std::string& cost_phase() const { return cost_phase_; }
 
+  /// Replaces the solver governor for every subsequent evaluation — the
+  /// serving layer's QoS hook (a heavy tenant's sessions get walked
+  /// down to tighter budgets at round boundaries). BudgetTag() follows
+  /// the new configuration, so memo entries written under the old
+  /// budgets simply stop matching (sound, never wrong). Deterministic
+  /// as long as callers tighten only at deterministic points; not
+  /// thread-safe against concurrent evaluation.
+  void SetGovernor(const GovernorOptions& governor) {
+    options_.governor = governor;
+  }
+  const GovernorOptions& governor() const { return options_.governor; }
+
   /// Appends the memo state (sampling RNG position, cache entries with
   /// their stamps, variable index, distribution epochs) to `out` in a
   /// canonical binary form, so a resumed session replays the exact
@@ -237,6 +262,23 @@ class ProbabilityEvaluator {
   /// exact point entries.
   Status RestoreMemoState(BinReader* reader,
                           std::uint32_t format = kMemoStateFormat);
+
+  /// Warm-start merge for a shared cross-session cache: imports the
+  /// memo entries, variable index, compiled artifacts and refusal set
+  /// of a SerializeMemoState blob WITHOUT touching this evaluator's
+  /// RNG stream, distribution epochs, or existing entries (existing
+  /// entries win on fingerprint collisions; RestoreMemoState, by
+  /// contrast, clears everything and adopts the blob's epochs). An
+  /// imported entry only ever serves a hit when its stamp validates
+  /// against the *local* epochs and scope/budget/compile tags — the
+  /// standard lookup check — so merging a foreign blob is always
+  /// sound; mismatched entries are dead weight, never wrong answers.
+  /// Circuits merge only when the blob's store tag matches the active
+  /// one (adopted wholesale when the local store is empty; a mismatch
+  /// at the next evaluation drops them, the SyncCircuitStore rule).
+  /// Returns the number of memo entries imported.
+  Result<std::size_t> MergeMemoState(BinReader* reader,
+                                     std::uint32_t format = kMemoStateFormat);
 
  private:
   struct CacheEntry {
@@ -261,6 +303,11 @@ class ProbabilityEvaluator {
   /// legacy stamp — whenever compilation is inactive, which keeps
   /// pre-compile cache blobs valid.
   std::uint64_t CompileTag() const;
+
+  /// Tenant-scope component of cache stamps (see
+  /// ProbabilityOptions::cache_scope). 0 — the legacy stamp — for the
+  /// default scope.
+  std::uint64_t ScopeTag() const;
 
   bool Memoizable() const {
     return options_.memoize &&

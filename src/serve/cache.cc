@@ -1,0 +1,70 @@
+#include "serve/cache.h"
+
+#include <utility>
+
+namespace bayescrowd::serve {
+
+SharedQueryCache::SharedQueryCache(Options options)
+    : options_(std::move(options)) {
+  if (options_.max_entries == 0) options_.max_entries = 1;
+}
+
+void SharedQueryCache::Put(std::uint64_t scope, std::string blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (blob.size() > options_.max_bytes) {
+    ++stats_.rejected;
+    return;
+  }
+  auto it = entries_.find(scope);
+  if (it != entries_.end()) {
+    stats_.bytes -= it->second.blob.size();
+    stats_.bytes += blob.size();
+    it->second.blob = std::move(blob);
+    lru_.erase(it->second.lru_pos);
+    it->second.lru_pos = lru_.insert(lru_.begin(), scope);
+  } else {
+    Entry entry;
+    stats_.bytes += blob.size();
+    entry.blob = std::move(blob);
+    entry.lru_pos = lru_.insert(lru_.begin(), scope);
+    entries_.emplace(scope, std::move(entry));
+  }
+  ++stats_.donations;
+  EvictPastBudgetsLocked();
+  stats_.entries = entries_.size();
+}
+
+bool SharedQueryCache::Get(std::uint64_t scope, std::string* blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(scope);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.lru_pos);
+  it->second.lru_pos = lru_.insert(lru_.begin(), scope);
+  *blob = it->second.blob;
+  return true;
+}
+
+void SharedQueryCache::EvictPastBudgetsLocked() {
+  while (!lru_.empty() && (entries_.size() > options_.max_entries ||
+                           stats_.bytes > options_.max_bytes)) {
+    const std::uint64_t victim = lru_.back();
+    auto it = entries_.find(victim);
+    stats_.bytes -= it->second.blob.size();
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+SharedQueryCache::Stats SharedQueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace bayescrowd::serve

@@ -1,0 +1,437 @@
+#include "serve/manager.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/session.h"
+
+namespace bayescrowd::serve {
+
+namespace {
+
+std::vector<obs::Label> TenantLabels(const std::string& tenant) {
+  return {{"tenant", tenant}};
+}
+
+std::vector<obs::Label> SessionLabels(const std::string& tenant,
+                                      const std::string& id) {
+  return {{"tenant", tenant}, {"session", id}};
+}
+
+std::string EventDetail(const std::string& tenant, const std::string& id,
+                        const std::string& extra) {
+  std::string out = StrFormat("tenant=%s session=%s", tenant.c_str(),
+                              id.c_str());
+  if (!extra.empty()) {
+    out += ' ';
+    out += extra;
+  }
+  return out;
+}
+
+}  // namespace
+
+SessionManager::SessionManager(Options options)
+    : options_(std::move(options)),
+      cache_(options_.cache),
+      local_flight_(256) {
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+    pool_ = owned_pool_.get();
+  }
+  metrics_ = options_.metrics != nullptr ? options_.metrics : &local_metrics_;
+  flight_ = options_.flight != nullptr ? options_.flight : &local_flight_;
+  if (options_.max_resident_sessions == 0) options_.max_resident_sessions = 1;
+  if (options_.max_sessions_per_tenant == 0) {
+    options_.max_sessions_per_tenant = 1;
+  }
+}
+
+std::uint64_t SessionManager::CacheScope(const std::string& tenant,
+                                         const std::string& cache_key) {
+  // Chained, not XORed: hash(tenantA)^hash(keyB) must not equal
+  // hash(tenantB)^hash(keyA).
+  std::uint64_t scope = HashBytes(tenant);
+  scope = HashBytes(cache_key, scope);
+  return scope == 0 ? 1 : scope;  // 0 means "unscoped" to the evaluator.
+}
+
+const TenantQos* SessionManager::QosFor(const std::string& tenant) const {
+  const auto it = options_.qos.find(tenant);
+  return it == options_.qos.end() ? nullptr : &it->second;
+}
+
+SessionManager::Session* SessionManager::FindLocked(const std::string& id) {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+Status SessionManager::Create(SessionSpec spec) {
+  std::lock_guard<std::mutex> work(work_mu_);
+  if (spec.id.empty() || spec.tenant.empty()) {
+    return Status::InvalidArgument("serve: session id and tenant required");
+  }
+  if (spec.resume && spec.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "serve: resume requires a checkpoint_dir");
+  }
+
+  // Admission control. Rejections are first-class telemetry: a labeled
+  // counter plus a flight event, so capacity pressure is attributable
+  // per tenant after the fact.
+  {
+    std::lock_guard<std::mutex> registry(registry_mu_);
+    std::string reject;
+    if (sessions_.count(spec.id) != 0) {
+      return Status::AlreadyExists(
+          StrFormat("serve: session '%s' already resident",
+                    spec.id.c_str()));
+    }
+    if (sessions_.size() >= options_.max_resident_sessions) {
+      reject = StrFormat("server at capacity (%zu resident)",
+                         sessions_.size());
+    } else {
+      const TenantQos* qos = QosFor(spec.tenant);
+      std::size_t tenant_cap = options_.max_sessions_per_tenant;
+      if (qos != nullptr && qos->max_resident != 0) {
+        tenant_cap = qos->max_resident;
+      }
+      const auto it = tenant_resident_.find(spec.tenant);
+      const std::size_t tenant_now =
+          it == tenant_resident_.end() ? 0 : it->second;
+      if (tenant_now >= tenant_cap) {
+        reject = StrFormat("tenant at capacity (%zu resident)", tenant_now);
+      }
+    }
+    if (!reject.empty()) {
+      metrics_->GetCounter("serve.admission.rejected",
+                           TenantLabels(spec.tenant))
+          ->Increment();
+      flight_->Record(obs::FlightEventKind::kAdmission, 0, -1, 0.0,
+                      /*value=*/0.0,
+                      EventDetail(spec.tenant, spec.id, reject));
+      return Status::ResourceExhausted(
+          StrFormat("serve: admission rejected for '%s': %s",
+                    spec.id.c_str(), reject.c_str()));
+    }
+  }
+
+  auto session = std::make_unique<Session>();
+  session->scope = CacheScope(spec.tenant, spec.cache_key);
+  session->platform = std::make_unique<SimulatedCrowdPlatform>(
+      spec.ground_truth, spec.platform);
+  session->posteriors =
+      spec.posteriors != nullptr
+          ? spec.posteriors
+          : std::make_shared<UniformPosteriorProvider>(
+                spec.incomplete.schema());
+
+  BayesCrowdOptions options = spec.options;
+  options.pool = pool_;
+  options.threads = 0;
+  options.metrics = &session->metrics;
+  options.session = spec.id;  // cost.* series carry the session id.
+  options.probability.cache_scope = session->scope;
+  if (!spec.checkpoint_dir.empty()) {
+    session->store = std::make_unique<CheckpointStore>(CheckpointStore::
+        Options{.dir = spec.checkpoint_dir,
+                .session_id = spec.id,
+                .keep = spec.checkpoint_keep});
+    options.checkpoint_sink = session->store.get();
+  }
+  if (spec.resume) {
+    std::size_t fallbacks = 0;
+    Result<SessionState> latest = session->store->LoadLatest(
+        std::numeric_limits<std::size_t>::max(), &fallbacks);
+    BAYESCROWD_RETURN_NOT_OK(latest.status());
+    session->resume_state =
+        std::make_unique<SessionState>(std::move(latest).value());
+    options.resume = session->resume_state.get();
+    session->resumed = true;
+  }
+
+  session->runner = std::make_unique<QueryRunner>(options);
+  session->spec = std::move(spec);
+  Session& ref = *session;
+  BAYESCROWD_RETURN_NOT_OK(ref.runner->Init(
+      ref.spec.incomplete, *ref.posteriors, *ref.platform));
+
+  if (ref.spec.warm_start) {
+    std::string blob;
+    const char* outcome = "miss";
+    if (cache_.Get(ref.scope, &blob)) {
+      Result<std::size_t> imported = ref.runner->ImportMemoState(blob);
+      BAYESCROWD_RETURN_NOT_OK(imported.status());
+      metrics_->GetCounter("serve.cache.imported_entries",
+                           TenantLabels(ref.spec.tenant))
+          ->Increment(static_cast<std::uint64_t>(imported.value()));
+      outcome = "hit";
+    }
+    metrics_->GetCounter(
+        StrFormat("serve.cache.warm_start.%s", outcome),
+        TenantLabels(ref.spec.tenant))
+        ->Increment();
+  }
+
+  // A resumed session may already be past a QoS threshold: re-apply the
+  // step its round count calls for before it advances, so resume lands
+  // on the same governor the uninterrupted session would be running.
+  BAYESCROWD_RETURN_NOT_OK(MaybeDegrade(&ref));
+
+  {
+    std::lock_guard<std::mutex> registry(registry_mu_);
+    const std::string& tenant = ref.spec.tenant;
+    const std::string& id = ref.spec.id;
+    creation_order_.push_back(id);
+    ++tenant_resident_[tenant];
+    metrics_->GetCounter("serve.admission.admitted", TenantLabels(tenant))
+        ->Increment();
+    metrics_->GetCounter("serve.sessions.created", TenantLabels(tenant))
+        ->Increment();
+    flight_->Record(obs::FlightEventKind::kAdmission, ref.runner->rounds(),
+                    -1, 0.0, /*value=*/1.0, EventDetail(tenant, id, ""));
+    sessions_.emplace(id, std::move(session));
+    metrics_->GetGauge("serve.sessions.resident")
+        ->Set(static_cast<double>(sessions_.size()));
+  }
+  return Status::OK();
+}
+
+Status SessionManager::MaybeDegrade(Session* session) {
+  const TenantQos* qos = QosFor(session->spec.tenant);
+  if (qos == nullptr || qos->degrade_after_rounds == 0 ||
+      qos->ladder.empty()) {
+    return Status::OK();
+  }
+  const std::size_t rounds = session->runner->rounds();
+  if (rounds < qos->degrade_after_rounds) return Status::OK();
+  std::size_t desired =
+      1 + (qos->degrade_every_rounds > 0
+               ? (rounds - qos->degrade_after_rounds) /
+                     qos->degrade_every_rounds
+               : 0);
+  if (desired > qos->ladder.size()) desired = qos->ladder.size();
+  if (desired <= session->qos_level) return Status::OK();
+  const GovernorOptions& governor = qos->ladder[desired - 1];
+  BAYESCROWD_RETURN_NOT_OK(session->runner->ApplyGovernor(governor));
+  session->qos_level = desired;
+  metrics_->GetCounter(
+      "serve.qos.degrades",
+      SessionLabels(session->spec.tenant, session->spec.id))
+      ->Increment();
+  flight_->Record(
+      obs::FlightEventKind::kQosDegrade, rounds, -1, 0.0,
+      static_cast<double>(desired),
+      EventDetail(session->spec.tenant, session->spec.id,
+                  StrFormat("level=%zu max_nodes=%llu", desired,
+                            static_cast<unsigned long long>(
+                                governor.max_nodes))));
+  return Status::OK();
+}
+
+Status SessionManager::AdvanceLockedImpl(Session* session,
+                                         std::size_t max_rounds,
+                                         AdvanceOutcome* out) {
+  if (session->finished) {
+    return Status::FailedPrecondition(
+        StrFormat("serve: session '%s' already finished",
+                  session->spec.id.c_str()));
+  }
+  obs::Counter* rounds_counter = metrics_->GetCounter(
+      "serve.rounds", SessionLabels(session->spec.tenant,
+                                    session->spec.id));
+  for (std::size_t i = 0; i < max_rounds && !session->runner->Done(); ++i) {
+    BAYESCROWD_RETURN_NOT_OK(MaybeDegrade(session));
+    BAYESCROWD_RETURN_NOT_OK(session->runner->Step());
+    rounds_counter->Increment();
+    ++out->rounds_run;
+  }
+  out->qos_level = session->qos_level;
+  out->done = session->runner->Done();
+  return Status::OK();
+}
+
+Result<AdvanceOutcome> SessionManager::Advance(const std::string& id,
+                                               std::size_t max_rounds) {
+  std::lock_guard<std::mutex> work(work_mu_);
+  Session* session;
+  {
+    std::lock_guard<std::mutex> registry(registry_mu_);
+    session = FindLocked(id);
+  }
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("serve: no session '%s'", id.c_str()));
+  }
+  AdvanceOutcome out;
+  BAYESCROWD_RETURN_NOT_OK(AdvanceLockedImpl(session, max_rounds, &out));
+  return out;
+}
+
+Result<std::size_t> SessionManager::AdvanceAll(std::size_t quantum) {
+  std::lock_guard<std::mutex> work(work_mu_);
+  std::vector<Session*> order;
+  {
+    std::lock_guard<std::mutex> registry(registry_mu_);
+    for (const std::string& id : creation_order_) {
+      Session* session = FindLocked(id);
+      if (session != nullptr) order.push_back(session);
+    }
+  }
+  std::size_t active = 0;
+  for (Session* session : order) {
+    if (session->finished || session->runner->Done()) continue;
+    AdvanceOutcome out;
+    BAYESCROWD_RETURN_NOT_OK(AdvanceLockedImpl(session, quantum, &out));
+    if (!out.done) ++active;
+  }
+  return active;
+}
+
+Status SessionManager::Checkpoint(const std::string& id) {
+  std::lock_guard<std::mutex> work(work_mu_);
+  Session* session;
+  {
+    std::lock_guard<std::mutex> registry(registry_mu_);
+    session = FindLocked(id);
+  }
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("serve: no session '%s'", id.c_str()));
+  }
+  if (session->finished) {
+    return Status::FailedPrecondition(
+        StrFormat("serve: session '%s' already finished", id.c_str()));
+  }
+  return session->runner->WriteCheckpointNow();
+}
+
+Result<BayesCrowdResult> SessionManager::Finish(const std::string& id) {
+  std::lock_guard<std::mutex> work(work_mu_);
+  Session* session;
+  {
+    std::lock_guard<std::mutex> registry(registry_mu_);
+    session = FindLocked(id);
+  }
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("serve: no session '%s'", id.c_str()));
+  }
+  if (session->finished) {
+    return Status::FailedPrecondition(
+        StrFormat("serve: session '%s' already finished", id.c_str()));
+  }
+  BAYESCROWD_RETURN_NOT_OK(session->runner->Finish());
+  // Donate the memo state so the next session of this scope can warm
+  // start. Donation is outside the determinism contract on purpose —
+  // it only ever feeds opt-in warm starts.
+  Result<std::string> blob = session->runner->ExportMemoState();
+  if (blob.ok()) {
+    cache_.Put(session->scope, std::move(blob).value());
+    metrics_->GetCounter("serve.cache.donations",
+                         TenantLabels(session->spec.tenant))
+        ->Increment();
+  }
+  session->finished = true;
+  metrics_->GetCounter("serve.sessions.finished",
+                       TenantLabels(session->spec.tenant))
+      ->Increment();
+  return session->runner->TakeResult();
+}
+
+Status SessionManager::Evict(const std::string& id) {
+  std::lock_guard<std::mutex> work(work_mu_);
+  Session* session;
+  {
+    std::lock_guard<std::mutex> registry(registry_mu_);
+    session = FindLocked(id);
+  }
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("serve: no session '%s'", id.c_str()));
+  }
+  std::string extra;
+  if (!session->finished && session->store != nullptr &&
+      session->runner->initialized()) {
+    const Status snapshot = session->runner->WriteCheckpointNow();
+    extra = snapshot.ok()
+                ? StrFormat("checkpointed@%zu", session->runner->rounds())
+                : StrFormat("checkpoint failed: %s",
+                            snapshot.ToString().c_str());
+  }
+  const std::string tenant = session->spec.tenant;
+  flight_->Record(obs::FlightEventKind::kEviction,
+                  session->runner->rounds(), -1, 0.0,
+                  session->finished ? 1.0 : 0.0,
+                  EventDetail(tenant, id, extra));
+  {
+    std::lock_guard<std::mutex> registry(registry_mu_);
+    sessions_.erase(id);
+    for (auto it = creation_order_.begin(); it != creation_order_.end();
+         ++it) {
+      if (*it == id) {
+        creation_order_.erase(it);
+        break;
+      }
+    }
+    auto tenant_it = tenant_resident_.find(tenant);
+    if (tenant_it != tenant_resident_.end() && tenant_it->second > 0) {
+      --tenant_it->second;
+    }
+    metrics_->GetCounter("serve.sessions.evicted", TenantLabels(tenant))
+        ->Increment();
+    metrics_->GetGauge("serve.sessions.resident")
+        ->Set(static_cast<double>(sessions_.size()));
+  }
+  return Status::OK();
+}
+
+SessionInfo SessionManager::InfoOf(const Session& session) const {
+  SessionInfo info;
+  info.id = session.spec.id;
+  info.tenant = session.spec.tenant;
+  info.rounds = session.runner->rounds();
+  info.budget_left = session.runner->budget_left();
+  info.qos_level = session.qos_level;
+  info.done = session.finished || session.runner->Done();
+  info.finished = session.finished;
+  info.resumed = session.resumed;
+  return info;
+}
+
+Result<SessionInfo> SessionManager::Info(const std::string& id) {
+  std::lock_guard<std::mutex> work(work_mu_);
+  std::lock_guard<std::mutex> registry(registry_mu_);
+  const Session* session = FindLocked(id);
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("serve: no session '%s'", id.c_str()));
+  }
+  return InfoOf(*session);
+}
+
+std::vector<SessionInfo> SessionManager::List() {
+  std::lock_guard<std::mutex> work(work_mu_);
+  std::lock_guard<std::mutex> registry(registry_mu_);
+  std::vector<SessionInfo> out;
+  out.reserve(creation_order_.size());
+  for (const std::string& id : creation_order_) {
+    const Session* session = FindLocked(id);
+    if (session != nullptr) out.push_back(InfoOf(*session));
+  }
+  return out;
+}
+
+std::size_t SessionManager::resident() const {
+  std::lock_guard<std::mutex> registry(registry_mu_);
+  return sessions_.size();
+}
+
+obs::MetricsSnapshot SessionManager::MetricsSnapshot() const {
+  return metrics_->Snapshot();
+}
+
+}  // namespace bayescrowd::serve

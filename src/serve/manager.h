@@ -1,0 +1,272 @@
+// SessionManager: BayesCrowd as a resident service.
+//
+// One process, one shared worker pool, many live query sessions. The
+// one-shot pipeline (BayesCrowd::Run) answers a single query and
+// exits; a serving process instead keeps N sessions resident —
+// possibly for N different tenants — and interleaves their crowd
+// rounds. The manager is the multiplexing layer over core/runner.h:
+//
+//   Create    admission control (global + per-tenant residency caps),
+//             then QueryRunner::Init on the shared pool — modeling
+//             phase, optional checkpoint resume, optional warm start
+//             from the shared cross-session cache
+//   Advance   up to K crowd rounds of one session; per-tenant QoS is
+//             applied at round boundaries (a heavy tenant's governor
+//             budgets tighten down the existing degradation ladder)
+//   Checkpoint  explicit snapshot via the session's namespaced store
+//   Finish    answer inference; the session's memo state is donated to
+//             the shared cache for future warm starts of its scope
+//   Evict     drop a resident session (checkpointing first when a
+//             store is configured and the session is unfinished)
+//
+// Determinism contract: each session's observable behavior (results,
+// metrics, round logs) is a pure function of its spec — never of the
+// interleaving. Everything cross-session is either partitioned
+// (per-session metrics registries, per-session platform RNGs,
+// namespaced checkpoint generations, scope-stamped cache entries) or
+// order-insensitive by construction (QoS decisions read only the
+// session's own round counter; the shared pool runs one session's
+// ParallelFor at a time behind the work mutex, and lane-order effects
+// are already excluded by the evaluator's deterministic folds). The
+// serve_test harness pins this: N interleaved sessions byte-match N
+// sequential runs of the same specs.
+//
+// Thread safety: every verb may be called from any client thread.
+// Stepping work serializes on a single work mutex — sessions share one
+// pool, so true intra-round parallelism comes from the pool's lanes,
+// and round-granularity interleaving across sessions is the fairness
+// quantum (this also keeps the pool's error latch session-pure).
+
+#ifndef BAYESCROWD_SERVE_MANAGER_H_
+#define BAYESCROWD_SERVE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bayesnet/imputation.h"
+#include "common/thread_pool.h"
+#include "core/checkpoint.h"
+#include "core/runner.h"
+#include "crowd/platform.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "serve/cache.h"
+
+namespace bayescrowd::serve {
+
+/// Per-tenant quality-of-service policy. Degradation is session-local
+/// and round-based on purpose: a decision driven by the session's own
+/// deterministic round counter cannot depend on how sessions happen to
+/// interleave, which is what keeps serving deterministic.
+struct TenantQos {
+  /// Resident-session cap for this tenant (0 = the manager default).
+  std::size_t max_resident = 0;
+
+  /// After this many rounds of a single session, the session's solver
+  /// governor steps down `ladder`. 0 = never degrade.
+  std::size_t degrade_after_rounds = 0;
+
+  /// Rounds between subsequent steps (0 = a single step only).
+  std::size_t degrade_every_rounds = 0;
+
+  /// Governor configurations applied at step 1, 2, ... (clamped to the
+  /// last entry). Typically successively tighter max_nodes budgets:
+  /// the per-evaluation SolverGovernor then walks its own degradation
+  /// ladder, so heavy tenants get graded intervals instead of stalls.
+  std::vector<GovernorOptions> ladder;
+};
+
+/// Everything needed to admit one session. Tables are held by value:
+/// the manager owns the session's whole world so the client connection
+/// can go away between verbs.
+struct SessionSpec {
+  std::string id;      // Unique among resident sessions.
+  std::string tenant;  // Non-empty; selects the QoS policy + caps.
+
+  Table incomplete;    // The queried table (with missing cells).
+  Table ground_truth;  // Simulated crowd's answer source.
+  SimulatedPlatformOptions platform;
+
+  /// Per-session query options. `pool`, `metrics` and `session` are
+  /// overwritten by the manager (shared pool, per-session registry,
+  /// id-labeled cost series); `checkpoint_sink` is overwritten when
+  /// `checkpoint_dir` is set; everything else is the caller's.
+  BayesCrowdOptions options;
+
+  /// Posterior source; null = UniformPosteriorProvider over the
+  /// incomplete table's schema (the zero-knowledge baseline).
+  std::shared_ptr<PosteriorProvider> posteriors;
+
+  /// Shared-cache identity of the session's dataset. The cache scope is
+  /// hash(tenant) chained with hash(cache_key), so tenants never share
+  /// entries, and one tenant's datasets are kept apart as long as their
+  /// keys differ. Leave "" only when the tenant always queries one
+  /// dataset.
+  std::string cache_key;
+
+  /// Import the shared cache's blob for this scope after Init (off by
+  /// default: a warm start changes the hit/miss sequence, so it is
+  /// opt-in and excluded from the interleaving bit-identity contract).
+  bool warm_start = false;
+
+  /// Enables the checkpoint verb: generations are written to this
+  /// directory namespaced by session id (two resident sessions can
+  /// share a directory without pruning each other). "" = no store.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_keep = 3;
+
+  /// Resume from the newest usable generation in `checkpoint_dir`
+  /// (which must be set) instead of starting fresh.
+  bool resume = false;
+};
+
+/// A resident session's externally visible state.
+struct SessionInfo {
+  std::string id;
+  std::string tenant;
+  std::size_t rounds = 0;
+  double budget_left = 0.0;
+  std::size_t qos_level = 0;
+  bool done = false;      // No further rounds possible.
+  bool finished = false;  // Finish() ran; result was taken.
+  bool resumed = false;
+};
+
+struct AdvanceOutcome {
+  std::size_t rounds_run = 0;
+  std::size_t qos_level = 0;
+  bool done = false;
+};
+
+class SessionManager {
+ public:
+  struct Options {
+    /// Lanes of the owned worker pool (0 = hardware concurrency);
+    /// ignored when `pool` is injected.
+    std::size_t threads = 0;
+    ThreadPool* pool = nullptr;  // Non-owning override.
+
+    /// Global residency cap; Create past it is ResourceExhausted.
+    std::size_t max_resident_sessions = 8;
+
+    /// Default per-tenant residency cap (TenantQos::max_resident
+    /// overrides per tenant).
+    std::size_t max_sessions_per_tenant = 4;
+
+    std::map<std::string, TenantQos> qos;  // Keyed by tenant.
+
+    SharedQueryCache::Options cache;
+
+    /// Serve-level instruments (admissions, evictions, QoS steps,
+    /// cache traffic), labeled tenant=/session=. Null = owned registry.
+    /// Distinct from the per-session registries the manager creates.
+    obs::MetricsRegistry* metrics = nullptr;
+
+    /// Serve-level incident ring (admission/eviction/qos_degrade
+    /// events). Null = owned recorder.
+    obs::FlightRecorder* flight = nullptr;
+  };
+
+  explicit SessionManager(Options options);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Admission + QueryRunner::Init (+ resume / warm start). On
+  /// rejection the spec is not consumed destructively and nothing
+  /// stays resident: AlreadyExists (duplicate id), InvalidArgument
+  /// (empty id/tenant, resume without a checkpoint dir),
+  /// ResourceExhausted (a residency cap).
+  Status Create(SessionSpec spec);
+
+  /// Runs up to `max_rounds` crowd rounds, applying the tenant's QoS
+  /// policy at each round boundary. NotFound for unknown ids;
+  /// FailedPrecondition after Finish.
+  Result<AdvanceOutcome> Advance(const std::string& id,
+                                 std::size_t max_rounds);
+
+  /// One fair round-robin sweep: every unfinished resident session
+  /// advances up to `quantum` rounds, in creation order. Returns the
+  /// number of sessions that can still make progress.
+  Result<std::size_t> AdvanceAll(std::size_t quantum);
+
+  /// Explicit snapshot (QueryRunner::WriteCheckpointNow).
+  Status Checkpoint(const std::string& id);
+
+  /// Answer inference; donates the session's memo state to the shared
+  /// cache and returns the sealed result. The session stays resident
+  /// (info/evict still work) but cannot advance again.
+  Result<BayesCrowdResult> Finish(const std::string& id);
+
+  /// Drops a resident session. An unfinished session with a checkpoint
+  /// store is snapshotted first so its progress survives eviction.
+  Status Evict(const std::string& id);
+
+  Result<SessionInfo> Info(const std::string& id);
+  std::vector<SessionInfo> List();
+  std::size_t resident() const;
+
+  obs::MetricsSnapshot MetricsSnapshot() const;
+  SharedQueryCache::Stats cache_stats() const { return cache_.stats(); }
+  obs::FlightRecorder* flight() { return flight_; }
+
+  /// The scope key Create derives for (tenant, cache_key) — exposed so
+  /// tests can pin the isolation property.
+  static std::uint64_t CacheScope(const std::string& tenant,
+                                  const std::string& cache_key);
+
+ private:
+  struct Session {
+    SessionSpec spec;
+    std::uint64_t scope = 0;
+    std::size_t qos_level = 0;
+    bool finished = false;
+    bool resumed = false;
+
+    obs::MetricsRegistry metrics;  // Per-session; partitions telemetry.
+    std::shared_ptr<PosteriorProvider> posteriors;
+    std::unique_ptr<SimulatedCrowdPlatform> platform;
+    std::unique_ptr<CheckpointStore> store;
+    // Alive for the runner's lifetime: BayesCrowdOptions::resume holds
+    // a pointer into it.
+    std::unique_ptr<SessionState> resume_state;
+    std::unique_ptr<QueryRunner> runner;
+  };
+
+  Session* FindLocked(const std::string& id);
+  SessionInfo InfoOf(const Session& session) const;
+  const TenantQos* QosFor(const std::string& tenant) const;
+  /// Applies the tenant ladder step the session's round count calls
+  /// for; records the qos_degrade event + counter on a step.
+  Status MaybeDegrade(Session* session);
+  Status AdvanceLockedImpl(Session* session, std::size_t max_rounds,
+                           AdvanceOutcome* out);
+
+  Options options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+
+  SharedQueryCache cache_;
+  obs::MetricsRegistry local_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::FlightRecorder local_flight_;
+  obs::FlightRecorder* flight_ = nullptr;
+
+  /// Serializes all stepping work (Init/Step/Finish/checkpoint I/O):
+  /// sessions share one pool, and one session's rounds must not observe
+  /// another's pool error latch. Always acquired before registry_mu_.
+  std::mutex work_mu_;
+  /// Guards the session map + creation order.
+  mutable std::mutex registry_mu_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+  std::vector<std::string> creation_order_;
+  std::map<std::string, std::size_t> tenant_resident_;
+};
+
+}  // namespace bayescrowd::serve
+
+#endif  // BAYESCROWD_SERVE_MANAGER_H_

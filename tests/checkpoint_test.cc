@@ -298,6 +298,82 @@ TEST(CheckpointStoreTest, NoUsableGenerationIsNotFound) {
   EXPECT_TRUE(store.LoadLatest(0, &fallbacks).status().IsNotFound());
 }
 
+TEST(CheckpointStoreTest, SessionNamespacesNeitherPruneNorLoadEachOther) {
+  const std::string dir = FreshDir("bc_ckpt_sessions");
+  CheckpointStore alpha({.dir = dir, .session_id = "alpha", .keep = 2});
+  CheckpointStore beta({.dir = dir, .session_id = "beta", .keep = 2});
+
+  SessionState state = MakeGoldenState();
+  state.answer_log_offset = 0;
+  for (std::size_t round = 1; round <= 3; ++round) {
+    state.rounds = round;
+    state.budget_left = 100.0 + static_cast<double>(round);
+    ASSERT_TRUE(alpha.Write(state).ok());
+  }
+  state.rounds = 1;
+  state.budget_left = 7.0;
+  ASSERT_TRUE(beta.Write(state).ok());
+
+  // Alpha pruned only its own generations; beta's survived alpha's
+  // three writes even though beta is far below its own keep limit.
+  const auto alpha_gens = alpha.ListGenerations();
+  ASSERT_EQ(alpha_gens.size(), 2u);
+  EXPECT_EQ(alpha_gens.front(), "ckpt-alpha-00000002.bin");
+  EXPECT_EQ(alpha_gens.back(), "ckpt-alpha-00000003.bin");
+  const auto beta_gens = beta.ListGenerations();
+  ASSERT_EQ(beta_gens.size(), 1u);
+  EXPECT_EQ(beta_gens.front(), "ckpt-beta-00000001.bin");
+
+  // Each store loads its own newest snapshot, never the neighbor's —
+  // even though beta's generation number is lower than alpha's.
+  std::size_t fallbacks = 0;
+  const auto from_alpha = alpha.LoadLatest(100, &fallbacks);
+  ASSERT_TRUE(from_alpha.ok()) << from_alpha.status().ToString();
+  EXPECT_EQ(from_alpha->rounds, 3u);
+  EXPECT_EQ(from_alpha->budget_left, 103.0);
+  const auto from_beta = beta.LoadLatest(100, &fallbacks);
+  ASSERT_TRUE(from_beta.ok()) << from_beta.status().ToString();
+  EXPECT_EQ(from_beta->rounds, 1u);
+  EXPECT_EQ(from_beta->budget_left, 7.0);
+
+  // A legacy (un-namespaced) store sharing the directory sees neither
+  // session's files, and its own writes are invisible to both.
+  CheckpointStore legacy({.dir = dir});
+  EXPECT_TRUE(legacy.ListGenerations().empty());
+  state.rounds = 9;
+  ASSERT_TRUE(legacy.Write(state).ok());
+  EXPECT_EQ(legacy.ListGenerations().size(), 1u);
+  EXPECT_EQ(alpha.ListGenerations().size(), 2u);
+  EXPECT_EQ(beta.ListGenerations().size(), 1u);
+}
+
+TEST(CheckpointStoreTest, SessionIdPrefixCannotClaimLongerIdsFiles) {
+  // "alpha" is a prefix of "alpha-00000001": the parser must not let
+  // the short id claim the long id's files (or vice versa) even though
+  // `ckpt-alpha-00000001-00000001.bin` starts with the short prefix.
+  const std::string dir = FreshDir("bc_ckpt_prefix");
+  CheckpointStore shorter({.dir = dir, .session_id = "alpha"});
+  CheckpointStore longer({.dir = dir, .session_id = "alpha-00000001"});
+
+  SessionState state = MakeGoldenState();
+  state.answer_log_offset = 0;
+  state.rounds = 1;
+  ASSERT_TRUE(longer.Write(state).ok());
+
+  EXPECT_TRUE(shorter.ListGenerations().empty());
+  std::size_t fallbacks = 0;
+  EXPECT_TRUE(shorter.LoadLatest(100, &fallbacks).status().IsNotFound());
+
+  state.rounds = 2;
+  ASSERT_TRUE(shorter.Write(state).ok());
+  const auto longer_gens = longer.ListGenerations();
+  ASSERT_EQ(longer_gens.size(), 1u);
+  EXPECT_EQ(longer_gens.front(), "ckpt-alpha-00000001-00000001.bin");
+  const auto shorter_gens = shorter.ListGenerations();
+  ASSERT_EQ(shorter_gens.size(), 1u);
+  EXPECT_EQ(shorter_gens.front(), "ckpt-alpha-00000002.bin");
+}
+
 TEST(CheckpointStoreTest, AbortedWriteLeavesPreviousGenerationsIntact) {
   CheckpointStore::Options options;
   options.dir = FreshDir("bc_ckpt_abort");

@@ -1,0 +1,385 @@
+// bayescrowd_serve: BayesCrowd as a resident multi-session service.
+//
+// Speaks a line-delimited JSON protocol on stdin/stdout: one request
+// object per line in, exactly one response object per line out (always
+// `{"ok":true,...}` or `{"ok":false,"error":"..."}`). A malformed line
+// yields a one-line diagnostic and the connection survives — the
+// server never exits on bad input, only on `shutdown` or EOF.
+//
+//   {"op":"create","id":"s1","tenant":"acme",
+//    "dataset":{"kind":"indep","n":40,"d":3,"levels":4,"seed":7,
+//               "missing_rate":0.2,"missing_seed":5},
+//    "budget":12,"latency":3}
+//   {"op":"advance","id":"s1","rounds":2}
+//   {"op":"checkpoint","id":"s1"}   (needs "checkpoint_dir" at create)
+//   {"op":"info","id":"s1"}    {"op":"list"}    {"op":"metrics"}
+//   {"op":"finish","id":"s1"}  {"op":"evict","id":"s1"}
+//   {"op":"shutdown"}
+//
+// Flags:
+//   --threads N          lanes of the shared worker pool (0 = auto)
+//   --max-resident N     global residency cap (default 8)
+//   --max-per-tenant N   per-tenant residency cap (default 4)
+//   --qos SPEC           per-tenant QoS: "tenant=after:every:n1,n2;..."
+//                        — after `after` rounds of a session, and every
+//                        `every` further rounds, tighten the solver
+//                        governor to max_nodes n1, then n2, ...
+//   --metrics-prom PATH  rewrite a Prometheus scrape file (serve.*
+//                        series, tenant=/session= labeled) per request
+//   --flight-out PATH    write the serve flight ring as JSONL on exit
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "data/missing.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "serve/manager.h"
+
+namespace bayescrowd {
+namespace {
+
+using obs::JsonValue;
+using serve::AdvanceOutcome;
+using serve::SessionInfo;
+using serve::SessionManager;
+using serve::SessionSpec;
+using serve::TenantQos;
+
+JsonValue ErrorLine(const std::string& message) {
+  JsonValue out = JsonValue::Object();
+  out["ok"] = false;
+  out["error"] = message;
+  return out;
+}
+
+JsonValue OkLine(const std::string& op) {
+  JsonValue out = JsonValue::Object();
+  out["ok"] = true;
+  out["op"] = op;
+  return out;
+}
+
+std::int64_t FindInt(const JsonValue& doc, const char* key,
+                     std::int64_t fallback) {
+  const JsonValue* v = doc.Find(key);
+  return v == nullptr ? fallback : v->AsInt();
+}
+
+double FindDouble(const JsonValue& doc, const char* key, double fallback) {
+  const JsonValue* v = doc.Find(key);
+  return v == nullptr ? fallback : v->AsDouble();
+}
+
+std::string FindString(const JsonValue& doc, const char* key,
+                       const std::string& fallback) {
+  const JsonValue* v = doc.Find(key);
+  return v == nullptr ? fallback : v->AsString();
+}
+
+bool FindBool(const JsonValue& doc, const char* key, bool fallback) {
+  const JsonValue* v = doc.Find(key);
+  return v == nullptr ? fallback : v->AsBool();
+}
+
+/// Builds (truth, incomplete, canonical descriptor) from a "dataset"
+/// object. The descriptor doubles as the default shared-cache key, so
+/// two sessions over the same generated data share warm starts.
+Status BuildDataset(const JsonValue& spec, Table* truth, Table* incomplete,
+                    std::string* descriptor) {
+  const std::string kind = FindString(spec, "kind", "indep");
+  const auto n = static_cast<std::size_t>(FindInt(spec, "n", 40));
+  const auto d = static_cast<std::size_t>(FindInt(spec, "d", 3));
+  const auto levels = static_cast<Level>(FindInt(spec, "levels", 4));
+  const auto seed = static_cast<std::uint64_t>(FindInt(spec, "seed", 7));
+  const double rate = FindDouble(spec, "missing_rate", 0.2);
+  const auto miss_seed =
+      static_cast<std::uint64_t>(FindInt(spec, "missing_seed", 5));
+  if (kind == "indep") {
+    *truth = MakeIndependent(n, d, levels, seed);
+  } else if (kind == "corr") {
+    *truth = MakeCorrelated(n, d, levels, seed);
+  } else if (kind == "anti") {
+    *truth = MakeAnticorrelated(n, d, levels, seed);
+  } else if (kind == "nba") {
+    *truth = MakeNbaLike(n, seed);
+  } else if (kind == "adult") {
+    *truth = MakeAdultLike(n, seed);
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown dataset kind '%s'", kind.c_str()));
+  }
+  Rng rng(miss_seed);
+  *incomplete = InjectMissingUniform(*truth, rate, rng);
+  *descriptor = StrFormat("%s:n=%zu:d=%zu:levels=%d:seed=%llu:rate=%.6f:"
+                          "mseed=%llu",
+                          kind.c_str(), n, d, static_cast<int>(levels),
+                          static_cast<unsigned long long>(seed), rate,
+                          static_cast<unsigned long long>(miss_seed));
+  return Status::OK();
+}
+
+JsonValue InfoJson(const SessionInfo& info) {
+  JsonValue out = JsonValue::Object();
+  out["id"] = info.id;
+  out["tenant"] = info.tenant;
+  out["rounds"] = static_cast<std::int64_t>(info.rounds);
+  out["budget_left"] = info.budget_left;
+  out["qos_level"] = static_cast<std::int64_t>(info.qos_level);
+  out["done"] = info.done;
+  out["finished"] = info.finished;
+  out["resumed"] = info.resumed;
+  return out;
+}
+
+JsonValue HandleCreate(SessionManager* manager, const JsonValue& doc) {
+  SessionSpec spec;
+  spec.id = FindString(doc, "id", "");
+  spec.tenant = FindString(doc, "tenant", "");
+  const JsonValue* dataset = doc.Find("dataset");
+  const JsonValue empty = JsonValue::Object();
+  std::string descriptor;
+  const Status built = BuildDataset(dataset != nullptr ? *dataset : empty,
+                                    &spec.ground_truth, &spec.incomplete,
+                                    &descriptor);
+  if (!built.ok()) return ErrorLine(built.ToString());
+  spec.cache_key = FindString(doc, "cache_key", descriptor);
+
+  spec.options.ctable.alpha =
+      FindDouble(doc, "alpha", spec.options.ctable.alpha);
+  spec.options.budget =
+      static_cast<std::size_t>(FindInt(doc, "budget", 12));
+  spec.options.latency =
+      static_cast<std::size_t>(FindInt(doc, "latency", 3));
+  spec.options.strategy.m =
+      static_cast<std::size_t>(FindInt(doc, "m", 3));
+  spec.options.checkpoint_every =
+      static_cast<std::size_t>(FindInt(doc, "checkpoint_every", 0));
+  const auto max_nodes =
+      static_cast<std::uint64_t>(FindInt(doc, "governor_max_nodes", 0));
+  if (max_nodes > 0) spec.options.probability.governor.max_nodes = max_nodes;
+
+  spec.platform.worker_accuracy = FindDouble(doc, "accuracy", 1.0);
+  spec.platform.seed =
+      static_cast<std::uint64_t>(FindInt(doc, "platform_seed", 99));
+  spec.platform.workers_per_task =
+      static_cast<int>(FindInt(doc, "workers_per_task", 3));
+
+  spec.warm_start = FindBool(doc, "warm_start", false);
+  spec.checkpoint_dir = FindString(doc, "checkpoint_dir", "");
+  spec.resume = FindBool(doc, "resume", false);
+
+  const std::string id = spec.id;
+  const Status created = manager->Create(std::move(spec));
+  if (!created.ok()) return ErrorLine(created.ToString());
+  Result<SessionInfo> info = manager->Info(id);
+  if (!info.ok()) return ErrorLine(info.status().ToString());
+  JsonValue out = OkLine("create");
+  out["session"] = InfoJson(info.value());
+  return out;
+}
+
+JsonValue HandleAdvance(SessionManager* manager, const JsonValue& doc) {
+  const std::string id = FindString(doc, "id", "");
+  const auto rounds = static_cast<std::size_t>(FindInt(doc, "rounds", 1));
+  Result<AdvanceOutcome> advanced = manager->Advance(id, rounds);
+  if (!advanced.ok()) return ErrorLine(advanced.status().ToString());
+  JsonValue out = OkLine("advance");
+  out["id"] = id;
+  out["rounds_run"] =
+      static_cast<std::int64_t>(advanced.value().rounds_run);
+  out["qos_level"] =
+      static_cast<std::int64_t>(advanced.value().qos_level);
+  out["done"] = advanced.value().done;
+  return out;
+}
+
+JsonValue HandleFinish(SessionManager* manager, const JsonValue& doc) {
+  const std::string id = FindString(doc, "id", "");
+  Result<BayesCrowdResult> finished = manager->Finish(id);
+  if (!finished.ok()) return ErrorLine(finished.status().ToString());
+  const BayesCrowdResult& result = finished.value();
+  JsonValue out = OkLine("finish");
+  out["id"] = id;
+  JsonValue objects = JsonValue::Array();
+  for (const std::size_t object : result.result_objects) {
+    objects.Append(JsonValue(static_cast<std::int64_t>(object)));
+  }
+  out["result_objects"] = std::move(objects);
+  out["rounds"] = static_cast<std::int64_t>(result.rounds);
+  out["tasks_posted"] = static_cast<std::int64_t>(result.tasks_posted);
+  out["cost_spent"] = result.cost_spent;
+  out["stopped_confident"] = result.stopped_confident;
+  out["degraded_objects"] =
+      static_cast<std::int64_t>(result.degraded_objects.size());
+  out["exact"] = result.degraded_objects.empty();
+  return out;
+}
+
+JsonValue HandleOne(SessionManager* manager, const JsonValue& doc) {
+  const std::string op = FindString(doc, "op", "");
+  if (op == "create") return HandleCreate(manager, doc);
+  if (op == "advance") return HandleAdvance(manager, doc);
+  if (op == "finish") return HandleFinish(manager, doc);
+  if (op == "checkpoint") {
+    const std::string id = FindString(doc, "id", "");
+    const Status st = manager->Checkpoint(id);
+    if (!st.ok()) return ErrorLine(st.ToString());
+    JsonValue out = OkLine("checkpoint");
+    out["id"] = id;
+    return out;
+  }
+  if (op == "evict") {
+    const std::string id = FindString(doc, "id", "");
+    const Status st = manager->Evict(id);
+    if (!st.ok()) return ErrorLine(st.ToString());
+    JsonValue out = OkLine("evict");
+    out["id"] = id;
+    return out;
+  }
+  if (op == "info") {
+    Result<SessionInfo> info = manager->Info(FindString(doc, "id", ""));
+    if (!info.ok()) return ErrorLine(info.status().ToString());
+    JsonValue out = OkLine("info");
+    out["session"] = InfoJson(info.value());
+    return out;
+  }
+  if (op == "list") {
+    JsonValue out = OkLine("list");
+    JsonValue sessions = JsonValue::Array();
+    for (const SessionInfo& info : manager->List()) {
+      sessions.Append(InfoJson(info));
+    }
+    out["sessions"] = std::move(sessions);
+    return out;
+  }
+  if (op == "metrics") {
+    JsonValue out = OkLine("metrics");
+    out["metrics"] = manager->MetricsSnapshot().ToJson();
+    return out;
+  }
+  if (op == "shutdown") return OkLine("shutdown");
+  return ErrorLine(StrFormat("unknown op '%s'", op.c_str()));
+}
+
+/// "--qos tenantA=4:2:2000,500;tenantB=..." → per-tenant policies.
+bool ParseQosSpec(const std::string& text,
+                  std::map<std::string, TenantQos>* out) {
+  for (const std::string& policy : Split(text, ';')) {
+    if (policy.empty()) continue;
+    const auto eq = policy.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    const std::string tenant = policy.substr(0, eq);
+    const std::vector<std::string> parts =
+        Split(policy.substr(eq + 1), ':');
+    if (parts.size() != 3) return false;
+    TenantQos qos;
+    int after = 0;
+    int every = 0;
+    if (!ParseInt(parts[0], &after) || !ParseInt(parts[1], &every) ||
+        after < 0 || every < 0) {
+      return false;
+    }
+    qos.degrade_after_rounds = static_cast<std::size_t>(after);
+    qos.degrade_every_rounds = static_cast<std::size_t>(every);
+    for (const std::string& nodes_text : Split(parts[2], ',')) {
+      int nodes = 0;
+      if (!ParseInt(nodes_text, &nodes) || nodes <= 0) return false;
+      GovernorOptions governor;
+      governor.max_nodes = static_cast<std::uint64_t>(nodes);
+      qos.ladder.push_back(governor);
+    }
+    if (qos.ladder.empty()) return false;
+    (*out)[tenant] = qos;
+  }
+  return !out->empty();
+}
+
+int ServeMain(int argc, char** argv) {
+  SessionManager::Options options;
+  std::string metrics_prom;
+  std::string flight_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string();
+    };
+    if (arg == "--threads") {
+      int v = 0;
+      if (ParseInt(next(), &v) && v >= 0) {
+        options.threads = static_cast<std::size_t>(v);
+      }
+    } else if (arg == "--max-resident") {
+      int v = 0;
+      if (ParseInt(next(), &v) && v > 0) {
+        options.max_resident_sessions = static_cast<std::size_t>(v);
+      }
+    } else if (arg == "--max-per-tenant") {
+      int v = 0;
+      if (ParseInt(next(), &v) && v > 0) {
+        options.max_sessions_per_tenant = static_cast<std::size_t>(v);
+      }
+    } else if (arg == "--qos") {
+      if (!ParseQosSpec(next(), &options.qos)) {
+        std::fprintf(stderr, "bad --qos spec\n");
+        return 2;
+      }
+    } else if (arg == "--metrics-prom") {
+      metrics_prom = next();
+    } else if (arg == "--flight-out") {
+      flight_out = next();
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  SessionManager manager(options);
+  std::string line;
+  bool shutdown = false;
+  while (!shutdown && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    JsonValue response;
+    Result<JsonValue> parsed = JsonValue::Parse(line);
+    if (!parsed.ok()) {
+      response =
+          ErrorLine(StrFormat("bad request line: %s",
+                              parsed.status().ToString().c_str()));
+    } else {
+      response = HandleOne(&manager, parsed.value());
+      const JsonValue* op = parsed.value().Find("op");
+      shutdown = op != nullptr && op->AsString() == "shutdown";
+    }
+    std::cout << response.Dump() << "\n" << std::flush;
+    if (!metrics_prom.empty()) {
+      const std::string text =
+          obs::ToPrometheusText(manager.MetricsSnapshot());
+      std::FILE* file = std::fopen(metrics_prom.c_str(), "w");
+      if (file != nullptr) {
+        std::fwrite(text.data(), 1, text.size(), file);
+        std::fclose(file);
+      }
+    }
+  }
+  if (!flight_out.empty()) {
+    const Status written = manager.flight()->WriteJsonl(flight_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "flight-out: %s\n", written.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bayescrowd
+
+int main(int argc, char** argv) {
+  return bayescrowd::ServeMain(argc, argv);
+}

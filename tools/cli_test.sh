@@ -8,11 +8,18 @@
 # solver-governor flag validation, and the knowledge-compilation flag
 # validation (--compile / --compile-node-budget).
 #
-# Usage: cli_test.sh <path-to-bayescrowd_cli>
+# Also pins the bayescrowd_serve JSONL protocol against committed golden
+# fixtures (tests/testdata/serve_golden_*.jsonl) and its bad-input
+# behavior: a malformed request line gets a one-line diagnostic and the
+# connection survives; bad flags exit 2 without starting the loop.
+#
+# Usage: cli_test.sh <path-to-bayescrowd_cli> <path-to-bayescrowd_serve>
 
 set -euo pipefail
 
-CLI="${1:?usage: cli_test.sh <path-to-bayescrowd_cli>}"
+CLI="${1:?usage: cli_test.sh <cli> <serve>}"
+SERVE="${2:?usage: cli_test.sh <cli> <serve>}"
+TESTDATA="$(cd "$(dirname "$0")/../tests/testdata" && pwd)"
 WORK="$(mktemp -d)"
 trap 'rm -rf "${WORK}"' EXIT
 
@@ -215,5 +222,42 @@ rc=0; "${CLI}" inspect >/dev/null 2>&1 || rc=$?
 [ "${rc}" -eq 2 ] || fail "inspect without --run must exit 2, got ${rc}"
 rc=0; "${CLI}" inspect --run /nonexistent-dir/x.json >/dev/null 2>&1 || rc=$?
 [ "${rc}" -ne 0 ] || fail "inspect on a missing telemetry file must fail"
+
+# ------------------------------------------------------------------ #
+# serve: the JSONL protocol byte-matches the committed goldens, at
+# more than one worker-pool width (interleaving must be invisible).
+# ------------------------------------------------------------------ #
+for threads in 1 2; do
+  "${SERVE}" --threads "${threads}" \
+    < "${TESTDATA}/serve_golden_requests.jsonl" \
+    > "${WORK}/serve_t${threads}.jsonl"
+  cmp -s "${WORK}/serve_t${threads}.jsonl" \
+    "${TESTDATA}/serve_golden_responses.jsonl" \
+    || fail "serve --threads ${threads} drifted from the golden responses"
+done
+
+# serve: a malformed line yields one diagnostic and the connection
+# survives — the list op after it must still get a real response.
+printf 'this is not json\n{"op":"list"}\n{"op":"shutdown"}\n' \
+  | "${SERVE}" > "${WORK}/serve_bad.jsonl"
+[ "$(wc -l < "${WORK}/serve_bad.jsonl")" -eq 3 ] \
+  || fail "serve must answer every line, even malformed ones"
+head -n 1 "${WORK}/serve_bad.jsonl" | grep -q '"ok":false' \
+  || fail "malformed request must produce an ok:false line"
+head -n 1 "${WORK}/serve_bad.jsonl" | grep -q 'bad request line' \
+  || fail "malformed request diagnostic must say 'bad request line'"
+sed -n 2p "${WORK}/serve_bad.jsonl" | grep -q '"ok":true' \
+  || fail "serve must keep serving after a malformed line"
+
+# serve: unknown ops get a structured error, not a dropped connection.
+printf '{"op":"frobnicate"}\n{"op":"shutdown"}\n' \
+  | "${SERVE}" | head -n 1 | grep -q "unknown op 'frobnicate'" \
+  || fail "unknown op must produce a structured error line"
+
+# serve: bad flags exit 2 before the request loop starts.
+rc=0; "${SERVE}" --no-such-flag </dev/null >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || fail "serve must exit 2 on an unknown flag, got ${rc}"
+rc=0; "${SERVE}" --qos "heavy=bogus" </dev/null >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || fail "serve must exit 2 on a bad --qos spec, got ${rc}"
 
 echo "cli_test: all checks passed"

@@ -188,6 +188,41 @@ printf '{"seq": 999, "kind": "re' >> "$SMOKE/flight_a.jsonl"
   --flight "$SMOKE/flight_a.jsonl" > "$SMOKE/inspect_torn.txt"
 grep -q '1 corrupt line(s) skipped' "$SMOKE/inspect_torn.txt"
 
+echo "== tier-1: multi-session serve smoke =="
+# Three tenants resident in one server process, interleaved round by
+# round on a shared pool. The heavy tenant runs under a QoS ladder
+# (8 -> 1 solver nodes after round 1) with the certainty band disabled,
+# so it must degrade — inexact answers, a stepped qos counter — while
+# the light tenants finish exact. The scrape file must carry the
+# tenant=/session= labels the fleet dashboards key on.
+SERVE="$ROOT/build/tools/bayescrowd_serve"
+printf '%s\n' \
+  '{"op":"create","id":"a1","tenant":"acme","dataset":{"kind":"nba","n":120,"seed":9,"missing_rate":0.15,"missing_seed":5},"alpha":0.01,"budget":24,"latency":4,"m":5}' \
+  '{"op":"create","id":"b1","tenant":"bravo","dataset":{"kind":"nba","n":100,"seed":10,"missing_rate":0.18,"missing_seed":7},"alpha":0.01,"budget":12,"latency":3}' \
+  '{"op":"create","id":"h1","tenant":"heavy","dataset":{"kind":"nba","n":60,"seed":9,"missing_rate":0.2,"missing_seed":5},"alpha":-1,"budget":4,"latency":4,"m":5}' \
+  '{"op":"advance","id":"a1","rounds":1}' \
+  '{"op":"advance","id":"b1","rounds":1}' \
+  '{"op":"advance","id":"h1","rounds":1}' \
+  '{"op":"advance","id":"a1","rounds":100}' \
+  '{"op":"advance","id":"b1","rounds":100}' \
+  '{"op":"advance","id":"h1","rounds":100}' \
+  '{"op":"finish","id":"a1"}' \
+  '{"op":"finish","id":"b1"}' \
+  '{"op":"finish","id":"h1"}' \
+  '{"op":"shutdown"}' \
+  | "$SERVE" --threads 4 --qos 'heavy=1:1:8,1' \
+      --metrics-prom "$SMOKE/serve.prom" \
+      --flight-out "$SMOKE/serve_flight.jsonl" > "$SMOKE/serve_out.jsonl"
+! grep -q '"ok":false' "$SMOKE/serve_out.jsonl"   # Every op succeeded.
+grep -q '"id":"a1".*"exact":true' "$SMOKE/serve_out.jsonl"
+grep -q '"id":"b1".*"exact":true' "$SMOKE/serve_out.jsonl"
+grep -q '"id":"h1".*"exact":false' "$SMOKE/serve_out.jsonl"
+grep -q 'tenant="acme"' "$SMOKE/serve.prom"
+grep -q 'tenant="bravo"' "$SMOKE/serve.prom"
+grep -q 'serve_qos_degrades{session="h1",tenant="heavy"} 2' "$SMOKE/serve.prom"
+grep -q 'serve_rounds{session="h1",tenant="heavy"}' "$SMOKE/serve.prom"
+grep -q '"kind":"qos_degrade"' "$SMOKE/serve_flight.jsonl"
+
 echo "== tier-1: crash-safety tests under ASan+UBSan =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" \
   -DBC_SANITIZE=address,undefined \
@@ -196,9 +231,9 @@ cmake -B "$ROOT/build-asan" -S "$ROOT" \
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target checkpoint_test \
   --target killpoint_test --target fault_test --target differential_test \
   --target governor_test --target compile_test --target obs_test \
-  --target attribution_test
+  --target attribution_test --target serve_test
 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test|compile_test|obs_test|attribution_test)'
+  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test|compile_test|obs_test|attribution_test|serve_test)'
 
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
@@ -208,8 +243,8 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
   --target obs_test --target attribution_test --target differential_test \
   --target fault_test --target record_replay_test --target governor_test \
-  --target compile_test
+  --target compile_test --target serve_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
-  -R '(parallel_test|obs_test|attribution_test|differential_test|fault_test|record_replay_test|governor_test|compile_test)'
+  -R '(parallel_test|obs_test|attribution_test|differential_test|fault_test|record_replay_test|governor_test|compile_test|serve_test)'
 
 echo "tier-1 OK"
