@@ -1,0 +1,306 @@
+#include "common/fileio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/string_util.h"
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace bayescrowd {
+namespace {
+
+namespace fs = std::filesystem;
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::IOError(
+      StrFormat("%s failed for '%s': %s", op, path.c_str(),
+                std::strerror(errno)));
+}
+
+Status FsyncFile(std::FILE* file, const std::string& path) {
+#ifdef _WIN32
+  (void)file;
+  (void)path;
+  return Status::OK();
+#else
+  if (fsync(fileno(file)) != 0) return ErrnoStatus("fsync", path);
+  return Status::OK();
+#endif
+}
+
+class RealAppendFile : public AppendFile {
+ public:
+  RealAppendFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  ~RealAppendFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view bytes) override {
+    if (bytes.empty()) return Status::OK();
+    if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+      return ErrnoStatus("fwrite", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (std::fflush(file_) != 0) return ErrnoStatus("fflush", path_);
+    return FsyncFile(file_, path_);
+  }
+
+  Result<std::uint64_t> Size() override {
+    if (std::fflush(file_) != 0) return ErrnoStatus("fflush", path_);
+    const long pos = std::ftell(file_);
+    if (pos < 0) return ErrnoStatus("ftell", path_);
+    return static_cast<std::uint64_t>(pos);
+  }
+
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class RealFileIoImpl : public FileIo {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return ErrnoStatus("open", path);
+    std::string bytes;
+    char buffer[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      bytes.append(buffer, got);
+    }
+    const bool failed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (failed) return ErrnoStatus("read", path);
+    return bytes;
+  }
+
+  Status WriteFileDurable(const std::string& path,
+                          std::string_view bytes) override {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) return ErrnoStatus("open", path);
+    Status status;
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+      status = ErrnoStatus("fwrite", path);
+    }
+    if (status.ok() && std::fflush(file) != 0) {
+      status = ErrnoStatus("fflush", path);
+    }
+    if (status.ok()) status = FsyncFile(file, path);
+    if (std::fclose(file) != 0 && status.ok()) {
+      status = ErrnoStatus("fclose", path);
+    }
+    return status;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(
+          StrFormat("rename failed for '%s' -> '%s': %s", from.c_str(),
+                    to.c_str(), std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) return ErrnoStatus("remove", path);
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+#ifdef _WIN32
+    (void)dir;
+    return Status::OK();
+#else
+    const int fd = open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open dir", dir);
+    Status status;
+    if (fsync(fd) != 0) status = ErrnoStatus("fsync dir", dir);
+    close(fd);
+    return status;
+#endif
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::IOError(StrFormat("create_directories failed for '%s': %s",
+                                       dir.c_str(), ec.message().c_str()));
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    if (!fs::exists(dir, ec) || ec) return names;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      names.push_back(it->path().filename().string());
+    }
+    if (ec) {
+      return Status::IOError(StrFormat("list failed for '%s': %s", dir.c_str(),
+                                       ec.message().c_str()));
+    }
+    return names;
+  }
+
+  Result<std::unique_ptr<AppendFile>> OpenAppend(const std::string& path,
+                                                 bool truncate) override {
+    std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (file == nullptr) return ErrnoStatus("open", path);
+    if (std::fseek(file, 0, SEEK_END) != 0) {
+      std::fclose(file);
+      return ErrnoStatus("fseek", path);
+    }
+    return std::unique_ptr<AppendFile>(new RealAppendFile(file, path));
+  }
+};
+
+}  // namespace
+
+FileIo* RealFileIo() {
+  static RealFileIoImpl* io = new RealFileIoImpl();
+  return io;
+}
+
+// An append handle whose Append/Sync consult the owning injector's fault
+// plan. A tripped Append lands a torn prefix (half the bytes) before
+// reporting failure — the on-disk state a real ENOSPC leaves behind.
+class FaultInjectingAppendFile : public AppendFile {
+ public:
+  FaultInjectingAppendFile(FaultInjectingFileIo* owner,
+                           std::unique_ptr<AppendFile> inner, bool faultable)
+      : owner_(owner), inner_(std::move(inner)), faultable_(faultable) {}
+
+  Status Append(std::string_view bytes) override {
+    if (faultable_ &&
+        owner_->Trip(owner_->plan_.write_fail_rate,
+                     &FaultInjectingFileIo::Stats::writes_failed)) {
+      (void)inner_->Append(bytes.substr(0, bytes.size() / 2));
+      return Status::IOError(StrFormat("injected short write for '%s'",
+                                       inner_->path().c_str()));
+    }
+    return inner_->Append(bytes);
+  }
+
+  Status Sync() override {
+    if (faultable_ &&
+        owner_->Trip(owner_->plan_.sync_fail_rate,
+                     &FaultInjectingFileIo::Stats::syncs_failed)) {
+      return Status::IOError(
+          StrFormat("injected fsync failure for '%s'", inner_->path().c_str()));
+    }
+    return inner_->Sync();
+  }
+
+  Result<std::uint64_t> Size() override { return inner_->Size(); }
+  const std::string& path() const override { return inner_->path(); }
+
+ private:
+  FaultInjectingFileIo* owner_;
+  std::unique_ptr<AppendFile> inner_;
+  bool faultable_;
+};
+
+FaultInjectingFileIo::FaultInjectingFileIo(FaultPlan plan, FileIo* base)
+    : plan_(std::move(plan)),
+      base_(base != nullptr ? base : RealFileIo()),
+      rng_(plan_.seed) {}
+
+bool FaultInjectingFileIo::Matches(const std::string& path) const {
+  return plan_.path_match.empty() ||
+         path.find(plan_.path_match) != std::string::npos;
+}
+
+bool FaultInjectingFileIo::Trip(double rate, std::uint64_t Stats::*counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rate > 0.0 && rng_.NextDouble() < rate) {
+    stats_.*counter += 1;
+    return true;
+  }
+  stats_.ops_passed += 1;
+  return false;
+}
+
+Result<std::string> FaultInjectingFileIo::ReadFile(const std::string& path) {
+  if (Matches(path) && Trip(plan_.read_corrupt_rate, &Stats::reads_corrupted)) {
+    BAYESCROWD_ASSIGN_OR_RETURN(std::string bytes, base_->ReadFile(path));
+    bytes.resize(bytes.size() / 2);
+    return bytes;
+  }
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectingFileIo::WriteFileDurable(const std::string& path,
+                                              std::string_view bytes) {
+  if (Matches(path) && Trip(plan_.write_fail_rate, &Stats::writes_failed)) {
+    (void)base_->WriteFileDurable(path, bytes.substr(0, bytes.size() / 2));
+    return Status::IOError(
+        StrFormat("injected short write for '%s'", path.c_str()));
+  }
+  if (Matches(path) && Trip(plan_.sync_fail_rate, &Stats::syncs_failed)) {
+    (void)base_->WriteFileDurable(path, bytes);
+    return Status::IOError(
+        StrFormat("injected fsync failure for '%s'", path.c_str()));
+  }
+  return base_->WriteFileDurable(path, bytes);
+}
+
+Status FaultInjectingFileIo::Rename(const std::string& from,
+                                    const std::string& to) {
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFileIo::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingFileIo::SyncDir(const std::string& dir) {
+  if (Matches(dir) && Trip(plan_.sync_fail_rate, &Stats::syncs_failed)) {
+    return Status::IOError(
+        StrFormat("injected fsync failure for dir '%s'", dir.c_str()));
+  }
+  return base_->SyncDir(dir);
+}
+
+Status FaultInjectingFileIo::CreateDirs(const std::string& dir) {
+  return base_->CreateDirs(dir);
+}
+
+Result<std::vector<std::string>> FaultInjectingFileIo::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+Result<std::unique_ptr<AppendFile>> FaultInjectingFileIo::OpenAppend(
+    const std::string& path, bool truncate) {
+  BAYESCROWD_ASSIGN_OR_RETURN(std::unique_ptr<AppendFile> inner,
+                              base_->OpenAppend(path, truncate));
+  return std::unique_ptr<AppendFile>(new FaultInjectingAppendFile(
+      this, std::move(inner), Matches(path)));
+}
+
+FaultInjectingFileIo::Stats FaultInjectingFileIo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace bayescrowd

@@ -1,0 +1,143 @@
+// Injectable file IO: every durable write the serving stack performs
+// (checkpoint generations, the serve manifest, answer logs) flows
+// through this seam so tests can inject disk faults deterministically.
+//
+// Two implementations ship:
+//  * RealFileIo() — the process-wide passthrough to the OS. Write paths
+//    are durable (fflush + fsync) and every failure carries the path
+//    and errno context, so an ENOSPC surfaces as a clean Status instead
+//    of a silent truncation.
+//  * FaultInjectingFileIo — wraps a base IO with a seeded deterministic
+//    fault plan: short writes (a torn prefix actually lands on disk,
+//    exactly what a full disk or a kill mid-write leaves), fsync
+//    failures, and corrupt-on-read (truncated bytes handed back). An
+//    optional path substring confines the chaos to one session's files
+//    so a test can poison a single tenant while the rest of the server
+//    stays healthy.
+//
+// The fault plan is deterministic given its seed and the op sequence —
+// the chaos harness replays the same fault schedule on every run, so a
+// failing chaos test reproduces.
+
+#ifndef BAYESCROWD_COMMON_FILEIO_H_
+#define BAYESCROWD_COMMON_FILEIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bayescrowd {
+
+/// An open append-mode file handle. Append buffers into the OS; Sync
+/// makes everything appended so far durable (fflush + fsync).
+class AppendFile {
+ public:
+  virtual ~AppendFile() = default;
+  virtual Status Append(std::string_view bytes) = 0;
+  virtual Status Sync() = 0;
+  /// Current file size (append position) in bytes.
+  virtual Result<std::uint64_t> Size() = 0;
+  virtual const std::string& path() const = 0;
+};
+
+/// The durable-IO seam. All paths are plain filesystem paths; "durable"
+/// means flushed and fsynced before the call returns OK.
+class FileIo {
+ public:
+  virtual ~FileIo() = default;
+
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Creates/truncates `path`, writes `bytes`, fflush + fsync. On
+  /// failure the file may hold a prefix (exactly what a real ENOSPC
+  /// leaves); the caller owns cleanup.
+  virtual Status WriteFileDurable(const std::string& path,
+                                  std::string_view bytes) = 0;
+
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status SyncDir(const std::string& dir) = 0;
+  virtual Status CreateDirs(const std::string& dir) = 0;
+
+  /// File names (not paths) in `dir`; a missing directory reads empty.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  virtual Result<std::unique_ptr<AppendFile>> OpenAppend(
+      const std::string& path, bool truncate) = 0;
+};
+
+/// The process-wide passthrough implementation.
+FileIo* RealFileIo();
+
+/// A seeded deterministic disk-fault schedule. Rates are per faultable
+/// operation; draws are consumed only for operations whose path matches
+/// `path_match`, so targeted injection never perturbs the schedule of
+/// unrelated files.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Probability a WriteFileDurable / Append fails after landing only a
+  /// prefix of its bytes on disk (the short-write / ENOSPC model).
+  double write_fail_rate = 0.0;
+
+  /// Probability a Sync / SyncDir reports failure (data not durable).
+  double sync_fail_rate = 0.0;
+
+  /// Probability a ReadFile hands back truncated bytes (corrupt media /
+  /// torn page model). The file on disk is untouched.
+  double read_corrupt_rate = 0.0;
+
+  /// When non-empty, only paths containing this substring are eligible
+  /// for injection; everything else passes straight through.
+  std::string path_match;
+};
+
+class FaultInjectingFileIo : public FileIo {
+ public:
+  struct Stats {
+    std::uint64_t writes_failed = 0;   // Short writes injected.
+    std::uint64_t syncs_failed = 0;    // fsync failures injected.
+    std::uint64_t reads_corrupted = 0; // Truncated reads handed back.
+    std::uint64_t ops_passed = 0;      // Faultable ops that passed clean.
+  };
+
+  /// `base` must outlive this wrapper (null = RealFileIo()).
+  explicit FaultInjectingFileIo(FaultPlan plan, FileIo* base = nullptr);
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFileDurable(const std::string& path,
+                          std::string_view bytes) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  Status CreateDirs(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<std::unique_ptr<AppendFile>> OpenAppend(const std::string& path,
+                                                 bool truncate) override;
+
+  Stats stats() const;
+
+ private:
+  friend class FaultInjectingAppendFile;
+  bool Matches(const std::string& path) const;
+  /// One deterministic Bernoulli draw against `rate`; counts the op.
+  bool Trip(double rate, std::uint64_t Stats::*counter);
+
+  FaultPlan plan_;
+  FileIo* base_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace bayescrowd
+
+#endif  // BAYESCROWD_COMMON_FILEIO_H_

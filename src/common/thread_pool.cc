@@ -40,15 +40,25 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
-void ThreadPool::RecordException() {
-  Status error = Status::Internal("pool task threw a non-exception object");
+namespace {
+
+/// Converts the in-flight exception (call inside a catch block) to a
+/// Status. Shared by the pool-global Submit path and ParallelFor's
+/// per-call error slot.
+Status CurrentExceptionToStatus() {
   try {
     throw;
   } catch (const std::exception& e) {
-    error = Status::Internal(
-        StrFormat("pool task threw: %s", e.what()));
+    return Status::Internal(StrFormat("pool task threw: %s", e.what()));
   } catch (...) {
+    return Status::Internal("pool task threw a non-exception object");
   }
+}
+
+}  // namespace
+
+void ThreadPool::RecordException() {
+  Status error = CurrentExceptionToStatus();
   std::unique_lock<std::mutex> lock(error_mu_);
   if (first_error_.ok()) first_error_ = std::move(error);
 }
@@ -112,7 +122,20 @@ Status ThreadPool::ParallelFor(
   // Status and the remaining unclaimed indices are skipped.
   std::atomic<std::size_t> next{0};
   std::atomic<bool> poisoned{false};
-  const auto body = [this, &next, &poisoned, count, &fn](std::size_t lane) {
+  // The error slot is local to this call, not the pool: a co-resident
+  // caller's failure (a different serve session sharing the pool) must
+  // never surface here, and this call's failure must never latch the
+  // pool for later callers. The pool-global first_error_ slot remains
+  // for raw Submit()/Wait() users only.
+  std::mutex call_error_mu;
+  Status call_error = Status::OK();
+  const auto record_call_error = [&call_error_mu, &call_error]() {
+    Status error = CurrentExceptionToStatus();
+    std::unique_lock<std::mutex> lock(call_error_mu);
+    if (call_error.ok()) call_error = std::move(error);
+  };
+  const auto body = [this, &next, &poisoned, &record_call_error, count,
+                     &fn](std::size_t lane) {
     const auto start = std::chrono::steady_clock::now();
     std::uint64_t executed = 0;
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -121,7 +144,7 @@ Status ThreadPool::ParallelFor(
       try {
         fn(lane, i);
       } catch (...) {
-        RecordException();
+        record_call_error();
         poisoned.store(true, std::memory_order_relaxed);
       }
       ++executed;
@@ -136,14 +159,16 @@ Status ThreadPool::ParallelFor(
   };
   if (lanes <= 1) {
     body(0);
-    return TakeError();
+    return call_error;
   }
   for (std::size_t lane = 1; lane < lanes; ++lane) {
+    // body() catches everything itself, so these wrappers never throw
+    // and never touch the pool-global error slot.
     Submit([&body, lane] { body(lane); });
   }
   body(0);
   Wait();
-  return TakeError();
+  return call_error;
 }
 
 std::vector<ThreadPool::LaneStats> ThreadPool::lane_stats() const {

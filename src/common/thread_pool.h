@@ -13,9 +13,11 @@
 //  * Expected error handling flows through Status/Result values stored
 //    into per-index slots. A task that *throws* anyway is caught at the
 //    lane boundary — never allowed to unwind into a worker thread's
-//    start function, which would terminate the process — and surfaced
-//    as the pool's first-error Status (ParallelFor returns it;
-//    Submit/Wait users poll TakeError()).
+//    start function, which would terminate the process. ParallelFor
+//    surfaces the first exception of *that call* as its returned Status
+//    (the error slot is per-call, so a failing caller can never latch
+//    the shared pool for co-resident callers); raw Submit/Wait users
+//    poll the pool-global TakeError().
 
 #ifndef BAYESCROWD_COMMON_THREAD_POOL_H_
 #define BAYESCROWD_COMMON_THREAD_POOL_H_
@@ -62,15 +64,19 @@ class ThreadPool {
   /// indices over the lanes via a shared atomic counter, and returns
   /// after all indices completed. lane is in [0, size()); the caller
   /// executes as one of the lanes. If any invocation throws, the first
-  /// exception is converted to an Internal Status (remaining unclaimed
-  /// indices are skipped); OK otherwise.
+  /// exception *of this call* is converted to an Internal Status
+  /// (remaining unclaimed indices are skipped); OK otherwise. Errors
+  /// never cross calls: concurrent or later ParallelFor callers on the
+  /// same pool are unaffected, and exceptions recorded by raw Submit()
+  /// tasks are never returned here.
   Status ParallelFor(std::size_t count,
                      const std::function<void(std::size_t lane,
                                               std::size_t index)>& fn);
 
   /// Returns and clears the first error recorded since the last call:
-  /// an exception thrown by a Submit()ed task (caught at the lane
+  /// an exception thrown by a raw Submit()ed task (caught at the lane
   /// boundary instead of terminating the process). OK when none.
+  /// ParallelFor does not feed this slot — its errors are per-call.
   Status TakeError();
 
   /// Cumulative per-lane utilization across every ParallelFor on this

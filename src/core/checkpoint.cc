@@ -1,13 +1,6 @@
 #include "core/checkpoint.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "common/crc32.h"
@@ -15,8 +8,6 @@
 
 namespace bayescrowd {
 namespace {
-
-namespace fs = std::filesystem;
 
 // ------------------------------------------------------------------ //
 // Component serializers. Each Read* validates enum domains and element
@@ -273,24 +264,6 @@ Status ReadSize(BinReader* r, std::size_t* out) {
 // File helpers.
 // ------------------------------------------------------------------ //
 
-Result<std::string> ReadWholeFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IOError("cannot read " + path);
-  return std::move(buffer).str();
-}
-
-Status SyncDirectory(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return Status::IOError("cannot open directory " + dir);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Status::IOError("cannot fsync directory " + dir);
-  return Status::OK();
-}
-
 /// Parses "ckpt-NNNNNNNN.bin" (empty `session_id`) or
 /// "ckpt-<session_id>-NNNNNNNN.bin" (non-empty); returns false for
 /// anything else — tmp files left by a killed write, and any other
@@ -481,14 +454,15 @@ Result<std::string> UnwrapCheckpoint(const std::string& file_bytes,
 CheckpointStore::CheckpointStore(Options options)
     : options_(std::move(options)) {
   if (options_.keep == 0) options_.keep = 1;
+  if (options_.io == nullptr) options_.io = RealFileIo();
 }
 
 std::vector<std::string> CheckpointStore::ListGenerations() const {
   std::vector<std::string> names;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+  auto listed = options_.io->ListDir(options_.dir);
+  if (!listed.ok()) return names;
+  for (const std::string& name : listed.value()) {
     std::size_t rounds = 0;
-    const std::string name = entry.path().filename().string();
     if (ParseGenerationName(name, options_.session_id, &rounds)) {
       names.push_back(name);
     }
@@ -498,12 +472,7 @@ std::vector<std::string> CheckpointStore::ListGenerations() const {
 }
 
 Status CheckpointStore::Write(const SessionState& state) {
-  std::error_code ec;
-  fs::create_directories(options_.dir, ec);
-  if (ec) {
-    return Status::IOError("cannot create checkpoint directory " +
-                           options_.dir + ": " + ec.message());
-  }
+  BAYESCROWD_RETURN_NOT_OK(options_.io->CreateDirs(options_.dir));
   std::string payload;
   SerializeSessionState(state, &payload);
   const std::string file = WrapCheckpoint(payload);
@@ -516,30 +485,30 @@ Status CheckpointStore::Write(const SessionState& state) {
   const std::string final_path = options_.dir + "/" + name;
   const std::string tmp_path = final_path + ".tmp";
 
-  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + tmp_path);
-  const bool wrote =
-      std::fwrite(file.data(), 1, file.size(), f) == file.size() &&
-      std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
-  std::fclose(f);
-  if (!wrote) {
-    std::remove(tmp_path.c_str());
-    return Status::IOError("cannot write " + tmp_path);
+  const Status wrote = options_.io->WriteFileDurable(tmp_path, file);
+  if (!wrote.ok()) {
+    // An ENOSPC/short write may have left a torn tmp file; drop it so
+    // the directory holds only trusted generations (the loader skips
+    // tmp names anyway). The write error — with its path context — is
+    // what the caller sees.
+    (void)options_.io->RemoveFile(tmp_path);
+    return wrote;
   }
   if (options_.pre_rename_hook) {
     BAYESCROWD_RETURN_NOT_OK(options_.pre_rename_hook(tmp_path));
   }
-  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::IOError("cannot rename " + tmp_path);
+  const Status renamed = options_.io->Rename(tmp_path, final_path);
+  if (!renamed.ok()) {
+    (void)options_.io->RemoveFile(tmp_path);
+    return renamed;
   }
-  BAYESCROWD_RETURN_NOT_OK(SyncDirectory(options_.dir));
+  BAYESCROWD_RETURN_NOT_OK(options_.io->SyncDir(options_.dir));
 
   // Prune beyond `keep`, oldest first. A failed unlink is not fatal —
   // extra generations only cost disk.
   std::vector<std::string> names = ListGenerations();
   while (names.size() > options_.keep) {
-    std::remove((options_.dir + "/" + names.front()).c_str());
+    (void)options_.io->RemoveFile(options_.dir + "/" + names.front());
     names.erase(names.begin());
   }
   return Status::OK();
@@ -553,7 +522,7 @@ Result<SessionState> CheckpointStore::LoadLatest(
     const std::string path = options_.dir + "/" + *it;
     const auto attempt = [&]() -> Result<SessionState> {
       BAYESCROWD_ASSIGN_OR_RETURN(const std::string bytes,
-                                  ReadWholeFile(path));
+                                  options_.io->ReadFile(path));
       std::uint32_t version = 0;
       BAYESCROWD_ASSIGN_OR_RETURN(const std::string payload,
                                   UnwrapCheckpoint(bytes, &version));

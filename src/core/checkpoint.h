@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/binio.h"
+#include "common/fileio.h"
 #include "common/result.h"
 #include "core/framework.h"
 #include "ctable/condition.h"
@@ -162,6 +163,13 @@ class CheckpointStore : public CheckpointSink {
     /// the rename. Returning non-OK aborts the write (simulates a kill
     /// mid-checkpoint); the hook may also truncate/corrupt the file.
     std::function<Status(const std::string& tmp_path)> pre_rename_hook;
+
+    /// IO seam every read/write/rename/fsync flows through; null means
+    /// the real filesystem. Tests inject FaultInjectingFileIo here to
+    /// exercise ENOSPC/short-write/fsync-failure handling — a failed
+    /// write surfaces as an IOError with path context, never as a
+    /// silently truncated generation.
+    FileIo* io = nullptr;
   };
 
   explicit CheckpointStore(Options options);

@@ -175,28 +175,18 @@ Result<AnswerLog> LoadAnswerLogTolerant(const std::string& path,
 }
 
 Result<std::unique_ptr<FileAnswerLogSink>> FileAnswerLogSink::Open(
-    const std::string& path, std::size_t already_durable, bool truncate) {
-  std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
-  if (file == nullptr) {
-    return Status::IOError("cannot open answer log " + path);
-  }
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    std::fclose(file);
-    return Status::IOError("cannot seek answer log " + path);
-  }
-  if (std::ftell(file) == 0) {
-    std::fputs("# bayescrowd answer log v2\n", file);
-    if (std::fflush(file) != 0) {
-      std::fclose(file);
-      return Status::IOError("cannot write answer log header to " + path);
-    }
+    const std::string& path, std::size_t already_durable, bool truncate,
+    FileIo* io) {
+  if (io == nullptr) io = RealFileIo();
+  BAYESCROWD_ASSIGN_OR_RETURN(std::unique_ptr<AppendFile> file,
+                              io->OpenAppend(path, truncate));
+  BAYESCROWD_ASSIGN_OR_RETURN(const std::uint64_t size, file->Size());
+  if (size == 0) {
+    BAYESCROWD_RETURN_NOT_OK(file->Append("# bayescrowd answer log v2\n"));
+    BAYESCROWD_RETURN_NOT_OK(file->Sync());
   }
   return std::unique_ptr<FileAnswerLogSink>(
-      new FileAnswerLogSink(file, path, already_durable));
-}
-
-FileAnswerLogSink::~FileAnswerLogSink() {
-  if (file_ != nullptr) std::fclose(file_);
+      new FileAnswerLogSink(std::move(file), already_durable));
 }
 
 Status FileAnswerLogSink::Append(
@@ -210,13 +200,8 @@ Status FileAnswerLogSink::Append(
     block += SerializeAnswerLogEntry(entry);
   }
   if (block.empty()) return Status::OK();
-  if (std::fwrite(block.data(), 1, block.size(), file_) != block.size()) {
-    return Status::IOError("short write to answer log " + path_);
-  }
-  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
-    return Status::IOError("cannot flush answer log " + path_);
-  }
-  return Status::OK();
+  BAYESCROWD_RETURN_NOT_OK(file_->Append(block));
+  return file_->Sync();
 }
 
 Result<std::vector<TaskAnswer>> RecordingPlatform::PostBatch(

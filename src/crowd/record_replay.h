@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fileio.h"
 #include "common/result.h"
 #include "crowd/platform.h"
 
@@ -89,24 +90,26 @@ class AnswerLogSink {
 class FileAnswerLogSink : public AnswerLogSink {
  public:
   /// Opens `path` for appending (`truncate` starts a fresh log). The
-  /// header line is written if the file is new or truncated.
+  /// header line is written if the file is new or truncated. All writes
+  /// flow through `io` (null = the real filesystem), so an injected
+  /// ENOSPC/fsync failure surfaces as an IOError carrying the log path
+  /// instead of a silent truncation.
   static Result<std::unique_ptr<FileAnswerLogSink>> Open(
-      const std::string& path, std::size_t already_durable, bool truncate);
+      const std::string& path, std::size_t already_durable, bool truncate,
+      FileIo* io = nullptr);
 
-  ~FileAnswerLogSink() override;
+  ~FileAnswerLogSink() override = default;
   FileAnswerLogSink(const FileAnswerLogSink&) = delete;
   FileAnswerLogSink& operator=(const FileAnswerLogSink&) = delete;
 
   Status Append(const std::vector<AnswerLogEntry>& entries) override;
 
  private:
-  FileAnswerLogSink(std::FILE* file, std::string path,
+  FileAnswerLogSink(std::unique_ptr<AppendFile> file,
                     std::size_t skip_remaining)
-      : file_(file), path_(std::move(path)),
-        skip_remaining_(skip_remaining) {}
+      : file_(std::move(file)), skip_remaining_(skip_remaining) {}
 
-  std::FILE* file_;
-  std::string path_;
+  std::unique_ptr<AppendFile> file_;
   std::size_t skip_remaining_;
 };
 

@@ -26,12 +26,15 @@ const char* FlightEventKindToString(FlightEventKind kind) {
     case FlightEventKind::kAdmission: return "admission";
     case FlightEventKind::kEviction: return "eviction";
     case FlightEventKind::kQosDegrade: return "qos_degrade";
+    case FlightEventKind::kQuarantine: return "quarantine";
+    case FlightEventKind::kOverload: return "overload";
+    case FlightEventKind::kRecovery: return "recovery";
   }
   return "unknown";
 }
 
 bool ParseFlightEventKind(const std::string& name, FlightEventKind* out) {
-  for (int i = 0; i <= static_cast<int>(FlightEventKind::kQosDegrade);
+  for (int i = 0; i <= static_cast<int>(FlightEventKind::kRecovery);
        ++i) {
     const auto kind = static_cast<FlightEventKind>(i);
     if (name == FlightEventKindToString(kind)) {

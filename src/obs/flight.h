@@ -38,6 +38,10 @@ enum class FlightEventKind : std::uint8_t {
   kAdmission = 9,       // Session admitted to (or rejected by) the server.
   kEviction = 10,       // Resident session evicted (explicit or LRU).
   kQosDegrade = 11,     // Tenant over its QoS allowance; governor tightened.
+  // Crash-only serving events: fault containment + mass recovery.
+  kQuarantine = 12,     // Poison session isolated after repeated failures.
+  kOverload = 13,       // Request shed at the bounded admission queue.
+  kRecovery = 14,       // Session mass-resumed from the serve manifest.
 };
 
 const char* FlightEventKindToString(FlightEventKind kind);

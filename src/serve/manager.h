@@ -35,12 +35,22 @@
 // Stepping work serializes on a single work mutex — sessions share one
 // pool, so true intra-round parallelism comes from the pool's lanes,
 // and round-granularity interleaving across sessions is the fairness
-// quantum (this also keeps the pool's error latch session-pure).
+// quantum. The queue on the work mutex is bounded: past
+// 1 + max_queued_requests in-flight stepping requests, new ones shed
+// with Unavailable + a retry hint instead of queueing without bound.
+//
+// Crash-only serving (DESIGN.md §14): with a state_dir configured,
+// every lifecycle verb journals a CRC-framed record to the serve
+// manifest, and Recover() mass-resumes the resident set after a process
+// death. Sessions that fail repeatedly are quarantined out of the pool
+// instead of wedging it.
 
 #ifndef BAYESCROWD_SERVE_MANAGER_H_
 #define BAYESCROWD_SERVE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +58,7 @@
 #include <vector>
 
 #include "bayesnet/imputation.h"
+#include "common/fileio.h"
 #include "common/thread_pool.h"
 #include "core/checkpoint.h"
 #include "core/runner.h"
@@ -55,6 +66,7 @@
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "serve/cache.h"
+#include "serve/manifest.h"
 
 namespace bayescrowd::serve {
 
@@ -122,6 +134,17 @@ struct SessionSpec {
   /// Resume from the newest usable generation in `checkpoint_dir`
   /// (which must be set) instead of starting fresh.
   bool resume = false;
+
+  /// Opaque spec payload journaled with the session's manifest events.
+  /// The serve tool stores the original create-request JSON line here
+  /// so Recover's resolver can rebuild the full spec after a crash.
+  /// Part of the spec fingerprint.
+  std::string manifest_blob;
+
+  /// Per-session IO override for the checkpoint store (null = the
+  /// manager's IO). Chaos tests poison one session's disk this way
+  /// while co-resident tenants stay healthy.
+  FileIo* io = nullptr;
 };
 
 /// A resident session's externally visible state.
@@ -134,12 +157,31 @@ struct SessionInfo {
   bool done = false;      // No further rounds possible.
   bool finished = false;  // Finish() ran; result was taken.
   bool resumed = false;
+  bool quarantined = false;  // Isolated after repeated step failures.
 };
 
 struct AdvanceOutcome {
   std::size_t rounds_run = 0;
   std::size_t qos_level = 0;
   bool done = false;
+};
+
+/// What Recover() rebuilt from the manifest, for telemetry and the
+/// `--recover` wire response.
+struct RecoveryReport {
+  std::size_t events_replayed = 0;
+  std::size_t sessions_resumed = 0;   // Restored from a checkpoint.
+  std::size_t sessions_fresh = 0;     // Re-admitted from round 0 (no
+                                      // usable checkpoint; deterministic
+                                      // re-run converges to the same
+                                      // state).
+  std::size_t sessions_failed = 0;    // Resolver/Init failure; skipped.
+  std::size_t checkpoint_fallbacks = 0;  // Damaged generations skipped.
+  std::size_t fingerprint_mismatches = 0;  // Resolver spec != manifest.
+  std::size_t duplicate_events = 0;   // Create for an already-live id.
+  std::size_t torn_tail_records = 0;
+  std::size_t unknown_event_records = 0;
+  std::vector<std::string> quarantined;  // Ids carried over as records.
 };
 
 class SessionManager {
@@ -169,7 +211,44 @@ class SessionManager {
     /// Serve-level incident ring (admission/eviction/qos_degrade
     /// events). Null = owned recorder.
     obs::FlightRecorder* flight = nullptr;
+
+    /// Durable server state directory. Non-empty enables the serve
+    /// manifest (<state_dir>/serve-manifest.bin): every lifecycle verb
+    /// journals a CRC-framed record, and Recover() can mass-resume the
+    /// whole resident set after a crash. "" = no manifest (PR 8
+    /// behavior).
+    std::string state_dir;
+
+    /// IO seam for the manifest and session checkpoint stores (null =
+    /// the real filesystem). The chaos harness injects faults here.
+    FileIo* io = nullptr;
+
+    /// Bounded admission queue for stepping verbs (Advance/AdvanceAll/
+    /// Checkpoint/Finish): with more than 1 + max_queued_requests such
+    /// requests in flight, new ones are shed with Unavailable +
+    /// retry_after_ms instead of queueing without bound on the work
+    /// mutex. Create is bounded by the residency caps instead.
+    std::size_t max_queued_requests = 8;
+
+    /// Retry hint carried in shed responses.
+    std::int64_t retry_after_ms = 50;
+
+    /// A session whose Step fails this many times consecutively is
+    /// quarantined: checkpointed if possible, removed from the resident
+    /// pool, reported as `quarantined` by list/info. 0 disables.
+    std::size_t quarantine_after_failures = 3;
+
+    /// Test/chaos hook: shed every Nth stepping request through the
+    /// real shed path regardless of load, so single-threaded drivers
+    /// can pin the shed wire format deterministically. 0 = off.
+    std::size_t debug_shed_every = 0;
   };
+
+  /// Rebuilds a SessionSpec from a manifest event during Recover().
+  /// Gets the journaled event (spec_blob carries what Create was given
+  /// in SessionSpec::manifest_blob); returns the spec to re-admit.
+  using SpecResolver =
+      std::function<Result<SessionSpec>(const ManifestEvent&)>;
 
   explicit SessionManager(Options options);
 
@@ -183,15 +262,35 @@ class SessionManager {
   /// ResourceExhausted (a residency cap).
   Status Create(SessionSpec spec);
 
+  /// Replays the serve manifest in `state_dir` and mass-resumes every
+  /// session that was live at the crash: each is re-admitted via
+  /// `resolver` and restored from its newest valid namespaced
+  /// checkpoint (PR 4 fallback semantics), or re-run fresh when no
+  /// usable generation survived — the deterministic simulated crowd
+  /// re-buys the lost rounds bit-identically. Quarantined sessions are
+  /// carried over as quarantine records, not resumed. Afterwards the
+  /// manifest is compacted (atomic rotation) to one record per live
+  /// session. Call before serving traffic: FailedPrecondition once any
+  /// session is resident, or without a state_dir. A missing manifest
+  /// recovers an empty server.
+  Result<RecoveryReport> Recover(const SpecResolver& resolver);
+
   /// Runs up to `max_rounds` crowd rounds, applying the tenant's QoS
   /// policy at each round boundary. NotFound for unknown ids;
-  /// FailedPrecondition after Finish.
+  /// FailedPrecondition after Finish or quarantine. `deadline_ms` > 0
+  /// tightens the session's solver-governor deadline for this request
+  /// only (degrade-only: results stay correct, sub-evaluations may
+  /// grade; the base governor is restored afterwards).
   Result<AdvanceOutcome> Advance(const std::string& id,
-                                 std::size_t max_rounds);
+                                 std::size_t max_rounds,
+                                 std::int64_t deadline_ms = 0);
 
   /// One fair round-robin sweep: every unfinished resident session
   /// advances up to `quantum` rounds, in creation order. Returns the
-  /// number of sessions that can still make progress.
+  /// number of sessions that can still make progress. One session's
+  /// step failure never aborts the sweep or latches the pool: the
+  /// failure is counted against that session (quarantining it at the
+  /// threshold) and the sweep continues with the others.
   Result<std::size_t> AdvanceAll(std::size_t quantum);
 
   /// Explicit snapshot (QueryRunner::WriteCheckpointNow).
@@ -219,6 +318,11 @@ class SessionManager {
   static std::uint64_t CacheScope(const std::string& tenant,
                                   const std::string& cache_key);
 
+  /// The spec fingerprint journaled with every manifest event: chained
+  /// hash of tenant, cache_key and manifest_blob. Recover refuses to
+  /// re-admit a resolved spec whose fingerprint mismatches the journal.
+  static std::uint64_t SpecFingerprint(const SessionSpec& spec);
+
  private:
   struct Session {
     SessionSpec spec;
@@ -226,6 +330,13 @@ class SessionManager {
     std::size_t qos_level = 0;
     bool finished = false;
     bool resumed = false;
+    std::size_t resume_fallbacks = 0;  // Generations skipped on resume.
+    std::size_t consecutive_failures = 0;  // Step failures in a row.
+
+    /// The governor currently in force absent any request deadline:
+    /// the spec's base, replaced by ladder rungs as QoS steps down.
+    GovernorOptions current_governor;
+    std::int64_t request_deadline_ms = 0;  // This request only.
 
     obs::MetricsRegistry metrics;  // Per-session; partitions telemetry.
     std::shared_ptr<PosteriorProvider> posteriors;
@@ -237,14 +348,55 @@ class SessionManager {
     std::unique_ptr<QueryRunner> runner;
   };
 
+  /// What list/info report for a quarantined ex-resident session.
+  struct QuarantineRecord {
+    std::string tenant;
+    std::size_t rounds = 0;
+    std::size_t qos_level = 0;
+    std::string reason;
+  };
+
+  /// Decrements inflight_ when an admitted stepping request finishes.
+  class InflightGuard;
+
   Session* FindLocked(const std::string& id);
   SessionInfo InfoOf(const Session& session) const;
+  static SessionInfo InfoOfQuarantined(const std::string& id,
+                                       const QuarantineRecord& record);
   const TenantQos* QosFor(const std::string& tenant) const;
   /// Applies the tenant ladder step the session's round count calls
   /// for; records the qos_degrade event + counter on a step.
   Status MaybeDegrade(Session* session);
+  /// Re-applies current_governor, tightened by the in-flight request
+  /// deadline when one is set.
+  Status ApplyGovernorNow(Session* session);
+  /// `journal` (may be null) collects the kAdvance record when rounds
+  /// ran — captured here because a step failure may quarantine (and
+  /// free) the session before the caller could build it.
   Status AdvanceLockedImpl(Session* session, std::size_t max_rounds,
-                           AdvanceOutcome* out);
+                           std::int64_t deadline_ms, AdvanceOutcome* out,
+                           std::vector<ManifestEvent>* journal);
+  /// Create minus the work-mutex acquisition and journaling policy;
+  /// shared by Create and Recover.
+  Status CreateImpl(SessionSpec spec, bool journal);
+  /// Bounded-queue admission for stepping verbs; Unavailable when shed.
+  /// On OK the caller owns one inflight_ decrement (InflightGuard).
+  Status AdmitStep(const char* verb);
+  /// Records one step failure; quarantines at the threshold. Call with
+  /// work_mu_ held.
+  void NoteStepFailure(Session* session, const Status& error);
+  /// Moves the session out of the pool into quarantined_ (best-effort
+  /// checkpoint first). Call with work_mu_ held, registry_mu_ not held.
+  void QuarantineLocked(Session* session, const std::string& reason);
+  /// Builds the manifest event for a session's current state.
+  ManifestEvent EventOf(const Session& session, ManifestEventKind kind,
+                        const std::string& detail) const;
+  /// Journals events when the manifest is enabled. Append failures
+  /// degrade (counter + flight note), never fail the verb — the journal
+  /// is a recovery aid, not a commit log.
+  void Journal(const std::vector<ManifestEvent>& events);
+  std::string ManifestPath() const;
+  FileIo* io() const;
 
   Options options_;
   std::unique_ptr<ThreadPool> owned_pool_;
@@ -255,16 +407,24 @@ class SessionManager {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::FlightRecorder local_flight_;
   obs::FlightRecorder* flight_ = nullptr;
+  std::unique_ptr<ServeManifest> manifest_;  // Null without state_dir.
+
+  /// Stepping requests currently admitted (holding or queued on
+  /// work_mu_). Bounded by 1 + max_queued_requests; beyond that new
+  /// stepping requests shed instead of queueing.
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> step_requests_{0};  // For debug_shed_every.
 
   /// Serializes all stepping work (Init/Step/Finish/checkpoint I/O):
-  /// sessions share one pool, and one session's rounds must not observe
-  /// another's pool error latch. Always acquired before registry_mu_.
+  /// sessions share one pool, and round-granularity interleaving is
+  /// the fairness quantum. Always acquired before registry_mu_.
   std::mutex work_mu_;
-  /// Guards the session map + creation order.
+  /// Guards the session map + creation order + quarantine records.
   mutable std::mutex registry_mu_;
   std::map<std::string, std::unique_ptr<Session>> sessions_;
   std::vector<std::string> creation_order_;
   std::map<std::string, std::size_t> tenant_resident_;
+  std::map<std::string, QuarantineRecord> quarantined_;
 };
 
 }  // namespace bayescrowd::serve

@@ -1,0 +1,125 @@
+// Durable serve manifest: the append-only journal that makes the
+// *server* crash-only, the way `core/checkpoint` makes one session
+// crash-only.
+//
+// The manager appends one record per session lifecycle event (create /
+// advance / checkpoint / finish / evict / quarantine). On restart,
+// replaying the journal reconstructs exactly which sessions were live,
+// under which tenant, with which spec fingerprint and checkpoint
+// namespace — enough to mass-resume every one of them from its newest
+// valid checkpoint without any per-session bookkeeping surviving the
+// crash.
+//
+// File layout (little-endian, mirroring the BCKP envelope idioms):
+//
+//   "BSMN" | u32 version
+//   repeated records:  u32 payload_len | payload | u32 crc32(payload)
+//
+// Each payload is a fixed field tuple (kind, id, tenant, rounds,
+// qos_level, spec fingerprint, checkpoint namespace, spec blob, detail)
+// regardless of kind — uniform framing keeps the tolerant reader
+// trivial. The reader is torn-tail-tolerant: a truncated or
+// CRC-mismatching record ends the scan (everything before it is
+// trusted), and a record with an unknown kind byte is skipped with a
+// counter so newer writers don't brick older readers.
+//
+// All IO flows through the injectable FileIo seam; rotation (compaction
+// after recovery) is atomic tmp + fsync + rename + dir-fsync.
+
+#ifndef BAYESCROWD_SERVE_MANIFEST_H_
+#define BAYESCROWD_SERVE_MANIFEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fileio.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bayescrowd::serve {
+
+enum class ManifestEventKind : std::uint8_t {
+  kCreate = 0,
+  kAdvance = 1,
+  kCheckpoint = 2,
+  kFinish = 3,
+  kEvict = 4,
+  kQuarantine = 5,
+};
+
+const char* ManifestEventKindToString(ManifestEventKind kind);
+
+/// One session lifecycle record. Every kind carries the full tuple so a
+/// single surviving record is enough to rebuild the session's identity.
+struct ManifestEvent {
+  ManifestEventKind kind = ManifestEventKind::kCreate;
+  std::string session_id;
+  std::string tenant;
+  std::uint64_t rounds = 0;       // Rounds completed at event time.
+  std::uint64_t qos_level = 0;    // Governor rung at event time.
+  std::uint64_t spec_fingerprint = 0;
+  std::string checkpoint_dir;     // Namespaced checkpoint directory.
+  std::uint64_t checkpoint_keep = 0;
+  std::string spec_blob;          // Opaque spec payload (serve stores the
+                                  // original create-request JSON line).
+  std::string detail;             // Free-form context (reason strings).
+};
+
+/// Outcome of a tolerant manifest load.
+struct ManifestLoad {
+  std::vector<ManifestEvent> events;
+  std::uint64_t torn_tail_records = 0;    // Truncated/CRC-failed tail.
+  std::uint64_t unknown_kind_records = 0; // Skipped, framing intact.
+};
+
+/// Encodes one record (len | payload | crc) ready to append. Exposed for
+/// the fuzz tests, which splice hand-built records into journals.
+std::string EncodeManifestRecord(const ManifestEvent& event);
+
+/// The 8-byte file header ("BSMN" + version).
+std::string ManifestHeader();
+
+/// Tolerantly parses manifest bytes. Never fails on damaged input — a
+/// bad header yields zero events with one torn record counted.
+ManifestLoad ParseManifest(std::string_view bytes);
+
+/// Reads and tolerantly parses `path`; a missing file loads empty.
+Result<ManifestLoad> LoadManifest(FileIo* io, const std::string& path);
+
+/// Append-side handle. Lazily opens the journal (writing the header when
+/// the file is empty) and makes each batch durable with one sync.
+class ServeManifest {
+ public:
+  struct Options {
+    std::string path;
+    FileIo* io = nullptr;  // null = RealFileIo().
+  };
+
+  explicit ServeManifest(Options options);
+
+  /// Appends one record durably (framed write + sync).
+  Status Append(const ManifestEvent& event);
+
+  /// Appends a batch as one buffered write + one sync — AdvanceAll
+  /// journals a whole sweep this way.
+  Status Append(const std::vector<ManifestEvent>& events);
+
+  /// Atomically replaces the journal with exactly `events` (compaction
+  /// after recovery): tmp + durable write + rename + dir sync. The
+  /// append handle reopens on the next Append.
+  Status Rewrite(const std::vector<ManifestEvent>& events);
+
+  const std::string& path() const { return options_.path; }
+
+ private:
+  Status EnsureOpen();
+
+  Options options_;
+  std::unique_ptr<AppendFile> file_;
+};
+
+}  // namespace bayescrowd::serve
+
+#endif  // BAYESCROWD_SERVE_MANIFEST_H_

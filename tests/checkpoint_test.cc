@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/binio.h"
+#include "common/fileio.h"
 #include "core/session.h"
 #include "crowd/record_replay.h"
 #include "obs/metrics.h"
@@ -296,6 +297,92 @@ TEST(CheckpointStoreTest, NoUsableGenerationIsNotFound) {
   const CheckpointStore store(options);
   std::size_t fallbacks = 0;
   EXPECT_TRUE(store.LoadLatest(0, &fallbacks).status().IsNotFound());
+}
+
+TEST(CheckpointStoreTest, InjectedWriteFailureIsCleanIOErrorWithPath) {
+  FaultPlan plan;
+  plan.write_fail_rate = 1.0;  // Every durable write fails (ENOSPC-ish).
+  FaultInjectingFileIo io(plan);
+
+  CheckpointStore::Options options;
+  options.dir = FreshDir("bc_ckpt_enospc");
+  options.io = &io;
+  CheckpointStore store(options);
+
+  SessionState state = MakeGoldenState();
+  state.rounds = 1;
+  const Status wrote = store.Write(state);
+  EXPECT_TRUE(wrote.IsIOError()) << wrote.ToString();
+  // The error carries the path so an operator can find the full disk,
+  // and the aborted tmp file is cleaned up — no half-written
+  // generations for a later scan to trip over.
+  EXPECT_NE(wrote.message().find(options.dir), std::string::npos)
+      << wrote.ToString();
+  EXPECT_TRUE(store.ListGenerations().empty());
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.dir)) {
+    ADD_FAILURE() << "leftover file " << entry.path();
+  }
+  EXPECT_GE(io.stats().writes_failed, 1u);
+}
+
+TEST(CheckpointStoreTest, InjectedSyncFailureFailsTheWrite) {
+  FaultPlan plan;
+  plan.sync_fail_rate = 1.0;
+  FaultInjectingFileIo io(plan);
+
+  CheckpointStore::Options options;
+  options.dir = FreshDir("bc_ckpt_esync");
+  options.io = &io;
+  CheckpointStore store(options);
+
+  SessionState state = MakeGoldenState();
+  state.rounds = 1;
+  const Status wrote = store.Write(state);
+  EXPECT_TRUE(wrote.IsIOError()) << wrote.ToString();
+  EXPECT_GE(io.stats().syncs_failed, 1u);
+
+  // The same store succeeds once the disk heals (deterministic plan,
+  // new injector): faults never latch the store.
+  FaultInjectingFileIo healthy({});
+  CheckpointStore::Options healed_options;
+  healed_options.dir = options.dir;
+  healed_options.io = &healthy;
+  CheckpointStore healed(healed_options);
+  EXPECT_TRUE(healed.Write(state).ok());
+  EXPECT_EQ(healed.ListGenerations().size(), 1u);
+}
+
+TEST(CheckpointStoreTest, InjectedReadCorruptionFallsBackToOlder) {
+  CheckpointStore::Options options;
+  options.dir = FreshDir("bc_ckpt_readcorrupt");
+  CheckpointStore store(options);
+  SessionState state = MakeGoldenState();
+  state.answer_log_offset = 0;
+  for (std::size_t round = 1; round <= 3; ++round) {
+    state.rounds = round;
+    ASSERT_TRUE(store.Write(state).ok());
+  }
+
+  // Reads through a corrupting IO layer: roughly half the generations
+  // come back truncated; the CRC envelope rejects them and LoadLatest
+  // falls back — it never returns a damaged snapshot.
+  FaultPlan plan;
+  plan.read_corrupt_rate = 0.5;
+  plan.seed = 11;
+  FaultInjectingFileIo io(plan);
+  CheckpointStore::Options corrupt_options;
+  corrupt_options.dir = options.dir;
+  corrupt_options.io = &io;
+  const CheckpointStore corrupted(corrupt_options);
+  std::size_t fallbacks = 0;
+  const auto loaded = corrupted.LoadLatest(100, &fallbacks);
+  if (loaded.ok()) {
+    EXPECT_GE(loaded->rounds, 1u);
+    EXPECT_LE(loaded->rounds, 3u);
+  } else {
+    EXPECT_TRUE(loaded.status().IsNotFound()) << loaded.status().ToString();
+  }
 }
 
 TEST(CheckpointStoreTest, SessionNamespacesNeitherPruneNorLoadEachOther) {

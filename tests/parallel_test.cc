@@ -123,6 +123,34 @@ TEST(ThreadPoolTest, ThrowingSubmittedTaskSurfacesViaTakeError) {
   EXPECT_TRUE(pool.TakeError().ok());
 }
 
+TEST(ThreadPoolTest, ParallelForErrorsArePerCallNotPoolGlobal) {
+  ThreadPool pool(4);
+
+  // A raw Submit failure parked in the pool-global slot must not bleed
+  // into an unrelated ParallelFor's return value...
+  pool.Submit([] { throw std::runtime_error("stale submit failure"); });
+  pool.Wait();
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.ParallelFor(16, [&ran](std::size_t, std::size_t) {
+                    ran.fetch_add(1);
+                  }).ok());
+  EXPECT_EQ(ran.load(), 16);
+  // ...and it is still there for the Submit user afterwards.
+  const Status stale = pool.TakeError();
+  EXPECT_NE(stale.message().find("stale submit failure"),
+            std::string::npos);
+
+  // Conversely a ParallelFor failure is returned to its caller only —
+  // it never lands in the pool-global slot where another session's
+  // poll would pick it up (the cross-session latch this pins against).
+  const Status failed =
+      pool.ParallelFor(16, [](std::size_t, std::size_t i) {
+        if (i == 3) throw std::runtime_error("loop-local failure");
+      });
+  EXPECT_FALSE(failed.ok());
+  EXPECT_TRUE(pool.TakeError().ok());
+}
+
 TEST(ThreadPoolTest, ZeroResolvesToHardwareConcurrency) {
   EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
   EXPECT_EQ(ThreadPool::ResolveThreads(3), 3u);

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fileio.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -24,6 +25,7 @@
 #include "data/missing.h"
 #include "obs/normalize.h"
 #include "serve/cache.h"
+#include "serve/manifest.h"
 
 namespace bayescrowd {
 namespace {
@@ -536,6 +538,233 @@ TEST(SessionManagerTest, ResumeWithoutDirOrSnapshotsFailsCleanly) {
   empty_dir.resume = true;
   EXPECT_TRUE(manager.Create(std::move(empty_dir)).IsNotFound());
   EXPECT_EQ(manager.resident(), 0u);
+}
+
+// ------------------------------------------------------------------ //
+// Poison-session quarantine
+// ------------------------------------------------------------------ //
+
+/// One tenant's session sits on a broken disk (every checkpoint write
+/// fails); a co-resident tenant must complete bit-identically to its
+/// solo run, and the poisoned session must end up quarantined — not
+/// latched into the shared pool as a wedge.
+TEST(SessionManagerTest, PoisonedSessionQuarantinesHealthyTenantExact) {
+  // Solo reference for the healthy session.
+  std::string reference;
+  {
+    SessionManager manager({.threads = 2});
+    SessionSpec spec = MakeSpec("healthy", "bravo", 10);
+    const BayesCrowdOptions options = spec.options;
+    ASSERT_TRUE(manager.Create(std::move(spec)).ok());
+    ASSERT_TRUE(manager.Advance("healthy", 100000).ok());
+    Result<BayesCrowdResult> result = manager.Finish("healthy");
+    ASSERT_TRUE(result.ok());
+    reference = Normalized(options, result.value());
+  }
+
+  SessionManager::Options options;
+  options.threads = 2;
+  options.quarantine_after_failures = 2;
+  SessionManager manager(options);
+
+  FaultPlan plan;
+  plan.write_fail_rate = 1.0;  // Every checkpoint write fails.
+  FaultInjectingFileIo broken_disk(plan);
+  {
+    SessionSpec poisoned = MakeSpec("poisoned", "acme", 9);
+    poisoned.checkpoint_dir = FreshDir("bc_serve_poisoned_ckpt");
+    poisoned.options.checkpoint_every = 1;
+    poisoned.io = &broken_disk;
+    ASSERT_TRUE(manager.Create(std::move(poisoned)).ok());
+  }
+  BayesCrowdOptions healthy_options;
+  {
+    SessionSpec healthy = MakeSpec("healthy", "bravo", 10);
+    healthy_options = healthy.options;
+    ASSERT_TRUE(manager.Create(std::move(healthy)).ok());
+  }
+
+  // Each poisoned advance fails its round-boundary checkpoint; at the
+  // threshold the session moves to quarantine instead of failing a
+  // third time.
+  EXPECT_TRUE(manager.Advance("poisoned", 1).status().IsIOError());
+  EXPECT_TRUE(manager.Advance("poisoned", 1).status().IsIOError());
+  Result<SessionInfo> info = manager.Info("poisoned");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->quarantined);
+  EXPECT_TRUE(info->done);
+  EXPECT_TRUE(
+      manager.Advance("poisoned", 1).status().IsFailedPrecondition());
+
+  // The quarantine record shows up in List alongside live sessions.
+  bool listed_quarantined = false;
+  for (const SessionInfo& listed : manager.List()) {
+    if (listed.id == "poisoned") listed_quarantined = listed.quarantined;
+  }
+  EXPECT_TRUE(listed_quarantined);
+  EXPECT_EQ(manager.resident(), 1u);
+
+  // A sweep keeps working, and the healthy tenant is bit-exact.
+  while (true) {
+    Result<std::size_t> active = manager.AdvanceAll(1);
+    ASSERT_TRUE(active.ok()) << active.status().ToString();
+    if (active.value() == 0) break;
+  }
+  Result<BayesCrowdResult> result = manager.Finish("healthy");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Normalized(healthy_options, result.value()), reference);
+
+  // Quarantine is visible in telemetry: labeled counter + flight event.
+  const obs::MetricsSnapshot snapshot = manager.MetricsSnapshot();
+  const auto quarantines = snapshot.counters.find(
+      "serve.quarantine.sessions{session=\"poisoned\",tenant=\"acme\"}");
+  ASSERT_NE(quarantines, snapshot.counters.end());
+  EXPECT_EQ(quarantines->second, 1u);
+  bool flight_seen = false;
+  for (const obs::FlightEvent& event : manager.flight()->Events()) {
+    if (event.kind == obs::FlightEventKind::kQuarantine) {
+      flight_seen = true;
+      EXPECT_NE(event.detail.find("poisoned"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(flight_seen);
+
+  // Evicting the quarantine record clears it for a fresh re-admission.
+  ASSERT_TRUE(manager.Evict("poisoned").ok());
+  EXPECT_FALSE(manager.Info("poisoned").ok());
+}
+
+// ------------------------------------------------------------------ //
+// Overload shedding
+// ------------------------------------------------------------------ //
+
+TEST(SessionManagerTest, DebugShedPathIsDeterministicAndLabeled) {
+  SessionManager::Options options;
+  options.threads = 1;
+  options.debug_shed_every = 3;
+  options.retry_after_ms = 75;
+  SessionManager manager(options);
+  ASSERT_TRUE(manager.Create(MakeSpec("s1", "acme", 9)).ok());
+
+  // Stepping requests 3, 6, ... shed through the real overload path.
+  EXPECT_TRUE(manager.Advance("s1", 1).ok());
+  EXPECT_TRUE(manager.Advance("s1", 1).ok());
+  const Status shed = manager.Advance("s1", 1).status();
+  EXPECT_TRUE(shed.IsUnavailable()) << shed.ToString();
+  EXPECT_NE(shed.message().find("overloaded"), std::string::npos);
+  EXPECT_NE(shed.message().find("retry_after_ms=75"), std::string::npos);
+  EXPECT_TRUE(manager.Advance("s1", 1).ok());
+
+  const obs::MetricsSnapshot snapshot = manager.MetricsSnapshot();
+  const auto sheds =
+      snapshot.counters.find("serve.shed.requests{verb=\"advance\"}");
+  ASSERT_NE(sheds, snapshot.counters.end());
+  EXPECT_EQ(sheds->second, 1u);
+  bool overload_seen = false;
+  for (const obs::FlightEvent& event : manager.flight()->Events()) {
+    if (event.kind == obs::FlightEventKind::kOverload) {
+      overload_seen = true;
+      EXPECT_EQ(event.value, 75.0);
+    }
+  }
+  EXPECT_TRUE(overload_seen);
+}
+
+TEST(SessionManagerTest, ShedRequestsNeverLatchLaterOnesSucceed) {
+  SessionManager::Options options;
+  options.threads = 1;
+  options.debug_shed_every = 2;  // Every other request sheds.
+  SessionManager manager(options);
+  ASSERT_TRUE(manager.Create(MakeSpec("s1", "acme", 9)).ok());
+  std::size_t ok_advances = 0;
+  for (int i = 0; i < 20; ++i) {
+    Result<AdvanceOutcome> advanced = manager.Advance("s1", 1);
+    if (advanced.ok()) {
+      ++ok_advances;
+      if (advanced->done) break;
+    } else {
+      EXPECT_TRUE(advanced.status().IsUnavailable());
+    }
+  }
+  EXPECT_GT(ok_advances, 0u);
+  // The session is still healthy: finish works (request 21+ may shed;
+  // retry once).
+  Result<BayesCrowdResult> result = manager.Finish("s1");
+  if (!result.ok()) result = manager.Finish("s1");
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+// ------------------------------------------------------------------ //
+// Request deadlines
+// ------------------------------------------------------------------ //
+
+TEST(SessionManagerTest, GenerousDeadlineLeavesTelemetryByteIdentical) {
+  const auto run = [](std::int64_t deadline_ms) {
+    SessionManager manager({.threads = 2});
+    SessionSpec spec = MakeSpec("s1", "acme", 9);
+    // The base governor is active in both runs (a huge budget that
+    // never trips), so the request deadline is the only delta — merely
+    // activating governed evaluation changes instrumentation shape,
+    // which is not what this test pins.
+    spec.options.probability.governor.max_nodes = 1'000'000'000ull;
+    const BayesCrowdOptions options = spec.options;
+    EXPECT_TRUE(manager.Create(std::move(spec)).ok());
+    EXPECT_TRUE(manager.Advance("s1", 100000, deadline_ms).ok());
+    Result<BayesCrowdResult> result = manager.Finish("s1");
+    EXPECT_TRUE(result.ok());
+    return Normalized(options, result.value());
+  };
+  // A deadline no round comes near is invisible: bit-identical bytes.
+  EXPECT_EQ(run(0), run(1'000'000'000));
+}
+
+TEST(SessionManagerTest, TightDeadlineDegradesButCompletesCorrectly) {
+  SessionManager manager({.threads = 2});
+  SessionSpec spec = MakeSpec("s1", "acme", 9);
+  ASSERT_TRUE(manager.Create(std::move(spec)).ok());
+  // 1ms per evaluation is brutal; degrade-only semantics mean the
+  // request still succeeds — sub-evaluations grade instead of erroring.
+  Result<AdvanceOutcome> advanced = manager.Advance("s1", 100000, 1);
+  ASSERT_TRUE(advanced.ok()) << advanced.status().ToString();
+  EXPECT_TRUE(advanced->done);
+  Result<BayesCrowdResult> result = manager.Finish("s1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->result_objects.empty());
+}
+
+// ------------------------------------------------------------------ //
+// Recover preconditions
+// ------------------------------------------------------------------ //
+
+TEST(SessionManagerTest, RecoverPreconditionsAndEmptyStateDir) {
+  const SessionManager::SpecResolver resolver =
+      [](const serve::ManifestEvent&) -> Result<SessionSpec> {
+    return Status::NotFound("no fixtures here");
+  };
+
+  // No state_dir: nothing to replay from.
+  SessionManager stateless({.threads = 1});
+  EXPECT_TRUE(
+      stateless.Recover(resolver).status().IsFailedPrecondition());
+
+  // Recovery must run before traffic, never mid-flight.
+  SessionManager::Options options;
+  options.threads = 1;
+  options.state_dir = FreshDir("bc_serve_recover_pre");
+  SessionManager manager(options);
+  ASSERT_TRUE(manager.Create(MakeSpec("s1", "acme", 9)).ok());
+  EXPECT_TRUE(manager.Recover(resolver).status().IsFailedPrecondition());
+
+  // A state_dir with no manifest yet recovers an empty server.
+  SessionManager::Options empty_options;
+  empty_options.threads = 1;
+  empty_options.state_dir = FreshDir("bc_serve_recover_empty");
+  SessionManager empty(empty_options);
+  Result<serve::RecoveryReport> report = empty.Recover(resolver);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->events_replayed, 0u);
+  EXPECT_EQ(report->sessions_resumed, 0u);
+  EXPECT_EQ(empty.resident(), 0u);
 }
 
 }  // namespace

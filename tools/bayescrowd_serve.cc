@@ -27,13 +27,36 @@
 //   --metrics-prom PATH  rewrite a Prometheus scrape file (serve.*
 //                        series, tenant=/session= labeled) per request
 //   --flight-out PATH    write the serve flight ring as JSONL on exit
+//   --state-dir DIR      durable server state: the serve manifest lives
+//                        here, and sessions created without a
+//                        "checkpoint_dir" default to DIR/checkpoints
+//   --recover            replay the manifest in --state-dir and resume
+//                        every session live at the last crash before
+//                        serving; emits one {"op":"recover",...} line
+//   --max-queue N        stepping requests queued past the one running
+//                        before new ones shed (default 8)
+//   --retry-after-ms N   retry hint carried in shed responses
+//   --chaos SPEC         deterministic fault injection under the IO
+//                        layer: "write_fail=P,sync_fail=P,
+//                        read_corrupt=P,seed=S,match=SUBSTR,
+//                        shed_every=N" (any subset; match scopes the
+//                        faults to paths containing SUBSTR; shed_every
+//                        force-sheds every Nth stepping request)
+//
+// Request-level robustness: "advance" accepts "deadline_ms" (degrade-
+// only solver deadline for that request); an overloaded server answers
+// {"ok":false,"error":...,"overloaded":true,"retry_after_ms":N} and
+// stays up; a session that keeps failing is quarantined, not fatal.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/fileio.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -42,12 +65,15 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "serve/manager.h"
+#include "serve/manifest.h"
 
 namespace bayescrowd {
 namespace {
 
 using obs::JsonValue;
 using serve::AdvanceOutcome;
+using serve::ManifestEvent;
+using serve::RecoveryReport;
 using serve::SessionInfo;
 using serve::SessionManager;
 using serve::SessionSpec;
@@ -57,6 +83,23 @@ JsonValue ErrorLine(const std::string& message) {
   JsonValue out = JsonValue::Object();
   out["ok"] = false;
   out["error"] = message;
+  return out;
+}
+
+/// Error response for a verb Status; a shed (Unavailable + retry hint)
+/// additionally carries machine-readable backoff fields so clients can
+/// retry without parsing the message.
+JsonValue StatusLine(const Status& status) {
+  JsonValue out = ErrorLine(status.ToString());
+  if (status.IsUnavailable()) {
+    const std::string& message = status.message();
+    const std::size_t at = message.find("retry_after_ms=");
+    if (at != std::string::npos) {
+      out["overloaded"] = true;
+      out["retry_after_ms"] = static_cast<std::int64_t>(
+          std::atoll(message.c_str() + at + sizeof("retry_after_ms=") - 1));
+    }
+  }
   return out;
 }
 
@@ -136,49 +179,68 @@ JsonValue InfoJson(const SessionInfo& info) {
   out["done"] = info.done;
   out["finished"] = info.finished;
   out["resumed"] = info.resumed;
+  out["quarantined"] = info.quarantined;
   return out;
 }
 
-JsonValue HandleCreate(SessionManager* manager, const JsonValue& doc) {
-  SessionSpec spec;
-  spec.id = FindString(doc, "id", "");
-  spec.tenant = FindString(doc, "tenant", "");
+/// Builds the full SessionSpec a "create" request describes. Shared by
+/// the create verb and --recover's resolver (which re-parses the
+/// request journaled in the manifest's spec_blob), so a recovered
+/// session is admitted through the identical code path. The canonical
+/// re-dump of the request is stored as the spec's manifest_blob.
+Status SpecFromJson(const JsonValue& doc,
+                    const std::string& default_checkpoint_dir,
+                    SessionSpec* spec) {
+  spec->id = FindString(doc, "id", "");
+  spec->tenant = FindString(doc, "tenant", "");
   const JsonValue* dataset = doc.Find("dataset");
   const JsonValue empty = JsonValue::Object();
   std::string descriptor;
-  const Status built = BuildDataset(dataset != nullptr ? *dataset : empty,
-                                    &spec.ground_truth, &spec.incomplete,
-                                    &descriptor);
-  if (!built.ok()) return ErrorLine(built.ToString());
-  spec.cache_key = FindString(doc, "cache_key", descriptor);
+  BAYESCROWD_RETURN_NOT_OK(
+      BuildDataset(dataset != nullptr ? *dataset : empty,
+                   &spec->ground_truth, &spec->incomplete, &descriptor));
+  spec->cache_key = FindString(doc, "cache_key", descriptor);
 
-  spec.options.ctable.alpha =
-      FindDouble(doc, "alpha", spec.options.ctable.alpha);
-  spec.options.budget =
+  spec->options.ctable.alpha =
+      FindDouble(doc, "alpha", spec->options.ctable.alpha);
+  spec->options.budget =
       static_cast<std::size_t>(FindInt(doc, "budget", 12));
-  spec.options.latency =
+  spec->options.latency =
       static_cast<std::size_t>(FindInt(doc, "latency", 3));
-  spec.options.strategy.m =
+  spec->options.strategy.m =
       static_cast<std::size_t>(FindInt(doc, "m", 3));
-  spec.options.checkpoint_every =
+  spec->options.checkpoint_every =
       static_cast<std::size_t>(FindInt(doc, "checkpoint_every", 0));
   const auto max_nodes =
       static_cast<std::uint64_t>(FindInt(doc, "governor_max_nodes", 0));
-  if (max_nodes > 0) spec.options.probability.governor.max_nodes = max_nodes;
+  if (max_nodes > 0) {
+    spec->options.probability.governor.max_nodes = max_nodes;
+  }
 
-  spec.platform.worker_accuracy = FindDouble(doc, "accuracy", 1.0);
-  spec.platform.seed =
+  spec->platform.worker_accuracy = FindDouble(doc, "accuracy", 1.0);
+  spec->platform.seed =
       static_cast<std::uint64_t>(FindInt(doc, "platform_seed", 99));
-  spec.platform.workers_per_task =
+  spec->platform.workers_per_task =
       static_cast<int>(FindInt(doc, "workers_per_task", 3));
 
-  spec.warm_start = FindBool(doc, "warm_start", false);
-  spec.checkpoint_dir = FindString(doc, "checkpoint_dir", "");
-  spec.resume = FindBool(doc, "resume", false);
+  spec->warm_start = FindBool(doc, "warm_start", false);
+  spec->checkpoint_dir = FindString(doc, "checkpoint_dir", "");
+  if (spec->checkpoint_dir.empty()) {
+    spec->checkpoint_dir = default_checkpoint_dir;
+  }
+  spec->resume = FindBool(doc, "resume", false);
+  spec->manifest_blob = doc.Dump();
+  return Status::OK();
+}
 
+JsonValue HandleCreate(SessionManager* manager, const JsonValue& doc,
+                       const std::string& default_checkpoint_dir) {
+  SessionSpec spec;
+  const Status built = SpecFromJson(doc, default_checkpoint_dir, &spec);
+  if (!built.ok()) return ErrorLine(built.ToString());
   const std::string id = spec.id;
   const Status created = manager->Create(std::move(spec));
-  if (!created.ok()) return ErrorLine(created.ToString());
+  if (!created.ok()) return StatusLine(created);
   Result<SessionInfo> info = manager->Info(id);
   if (!info.ok()) return ErrorLine(info.status().ToString());
   JsonValue out = OkLine("create");
@@ -189,8 +251,10 @@ JsonValue HandleCreate(SessionManager* manager, const JsonValue& doc) {
 JsonValue HandleAdvance(SessionManager* manager, const JsonValue& doc) {
   const std::string id = FindString(doc, "id", "");
   const auto rounds = static_cast<std::size_t>(FindInt(doc, "rounds", 1));
-  Result<AdvanceOutcome> advanced = manager->Advance(id, rounds);
-  if (!advanced.ok()) return ErrorLine(advanced.status().ToString());
+  const std::int64_t deadline_ms = FindInt(doc, "deadline_ms", 0);
+  Result<AdvanceOutcome> advanced =
+      manager->Advance(id, rounds, deadline_ms);
+  if (!advanced.ok()) return StatusLine(advanced.status());
   JsonValue out = OkLine("advance");
   out["id"] = id;
   out["rounds_run"] =
@@ -198,13 +262,14 @@ JsonValue HandleAdvance(SessionManager* manager, const JsonValue& doc) {
   out["qos_level"] =
       static_cast<std::int64_t>(advanced.value().qos_level);
   out["done"] = advanced.value().done;
+  if (deadline_ms > 0) out["deadline_ms"] = deadline_ms;
   return out;
 }
 
 JsonValue HandleFinish(SessionManager* manager, const JsonValue& doc) {
   const std::string id = FindString(doc, "id", "");
   Result<BayesCrowdResult> finished = manager->Finish(id);
-  if (!finished.ok()) return ErrorLine(finished.status().ToString());
+  if (!finished.ok()) return StatusLine(finished.status());
   const BayesCrowdResult& result = finished.value();
   JsonValue out = OkLine("finish");
   out["id"] = id;
@@ -223,15 +288,18 @@ JsonValue HandleFinish(SessionManager* manager, const JsonValue& doc) {
   return out;
 }
 
-JsonValue HandleOne(SessionManager* manager, const JsonValue& doc) {
+JsonValue HandleOne(SessionManager* manager, const JsonValue& doc,
+                    const std::string& default_checkpoint_dir) {
   const std::string op = FindString(doc, "op", "");
-  if (op == "create") return HandleCreate(manager, doc);
+  if (op == "create") {
+    return HandleCreate(manager, doc, default_checkpoint_dir);
+  }
   if (op == "advance") return HandleAdvance(manager, doc);
   if (op == "finish") return HandleFinish(manager, doc);
   if (op == "checkpoint") {
     const std::string id = FindString(doc, "id", "");
     const Status st = manager->Checkpoint(id);
-    if (!st.ok()) return ErrorLine(st.ToString());
+    if (!st.ok()) return StatusLine(st);
     JsonValue out = OkLine("checkpoint");
     out["id"] = id;
     return out;
@@ -302,10 +370,79 @@ bool ParseQosSpec(const std::string& text,
   return !out->empty();
 }
 
+/// "--chaos write_fail=0.1,sync_fail=0.05,read_corrupt=0.1,seed=7,
+/// match=ckpt,shed_every=3" → fault plan + shed cadence. Any subset of
+/// keys; unknown keys are an error.
+bool ParseChaosSpec(const std::string& text, FaultPlan* plan,
+                    std::size_t* shed_every) {
+  for (const std::string& field : Split(text, ',')) {
+    if (field.empty()) continue;
+    const auto eq = field.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "match") {
+      plan->path_match = value;
+      continue;
+    }
+    if (key == "seed" || key == "shed_every") {
+      int v = 0;
+      if (!ParseInt(value, &v) || v < 0) return false;
+      if (key == "seed") {
+        plan->seed = static_cast<std::uint64_t>(v);
+      } else {
+        *shed_every = static_cast<std::size_t>(v);
+      }
+      continue;
+    }
+    double rate = 0.0;
+    if (!ParseDouble(value, &rate) || rate < 0.0 || rate > 1.0) {
+      return false;
+    }
+    if (key == "write_fail") {
+      plan->write_fail_rate = rate;
+    } else if (key == "sync_fail") {
+      plan->sync_fail_rate = rate;
+    } else if (key == "read_corrupt") {
+      plan->read_corrupt_rate = rate;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+JsonValue RecoveryJson(const RecoveryReport& report) {
+  JsonValue out = OkLine("recover");
+  out["sessions_resumed"] =
+      static_cast<std::int64_t>(report.sessions_resumed);
+  out["sessions_fresh"] = static_cast<std::int64_t>(report.sessions_fresh);
+  out["sessions_failed"] =
+      static_cast<std::int64_t>(report.sessions_failed);
+  out["checkpoint_fallbacks"] =
+      static_cast<std::int64_t>(report.checkpoint_fallbacks);
+  out["fingerprint_mismatches"] =
+      static_cast<std::int64_t>(report.fingerprint_mismatches);
+  out["events_replayed"] =
+      static_cast<std::int64_t>(report.events_replayed);
+  out["torn_tail_records"] =
+      static_cast<std::int64_t>(report.torn_tail_records);
+  out["unknown_event_records"] =
+      static_cast<std::int64_t>(report.unknown_event_records);
+  JsonValue quarantined = JsonValue::Array();
+  for (const std::string& id : report.quarantined) {
+    quarantined.Append(JsonValue(id));
+  }
+  out["quarantined"] = std::move(quarantined);
+  return out;
+}
+
 int ServeMain(int argc, char** argv) {
   SessionManager::Options options;
   std::string metrics_prom;
   std::string flight_out;
+  std::string chaos_spec;
+  bool recover = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -335,13 +472,71 @@ int ServeMain(int argc, char** argv) {
       metrics_prom = next();
     } else if (arg == "--flight-out") {
       flight_out = next();
+    } else if (arg == "--state-dir") {
+      options.state_dir = next();
+    } else if (arg == "--recover") {
+      recover = true;
+    } else if (arg == "--max-queue") {
+      int v = 0;
+      if (ParseInt(next(), &v) && v >= 0) {
+        options.max_queued_requests = static_cast<std::size_t>(v);
+      }
+    } else if (arg == "--retry-after-ms") {
+      int v = 0;
+      if (ParseInt(next(), &v) && v >= 0) {
+        options.retry_after_ms = v;
+      }
+    } else if (arg == "--chaos") {
+      chaos_spec = next();
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
     }
   }
+  if (recover && options.state_dir.empty()) {
+    std::fprintf(stderr, "--recover requires --state-dir\n");
+    return 2;
+  }
+
+  FaultPlan chaos_plan;
+  std::unique_ptr<FaultInjectingFileIo> chaos_io;
+  if (!chaos_spec.empty()) {
+    std::size_t shed_every = 0;
+    if (!ParseChaosSpec(chaos_spec, &chaos_plan, &shed_every)) {
+      std::fprintf(stderr, "bad --chaos spec\n");
+      return 2;
+    }
+    options.debug_shed_every = shed_every;
+    chaos_io = std::make_unique<FaultInjectingFileIo>(chaos_plan);
+    options.io = chaos_io.get();
+  }
+
+  const std::string default_checkpoint_dir =
+      options.state_dir.empty() ? std::string()
+                                : options.state_dir + "/checkpoints";
 
   SessionManager manager(options);
+  if (recover) {
+    const auto resolver =
+        [&default_checkpoint_dir](
+            const ManifestEvent& event) -> Result<SessionSpec> {
+      BAYESCROWD_ASSIGN_OR_RETURN(const JsonValue doc,
+                                  JsonValue::Parse(event.spec_blob));
+      SessionSpec spec;
+      BAYESCROWD_RETURN_NOT_OK(
+          SpecFromJson(doc, default_checkpoint_dir, &spec));
+      return spec;
+    };
+    Result<RecoveryReport> recovered = manager.Recover(resolver);
+    if (!recovered.ok()) {
+      std::cout << ErrorLine(recovered.status().ToString()).Dump() << "\n"
+                << std::flush;
+      return 1;
+    }
+    std::cout << RecoveryJson(recovered.value()).Dump() << "\n"
+              << std::flush;
+  }
+
   std::string line;
   bool shutdown = false;
   while (!shutdown && std::getline(std::cin, line)) {
@@ -353,7 +548,8 @@ int ServeMain(int argc, char** argv) {
           ErrorLine(StrFormat("bad request line: %s",
                               parsed.status().ToString().c_str()));
     } else {
-      response = HandleOne(&manager, parsed.value());
+      response = HandleOne(&manager, parsed.value(),
+                           default_checkpoint_dir);
       const JsonValue* op = parsed.value().Find("op");
       shutdown = op != nullptr && op->AsString() == "shutdown";
     }

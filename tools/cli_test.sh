@@ -11,7 +11,11 @@
 # Also pins the bayescrowd_serve JSONL protocol against committed golden
 # fixtures (tests/testdata/serve_golden_*.jsonl) and its bad-input
 # behavior: a malformed request line gets a one-line diagnostic and the
-# connection survives; bad flags exit 2 without starting the loop.
+# connection survives; bad flags exit 2 without starting the loop. The
+# crash-only serving wire formats ride along: the deadline_ms echo on
+# advance, the overloaded/retry_after_ms shed response, --recover's
+# leading op:recover report line after a kill, and the --recover /
+# --chaos flag validation.
 #
 # Usage: cli_test.sh <path-to-bayescrowd_cli> <path-to-bayescrowd_serve>
 
@@ -250,8 +254,11 @@ sed -n 2p "${WORK}/serve_bad.jsonl" | grep -q '"ok":true' \
   || fail "serve must keep serving after a malformed line"
 
 # serve: unknown ops get a structured error, not a dropped connection.
+# (Capture to a file rather than piping through head: closing the pipe
+# early races the server's next write into a SIGPIPE under pipefail.)
 printf '{"op":"frobnicate"}\n{"op":"shutdown"}\n' \
-  | "${SERVE}" | head -n 1 | grep -q "unknown op 'frobnicate'" \
+  | "${SERVE}" > "${WORK}/serve_unknown.jsonl"
+head -n 1 "${WORK}/serve_unknown.jsonl" | grep -q "unknown op 'frobnicate'" \
   || fail "unknown op must produce a structured error line"
 
 # serve: bad flags exit 2 before the request loop starts.
@@ -259,5 +266,63 @@ rc=0; "${SERVE}" --no-such-flag </dev/null >/dev/null 2>&1 || rc=$?
 [ "${rc}" -eq 2 ] || fail "serve must exit 2 on an unknown flag, got ${rc}"
 rc=0; "${SERVE}" --qos "heavy=bogus" </dev/null >/dev/null 2>&1 || rc=$?
 [ "${rc}" -eq 2 ] || fail "serve must exit 2 on a bad --qos spec, got ${rc}"
+
+# serve: --recover without a journal to recover from is a usage error.
+rc=0; "${SERVE}" --recover </dev/null >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || fail "serve --recover without --state-dir must exit 2"
+rc=0; "${SERVE}" --chaos "write_fail=bogus" </dev/null >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || fail "serve must exit 2 on a bad --chaos spec, got ${rc}"
+
+# serve: an advance carrying a deadline echoes it in the response —
+# clients correlate degraded answers with the deadline they set.
+printf '%s\n' \
+  '{"op":"create","id":"d1","tenant":"t","dataset":{"kind":"nba","n":60,"seed":9,"missing_rate":0.2,"missing_seed":5},"alpha":0.01,"budget":8,"latency":4}' \
+  '{"op":"advance","id":"d1","rounds":1,"deadline_ms":5000}' \
+  '{"op":"shutdown"}' \
+  | "${SERVE}" > "${WORK}/serve_deadline.jsonl"
+sed -n 2p "${WORK}/serve_deadline.jsonl" | grep -q '"deadline_ms":5000' \
+  || fail "advance with deadline_ms must echo the deadline"
+sed -n 2p "${WORK}/serve_deadline.jsonl" | grep -q '"ok":true' \
+  || fail "deadlined advance must still succeed"
+
+# serve: the deterministic shed trip (--chaos shed_every=N) answers
+# Unavailable with the machine-readable retry hint, and the very next
+# stepping request goes through — shedding leaves no residue.
+printf '%s\n' \
+  '{"op":"create","id":"s1","tenant":"t","dataset":{"kind":"nba","n":60,"seed":9,"missing_rate":0.2,"missing_seed":5},"alpha":0.01,"budget":8,"latency":4}' \
+  '{"op":"advance","id":"s1","rounds":1}' \
+  '{"op":"advance","id":"s1","rounds":1}' \
+  '{"op":"advance","id":"s1","rounds":1}' \
+  '{"op":"shutdown"}' \
+  | "${SERVE}" --chaos "shed_every=2" --retry-after-ms 75 \
+  > "${WORK}/serve_shed.jsonl"
+sed -n 3p "${WORK}/serve_shed.jsonl" \
+  | grep -q '"ok":false.*"overloaded":true.*"retry_after_ms":75' \
+  || fail "the tripped request must answer overloaded with the retry hint"
+sed -n 4p "${WORK}/serve_shed.jsonl" | grep -q '"ok":true' \
+  || fail "the stepping request after a shed must succeed"
+
+# serve: kill a journaled server between requests, then --recover must
+# answer with the op:recover report line and resume the session — the
+# post-recovery finish must not error.
+STATE="${WORK}/serve-state"
+mkdir -p "${STATE}"
+printf '%s\n' \
+  '{"op":"create","id":"k1","tenant":"t","dataset":{"kind":"nba","n":120,"seed":9,"missing_rate":0.15,"missing_seed":5},"alpha":0.01,"budget":24,"latency":4,"m":5,"checkpoint_every":1}' \
+  '{"op":"advance","id":"k1","rounds":2}' \
+  | "${SERVE}" --state-dir "${STATE}" > "${WORK}/serve_precrash.jsonl"
+# EOF without shutdown/finish plays the crash: the manifest and the
+# round-1 checkpoint are on disk, the session was never retired.
+printf '%s\n' \
+  '{"op":"advance","id":"k1","rounds":100}' \
+  '{"op":"finish","id":"k1"}' \
+  '{"op":"shutdown"}' \
+  | "${SERVE}" --state-dir "${STATE}" --recover \
+  > "${WORK}/serve_recover.jsonl"
+head -n 1 "${WORK}/serve_recover.jsonl" \
+  | grep -q '"ok":true.*"op":"recover".*"sessions_resumed":1' \
+  || fail "--recover must lead with the recovery report line"
+! grep -q '"ok":false' "${WORK}/serve_recover.jsonl" \
+  || fail "post-recovery requests must all succeed"
 
 echo "cli_test: all checks passed"

@@ -223,6 +223,81 @@ grep -q 'serve_qos_degrades{session="h1",tenant="heavy"} 2' "$SMOKE/serve.prom"
 grep -q 'serve_rounds{session="h1",tenant="heavy"}' "$SMOKE/serve.prom"
 grep -q '"kind":"qos_degrade"' "$SMOKE/serve_flight.jsonl"
 
+echo "== tier-1: serve chaos smoke (quarantine, shed, kill -9, recover) =="
+# Phase A: live chaos. A tenant whose checkpoint writes always fail
+# (--chaos with a path match on its checkpoint dir) must be quarantined
+# after the failure threshold, the deterministic shed trip must answer
+# "overloaded" with a retry hint, and the healthy tenant must still
+# finish exact — one tenant's broken disk is not another's outage.
+printf '%s\n' \
+  '{"op":"create","id":"p1","tenant":"poison","dataset":{"kind":"nba","n":120,"seed":9,"missing_rate":0.15,"missing_seed":5},"alpha":0.01,"budget":12,"latency":4,"m":5,"checkpoint_dir":"'"$SMOKE"'/poison-ckpt","checkpoint_every":1}' \
+  '{"op":"create","id":"g1","tenant":"good","dataset":{"kind":"nba","n":100,"seed":10,"missing_rate":0.18,"missing_seed":7},"alpha":0.01,"budget":12,"latency":3}' \
+  '{"op":"advance","id":"p1","rounds":1}' \
+  '{"op":"advance","id":"p1","rounds":1}' \
+  '{"op":"advance","id":"p1","rounds":1}' \
+  '{"op":"advance","id":"g1","rounds":100}' \
+  '{"op":"advance","id":"g1","rounds":100}' \
+  '{"op":"advance","id":"g1","rounds":100}' \
+  '{"op":"advance","id":"g1","rounds":100}' \
+  '{"op":"advance","id":"g1","rounds":100}' \
+  '{"op":"finish","id":"g1"}' \
+  '{"op":"finish","id":"g1"}' \
+  '{"op":"shutdown"}' \
+  | "$SERVE" --threads 4 \
+      --chaos "write_fail=1.0,seed=7,match=poison-ckpt,shed_every=9" \
+      --flight-out "$SMOKE/chaos_flight.jsonl" > "$SMOKE/chaos_out.jsonl"
+grep -q '"kind":"quarantine"' "$SMOKE/chaos_flight.jsonl"
+grep -q '"overloaded":true' "$SMOKE/chaos_out.jsonl"
+grep -q '"retry_after_ms"' "$SMOKE/chaos_out.jsonl"
+grep -q '"id":"g1".*"exact":true' "$SMOKE/chaos_out.jsonl"
+
+# Phase B: the crash. A journaled server (--state-dir) is fed three
+# checkpoint-every-round sessions through a fifo, advanced a couple of
+# rounds, then SIGKILLed — no shutdown, no flush. The restart with
+# --recover must replay the manifest, resume all three, drain them to
+# completion, and export the recovery series in the scrape file.
+STATE="$SMOKE/serve-state"
+mkdir -p "$STATE"
+FIFO="$SMOKE/serve.fifo"
+mkfifo "$FIFO"
+"$SERVE" --threads 4 --state-dir "$STATE" \
+  < "$FIFO" > "$SMOKE/precrash_out.jsonl" &
+SERVE_PID=$!
+exec 3>"$FIFO"
+printf '%s\n' \
+  '{"op":"create","id":"r1","tenant":"acme","dataset":{"kind":"nba","n":120,"seed":9,"missing_rate":0.15,"missing_seed":5},"alpha":0.01,"budget":24,"latency":4,"m":5,"checkpoint_every":1}' \
+  '{"op":"create","id":"r2","tenant":"bravo","dataset":{"kind":"nba","n":100,"seed":10,"missing_rate":0.18,"missing_seed":7},"alpha":0.01,"budget":12,"latency":3,"checkpoint_every":1}' \
+  '{"op":"create","id":"r3","tenant":"acme","dataset":{"kind":"nba","n":120,"seed":11,"missing_rate":0.15,"missing_seed":5},"alpha":0.01,"budget":12,"latency":4,"m":5,"checkpoint_every":1}' \
+  '{"op":"advance","id":"r1","rounds":2}' \
+  '{"op":"advance","id":"r2","rounds":1}' \
+  '{"op":"advance","id":"r3","rounds":1}' >&3
+# Wait until all six responses are durable, so the kill lands between
+# verbs (the killpoint *matrix* lives in serve_killpoint_test; this
+# smoke proves the real-process SIGKILL + --recover round trip).
+for _ in $(seq 1 100); do
+  [ "$(wc -l < "$SMOKE/precrash_out.jsonl")" -ge 6 ] && break
+  sleep 0.2
+done
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+exec 3>&-
+rm -f "$FIFO"
+printf '%s\n' \
+  '{"op":"advance","id":"r1","rounds":100}' \
+  '{"op":"advance","id":"r2","rounds":100}' \
+  '{"op":"advance","id":"r3","rounds":100}' \
+  '{"op":"finish","id":"r1"}' \
+  '{"op":"finish","id":"r2"}' \
+  '{"op":"finish","id":"r3"}' \
+  '{"op":"shutdown"}' \
+  | "$SERVE" --threads 4 --state-dir "$STATE" --recover \
+      --metrics-prom "$SMOKE/recover.prom" > "$SMOKE/recover_out.jsonl"
+head -1 "$SMOKE/recover_out.jsonl" | grep -q '"op":"recover"'
+head -1 "$SMOKE/recover_out.jsonl" | grep -q '"sessions_resumed":3'
+! grep -q '"ok":false' "$SMOKE/recover_out.jsonl"
+grep -q '"id":"r1".*"exact":true' "$SMOKE/recover_out.jsonl"
+grep -q 'serve_recovery_sessions_resumed 3' "$SMOKE/recover.prom"
+
 echo "== tier-1: crash-safety tests under ASan+UBSan =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" \
   -DBC_SANITIZE=address,undefined \
@@ -231,9 +306,10 @@ cmake -B "$ROOT/build-asan" -S "$ROOT" \
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target checkpoint_test \
   --target killpoint_test --target fault_test --target differential_test \
   --target governor_test --target compile_test --target obs_test \
-  --target attribution_test --target serve_test
+  --target attribution_test --target serve_test \
+  --target serve_killpoint_test
 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test|compile_test|obs_test|attribution_test|serve_test)'
+  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test|compile_test|obs_test|attribution_test|serve_test|serve_killpoint_test)'
 
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
@@ -243,8 +319,9 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
   --target obs_test --target attribution_test --target differential_test \
   --target fault_test --target record_replay_test --target governor_test \
-  --target compile_test --target serve_test
+  --target compile_test --target serve_test \
+  --target serve_killpoint_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
-  -R '(parallel_test|obs_test|attribution_test|differential_test|fault_test|record_replay_test|governor_test|compile_test|serve_test)'
+  -R '(parallel_test|obs_test|attribution_test|differential_test|fault_test|record_replay_test|governor_test|compile_test|serve_test|serve_killpoint_test)'
 
 echo "tier-1 OK"
