@@ -71,6 +71,29 @@ struct RetryPolicy {
   std::size_t max_barren_rounds = 3;
 };
 
+/// Budget accounting for adaptive vote allocation (the marketplace
+/// platform buys extra votes on low-confidence tasks). The platform
+/// decides *where* to spend votes; this policy tells the round loop how
+/// to charge them: each vote beyond `base_votes` on an answered task
+/// costs `extra_vote_cost` × the task's cost, drawn from the same
+/// budget with the same refund semantics as tasks themselves.
+/// Disabled (the default) keeps budget math bit-identical to the fixed
+/// 3-vote world even when a vote-reporting platform is attached.
+struct AdaptiveVotePolicy {
+  bool enabled = false;
+
+  /// Votes included in a task's base price.
+  std::size_t base_votes = 3;
+
+  /// The platform's fan-out ceiling, used to reserve budget
+  /// pessimistically when deciding how many tasks fit in a round.
+  std::size_t max_votes = 3;
+
+  /// Cost of one extra vote, as a fraction of the task's cost (one
+  /// vote of a 3-vote task = 1/3).
+  double extra_vote_cost = 1.0 / 3.0;
+};
+
 struct BayesCrowdOptions {
   /// Modeling-phase options (α pruning, dominator algorithm).
   CTableOptions ctable;
@@ -124,6 +147,9 @@ struct BayesCrowdOptions {
   /// inert on a healthy platform: one attempt per round, nothing
   /// refunded, behavior bit-identical to the pre-retry framework.
   RetryPolicy retry;
+
+  /// Adaptive vote-allocation charging (inert by default).
+  AdaptiveVotePolicy adaptive;
 
   /// Worker lanes for probability evaluation (entropy ranking and
   /// UBS/HHS counterfactual scoring). 0 = hardware concurrency; 1 runs
@@ -237,6 +263,8 @@ struct BayesCrowdResult {
 
   /// Fault-recovery totals (all zero on a healthy platform).
   std::size_t tasks_unanswered = 0;   // Abstained/dropped, refunded.
+  /// Extra votes charged under the adaptive policy (0 when disabled).
+  std::size_t extra_votes = 0;
   std::size_t retries = 0;            // Re-posts after transient failures.
   std::size_t transient_failures = 0; // Unavailable PostBatch attempts.
   std::size_t rounds_abandoned = 0;   // Rounds where no attempt landed.

@@ -35,6 +35,14 @@ Status QueryRunner::Init(const Table& incomplete,
     return Status::InvalidArgument("retry policy times must be >= 0 and "
                                    "the backoff multiplier >= 1");
   }
+  if (options_.adaptive.enabled &&
+      (options_.adaptive.base_votes == 0 ||
+       options_.adaptive.max_votes < options_.adaptive.base_votes ||
+       options_.adaptive.extra_vote_cost < 0.0)) {
+    return Status::InvalidArgument(
+        "adaptive votes: base_votes must be >= 1, max_votes >= "
+        "base_votes, and extra_vote_cost >= 0");
+  }
 
   Stopwatch init_watch;
   run_span_.emplace("bayescrowd.run");
@@ -102,6 +110,7 @@ Status QueryRunner::Init(const Table& incomplete,
   };
   cost_crowd_tasks_ = crowd_cost("cost.crowd_tasks");
   cost_retry_refunds_ = crowd_cost("cost.retry_refunds");
+  cost_extra_votes_ = crowd_cost("cost.extra_votes");
 
   flight_ = options_.flight;
   solver_before_ = evaluator.solver_stats();
@@ -192,6 +201,11 @@ Status QueryRunner::Init(const Table& incomplete,
     out_.cost_spent = st.cost_spent;
     out_.cost_refunded = st.cost_refunded;
     out_.tasks_unanswered = st.tasks_unanswered;
+    // Not a SessionState field (the envelope is byte-pinned by the v2
+    // golden): the restored metrics snapshot carries the labeled
+    // cost.extra_votes counter, which is the same total.
+    out_.extra_votes =
+        static_cast<std::size_t>(cost_extra_votes_->value());
     out_.retries = st.retries;
     out_.transient_failures = st.transient_failures;
     out_.rounds_abandoned = st.rounds_abandoned;
@@ -478,6 +492,17 @@ Status QueryRunner::StepImpl() {
   BAYESCROWD_ASSIGN_OR_RETURN(
       std::vector<Task> batch,
       SelectTasks(ctable_, ranked, k, evaluator, options_.strategy));
+  // Adaptive allocation can buy up to (max - base) extra votes per
+  // answered task, each at extra_vote_cost x the task's price. The trim
+  // reserves for the worst case so a round can never overdraw the
+  // budget, whatever the marketplace spends.
+  const AdaptiveVotePolicy& adaptive = options_.adaptive;
+  const double vote_reserve =
+      adaptive.enabled
+          ? 1.0 + adaptive.extra_vote_cost *
+                      static_cast<double>(adaptive.max_votes -
+                                          adaptive.base_votes)
+          : 1.0;
   double batch_cost = 0.0;
   std::size_t affordable = 0;
   for (const Task& task : batch) {
@@ -485,8 +510,8 @@ Status QueryRunner::StepImpl() {
     if (cost <= 0.0) {
       return Status::InvalidArgument("task cost must be positive");
     }
-    if (batch_cost + cost > budget_left_ + 1e-9) break;
-    batch_cost += cost;
+    if (batch_cost + cost * vote_reserve > budget_left_ + 1e-9) break;
+    batch_cost += cost * vote_reserve;
     ++affordable;
   }
   batch.resize(affordable);
@@ -596,11 +621,24 @@ Status QueryRunner::StepImpl() {
   double charged = 0.0;
   double refunded = 0.0;
   std::size_t answered = 0;
+  std::size_t round_extra_votes = 0;
   for (std::size_t t = 0; t < batch.size(); ++t) {
     const double cost = cost_model_->Cost(batch[t]);
     if (answers[t].answered) {
       charged += cost;
       ++answered;
+      // Adaptive allocation: each vote the platform bought beyond the
+      // base fan-out on an *answered* task is charged at a fraction of
+      // that task's price (abstained tasks refund in full, extras
+      // included — the marketplace eats its own exploration cost).
+      if (adaptive.enabled &&
+          answers[t].votes.size() > adaptive.base_votes) {
+        const std::size_t extra =
+            answers[t].votes.size() - adaptive.base_votes;
+        charged += static_cast<double>(extra) *
+                   adaptive.extra_vote_cost * cost;
+        round_extra_votes += extra;
+      }
     } else {
       refunded += cost;
     }
@@ -609,9 +647,11 @@ Status QueryRunner::StepImpl() {
   out_.cost_spent += charged;
   out_.cost_refunded += refunded;
   out_.tasks_unanswered += batch.size() - answered;
+  out_.extra_votes += round_extra_votes;
   unanswered_counter_->Increment(batch.size() - answered);
   cost_crowd_tasks_->Increment(answered);
   cost_retry_refunds_->Increment(batch.size() - answered);
+  cost_extra_votes_->Increment(round_extra_votes);
 
   // Fold the answers that arrived into the knowledge base.
   std::set<CellRef> touched;

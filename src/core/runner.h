@@ -150,6 +150,7 @@ class QueryRunner {
   obs::Counter* breaker_skips_counter_ = nullptr;
   obs::Counter* cost_crowd_tasks_ = nullptr;
   obs::Counter* cost_retry_refunds_ = nullptr;
+  obs::Counter* cost_extra_votes_ = nullptr;
 
   obs::FlightRecorder* flight_ = nullptr;
   GovernorTally solver_before_;

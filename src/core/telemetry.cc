@@ -125,6 +125,7 @@ obs::JsonValue RunTelemetryJson(const std::string& name,
   res["tasks_posted"] = result.tasks_posted;
   res["rounds"] = result.rounds;
   res["cost_spent"] = result.cost_spent;
+  res["extra_votes"] = result.extra_votes;
   res["stopped_confident"] = result.stopped_confident;
   res["degraded"] = result.degraded;
   res["resumed"] = result.resumed;

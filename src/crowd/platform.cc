@@ -195,17 +195,17 @@ Result<std::vector<TaskAnswer>> SimulatedCrowdPlatform::PostBatch(
       answers.push_back({answer});
       continue;
     }
-    // Anonymous mode: majority with random tie-break (paper behaviour).
+    // Anonymous mode: majority vote, ties broken toward the
+    // first-listed tied option — the same deterministic rule as
+    // quality.h's MajorityVote, so the two aggregation paths can never
+    // disagree on identical votes.
     int votes[3] = {0, 0, 0};
     for (int w = 0; w < options_.workers_per_task; ++w) {
       votes[static_cast<int>(WorkerVote(truth))] += 1;
     }
     int best = 0;
     for (int o = 1; o < 3; ++o) {
-      if (votes[o] > votes[best] ||
-          (votes[o] == votes[best] && rng_.NextBool(0.5))) {
-        best = o;
-      }
+      if (votes[o] > votes[best]) best = o;
     }
     answers.push_back({static_cast<Ordering>(best)});
   }

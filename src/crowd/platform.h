@@ -63,7 +63,9 @@ class CrowdPlatform {
 
 /// How the per-task votes are combined into one answer.
 enum class AggregationMethod : std::uint8_t {
-  kMajority,           // Plain majority, random tie-break (the paper).
+  kMajority,           // Plain majority; ties break deterministically
+                       // toward the first-listed tied option (matching
+                       // quality.h's MajorityVote).
   kWeightedTrue,       // Accuracy-weighted vote with true accuracies.
   kWeightedEstimated,  // Weighted with gold-task accuracy estimates.
 };

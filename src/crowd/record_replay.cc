@@ -2,10 +2,12 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <string_view>
 
 #include "common/string_util.h"
 
@@ -37,6 +39,42 @@ bool ParseRelation(const std::string& text, Ordering* out) {
   return true;
 }
 
+// One v3 vote token: `<worker>:<relation char>:<work_ms>`. Work times
+// are written as integer milliseconds so a parse → serialize round trip
+// is byte-identical (the marketplace quantizes to 1ms).
+bool ParseVoteToken(const std::string& token, VoteRecord* out) {
+  const std::size_t c1 = token.find(':');
+  if (c1 == std::string::npos) return false;
+  const std::size_t c2 = token.find(':', c1 + 1);
+  if (c2 == std::string::npos || c2 == token.size() - 1) return false;
+  Ordering relation = Ordering::kEqual;
+  if (!ParseRelation(token.substr(c1 + 1, c2 - c1 - 1), &relation)) {
+    return false;
+  }
+  const auto parse_digits = [](std::string_view text,
+                               std::uint64_t* value) {
+    if (text.empty() || text.size() > 18) return false;
+    *value = 0;
+    for (char c : text) {
+      if (c < '0' || c > '9') return false;
+      *value = *value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return true;
+  };
+  std::uint64_t worker = 0;
+  std::uint64_t ms = 0;
+  const std::string_view view(token);
+  if (!parse_digits(view.substr(0, c1), &worker) ||
+      worker > 0xFFFFFFFFull ||
+      !parse_digits(view.substr(c2 + 1), &ms)) {
+    return false;
+  }
+  out->worker = static_cast<std::uint32_t>(worker);
+  out->answer = relation;
+  out->work_seconds = static_cast<double>(ms) / 1000.0;
+  return true;
+}
+
 }  // namespace
 
 std::string SerializeAnswerLogEntry(const AnswerLogEntry& entry) {
@@ -57,12 +95,18 @@ std::string SerializeAnswerLogEntry(const AnswerLogEntry& entry) {
   const char relation = entry.kind == AnswerLogEntry::Kind::kAbstain
                             ? 'a'
                             : RelationChar(entry.relation);
-  out << " " << relation << " " << entry.round << "\n";
+  out << " " << relation << " " << entry.round;
+  for (const VoteRecord& vote : entry.votes) {
+    out << " " << vote.worker << ":" << RelationChar(vote.answer) << ":"
+        << static_cast<std::uint64_t>(
+               std::llround(vote.work_seconds * 1000.0));
+  }
+  out << "\n";
   return out.str();
 }
 
 std::string SerializeAnswerLog(const AnswerLog& log) {
-  std::string out = "# bayescrowd answer log v2\n";
+  std::string out = "# bayescrowd answer log v3\n";
   for (const AnswerLogEntry& entry : log.entries) {
     out += SerializeAnswerLogEntry(entry);
   }
@@ -122,6 +166,17 @@ Result<AnswerLog> ParseAnswerLog(const std::string& text) {
                                      std::string(trimmed) + "'");
     }
     entry.expression.op = op == ">" ? CmpOp::kGreater : CmpOp::kLess;
+    // v3 vote tokens, if any, trail the round.
+    std::string token;
+    while (fields >> token) {
+      VoteRecord vote;
+      if (!ParseVoteToken(token, &vote)) {
+        return Status::InvalidArgument("answer log: malformed vote '" +
+                                       token + "' in line '" +
+                                       std::string(trimmed) + "'");
+      }
+      entry.votes.push_back(vote);
+    }
     log.entries.push_back(entry);
   }
   return log;
@@ -182,7 +237,7 @@ Result<std::unique_ptr<FileAnswerLogSink>> FileAnswerLogSink::Open(
                               io->OpenAppend(path, truncate));
   BAYESCROWD_ASSIGN_OR_RETURN(const std::uint64_t size, file->Size());
   if (size == 0) {
-    BAYESCROWD_RETURN_NOT_OK(file->Append("# bayescrowd answer log v2\n"));
+    BAYESCROWD_RETURN_NOT_OK(file->Append("# bayescrowd answer log v3\n"));
     BAYESCROWD_RETURN_NOT_OK(file->Sync());
   }
   return std::unique_ptr<FileAnswerLogSink>(
@@ -232,6 +287,7 @@ Result<std::vector<TaskAnswer>> RecordingPlatform::PostBatch(
     entry.expression = tasks[t].expression;
     entry.relation = answers[t].relation;
     entry.round = inner_.total_rounds();
+    entry.votes = answers[t].votes;
     log_.entries.push_back(entry);
     batch.push_back(entry);
   }
@@ -283,6 +339,7 @@ Result<std::vector<TaskAnswer>> ReplayingPlatform::PostBatch(
     TaskAnswer answer;
     answer.relation = entry.relation;
     answer.answered = entry.kind == AnswerLogEntry::Kind::kAnswer;
+    answer.votes = entry.votes;
     answers.push_back(answer);
     ++cursor_;
     ++served;

@@ -9,6 +9,7 @@
 #ifndef BAYESCROWD_CROWD_TASK_H_
 #define BAYESCROWD_CROWD_TASK_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,15 @@ struct Task {
   std::string QuestionText(const Table& table) const;
 };
 
+/// One worker's contribution to a task: who answered, what they said,
+/// and how long they worked (simulated seconds, quantized to whole
+/// milliseconds so answer logs round-trip byte-identically).
+struct VoteRecord {
+  std::uint32_t worker = 0;
+  Ordering answer = Ordering::kEqual;
+  double work_seconds = 0.0;
+};
+
 /// The aggregated (majority-vote) answer to one task.
 struct TaskAnswer {
   /// Relation of the expression's left operand to its right operand.
@@ -40,6 +50,12 @@ struct TaskAnswer {
   /// framework refunds the task's cost and returns it to the candidate
   /// pool.
   bool answered = true;
+
+  /// Per-vote provenance (worker id, raw answer, work time). Empty for
+  /// platforms that only report the aggregate — the marketplace fills
+  /// it, the recorder persists it (answer-log v3), and the replayer
+  /// restores it so adaptive-vote budget charging replays identically.
+  std::vector<VoteRecord> votes;
 };
 
 /// True when two tasks share a variable — such tasks may conflict and

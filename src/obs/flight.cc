@@ -29,13 +29,15 @@ const char* FlightEventKindToString(FlightEventKind kind) {
     case FlightEventKind::kQuarantine: return "quarantine";
     case FlightEventKind::kOverload: return "overload";
     case FlightEventKind::kRecovery: return "recovery";
+    case FlightEventKind::kKappaCollapse: return "kappa_collapse";
+    case FlightEventKind::kWorkerQuarantine: return "worker_quarantine";
   }
   return "unknown";
 }
 
 bool ParseFlightEventKind(const std::string& name, FlightEventKind* out) {
-  for (int i = 0; i <= static_cast<int>(FlightEventKind::kRecovery);
-       ++i) {
+  for (int i = 0;
+       i <= static_cast<int>(FlightEventKind::kWorkerQuarantine); ++i) {
     const auto kind = static_cast<FlightEventKind>(i);
     if (name == FlightEventKindToString(kind)) {
       *out = kind;

@@ -42,6 +42,9 @@ enum class FlightEventKind : std::uint8_t {
   kQuarantine = 12,     // Poison session isolated after repeated failures.
   kOverload = 13,       // Request shed at the bounded admission queue.
   kRecovery = 14,       // Session mass-resumed from the serve manifest.
+  // Crowd-marketplace defense events (src/crowd/marketplace.h).
+  kKappaCollapse = 15,    // Round agreement fell below the kappa floor.
+  kWorkerQuarantine = 16, // Worker(s) quarantined by joint inference.
 };
 
 const char* FlightEventKindToString(FlightEventKind kind);

@@ -174,8 +174,16 @@ Status SessionManager::CreateImpl(SessionSpec spec, bool journal) {
 
   auto session = std::make_unique<Session>();
   session->scope = CacheScope(spec.tenant, spec.cache_key);
-  session->platform = std::make_unique<SimulatedCrowdPlatform>(
-      spec.ground_truth, spec.platform);
+  if (spec.use_marketplace) {
+    auto market = std::make_unique<MarketplaceCrowdPlatform>(
+        spec.ground_truth, spec.marketplace);
+    market->BindMetrics(&session->metrics);
+    market->SetFlightRecorder(flight_);
+    session->platform = std::move(market);
+  } else {
+    session->platform = std::make_unique<SimulatedCrowdPlatform>(
+        spec.ground_truth, spec.platform);
+  }
   session->posteriors =
       spec.posteriors != nullptr
           ? spec.posteriors

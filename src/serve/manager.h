@@ -62,6 +62,7 @@
 #include "common/thread_pool.h"
 #include "core/checkpoint.h"
 #include "core/runner.h"
+#include "crowd/marketplace.h"
 #include "crowd/platform.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
@@ -102,6 +103,15 @@ struct SessionSpec {
   Table incomplete;    // The queried table (with missing cells).
   Table ground_truth;  // Simulated crowd's answer source.
   SimulatedPlatformOptions platform;
+
+  /// When true the session's crowd is the adversarial marketplace
+  /// (crowd/marketplace.h) — individual workers with churn, spam
+  /// defense, adaptive votes — instead of the flat simulated mixture;
+  /// `platform` above is then ignored. The marketplace's learned
+  /// reputations ride the session checkpoint, so recover/resume keeps
+  /// quarantines.
+  bool use_marketplace = false;
+  MarketplaceOptions marketplace;
 
   /// Per-session query options. `pool`, `metrics` and `session` are
   /// overwritten by the manager (shared pool, per-session registry,
@@ -340,7 +350,7 @@ class SessionManager {
 
     obs::MetricsRegistry metrics;  // Per-session; partitions telemetry.
     std::shared_ptr<PosteriorProvider> posteriors;
-    std::unique_ptr<SimulatedCrowdPlatform> platform;
+    std::unique_ptr<CrowdPlatform> platform;
     std::unique_ptr<CheckpointStore> store;
     // Alive for the runner's lifetime: BayesCrowdOptions::resume holds
     // a pointer into it.

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include "bayesnet/imputation.h"
+#include "common/binio.h"
 #include "common/random.h"
 #include "core/framework.h"
 #include "crowd/platform.h"
 #include "crowd/quality.h"
 #include "data/generators.h"
 #include "data/missing.h"
+#include "obs/metrics.h"
 #include "skyline/algorithms.h"
 #include "skyline/metrics.h"
 
@@ -52,6 +54,48 @@ TEST(VotingTest, WeightedVoteValidatesInput) {
   EXPECT_FALSE(WeightedVote({Ordering::kLess}, {0.8, 0.9}).ok());
 }
 
+TEST(VotingTest, MajorityTieBreakIsPinned) {
+  // Contract regression: both MajorityVote and the simulated platform's
+  // in-house tally break ties toward the lowest Ordering value
+  // (kLess < kEqual < kGreater), NOT toward the last vote seen. The two
+  // implementations drifted apart once; this pins them together.
+  EXPECT_EQ(MajorityVote({Ordering::kGreater, Ordering::kEqual}),
+            Ordering::kEqual);
+  EXPECT_EQ(MajorityVote({Ordering::kGreater, Ordering::kLess}),
+            Ordering::kLess);
+  EXPECT_EQ(MajorityVote({Ordering::kEqual, Ordering::kGreater,
+                          Ordering::kLess}),
+            Ordering::kLess);
+  // Vote order must not matter.
+  EXPECT_EQ(MajorityVote({Ordering::kLess, Ordering::kGreater}),
+            MajorityVote({Ordering::kGreater, Ordering::kLess}));
+}
+
+TEST(VotingTest, WeightedVoteClampEdges) {
+  // Accuracies outside [0.34, 0.999] clamp instead of exploding: 1.0
+  // would be an infinite log-odds weight, 0.0 a negative one that
+  // flips the worker into an oracle-of-wrongness. After clamping, a
+  // perfect worker still outvotes any fixed number of zeros, and every
+  // weight stays positive (a 0.0-accuracy solo voter still elects their
+  // own answer rather than its opposite).
+  const auto solo = WeightedVote({Ordering::kGreater}, {0.0});
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(solo.value(), Ordering::kGreater);
+
+  const auto oracle = WeightedVote(
+      {Ordering::kLess, Ordering::kEqual, Ordering::kEqual,
+       Ordering::kEqual},
+      {1.0, 0.0, 0.0, 0.0});
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle.value(), Ordering::kLess);
+
+  // Exactly at the clamp bounds: still finite, still deterministic.
+  const auto bounds = WeightedVote({Ordering::kEqual, Ordering::kLess},
+                                   {0.999, 0.34});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds.value(), Ordering::kEqual);
+}
+
 // ------------------------------------------------------------------ //
 // WorkerQualityTracker
 // ------------------------------------------------------------------ //
@@ -67,6 +111,28 @@ TEST(TrackerTest, ConvergesToObservedRate) {
   for (int i = 0; i < 10; ++i) tracker.Record(0, false);
   EXPECT_NEAR(tracker.Accuracy(0), 0.9, 0.02);
   EXPECT_EQ(tracker.Accuracies().size(), 1u);
+}
+
+TEST(TrackerTest, OutOfRangeWorkerIsCountedNeverUB) {
+  // A corrupt or adversarial worker id must not index past the table:
+  // Record drops the observation, Accuracy answers the prior, and both
+  // bump the bad-id event count (mirrored into the
+  // crowd.quality.bad_worker_id counter when bound).
+  obs::MetricsRegistry registry;
+  WorkerQualityTracker tracker(2);
+  tracker.BindMetrics(&registry);
+
+  tracker.Record(2, true);   // One past the end.
+  tracker.Record(9999, false);
+  EXPECT_NEAR(tracker.Accuracy(7), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(tracker.bad_worker_events(), 3u);
+  EXPECT_EQ(registry.GetCounter("crowd.quality.bad_worker_id")->value(),
+            3u);
+
+  // In-range workers are untouched by the bad traffic.
+  tracker.Record(0, true);
+  EXPECT_GT(tracker.Accuracy(0), 2.0 / 3.0);
+  EXPECT_EQ(tracker.bad_worker_events(), 3u);
 }
 
 // ------------------------------------------------------------------ //
@@ -103,6 +169,203 @@ TEST(ConsensusTest, ValidatesInput) {
                    .ok());
   EXPECT_FALSE(
       EstimateAccuraciesByConsensus({{{0, Ordering::kLess}}}, 1, 0).ok());
+}
+
+// ------------------------------------------------------------------ //
+// Fleiss kappa (collapse detector)
+// ------------------------------------------------------------------ //
+
+TEST(FleissKappaTest, PerfectAgreementIsOne) {
+  EXPECT_DOUBLE_EQ(
+      FleissKappa({{Ordering::kLess, Ordering::kLess, Ordering::kLess},
+                   {Ordering::kGreater, Ordering::kGreater}}),
+      1.0);
+}
+
+TEST(FleissKappaTest, ChanceLevelIsNearZero) {
+  // A seeded uniform-random crowd: agreement indistinguishable from
+  // chance.
+  Rng rng(31);
+  std::vector<std::vector<Ordering>> tasks(400);
+  for (auto& votes : tasks) {
+    for (int v = 0; v < 5; ++v) {
+      votes.push_back(static_cast<Ordering>(rng.NextBelow(3)));
+    }
+  }
+  EXPECT_NEAR(FleissKappa(tasks), 0.0, 0.05);
+}
+
+TEST(FleissKappaTest, SystematicDisagreementIsNegative) {
+  // Every task splits evenly between two camps — less agreement than
+  // chance would produce.
+  std::vector<std::vector<Ordering>> tasks(
+      20, {Ordering::kLess, Ordering::kGreater});
+  EXPECT_LT(FleissKappa(tasks), 0.0);
+}
+
+TEST(FleissKappaTest, DegenerateInputsReadAsHealthy) {
+  // No multi-vote task, or a crowd unanimous in one category (chance
+  // agreement total): 1.0, never NaN — the collapse detector must not
+  // trip on an empty or trivial round.
+  EXPECT_DOUBLE_EQ(FleissKappa({}), 1.0);
+  EXPECT_DOUBLE_EQ(FleissKappa({{Ordering::kLess}}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      FleissKappa({{Ordering::kEqual, Ordering::kEqual},
+                   {Ordering::kEqual, Ordering::kEqual}}),
+      1.0);
+}
+
+// ------------------------------------------------------------------ //
+// JointQualityModel (marketplace defense)
+// ------------------------------------------------------------------ //
+
+// Builds a synthetic round history: `honest` workers answering kLess
+// with plausible work times, one spammer (id = honest) answering
+// uniformly at implausible speed.
+void FeedTasks(JointQualityModel* model, std::size_t honest,
+               std::size_t tasks, Rng* rng) {
+  for (std::size_t t = 0; t < tasks; ++t) {
+    std::vector<VoteRecord> votes;
+    for (std::uint32_t w = 0; w < honest; ++w) {
+      votes.push_back({w, Ordering::kLess, 20.0 + rng->NextDouble() * 10});
+    }
+    votes.push_back({static_cast<std::uint32_t>(honest),
+                     static_cast<Ordering>(rng->NextBelow(3)),
+                     0.5 + rng->NextDouble()});
+    model->AddTask(votes);
+  }
+}
+
+TEST(JointQualityTest, WorkTimeGateQuarantinesAndLatches) {
+  Rng rng(5);
+  JointQualityModel model;
+  FeedTasks(&model, 4, 12, &rng);
+  EXPECT_EQ(model.Refresh(), 1u);  // The click-through spammer.
+  EXPECT_TRUE(model.Quarantined(4));
+  EXPECT_FALSE(model.Quarantined(0));
+  EXPECT_LT(model.MeanWorkSeconds(4),
+            model.options().min_work_seconds);
+
+  // Quarantine latches: even if the worker reforms (slow, correct
+  // votes from now on), the flag stays for the session.
+  for (int t = 0; t < 40; ++t) {
+    model.AddTask({{0, Ordering::kLess, 25.0},
+                   {4, Ordering::kLess, 25.0}});
+  }
+  EXPECT_EQ(model.Refresh(), 0u);
+  EXPECT_TRUE(model.Quarantined(4));
+  EXPECT_EQ(model.quarantined_count(), 1u);
+}
+
+TEST(JointQualityTest, NewArrivalsNeverFlaggedOnFirstImpression) {
+  // Fewer than min_observations votes: no gate may fire, however bad
+  // the early signal looks.
+  JointQualityModel model;
+  for (std::size_t t = 0; t + 1 < model.options().min_observations;
+       ++t) {
+    model.AddTask({{0, Ordering::kLess, 30.0},
+                   {1, Ordering::kLess, 30.0},
+                   {2, Ordering::kGreater, 0.1}});
+  }
+  model.Refresh();
+  EXPECT_FALSE(model.Quarantined(2));
+}
+
+TEST(JointQualityTest, GoldTasksAnchorAgainstColluderCapture) {
+  // 4 coordinated colluders infiltrate a crowd of 4 honest-but-fallible
+  // (75%) workers. The bloc's perfect mutual agreement beats the honest
+  // workers' noisy mutual agreement, so unanchored EM can elect the
+  // bloc's answer as consensus and invert the accuracy estimates. A
+  // modest fraction of operator-audited (gold) tasks pins the
+  // consensus at the truth and keeps the estimates upright.
+  Rng rng(77);
+  for (const bool gold : {false, true}) {
+    JointQualityModel model;
+    for (int t = 0; t < 60; ++t) {
+      std::vector<VoteRecord> votes;
+      for (std::uint32_t w = 0; w < 4; ++w) {  // Honest, 75% accurate.
+        const bool hit = rng.NextBool(0.75);
+        votes.push_back({w,
+                         hit ? Ordering::kLess
+                             : static_cast<Ordering>(1 + rng.NextBelow(2)),
+                         30.0});
+      }
+      for (std::uint32_t w = 4; w < 8; ++w) {  // Colluders: same lie.
+        votes.push_back({w, Ordering::kGreater, 30.0});
+      }
+      if (gold && t % 8 == 0) {
+        model.AddGoldTask(votes, Ordering::kLess);
+      } else {
+        model.AddTask(votes);
+      }
+    }
+    model.Refresh();
+    if (gold) {
+      EXPECT_GT(model.gold_tasks(), 0u);
+      for (std::size_t w = 0; w < 4; ++w) {
+        EXPECT_GT(model.Accuracy(w), 0.5) << "honest worker " << w;
+        EXPECT_FALSE(model.Quarantined(w)) << "honest worker " << w;
+      }
+      for (std::size_t w = 4; w < 8; ++w) {
+        EXPECT_LT(model.Accuracy(w), 0.3) << "colluder " << w;
+        EXPECT_TRUE(model.Quarantined(w)) << "colluder " << w;
+      }
+    } else {
+      // Unanchored: the bloc wins — every colluder outscores every
+      // honest worker, the exact inversion the anchor exists to
+      // prevent.
+      double worst_colluder = 1.0;
+      double best_honest = 0.0;
+      for (std::size_t w = 0; w < 4; ++w) {
+        best_honest = std::max(best_honest, model.Accuracy(w));
+      }
+      for (std::size_t w = 4; w < 8; ++w) {
+        worst_colluder = std::min(worst_colluder, model.Accuracy(w));
+      }
+      EXPECT_GT(worst_colluder, best_honest);
+      EXPECT_EQ(model.gold_tasks(), 0u);
+    }
+  }
+}
+
+TEST(JointQualityTest, SaveLoadRoundTrip) {
+  Rng rng(13);
+  JointQualityModel model;
+  FeedTasks(&model, 3, 10, &rng);
+  model.AddGoldTask({{0, Ordering::kEqual, 22.0},
+                     {1, Ordering::kEqual, 28.0}},
+                    Ordering::kEqual);
+  model.Refresh();
+
+  std::string blob;
+  BinWriter writer(&blob);
+  model.Save(&writer);
+
+  JointQualityModel loaded;
+  BinReader reader(blob);
+  ASSERT_TRUE(loaded.Load(&reader).ok());
+  ASSERT_EQ(loaded.num_workers(), model.num_workers());
+  EXPECT_EQ(loaded.gold_tasks(), model.gold_tasks());
+  EXPECT_EQ(loaded.tasks_accumulated(), model.tasks_accumulated());
+  for (std::size_t w = 0; w < model.num_workers(); ++w) {
+    EXPECT_DOUBLE_EQ(loaded.Accuracy(w), model.Accuracy(w));
+    EXPECT_DOUBLE_EQ(loaded.ApprovalRate(w), model.ApprovalRate(w));
+    EXPECT_DOUBLE_EQ(loaded.MeanWorkSeconds(w), model.MeanWorkSeconds(w));
+    EXPECT_EQ(loaded.Quarantined(w), model.Quarantined(w));
+  }
+
+  // And a re-save of the loaded model is byte-identical.
+  std::string again;
+  BinWriter rewriter(&again);
+  loaded.Save(&rewriter);
+  EXPECT_EQ(blob, again);
+
+  // Truncated blobs fail cleanly, never crash.
+  for (const std::size_t cut : {std::size_t{1}, blob.size() / 2}) {
+    JointQualityModel corrupt;
+    BinReader bad(std::string_view(blob).substr(0, cut));
+    EXPECT_FALSE(corrupt.Load(&bad).ok());
+  }
 }
 
 // ------------------------------------------------------------------ //

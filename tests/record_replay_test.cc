@@ -90,6 +90,63 @@ TEST(AnswerLogTest, RejectsMalformedLines) {
   EXPECT_TRUE(ParseAnswerLog("# comment\n\n").ok());       // Empty ok.
 }
 
+TEST(AnswerLogTest, V3VoteTokensRoundTrip) {
+  // Per-vote provenance (format v3): worker id, raw answer, and
+  // ms-quantized work time trail the aggregate. The marketplace's
+  // replay determinism — adaptive charging included — rides on these
+  // surviving a serialize/parse cycle byte-exactly.
+  AnswerLog log = SampleLog();
+  log.entries[0].votes = {{7, Ordering::kLess, 31.25},
+                          {2, Ordering::kEqual, 0.004},
+                          {19, Ordering::kGreater, 3600.0}};
+
+  const std::string text = SerializeAnswerLog(log);
+  EXPECT_NE(text.find(" 7:l:31250"), std::string::npos);
+  EXPECT_NE(text.find(" 2:e:4"), std::string::npos);
+  EXPECT_NE(text.find(" 19:g:3600000"), std::string::npos);
+
+  const auto parsed = ParseAnswerLog(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->entries[0].votes.size(), 3u);
+  EXPECT_EQ(parsed->entries[0].votes[0].worker, 7u);
+  EXPECT_EQ(parsed->entries[0].votes[0].answer, Ordering::kLess);
+  EXPECT_DOUBLE_EQ(parsed->entries[0].votes[0].work_seconds, 31.25);
+  EXPECT_EQ(parsed->entries[0].votes[2].worker, 19u);
+  EXPECT_TRUE(parsed->entries[1].votes.empty());
+
+  // The quantization is stable: a reparse of the reserialized text is
+  // byte-identical (the property the thread-invariance contract uses).
+  EXPECT_EQ(SerializeAnswerLog(parsed.value()), text);
+}
+
+TEST(AnswerLogTest, V2LogsWithoutVoteTokensStillLoad) {
+  // Logs recorded before vote provenance existed (v1/v2 headers, no
+  // trailing tokens) must keep loading: replaying an old session is a
+  // compatibility promise.
+  const std::string v2 =
+      "# bayescrowd answer log v2\n"
+      "vc 4 3 < 4 l 1\n"
+      "vv 4 1 > 1 1 g 1\n"
+      "vc 2 0 > 1 a 2\n"
+      "fail 3\n";
+  const auto parsed = ParseAnswerLog(v2);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->entries.size(), 4u);
+  for (const AnswerLogEntry& entry : parsed->entries) {
+    EXPECT_TRUE(entry.votes.empty());
+  }
+  EXPECT_EQ(parsed->entries[0].relation, Ordering::kLess);
+  EXPECT_EQ(parsed->entries[2].kind, AnswerLogEntry::Kind::kAbstain);
+  EXPECT_EQ(parsed->entries[3].kind, AnswerLogEntry::Kind::kFailure);
+}
+
+TEST(AnswerLogTest, RejectsMalformedVoteTokens) {
+  EXPECT_FALSE(ParseAnswerLog("vc 1 2 < 3 l 1 7:q:30\n").ok());  // Answer.
+  EXPECT_FALSE(ParseAnswerLog("vc 1 2 < 3 l 1 7:l\n").ok());     // Field.
+  EXPECT_FALSE(ParseAnswerLog("vc 1 2 < 3 l 1 x:l:30\n").ok());  // Worker.
+  EXPECT_TRUE(ParseAnswerLog("vc 1 2 < 3 l 1 7:l:30\n").ok());
+}
+
 TEST(RecordReplayTest, RecordingCapturesTranscript) {
   const Table gt = MakeSampleMovieGroundTruth();
   SimulatedCrowdPlatform live(gt, {});

@@ -527,6 +527,69 @@ TEST(SessionManagerTest, EvictThenResumeContinuesTheSameQuery) {
   EXPECT_EQ(result->rounds, reference_rounds);
 }
 
+TEST(SessionManagerTest, MarketplaceSessionResumesWithReputations) {
+  // A marketplace-crowd session under a spam storm: the learned worker
+  // reputations (and latched quarantines) ride the checkpoint, so an
+  // evict + resume must replay to exactly the uninterrupted answer.
+  const std::string dir = FreshDir("bc_serve_market_resume");
+  auto make_spec = [](const std::string& id) {
+    SessionSpec spec;
+    spec.id = id;
+    spec.tenant = "acme";
+    spec.ground_truth = MakeAnticorrelated(60, 4, 6, 5);
+    Rng rng(5);
+    spec.incomplete = InjectMissingUniform(spec.ground_truth, 0.3, rng);
+    spec.cache_key = "market-anti";
+    spec.options.ctable.alpha = -1.0;
+    spec.options.budget = 300;
+    spec.options.latency = 3;
+    spec.options.adaptive.enabled = true;
+    spec.options.adaptive.base_votes = 3;
+    spec.options.adaptive.max_votes = 5;
+    spec.use_marketplace = true;
+    spec.marketplace.pool_size = 20;
+    spec.marketplace.spam_rate = 0.3;
+    spec.marketplace.max_votes = 5;
+    spec.marketplace.seed = 99;
+    return spec;
+  };
+
+  std::vector<std::size_t> reference_objects;
+  std::size_t reference_rounds = 0;
+  {
+    SessionManager manager({.threads = 2});
+    ASSERT_TRUE(manager.Create(make_spec("ref")).ok());
+    ASSERT_TRUE(manager.Advance("ref", 100000).ok());
+    Result<BayesCrowdResult> result = manager.Finish("ref");
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->extra_votes, 0u);
+    reference_objects = result->result_objects;
+    reference_rounds = result->rounds;
+  }
+
+  SessionManager manager({.threads = 2});
+  {
+    SessionSpec spec = make_spec("m1");
+    spec.checkpoint_dir = dir;
+    ASSERT_TRUE(manager.Create(std::move(spec)).ok());
+  }
+  ASSERT_TRUE(manager.Advance("m1", 3).ok());
+  ASSERT_TRUE(manager.Checkpoint("m1").ok());
+  ASSERT_TRUE(manager.Evict("m1").ok());
+
+  {
+    SessionSpec spec = make_spec("m1");
+    spec.checkpoint_dir = dir;
+    spec.resume = true;
+    ASSERT_TRUE(manager.Create(std::move(spec)).ok());
+  }
+  ASSERT_TRUE(manager.Advance("m1", 100000).ok());
+  Result<BayesCrowdResult> result = manager.Finish("m1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_objects, reference_objects);
+  EXPECT_EQ(result->rounds, reference_rounds);
+}
+
 TEST(SessionManagerTest, ResumeWithoutDirOrSnapshotsFailsCleanly) {
   SessionManager manager({.threads = 1});
   SessionSpec no_dir = MakeSpec("x", "acme", 9);

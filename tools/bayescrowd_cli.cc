@@ -45,6 +45,7 @@
 #include "obs/trace.h"
 #include "crowd/fault_injection.h"
 #include "crowd/interactive.h"
+#include "crowd/marketplace.h"
 #include "crowd/platform.h"
 #include "crowd/record_replay.h"
 #include "ctable/builder.h"
@@ -105,6 +106,8 @@ int Usage() {
       "           [--structure hillclimb|chowliu|none]\n"
       "           [--save-model F] [--load-model F]\n"
       "           [--record F] [--replay-from F] [--tasks-per-round K]\n"
+      "           [--marketplace N] [--spam-rate R] [--adaptive-votes K]\n"
+      "           [--no-defense]\n"
       "           [--fault-rate R] [--fault-seed S] [--answer-noise R]\n"
       "           [--max-retries N] [--round-deadline D]\n"
       "           [--checkpoint-dir D] [--checkpoint-every N]\n"
@@ -125,6 +128,13 @@ int Usage() {
       "  (pause/resume: run --interactive --record log --tasks-per-round K,\n"
       "   stop anytime; rerun with --replay-from log and the same K and\n"
       "   data to continue where you left off)\n"
+      "  --marketplace: simulate an adversarial worker marketplace of N\n"
+      "  (>= 3) seeded workers with churn instead of the flat --accuracy\n"
+      "  mixture; --spam-rate is the adversarial (spammer/colluder)\n"
+      "  fraction of arrivals; --adaptive-votes K buys up to K votes per\n"
+      "  task (3 base + confidence-gated extras, charged at 1/3 task\n"
+      "  cost each); --no-defense disables joint quality inference,\n"
+      "  quarantine and weighted voting (the flat-majority baseline)\n"
       "  --fault-rate: inject crowd faults (timeouts, abstains, partial\n"
       "  batches, transient errors) at this rate, deterministically from\n"
       "  --fault-seed; --answer-noise makes three virtual workers re-vote\n"
@@ -505,22 +515,81 @@ int CmdRun(const Flags& flags) {
     return 2;
   }
 
+  // Adversarial worker marketplace (crowd/marketplace.h): replaces the
+  // flat accuracy mixture with an evolving, seeded worker pool.
+  const bool use_market = flags.Has("marketplace");
+  MarketplaceOptions market_options;
+  if (use_market) {
+    const int pool = flags.GetInt("marketplace", 12);
+    if (pool < 3) {
+      std::fprintf(stderr,
+                   "--marketplace needs a pool of >= 3 workers\n");
+      return 2;
+    }
+    market_options.pool_size = static_cast<std::size_t>(pool);
+    market_options.seed =
+        static_cast<std::uint64_t>(flags.GetInt("seed", 99));
+    market_options.spam_rate = flags.GetDouble("spam-rate", 0.0);
+    if (market_options.spam_rate < 0.0 ||
+        market_options.spam_rate > 1.0) {
+      std::fprintf(stderr, "--spam-rate must be in [0, 1]\n");
+      return 2;
+    }
+    if (flags.Has("no-defense")) market_options.defend = false;
+    if (flags.Has("adaptive-votes")) {
+      const int max_votes = flags.GetInt("adaptive-votes", 0);
+      if (max_votes < market_options.base_votes) {
+        std::fprintf(stderr,
+                     "--adaptive-votes must be >= %d (the base vote "
+                     "fan-out)\n",
+                     market_options.base_votes);
+        return 2;
+      }
+      market_options.max_votes = max_votes;
+      options.adaptive.enabled = true;
+      options.adaptive.base_votes =
+          static_cast<std::size_t>(market_options.base_votes);
+      options.adaptive.max_votes = static_cast<std::size_t>(max_votes);
+    }
+  } else if (flags.Has("spam-rate") || flags.Has("adaptive-votes") ||
+             flags.Has("no-defense")) {
+    std::fprintf(stderr,
+                 "--spam-rate / --adaptive-votes / --no-defense need "
+                 "--marketplace\n");
+    return 2;
+  }
+
   std::unique_ptr<CrowdPlatform> platform;
+  MarketplaceCrowdPlatform* market = nullptr;
   Table truth;
   const bool have_truth = flags.Has("truth");
   if (flags.Has("interactive")) {
+    if (use_market) {
+      std::fprintf(stderr,
+                   "--marketplace cannot be combined with --interactive "
+                   "(the marketplace needs --truth)\n");
+      return 2;
+    }
     platform = std::make_unique<InteractiveCrowdPlatform>(
         incomplete, std::cin, std::cout);
   } else if (have_truth) {
     auto loaded_truth = LoadTableCsv(flags.Get("truth", ""));
     if (!loaded_truth.ok()) return Fail(loaded_truth.status());
     truth = std::move(loaded_truth).value();
-    SimulatedPlatformOptions platform_options;
-    platform_options.worker_accuracy = flags.GetDouble("accuracy", 1.0);
-    platform_options.seed =
-        static_cast<std::uint64_t>(flags.GetInt("seed", 99));
-    platform =
-        std::make_unique<SimulatedCrowdPlatform>(truth, platform_options);
+    if (use_market) {
+      auto owned = std::make_unique<MarketplaceCrowdPlatform>(
+          truth, market_options);
+      market = owned.get();
+      market->BindMetrics(&run_metrics);
+      platform = std::move(owned);
+    } else {
+      SimulatedPlatformOptions platform_options;
+      platform_options.worker_accuracy = flags.GetDouble("accuracy", 1.0);
+      platform_options.seed =
+          static_cast<std::uint64_t>(flags.GetInt("seed", 99));
+      platform = std::make_unique<SimulatedCrowdPlatform>(
+          truth, platform_options);
+    }
   } else {
     std::fprintf(stderr, "run needs --truth <csv> or --interactive\n");
     return 2;
@@ -619,11 +688,14 @@ int CmdRun(const Flags& flags) {
     }
     const std::string platform_config = StrFormat(
         "interactive=%d|accuracy=%.17g|seed=%llu|fault=%.17g|"
-        "fseed=%llu|noise=%.17g",
+        "fseed=%llu|noise=%.17g|market=%d|pool=%zu|spam=%.17g|"
+        "maxv=%d|defend=%d",
         flags.Has("interactive") ? 1 : 0, flags.GetDouble("accuracy", 1.0),
         static_cast<unsigned long long>(flags.GetInt("seed", 99)),
         fault_rate, static_cast<unsigned long long>(fault_seed),
-        answer_noise);
+        answer_noise, use_market ? 1 : 0, market_options.pool_size,
+        market_options.spam_rate, market_options.max_votes,
+        market_options.defend ? 1 : 0);
     const std::uint64_t fingerprint =
         ConfigFingerprint(options, dataset_bytes, platform_config);
 
@@ -711,6 +783,9 @@ int CmdRun(const Flags& flags) {
     }
     std::fclose(probe);
     options.flight = &flight_recorder;
+  }
+  if (market != nullptr && options.flight != nullptr) {
+    market->SetFlightRecorder(options.flight);
   }
   obs::SnapshotFanout round_fanout;
   std::unique_ptr<obs::PrometheusFileExporter> prom_exporter;
@@ -840,6 +915,25 @@ int CmdRun(const Flags& flags) {
         for (const double a : accuracies.value()) std::printf(" %.3f", a);
         std::printf("\n");
       }
+    }
+  }
+  if (market != nullptr) {
+    const MarketplaceStats& ms = market->stats();
+    std::printf(
+        "marketplace: active=%zu quarantined=%zu arrivals=%llu "
+        "departures=%llu votes=%llu extra=%llu premium=%llu "
+        "abstained=%llu wide_rounds=%llu kappa=%.3f\n",
+        market->active_workers(), market->quarantined_workers(),
+        static_cast<unsigned long long>(ms.arrivals),
+        static_cast<unsigned long long>(ms.departures),
+        static_cast<unsigned long long>(ms.votes_cast),
+        static_cast<unsigned long long>(ms.extra_votes),
+        static_cast<unsigned long long>(ms.premium_votes),
+        static_cast<unsigned long long>(ms.abstained_tasks),
+        static_cast<unsigned long long>(ms.wide_rounds), ms.last_kappa);
+    if (result->extra_votes > 0) {
+      std::printf("adaptive votes: %zu extra vote(s) charged\n",
+                  result->extra_votes);
     }
   }
   if (have_truth) {

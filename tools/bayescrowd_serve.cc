@@ -223,6 +223,45 @@ Status SpecFromJson(const JsonValue& doc,
   spec->platform.workers_per_task =
       static_cast<int>(FindInt(doc, "workers_per_task", 3));
 
+  // "marketplace": {...} swaps the flat simulated crowd for the
+  // adversarial worker marketplace. Parsed here so --recover rebuilds
+  // the same platform from the journaled request.
+  if (const JsonValue* market = doc.Find("marketplace");
+      market != nullptr) {
+    spec->use_marketplace = true;
+    MarketplaceOptions& mo = spec->marketplace;
+    mo.pool_size =
+        static_cast<std::size_t>(FindInt(*market, "pool_size", 12));
+    if (mo.pool_size < 3) {
+      return Status::InvalidArgument(
+          "marketplace.pool_size must be >= 3");
+    }
+    mo.spam_rate = FindDouble(*market, "spam_rate", 0.0);
+    if (mo.spam_rate < 0.0 || mo.spam_rate > 1.0) {
+      return Status::InvalidArgument(
+          "marketplace.spam_rate must be in [0, 1]");
+    }
+    mo.base_votes = static_cast<int>(FindInt(*market, "base_votes", 3));
+    mo.max_votes = static_cast<int>(
+        FindInt(*market, "max_votes", mo.base_votes));
+    if (mo.base_votes < 1 || mo.max_votes < mo.base_votes) {
+      return Status::InvalidArgument(
+          "marketplace votes: need base_votes >= 1 and "
+          "max_votes >= base_votes");
+    }
+    mo.churn_rate = FindDouble(*market, "churn_rate", mo.churn_rate);
+    mo.defend = FindBool(*market, "defend", true);
+    mo.seed = static_cast<std::uint64_t>(
+        FindInt(*market, "seed", static_cast<std::int64_t>(mo.seed)));
+    if (mo.max_votes > mo.base_votes) {
+      spec->options.adaptive.enabled = true;
+      spec->options.adaptive.base_votes =
+          static_cast<std::size_t>(mo.base_votes);
+      spec->options.adaptive.max_votes =
+          static_cast<std::size_t>(mo.max_votes);
+    }
+  }
+
   spec->warm_start = FindBool(doc, "warm_start", false);
   spec->checkpoint_dir = FindString(doc, "checkpoint_dir", "");
   if (spec->checkpoint_dir.empty()) {

@@ -5,8 +5,10 @@
 # default to --seed 42 (historically generate used 42 but inject used
 # 7), and the seed flag actually steers the output. Also checks the
 # fault-flag validation the run command grew with the retry layer, the
-# solver-governor flag validation, and the knowledge-compilation flag
-# validation (--compile / --compile-node-budget).
+# solver-governor flag validation, the knowledge-compilation flag
+# validation (--compile / --compile-node-budget), and the marketplace
+# flag validation (--marketplace / --spam-rate / --adaptive-votes /
+# --no-defense).
 #
 # Also pins the bayescrowd_serve JSONL protocol against committed golden
 # fixtures (tests/testdata/serve_golden_*.jsonl) and its bad-input
@@ -153,6 +155,32 @@ lines="$( (run_base --compile sometimes 2>&1 >/dev/null || true) | wc -l)"
 lines="$( (run_base --compile on --no-cache 2>&1 >/dev/null || true) | wc -l)"
 [ "${lines}" -eq 1 ] \
   || fail "--compile on/--no-cache rejection must print one line, got ${lines}"
+
+# ------------------------------------------------------------------ #
+# run: marketplace flags validate.
+# ------------------------------------------------------------------ #
+if run_base --marketplace 2 >/dev/null 2>&1; then
+  fail "run must reject a --marketplace pool smaller than 3"
+fi
+if run_base --marketplace 20 --spam-rate 1.5 >/dev/null 2>&1; then
+  fail "run must reject --spam-rate outside [0, 1]"
+fi
+if run_base --marketplace 20 --adaptive-votes 2 >/dev/null 2>&1; then
+  fail "run must reject --adaptive-votes below the base fan-out"
+fi
+# The marketplace modifiers are meaningless without a marketplace.
+for orphan in "--spam-rate 0.3" "--adaptive-votes 5" "--no-defense"; do
+  # shellcheck disable=SC2086
+  if run_base ${orphan} >/dev/null 2>&1; then
+    fail "run must reject ${orphan% *} without --marketplace"
+  fi
+done
+if run_base --marketplace 20 --interactive >/dev/null 2>&1; then
+  fail "run must reject --marketplace combined with --interactive"
+fi
+lines="$( (run_base --marketplace 2 2>&1 >/dev/null || true) | wc -l)"
+[ "${lines}" -eq 1 ] \
+  || fail "--marketplace rejection must print exactly one line, got ${lines}"
 
 # ------------------------------------------------------------------ #
 # run: a governed run is deterministic (normalized telemetry diffs

@@ -80,6 +80,44 @@ grep -q 'resuming from round' "$SMOKE/report_resume.txt"
 grep -q '"resumed": true' "$SMOKE/telemetry_resume.json"
 grep -q 'recovery.fallback' "$SMOKE/telemetry_resume.json"
 
+echo "== tier-1: marketplace spam-storm smoke run (defend, kill, resume) =="
+# An adversarial marketplace at 30% spam/collusion: the defended run
+# must actually quarantine workers, spend adaptive extra votes, and
+# still clear an F1 floor a flat 3-vote majority cannot reach at this
+# spam rate (the frontier bench pins the full sweep; this smoke pins
+# the defense engaging at all). Then the marketplace state must ride
+# the checkpoint envelope: dropping the newest snapshot forces a
+# mid-run resume that replays the answer-log tail, and the recovered
+# reputations must reproduce the marketplace summary byte for byte.
+"$CLI" generate --dataset anti --n 60 --d 4 --levels 6 --seed 5 \
+  --out "$SMOKE/market_complete.csv"
+"$CLI" inject --in "$SMOKE/market_complete.csv" --rate 0.3 --seed 5 \
+  --out "$SMOKE/market_holes.csv"
+run_market() {
+  "$CLI" run --data "$SMOKE/market_holes.csv" \
+    --truth "$SMOKE/market_complete.csv" \
+    --alpha -1 --budget 300 --latency 3 --seed 11 --threads 4 \
+    --marketplace 20 --spam-rate 0.3 --adaptive-votes 5 \
+    --log-level warning \
+    --checkpoint-dir "$SMOKE/market-ckpt" --checkpoint-every 2 "$@"
+}
+run_market > "$SMOKE/report_market.txt"
+grep -Eq 'marketplace: .*quarantined=[1-9]' "$SMOKE/report_market.txt"
+grep -q 'adaptive votes: ' "$SMOKE/report_market.txt"
+python3 - "$SMOKE/report_market.txt" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+f1 = float(re.search(r"F1=([0-9.]+)", text).group(1))
+assert f1 >= 0.9, f"defended spam-storm F1 collapsed: {f1}"
+EOF
+NEWEST="$(ls "$SMOKE"/market-ckpt/ckpt-*.bin | tail -1)"
+rm "$NEWEST"                              # Force a mid-run resume.
+run_market --resume > "$SMOKE/report_market_resume.txt"
+grep -q 'resuming from round' "$SMOKE/report_market_resume.txt"
+MKT1="$(grep '^marketplace:' "$SMOKE/report_market.txt")"
+MKT2="$(grep '^marketplace:' "$SMOKE/report_market_resume.txt")"
+[ "$MKT1" = "$MKT2" ]                     # Reputations survived the kill.
+
 echo "== tier-1: hostile-instance governed smoke run =="
 # A resource-governed query over a dataset engineered to defeat the
 # solver's shortcuts: 16 levels and a 35% missing rate put enough
@@ -307,9 +345,10 @@ cmake --build "$ROOT/build-asan" -j "$JOBS" --target checkpoint_test \
   --target killpoint_test --target fault_test --target differential_test \
   --target governor_test --target compile_test --target obs_test \
   --target attribution_test --target serve_test \
-  --target serve_killpoint_test
+  --target serve_killpoint_test --target quality_test \
+  --target marketplace_test
 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test|compile_test|obs_test|attribution_test|serve_test|serve_killpoint_test)'
+  -R '(checkpoint_test|killpoint_test|fault_test|differential_test|governor_test|compile_test|obs_test|attribution_test|serve_test|serve_killpoint_test|quality_test|marketplace_test)'
 
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
@@ -320,8 +359,8 @@ cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
   --target obs_test --target attribution_test --target differential_test \
   --target fault_test --target record_replay_test --target governor_test \
   --target compile_test --target serve_test \
-  --target serve_killpoint_test
+  --target serve_killpoint_test --target marketplace_test
 ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
-  -R '(parallel_test|obs_test|attribution_test|differential_test|fault_test|record_replay_test|governor_test|compile_test|serve_test|serve_killpoint_test)'
+  -R '(parallel_test|obs_test|attribution_test|differential_test|fault_test|record_replay_test|governor_test|compile_test|serve_test|serve_killpoint_test|marketplace_test)'
 
 echo "tier-1 OK"
